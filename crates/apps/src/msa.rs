@@ -1,0 +1,316 @@
+//! The multiple-sequence-alignment case study (§III-A).
+//!
+//! ClustalW's distance-matrix stage is parallelised over the outer loop:
+//! iteration `i` aligns sequence `i` against every sequence `j > i`, so
+//! iteration costs *decrease* with `i` (and vary with sequence length) —
+//! under `schedule(static)` the first threads receive far more work and
+//! the loop is imbalanced, which is exactly what the paper's Figure 4(a)
+//! shows and its load-imbalance rule detects.
+//!
+//! [`run`] simulates one execution on the machine model and produces a
+//! TAU-like trial with the callpath events the analysis layer expects:
+//!
+//! ```text
+//! main
+//! main => init                      (serial, thread 0)
+//! main => distance_matrix           (outer loop: barrier waits)
+//! main => distance_matrix => sw_align   (inner loop: alignment work)
+//! main => guide_tree                (serial, thread 0)
+//! ```
+
+use crate::align;
+use perfdmf::Trial;
+use simulator::machine::MachineConfig;
+use simulator::openmp::{parallel_for, OpenMpConfig, Schedule};
+use simulator::profiling::Recorder;
+use simulator::{Counter, CounterSet};
+
+/// Configuration of one MSA run.
+#[derive(Debug, Clone)]
+pub struct MsaConfig {
+    /// Number of protein sequences.
+    pub sequences: usize,
+    /// Minimum sequence length.
+    pub min_len: usize,
+    /// Maximum sequence length.
+    pub max_len: usize,
+    /// RNG seed for sequence generation.
+    pub seed: u64,
+    /// OpenMP thread count.
+    pub threads: usize,
+    /// Loop schedule for the distance-matrix outer loop.
+    pub schedule: Schedule,
+    /// Machine to run on.
+    pub machine: MachineConfig,
+}
+
+impl MsaConfig {
+    /// The paper's 400-sequence problem on the Altix 300.
+    pub fn paper_400(threads: usize, schedule: Schedule) -> Self {
+        MsaConfig {
+            sequences: 400,
+            min_len: 60,
+            max_len: 140,
+            seed: 0x6d7361,
+            threads,
+            schedule,
+            machine: MachineConfig::altix300(),
+        }
+    }
+
+    /// The paper's 1000-sequence problem on the Altix 3600 (used for the
+    /// 128-thread scaling check).
+    pub fn paper_1000(threads: usize, schedule: Schedule) -> Self {
+        MsaConfig {
+            sequences: 1000,
+            min_len: 60,
+            max_len: 140,
+            seed: 0x6d7361,
+            threads,
+            schedule,
+            machine: MachineConfig::altix3600(),
+        }
+    }
+}
+
+/// Cycles per Smith–Waterman DP cell (a handful of max/add operations on
+/// a wide-issue core).
+const CYCLES_PER_CELL: f64 = 8.0;
+/// Instructions per DP cell.
+const INSTRUCTIONS_PER_CELL: f64 = 14.0;
+/// Serial work factor: guide-tree and bookkeeping cycles per pair of
+/// sequences (the unparallelised stages 2–3 of ClustalW).
+const SERIAL_CYCLES_PER_PAIR: f64 = 220.0;
+
+/// Per-outer-iteration DP cell counts: `cells[i] = Σ_{j>i} len_i · len_j`.
+pub fn iteration_cells(lengths: &[usize]) -> Vec<f64> {
+    let n = lengths.len();
+    // Suffix sums of lengths for O(n) evaluation.
+    let mut suffix = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = suffix[i + 1] + lengths[i] as f64;
+    }
+    (0..n)
+        .map(|i| lengths[i] as f64 * suffix[i + 1])
+        .collect()
+}
+
+/// Simulates one MSA distance-matrix execution, returning the recorded
+/// trial.
+pub fn run(config: &MsaConfig) -> Trial {
+    let sequences = align::generate_sequences(
+        config.sequences,
+        config.min_len,
+        config.max_len,
+        config.seed,
+    );
+    let lengths: Vec<usize> = sequences.iter().map(Vec::len).collect();
+    let cells = iteration_cells(&lengths);
+    let costs_cycles: Vec<f64> = cells.iter().map(|c| c * CYCLES_PER_CELL).collect();
+
+    let omp = OpenMpConfig::default();
+    let sched = parallel_for(&costs_cycles, config.schedule, config.threads, &omp);
+
+    let machine = &config.machine;
+    let threads = config.threads.max(1);
+
+    // Serial stages (thread 0): input parsing + guide tree.
+    let pairs = (config.sequences * (config.sequences - 1) / 2) as f64;
+    let init_s = machine.cycles_to_seconds(pairs * SERIAL_CYCLES_PER_PAIR * 0.25);
+    let tree_s = machine.cycles_to_seconds(pairs * SERIAL_CYCLES_PER_PAIR * 0.75);
+
+    let mut rec = Recorder::new(&trial_name(config), threads);
+    for t in 0..threads {
+        rec.enter(t, "main");
+
+        // Serial init: thread 0 works, the team waits at the fork.
+        rec.enter(t, "init");
+        rec.advance(t, init_s);
+        rec.exit(t);
+
+        // The work-sharing outer loop.
+        let times = &sched.per_thread[t];
+        let busy_s = machine.cycles_to_seconds(times.busy);
+        let wait_s = machine.cycles_to_seconds(times.barrier_wait);
+        rec.enter(t, "distance_matrix");
+        rec.enter(t, "sw_align");
+        rec.advance(t, busy_s);
+        rec.exit(t);
+        // Barrier wait is exclusive time in the *outer* loop: a thread
+        // that finished its inner work early sits here — the negative
+        // correlation the paper's rule tests for.
+        rec.advance(t, wait_s);
+        rec.exit(t);
+
+        // Serial guide tree (thread 0; others wait in main).
+        rec.enter(t, "guide_tree");
+        rec.advance(t, tree_s);
+        rec.exit(t);
+
+        rec.exit(t); // main
+
+        // Counters: integer-dominated workload.
+        let mut c = CounterSet::new();
+        // Attribute DP cells proportionally to executed busy cycles.
+        let total_cells: f64 = cells.iter().sum();
+        let total_busy: f64 = sched.total_busy().max(1.0);
+        let thread_cells = total_cells * (times.busy / total_busy);
+        c.set(Counter::CpuCycles, times.busy + times.barrier_wait);
+        c.set(Counter::InstCompleted, thread_cells * INSTRUCTIONS_PER_CELL);
+        c.set(
+            Counter::InstIssued,
+            thread_cells * INSTRUCTIONS_PER_CELL * 1.25,
+        );
+        c.set(Counter::BackEndBubbleAll, times.barrier_wait);
+        rec.record_counters(t, "main => distance_matrix => sw_align", &c);
+    }
+
+    rec.meta("application", "msap");
+    rec.meta("machine", machine.name.clone());
+    rec.meta("threads", threads);
+    rec.meta("schedule", config.schedule.to_string());
+    rec.meta("sequences", config.sequences);
+    rec.meta("problem", format!("{} sequences", config.sequences));
+    rec.finish()
+}
+
+/// Trial naming convention `<threads>_<schedule>`.
+fn trial_name(config: &MsaConfig) -> String {
+    format!("{}_{}", config.threads, config.schedule)
+}
+
+/// Whole-program elapsed seconds of a recorded MSA trial (max inclusive
+/// `main` across threads).
+pub fn elapsed_seconds(trial: &Trial) -> f64 {
+    let p = &trial.profile;
+    let time = p.metric_id("TIME").expect("TIME metric");
+    let main = p.event_id("main").expect("main event");
+    p.max_inclusive(main, time)
+}
+
+/// Relative efficiency of a scaling series: `E(p) = T(1) / (p · T(p))`.
+pub fn relative_efficiency(t1: f64, tp: f64, p: usize) -> f64 {
+    if tp <= 0.0 || p == 0 {
+        return 0.0;
+    }
+    t1 / (p as f64 * tp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_costs_decrease_overall() {
+        let lengths = vec![100; 50];
+        let cells = iteration_cells(&lengths);
+        assert_eq!(cells.len(), 50);
+        // Equal lengths: strictly decreasing.
+        for w in cells.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        // Last iteration has no partners.
+        assert_eq!(cells[49], 0.0);
+        // Total = Σ_{i<j} len_i·len_j = C(50,2) · 100².
+        let total: f64 = cells.iter().sum();
+        assert_eq!(total, 1225.0 * 10_000.0);
+    }
+
+    fn small(threads: usize, schedule: Schedule) -> MsaConfig {
+        MsaConfig {
+            sequences: 64,
+            min_len: 40,
+            max_len: 80,
+            seed: 1,
+            threads,
+            schedule,
+            machine: MachineConfig::altix300(),
+        }
+    }
+
+    #[test]
+    fn trial_has_expected_callpath_events() {
+        let trial = run(&small(4, Schedule::Static));
+        let p = &trial.profile;
+        for name in [
+            "main",
+            "main => init",
+            "main => distance_matrix",
+            "main => distance_matrix => sw_align",
+            "main => guide_tree",
+        ] {
+            assert!(p.event_id(name).is_some(), "missing {name}");
+        }
+        assert_eq!(p.thread_count(), 4);
+        assert_eq!(trial.metadata.get_str("schedule"), Some("static"));
+    }
+
+    #[test]
+    fn static_schedule_shows_imbalance_dynamic_does_not() {
+        let stat = run(&small(8, Schedule::Static));
+        let dyn1 = run(&small(8, Schedule::Dynamic(1)));
+        let imbalance = |t: &Trial| {
+            let p = &t.profile;
+            let time = p.metric_id("TIME").unwrap();
+            let inner = p.event_id("main => distance_matrix => sw_align").unwrap();
+            let v = p.exclusive_across_threads(inner, time);
+            let s = statistics::Summary::of(&v).unwrap();
+            s.coefficient_of_variation().unwrap()
+        };
+        assert!(imbalance(&stat) > 0.25, "static cov = {}", imbalance(&stat));
+        assert!(imbalance(&dyn1) < 0.10, "dynamic cov = {}", imbalance(&dyn1));
+    }
+
+    #[test]
+    fn inner_work_and_outer_wait_are_negatively_correlated() {
+        let trial = run(&small(8, Schedule::Static));
+        let p = &trial.profile;
+        let time = p.metric_id("TIME").unwrap();
+        let inner = p.event_id("main => distance_matrix => sw_align").unwrap();
+        let outer = p.event_id("main => distance_matrix").unwrap();
+        let inner_t = p.exclusive_across_threads(inner, time);
+        let outer_t = p.exclusive_across_threads(outer, time);
+        let r = statistics::pearson(&inner_t, &outer_t).unwrap();
+        assert!(r < -0.9, "correlation = {r}");
+    }
+
+    #[test]
+    fn dynamic_one_beats_static_elapsed() {
+        let stat = elapsed_seconds(&run(&small(8, Schedule::Static)));
+        let dyn1 = elapsed_seconds(&run(&small(8, Schedule::Dynamic(1))));
+        assert!(dyn1 < stat);
+    }
+
+    #[test]
+    fn efficiency_declines_with_large_chunks() {
+        // "Larger chunk sizes tend to change the scheduling behavior to
+        // be more like the static even behavior."
+        let t1 = elapsed_seconds(&run(&small(1, Schedule::Dynamic(1))));
+        let e_small = relative_efficiency(
+            t1,
+            elapsed_seconds(&run(&small(8, Schedule::Dynamic(1)))),
+            8,
+        );
+        let e_large = relative_efficiency(
+            t1,
+            elapsed_seconds(&run(&small(8, Schedule::Dynamic(16)))),
+            8,
+        );
+        assert!(e_small > e_large);
+        assert!(e_small > 0.8, "dynamic-1 efficiency = {e_small}");
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let a = run(&small(4, Schedule::Dynamic(1)));
+        let b = run(&small(4, Schedule::Dynamic(1)));
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn efficiency_helper_edge_cases() {
+        assert_eq!(relative_efficiency(1.0, 0.0, 4), 0.0);
+        assert_eq!(relative_efficiency(1.0, 1.0, 0), 0.0);
+        assert!((relative_efficiency(8.0, 1.0, 8) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the inference engine: matching throughput
+//! vs working-memory size, join cost, and rule-language parsing.
+//!
+//! The working-memory sweep is the ablation DESIGN.md calls out: the
+//! engine matches linearly over working memory, so activation cost grows
+//! with fact count — these benches quantify that design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rules::{drl, Comparator, Engine, Fact, Pattern, Rule};
+use std::hint::black_box;
+
+fn engine_with_threshold_rule() -> Engine {
+    let mut e = Engine::new();
+    e.add_rule(
+        Rule::builder("threshold")
+            .when(
+                Pattern::new("MeanEventFact")
+                    .constrain("severity", Comparator::Gt, 0.5)
+                    .bind("e", "eventName"),
+            )
+            .then(|_| {}),
+    )
+    .unwrap();
+    e
+}
+
+fn bench_match_fire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/match_fire");
+    for &n in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut engine = engine_with_threshold_rule();
+                for i in 0..n {
+                    engine.assert_fact(
+                        Fact::new("MeanEventFact")
+                            .with("severity", (i % 100) as f64 / 100.0)
+                            .with("eventName", format!("e{i}")),
+                    );
+                }
+                black_box(engine.run().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/two_pattern_join");
+    for &n in &[8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut engine = Engine::new();
+                engine
+                    .add_rule(
+                        Rule::builder("join")
+                            .when(Pattern::new("Parent").bind("name", "name"))
+                            .when(
+                                Pattern::new("Child")
+                                    .constrain_var("parent", Comparator::Eq, "name"),
+                            )
+                            .then(|_| {}),
+                    )
+                    .unwrap();
+                for i in 0..n {
+                    engine.assert_fact(Fact::new("Parent").with("name", format!("p{i}")));
+                    engine.assert_fact(
+                        Fact::new("Child")
+                            .with("parent", format!("p{}", i % 4))
+                            .with("i", i),
+                    );
+                }
+                black_box(engine.run().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let source = perfexplorer::rulebase::LOCALITY_RULES;
+    c.bench_function("engine/parse_locality_rulebase", |bench| {
+        bench.iter(|| drl::parse(black_box(source)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_match_fire, bench_join, bench_parse);
+criterion_main!(benches);

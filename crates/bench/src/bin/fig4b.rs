@@ -1,0 +1,64 @@
+//! Regenerates Figure 4(b): relative efficiency of the MSA application
+//! per schedule, up to 16 threads (400 sequences), plus the paper's
+//! 128-thread / 1000-sequence check.
+
+use apps::msa::{self, elapsed_seconds, relative_efficiency, MsaConfig};
+use bench::{banner, msa_trial, FIG4B_THREADS};
+use simulator::openmp::Schedule;
+
+fn main() {
+    println!(
+        "{}",
+        banner(
+            "FIG4B",
+            "Relative efficiency of MSAP per schedule (400 sequences)"
+        )
+    );
+    println!("paper: dynamic,1 is nearly 93% efficient at 16 processors; larger chunks\nbehave like static\n");
+
+    let schedules = [
+        Schedule::Static,
+        Schedule::StaticChunk(8),
+        Schedule::Dynamic(1),
+        Schedule::Dynamic(4),
+        Schedule::Dynamic(16),
+        Schedule::Dynamic(64),
+        Schedule::Guided(1),
+    ];
+
+    print!("{:>14}", "schedule");
+    for &t in FIG4B_THREADS {
+        print!("{:>9}", format!("p={t}"));
+    }
+    println!();
+
+    for schedule in schedules {
+        let t1 = elapsed_seconds(&msa_trial(400, 1, schedule));
+        print!("{:>14}", schedule.to_string());
+        for &threads in FIG4B_THREADS {
+            let tp = elapsed_seconds(&msa_trial(400, threads, schedule));
+            let eff = relative_efficiency(t1, tp, threads);
+            print!("{:>9.3}", eff);
+        }
+        println!();
+    }
+
+    // The production-scale check: 1000 sequences, 128 threads, chunk 1.
+    println!("\n--- 1000-sequence production check (Altix 3600) ---");
+    let schedule = Schedule::Dynamic(1);
+    let base = {
+        let mut c = MsaConfig::paper_1000(1, schedule);
+        c.sequences = 1000;
+        elapsed_seconds(&msa::run(&c))
+    };
+    for threads in [16usize, 64, 128] {
+        let mut c = MsaConfig::paper_1000(threads, schedule);
+        c.sequences = 1000;
+        let tp = elapsed_seconds(&msa::run(&c));
+        let eff = relative_efficiency(base, tp, threads);
+        println!(
+            "dynamic,1 @ {threads:>3} threads: efficiency {:>6.3}   (paper: ~0.80 at 128)",
+            eff
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Regenerates Figure 5(a): speedup per event of the *unoptimised*
+//! OpenMP GenIDLEST on the 90rib problem.
+//!
+//! The paper's figure shows the main computation procedures (`bicgstab`,
+//! `diff_coeff`, `matxvec`, `pc`, `pc_jac_glb`) failing to scale, and
+//! `exchange_var` scaling worst of all because its boundary copies are
+//! serialised on the master thread.
+
+use apps::genidlest::{CodeVersion, Paradigm};
+use bench::{banner, genidlest_trial, FIG5_PROCS};
+use perfdmf::Trial;
+use perfexplorer::scalability::per_event_total;
+
+const EVENTS: &[&str] = &[
+    "main => bicgstab",
+    "main => diff_coeff",
+    "main => matxvec",
+    "main => pc",
+    "main => pc_jac_glb",
+    "main => exchange_var",
+];
+
+fn main() {
+    println!(
+        "{}",
+        banner(
+            "FIG5A",
+            "Speedup per event, unoptimized OpenMP, 90rib problem"
+        )
+    );
+    println!("paper: the main computation procedures do not scale; exchange_var is\nsequential and limits the application\n");
+
+    let trials: Vec<(usize, Trial)> = FIG5_PROCS
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                genidlest_trial(Paradigm::OpenMp, CodeVersion::Unoptimized, p),
+            )
+        })
+        .collect();
+    let series: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+
+    print!("{:>24}", "event");
+    for &p in FIG5_PROCS {
+        print!("{:>9}", format!("p={p}"));
+    }
+    println!("   (ideal speedup = p)");
+
+    for event in EVENTS {
+        let s = per_event_total(&series, "TIME", event).expect("event present");
+        print!("{:>24}", event.trim_start_matches("main => "));
+        for point in &s.points {
+            print!("{:>9.2}", point.speedup);
+        }
+        println!();
+    }
+
+    // Whole-program line for context.
+    let whole = perfexplorer::scalability::whole_program(&series, "TIME").unwrap();
+    print!("{:>24}", "(whole program)");
+    for point in &whole.points {
+        print!("{:>9.2}", point.speedup);
+    }
+    println!();
+}

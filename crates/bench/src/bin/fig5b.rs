@@ -1,0 +1,92 @@
+//! Regenerates Figure 5(b): whole-application speedup of unoptimised
+//! OpenMP, optimised OpenMP, and optimised MPI on the 90rib problem —
+//! plus the paper's headline ratios (OpenMP lags MPI ×11.16 unoptimised
+//! at 16 procs on 90rib, ×3.48 on 45rib; ≤ ~15% after optimisation).
+
+use apps::genidlest::{elapsed_seconds, CodeVersion, Paradigm};
+use bench::{banner, genidlest_trial, genidlest_trial_45, FIG5_PROCS};
+use perfdmf::Trial;
+use perfexplorer::scalability::whole_program;
+
+fn series_for(paradigm: Paradigm, version: CodeVersion) -> Vec<(usize, Trial)> {
+    FIG5_PROCS
+        .iter()
+        .map(|&p| (p, genidlest_trial(paradigm, version, p)))
+        .collect()
+}
+
+fn main() {
+    println!(
+        "{}",
+        banner(
+            "FIG5B",
+            "Whole-app speedup: OpenMP (unopt/opt) vs MPI, 90rib problem"
+        )
+    );
+    println!("paper: unoptimized OpenMP does not scale at all; after optimization the\nOpenMP version scales nearly as well as MPI (gap ~15%)\n");
+
+    let variants: [(&str, Paradigm, CodeVersion); 3] = [
+        ("OpenMP unoptimized", Paradigm::OpenMp, CodeVersion::Unoptimized),
+        ("OpenMP optimized", Paradigm::OpenMp, CodeVersion::Optimized),
+        ("MPI optimized", Paradigm::Mpi, CodeVersion::Optimized),
+    ];
+
+    print!("{:>22}", "variant");
+    for &p in FIG5_PROCS {
+        print!("{:>9}", format!("p={p}"));
+    }
+    println!();
+
+    let mut elapsed_at_16 = std::collections::BTreeMap::new();
+    for (label, paradigm, version) in variants {
+        let trials = series_for(paradigm, version);
+        let series: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+        let s = whole_program(&series, "TIME").expect("series");
+        print!("{:>22}", label);
+        for point in &s.points {
+            print!("{:>9.2}", point.speedup);
+        }
+        println!();
+        if let Some((_, t16)) = trials.iter().find(|(p, _)| *p == 16) {
+            elapsed_at_16.insert(label, elapsed_seconds(t16));
+        }
+    }
+
+    println!("\n--- headline ratios at 16 processors ---");
+    let mpi = elapsed_at_16["MPI optimized"];
+    let unopt = elapsed_at_16["OpenMP unoptimized"];
+    let opt = elapsed_at_16["OpenMP optimized"];
+    println!(
+        "90rib unoptimized OpenMP / MPI : {:>6.2}x   (paper: 11.16x)",
+        unopt / mpi
+    );
+    println!(
+        "90rib optimized   OpenMP / MPI : {:>6.2}x   (paper: ~1.15x)",
+        opt / mpi
+    );
+
+    // 45rib at 8 processors (its block count).
+    let mpi45 = elapsed_seconds(&genidlest_trial_45(
+        Paradigm::Mpi,
+        CodeVersion::Optimized,
+        8,
+    ));
+    let unopt45 = elapsed_seconds(&genidlest_trial_45(
+        Paradigm::OpenMp,
+        CodeVersion::Unoptimized,
+        8,
+    ));
+    let opt45 = elapsed_seconds(&genidlest_trial_45(
+        Paradigm::OpenMp,
+        CodeVersion::Optimized,
+        8,
+    ));
+    println!(
+        "45rib unoptimized OpenMP / MPI : {:>6.2}x   (paper: 3.48x)",
+        unopt45 / mpi45
+    );
+    println!(
+        "45rib optimized   OpenMP / MPI : {:>6.2}x   (paper: ~1.17x)",
+        opt45 / mpi45
+    );
+}

@@ -1,0 +1,68 @@
+//! Regenerates Table I: GenIDLEST relative differences for optimisation
+//! levels O0–O3, 16 MPI ranks, 90rib problem, with the paper's values
+//! alongside.
+
+use apps::power_study::{run_all, PowerStudyConfig};
+use bench::banner;
+use perfdmf::Trial;
+use perfexplorer::powerenergy::{relative_table, render_table, trial_power};
+use perfexplorer::workflow::analyze_power;
+use simulator::machine::MachineConfig;
+
+/// The paper's Table I, for side-by-side comparison.
+const PAPER: &[(&str, [f64; 4])] = &[
+    ("Time", [1.0, 0.338, 0.071, 0.049]),
+    ("Instructions Completed", [1.0, 0.471, 0.059, 0.056]),
+    ("Instructions Issued", [1.0, 0.472, 0.063, 0.061]),
+    ("Instructions Completed Per Cycle", [1.0, 1.397, 0.857, 1.209]),
+    ("Instructions Issued Per Cycle", [1.0, 1.400, 0.909, 1.316]),
+    ("Watts", [1.0, 1.025, 1.001, 1.029]),
+    ("Joules", [1.0, 0.346, 0.071, 0.050]),
+    ("FLOP/Joule", [1.0, 2.867, 13.684, 19.305]),
+];
+
+fn main() {
+    println!(
+        "{}",
+        banner(
+            "TABLE1",
+            "GenIDLEST relative differences at O0-O3, 16 MPI ranks, 90rib"
+        )
+    );
+
+    let machine = MachineConfig::altix300();
+    let config = PowerStudyConfig {
+        ranks: 16,
+        timesteps: 10,
+        machine: machine.clone(),
+    };
+    let runs = run_all(&config);
+    let readings = runs
+        .iter()
+        .map(|(_, t)| trial_power(t, &machine).expect("counters present"))
+        .collect::<Vec<_>>();
+    let table = relative_table(&readings).expect("non-empty series");
+
+    println!("\n--- measured (this reproduction) ---");
+    print!("{}", render_table(&table));
+
+    println!("\n--- paper (Table I) ---");
+    print!("{:<34}", "Metric");
+    for l in ["O0", "O1", "O2", "O3"] {
+        print!("{l:>9}");
+    }
+    println!();
+    for (name, values) in PAPER {
+        print!("{name:<34}");
+        for v in values {
+            print!("{v:>9.3}");
+        }
+        println!();
+    }
+
+    // The power rulebase's recommendations.
+    let trials: Vec<&Trial> = runs.iter().map(|(_, t)| t).collect();
+    let (_, result) = analyze_power(&trials, &machine).expect("workflow runs");
+    println!("\n--- automated recommendations ---");
+    print!("{}", result.rendered);
+}

@@ -1,0 +1,310 @@
+//! Performance assertions.
+//!
+//! The paper's related work discusses Vetter & Worley's *Performance
+//! Assertions*: "confirm that the empirical performance data of an
+//! application or code region meets or exceeds that of the expected
+//! performance", with expectations that may reference the execution
+//! configuration. This module provides that capability on top of the
+//! trial model, so captured knowledge can also take the form of checked
+//! expectations ("`sw_align` must be within 10% balanced", "elapsed must
+//! scale at ≥ 70% efficiency").
+
+use crate::result::TrialResult;
+use crate::Result;
+use perfdmf::Trial;
+use serde::{Deserialize, Serialize};
+use statistics::Summary;
+
+/// What quantity an assertion tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Quantity {
+    /// Mean exclusive value of an event.
+    MeanExclusive {
+        /// Event name.
+        event: String,
+    },
+    /// Max inclusive value of an event (critical path).
+    MaxInclusive {
+        /// Event name.
+        event: String,
+    },
+    /// Coefficient of variation of an event's exclusive values across
+    /// threads (a balance expectation).
+    BalanceRatio {
+        /// Event name.
+        event: String,
+    },
+    /// Whole-program elapsed (max inclusive `main`).
+    Elapsed,
+}
+
+/// Comparison direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expect {
+    /// The quantity must be at most the bound.
+    AtMost,
+    /// The quantity must be at least the bound.
+    AtLeast,
+}
+
+/// One performance assertion over a metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceAssertion {
+    /// Descriptive name, reported on failure.
+    pub name: String,
+    /// Metric the quantity is measured in.
+    pub metric: String,
+    /// The quantity under test.
+    pub quantity: Quantity,
+    /// Direction.
+    pub expect: Expect,
+    /// The bound. May be scaled by the trial's processor count via
+    /// [`PerformanceAssertion::per_proc`].
+    pub bound: f64,
+    /// When true, the bound is divided by the trial's thread count
+    /// before checking — expressing expectations like "elapsed ≤
+    /// serial_time / p · 1.25".
+    pub scale_by_procs: bool,
+}
+
+/// Outcome of checking one assertion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssertionOutcome {
+    /// The assertion's name.
+    pub name: String,
+    /// Whether it held.
+    pub passed: bool,
+    /// The measured value.
+    pub measured: f64,
+    /// The effective bound after scaling.
+    pub bound: f64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl PerformanceAssertion {
+    /// A convenience constructor for an unscaled assertion.
+    pub fn new(
+        name: impl Into<String>,
+        metric: impl Into<String>,
+        quantity: Quantity,
+        expect: Expect,
+        bound: f64,
+    ) -> Self {
+        PerformanceAssertion {
+            name: name.into(),
+            metric: metric.into(),
+            quantity,
+            expect,
+            bound,
+            scale_by_procs: false,
+        }
+    }
+
+    /// Makes the bound scale with the trial's processor count.
+    pub fn per_proc(mut self) -> Self {
+        self.scale_by_procs = true;
+        self
+    }
+
+    /// Checks the assertion against a trial.
+    pub fn check(&self, trial: &Trial) -> Result<AssertionOutcome> {
+        let r = TrialResult::new(trial);
+        let measured = match &self.quantity {
+            Quantity::MeanExclusive { event } => {
+                let v = r.exclusive(event, &self.metric)?;
+                v.iter().sum::<f64>() / v.len().max(1) as f64
+            }
+            Quantity::MaxInclusive { event } => {
+                let v = r.inclusive(event, &self.metric)?;
+                v.iter().copied().fold(0.0, f64::max)
+            }
+            Quantity::BalanceRatio { event } => {
+                let v = r.exclusive(event, &self.metric)?;
+                let s = Summary::of(&v)?;
+                if s.mean == 0.0 {
+                    0.0
+                } else {
+                    s.stddev / s.mean
+                }
+            }
+            Quantity::Elapsed => r.elapsed(&self.metric)?,
+        };
+        let bound = if self.scale_by_procs {
+            self.bound / trial.profile.thread_count().max(1) as f64
+        } else {
+            self.bound
+        };
+        let passed = match self.expect {
+            Expect::AtMost => measured <= bound,
+            Expect::AtLeast => measured >= bound,
+        };
+        let cmp = match self.expect {
+            Expect::AtMost => "<=",
+            Expect::AtLeast => ">=",
+        };
+        Ok(AssertionOutcome {
+            name: self.name.clone(),
+            passed,
+            measured,
+            bound,
+            message: format!(
+                "{}: measured {measured:.6} {} expected {cmp} {bound:.6}",
+                self.name,
+                if passed { "OK" } else { "VIOLATED" },
+            ),
+        })
+    }
+}
+
+/// Checks a batch of assertions; returns all outcomes (never
+/// short-circuits, so a report shows every violation at once).
+pub fn check_all(
+    assertions: &[PerformanceAssertion],
+    trial: &Trial,
+) -> Result<Vec<AssertionOutcome>> {
+    assertions.iter().map(|a| a.check(trial)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::msa::{self, MsaConfig};
+    use perfdmf::{Measurement, TrialBuilder};
+    use simulator::openmp::Schedule;
+
+    fn trial() -> Trial {
+        let mut b = TrialBuilder::with_flat_threads("t", 4);
+        let time = b.metric("TIME");
+        let main = b.event("main");
+        let k = b.event("main => k");
+        let values = [1.0, 1.1, 0.9, 1.0];
+        for (t, &v) in values.iter().enumerate() {
+            b.set(main, time, t, Measurement { inclusive: 2.0, exclusive: 1.0, calls: 1.0, subcalls: 1.0 });
+            b.set(k, time, t, Measurement::leaf(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn mean_and_elapsed_assertions() {
+        let t = trial();
+        let ok = PerformanceAssertion::new(
+            "k mean",
+            "TIME",
+            Quantity::MeanExclusive { event: "main => k".into() },
+            Expect::AtMost,
+            1.05,
+        );
+        assert!(ok.check(&t).unwrap().passed);
+        let bad = PerformanceAssertion::new(
+            "elapsed",
+            "TIME",
+            Quantity::Elapsed,
+            Expect::AtMost,
+            1.0,
+        );
+        let outcome = bad.check(&t).unwrap();
+        assert!(!outcome.passed);
+        assert!(outcome.message.contains("VIOLATED"));
+        assert_eq!(outcome.measured, 2.0);
+    }
+
+    #[test]
+    fn balance_assertion_accepts_balanced_rejects_skewed() {
+        let balanced = trial();
+        let a = PerformanceAssertion::new(
+            "k balanced",
+            "TIME",
+            Quantity::BalanceRatio { event: "main => k".into() },
+            Expect::AtMost,
+            0.25,
+        );
+        assert!(a.check(&balanced).unwrap().passed);
+
+        let mut config = MsaConfig::paper_400(8, Schedule::Static);
+        config.sequences = 64;
+        let skewed = msa::run(&config);
+        let b = PerformanceAssertion::new(
+            "sw balanced",
+            "TIME",
+            Quantity::BalanceRatio {
+                event: "main => distance_matrix => sw_align".into(),
+            },
+            Expect::AtMost,
+            0.25,
+        );
+        assert!(!b.check(&skewed).unwrap().passed);
+    }
+
+    #[test]
+    fn per_proc_scaling_expresses_scalability_expectations() {
+        // "16-thread run must be at most serial_time/16 × 1.25".
+        let serial = {
+            let mut c = MsaConfig::paper_400(1, Schedule::Dynamic(1));
+            c.sequences = 64;
+            msa::run(&c)
+        };
+        let parallel = {
+            let mut c = MsaConfig::paper_400(16, Schedule::Dynamic(1));
+            c.sequences = 64;
+            msa::run(&c)
+        };
+        let t1 = TrialResult::new(&serial).elapsed("TIME").unwrap();
+        let assertion = PerformanceAssertion::new(
+            "scales",
+            "TIME",
+            Quantity::Elapsed,
+            Expect::AtMost,
+            t1 * 1.25,
+        )
+        .per_proc();
+        assert!(assertion.check(&parallel).unwrap().passed);
+        // The static schedule violates the same expectation.
+        let bad = {
+            let mut c = MsaConfig::paper_400(16, Schedule::Static);
+            c.sequences = 64;
+            msa::run(&c)
+        };
+        assert!(!assertion.check(&bad).unwrap().passed);
+    }
+
+    #[test]
+    fn max_inclusive_and_at_least() {
+        let t = trial();
+        let a = PerformanceAssertion::new(
+            "did work",
+            "TIME",
+            Quantity::MaxInclusive { event: "main => k".into() },
+            Expect::AtLeast,
+            1.0,
+        );
+        assert!(a.check(&t).unwrap().passed);
+    }
+
+    #[test]
+    fn check_all_reports_every_outcome() {
+        let t = trial();
+        let assertions = vec![
+            PerformanceAssertion::new("a", "TIME", Quantity::Elapsed, Expect::AtMost, 10.0),
+            PerformanceAssertion::new("b", "TIME", Quantity::Elapsed, Expect::AtMost, 0.1),
+        ];
+        let outcomes = check_all(&assertions, &t).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].passed);
+        assert!(!outcomes[1].passed);
+    }
+
+    #[test]
+    fn missing_names_error() {
+        let t = trial();
+        let a = PerformanceAssertion::new(
+            "x",
+            "NOPE",
+            Quantity::Elapsed,
+            Expect::AtMost,
+            1.0,
+        );
+        assert!(a.check(&t).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Terminal chart rendering for analysis results.
+//!
+//! PerfExplorer presents its results as charts (the paper's figures are
+//! its output); this module provides the text-mode equivalents the
+//! figure-regeneration binaries and examples print: scaling-series
+//! tables, horizontal bar charts, and a speedup "plot" drawn in rows.
+
+use crate::scalability::ScalingSeries;
+
+/// Renders one horizontal bar of `width` columns for `value` against
+/// `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Renders a labelled bar chart: one row per `(label, value)`.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        out.push_str(&format!(
+            "{label:>label_w$} {value:>12.4} {}\n",
+            bar(*value, max, width)
+        ));
+    }
+    out
+}
+
+/// Renders a set of scaling series as a speedup table: one row per
+/// series, one column per processor count (the union of all series'
+/// counts).
+pub fn speedup_table(series: &[ScalingSeries]) -> String {
+    let mut procs: Vec<usize> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.procs))
+        .collect();
+    procs.sort_unstable();
+    procs.dedup();
+    let label_w = series
+        .iter()
+        .map(|s| s.subject.len())
+        .max()
+        .unwrap_or(0)
+        .max("series".len());
+    let mut out = format!("{:>label_w$}", "series");
+    for p in &procs {
+        out.push_str(&format!("{:>9}", format!("p={p}")));
+    }
+    out.push('\n');
+    for s in series {
+        out.push_str(&format!("{:>label_w$}", s.subject));
+        for p in &procs {
+            match s.points.iter().find(|pt| pt.procs == *p) {
+                Some(pt) => out.push_str(&format!("{:>9.2}", pt.speedup)),
+                None => out.push_str(&format!("{:>9}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one series' efficiency as a row of bars (one per point).
+pub fn efficiency_bars(series: &ScalingSeries, width: usize) -> String {
+    let mut out = String::new();
+    for p in &series.points {
+        out.push_str(&format!(
+            "p={:<5} eff {:>6.3} {}\n",
+            p.procs,
+            p.efficiency,
+            bar(p.efficiency, 1.0, width)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalability::ScalePoint;
+
+    fn series(subject: &str, points: &[(usize, f64, f64)]) -> ScalingSeries {
+        ScalingSeries {
+            subject: subject.to_string(),
+            points: points
+                .iter()
+                .map(|&(procs, speedup, efficiency)| ScalePoint {
+                    procs,
+                    value: 1.0 / speedup.max(1e-9),
+                    speedup,
+                    efficiency,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(100.0, 10.0, 10), "##########");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+        assert_eq!(bar(-1.0, 10.0, 10), "");
+    }
+
+    #[test]
+    fn bar_chart_aligns_labels() {
+        let rows = vec![
+            ("short".to_string(), 2.0),
+            ("a much longer label".to_string(), 4.0),
+        ];
+        let text = bar_chart(&rows, 8);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // The longest value fills the width; the half value fills half.
+        assert!(lines[1].ends_with("########"));
+        assert!(lines[0].ends_with("####"));
+    }
+
+    #[test]
+    fn speedup_table_unions_processor_counts() {
+        let a = series("mpi", &[(1, 1.0, 1.0), (4, 3.9, 0.975)]);
+        let b = series("openmp", &[(1, 1.0, 1.0), (8, 1.2, 0.15)]);
+        let text = speedup_table(&[a, b]);
+        assert!(text.contains("p=1"));
+        assert!(text.contains("p=4"));
+        assert!(text.contains("p=8"));
+        // Missing combinations render as "-".
+        let openmp_line = text.lines().find(|l| l.contains("openmp")).unwrap();
+        assert!(openmp_line.contains('-'));
+        let mpi_line = text.lines().find(|l| l.contains("mpi")).unwrap();
+        assert!(mpi_line.contains("3.90"));
+    }
+
+    #[test]
+    fn efficiency_bars_render_one_row_per_point() {
+        let s = series("main", &[(1, 1.0, 1.0), (16, 12.0, 0.75)]);
+        let text = efficiency_bars(&s, 20);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("eff  1.000 ####################"));
+        assert!(text.contains("eff  0.750 ###############"));
+    }
+
+    #[test]
+    fn empty_inputs_do_not_panic() {
+        assert_eq!(bar_chart(&[], 10), "");
+        let empty = ScalingSeries {
+            subject: "x".to_string(),
+            points: vec![],
+        };
+        assert_eq!(efficiency_bars(&empty, 10), "");
+        let table = speedup_table(&[]);
+        assert!(table.trim_end() == "series", "got {table:?}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Thread-behaviour clustering.
+//!
+//! PerfExplorer's original data-mining repertoire clusters threads by
+//! their per-event time vectors to reveal distinct behavioural classes
+//! (e.g. master vs workers, or node-0 threads vs remote threads). This
+//! module reimplements that operation: build one vector per thread over
+//! the significant events, k-means it with silhouette-guided `k`
+//! selection, and emit facts describing the groups.
+
+use crate::result::TrialResult;
+use crate::{AnalysisError, Result};
+use perfdmf::{Trial, MAIN_EVENT};
+use rules::Fact;
+use serde::{Deserialize, Serialize};
+use statistics::cluster::{kmeans, silhouette, KMeansConfig};
+
+/// One discovered thread group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadGroup {
+    /// Threads (flat indices) in the group.
+    pub threads: Vec<usize>,
+    /// Centroid over the event dimensions.
+    pub centroid: Vec<f64>,
+}
+
+/// Result of clustering a trial's threads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadClustering {
+    /// Events used as dimensions, in centroid order.
+    pub events: Vec<String>,
+    /// Chosen cluster count.
+    pub k: usize,
+    /// Mean silhouette of the chosen clustering (0 when `k == 1`).
+    pub silhouette: f64,
+    /// The groups, largest first.
+    pub groups: Vec<ThreadGroup>,
+}
+
+impl ThreadClustering {
+    /// Facts for rule-based interpretation: one `ThreadClusterFact` per
+    /// group with its size and dominant event, plus a summary fact.
+    pub fn facts(&self) -> Vec<Fact> {
+        let mut out = vec![Fact::new("ThreadClusterSummary")
+            .with("clusters", self.k)
+            .with("silhouette", self.silhouette)];
+        for (i, g) in self.groups.iter().enumerate() {
+            let dominant = g
+                .centroid
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(j, _)| self.events[j].clone())
+                .unwrap_or_default();
+            out.push(
+                Fact::new("ThreadClusterFact")
+                    .with("cluster", i)
+                    .with("size", g.threads.len())
+                    .with("dominantEvent", dominant),
+            );
+        }
+        out
+    }
+}
+
+/// Clusters a trial's threads by their per-event exclusive times of
+/// `metric`, trying `k = 2 ..= max_k` and keeping the best silhouette;
+/// falls back to a single group when nothing separates well
+/// (silhouette < 0.25) or there are too few threads.
+pub fn cluster_threads(trial: &Trial, metric: &str, max_k: usize) -> Result<ThreadClustering> {
+    let r = TrialResult::new(trial);
+    let threads = trial.profile.thread_count();
+    if threads == 0 {
+        return Err(AnalysisError::Invalid("trial has no threads".into()));
+    }
+    // Dimensions: every non-main event with any nonzero value.
+    let mut events = Vec::new();
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for e in trial.profile.events() {
+        if e.name == MAIN_EVENT {
+            continue;
+        }
+        let v = r.exclusive(&e.name, metric)?;
+        if v.iter().any(|&x| x != 0.0) {
+            events.push(e.name.clone());
+            columns.push(v);
+        }
+    }
+    if events.is_empty() {
+        return Err(AnalysisError::Invalid(
+            "no nonzero events to cluster on".into(),
+        ));
+    }
+    // Row per thread, normalised by the global maximum so distances are
+    // relative to the trial's dominant cost. Per-dimension normalisation
+    // would amplify negligible jitter on cheap events into spurious
+    // clusters (silhouette is scale-invariant, so "tiny but consistent"
+    // looks like structure).
+    let global_max = columns
+        .iter()
+        .flat_map(|c| c.iter().copied())
+        .fold(0.0, f64::max)
+        .max(1e-300);
+    let mut points = vec![vec![0.0; events.len()]; threads];
+    for (j, col) in columns.iter().enumerate() {
+        for (t, &v) in col.iter().enumerate() {
+            points[t][j] = v / global_max;
+        }
+    }
+
+    let single = |events: Vec<String>, points: &[Vec<f64>]| {
+        let dim = points[0].len();
+        let centroid = (0..dim)
+            .map(|j| points.iter().map(|p| p[j]).sum::<f64>() / points.len() as f64)
+            .collect();
+        ThreadClustering {
+            events,
+            k: 1,
+            silhouette: 0.0,
+            groups: vec![ThreadGroup {
+                threads: (0..points.len()).collect(),
+                centroid,
+            }],
+        }
+    };
+
+    if threads < 4 || max_k < 2 {
+        return Ok(single(events, &points));
+    }
+
+    // Absolute spread guard: if no pair of threads differs by a
+    // meaningful fraction of the dominant cost, there is one behaviour
+    // class regardless of what a scale-invariant silhouette would say.
+    let max_pair_dist = {
+        let mut best: f64 = 0.0;
+        for a in 0..threads {
+            for b in (a + 1)..threads {
+                let d: f64 = points[a]
+                    .iter()
+                    .zip(&points[b])
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                best = best.max(d);
+            }
+        }
+        best
+    };
+    if max_pair_dist < 0.05 {
+        return Ok(single(events, &points));
+    }
+
+    // (silhouette, k, assignments, centroids)
+    type Candidate = (f64, usize, Vec<usize>, Vec<Vec<f64>>);
+    let mut best: Option<Candidate> = None;
+    for k in 2..=max_k.min(threads - 1) {
+        let cfg = KMeansConfig {
+            k,
+            ..Default::default()
+        };
+        let Ok(res) = kmeans(&points, &cfg) else {
+            continue;
+        };
+        let Ok(s) = silhouette(&points, &res.assignments) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(bs, ..)| s > *bs) {
+            best = Some((s, k, res.assignments, res.centroids));
+        }
+    }
+
+    match best {
+        Some((s, k, assignments, centroids)) if s >= 0.25 => {
+            let mut groups: Vec<ThreadGroup> = (0..k)
+                .map(|c| ThreadGroup {
+                    threads: assignments
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &a)| a == c)
+                        .map(|(t, _)| t)
+                        .collect(),
+                    centroid: centroids[c].clone(),
+                })
+                .filter(|g| !g.threads.is_empty())
+                .collect();
+            groups.sort_by_key(|g| std::cmp::Reverse(g.threads.len()));
+            Ok(ThreadClustering {
+                events,
+                k: groups.len(),
+                silhouette: s,
+                groups,
+            })
+        }
+        _ => Ok(single(events, &points)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::genidlest::{self, CodeVersion, GenIdlestConfig, Paradigm, Problem};
+    use apps::msa::{self, MsaConfig};
+    use perfdmf::{Measurement, TrialBuilder};
+    use simulator::openmp::Schedule;
+
+    #[test]
+    fn separates_node0_threads_in_unoptimized_genidlest() {
+        // Threads on node 0 run local; everyone else pays remote
+        // latency — clustering must find exactly that split.
+        let mut c = GenIdlestConfig::new(
+            Problem::Rib90,
+            Paradigm::OpenMp,
+            CodeVersion::Unoptimized,
+            16,
+        );
+        c.timesteps = 2;
+        let trial = genidlest::run(&c);
+        let clustering = cluster_threads(&trial, "TIME", 4).unwrap();
+        assert!(clustering.k >= 2, "expected distinct behaviour classes");
+        assert!(clustering.silhouette > 0.5);
+        // Thread 0 — the master that runs the serialised exchange — is
+        // its own behaviour class.
+        assert!(
+            clustering.groups.iter().any(|g| g.threads == vec![0]),
+            "thread 0 not isolated: {:?}",
+            clustering.groups.iter().map(|g| &g.threads).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn msa_static_schedule_shows_structure_dynamic_does_not() {
+        // Static scheduling creates load classes (early threads carry
+        // heavy rows); dynamic,1 flattens them away.
+        // Plenty of iterations per thread, so dynamic,1 really smooths
+        // the distribution (64 iterations on 16 threads would leave
+        // residual chunk-granularity classes).
+        let run = |schedule| {
+            let mut config = MsaConfig::paper_400(8, schedule);
+            config.sequences = 128;
+            msa::run(&config)
+        };
+        let stat = cluster_threads(&run(Schedule::Static), "TIME", 4).unwrap();
+        let dynamic = cluster_threads(&run(Schedule::Dynamic(1)), "TIME", 4).unwrap();
+        assert!(stat.k >= 2, "static run should show behaviour classes");
+        // The dynamic run's only structure is the master thread's serial
+        // stages: thread 0 alone, every worker together.
+        assert!(dynamic.k <= 2, "dynamic,1 run split too finely");
+        if dynamic.k == 2 {
+            assert!(
+                dynamic.groups.iter().any(|g| g.threads == vec![0]),
+                "only the master may stand apart: {:?}",
+                dynamic.groups.iter().map(|g| &g.threads).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_trial_is_one_group() {
+        let mut b = TrialBuilder::with_flat_threads("sym", 8);
+        let time = b.metric("TIME");
+        let main = b.event("main");
+        let k = b.event("main => k");
+        for t in 0..8 {
+            b.set(main, time, t, Measurement { inclusive: 2.0, exclusive: 1.0, calls: 1.0, subcalls: 1.0 });
+            // Tiny jitter, far below any meaningful split.
+            b.set(k, time, t, Measurement::leaf(1.0 + 1e-6 * t as f64));
+        }
+        let clustering = cluster_threads(&b.build(), "TIME", 4).unwrap();
+        assert_eq!(clustering.k, 1, "symmetric threads must not split");
+        assert_eq!(clustering.groups[0].threads.len(), 8);
+    }
+
+    #[test]
+    fn facts_describe_groups() {
+        let mut c = GenIdlestConfig::new(
+            Problem::Rib90,
+            Paradigm::OpenMp,
+            CodeVersion::Unoptimized,
+            16,
+        );
+        c.timesteps = 1;
+        let trial = genidlest::run(&c);
+        let clustering = cluster_threads(&trial, "TIME", 4).unwrap();
+        let facts = clustering.facts();
+        assert_eq!(facts[0].fact_type, "ThreadClusterSummary");
+        assert_eq!(facts[0].get_num("clusters"), Some(clustering.k as f64));
+        assert_eq!(facts.len(), clustering.k + 1);
+        assert!(facts[1].get_str("dominantEvent").is_some());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // All-zero events: error.
+        let mut b = TrialBuilder::with_flat_threads("z", 4);
+        let time = b.metric("TIME");
+        let main = b.event("main");
+        let k = b.event("main => k");
+        for t in 0..4 {
+            b.set(main, time, t, Measurement::leaf(1.0));
+            b.set(k, time, t, Measurement::default());
+        }
+        assert!(cluster_threads(&b.build(), "TIME", 4).is_err());
+
+        // Too few threads: single group, no panic.
+        let mut b = TrialBuilder::with_flat_threads("s", 2);
+        let time = b.metric("TIME");
+        let main = b.event("main");
+        let k = b.event("main => k");
+        for t in 0..2 {
+            b.set(main, time, t, Measurement::leaf(1.0));
+            b.set(k, time, t, Measurement::leaf((t + 1) as f64));
+        }
+        let c = cluster_threads(&b.build(), "TIME", 4).unwrap();
+        assert_eq!(c.k, 1);
+    }
+
+    #[test]
+    fn missing_metric_is_error() {
+        let mut config = MsaConfig::paper_400(4, Schedule::Static);
+        config.sequences = 32;
+        let trial = msa::run(&config);
+        assert!(cluster_threads(&trial, "NOPE", 4).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Analysis-layer error type.
+
+use std::fmt;
+
+/// Errors from the analysis layer.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// A required metric is absent from the trial.
+    MissingMetric(String),
+    /// A required event is absent from the trial.
+    MissingEvent(String),
+    /// The underlying data store failed.
+    Dmf(perfdmf::DmfError),
+    /// The rule engine failed.
+    Rules(rules::RuleError),
+    /// A statistics routine failed.
+    Stats(statistics::StatError),
+    /// The analysis inputs are inconsistent (e.g. an empty trial series).
+    Invalid(String),
+    /// An embedded analysis script failed.
+    Script(script::ScriptError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::MissingMetric(m) => write!(f, "missing metric {m:?}"),
+            AnalysisError::MissingEvent(e) => write!(f, "missing event {e:?}"),
+            AnalysisError::Dmf(e) => write!(f, "data store: {e}"),
+            AnalysisError::Rules(e) => write!(f, "rules: {e}"),
+            AnalysisError::Stats(e) => write!(f, "statistics: {e}"),
+            AnalysisError::Invalid(msg) => write!(f, "invalid analysis input: {msg}"),
+            AnalysisError::Script(e) => write!(f, "script: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Dmf(e) => Some(e),
+            AnalysisError::Rules(e) => Some(e),
+            AnalysisError::Stats(e) => Some(e),
+            AnalysisError::Script(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<perfdmf::DmfError> for AnalysisError {
+    fn from(e: perfdmf::DmfError) -> Self {
+        AnalysisError::Dmf(e)
+    }
+}
+
+impl From<rules::RuleError> for AnalysisError {
+    fn from(e: rules::RuleError) -> Self {
+        AnalysisError::Rules(e)
+    }
+}
+
+impl From<statistics::StatError> for AnalysisError {
+    fn from(e: statistics::StatError) -> Self {
+        AnalysisError::Stats(e)
+    }
+}
+
+impl From<script::ScriptError> for AnalysisError {
+    fn from(e: script::ScriptError) -> Self {
+        AnalysisError::Script(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = AnalysisError::MissingMetric("CPU_CYCLES".into());
+        assert!(e.to_string().contains("CPU_CYCLES"));
+        let wrapped = AnalysisError::from(rules::RuleError::DuplicateRule("r".into()));
+        assert!(std::error::Error::source(&wrapped).is_some());
+        assert!(wrapped.to_string().contains("rules"));
+        let inv = AnalysisError::Invalid("empty series".into());
+        assert!(inv.to_string().contains("empty series"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Load-balance analysis (§III-A).
+//!
+//! "The load imbalance detection rule is activated when the following
+//! facts are true. First, two loops have a high standard deviation to
+//! mean ratio (> 0.25) … Second, the loops occupy more than 5% of the
+//! total runtime … Third, the events are nested … Fourth, on a
+//! per-thread basis, the times in the events are highly negatively
+//! correlated."
+//!
+//! [`analyze`] computes exactly those observations and asserts one
+//! `RegionBalance` fact per event plus one `NestedCorrelation` fact per
+//! nested pair, ready for the load-imbalance rulebase.
+
+use crate::result::TrialResult;
+use crate::Result;
+use perfdmf::{Trial, MAIN_EVENT};
+use rules::Fact;
+use serde::{Deserialize, Serialize};
+use statistics::{pearson, Summary};
+
+/// Per-event balance observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BalanceObservation {
+    /// Event name.
+    pub event: String,
+    /// stddev / mean of exclusive time across threads.
+    pub stddev_mean_ratio: f64,
+    /// Event's share of total runtime, `[0, 1]`.
+    pub runtime_fraction: f64,
+    /// Mean exclusive time.
+    pub mean: f64,
+}
+
+/// A nested event pair with its per-thread time correlation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NestedCorrelation {
+    /// Outer (ancestor) event.
+    pub outer: String,
+    /// Inner (descendant) event.
+    pub inner: String,
+    /// Pearson correlation of per-thread exclusive times.
+    pub correlation: f64,
+}
+
+/// The full analysis output.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadBalanceAnalysis {
+    /// Per-event observations.
+    pub observations: Vec<BalanceObservation>,
+    /// Nested pairs with correlations.
+    pub nested: Vec<NestedCorrelation>,
+}
+
+impl LoadBalanceAnalysis {
+    /// Converts the analysis into facts for the rule engine.
+    pub fn facts(&self) -> Vec<Fact> {
+        let mut out = Vec::new();
+        for o in &self.observations {
+            out.push(
+                Fact::new("RegionBalance")
+                    .with("eventName", o.event.as_str())
+                    .with("stddevMeanRatio", o.stddev_mean_ratio)
+                    .with("runtimeFraction", o.runtime_fraction)
+                    .with("mean", o.mean),
+            );
+        }
+        for n in &self.nested {
+            out.push(
+                Fact::new("NestedCorrelation")
+                    .with("outer", n.outer.as_str())
+                    .with("inner", n.inner.as_str())
+                    .with("correlation", n.correlation),
+            );
+        }
+        out
+    }
+}
+
+/// Runs the load-balance analysis on a trial over `metric` (usually
+/// `TIME`).
+pub fn analyze(trial: &Trial, metric: &str) -> Result<LoadBalanceAnalysis> {
+    let r = TrialResult::new(trial);
+    let total = r.elapsed(metric)?;
+    let events = r.event_names();
+
+    let mut observations = Vec::new();
+    for name in &events {
+        if name == MAIN_EVENT {
+            continue;
+        }
+        let values = r.exclusive(name, metric)?;
+        if values.iter().all(|&v| v == 0.0) {
+            continue;
+        }
+        let summary = Summary::of(&values)?;
+        let ratio = if summary.mean != 0.0 {
+            summary.stddev / summary.mean
+        } else {
+            0.0
+        };
+        observations.push(BalanceObservation {
+            event: name.clone(),
+            stddev_mean_ratio: ratio,
+            runtime_fraction: if total > 0.0 {
+                (summary.mean / total).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            mean: summary.mean,
+        });
+    }
+
+    // Nested pairs: outer is a callpath ancestor of inner.
+    let mut nested = Vec::new();
+    let profile = &trial.profile;
+    for outer in profile.events() {
+        for inner in profile.events() {
+            if !outer.is_ancestor_of(inner) || outer.name == MAIN_EVENT {
+                continue;
+            }
+            let vo = r.exclusive(&outer.name, metric)?;
+            let vi = r.exclusive(&inner.name, metric)?;
+            if let Ok(c) = pearson(&vo, &vi) {
+                nested.push(NestedCorrelation {
+                    outer: outer.name.clone(),
+                    inner: inner.name.clone(),
+                    correlation: c,
+                });
+            }
+        }
+    }
+
+    Ok(LoadBalanceAnalysis {
+        observations,
+        nested,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdmf::{Measurement, TrialBuilder};
+
+    /// An imbalanced nested-loop trial: threads with more inner work
+    /// wait less in the outer loop.
+    fn imbalanced_trial() -> Trial {
+        let mut b = TrialBuilder::with_flat_threads("t", 4);
+        let time = b.metric("TIME");
+        let main = b.event("main");
+        let outer = b.event("main => outer");
+        let inner = b.event("main => outer => inner");
+        let inner_times = [10.0, 20.0, 30.0, 60.0];
+        let total = 62.0;
+        for (t, &busy) in inner_times.iter().enumerate() {
+            let wait = total - busy;
+            b.set(main, time, t, Measurement { inclusive: total + 2.0, exclusive: 2.0, calls: 1.0, subcalls: 1.0 });
+            b.set(outer, time, t, Measurement { inclusive: total, exclusive: wait, calls: 1.0, subcalls: 1.0 });
+            b.set(inner, time, t, Measurement::leaf(busy));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn detects_high_ratio_and_negative_correlation() {
+        let analysis = analyze(&imbalanced_trial(), "TIME").unwrap();
+        let inner = analysis
+            .observations
+            .iter()
+            .find(|o| o.event == "main => outer => inner")
+            .unwrap();
+        assert!(inner.stddev_mean_ratio > 0.25, "ratio = {}", inner.stddev_mean_ratio);
+        assert!(inner.runtime_fraction > 0.05);
+
+        let pair = analysis
+            .nested
+            .iter()
+            .find(|n| n.outer == "main => outer" && n.inner == "main => outer => inner")
+            .unwrap();
+        assert!(pair.correlation < -0.99, "correlation = {}", pair.correlation);
+    }
+
+    #[test]
+    fn balanced_trial_has_low_ratios() {
+        let mut b = TrialBuilder::with_flat_threads("t", 4);
+        let time = b.metric("TIME");
+        let main = b.event("main");
+        let k = b.event("main => k");
+        for t in 0..4 {
+            b.set(main, time, t, Measurement { inclusive: 10.0, exclusive: 0.0, calls: 1.0, subcalls: 1.0 });
+            b.set(k, time, t, Measurement::leaf(10.0));
+        }
+        let analysis = analyze(&b.build(), "TIME").unwrap();
+        assert!(analysis.observations[0].stddev_mean_ratio < 1e-9);
+    }
+
+    #[test]
+    fn main_is_not_an_observation_and_nested_skips_main_as_outer() {
+        let analysis = analyze(&imbalanced_trial(), "TIME").unwrap();
+        assert!(analysis.observations.iter().all(|o| o.event != "main"));
+        assert!(analysis.nested.iter().all(|n| n.outer != "main"));
+        // outer=>inner pair exists exactly once.
+        assert_eq!(
+            analysis
+                .nested
+                .iter()
+                .filter(|n| n.inner == "main => outer => inner")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn facts_carry_all_fields() {
+        let analysis = analyze(&imbalanced_trial(), "TIME").unwrap();
+        let facts = analysis.facts();
+        let balance = facts
+            .iter()
+            .find(|f| {
+                f.fact_type == "RegionBalance"
+                    && f.get_str("eventName") == Some("main => outer => inner")
+            })
+            .unwrap();
+        assert!(balance.get_num("stddevMeanRatio").unwrap() > 0.25);
+        assert!(balance.get_num("runtimeFraction").unwrap() > 0.05);
+        let corr = facts
+            .iter()
+            .find(|f| f.fact_type == "NestedCorrelation")
+            .unwrap();
+        assert!(corr.get_num("correlation").unwrap() < 0.0);
+        assert_eq!(corr.get_str("outer"), Some("main => outer"));
+    }
+
+    #[test]
+    fn missing_metric_is_error() {
+        assert!(analyze(&imbalanced_trial(), "NOPE").is_err());
+    }
+
+    #[test]
+    fn zero_valued_events_are_skipped() {
+        let mut b = TrialBuilder::with_flat_threads("t", 2);
+        let time = b.metric("TIME");
+        let main = b.event("main");
+        let ghost = b.event("main => ghost");
+        for t in 0..2 {
+            b.set(main, time, t, Measurement { inclusive: 5.0, exclusive: 5.0, calls: 1.0, subcalls: 0.0 });
+            b.set(ghost, time, t, Measurement::default());
+        }
+        let analysis = analyze(&b.build(), "TIME").unwrap();
+        assert!(analysis.observations.iter().all(|o| o.event != "main => ghost"));
+    }
+}

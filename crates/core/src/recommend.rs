@@ -1,0 +1,148 @@
+//! Rendering diagnoses into user recommendations and compiler feedback.
+//!
+//! The integration diagram (paper Fig. 3) shows two consumers of
+//! analysis results: the *user* (performance suggestions) and, in the
+//! future, the *compiler* (cost-model feedback). This module serves
+//! both: [`render_report`] produces the human-readable summary, and
+//! [`compiler_feedback`] converts diagnoses into the structural form
+//! `openuh::feedback` ingests.
+
+use openuh::cost::CostModel;
+use openuh::feedback::{self, DiagnosisInput, FeedbackPlan};
+use rules::{Diagnosis, RunReport};
+
+/// Renders a rule-engine run into the user-facing report text.
+pub fn render_report(report: &RunReport) -> String {
+    let mut out = String::new();
+    if report.diagnoses.is_empty() {
+        out.push_str("No performance problems diagnosed.\n");
+    } else {
+        out.push_str(&format!(
+            "{} diagnosis(es) from {} rule firing(s):\n",
+            report.diagnoses.len(),
+            report.firings.len()
+        ));
+        for (i, d) in report.diagnoses.iter().enumerate() {
+            out.push_str(&format!("\n[{}] {} ({})\n", i + 1, d.message, d.category));
+            if let Some(s) = d.severity {
+                out.push_str(&format!("    severity: {:.2}\n", s));
+            }
+            if let Some(r) = &d.recommendation {
+                out.push_str(&format!("    recommendation: {r}\n"));
+            }
+            out.push_str(&format!("    rule: {}\n", d.rule));
+        }
+    }
+    if !report.printed.is_empty() {
+        out.push_str("\n--- rule output ---\n");
+        for line in &report.printed {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Extracts the event name a diagnosis refers to from its bindings (the
+/// rulebases bind the event to `e`, the inner loop to `i`, the trial to
+/// `t`).
+fn event_of(diagnosis: &Diagnosis) -> String {
+    diagnosis
+        .bindings
+        .get("e")
+        .or_else(|| diagnosis.bindings.get("i"))
+        .or_else(|| diagnosis.bindings.get("t"))
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| "(unknown)".to_string())
+}
+
+/// Converts a run's diagnoses into compiler feedback, updating the cost
+/// model weights in place and returning the plan.
+pub fn compiler_feedback(report: &RunReport, model: &mut CostModel) -> FeedbackPlan {
+    let inputs: Vec<DiagnosisInput> = report
+        .diagnoses
+        .iter()
+        .map(|d| DiagnosisInput {
+            category: d.category.clone(),
+            event: event_of(d),
+            severity: d.severity.unwrap_or(0.25),
+            recommendation: d.recommendation.clone(),
+        })
+        .collect();
+    feedback::ingest(model, &inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::{Diagnosis, FiringRecord, Value};
+    use std::collections::BTreeMap;
+
+    fn report_with(diagnoses: Vec<Diagnosis>) -> RunReport {
+        RunReport {
+            printed: vec!["rule said something".to_string()],
+            firings: diagnoses
+                .iter()
+                .map(|d| FiringRecord {
+                    rule: d.rule.clone(),
+                    matched: vec![],
+                    bindings: {
+                        let mut b = BTreeMap::new();
+                        b.insert("e".to_string(), Value::from("matxvec"));
+                        b
+                    },
+                })
+                .collect(),
+            diagnoses,
+            cycles: 1,
+        }
+    }
+
+    fn diagnosis(category: &str) -> Diagnosis {
+        let mut bindings = BTreeMap::new();
+        bindings.insert("e".to_string(), Value::from("matxvec"));
+        Diagnosis {
+            category: category.to_string(),
+            message: format!("{category} problem found"),
+            severity: Some(0.4),
+            recommendation: Some("do something".to_string()),
+            rule: "some rule".to_string(),
+            bindings,
+        }
+    }
+
+    #[test]
+    fn render_includes_all_sections() {
+        let text = render_report(&report_with(vec![diagnosis("memory-locality")]));
+        assert!(text.contains("1 diagnosis"));
+        assert!(text.contains("memory-locality"));
+        assert!(text.contains("severity: 0.40"));
+        assert!(text.contains("recommendation: do something"));
+        assert!(text.contains("--- rule output ---"));
+        assert!(text.contains("rule said something"));
+    }
+
+    #[test]
+    fn render_empty_report() {
+        let text = render_report(&RunReport::default());
+        assert!(text.contains("No performance problems diagnosed"));
+    }
+
+    #[test]
+    fn feedback_adjusts_cost_model() {
+        let mut model = CostModel::default();
+        let plan = compiler_feedback(&report_with(vec![diagnosis("memory-locality")]), &mut model);
+        assert!(model.cache_weight > 1.0);
+        assert_eq!(plan.suggestions.len(), 1);
+        assert_eq!(plan.suggestions[0].region, "matxvec");
+    }
+
+    #[test]
+    fn feedback_reads_event_binding_from_firing() {
+        let report = report_with(vec![diagnosis("stalls")]);
+        let mut model = CostModel::default();
+        let plan = compiler_feedback(&report, &mut model);
+        assert_eq!(plan.suggestions[0].region, "matxvec");
+        assert!(model.processor_weight > 1.0);
+    }
+}

@@ -1,0 +1,714 @@
+//! The analysis API exposed to the embedded scripting language.
+//!
+//! The paper's Figure 1 drives PerfExplorer from a Jython script:
+//! load rules, load a trial, derive a metric, compare events to main,
+//! process the rules. [`PerfExplorerScript`] provides the same workflow
+//! over the [`script`] interpreter:
+//!
+//! ```
+//! use perfdmf::Repository;
+//! use perfexplorer::scripting::PerfExplorerScript;
+//! # use apps::msa::{self, MsaConfig};
+//! # use simulator::openmp::Schedule;
+//! # let mut repo = Repository::new();
+//! # let mut config = MsaConfig::paper_400(4, Schedule::Static);
+//! # config.sequences = 48;
+//! # repo.add_trial("msap", "scheduling", msa::run(&config)).unwrap();
+//! let mut session = PerfExplorerScript::new(repo);
+//! let out = session
+//!     .run(r#"
+//!         load_rules("load_balance");
+//!         let trial = load_trial("msap", "scheduling", "4_static");
+//!         assert_balance_facts(trial, "TIME");
+//!         let report = process_rules();
+//!         report["diagnoses"]
+//!     "#)
+//!     .unwrap();
+//! # let _ = out;
+//! ```
+
+use crate::derive::{derive_metric, DeriveOp};
+use crate::facts::MeanEventFact;
+use crate::metrics::{
+    derive_inefficiency, memory_analysis, memory_facts, stall_decomposition, stall_facts,
+};
+use crate::result::TrialResult;
+use crate::rulebase;
+use crate::{loadbalance, Result};
+use perfdmf::{Repository, Trial};
+use rules::{Engine, Fact, RunReport};
+use script::{Interpreter, Value};
+use simulator::machine::MachineConfig;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Shared session state behind the host functions.
+struct SessionState {
+    repo: Repository,
+    /// Loaded trials; handles index into this list. Trials are private
+    /// copies so scripted derivations do not mutate the repository.
+    trials: Vec<Trial>,
+    engine: Engine,
+    machine: MachineConfig,
+    last_report: Option<RunReport>,
+}
+
+/// A scripting session bound to a repository.
+pub struct PerfExplorerScript {
+    interp: Interpreter,
+    state: Rc<RefCell<SessionState>>,
+}
+
+fn host_err(msg: impl Into<String>) -> String {
+    msg.into()
+}
+
+fn trial_handle(id: usize) -> Value {
+    Value::Handle {
+        tag: "trial".to_string(),
+        id: id as u64,
+    }
+}
+
+fn expect_trial(args: &[Value], i: usize) -> std::result::Result<usize, String> {
+    match args.get(i).and_then(Value::as_handle) {
+        Some(("trial", id)) => Ok(id as usize),
+        _ => Err(host_err(format!("argument {i} must be a trial handle"))),
+    }
+}
+
+fn expect_str(args: &[Value], i: usize) -> std::result::Result<String, String> {
+    args.get(i)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| host_err(format!("argument {i} must be a string")))
+}
+
+impl PerfExplorerScript {
+    /// Creates a session over a repository, on the Altix 300 machine
+    /// model.
+    pub fn new(repo: Repository) -> Self {
+        Self::with_machine(repo, MachineConfig::altix300())
+    }
+
+    /// Creates a session with an explicit machine model.
+    pub fn with_machine(repo: Repository, machine: MachineConfig) -> Self {
+        let state = Rc::new(RefCell::new(SessionState {
+            repo,
+            trials: Vec::new(),
+            engine: Engine::new(),
+            machine,
+            last_report: None,
+        }));
+        let mut interp = Interpreter::new();
+        Self::register_all(&mut interp, &state);
+        PerfExplorerScript { interp, state }
+    }
+
+    /// Runs a script, returning its final value.
+    pub fn run(&mut self, source: &str) -> Result<Value> {
+        Ok(self.interp.run(source)?)
+    }
+
+    /// Takes the script's printed output.
+    pub fn output(&mut self) -> Vec<String> {
+        self.interp.take_output()
+    }
+
+    /// The report of the most recent `process_rules()` call.
+    pub fn last_report(&self) -> Option<RunReport> {
+        self.state.borrow().last_report.clone()
+    }
+
+    fn register_all(interp: &mut Interpreter, state: &Rc<RefCell<SessionState>>) {
+        // --- data access ---
+        let s = state.clone();
+        interp.register("load_trial", move |args| {
+            let app = expect_str(&args, 0)?;
+            let exp = expect_str(&args, 1)?;
+            let trial = expect_str(&args, 2)?;
+            let mut st = s.borrow_mut();
+            let t = st
+                .repo
+                .trial(&app, &exp, &trial)
+                .map_err(|e| host_err(e.to_string()))?
+                .clone();
+            st.trials.push(t);
+            Ok(trial_handle(st.trials.len() - 1))
+        });
+
+        let s = state.clone();
+        interp.register("trial_events", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let st = s.borrow();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            Ok(Value::List(
+                trial
+                    .profile
+                    .events()
+                    .iter()
+                    .map(|e| Value::Str(e.name.clone()))
+                    .collect(),
+            ))
+        });
+
+        let s = state.clone();
+        interp.register("trial_metrics", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let st = s.borrow();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            Ok(Value::List(
+                trial
+                    .profile
+                    .metrics()
+                    .iter()
+                    .map(|m| Value::Str(m.name.clone()))
+                    .collect(),
+            ))
+        });
+
+        let s = state.clone();
+        interp.register("mean_exclusive", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let event = expect_str(&args, 1)?;
+            let metric = expect_str(&args, 2)?;
+            let st = s.borrow();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            let r = TrialResult::new(trial);
+            let values = r
+                .exclusive(&event, &metric)
+                .map_err(|e| host_err(e.to_string()))?;
+            Ok(Value::Num(
+                values.iter().sum::<f64>() / values.len().max(1) as f64,
+            ))
+        });
+
+        let s = state.clone();
+        interp.register("mean_inclusive", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let event = expect_str(&args, 1)?;
+            let metric = expect_str(&args, 2)?;
+            let st = s.borrow();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            let r = TrialResult::new(trial);
+            let values = r
+                .inclusive(&event, &metric)
+                .map_err(|e| host_err(e.to_string()))?;
+            Ok(Value::Num(
+                values.iter().sum::<f64>() / values.len().max(1) as f64,
+            ))
+        });
+
+        let s = state.clone();
+        interp.register("elapsed", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let metric = expect_str(&args, 1)?;
+            let st = s.borrow();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            TrialResult::new(trial)
+                .elapsed(&metric)
+                .map(Value::Num)
+                .map_err(|e| host_err(e.to_string()))
+        });
+
+        // --- derived metrics ---
+        let s = state.clone();
+        interp.register("derive_metric", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let lhs = expect_str(&args, 1)?;
+            let op = match expect_str(&args, 2)?.as_str() {
+                "add" => DeriveOp::Add,
+                "subtract" => DeriveOp::Subtract,
+                "multiply" => DeriveOp::Multiply,
+                "divide" => DeriveOp::Divide,
+                other => return Err(host_err(format!("unknown operation {other:?}"))),
+            };
+            let rhs = expect_str(&args, 3)?;
+            let mut st = s.borrow_mut();
+            let trial = st
+                .trials
+                .get_mut(id)
+                .ok_or_else(|| host_err("stale handle"))?;
+            derive_metric(trial, &lhs, op, &rhs)
+                .map(Value::Str)
+                .map_err(|e| host_err(e.to_string()))
+        });
+
+        let s = state.clone();
+        interp.register("derive_inefficiency", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let mut st = s.borrow_mut();
+            let trial = st
+                .trials
+                .get_mut(id)
+                .ok_or_else(|| host_err("stale handle"))?;
+            derive_inefficiency(trial)
+                .map(Value::Str)
+                .map_err(|e| host_err(e.to_string()))
+        });
+
+        // --- facts ---
+        let s = state.clone();
+        interp.register("compare_event_to_main", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let metric = expect_str(&args, 1)?;
+            let severity = expect_str(&args, 2)?;
+            let event = expect_str(&args, 3)?;
+            let mut st = s.borrow_mut();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            let fact =
+                MeanEventFact::compare_event_to_main(trial, &metric, &severity, &event)
+                    .map_err(|e| host_err(e.to_string()))?;
+            st.engine.assert_fact(fact);
+            Ok(Value::Null)
+        });
+
+        let s = state.clone();
+        interp.register("compare_all_events", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let metric = expect_str(&args, 1)?;
+            let severity = expect_str(&args, 2)?;
+            let mut st = s.borrow_mut();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            let facts = MeanEventFact::compare_all_events(trial, &metric, &severity)
+                .map_err(|e| host_err(e.to_string()))?;
+            let n = facts.len();
+            for f in facts {
+                st.engine.assert_fact(f);
+            }
+            Ok(Value::Num(n as f64))
+        });
+
+        let s = state.clone();
+        interp.register("assert_balance_facts", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let metric = expect_str(&args, 1)?;
+            let mut st = s.borrow_mut();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            let analysis =
+                loadbalance::analyze(trial, &metric).map_err(|e| host_err(e.to_string()))?;
+            let facts = analysis.facts();
+            let n = facts.len();
+            for f in facts {
+                st.engine.assert_fact(f);
+            }
+            Ok(Value::Num(n as f64))
+        });
+
+        let s = state.clone();
+        interp.register("assert_stall_facts", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let mut st = s.borrow_mut();
+            let machine = st.machine.clone();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            let facts = stall_facts(
+                &stall_decomposition(trial, &machine).map_err(|e| host_err(e.to_string()))?,
+            );
+            let n = facts.len();
+            for f in facts {
+                st.engine.assert_fact(f);
+            }
+            Ok(Value::Num(n as f64))
+        });
+
+        let s = state.clone();
+        interp.register("assert_memory_facts", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let mut st = s.borrow_mut();
+            let machine = st.machine.clone();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            let facts = memory_facts(
+                &memory_analysis(trial, &machine).map_err(|e| host_err(e.to_string()))?,
+            );
+            let n = facts.len();
+            for f in facts {
+                st.engine.assert_fact(f);
+            }
+            Ok(Value::Num(n as f64))
+        });
+
+        let s = state.clone();
+        interp.register("assert_fact", move |args| {
+            // assert_fact(type, { field: value, ... })
+            let fact_type = expect_str(&args, 0)?;
+            let map = args
+                .get(1)
+                .and_then(Value::as_map)
+                .ok_or_else(|| host_err("argument 1 must be a map"))?;
+            let mut fact = Fact::new(fact_type);
+            for (k, v) in map {
+                match v {
+                    Value::Num(n) => fact.set(k, *n),
+                    Value::Str(sv) => fact.set(k, sv.as_str()),
+                    Value::Bool(b) => fact.set(k, *b),
+                    other => {
+                        return Err(host_err(format!(
+                            "field {k:?} has unsupported type {}",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            s.borrow_mut().engine.assert_fact(fact);
+            Ok(Value::Null)
+        });
+
+        let s = state.clone();
+        interp.register("assert_context_fact", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let mut st = s.borrow_mut();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            let fact = crate::facts::context_fact(trial);
+            st.engine.assert_fact(fact);
+            Ok(Value::Null)
+        });
+
+        let s = state.clone();
+        interp.register("assert_scaling_facts", move |args| {
+            // assert_scaling_facts([[procs, trial], ...], metric)
+            let series_arg = args
+                .first()
+                .and_then(Value::as_list)
+                .ok_or_else(|| host_err("argument 0 must be a list of [procs, trial] pairs"))?;
+            let metric = expect_str(&args, 1)?;
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            for item in series_arg {
+                let pair = item
+                    .as_list()
+                    .ok_or_else(|| host_err("each series item must be [procs, trial]"))?;
+                let procs = pair
+                    .first()
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| host_err("procs must be a number"))?
+                    as usize;
+                let handle = match pair.get(1).and_then(Value::as_handle) {
+                    Some(("trial", id)) => id as usize,
+                    _ => return Err(host_err("second element must be a trial handle")),
+                };
+                pairs.push((procs, handle));
+            }
+            let mut st = s.borrow_mut();
+            let trials: Vec<(usize, Trial)> = pairs
+                .iter()
+                .map(|(p, h)| {
+                    st.trials
+                        .get(*h)
+                        .cloned()
+                        .map(|t| (*p, t))
+                        .ok_or_else(|| host_err("stale handle"))
+                })
+                .collect::<std::result::Result<_, String>>()?;
+            let refs: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+            let (_, target) = refs
+                .last()
+                .ok_or_else(|| host_err("series must not be empty"))?;
+            let mut count = 0.0;
+            let mut series = Vec::new();
+            for event in target.profile.events() {
+                if let Ok(s) =
+                    crate::scalability::per_event_total(&refs, &metric, &event.name)
+                {
+                    series.push(s);
+                }
+            }
+            for fact in crate::scalability::scaling_facts(&series) {
+                st.engine.assert_fact(fact);
+                count += 1.0;
+            }
+            Ok(Value::Num(count))
+        });
+
+        let s = state.clone();
+        interp.register("cluster_threads", move |args| {
+            let id = expect_trial(&args, 0)?;
+            let metric = expect_str(&args, 1)?;
+            let mut st = s.borrow_mut();
+            let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
+            let clustering = crate::cluster::cluster_threads(trial, &metric, 4)
+                .map_err(|e| host_err(e.to_string()))?;
+            let mut out = BTreeMap::new();
+            out.insert("clusters".to_string(), Value::Num(clustering.k as f64));
+            out.insert(
+                "silhouette".to_string(),
+                Value::Num(clustering.silhouette),
+            );
+            out.insert(
+                "groups".to_string(),
+                Value::List(
+                    clustering
+                        .groups
+                        .iter()
+                        .map(|g| {
+                            Value::List(
+                                g.threads.iter().map(|&t| Value::Num(t as f64)).collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            );
+            let facts = clustering.facts();
+            for f in facts {
+                st.engine.assert_fact(f);
+            }
+            Ok(Value::Map(out))
+        });
+
+        let s = state.clone();
+        interp.register("compare_trials", move |args| {
+            let base = expect_trial(&args, 0)?;
+            let cand = expect_trial(&args, 1)?;
+            let metric = expect_str(&args, 2)?;
+            let mut st = s.borrow_mut();
+            let baseline = st
+                .trials
+                .get(base)
+                .ok_or_else(|| host_err("stale handle"))?
+                .clone();
+            let candidate = st
+                .trials
+                .get(cand)
+                .ok_or_else(|| host_err("stale handle"))?
+                .clone();
+            let cmp = crate::compare::compare(&baseline, &candidate, &metric)
+                .map_err(|e| host_err(e.to_string()))?;
+            let mut out = BTreeMap::new();
+            out.insert("totalRatio".to_string(), Value::Num(cmp.total_ratio));
+            out.insert(
+                "regressions".to_string(),
+                Value::List(
+                    cmp.regressions(1.25)
+                        .iter()
+                        .map(|d| Value::Str(d.event.clone()))
+                        .collect(),
+                ),
+            );
+            out.insert(
+                "improvements".to_string(),
+                Value::List(
+                    cmp.improvements(1.25)
+                        .iter()
+                        .map(|d| Value::Str(d.event.clone()))
+                        .collect(),
+                ),
+            );
+            for f in cmp.facts() {
+                st.engine.assert_fact(f);
+            }
+            Ok(Value::Map(out))
+        });
+
+        // --- rules ---
+        let s = state.clone();
+        interp.register("load_rules", move |args| {
+            let which = expect_str(&args, 0)?;
+            let source = match which.as_str() {
+                "load_balance" => rulebase::LOAD_BALANCE_RULES,
+                "stalls" => rulebase::STALL_RULES,
+                "locality" => rulebase::LOCALITY_RULES,
+                "power" => rulebase::POWER_RULES,
+                other => return Err(host_err(format!("unknown rulebase {other:?}"))),
+            };
+            let parsed = rules::drl::parse(source).map_err(|e| host_err(e.to_string()))?;
+            let n = parsed.len();
+            s.borrow_mut()
+                .engine
+                .add_rules(parsed)
+                .map_err(|e| host_err(e.to_string()))?;
+            Ok(Value::Num(n as f64))
+        });
+
+        let s = state.clone();
+        interp.register("load_rules_source", move |args| {
+            let source = expect_str(&args, 0)?;
+            let parsed = rules::drl::parse(&source).map_err(|e| host_err(e.to_string()))?;
+            let n = parsed.len();
+            s.borrow_mut()
+                .engine
+                .add_rules(parsed)
+                .map_err(|e| host_err(e.to_string()))?;
+            Ok(Value::Num(n as f64))
+        });
+
+        let s = state.clone();
+        interp.register("process_rules", move |_args| {
+            let mut st = s.borrow_mut();
+            let report = st.engine.run().map_err(|e| host_err(e.to_string()))?;
+            let mut out = BTreeMap::new();
+            out.insert(
+                "diagnoses".to_string(),
+                Value::Num(report.diagnoses.len() as f64),
+            );
+            out.insert(
+                "firings".to_string(),
+                Value::Num(report.firings.len() as f64),
+            );
+            out.insert(
+                "printed".to_string(),
+                Value::List(
+                    report
+                        .printed
+                        .iter()
+                        .map(|l| Value::Str(l.clone()))
+                        .collect(),
+                ),
+            );
+            out.insert(
+                "recommendations".to_string(),
+                Value::List(
+                    report
+                        .diagnoses
+                        .iter()
+                        .filter_map(|d| d.recommendation.clone())
+                        .map(Value::Str)
+                        .collect(),
+                ),
+            );
+            st.last_report = Some(report);
+            Ok(Value::Map(out))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::msa::{self, MsaConfig};
+    use simulator::openmp::Schedule;
+
+    fn repo_with_msa() -> Repository {
+        let mut repo = Repository::new();
+        for schedule in [Schedule::Static, Schedule::Dynamic(1)] {
+            let mut config = MsaConfig::paper_400(8, schedule);
+            config.sequences = 96;
+            repo.add_trial("msap", "scheduling", msa::run(&config))
+                .unwrap();
+        }
+        repo
+    }
+
+    #[test]
+    fn figure_one_style_script_end_to_end() {
+        let mut session = PerfExplorerScript::new(repo_with_msa());
+        let out = session
+            .run(
+                r#"
+                load_rules("load_balance");
+                let trial = load_trial("msap", "scheduling", "8_static");
+                let n = assert_balance_facts(trial, "TIME");
+                print("asserted " + n + " facts");
+                let report = process_rules();
+                report["diagnoses"]
+                "#,
+            )
+            .unwrap();
+        let diagnoses = out.as_num().unwrap();
+        assert!(diagnoses >= 1.0, "expected imbalance diagnoses");
+        let report = session.last_report().unwrap();
+        assert!(report.fired("Load imbalance in nested loops"));
+        assert!(session.output()[0].starts_with("asserted "));
+    }
+
+    #[test]
+    fn derive_and_inspect_from_script() {
+        let mut session = PerfExplorerScript::new(repo_with_msa());
+        let out = session
+            .run(
+                r#"
+                let t = load_trial("msap", "scheduling", "8_dynamic,1");
+                let name = derive_metric(t, "BACK_END_BUBBLE_ALL", "divide", "CPU_CYCLES");
+                let metrics = trial_metrics(t);
+                has(metrics, name)
+                "#,
+            )
+            .unwrap();
+        assert_eq!(out, Value::Bool(true));
+    }
+
+    #[test]
+    fn scripted_custom_rule_and_fact() {
+        let mut session = PerfExplorerScript::new(Repository::new());
+        let out = session
+            .run(
+                r#"
+                load_rules_source("rule \"t\" when F( x > 1, v : x ) then print(\"got \" + v); end");
+                assert_fact("F", { x: 2 });
+                assert_fact("F", { x: 0 });
+                let r = process_rules();
+                r["printed"]
+                "#,
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            Value::List(vec![Value::Str("got 2".to_string())])
+        );
+    }
+
+    #[test]
+    fn cluster_and_compare_from_script() {
+        let mut repo = repo_with_msa();
+        // Also add an unoptimized GenIDLEST pair for comparison.
+        use apps::genidlest::{self, CodeVersion, GenIdlestConfig, Paradigm, Problem};
+        for version in [CodeVersion::Unoptimized, CodeVersion::Optimized] {
+            let mut c = GenIdlestConfig::new(Problem::Rib90, Paradigm::OpenMp, version, 8);
+            c.timesteps = 1;
+            repo.add_trial("Fluid Dynamic", "rib 90", genidlest::run(&c))
+                .unwrap();
+        }
+        let mut session = PerfExplorerScript::new(repo);
+        let out = session
+            .run(
+                r#"
+                let unopt = load_trial("Fluid Dynamic", "rib 90", "openmp_unoptimized_8");
+                let opt = load_trial("Fluid Dynamic", "rib 90", "openmp_optimized_8");
+                let clustering = cluster_threads(unopt, "TIME");
+                let cmp = compare_trials(unopt, opt, "TIME");
+                [clustering["clusters"] >= 2, cmp["totalRatio"] < 0.5,
+                 len(cmp["improvements"]) > 0]
+                "#,
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            Value::List(vec![Value::Bool(true), Value::Bool(true), Value::Bool(true)])
+        );
+    }
+
+    #[test]
+    fn errors_surface_with_context() {
+        let mut session = PerfExplorerScript::new(Repository::new());
+        let err = session
+            .run("load_trial(\"a\", \"b\", \"c\")")
+            .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("load_trial"), "{text}");
+        assert!(text.contains("not found"), "{text}");
+
+        let err2 = session.run("load_rules(\"nope\")").unwrap_err();
+        assert!(err2.to_string().contains("unknown rulebase"));
+
+        let err3 = session.run("elapsed(5, \"TIME\")").unwrap_err();
+        assert!(err3.to_string().contains("trial handle"));
+    }
+
+    #[test]
+    fn trial_accessors_from_script() {
+        let mut session = PerfExplorerScript::new(repo_with_msa());
+        let out = session
+            .run(
+                r#"
+                let t = load_trial("msap", "scheduling", "8_static");
+                let events = trial_events(t);
+                let e = elapsed(t, "TIME");
+                let m = mean_exclusive(t, "main => distance_matrix => sw_align", "TIME");
+                [len(events) >= 5, e > 0, m > 0]
+                "#,
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            Value::List(vec![Value::Bool(true), Value::Bool(true), Value::Bool(true)])
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! The paper's three case studies as canned, reusable workflows.
+//!
+//! Each workflow is the Rust equivalent of one of the paper's analysis
+//! scripts: load a trial (or series), derive metrics, build facts, run
+//! the relevant rulebase, and return the diagnoses plus the compiler
+//! feedback they imply.
+
+use crate::metrics::{
+    derive_inefficiency, memory_analysis, memory_facts, stall_decomposition, stall_facts,
+};
+use crate::powerenergy::{power_facts, relative_table, trial_power, RelativeRow, TrialPower};
+use crate::recommend::{compiler_feedback, render_report};
+use crate::rulebase::{
+    engine_with, engine_with_all, LOAD_BALANCE_RULES, LOCALITY_RULES, POWER_RULES, STALL_RULES,
+};
+use crate::scalability::{per_event_total, scaling_facts, ScalingSeries};
+use crate::{facts::MeanEventFact, loadbalance, Result};
+use openuh::cost::CostModel;
+use openuh::feedback::FeedbackPlan;
+use perfdmf::Trial;
+use simulator::machine::MachineConfig;
+
+/// Outcome of one case-study workflow.
+#[derive(Debug)]
+pub struct CaseStudyReport {
+    /// The rule engine's run report (firings, prints, diagnoses).
+    pub report: rules::RunReport,
+    /// Human-readable rendering.
+    pub rendered: String,
+    /// Compiler feedback derived from the diagnoses.
+    pub feedback: FeedbackPlan,
+    /// The cost model after feedback weighting.
+    pub cost_model: CostModel,
+}
+
+fn finish(report: rules::RunReport) -> CaseStudyReport {
+    let mut cost_model = CostModel::default();
+    let feedback = compiler_feedback(&report, &mut cost_model);
+    CaseStudyReport {
+        rendered: render_report(&report),
+        feedback,
+        cost_model,
+        report,
+    }
+}
+
+/// §III-A: the load-balance workflow over one trial.
+///
+/// Computes per-event balance facts and nested correlations over
+/// `metric` (usually `TIME`) and runs the load-balance rulebase.
+pub fn analyze_load_balance(trial: &Trial, metric: &str) -> Result<CaseStudyReport> {
+    let analysis = loadbalance::analyze(trial, metric)?;
+    let mut engine = engine_with(LOAD_BALANCE_RULES)?;
+    for fact in analysis.facts() {
+        engine.assert_fact(fact);
+    }
+    let report = engine.run()?;
+    Ok(finish(report))
+}
+
+/// §III-B: the locality workflow over a scaling series.
+///
+/// The last (largest) trial is analysed in depth — inefficiency metric,
+/// compare-to-main facts, stall decomposition, memory analysis — and
+/// per-event scaling facts are derived from the whole series, then the
+/// stall + locality rulebases run together.
+pub fn analyze_locality(
+    series: &[(usize, &Trial)],
+    machine: &MachineConfig,
+) -> Result<CaseStudyReport> {
+    let (_, target) = series
+        .last()
+        .ok_or_else(|| crate::AnalysisError::Invalid("empty trial series".into()))?;
+    // Derived metrics happen on a private copy, as a script would write
+    // its derivations back to its own analysis result.
+    let mut trial = (*target).clone();
+    derive_inefficiency(&mut trial)?;
+
+    let mut engine = engine_with_all(&[STALL_RULES, LOCALITY_RULES, LOAD_BALANCE_RULES])?;
+
+    // Performance context: rules join on metadata to justify conclusions.
+    engine.assert_fact(crate::facts::context_fact(&trial));
+
+    // Pass 1 facts: stall/cycle rate of every event vs main.
+    for fact in MeanEventFact::compare_all_events(
+        &trial,
+        "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
+        "TIME",
+    )? {
+        engine.assert_fact(fact);
+    }
+    // Pass 2 facts: stall decomposition.
+    for fact in stall_facts(&stall_decomposition(&trial, machine)?) {
+        engine.assert_fact(fact);
+    }
+    // Pass 3 facts: memory behaviour and scaling.
+    for fact in memory_facts(&memory_analysis(&trial, machine)?) {
+        engine.assert_fact(fact);
+    }
+    let mut scaling: Vec<ScalingSeries> = Vec::new();
+    for event in trial.profile.events() {
+        if let Ok(s) = per_event_total(series, "TIME", &event.name) {
+            scaling.push(s);
+        }
+    }
+    for fact in scaling_facts(&scaling) {
+        engine.assert_fact(fact);
+    }
+    // Balance facts supply the runtime-fraction condition.
+    for fact in loadbalance::analyze(&trial, "TIME")?.facts() {
+        engine.assert_fact(fact);
+    }
+
+    let report = engine.run()?;
+    Ok(finish(report))
+}
+
+/// §III-C: the power workflow over an optimisation-level series (first
+/// trial is the baseline).
+///
+/// Returns the Table-I-style relative rows alongside the diagnoses.
+pub fn analyze_power(
+    trials: &[&Trial],
+    machine: &MachineConfig,
+) -> Result<(Vec<RelativeRow>, CaseStudyReport)> {
+    let readings: Vec<TrialPower> = trials
+        .iter()
+        .map(|t| trial_power(t, machine))
+        .collect::<Result<_>>()?;
+    let table = relative_table(&readings)?;
+    let mut engine = engine_with(POWER_RULES)?;
+    for fact in power_facts(&table) {
+        engine.assert_fact(fact);
+    }
+    let report = engine.run()?;
+    Ok((table, finish(report)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::genidlest::{self, CodeVersion, GenIdlestConfig, Paradigm, Problem};
+    use apps::msa::{self, MsaConfig};
+    use apps::power_study::{self, PowerStudyConfig};
+    use simulator::openmp::Schedule;
+
+    #[test]
+    fn msa_static_schedule_triggers_load_imbalance_diagnosis() {
+        let mut config = MsaConfig::paper_400(8, Schedule::Static);
+        config.sequences = 96; // keep the test fast
+        let trial = msa::run(&config);
+        let result = analyze_load_balance(&trial, "TIME").unwrap();
+        let diags = result.report.diagnoses_in("load-imbalance");
+        assert!(!diags.is_empty(), "report: {}", result.rendered);
+        assert!(result
+            .report
+            .fired("Load imbalance in nested loops"));
+        // The recommendation names the fix the paper applied.
+        assert!(diags
+            .iter()
+            .any(|d| d.recommendation.as_deref().unwrap_or("").contains("dynamic")));
+        // Feedback raises the parallel model's weight.
+        assert!(result.cost_model.parallel_weight > 1.0);
+    }
+
+    #[test]
+    fn msa_dynamic_schedule_is_clean() {
+        let mut config = MsaConfig::paper_400(8, Schedule::Dynamic(1));
+        config.sequences = 96;
+        let trial = msa::run(&config);
+        let result = analyze_load_balance(&trial, "TIME").unwrap();
+        assert!(
+            result.report.diagnoses_in("load-imbalance").is_empty(),
+            "unexpected: {}",
+            result.rendered
+        );
+    }
+
+    #[test]
+    fn genidlest_unoptimized_openmp_triggers_locality_chain() {
+        let machine = MachineConfig::altix300();
+        let trials: Vec<(usize, Trial)> = [1usize, 4, 16]
+            .iter()
+            .map(|&p| {
+                let mut c = GenIdlestConfig::new(
+                    Problem::Rib90,
+                    Paradigm::OpenMp,
+                    CodeVersion::Unoptimized,
+                    p,
+                );
+                c.timesteps = 2;
+                (p, genidlest::run(&c))
+            })
+            .collect();
+        let series: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+        let result = analyze_locality(&series, &machine).unwrap();
+        assert!(
+            !result.report.diagnoses_in("memory-locality").is_empty(),
+            "report: {}",
+            result.rendered
+        );
+        assert!(
+            !result.report.diagnoses_in("serial-bottleneck").is_empty(),
+            "report: {}",
+            result.rendered
+        );
+        // Feedback: cache model weight raised, locality suggestions made.
+        assert!(result.cost_model.cache_weight > 1.0);
+        assert!(result
+            .feedback
+            .suggestions
+            .iter()
+            .any(|s| s.action.contains("first-touch")));
+    }
+
+    #[test]
+    fn genidlest_mpi_is_mostly_clean() {
+        let machine = MachineConfig::altix300();
+        let trials: Vec<(usize, Trial)> = [1usize, 16]
+            .iter()
+            .map(|&p| {
+                let mut c = GenIdlestConfig::new(
+                    Problem::Rib90,
+                    Paradigm::Mpi,
+                    CodeVersion::Optimized,
+                    p,
+                );
+                c.timesteps = 2;
+                (p, genidlest::run(&c))
+            })
+            .collect();
+        let series: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+        let result = analyze_locality(&series, &machine).unwrap();
+        assert!(
+            result.report.diagnoses_in("memory-locality").is_empty(),
+            "MPI should have no locality problem: {}",
+            result.rendered
+        );
+    }
+
+    #[test]
+    fn power_workflow_recommends_levels_like_the_paper() {
+        let machine = MachineConfig::altix300();
+        let config = PowerStudyConfig {
+            ranks: 4,
+            timesteps: 1,
+            machine: machine.clone(),
+        };
+        let runs = power_study::run_all(&config);
+        let trials: Vec<&Trial> = runs.iter().map(|(_, t)| t).collect();
+        let (table, result) = analyze_power(&trials, &machine).unwrap();
+        assert_eq!(table.len(), 4);
+        assert!((table[0].time - 1.0).abs() < 1e-9);
+        // Time falls monotonically.
+        assert!(table[3].time < table[1].time);
+        // The three choice rules fired.
+        assert!(result.report.fired("Low power choice"));
+        assert!(result.report.fired("Low energy choice"));
+        assert!(result.report.fired("Balanced power and energy choice"));
+        // Low energy must be O2 or O3 (aggressive optimisation).
+        let energy = &result.report.diagnoses_in("energy")[0];
+        assert!(
+            energy.message.contains("O3") || energy.message.contains("O2"),
+            "{}",
+            energy.message
+        );
+    }
+}

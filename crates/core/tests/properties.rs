@@ -1,0 +1,191 @@
+//! Property-based tests for the analysis layer.
+
+use perfdmf::{Measurement, Trial, TrialBuilder};
+use perfexplorer::compare::compare;
+use perfexplorer::derive::{derive_metric, derived_name, DeriveOp};
+use perfexplorer::facts::MeanEventFact;
+use perfexplorer::loadbalance;
+use perfexplorer::scalability::whole_program;
+use proptest::prelude::*;
+
+/// A random trial with TIME plus two counter metrics over a flat event
+/// list (plus main), values strictly positive.
+fn arb_trial() -> impl Strategy<Value = Trial> {
+    (
+        2usize..6,                                  // threads
+        prop::collection::vec("[a-z]{1,6}", 1..5),  // event leaf names
+    )
+        .prop_flat_map(|(threads, mut names)| {
+            names.sort();
+            names.dedup();
+            let n = names.len();
+            (
+                Just(threads),
+                Just(names),
+                prop::collection::vec(0.1f64..100.0, n * threads),
+                prop::collection::vec(1.0f64..1e6, n * threads),
+            )
+        })
+        .prop_map(|(threads, names, times, counters)| {
+            let mut b = TrialBuilder::with_flat_threads("t", threads);
+            let time = b.metric("TIME");
+            let cyc = b.metric("CPU_CYCLES");
+            let stall = b.metric("BACK_END_BUBBLE_ALL");
+            let main = b.event("main");
+            for (i, name) in names.iter().enumerate() {
+                let e = b.event(&format!("main => {name}"));
+                for t in 0..threads {
+                    let v = times[i * threads + t];
+                    let c = counters[i * threads + t];
+                    b.set(e, time, t, Measurement::leaf(v));
+                    b.set(e, cyc, t, Measurement::leaf(c));
+                    b.set(e, stall, t, Measurement::leaf(c * 0.3));
+                }
+            }
+            // main inclusive = sum of children + epsilon.
+            for t in 0..threads {
+                let total: f64 = (0..names.len())
+                    .map(|i| times[i * threads + t])
+                    .sum::<f64>()
+                    + 0.5;
+                b.set(
+                    main,
+                    time,
+                    t,
+                    Measurement {
+                        inclusive: total,
+                        exclusive: 0.5,
+                        calls: 1.0,
+                        subcalls: names.len() as f64,
+                    },
+                );
+                b.set(main, cyc, t, Measurement { inclusive: 1e7, exclusive: 1.0, calls: 1.0, subcalls: 0.0 });
+                b.set(main, stall, t, Measurement { inclusive: 3e6, exclusive: 0.3, calls: 1.0, subcalls: 0.0 });
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    /// Derived division metric equals the cell-wise quotient everywhere.
+    #[test]
+    fn derive_divide_matches_quotient(trial in arb_trial()) {
+        let mut t = trial;
+        let name = derive_metric(&mut t, "BACK_END_BUBBLE_ALL", DeriveOp::Divide, "CPU_CYCLES")
+            .unwrap();
+        prop_assert_eq!(&name, &derived_name("BACK_END_BUBBLE_ALL", DeriveOp::Divide, "CPU_CYCLES"));
+        let p = &t.profile;
+        let d = p.metric_id(&name).unwrap();
+        let a = p.metric_id("BACK_END_BUBBLE_ALL").unwrap();
+        let b = p.metric_id("CPU_CYCLES").unwrap();
+        for ev in p.events() {
+            let e = p.event_id(&ev.name).unwrap();
+            for th in 0..p.thread_count() {
+                let va = p.get(e, a, th).unwrap().exclusive;
+                let vb = p.get(e, b, th).unwrap().exclusive;
+                let vd = p.get(e, d, th).unwrap().exclusive;
+                let expected = if vb == 0.0 { 0.0 } else { va / vb };
+                prop_assert!((vd - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+            }
+        }
+    }
+
+    /// Multiply then divide by the same metric returns the original
+    /// (where the divisor is nonzero).
+    #[test]
+    fn derive_multiply_divide_roundtrip(trial in arb_trial()) {
+        let mut t = trial;
+        let prod = derive_metric(&mut t, "TIME", DeriveOp::Multiply, "CPU_CYCLES").unwrap();
+        let back = derive_metric(&mut t, &prod, DeriveOp::Divide, "CPU_CYCLES").unwrap();
+        let p = &t.profile;
+        let orig = p.metric_id("TIME").unwrap();
+        let rt = p.metric_id(&back).unwrap();
+        for ev in p.events() {
+            let e = p.event_id(&ev.name).unwrap();
+            for th in 0..p.thread_count() {
+                let vo = p.get(e, orig, th).unwrap().exclusive;
+                let vr = p.get(e, rt, th).unwrap().exclusive;
+                prop_assert!((vo - vr).abs() < 1e-9 * (1.0 + vo.abs()));
+            }
+        }
+    }
+
+    /// MeanEventFact severities are fractions in [0, 1] and directions
+    /// match the value comparison.
+    #[test]
+    fn mean_event_fact_invariants(trial in arb_trial()) {
+        let facts = MeanEventFact::compare_all_events(&trial, "CPU_CYCLES", "TIME").unwrap();
+        for f in facts {
+            let sev = f.get_num("severity").unwrap();
+            prop_assert!((0.0..=1.0).contains(&sev));
+            let ev = f.get_num("eventValue").unwrap();
+            let mv = f.get_num("mainValue").unwrap();
+            let dir = f.get_str("higherLower").unwrap();
+            if ev > mv {
+                prop_assert_eq!(dir, "higher");
+            } else {
+                prop_assert_eq!(dir, "lower");
+            }
+        }
+    }
+
+    /// Load-balance ratios are nonnegative and runtime fractions bounded.
+    #[test]
+    fn load_balance_observation_bounds(trial in arb_trial()) {
+        let analysis = loadbalance::analyze(&trial, "TIME").unwrap();
+        for o in &analysis.observations {
+            prop_assert!(o.stddev_mean_ratio >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&o.runtime_fraction));
+            prop_assert!(o.mean > 0.0);
+        }
+        for n in &analysis.nested {
+            prop_assert!((-1.0..=1.0).contains(&n.correlation));
+        }
+    }
+
+    /// Comparing a trial against itself is the identity: ratio 1
+    /// everywhere, no regressions or improvements.
+    #[test]
+    fn compare_self_is_identity(trial in arb_trial()) {
+        let cmp = compare(&trial, &trial, "TIME").unwrap();
+        prop_assert!((cmp.total_ratio - 1.0).abs() < 1e-9);
+        for d in &cmp.deltas {
+            prop_assert!((d.ratio - 1.0).abs() < 1e-9);
+        }
+        prop_assert!(cmp.regressions(1.01).is_empty());
+        prop_assert!(cmp.improvements(1.01).is_empty());
+    }
+
+    /// Scaling a trial's times by k makes the comparison ratio k.
+    #[test]
+    fn compare_scales_linearly(trial in arb_trial(), k in 0.2f64..5.0) {
+        let mut scaled = trial.clone();
+        perfexplorer::derive::scale_metric(&mut scaled, "TIME", k, "SCALED").unwrap();
+        // Rebuild a candidate whose TIME is the scaled metric by writing
+        // the scaled values back over TIME.
+        let p = &mut scaled.profile;
+        let time = p.metric_id("TIME").unwrap();
+        let s = p.metric_id("SCALED").unwrap();
+        for ei in 0..p.events().len() {
+            let e = perfdmf::EventId(ei as u32);
+            for th in 0..p.thread_count() {
+                let v = *p.get(e, s, th).unwrap();
+                p.set(e, time, th, v).unwrap();
+            }
+        }
+        let cmp = compare(&trial, &scaled, "TIME").unwrap();
+        prop_assert!((cmp.total_ratio - k).abs() < 1e-6 * k);
+        for d in &cmp.deltas {
+            prop_assert!((d.ratio - k).abs() < 1e-6 * k, "event {}", d.event);
+        }
+    }
+
+    /// Whole-program speedup of a series against itself at one point is 1.
+    #[test]
+    fn single_point_series_speedup_is_one(trial in arb_trial()) {
+        let series = whole_program(&[(trial.profile.thread_count(), &trial)], "TIME").unwrap();
+        prop_assert_eq!(series.points.len(), 1);
+        prop_assert!((series.final_speedup() - 1.0).abs() < 1e-12);
+        prop_assert!((series.final_efficiency() - 1.0).abs() < 1e-12);
+    }
+}

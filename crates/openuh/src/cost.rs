@@ -1,0 +1,309 @@
+//! The compiler's cost models.
+//!
+//! "Some compiler optimization modules compute a cost model to guide the
+//! optimization strategies. For example, the loopnest optimizer has an
+//! explicit processor model, a cache model and a parallel overhead
+//! model." This module implements the three, plus a combined
+//! [`CostModel`] with tunable weights — the weights are the hook the
+//! feedback path ([`crate::feedback`]) adjusts from runtime diagnoses.
+
+use crate::ir::RegionAttrs;
+use serde::{Deserialize, Serialize};
+use simulator::machine::MachineConfig;
+use simulator::memory::{memory_costs, AccessProfile, PlacementStats};
+
+/// Processor model: instruction scheduling and register pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorModel {
+    /// Registers available before spilling starts.
+    pub registers: f64,
+    /// Cycles added per spilled value per invocation.
+    pub spill_penalty: f64,
+}
+
+impl Default for ProcessorModel {
+    fn default() -> Self {
+        // Itanium has 128 general registers; a generous window.
+        ProcessorModel {
+            registers: 96.0,
+            spill_penalty: 8.0,
+        }
+    }
+}
+
+impl ProcessorModel {
+    /// Compute cycles for one invocation of a region: instructions
+    /// divided by achievable issue (bounded by the region's ILP and the
+    /// machine's width), plus spill costs when register pressure exceeds
+    /// the file.
+    pub fn compute_cycles(&self, attrs: &RegionAttrs, machine: &MachineConfig) -> f64 {
+        let ipc = attrs.ilp.min(machine.issue_width).max(0.1);
+        let base = attrs.instructions / ipc;
+        let spills = (attrs.register_pressure - self.registers).max(0.0);
+        base + spills * self.spill_penalty
+    }
+}
+
+/// Cache model: predicted misses and inner-loop startup cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CacheModel;
+
+impl CacheModel {
+    /// Predicted memory stall cycles for one invocation, given an
+    /// assumed NUMA placement.
+    pub fn memory_cycles(
+        &self,
+        attrs: &RegionAttrs,
+        machine: &MachineConfig,
+        placement: &PlacementStats,
+        contending: f64,
+    ) -> f64 {
+        let access = AccessProfile {
+            refs: attrs.memory_refs,
+            working_set: attrs.working_set,
+            traversals: attrs.traversals,
+        };
+        memory_costs(&access, placement, machine, contending).stall_cycles
+    }
+
+    /// "Cycles required to start up inner loops": a pipeline fill cost
+    /// per trip of the enclosing loop.
+    pub fn startup_cycles(&self, attrs: &RegionAttrs) -> f64 {
+        // ~8 cycles of software-pipelining prologue per loop entry.
+        8.0 * attrs.invocations.max(1.0)
+    }
+}
+
+/// Parallel overhead model: fork-join and reduction costs, used "to
+/// decide which loop level to parallelize".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelModel {
+    /// Cycles to fork and join a parallel region.
+    pub fork_join: f64,
+    /// Cycles per thread for a reduction combine.
+    pub reduction_per_thread: f64,
+}
+
+impl Default for ParallelModel {
+    fn default() -> Self {
+        ParallelModel {
+            fork_join: 8_000.0,
+            reduction_per_thread: 300.0,
+        }
+    }
+}
+
+impl ParallelModel {
+    /// Estimated cycles to run a loop of `total_work` compute cycles on
+    /// `threads` threads, with `reductions` reduction variables.
+    pub fn parallel_cycles(&self, total_work: f64, threads: usize, reductions: usize) -> f64 {
+        if threads == 0 {
+            return f64::INFINITY;
+        }
+        total_work / threads as f64
+            + self.fork_join
+            + self.reduction_per_thread * threads as f64 * reductions as f64
+    }
+
+    /// Whether parallelising is predicted profitable at all.
+    pub fn profitable(&self, total_work: f64, threads: usize, reductions: usize) -> bool {
+        threads > 1 && self.parallel_cycles(total_work, threads, reductions) < total_work
+    }
+
+    /// Chooses the loop level to parallelise. Each candidate describes
+    /// parallelising the *same* computation at a different nest level:
+    /// `(level_name, total_work, parallel_entries, reductions)`, where
+    /// `parallel_entries` is how many times the parallel construct is
+    /// entered (1 for the outermost loop, the outer trip count for an
+    /// inner loop — each entry pays the fork-join). Returns the index of
+    /// the cheapest candidate that beats serial execution, or `None`.
+    pub fn choose_level(
+        &self,
+        candidates: &[(String, f64, f64, usize)],
+        threads: usize,
+    ) -> Option<usize> {
+        if threads == 0 {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (_, work, entries, reductions)) in candidates.iter().enumerate() {
+            let cost = work / threads as f64
+                + self.fork_join * entries
+                + self.reduction_per_thread * threads as f64 * *reductions as f64 * entries;
+            if cost >= *work || threads <= 1 {
+                continue; // not profitable vs serial
+            }
+            if best.is_none_or(|(_, bc)| cost < bc) {
+                best = Some((i, cost));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// Weights combining the three models into one objective. The feedback
+/// path tunes these: e.g. a locality diagnosis raises `cache_weight`,
+/// which biases the optimizer toward transformations that cut predicted
+/// memory cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Processor (compute) term weight.
+    pub processor_weight: f64,
+    /// Cache (memory) term weight.
+    pub cache_weight: f64,
+    /// Parallel overhead term weight.
+    pub parallel_weight: f64,
+    /// Processor sub-model.
+    pub processor: ProcessorModel,
+    /// Cache sub-model.
+    pub cache: CacheModel,
+    /// Parallel sub-model.
+    pub parallel: ParallelModel,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            processor_weight: 1.0,
+            cache_weight: 1.0,
+            parallel_weight: 1.0,
+            processor: ProcessorModel::default(),
+            cache: CacheModel,
+            parallel: ParallelModel::default(),
+        }
+    }
+}
+
+impl CostModel {
+    /// Total predicted cycles for one invocation of a region on one
+    /// thread with the given placement.
+    pub fn region_cycles(
+        &self,
+        attrs: &RegionAttrs,
+        machine: &MachineConfig,
+        placement: &PlacementStats,
+        contending: f64,
+    ) -> f64 {
+        self.processor_weight * self.processor.compute_cycles(attrs, machine)
+            + self.cache_weight
+                * (self.cache.memory_cycles(attrs, machine, placement, contending)
+                    + self.cache.startup_cycles(attrs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::altix300()
+    }
+
+    fn attrs() -> RegionAttrs {
+        RegionAttrs {
+            instructions: 60_000.0,
+            ilp: 3.0,
+            working_set: 512.0 * 1024.0,
+            memory_refs: 64_000.0,
+            traversals: 2.0,
+            register_pressure: 40.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn compute_cycles_bounded_by_issue_width() {
+        let m = machine();
+        let proc = ProcessorModel::default();
+        let mut a = attrs();
+        a.ilp = 100.0; // cannot exceed machine width (6)
+        let c = proc.compute_cycles(&a, &m);
+        assert!((c - a.instructions / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn register_pressure_adds_spill_cost() {
+        let m = machine();
+        let proc = ProcessorModel::default();
+        let mut a = attrs();
+        let base = proc.compute_cycles(&a, &m);
+        a.register_pressure = proc.registers + 10.0;
+        let spilled = proc.compute_cycles(&a, &m);
+        assert!((spilled - base - 10.0 * proc.spill_penalty).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_model_punishes_remote_placement() {
+        let m = machine();
+        let cache = CacheModel;
+        let a = attrs();
+        let local = cache.memory_cycles(&a, &m, &PlacementStats::all_local(), 1.0);
+        let remote = cache.memory_cycles(
+            &a,
+            &m,
+            &PlacementStats {
+                remote_fraction: 1.0,
+                mean_remote_hops: 3.0,
+            },
+            8.0,
+        );
+        assert!(remote > local);
+    }
+
+    #[test]
+    fn parallel_model_amortises_and_overheads() {
+        let pm = ParallelModel::default();
+        // Big loop: parallel wins.
+        assert!(pm.profitable(1e8, 8, 0));
+        // Tiny loop: fork-join dominates.
+        assert!(!pm.profitable(1_000.0, 8, 0));
+        // Reductions push the crossover outward.
+        let no_red = pm.parallel_cycles(1e6, 16, 0);
+        let with_red = pm.parallel_cycles(1e6, 16, 4);
+        assert!(with_red > no_red);
+        assert_eq!(pm.parallel_cycles(1e6, 0, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn choose_level_prefers_outer_loops() {
+        let pm = ParallelModel::default();
+        // Same 1e8 cycles of work; the inner level re-enters the
+        // parallel construct 1000 times (once per outer iteration).
+        let candidates = vec![
+            ("outer".to_string(), 1e8, 1.0, 0),
+            ("inner".to_string(), 1e8, 1000.0, 0),
+        ];
+        assert_eq!(pm.choose_level(&candidates, 16), Some(0));
+        // Nothing profitable at 1 thread.
+        assert_eq!(pm.choose_level(&candidates, 1), None);
+        assert_eq!(pm.choose_level(&candidates, 0), None);
+        // Unprofitable candidates are skipped entirely.
+        let tiny = vec![("t".to_string(), 100.0, 1.0, 0)];
+        assert_eq!(pm.choose_level(&tiny, 16), None);
+        // With a reduction per entry, inner-level parallelisation is
+        // penalised even harder.
+        let with_red = vec![
+            ("outer".to_string(), 1e8, 1.0, 1),
+            ("inner".to_string(), 1e8, 1000.0, 1),
+        ];
+        assert_eq!(pm.choose_level(&with_red, 16), Some(0));
+    }
+
+    #[test]
+    fn weights_steer_the_combined_model() {
+        let m = machine();
+        let a = attrs();
+        let placement = PlacementStats {
+            remote_fraction: 0.8,
+            mean_remote_hops: 2.0,
+        };
+        let balanced = CostModel::default();
+        let memory_hunter = CostModel {
+            cache_weight: 10.0,
+            ..Default::default()
+        };
+        let c1 = balanced.region_cycles(&a, &m, &placement, 4.0);
+        let c2 = memory_hunter.region_cycles(&a, &m, &placement, 4.0);
+        assert!(c2 > c1, "raised cache weight must raise predicted cost");
+    }
+}

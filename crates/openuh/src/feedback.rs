@@ -1,0 +1,278 @@
+//! Feedback from automated analysis into the compiler's cost models.
+//!
+//! The paper's integration diagram (Figure 3) marks this path "future":
+//! "In the future, we hope to integrate the tools with a feedback
+//! optimization loop to improve the compiler cost models". This module
+//! implements that loop: structured diagnoses from the analysis layer
+//! re-weight the combined [`CostModel`] and are
+//! translated into per-region transformation suggestions.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What the compiler should prioritise, derived from diagnoses. Mirrors
+/// the paper's customisable cost-model goals: "reducing cache misses,
+/// register pressure, instruction scheduling, pipeline stalls and
+/// parallel overheads", plus the power/energy goals of §III-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizationPriority {
+    /// Reduce cache misses / improve locality.
+    CacheMisses,
+    /// Reduce pipeline stalls (scheduling).
+    PipelineStalls,
+    /// Reduce parallel overheads (scheduling, fork-join).
+    ParallelOverheads,
+    /// Compile for low power dissipation.
+    LowPower,
+    /// Compile for low energy consumption.
+    LowEnergy,
+}
+
+/// One concrete suggestion for a region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suggestion {
+    /// Region (event) name the suggestion applies to.
+    pub region: String,
+    /// The transformation or directive to apply.
+    pub action: String,
+    /// Why — carried from the diagnosis for explanation.
+    pub reason: String,
+}
+
+/// The digested feedback: adjusted weights plus suggestions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeedbackPlan {
+    /// Per-region suggestions.
+    pub suggestions: Vec<Suggestion>,
+    /// Cost-model weight multipliers applied.
+    pub weight_changes: BTreeMap<String, f64>,
+}
+
+/// A minimal, crate-local view of an analysis diagnosis (kept structural
+/// so `openuh` does not depend on the analysis crate above it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosisInput {
+    /// Category tag, e.g. `"load-imbalance"`, `"memory-locality"`,
+    /// `"stalls"`, `"serial-bottleneck"`, `"power"`, `"energy"`.
+    pub category: String,
+    /// Event / region name the diagnosis is about.
+    pub event: String,
+    /// Severity in `[0, 1]`.
+    pub severity: f64,
+    /// Recommendation text from the rule, if any.
+    pub recommendation: Option<String>,
+}
+
+/// Ingests diagnoses: re-weights the cost model in place and produces a
+/// feedback plan.
+pub fn ingest(model: &mut CostModel, diagnoses: &[DiagnosisInput]) -> FeedbackPlan {
+    let mut plan = FeedbackPlan::default();
+    for d in diagnoses {
+        let severity = d.severity.clamp(0.0, 1.0);
+        match d.category.as_str() {
+            "memory-locality" | "cache" => {
+                // Bias the optimizer toward locality transformations:
+                // "focus on improving the L3 optimizations by targeting
+                // reduction of the cycles predicted in the cache model".
+                let factor = 1.0 + severity;
+                model.cache_weight *= factor;
+                *plan
+                    .weight_changes
+                    .entry("cache_weight".to_string())
+                    .or_insert(1.0) *= factor;
+                plan.suggestions.push(Suggestion {
+                    region: d.event.clone(),
+                    action: "apply loop-nest locality optimization; parallelize \
+                             initialization for first-touch placement"
+                        .to_string(),
+                    reason: d
+                        .recommendation
+                        .clone()
+                        .unwrap_or_else(|| "high remote-memory access ratio".to_string()),
+                });
+            }
+            "stalls" | "pipeline" => {
+                let factor = 1.0 + severity;
+                model.processor_weight *= factor;
+                *plan
+                    .weight_changes
+                    .entry("processor_weight".to_string())
+                    .or_insert(1.0) *= factor;
+                plan.suggestions.push(Suggestion {
+                    region: d.event.clone(),
+                    action: "re-schedule instructions; raise software pipelining priority"
+                        .to_string(),
+                    reason: d
+                        .recommendation
+                        .clone()
+                        .unwrap_or_else(|| "high stall-per-cycle rate".to_string()),
+                });
+            }
+            "load-imbalance" | "parallel-overhead" => {
+                let factor = 1.0 + severity;
+                model.parallel_weight *= factor;
+                *plan
+                    .weight_changes
+                    .entry("parallel_weight".to_string())
+                    .or_insert(1.0) *= factor;
+                plan.suggestions.push(Suggestion {
+                    region: d.event.clone(),
+                    action: d
+                        .recommendation
+                        .clone()
+                        .unwrap_or_else(|| "use dynamic scheduling with a small chunk".into()),
+                    reason: "per-thread work distribution is uneven".to_string(),
+                });
+            }
+            "serial-bottleneck" => {
+                plan.suggestions.push(Suggestion {
+                    region: d.event.clone(),
+                    action: "parallelize the serial section (distribute copies across threads)"
+                        .to_string(),
+                    reason: d
+                        .recommendation
+                        .clone()
+                        .unwrap_or_else(|| "sequential region limits scalability".to_string()),
+                });
+            }
+            "power" | "energy" => {
+                plan.suggestions.push(Suggestion {
+                    region: d.event.clone(),
+                    action: d
+                        .recommendation
+                        .clone()
+                        .unwrap_or_else(|| "select optimization level per power/energy goal".into()),
+                    reason: format!("{} priority from power model", d.category),
+                });
+            }
+            _ => {
+                // Unknown category: record the suggestion verbatim if the
+                // rule supplied one; never drop knowledge silently.
+                if let Some(rec) = &d.recommendation {
+                    plan.suggestions.push(Suggestion {
+                        region: d.event.clone(),
+                        action: rec.clone(),
+                        reason: d.category.clone(),
+                    });
+                }
+            }
+        }
+    }
+    plan
+}
+
+/// Maps a priority to the optimisation level the power study's results
+/// recommend: "O0 should be enabled for low power, O3 enabled for low
+/// energy, and O2 for both power and energy efficiency".
+pub fn level_for_priority(priority: OptimizationPriority) -> crate::optimize::OptLevel {
+    use crate::optimize::OptLevel;
+    match priority {
+        OptimizationPriority::LowPower => OptLevel::O0,
+        OptimizationPriority::LowEnergy => OptLevel::O3,
+        OptimizationPriority::CacheMisses => OptLevel::O3,
+        OptimizationPriority::PipelineStalls => OptLevel::O2,
+        OptimizationPriority::ParallelOverheads => OptLevel::O2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(category: &str, event: &str, severity: f64) -> DiagnosisInput {
+        DiagnosisInput {
+            category: category.to_string(),
+            event: event.to_string(),
+            severity,
+            recommendation: None,
+        }
+    }
+
+    #[test]
+    fn locality_diagnosis_raises_cache_weight() {
+        let mut model = CostModel::default();
+        let plan = ingest(&mut model, &[diag("memory-locality", "matxvec", 0.5)]);
+        assert!(model.cache_weight > 1.4);
+        assert_eq!(model.processor_weight, 1.0);
+        assert_eq!(plan.suggestions.len(), 1);
+        assert!(plan.suggestions[0].action.contains("first-touch"));
+        assert!(plan.weight_changes.contains_key("cache_weight"));
+    }
+
+    #[test]
+    fn stall_diagnosis_raises_processor_weight() {
+        let mut model = CostModel::default();
+        ingest(&mut model, &[diag("stalls", "pc_jac_glb", 0.3)]);
+        assert!((model.processor_weight - 1.3).abs() < 1e-9);
+        assert_eq!(model.cache_weight, 1.0);
+    }
+
+    #[test]
+    fn imbalance_diagnosis_carries_rule_recommendation() {
+        let mut model = CostModel::default();
+        let mut d = diag("load-imbalance", "distance_matrix", 0.8);
+        d.recommendation = Some("use schedule(dynamic,1)".to_string());
+        let plan = ingest(&mut model, &[d]);
+        assert!(model.parallel_weight > 1.7);
+        assert_eq!(plan.suggestions[0].action, "use schedule(dynamic,1)");
+    }
+
+    #[test]
+    fn multiple_diagnoses_compound() {
+        let mut model = CostModel::default();
+        ingest(
+            &mut model,
+            &[
+                diag("memory-locality", "a", 0.5),
+                diag("memory-locality", "b", 0.5),
+            ],
+        );
+        assert!((model.cache_weight - 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn severity_is_clamped() {
+        let mut model = CostModel::default();
+        ingest(&mut model, &[diag("stalls", "x", 99.0)]);
+        assert!((model.processor_weight - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_category_keeps_recommendation_only() {
+        let mut model = CostModel::default();
+        let mut d = diag("exotic", "x", 0.4);
+        let silent = ingest(&mut model, std::slice::from_ref(&d));
+        assert!(silent.suggestions.is_empty());
+        d.recommendation = Some("do the thing".to_string());
+        let kept = ingest(&mut model, &[d]);
+        assert_eq!(kept.suggestions.len(), 1);
+        assert_eq!(kept.suggestions[0].action, "do the thing");
+        // Weights untouched either way.
+        assert_eq!(model.cache_weight, 1.0);
+    }
+
+    #[test]
+    fn priority_level_mapping_matches_paper() {
+        use crate::optimize::OptLevel;
+        assert_eq!(
+            level_for_priority(OptimizationPriority::LowPower),
+            OptLevel::O0
+        );
+        assert_eq!(
+            level_for_priority(OptimizationPriority::LowEnergy),
+            OptLevel::O3
+        );
+        assert_eq!(
+            level_for_priority(OptimizationPriority::PipelineStalls),
+            OptLevel::O2
+        );
+    }
+
+    #[test]
+    fn serial_bottleneck_suggests_parallelization() {
+        let mut model = CostModel::default();
+        let plan = ingest(&mut model, &[diag("serial-bottleneck", "exchange_var", 0.31)]);
+        assert!(plan.suggestions[0].action.contains("parallelize"));
+    }
+}

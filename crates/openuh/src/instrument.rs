@@ -1,0 +1,285 @@
+//! Selective instrumentation.
+//!
+//! The paper: "Our selective instrumentation method is designed to create
+//! a scoring mechanism for regions of interest based on their importance
+//! in the code and call graph. We want to avoid instrumenting regions of
+//! code that have small weights (e.g. few basic blocks, statements) and
+//! are invoked many times."
+//!
+//! The scorer weighs a region's size (basic blocks, statements) against
+//! its invocation count and the per-probe overhead; regions whose probe
+//! cost would exceed a configured fraction of their own work are left
+//! uninstrumented.
+
+use crate::ir::{Program, Region, RegionId, RegionKind};
+use serde::{Deserialize, Serialize};
+
+/// Instrumentation selection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectiveInstrumenter {
+    /// Cycles one enter/exit probe pair costs.
+    pub probe_cost: f64,
+    /// Maximum tolerable probe overhead as a fraction of a region's own
+    /// dynamic work (e.g. 0.05 = 5%).
+    pub max_overhead_fraction: f64,
+    /// Instrument procedures regardless of score (the paper's first runs
+    /// "focus on procedure level instrumentation").
+    pub always_procedures: bool,
+    /// Region kinds eligible for instrumentation.
+    pub kinds: InstrumentKinds,
+}
+
+/// Which region kinds the pass may instrument (the compiler flags the
+/// paper mentions: "specifying the types of regions we want to
+/// instrument").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrumentKinds {
+    /// Instrument procedures.
+    pub procedures: bool,
+    /// Instrument loops.
+    pub loops: bool,
+    /// Instrument branches.
+    pub branches: bool,
+    /// Instrument callsites.
+    pub callsites: bool,
+}
+
+impl InstrumentKinds {
+    /// Procedures only — the paper's initial profiling run.
+    pub fn procedures_only() -> Self {
+        InstrumentKinds {
+            procedures: true,
+            loops: false,
+            branches: false,
+            callsites: false,
+        }
+    }
+
+    /// Everything — the paper's in-depth second run.
+    pub fn all() -> Self {
+        InstrumentKinds {
+            procedures: true,
+            loops: true,
+            branches: true,
+            callsites: true,
+        }
+    }
+
+    fn allows(&self, kind: RegionKind) -> bool {
+        match kind {
+            RegionKind::Procedure => self.procedures,
+            RegionKind::Loop => self.loops,
+            RegionKind::Branch => self.branches,
+            RegionKind::Callsite => self.callsites,
+        }
+    }
+}
+
+impl Default for SelectiveInstrumenter {
+    fn default() -> Self {
+        SelectiveInstrumenter {
+            probe_cost: 200.0,
+            max_overhead_fraction: 0.05,
+            always_procedures: true,
+            kinds: InstrumentKinds::all(),
+        }
+    }
+}
+
+/// Result of the instrumentation pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentationPlan {
+    /// Regions that receive probes, with their scores.
+    pub probed: Vec<(RegionId, f64)>,
+    /// Regions skipped as too small/hot, with their scores.
+    pub skipped: Vec<(RegionId, f64)>,
+    /// Estimated total probe overhead in cycles.
+    pub estimated_overhead: f64,
+}
+
+impl InstrumentationPlan {
+    /// Whether a region is probed.
+    pub fn is_probed(&self, id: RegionId) -> bool {
+        self.probed.iter().any(|(p, _)| *p == id)
+    }
+}
+
+impl SelectiveInstrumenter {
+    /// Scores a region: work per probe dollar. Higher is more worth
+    /// instrumenting. Small regions invoked many times score low.
+    pub fn score(&self, region: &Region) -> f64 {
+        let weight = (region.attrs.basic_blocks as f64 + region.attrs.statements as f64)
+            * region.attrs.instructions;
+        let probe_total = self.probe_cost * region.attrs.invocations.max(1.0);
+        weight / probe_total
+    }
+
+    /// Runs the selection over a program.
+    pub fn plan(&self, program: &Program) -> InstrumentationPlan {
+        let mut probed = Vec::new();
+        let mut skipped = Vec::new();
+        let mut overhead = 0.0;
+        for id in program.all() {
+            let region = program.region(id);
+            if !self.kinds.allows(region.kind) {
+                continue;
+            }
+            let score = self.score(region);
+            let own_work = region.attrs.instructions * region.attrs.invocations.max(1.0);
+            let probe_total = self.probe_cost * region.attrs.invocations.max(1.0);
+            let tolerable = probe_total <= own_work * self.max_overhead_fraction;
+            let forced = self.always_procedures && region.kind == RegionKind::Procedure;
+            if tolerable || forced {
+                overhead += probe_total;
+                probed.push((id, score));
+            } else {
+                skipped.push((id, score));
+            }
+        }
+        // Highest-value probes first, as the compiler emits them.
+        probed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        skipped.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        InstrumentationPlan {
+            probed,
+            skipped,
+            estimated_overhead: overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::RegionAttrs;
+
+    fn program() -> Program {
+        let mut p = Program::new();
+        let main = p.add_procedure(
+            "main",
+            RegionAttrs {
+                basic_blocks: 50,
+                statements: 200,
+                instructions: 1e6,
+                invocations: 1.0,
+                ..Default::default()
+            },
+        );
+        // A big compute loop: few invocations, lots of work.
+        p.add_child(
+            main,
+            "big_loop",
+            RegionKind::Loop,
+            RegionAttrs {
+                basic_blocks: 20,
+                statements: 80,
+                instructions: 1e7,
+                invocations: 10.0,
+                ..Default::default()
+            },
+        );
+        // A tiny accessor called millions of times: probing it would
+        // dominate its cost.
+        p.add_child(
+            main,
+            "tiny_hot",
+            RegionKind::Loop,
+            RegionAttrs {
+                basic_blocks: 1,
+                statements: 2,
+                instructions: 20.0,
+                invocations: 5e6,
+                ..Default::default()
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn big_regions_probed_tiny_hot_regions_skipped() {
+        let p = program();
+        let inst = SelectiveInstrumenter::default();
+        let plan = inst.plan(&p);
+        let big = p.find("big_loop").unwrap();
+        let tiny = p.find("tiny_hot").unwrap();
+        assert!(plan.is_probed(big));
+        assert!(!plan.is_probed(tiny));
+        assert_eq!(plan.skipped.iter().filter(|(id, _)| *id == tiny).count(), 1);
+    }
+
+    #[test]
+    fn procedures_forced_even_when_expensive() {
+        let mut p = Program::new();
+        p.add_procedure(
+            "hot_proc",
+            RegionAttrs {
+                instructions: 10.0,
+                invocations: 1e7,
+                ..Default::default()
+            },
+        );
+        let inst = SelectiveInstrumenter::default();
+        let plan = inst.plan(&p);
+        assert!(plan.is_probed(p.find("hot_proc").unwrap()));
+        let strict = SelectiveInstrumenter {
+            always_procedures: false,
+            ..Default::default()
+        };
+        let plan2 = strict.plan(&p);
+        assert!(!plan2.is_probed(p.find("hot_proc").unwrap()));
+    }
+
+    #[test]
+    fn kind_filter_restricts_selection() {
+        let p = program();
+        let proc_only = SelectiveInstrumenter {
+            kinds: InstrumentKinds::procedures_only(),
+            ..Default::default()
+        };
+        let plan = proc_only.plan(&p);
+        assert!(plan.is_probed(p.find("main").unwrap()));
+        assert!(!plan.is_probed(p.find("big_loop").unwrap()));
+        // The loop is not even listed as skipped: it was never eligible.
+        assert!(plan
+            .skipped
+            .iter()
+            .all(|(id, _)| *id != p.find("big_loop").unwrap()));
+    }
+
+    #[test]
+    fn score_penalises_invocations() {
+        let inst = SelectiveInstrumenter::default();
+        let mut cheap = Region {
+            name: "r".into(),
+            kind: RegionKind::Loop,
+            attrs: RegionAttrs {
+                instructions: 1000.0,
+                invocations: 1.0,
+                ..Default::default()
+            },
+            children: vec![],
+            parent: None,
+        };
+        let low_invocations = inst.score(&cheap);
+        cheap.attrs.invocations = 1000.0;
+        let high_invocations = inst.score(&cheap);
+        assert!(low_invocations > high_invocations);
+    }
+
+    #[test]
+    fn overhead_accumulates_per_probe() {
+        let p = program();
+        let inst = SelectiveInstrumenter::default();
+        let plan = inst.plan(&p);
+        // main (1 call) + big_loop (10 calls) at 200 cycles each.
+        assert_eq!(plan.estimated_overhead, 200.0 * 11.0);
+    }
+
+    #[test]
+    fn probed_list_sorted_by_score() {
+        let p = program();
+        let plan = SelectiveInstrumenter::default().plan(&p);
+        for w in plan.probed.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! A compiler model in the role OpenUH plays in the paper.
+//!
+//! OpenUH contributes four capabilities to the integrated pipeline; this
+//! crate implements a working model of each:
+//!
+//! * **Region IR** ([`ir`]) — a WHIRL-like region tree (procedures,
+//!   loops, branches, callsites) carrying the static attributes the cost
+//!   models read: instruction counts, FP density, trip counts, working
+//!   sets.
+//! * **Compile-time instrumentation** ([`instrument`]) — the selective
+//!   instrumentation pass of Hernandez et al. (paper ref 7): a scoring
+//!   that probes regions of interest while refusing to instrument small,
+//!   hot regions whose probe overhead would distort the measurement.
+//! * **Cost models** ([`cost`]) — the loop-nest optimizer's explicit
+//!   processor model (issue width, ILP, register pressure), cache model
+//!   (predicted misses and startup cycles) and parallel overhead model
+//!   (fork-join and reduction costs, which loop level to parallelise).
+//! * **Optimization levels** ([`optimize`]) — O0–O3 as attribute
+//!   transformations (instruction-count reduction, ILP/overlap increase,
+//!   loop-nest locality improvement), driving the power/energy study.
+//! * **Feedback ingestion** ([`feedback`]) — the paper's "future work"
+//!   loop, implemented: analysis diagnoses re-weight the cost models and
+//!   produce concrete transformation suggestions.
+//! * **Frequency-based feedback** ([`frequency`]) — the feedback path
+//!   the paper says already works: measured branch/loop/callsite counts
+//!   correct static estimates and drive inlining, unrolling and branch
+//!   layout.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod feedback;
+pub mod frequency;
+pub mod instrument;
+pub mod ir;
+pub mod optimize;
+
+pub use cost::{CacheModel, CostModel, ParallelModel, ProcessorModel};
+pub use feedback::{FeedbackPlan, OptimizationPriority};
+pub use frequency::{FrequencyDecision, FrequencyProfile};
+pub use instrument::{InstrumentationPlan, SelectiveInstrumenter};
+pub use ir::{Program, Region, RegionAttrs, RegionId, RegionKind};
+pub use optimize::{OptLevel, OptimizationEffect};

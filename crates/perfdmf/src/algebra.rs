@@ -1,0 +1,254 @@
+//! Profile algebra: difference, merge, and thread aggregation.
+//!
+//! CUBE's "Performance Algebra" (referenced in the paper's related work)
+//! defines difference, merge and aggregation operations on parallel
+//! profiles; PerfExplorer performs the same cross-experiment comparisons.
+//! These operations are the building blocks of "optimized vs unoptimized"
+//! and "MPI vs OpenMP" comparisons in the case studies.
+
+use crate::model::{Measurement, Profile, ThreadId};
+use crate::{DmfError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Thread-aggregation modes for [`aggregate_threads`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Arithmetic mean across threads (the paper's `TrialMeanResult`).
+    Mean,
+    /// Sum across threads (total resource consumption).
+    Total,
+    /// Maximum across threads (critical path).
+    Max,
+    /// Minimum across threads.
+    Min,
+}
+
+fn check_compatible(a: &Profile, b: &Profile) -> Result<()> {
+    if a.thread_count() != b.thread_count() {
+        return Err(DmfError::Incompatible(format!(
+            "thread counts differ: {} vs {}",
+            a.thread_count(),
+            b.thread_count()
+        )));
+    }
+    Ok(())
+}
+
+/// Computes `a - b` cell-wise over the events and metrics they share.
+///
+/// Events or metrics present in only one input are ignored (a missing
+/// region after optimisation is expected, not an error); thread counts
+/// must match.
+pub fn difference(a: &Profile, b: &Profile) -> Result<Profile> {
+    check_compatible(a, b)?;
+    let mut out = Profile::new(a.threads().to_vec());
+    for metric in a.metrics() {
+        let Some(mb) = b.metric_id(&metric.name) else {
+            continue;
+        };
+        let ma = a.metric_id(&metric.name).expect("iterating a's metrics");
+        let mo = out.add_metric(metric.clone())?;
+        for event in a.events() {
+            let Some(eb) = b.event_id(&event.name) else {
+                continue;
+            };
+            let ea = a.event_id(&event.name).expect("iterating a's events");
+            let eo = match out.event_id(&event.name) {
+                Some(id) => id,
+                None => out.add_event(event.clone())?,
+            };
+            for t in 0..a.thread_count() {
+                let ca = a.get(ea, ma, t).expect("dims checked");
+                let cb = b.get(eb, mb, t).expect("dims checked");
+                out.set(
+                    eo,
+                    mo,
+                    t,
+                    Measurement {
+                        inclusive: ca.inclusive - cb.inclusive,
+                        exclusive: ca.exclusive - cb.exclusive,
+                        calls: ca.calls - cb.calls,
+                        subcalls: ca.subcalls - cb.subcalls,
+                    },
+                )?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Merges two profiles over the same thread set: the union of events and
+/// metrics, with overlapping cells summed.
+pub fn merge(a: &Profile, b: &Profile) -> Result<Profile> {
+    check_compatible(a, b)?;
+    let mut out = Profile::new(a.threads().to_vec());
+    for src in [a, b] {
+        for metric in src.metrics() {
+            if out.metric_id(&metric.name).is_none() {
+                out.add_metric(metric.clone())?;
+            }
+        }
+        for event in src.events() {
+            if out.event_id(&event.name).is_none() {
+                out.add_event(event.clone())?;
+            }
+        }
+    }
+    for src in [a, b] {
+        for metric in src.metrics() {
+            let ms = src.metric_id(&metric.name).expect("src metric");
+            let mo = out.metric_id(&metric.name).expect("added above");
+            for event in src.events() {
+                let es = src.event_id(&event.name).expect("src event");
+                let eo = out.event_id(&event.name).expect("added above");
+                for t in 0..src.thread_count() {
+                    let c = src.get(es, ms, t).expect("dims checked");
+                    if let Some(cell) = out.get_mut(eo, mo, t) {
+                        cell.inclusive += c.inclusive;
+                        cell.exclusive += c.exclusive;
+                        cell.calls += c.calls;
+                        cell.subcalls += c.subcalls;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Collapses the thread dimension with the given aggregation, producing a
+/// single-thread profile.
+pub fn aggregate_threads(p: &Profile, how: Aggregation) -> Result<Profile> {
+    if p.thread_count() == 0 {
+        return Err(DmfError::Incompatible("profile has no threads".into()));
+    }
+    let mut out = Profile::new(vec![ThreadId::flat(0)]);
+    for metric in p.metrics() {
+        out.add_metric(metric.clone())?;
+    }
+    for event in p.events() {
+        out.add_event(event.clone())?;
+    }
+    let n = p.thread_count() as f64;
+    for metric in p.metrics() {
+        let ms = p.metric_id(&metric.name).expect("src metric");
+        let mo = out.metric_id(&metric.name).expect("added above");
+        for event in p.events() {
+            let es = p.event_id(&event.name).expect("src event");
+            let eo = out.event_id(&event.name).expect("added above");
+            let cells = p.across_threads(es, ms);
+            let fold = |f: fn(&Measurement) -> f64| -> f64 {
+                match how {
+                    Aggregation::Mean => cells.iter().map(f).sum::<f64>() / n,
+                    Aggregation::Total => cells.iter().map(f).sum::<f64>(),
+                    Aggregation::Max => cells.iter().map(f).fold(f64::NEG_INFINITY, f64::max),
+                    Aggregation::Min => cells.iter().map(f).fold(f64::INFINITY, f64::min),
+                }
+            };
+            out.set(
+                eo,
+                mo,
+                0,
+                Measurement {
+                    inclusive: fold(|m| m.inclusive),
+                    exclusive: fold(|m| m.exclusive),
+                    calls: fold(|m| m.calls),
+                    subcalls: fold(|m| m.subcalls),
+                },
+            )?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Event, Metric};
+
+    fn profile(threads: usize, events: &[(&str, &[f64])]) -> Profile {
+        let mut p = Profile::new((0..threads as u32).map(ThreadId::flat).collect());
+        let m = p.add_metric(Metric::measured("TIME")).unwrap();
+        for (name, values) in events {
+            let e = p.add_event(Event::new(*name)).unwrap();
+            for (t, &v) in values.iter().enumerate() {
+                p.set(e, m, t, Measurement::leaf(v)).unwrap();
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn difference_subtracts_shared_cells() {
+        let a = profile(2, &[("main", &[10.0, 12.0]), ("loop", &[5.0, 7.0])]);
+        let b = profile(2, &[("main", &[4.0, 5.0])]);
+        let d = difference(&a, &b).unwrap();
+        let m = d.metric_id("TIME").unwrap();
+        let e = d.event_id("main").unwrap();
+        assert_eq!(d.get(e, m, 0).unwrap().exclusive, 6.0);
+        assert_eq!(d.get(e, m, 1).unwrap().exclusive, 7.0);
+        // "loop" exists only in a, so it is absent from the difference.
+        assert!(d.event_id("loop").is_none());
+    }
+
+    #[test]
+    fn difference_requires_same_thread_count() {
+        let a = profile(2, &[("main", &[1.0, 2.0])]);
+        let b = profile(3, &[("main", &[1.0, 2.0, 3.0])]);
+        assert!(matches!(
+            difference(&a, &b),
+            Err(DmfError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn merge_unions_events_and_sums_overlap() {
+        let a = profile(2, &[("main", &[1.0, 2.0]), ("a_only", &[3.0, 4.0])]);
+        let b = profile(2, &[("main", &[10.0, 20.0]), ("b_only", &[5.0, 6.0])]);
+        let m = merge(&a, &b).unwrap();
+        let t = m.metric_id("TIME").unwrap();
+        let main = m.event_id("main").unwrap();
+        assert_eq!(m.get(main, t, 0).unwrap().exclusive, 11.0);
+        assert_eq!(m.get(main, t, 1).unwrap().exclusive, 22.0);
+        assert!(m.event_id("a_only").is_some());
+        assert!(m.event_id("b_only").is_some());
+    }
+
+    #[test]
+    fn merge_then_difference_recovers_original() {
+        let a = profile(2, &[("main", &[1.0, 2.0])]);
+        let b = profile(2, &[("main", &[10.0, 20.0])]);
+        let merged = merge(&a, &b).unwrap();
+        let back = difference(&merged, &b).unwrap();
+        let t = back.metric_id("TIME").unwrap();
+        let main = back.event_id("main").unwrap();
+        assert_eq!(back.get(main, t, 0).unwrap().exclusive, 1.0);
+        assert_eq!(back.get(main, t, 1).unwrap().exclusive, 2.0);
+    }
+
+    #[test]
+    fn aggregate_mean_total_max_min() {
+        let p = profile(4, &[("main", &[1.0, 2.0, 3.0, 6.0])]);
+        let t = p.metric_id("TIME").unwrap();
+
+        let mean = aggregate_threads(&p, Aggregation::Mean).unwrap();
+        let e = mean.event_id("main").unwrap();
+        assert_eq!(mean.get(e, t, 0).unwrap().exclusive, 3.0);
+        assert_eq!(mean.thread_count(), 1);
+
+        let total = aggregate_threads(&p, Aggregation::Total).unwrap();
+        assert_eq!(total.get(e, t, 0).unwrap().exclusive, 12.0);
+
+        let max = aggregate_threads(&p, Aggregation::Max).unwrap();
+        assert_eq!(max.get(e, t, 0).unwrap().exclusive, 6.0);
+
+        let min = aggregate_threads(&p, Aggregation::Min).unwrap();
+        assert_eq!(min.get(e, t, 0).unwrap().exclusive, 1.0);
+    }
+
+    #[test]
+    fn aggregate_empty_profile_is_error() {
+        let p = Profile::new(vec![]);
+        assert!(aggregate_threads(&p, Aggregation::Mean).is_err());
+    }
+}

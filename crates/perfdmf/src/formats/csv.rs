@@ -1,0 +1,252 @@
+//! Flat CSV interchange format.
+//!
+//! One row per `(event, metric, thread)` cell:
+//!
+//! ```text
+//! event,metric,node,context,thread,inclusive,exclusive,calls,subcalls
+//! main,TIME,0,0,0,10.5,4.5,1,2
+//! ```
+//!
+//! Event names containing commas or quotes are double-quoted with `""`
+//! escaping, per RFC 4180.
+
+use crate::model::{Measurement, ThreadId, Trial, TrialBuilder};
+use crate::{DmfError, Result};
+
+const HEADER: &str = "event,metric,node,context,thread,inclusive,exclusive,calls,subcalls";
+
+fn parse_err(line: usize, message: impl Into<String>) -> DmfError {
+    DmfError::Parse {
+        format: "csv",
+        line: Some(line),
+        message: message.into(),
+    }
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits one CSV record, honouring RFC 4180 quoting.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            '"' => return Err(parse_err(line_no, "quote inside unquoted field")),
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(parse_err(line_no, "unterminated quoted field"));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Serialises a trial to CSV.
+pub fn write_trial(trial: &Trial) -> String {
+    let p = &trial.profile;
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for event in p.events() {
+        let e = p.event_id(&event.name).expect("iterating events");
+        for metric in p.metrics() {
+            let m = p.metric_id(&metric.name).expect("iterating metrics");
+            for (t, tid) in p.threads().iter().enumerate() {
+                let cell = p.get(e, m, t).expect("dense profile");
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{}\n",
+                    quote(&event.name),
+                    quote(&metric.name),
+                    tid.node,
+                    tid.context,
+                    tid.thread,
+                    cell.inclusive,
+                    cell.exclusive,
+                    cell.calls,
+                    cell.subcalls
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses a trial from CSV produced by [`write_trial`] (or compatible).
+pub fn parse_trial(trial_name: &str, text: &str) -> Result<Trial> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
+    if header.trim() != HEADER {
+        return Err(parse_err(1, format!("unexpected header {header:?}")));
+    }
+
+    // First pass: collect rows & thread ids so the builder sees a stable
+    // thread ordering.
+    struct Row {
+        event: String,
+        metric: String,
+        tid: ThreadId,
+        m: Measurement,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut threads: Vec<ThreadId> = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = split_record(line, line_no)?;
+        if f.len() != 9 {
+            return Err(parse_err(
+                line_no,
+                format!("expected 9 fields, found {}", f.len()),
+            ));
+        }
+        let int = |i: usize| -> Result<u32> {
+            f[i].trim()
+                .parse()
+                .map_err(|_| parse_err(line_no, format!("bad integer {:?}", f[i])))
+        };
+        let num = |i: usize| -> Result<f64> {
+            f[i].trim()
+                .parse()
+                .map_err(|_| parse_err(line_no, format!("bad number {:?}", f[i])))
+        };
+        let tid = ThreadId {
+            node: int(2)?,
+            context: int(3)?,
+            thread: int(4)?,
+        };
+        if !threads.contains(&tid) {
+            threads.push(tid);
+        }
+        rows.push(Row {
+            event: f[0].clone(),
+            metric: f[1].clone(),
+            tid,
+            m: Measurement {
+                inclusive: num(5)?,
+                exclusive: num(6)?,
+                calls: num(7)?,
+                subcalls: num(8)?,
+            },
+        });
+    }
+    if rows.is_empty() {
+        return Err(parse_err(0, "no data rows"));
+    }
+    threads.sort();
+    let mut builder = TrialBuilder::with_threads(trial_name, threads.clone());
+    for row in rows {
+        let e = builder.event(&row.event);
+        let m = builder.metric(&row.metric);
+        let ti = threads.binary_search(&row.tid).expect("collected above");
+        builder.set(e, m, ti, row.m);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Event, Metric, Profile};
+
+    fn sample_trial() -> Trial {
+        let mut p = Profile::new(vec![ThreadId::flat(0), ThreadId::flat(1)]);
+        let m = p.add_metric(Metric::measured("TIME")).unwrap();
+        let e = p.add_event(Event::new("main")).unwrap();
+        let f = p.add_event(Event::new("weird, \"name\"")).unwrap();
+        p.set(e, m, 0, Measurement { inclusive: 10.0, exclusive: 4.0, calls: 1.0, subcalls: 2.0 }).unwrap();
+        p.set(e, m, 1, Measurement { inclusive: 11.0, exclusive: 5.0, calls: 1.0, subcalls: 2.0 }).unwrap();
+        p.set(f, m, 0, Measurement::leaf(1.0)).unwrap();
+        p.set(f, m, 1, Measurement::leaf(2.0)).unwrap();
+        Trial::new("t", p)
+    }
+
+    #[test]
+    fn roundtrip_preserves_profile() {
+        let t = sample_trial();
+        let csv = write_trial(&t);
+        let back = parse_trial("t", &csv).unwrap();
+        assert_eq!(t.profile, back.profile);
+    }
+
+    #[test]
+    fn quoting_of_special_names() {
+        let t = sample_trial();
+        let csv = write_trial(&t);
+        assert!(csv.contains("\"weird, \"\"name\"\"\""));
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        assert!(parse_trial("t", "a,b,c\n1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn rejects_short_rows() {
+        let text = format!("{HEADER}\nmain,TIME,0,0,0,1,1\n");
+        assert!(parse_trial("t", &text).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let text = format!("{HEADER}\nmain,TIME,0,0,0,x,1,1,0\n");
+        assert!(parse_trial("t", &text).is_err());
+        let text2 = format!("{HEADER}\nmain,TIME,zero,0,0,1,1,1,0\n");
+        assert!(parse_trial("t", &text2).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_header_only() {
+        assert!(parse_trial("t", "").is_err());
+        assert!(parse_trial("t", &format!("{HEADER}\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        let text = format!("{HEADER}\n\"main,TIME,0,0,0,1,1,1,0\n");
+        assert!(parse_trial("t", &text).is_err());
+    }
+
+    #[test]
+    fn split_record_handles_escaped_quotes() {
+        let f = split_record("\"a\"\"b\",c", 1).unwrap();
+        assert_eq!(f, vec!["a\"b", "c"]);
+    }
+
+    #[test]
+    fn threads_are_sorted_regardless_of_row_order() {
+        let text = format!(
+            "{HEADER}\nmain,TIME,0,0,1,2,2,1,0\nmain,TIME,0,0,0,1,1,1,0\n"
+        );
+        let t = parse_trial("t", &text).unwrap();
+        assert_eq!(
+            t.profile.threads(),
+            &[ThreadId::flat(0), ThreadId::flat(1)]
+        );
+        let m = t.profile.metric_id("TIME").unwrap();
+        let e = t.profile.event_id("main").unwrap();
+        assert_eq!(t.profile.get(e, m, 0).unwrap().inclusive, 1.0);
+        assert_eq!(t.profile.get(e, m, 1).unwrap().inclusive, 2.0);
+    }
+}

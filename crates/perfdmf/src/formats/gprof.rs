@@ -1,0 +1,173 @@
+//! gprof-style flat profile reader.
+//!
+//! Represents the family of single-threaded, external profile formats
+//! PerfDMF can ingest. The accepted layout is gprof's classic flat
+//! profile table:
+//!
+//! ```text
+//! Flat profile:
+//!
+//! Each sample counts as 0.01 seconds.
+//!   %   cumulative   self              self     total
+//!  time   seconds   seconds    calls  ms/call  ms/call  name
+//!  90.01      9.00     9.00      100    90.00    95.00  compute
+//!   9.99      9.99     0.99        1   990.00  9990.00  main
+//! ```
+//!
+//! Each row becomes an event in a single-thread trial with the `TIME`
+//! metric: `self seconds` → exclusive, `calls × total ms/call` →
+//! inclusive (when per-call figures are present, else exclusive).
+
+use crate::model::{Measurement, ThreadId, Trial, TrialBuilder};
+use crate::{DmfError, Result};
+
+fn parse_err(line: usize, message: impl Into<String>) -> DmfError {
+    DmfError::Parse {
+        format: "gprof",
+        line: Some(line),
+        message: message.into(),
+    }
+}
+
+/// Parses a gprof flat profile into a single-thread trial.
+pub fn parse_flat_profile(trial_name: &str, text: &str) -> Result<Trial> {
+    let mut builder =
+        TrialBuilder::with_threads(trial_name, vec![ThreadId::flat(0)]);
+    let metric = builder.metric("TIME");
+
+    let mut in_table = false;
+    let mut rows = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if !in_table {
+            // The data table starts after the "time seconds ..." header.
+            if trimmed.starts_with("time") && trimmed.contains("name") {
+                in_table = true;
+            }
+            continue;
+        }
+        if trimmed.is_empty() {
+            break; // flat profile table ends at the first blank line
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 3 {
+            return Err(parse_err(line_no, "expected at least 3 columns"));
+        }
+        let self_seconds: f64 = fields[2]
+            .parse()
+            .map_err(|_| parse_err(line_no, format!("bad self-seconds {:?}", fields[2])))?;
+        // Optional columns: calls, self ms/call, total ms/call. gprof
+        // leaves them blank for functions it could not count.
+        let (calls, total_ms_per_call, name_start) = if fields.len() >= 7 {
+            let calls: f64 = fields[3]
+                .parse()
+                .map_err(|_| parse_err(line_no, format!("bad call count {:?}", fields[3])))?;
+            let total: f64 = fields[5]
+                .parse()
+                .map_err(|_| parse_err(line_no, format!("bad total ms/call {:?}", fields[5])))?;
+            (calls, Some(total), 6)
+        } else {
+            (0.0, None, 3)
+        };
+        let name = fields[name_start..].join(" ");
+        if name.is_empty() {
+            return Err(parse_err(line_no, "missing function name"));
+        }
+        let inclusive = match total_ms_per_call {
+            Some(ms) => calls * ms / 1000.0,
+            None => self_seconds,
+        };
+        let ev = builder.event(&name);
+        builder.set(
+            ev,
+            metric,
+            0,
+            Measurement {
+                inclusive: inclusive.max(self_seconds),
+                exclusive: self_seconds,
+                calls: if calls > 0.0 { calls } else { 1.0 },
+                subcalls: 0.0,
+            },
+        );
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(DmfError::Parse {
+            format: "gprof",
+            line: None,
+            message: "no flat profile table found".into(),
+        });
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+Flat profile:
+
+Each sample counts as 0.01 seconds.
+  %   cumulative   self              self     total
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 90.01      9.00     9.00      100    90.00    95.00  compute
+  9.99      9.99     0.99        1   990.00  9990.00  main
+
+            some other section
+";
+
+    #[test]
+    fn parses_sample() {
+        let t = parse_flat_profile("gprof", SAMPLE).unwrap();
+        assert_eq!(t.profile.thread_count(), 1);
+        let time = t.profile.metric_id("TIME").unwrap();
+        let compute = t.profile.event_id("compute").unwrap();
+        let c = t.profile.get(compute, time, 0).unwrap();
+        assert_eq!(c.exclusive, 9.0);
+        assert_eq!(c.calls, 100.0);
+        assert!((c.inclusive - 9.5).abs() < 1e-9);
+        let main = t.profile.event_id("main").unwrap();
+        let m = t.profile.get(main, time, 0).unwrap();
+        assert!((m.inclusive - 9.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_rows_without_call_counts() {
+        let text = "\
+  %   cumulative   self              self     total
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 50.00      1.00     1.00  mcount (internal)
+";
+        let t = parse_flat_profile("g", text).unwrap();
+        let time = t.profile.metric_id("TIME").unwrap();
+        let e = t.profile.event_id("mcount (internal)").unwrap();
+        let c = t.profile.get(e, time, 0).unwrap();
+        assert_eq!(c.exclusive, 1.0);
+        assert_eq!(c.inclusive, 1.0);
+        assert_eq!(c.calls, 1.0);
+    }
+
+    #[test]
+    fn no_table_is_error() {
+        assert!(parse_flat_profile("g", "nothing here\n").is_err());
+        assert!(parse_flat_profile("g", "").is_err());
+    }
+
+    #[test]
+    fn bad_numbers_are_errors() {
+        let text = "\
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 50.00      1.00     abc      100     1.0      1.0    f
+";
+        assert!(parse_flat_profile("g", text).is_err());
+    }
+
+    #[test]
+    fn table_ends_at_blank_line() {
+        let t = parse_flat_profile("g", SAMPLE).unwrap();
+        // "some other section" must not have been parsed as an event.
+        assert_eq!(t.profile.events().len(), 2);
+    }
+}

@@ -1,0 +1,18 @@
+//! On-disk profile format readers and writers.
+//!
+//! PerfDMF "includes support for nearly a dozen performance profile
+//! formats". This module provides the formats the workspace needs:
+//!
+//! * [`tau`] — the TAU text profile format (`profile.N.C.T` files, one
+//!   per thread per metric), the paper's primary measurement source;
+//! * [`csv`] — a flat tabular interchange format, convenient for
+//!   spreadsheet export and for the benchmark harness;
+//! * [`gprof`] — a gprof-style flat profile reader, representing the
+//!   class of single-threaded external formats PerfDMF ingests.
+//!
+//! All readers produce the same in-memory [`crate::Trial`] model, so the
+//! analysis layer is format-agnostic.
+
+pub mod csv;
+pub mod gprof;
+pub mod tau;

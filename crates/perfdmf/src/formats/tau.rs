@@ -1,0 +1,279 @@
+//! TAU text profile format.
+//!
+//! TAU writes one file per thread per metric, named `profile.N.C.T`.
+//! The layout this reader accepts (a faithful subset of TAU's):
+//!
+//! ```text
+//! 2 templated_functions_MULTI_TIME
+//! # Name Calls Subrs Excl Incl ProfileCalls
+//! "main" 1 1 400 1000 0
+//! "main => loop" 1 0 600 600 0
+//! ```
+//!
+//! The first line carries the function count and the metric name after
+//! the `templated_functions_MULTI_` prefix; each data line is a quoted
+//! event name followed by calls, subcalls, exclusive, inclusive and a
+//! trailing (ignored) profile-call count.
+
+use crate::model::{Measurement, ThreadId, Trial, TrialBuilder};
+use crate::{DmfError, Result};
+
+/// Parsed contents of a single `profile.N.C.T` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TauThreadProfile {
+    /// Metric the file measures (from the header line).
+    pub metric: String,
+    /// Event rows: `(name, measurement)`.
+    pub rows: Vec<(String, Measurement)>,
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> DmfError {
+    DmfError::Parse {
+        format: "tau",
+        line: Some(line),
+        message: message.into(),
+    }
+}
+
+/// Parses one TAU profile file.
+pub fn parse_thread_profile(text: &str) -> Result<TauThreadProfile> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty profile"))?;
+    let mut parts = header.split_whitespace();
+    let count: usize = parts
+        .next()
+        .ok_or_else(|| parse_err(1, "missing function count"))?
+        .parse()
+        .map_err(|_| parse_err(1, "function count is not a number"))?;
+    let tag = parts
+        .next()
+        .ok_or_else(|| parse_err(1, "missing metric tag"))?;
+    let metric = tag
+        .strip_prefix("templated_functions_MULTI_")
+        .ok_or_else(|| parse_err(1, format!("unexpected metric tag {tag:?}")))?
+        .to_string();
+
+    let mut rows = Vec::with_capacity(count);
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if rows.len() == count {
+            break; // aggregate/user-event sections follow the function table
+        }
+        // Quoted name, then numeric fields.
+        if !trimmed.starts_with('"') {
+            return Err(parse_err(line_no, "expected quoted event name"));
+        }
+        let close = trimmed[1..]
+            .find('"')
+            .ok_or_else(|| parse_err(line_no, "unterminated event name"))?;
+        let name = trimmed[1..=close].to_string();
+        let rest = &trimmed[close + 2..];
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        if fields.len() < 4 {
+            return Err(parse_err(
+                line_no,
+                format!("expected at least 4 numeric fields, found {}", fields.len()),
+            ));
+        }
+        let num = |i: usize| -> Result<f64> {
+            fields[i]
+                .parse::<f64>()
+                .map_err(|_| parse_err(line_no, format!("bad numeric field {:?}", fields[i])))
+        };
+        rows.push((
+            name,
+            Measurement {
+                calls: num(0)?,
+                subcalls: num(1)?,
+                exclusive: num(2)?,
+                inclusive: num(3)?,
+            },
+        ));
+    }
+    if rows.len() != count {
+        return Err(parse_err(
+            0,
+            format!("header declared {count} functions, found {}", rows.len()),
+        ));
+    }
+    Ok(TauThreadProfile { metric, rows })
+}
+
+/// Writes one thread's rows in TAU text form (the inverse of
+/// [`parse_thread_profile`]).
+pub fn write_thread_profile(metric: &str, rows: &[(String, Measurement)]) -> String {
+    let mut out = format!("{} templated_functions_MULTI_{}\n", rows.len(), metric);
+    out.push_str("# Name Calls Subrs Excl Incl ProfileCalls\n");
+    for (name, m) in rows {
+        out.push_str(&format!(
+            "\"{}\" {} {} {} {} 0\n",
+            name, m.calls, m.subcalls, m.exclusive, m.inclusive
+        ));
+    }
+    out
+}
+
+/// Parses the `N.C.T` suffix of a `profile.N.C.T` filename.
+pub fn parse_profile_filename(name: &str) -> Option<ThreadId> {
+    let rest = name.strip_prefix("profile.")?;
+    let mut it = rest.split('.');
+    let node = it.next()?.parse().ok()?;
+    let context = it.next()?.parse().ok()?;
+    let thread = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(ThreadId {
+        node,
+        context,
+        thread,
+    })
+}
+
+/// Assembles a [`Trial`] from per-thread profile texts, e.g. the contents
+/// of one TAU profile directory. Multiple metrics may be supplied by
+/// including each thread once per metric.
+pub fn assemble_trial(
+    trial_name: &str,
+    files: &[(ThreadId, &str)],
+) -> Result<Trial> {
+    if files.is_empty() {
+        return Err(DmfError::Parse {
+            format: "tau",
+            line: None,
+            message: "no profile files supplied".into(),
+        });
+    }
+    let mut threads: Vec<ThreadId> = files.iter().map(|(t, _)| *t).collect();
+    threads.sort();
+    threads.dedup();
+    let index_of = |t: &ThreadId| threads.binary_search(t).expect("collected above");
+
+    let mut builder = TrialBuilder::with_threads(trial_name, threads.clone());
+    for (tid, text) in files {
+        let parsed = parse_thread_profile(text)?;
+        let metric = builder.metric(&parsed.metric);
+        let ti = index_of(tid);
+        for (name, m) in parsed.rows {
+            let ev = builder.event(&name);
+            builder.set(ev, metric, ti, m);
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+2 templated_functions_MULTI_TIME
+# Name Calls Subrs Excl Incl ProfileCalls
+\"main\" 1 1 400 1000 0
+\"main => loop\" 1 0 600 600 0
+";
+
+    #[test]
+    fn parses_sample_profile() {
+        let p = parse_thread_profile(SAMPLE).unwrap();
+        assert_eq!(p.metric, "TIME");
+        assert_eq!(p.rows.len(), 2);
+        assert_eq!(p.rows[0].0, "main");
+        assert_eq!(p.rows[0].1.inclusive, 1000.0);
+        assert_eq!(p.rows[0].1.exclusive, 400.0);
+        assert_eq!(p.rows[1].0, "main => loop");
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let p = parse_thread_profile(SAMPLE).unwrap();
+        let text = write_thread_profile(&p.metric, &p.rows);
+        let again = parse_thread_profile(&text).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_thread_profile("").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse_thread_profile("x templated_functions_MULTI_TIME\n").is_err());
+        assert!(parse_thread_profile("2 wrong_tag\n").is_err());
+        assert!(parse_thread_profile("2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unquoted_name() {
+        let bad = "1 templated_functions_MULTI_TIME\nmain 1 0 1 1 0\n";
+        assert!(matches!(
+            parse_thread_profile(bad),
+            Err(DmfError::Parse { format: "tau", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let bad = "1 templated_functions_MULTI_TIME\n\"main\" 1 0\n";
+        assert!(parse_thread_profile(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let bad = "3 templated_functions_MULTI_TIME\n\"main\" 1 0 1 1 0\n";
+        assert!(parse_thread_profile(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_field() {
+        let bad = "1 templated_functions_MULTI_TIME\n\"main\" 1 z 1 1 0\n";
+        assert!(parse_thread_profile(bad).is_err());
+    }
+
+    #[test]
+    fn filename_parsing() {
+        assert_eq!(
+            parse_profile_filename("profile.3.0.7"),
+            Some(ThreadId { node: 3, context: 0, thread: 7 })
+        );
+        assert_eq!(parse_profile_filename("profile.3.0"), None);
+        assert_eq!(parse_profile_filename("profile.3.0.7.9"), None);
+        assert_eq!(parse_profile_filename("prof.1.2.3"), None);
+        assert_eq!(parse_profile_filename("profile.a.b.c"), None);
+    }
+
+    #[test]
+    fn assemble_trial_multiple_threads_and_metrics() {
+        let t0_time = "1 templated_functions_MULTI_TIME\n\"main\" 1 0 10 10 0\n";
+        let t1_time = "1 templated_functions_MULTI_TIME\n\"main\" 1 0 12 12 0\n";
+        let t0_cyc = "1 templated_functions_MULTI_CPU_CYCLES\n\"main\" 1 0 1e6 1e6 0\n";
+        let t1_cyc = "1 templated_functions_MULTI_CPU_CYCLES\n\"main\" 1 0 1.2e6 1.2e6 0\n";
+        let trial = assemble_trial(
+            "1_2",
+            &[
+                (ThreadId::flat(0), t0_time),
+                (ThreadId::flat(1), t1_time),
+                (ThreadId::flat(0), t0_cyc),
+                (ThreadId::flat(1), t1_cyc),
+            ],
+        )
+        .unwrap();
+        assert_eq!(trial.profile.thread_count(), 2);
+        assert_eq!(trial.profile.metrics().len(), 2);
+        let cyc = trial.profile.metric_id("CPU_CYCLES").unwrap();
+        let main = trial.profile.event_id("main").unwrap();
+        assert_eq!(trial.profile.get(main, cyc, 1).unwrap().exclusive, 1.2e6);
+    }
+
+    #[test]
+    fn assemble_trial_empty_is_error() {
+        assert!(assemble_trial("x", &[]).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Trial metadata — the "performance context" of the paper.
+//!
+//! PerfDMF and PerfExplorer were "extended for better support of
+//! performance context, or metadata, and rules can be constructed which
+//! include the metadata to justify conclusions about the performance
+//! data". This module stores that context as typed key/value pairs that
+//! both analyses and inference rules can read.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A typed metadata value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetaValue {
+    /// A free-form string, e.g. machine or schedule names.
+    Str(String),
+    /// A numeric value, e.g. thread counts or problem sizes.
+    Num(f64),
+    /// A boolean flag, e.g. `optimized`.
+    Bool(bool),
+}
+
+impl From<&str> for MetaValue {
+    fn from(s: &str) -> Self {
+        MetaValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for MetaValue {
+    fn from(s: String) -> Self {
+        MetaValue::Str(s)
+    }
+}
+
+impl From<f64> for MetaValue {
+    fn from(n: f64) -> Self {
+        MetaValue::Num(n)
+    }
+}
+
+impl From<i64> for MetaValue {
+    fn from(n: i64) -> Self {
+        MetaValue::Num(n as f64)
+    }
+}
+
+impl From<usize> for MetaValue {
+    fn from(n: usize) -> Self {
+        MetaValue::Num(n as f64)
+    }
+}
+
+impl From<bool> for MetaValue {
+    fn from(b: bool) -> Self {
+        MetaValue::Bool(b)
+    }
+}
+
+impl std::fmt::Display for MetaValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaValue::Str(s) => write!(f, "{s}"),
+            MetaValue::Num(n) => write!(f, "{n}"),
+            MetaValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Ordered map of metadata fields attached to a trial.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metadata {
+    fields: BTreeMap<String, MetaValue>,
+}
+
+impl Metadata {
+    /// Creates an empty metadata map.
+    pub fn new() -> Self {
+        Metadata::default()
+    }
+
+    /// Sets a field, replacing any previous value.
+    pub fn set(&mut self, key: &str, value: impl Into<MetaValue>) {
+        self.fields.insert(key.to_string(), value.into());
+    }
+
+    /// Raw lookup.
+    pub fn get(&self, key: &str) -> Option<&MetaValue> {
+        self.fields.get(key)
+    }
+
+    /// String lookup; `None` if absent or not a string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.fields.get(key) {
+            Some(MetaValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric lookup; `None` if absent or not numeric.
+    pub fn get_num(&self, key: &str) -> Option<f64> {
+        match self.fields.get(key) {
+            Some(MetaValue::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Boolean lookup; `None` if absent or not boolean.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.fields.get(key) {
+            Some(MetaValue::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Iterates fields in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetaValue)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_set_and_get() {
+        let mut m = Metadata::new();
+        m.set("machine", "Altix 300");
+        m.set("threads", 16usize);
+        m.set("optimized", false);
+        assert_eq!(m.get_str("machine"), Some("Altix 300"));
+        assert_eq!(m.get_num("threads"), Some(16.0));
+        assert_eq!(m.get_bool("optimized"), Some(false));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn wrong_type_lookup_is_none() {
+        let mut m = Metadata::new();
+        m.set("threads", 16usize);
+        assert_eq!(m.get_str("threads"), None);
+        assert_eq!(m.get_bool("threads"), None);
+        assert_eq!(m.get_num("missing"), None);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut m = Metadata::new();
+        m.set("k", 1i64);
+        m.set("k", "two");
+        assert_eq!(m.get_str("k"), Some("two"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut m = Metadata::new();
+        m.set("b", 2i64);
+        m.set("a", 1i64);
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(MetaValue::from("x").to_string(), "x");
+        assert_eq!(MetaValue::from(2.5).to_string(), "2.5");
+        assert_eq!(MetaValue::from(true).to_string(), "true");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut m = Metadata::new();
+        m.set("machine", "Altix 3600");
+        m.set("ranks", 512usize);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Metadata = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,637 @@
+//! The profile data model: trials, metrics, events, threads, measurements.
+
+use crate::metadata::Metadata;
+use crate::{DmfError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Name of the conventional top-level event. Analyses that compare a
+/// region against the whole program (the paper's `compareEventToMain`)
+/// resolve this event.
+pub const MAIN_EVENT: &str = "main";
+
+/// Separator used in callpath event names (`main => loop => inner`),
+/// following the TAU convention.
+pub const CALLPATH_SEPARATOR: &str = " => ";
+
+/// Identifier of a metric within one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetricId(pub u32);
+
+/// Identifier of an event (instrumented code region) within one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+/// TAU-style thread identity: node, context, thread.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct ThreadId {
+    /// Node (MPI rank or SMP node index).
+    pub node: u32,
+    /// Context within the node (usually 0).
+    pub context: u32,
+    /// Thread within the context (OpenMP thread index).
+    pub thread: u32,
+}
+
+impl ThreadId {
+    /// Shorthand for a flat thread numbering `(0,0,t)`.
+    pub fn flat(t: u32) -> Self {
+        ThreadId {
+            node: 0,
+            context: 0,
+            thread: t,
+        }
+    }
+
+    /// Shorthand for MPI-style numbering `(rank,0,0)`.
+    pub fn rank(r: u32) -> Self {
+        ThreadId {
+            node: r,
+            context: 0,
+            thread: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}", self.node, self.context, self.thread)
+    }
+}
+
+/// A measured performance metric (e.g. `TIME`, `CPU_CYCLES`,
+/// `BACK_END_BUBBLE_ALL`, `L3_MISSES`, or a derived expression).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Metric name. Derived metrics use parenthesised expressions such as
+    /// `(BACK_END_BUBBLE_ALL / CPU_CYCLES)`, matching PerfExplorer.
+    pub name: String,
+    /// Whether this metric was derived by analysis rather than measured.
+    pub derived: bool,
+}
+
+impl Metric {
+    /// A measured (non-derived) metric.
+    pub fn measured(name: impl Into<String>) -> Self {
+        Metric {
+            name: name.into(),
+            derived: false,
+        }
+    }
+
+    /// A derived metric.
+    pub fn derived(name: impl Into<String>) -> Self {
+        Metric {
+            name: name.into(),
+            derived: true,
+        }
+    }
+}
+
+/// An instrumented code region. Regions form a call tree encoded in their
+/// names with [`CALLPATH_SEPARATOR`], as TAU does for callpath profiles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Full (possibly callpath) name.
+    pub name: String,
+    /// Optional source-region kind tag ("procedure", "loop", "barrier",
+    /// "callsite", ...) supplied by the instrumentation layer.
+    pub kind: Option<String>,
+}
+
+impl Event {
+    /// Creates a plain event.
+    pub fn new(name: impl Into<String>) -> Self {
+        Event {
+            name: name.into(),
+            kind: None,
+        }
+    }
+
+    /// Creates an event with a region-kind tag.
+    pub fn with_kind(name: impl Into<String>, kind: impl Into<String>) -> Self {
+        Event {
+            name: name.into(),
+            kind: Some(kind.into()),
+        }
+    }
+
+    /// Leaf (rightmost) component of the callpath name.
+    pub fn leaf(&self) -> &str {
+        self.name
+            .rsplit(CALLPATH_SEPARATOR)
+            .next()
+            .unwrap_or(&self.name)
+    }
+
+    /// Callpath parent name (everything before the last separator), or
+    /// `None` for a root event.
+    pub fn parent_name(&self) -> Option<&str> {
+        self.name
+            .rfind(CALLPATH_SEPARATOR)
+            .map(|idx| &self.name[..idx])
+    }
+
+    /// Whether this event is an ancestor of `other` in the call tree
+    /// (proper prefix of its callpath).
+    pub fn is_ancestor_of(&self, other: &Event) -> bool {
+        other.name.len() > self.name.len()
+            && other.name.starts_with(&self.name)
+            && other.name[self.name.len()..].starts_with(CALLPATH_SEPARATOR)
+    }
+}
+
+/// One cell of a profile: the measurements of one event, for one metric,
+/// on one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Inclusive value (includes children).
+    pub inclusive: f64,
+    /// Exclusive value (excludes children).
+    pub exclusive: f64,
+    /// Number of invocations of the region.
+    pub calls: f64,
+    /// Number of child invocations made from the region.
+    pub subcalls: f64,
+}
+
+impl Measurement {
+    /// A measurement with equal inclusive/exclusive value and one call.
+    pub fn leaf(value: f64) -> Self {
+        Measurement {
+            inclusive: value,
+            exclusive: value,
+            calls: 1.0,
+            subcalls: 0.0,
+        }
+    }
+}
+
+/// The measurement container of a trial: a dense
+/// `event × metric × thread` array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    metrics: Vec<Metric>,
+    events: Vec<Event>,
+    threads: Vec<ThreadId>,
+    /// `data[event][metric][thread]`.
+    data: Vec<Vec<Vec<Measurement>>>,
+}
+
+impl Profile {
+    /// Creates an empty profile over the given thread set.
+    pub fn new(threads: Vec<ThreadId>) -> Self {
+        Profile {
+            metrics: Vec::new(),
+            events: Vec::new(),
+            threads,
+            data: Vec::new(),
+        }
+    }
+
+    /// All metrics.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// All threads.
+    pub fn threads(&self) -> &[ThreadId] {
+        &self.threads
+    }
+
+    /// Number of threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Looks up a metric id by name.
+    pub fn metric_id(&self, name: &str) -> Option<MetricId> {
+        self.metrics
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| MetricId(i as u32))
+    }
+
+    /// Looks up an event id by full name.
+    pub fn event_id(&self, name: &str) -> Option<EventId> {
+        self.events
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| EventId(i as u32))
+    }
+
+    /// Metric by id.
+    pub fn metric(&self, id: MetricId) -> &Metric {
+        &self.metrics[id.0 as usize]
+    }
+
+    /// Event by id.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.0 as usize]
+    }
+
+    /// Adds a metric, initialising its cells to zero for every existing
+    /// event. Fails on duplicates.
+    pub fn add_metric(&mut self, metric: Metric) -> Result<MetricId> {
+        if self.metric_id(&metric.name).is_some() {
+            return Err(DmfError::Duplicate {
+                kind: "metric",
+                name: metric.name,
+            });
+        }
+        self.metrics.push(metric);
+        let nt = self.threads.len();
+        for ev in &mut self.data {
+            ev.push(vec![Measurement::default(); nt]);
+        }
+        Ok(MetricId(self.metrics.len() as u32 - 1))
+    }
+
+    /// Adds an event, initialising its cells to zero for every metric.
+    /// Fails on duplicates.
+    pub fn add_event(&mut self, event: Event) -> Result<EventId> {
+        if self.event_id(&event.name).is_some() {
+            return Err(DmfError::Duplicate {
+                kind: "event",
+                name: event.name,
+            });
+        }
+        self.events.push(event);
+        let nt = self.threads.len();
+        self.data
+            .push(vec![vec![Measurement::default(); nt]; self.metrics.len()]);
+        Ok(EventId(self.events.len() as u32 - 1))
+    }
+
+    /// Returns the measurement cell, if all indices are in range.
+    pub fn get(&self, event: EventId, metric: MetricId, thread: usize) -> Option<&Measurement> {
+        self.data
+            .get(event.0 as usize)?
+            .get(metric.0 as usize)?
+            .get(thread)
+    }
+
+    /// Mutable access to a measurement cell.
+    pub fn get_mut(
+        &mut self,
+        event: EventId,
+        metric: MetricId,
+        thread: usize,
+    ) -> Option<&mut Measurement> {
+        self.data
+            .get_mut(event.0 as usize)?
+            .get_mut(metric.0 as usize)?
+            .get_mut(thread)
+    }
+
+    /// Sets a measurement cell. Out-of-range indices are an error.
+    pub fn set(
+        &mut self,
+        event: EventId,
+        metric: MetricId,
+        thread: usize,
+        m: Measurement,
+    ) -> Result<()> {
+        match self.get_mut(event, metric, thread) {
+            Some(cell) => {
+                *cell = m;
+                Ok(())
+            }
+            None => Err(DmfError::NotFound {
+                kind: "profile cell",
+                name: format!("event {event:?} metric {metric:?} thread {thread}"),
+            }),
+        }
+    }
+
+    /// Per-thread slice of measurements for one event/metric.
+    pub fn across_threads(&self, event: EventId, metric: MetricId) -> &[Measurement] {
+        &self.data[event.0 as usize][metric.0 as usize]
+    }
+
+    /// Exclusive values across threads as a fresh vector.
+    pub fn exclusive_across_threads(&self, event: EventId, metric: MetricId) -> Vec<f64> {
+        self.across_threads(event, metric)
+            .iter()
+            .map(|m| m.exclusive)
+            .collect()
+    }
+
+    /// Inclusive values across threads as a fresh vector.
+    pub fn inclusive_across_threads(&self, event: EventId, metric: MetricId) -> Vec<f64> {
+        self.across_threads(event, metric)
+            .iter()
+            .map(|m| m.inclusive)
+            .collect()
+    }
+
+    /// Mean of exclusive values across threads.
+    pub fn mean_exclusive(&self, event: EventId, metric: MetricId) -> f64 {
+        let v = self.across_threads(event, metric);
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.iter().map(|m| m.exclusive).sum::<f64>() / v.len() as f64
+    }
+
+    /// Mean of inclusive values across threads.
+    pub fn mean_inclusive(&self, event: EventId, metric: MetricId) -> f64 {
+        let v = self.across_threads(event, metric);
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.iter().map(|m| m.inclusive).sum::<f64>() / v.len() as f64
+    }
+
+    /// Maximum inclusive value across threads (the critical-path reading of
+    /// a region's cost in a fork-join program).
+    pub fn max_inclusive(&self, event: EventId, metric: MetricId) -> f64 {
+        self.across_threads(event, metric)
+            .iter()
+            .map(|m| m.inclusive)
+            .fold(0.0, f64::max)
+    }
+
+    /// The event id of [`MAIN_EVENT`], if present.
+    pub fn main_event(&self) -> Option<EventId> {
+        self.event_id(MAIN_EVENT)
+    }
+}
+
+/// One experimental run: a profile plus its identity and metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// Trial name, unique within its experiment (e.g. `"1_8"` for
+    /// 1 node × 8 threads).
+    pub name: String,
+    /// The measurement data.
+    pub profile: Profile,
+    /// Performance context: machine, schedule, problem size, ...
+    pub metadata: Metadata,
+}
+
+impl Trial {
+    /// Creates a trial around an existing profile.
+    pub fn new(name: impl Into<String>, profile: Profile) -> Self {
+        Trial {
+            name: name.into(),
+            profile,
+            metadata: Metadata::new(),
+        }
+    }
+}
+
+/// Incremental builder for trials, used by the simulator's profiling layer
+/// and the format readers.
+#[derive(Debug, Clone)]
+pub struct TrialBuilder {
+    name: String,
+    profile: Profile,
+    metadata: Metadata,
+}
+
+impl TrialBuilder {
+    /// Starts a trial over `n` flat threads `(0,0,0) .. (0,0,n-1)`.
+    pub fn with_flat_threads(name: impl Into<String>, n: usize) -> Self {
+        TrialBuilder {
+            name: name.into(),
+            profile: Profile::new((0..n as u32).map(ThreadId::flat).collect()),
+            metadata: Metadata::new(),
+        }
+    }
+
+    /// Starts a trial over `n` MPI ranks `(0,0,0) .. (n-1,0,0)`.
+    pub fn with_ranks(name: impl Into<String>, n: usize) -> Self {
+        TrialBuilder {
+            name: name.into(),
+            profile: Profile::new((0..n as u32).map(ThreadId::rank).collect()),
+            metadata: Metadata::new(),
+        }
+    }
+
+    /// Starts a trial over an explicit thread list.
+    pub fn with_threads(name: impl Into<String>, threads: Vec<ThreadId>) -> Self {
+        TrialBuilder {
+            name: name.into(),
+            profile: Profile::new(threads),
+            metadata: Metadata::new(),
+        }
+    }
+
+    /// Adds (or reuses) a measured metric and returns its id.
+    pub fn metric(&mut self, name: &str) -> MetricId {
+        match self.profile.metric_id(name) {
+            Some(id) => id,
+            None => self
+                .profile
+                .add_metric(Metric::measured(name))
+                .expect("checked for duplicate"),
+        }
+    }
+
+    /// Adds (or reuses) an event and returns its id.
+    pub fn event(&mut self, name: &str) -> EventId {
+        match self.profile.event_id(name) {
+            Some(id) => id,
+            None => self
+                .profile
+                .add_event(Event::new(name))
+                .expect("checked for duplicate"),
+        }
+    }
+
+    /// Adds (or reuses) an event with a region-kind tag.
+    pub fn event_with_kind(&mut self, name: &str, kind: &str) -> EventId {
+        match self.profile.event_id(name) {
+            Some(id) => id,
+            None => self
+                .profile
+                .add_event(Event::with_kind(name, kind))
+                .expect("checked for duplicate"),
+        }
+    }
+
+    /// Writes one measurement cell.
+    pub fn set(&mut self, event: EventId, metric: MetricId, thread: usize, m: Measurement) {
+        self.profile
+            .set(event, metric, thread, m)
+            .expect("builder indices are construction-time valid");
+    }
+
+    /// Accumulates into one measurement cell (adds values and calls).
+    pub fn accumulate(&mut self, event: EventId, metric: MetricId, thread: usize, m: Measurement) {
+        if let Some(cell) = self.profile.get_mut(event, metric, thread) {
+            cell.inclusive += m.inclusive;
+            cell.exclusive += m.exclusive;
+            cell.calls += m.calls;
+            cell.subcalls += m.subcalls;
+        }
+    }
+
+    /// Sets a metadata field.
+    pub fn meta(&mut self, key: &str, value: impl Into<crate::MetaValue>) -> &mut Self {
+        self.metadata.set(key, value);
+        self
+    }
+
+    /// Finishes the trial.
+    pub fn build(self) -> Trial {
+        Trial {
+            name: self.name,
+            profile: self.profile,
+            metadata: self.metadata,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> Profile {
+        let mut p = Profile::new(vec![ThreadId::flat(0), ThreadId::flat(1)]);
+        let time = p.add_metric(Metric::measured("TIME")).unwrap();
+        let main = p.add_event(Event::new("main")).unwrap();
+        let inner = p
+            .add_event(Event::new("main => loop"))
+            .unwrap();
+        p.set(main, time, 0, Measurement { inclusive: 10.0, exclusive: 4.0, calls: 1.0, subcalls: 1.0 }).unwrap();
+        p.set(main, time, 1, Measurement { inclusive: 12.0, exclusive: 6.0, calls: 1.0, subcalls: 1.0 }).unwrap();
+        p.set(inner, time, 0, Measurement::leaf(6.0)).unwrap();
+        p.set(inner, time, 1, Measurement::leaf(6.0)).unwrap();
+        p
+    }
+
+    #[test]
+    fn metric_and_event_lookup() {
+        let p = sample_profile();
+        assert_eq!(p.metric_id("TIME"), Some(MetricId(0)));
+        assert_eq!(p.metric_id("MISSING"), None);
+        assert_eq!(p.event_id("main"), Some(EventId(0)));
+        assert_eq!(p.main_event(), Some(EventId(0)));
+        assert_eq!(p.event(EventId(1)).leaf(), "loop");
+    }
+
+    #[test]
+    fn duplicate_metric_rejected() {
+        let mut p = sample_profile();
+        assert!(matches!(
+            p.add_metric(Metric::measured("TIME")),
+            Err(DmfError::Duplicate { kind: "metric", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_event_rejected() {
+        let mut p = sample_profile();
+        assert!(matches!(
+            p.add_event(Event::new("main")),
+            Err(DmfError::Duplicate { kind: "event", .. })
+        ));
+    }
+
+    #[test]
+    fn adding_metric_resizes_existing_events() {
+        let mut p = sample_profile();
+        let cycles = p.add_metric(Metric::measured("CPU_CYCLES")).unwrap();
+        let main = p.event_id("main").unwrap();
+        assert_eq!(p.get(main, cycles, 0), Some(&Measurement::default()));
+        assert_eq!(p.get(main, cycles, 1), Some(&Measurement::default()));
+    }
+
+    #[test]
+    fn across_threads_views() {
+        let p = sample_profile();
+        let time = p.metric_id("TIME").unwrap();
+        let main = p.event_id("main").unwrap();
+        assert_eq!(p.exclusive_across_threads(main, time), vec![4.0, 6.0]);
+        assert_eq!(p.inclusive_across_threads(main, time), vec![10.0, 12.0]);
+        assert_eq!(p.mean_exclusive(main, time), 5.0);
+        assert_eq!(p.mean_inclusive(main, time), 11.0);
+        assert_eq!(p.max_inclusive(main, time), 12.0);
+    }
+
+    #[test]
+    fn callpath_relationships() {
+        let main = Event::new("main");
+        let outer = Event::new("main => outer");
+        let inner = Event::new("main => outer => inner");
+        assert!(main.is_ancestor_of(&outer));
+        assert!(main.is_ancestor_of(&inner));
+        assert!(outer.is_ancestor_of(&inner));
+        assert!(!inner.is_ancestor_of(&outer));
+        assert!(!outer.is_ancestor_of(&outer));
+        assert_eq!(inner.parent_name(), Some("main => outer"));
+        assert_eq!(main.parent_name(), None);
+        assert_eq!(inner.leaf(), "inner");
+    }
+
+    #[test]
+    fn prefix_but_not_path_component_is_not_ancestor() {
+        let a = Event::new("main");
+        let b = Event::new("mainline"); // name prefix, not a callpath child
+        assert!(!a.is_ancestor_of(&b));
+    }
+
+    #[test]
+    fn out_of_range_set_is_error() {
+        let mut p = sample_profile();
+        let time = p.metric_id("TIME").unwrap();
+        let main = p.event_id("main").unwrap();
+        assert!(p.set(main, time, 99, Measurement::default()).is_err());
+        assert!(p.get(EventId(42), time, 0).is_none());
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = TrialBuilder::with_flat_threads("1_4", 4);
+        let t = b.metric("TIME");
+        let e = b.event("main");
+        for th in 0..4 {
+            b.set(e, t, th, Measurement::leaf(th as f64));
+        }
+        b.accumulate(e, t, 0, Measurement::leaf(1.0));
+        b.meta("schedule", "dynamic");
+        let trial = b.build();
+        assert_eq!(trial.name, "1_4");
+        assert_eq!(trial.profile.thread_count(), 4);
+        let cell = trial.profile.get(e, t, 0).unwrap();
+        assert_eq!(cell.exclusive, 1.0);
+        assert_eq!(cell.calls, 2.0);
+        assert_eq!(
+            trial.metadata.get_str("schedule"),
+            Some("dynamic")
+        );
+    }
+
+    #[test]
+    fn builder_reuses_ids() {
+        let mut b = TrialBuilder::with_ranks("mpi", 2);
+        let a = b.metric("TIME");
+        let a2 = b.metric("TIME");
+        assert_eq!(a, a2);
+        let e = b.event("main");
+        let e2 = b.event("main");
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn thread_id_display_and_constructors() {
+        assert_eq!(ThreadId::flat(3).to_string(), "0.0.3");
+        assert_eq!(ThreadId::rank(5).to_string(), "5.0.0");
+    }
+
+    #[test]
+    fn profile_serde_roundtrip() {
+        let p = sample_profile();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Profile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,309 @@
+//! The profile repository: applications → experiments → trials.
+//!
+//! This is the PerfDMF "relational database" role: analyses ask for trials
+//! by `(application, experiment, trial)` name — exactly the
+//! `Utilities.getTrial("Fluid Dynamic", "rib 45", "1_8")` call in the
+//! paper's Figure 1 — and analysis results (derived metrics, new trials)
+//! can be saved back. Persistence is a JSON document per repository.
+
+use crate::model::Trial;
+use crate::{DmfError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One experiment: a named group of trials (e.g. a scaling series).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Experiment {
+    trials: BTreeMap<String, Trial>,
+}
+
+impl Experiment {
+    /// Trial names in order.
+    pub fn trial_names(&self) -> impl Iterator<Item = &str> {
+        self.trials.keys().map(|s| s.as_str())
+    }
+
+    /// All trials in name order.
+    pub fn trials(&self) -> impl Iterator<Item = &Trial> {
+        self.trials.values()
+    }
+
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Whether the experiment holds no trials.
+    pub fn is_empty(&self) -> bool {
+        self.trials.is_empty()
+    }
+}
+
+/// One application: a named group of experiments.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Application {
+    experiments: BTreeMap<String, Experiment>,
+}
+
+impl Application {
+    /// Experiment names in order.
+    pub fn experiment_names(&self) -> impl Iterator<Item = &str> {
+        self.experiments.keys().map(|s| s.as_str())
+    }
+}
+
+/// An in-memory profile repository with JSON persistence.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Repository {
+    applications: BTreeMap<String, Application>,
+}
+
+impl Repository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    /// Application names in order.
+    pub fn application_names(&self) -> impl Iterator<Item = &str> {
+        self.applications.keys().map(|s| s.as_str())
+    }
+
+    /// Stores a trial under `app / experiment`, creating the hierarchy as
+    /// needed. Fails if a trial with the same name already exists there.
+    pub fn add_trial(&mut self, app: &str, experiment: &str, trial: Trial) -> Result<()> {
+        let exp = self
+            .applications
+            .entry(app.to_string())
+            .or_default()
+            .experiments
+            .entry(experiment.to_string())
+            .or_default();
+        if exp.trials.contains_key(&trial.name) {
+            return Err(DmfError::Duplicate {
+                kind: "trial",
+                name: format!("{app}/{experiment}/{}", trial.name),
+            });
+        }
+        exp.trials.insert(trial.name.clone(), trial);
+        Ok(())
+    }
+
+    /// Replaces (or inserts) a trial — used when analyses write derived
+    /// metrics back to the store.
+    pub fn upsert_trial(&mut self, app: &str, experiment: &str, trial: Trial) {
+        self.applications
+            .entry(app.to_string())
+            .or_default()
+            .experiments
+            .entry(experiment.to_string())
+            .or_default()
+            .trials
+            .insert(trial.name.clone(), trial);
+    }
+
+    /// Looks up an application.
+    pub fn application(&self, app: &str) -> Result<&Application> {
+        self.applications.get(app).ok_or_else(|| DmfError::NotFound {
+            kind: "application",
+            name: app.to_string(),
+        })
+    }
+
+    /// Looks up an experiment.
+    pub fn experiment(&self, app: &str, experiment: &str) -> Result<&Experiment> {
+        self.application(app)?
+            .experiments
+            .get(experiment)
+            .ok_or_else(|| DmfError::NotFound {
+                kind: "experiment",
+                name: format!("{app}/{experiment}"),
+            })
+    }
+
+    /// Looks up a trial — the `Utilities.getTrial` equivalent.
+    pub fn trial(&self, app: &str, experiment: &str, trial: &str) -> Result<&Trial> {
+        self.experiment(app, experiment)?
+            .trials
+            .get(trial)
+            .ok_or_else(|| DmfError::NotFound {
+                kind: "trial",
+                name: format!("{app}/{experiment}/{trial}"),
+            })
+    }
+
+    /// Mutable trial lookup.
+    pub fn trial_mut(&mut self, app: &str, experiment: &str, trial: &str) -> Result<&mut Trial> {
+        self.applications
+            .get_mut(app)
+            .and_then(|a| a.experiments.get_mut(experiment))
+            .and_then(|e| e.trials.get_mut(trial))
+            .ok_or_else(|| DmfError::NotFound {
+                kind: "trial",
+                name: format!("{app}/{experiment}/{trial}"),
+            })
+    }
+
+    /// All trials of an experiment sorted by a numeric metadata field —
+    /// the shape scaling studies need (`threads = 1, 2, 4, ...`).
+    pub fn trials_sorted_by(
+        &self,
+        app: &str,
+        experiment: &str,
+        meta_key: &str,
+    ) -> Result<Vec<&Trial>> {
+        let exp = self.experiment(app, experiment)?;
+        let mut trials: Vec<&Trial> = exp.trials.values().collect();
+        trials.sort_by(|a, b| {
+            let ka = a.metadata.get_num(meta_key).unwrap_or(f64::MAX);
+            let kb = b.metadata.get_num(meta_key).unwrap_or(f64::MAX);
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(trials)
+    }
+
+    /// Total number of trials across the repository.
+    pub fn trial_count(&self) -> usize {
+        self.applications
+            .values()
+            .flat_map(|a| a.experiments.values())
+            .map(|e| e.trials.len())
+            .sum()
+    }
+
+    /// Serialises the whole repository to a JSON string.
+    pub fn to_json(&self) -> Result<String> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Restores a repository from its JSON form.
+    pub fn from_json(json: &str) -> Result<Self> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads from a file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Repository::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TrialBuilder;
+
+    fn trial(name: &str, threads: usize) -> Trial {
+        let mut b = TrialBuilder::with_flat_threads(name, threads);
+        let t = b.metric("TIME");
+        let e = b.event("main");
+        for th in 0..threads {
+            b.set(e, t, th, crate::Measurement::leaf(1.0));
+        }
+        b.meta("threads", threads);
+        b.build()
+    }
+
+    #[test]
+    fn add_and_get_trial() {
+        let mut repo = Repository::new();
+        repo.add_trial("Fluid Dynamic", "rib 45", trial("1_8", 8)).unwrap();
+        let t = repo.trial("Fluid Dynamic", "rib 45", "1_8").unwrap();
+        assert_eq!(t.profile.thread_count(), 8);
+    }
+
+    #[test]
+    fn missing_lookups_are_typed_errors() {
+        let repo = Repository::new();
+        assert!(matches!(
+            repo.trial("nope", "x", "y"),
+            Err(DmfError::NotFound { kind: "application", .. })
+        ));
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t", 1)).unwrap();
+        assert!(matches!(
+            repo.trial("app", "other", "t"),
+            Err(DmfError::NotFound { kind: "experiment", .. })
+        ));
+        assert!(matches!(
+            repo.trial("app", "exp", "other"),
+            Err(DmfError::NotFound { kind: "trial", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_trial_rejected_but_upsert_allowed() {
+        let mut repo = Repository::new();
+        repo.add_trial("a", "e", trial("t", 1)).unwrap();
+        assert!(matches!(
+            repo.add_trial("a", "e", trial("t", 2)),
+            Err(DmfError::Duplicate { .. })
+        ));
+        repo.upsert_trial("a", "e", trial("t", 4));
+        assert_eq!(
+            repo.trial("a", "e", "t").unwrap().profile.thread_count(),
+            4
+        );
+    }
+
+    #[test]
+    fn trials_sorted_by_metadata() {
+        let mut repo = Repository::new();
+        for n in [8usize, 1, 4, 2] {
+            repo.add_trial("app", "scaling", trial(&format!("1_{n}"), n))
+                .unwrap();
+        }
+        let sorted = repo.trials_sorted_by("app", "scaling", "threads").unwrap();
+        let counts: Vec<usize> = sorted.iter().map(|t| t.profile.thread_count()).collect();
+        assert_eq!(counts, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t1", 2)).unwrap();
+        repo.add_trial("app", "exp", trial("t2", 4)).unwrap();
+        let json = repo.to_json().unwrap();
+        let back = Repository::from_json(&json).unwrap();
+        assert_eq!(repo, back);
+        assert_eq!(back.trial_count(), 2);
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t1", 2)).unwrap();
+        let dir = std::env::temp_dir().join("perfdmf_repo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.json");
+        repo.save(&path).unwrap();
+        let back = Repository::load(&path).unwrap();
+        assert_eq!(repo, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_parse_error() {
+        assert!(Repository::from_json("{ not json").is_err());
+    }
+
+    #[test]
+    fn enumeration_apis() {
+        let mut repo = Repository::new();
+        repo.add_trial("b_app", "e1", trial("t", 1)).unwrap();
+        repo.add_trial("a_app", "e1", trial("t", 1)).unwrap();
+        let names: Vec<&str> = repo.application_names().collect();
+        assert_eq!(names, vec!["a_app", "b_app"]);
+        let exp = repo.experiment("a_app", "e1").unwrap();
+        assert_eq!(exp.len(), 1);
+        assert!(!exp.is_empty());
+        assert_eq!(exp.trial_names().collect::<Vec<_>>(), vec!["t"]);
+    }
+}

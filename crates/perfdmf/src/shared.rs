@@ -1,0 +1,141 @@
+//! Thread-safe repository sharing.
+//!
+//! Parallel sweeps (many simulations or profile imports at once) need to
+//! write into one repository concurrently, and long-lived analysis
+//! sessions need concurrent readers. [`SharedRepository`] wraps the
+//! plain [`Repository`] in a `parking_lot::RwLock` behind an `Arc`,
+//! giving many-reader/one-writer semantics without poisoning.
+
+use crate::model::Trial;
+use crate::repo::Repository;
+use crate::Result;
+use parking_lot::RwLock;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A clonable, thread-safe handle to a repository.
+#[derive(Clone, Default)]
+pub struct SharedRepository {
+    inner: Arc<RwLock<Repository>>,
+}
+
+impl SharedRepository {
+    /// Creates an empty shared repository.
+    pub fn new() -> Self {
+        SharedRepository::default()
+    }
+
+    /// Wraps an existing repository.
+    pub fn from_repository(repo: Repository) -> Self {
+        SharedRepository {
+            inner: Arc::new(RwLock::new(repo)),
+        }
+    }
+
+    /// Adds a trial (write lock).
+    pub fn add_trial(&self, app: &str, experiment: &str, trial: Trial) -> Result<()> {
+        self.inner.write().add_trial(app, experiment, trial)
+    }
+
+    /// Replaces or inserts a trial (write lock).
+    pub fn upsert_trial(&self, app: &str, experiment: &str, trial: Trial) {
+        self.inner.write().upsert_trial(app, experiment, trial)
+    }
+
+    /// Clones a trial out (read lock). Cloning keeps the lock hold time
+    /// bounded; analyses operate on their own copy, as the scripting
+    /// layer already does.
+    pub fn get_trial(&self, app: &str, experiment: &str, trial: &str) -> Result<Trial> {
+        self.inner.read().trial(app, experiment, trial).cloned()
+    }
+
+    /// Runs a closure with read access (for queries that do not need a
+    /// clone).
+    pub fn read<T>(&self, f: impl FnOnce(&Repository) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Total trial count (read lock).
+    pub fn trial_count(&self) -> usize {
+        self.inner.read().trial_count()
+    }
+
+    /// Saves a snapshot to disk (read lock).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        self.inner.read().save(path)
+    }
+
+    /// Extracts the repository if this is the last handle, else clones.
+    pub fn into_repository(self) -> Repository {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => lock.into_inner(),
+            Err(arc) => arc.read().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Measurement, TrialBuilder};
+
+    fn trial(name: &str) -> Trial {
+        let mut b = TrialBuilder::with_flat_threads(name, 1);
+        let t = b.metric("TIME");
+        let e = b.event("main");
+        b.set(e, t, 0, Measurement::leaf(1.0));
+        b.build()
+    }
+
+    #[test]
+    fn concurrent_writers_land_every_trial() {
+        let repo = SharedRepository::new();
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let repo = repo.clone();
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        repo.add_trial("app", &format!("exp{w}"), trial(&format!("t{i}")))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(repo.trial_count(), 200);
+    }
+
+    #[test]
+    fn readers_run_while_holding_clones() {
+        let repo = SharedRepository::new();
+        repo.add_trial("app", "exp", trial("t0")).unwrap();
+        let t = repo.get_trial("app", "exp", "t0").unwrap();
+        assert_eq!(t.name, "t0");
+        // The clone is independent of later writes.
+        repo.upsert_trial("app", "exp", trial("t0"));
+        assert_eq!(t.profile.thread_count(), 1);
+        // Structured read access.
+        let names: Vec<String> = repo.read(|r| {
+            r.application_names().map(str::to_string).collect()
+        });
+        assert_eq!(names, vec!["app"]);
+    }
+
+    #[test]
+    fn into_repository_unwraps_or_clones() {
+        let repo = SharedRepository::new();
+        repo.add_trial("a", "e", trial("t")).unwrap();
+        let extra_handle = repo.clone();
+        let cloned = repo.into_repository(); // two handles: clones
+        assert_eq!(cloned.trial_count(), 1);
+        let owned = extra_handle.into_repository(); // last handle: unwraps
+        assert_eq!(owned.trial_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_errors_propagate_through_the_lock() {
+        let repo = SharedRepository::new();
+        repo.add_trial("a", "e", trial("t")).unwrap();
+        assert!(repo.add_trial("a", "e", trial("t")).is_err());
+        assert!(repo.get_trial("a", "e", "missing").is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! Profile consistency validation.
+//!
+//! Imported profiles (external formats, hand-edited repositories) can be
+//! internally inconsistent in ways that silently corrupt analyses:
+//! exclusive values above inclusive ones, children exceeding their
+//! parent's inclusive time, negative calls. The validator reports every
+//! violation rather than stopping at the first, so a bad import is
+//! diagnosed in one pass — the same philosophy as the analysis layer's
+//! batched performance assertions.
+
+use crate::model::{Profile, Trial};
+use serde::{Deserialize, Serialize};
+
+/// One consistency violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Event involved.
+    pub event: String,
+    /// Metric involved.
+    pub metric: String,
+    /// Thread index.
+    pub thread: usize,
+    /// What is wrong.
+    pub kind: ViolationKind,
+}
+
+/// Violation categories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// `exclusive > inclusive` on one cell.
+    ExclusiveExceedsInclusive {
+        /// Exclusive value.
+        exclusive: f64,
+        /// Inclusive value.
+        inclusive: f64,
+    },
+    /// The sum of the direct children's inclusive values exceeds the
+    /// parent's inclusive value (beyond tolerance).
+    ChildrenExceedParent {
+        /// Sum over direct children.
+        children_sum: f64,
+        /// Parent inclusive value.
+        parent: f64,
+    },
+    /// A negative measurement (time/counters are nonnegative).
+    Negative {
+        /// The offending field name.
+        field: String,
+        /// Its value.
+        value: f64,
+    },
+    /// Calls is zero but the cell carries nonzero values.
+    ValueWithoutCalls {
+        /// The inclusive value present.
+        inclusive: f64,
+    },
+}
+
+/// Relative tolerance for the parent/child check: trace perturbation and
+/// rounding legitimately produce small overshoots.
+const TOLERANCE: f64 = 1e-9;
+
+/// Validates a profile; returns every violation found (empty = clean).
+///
+/// Nonnegativity and `exclusive ≤ inclusive` are checked on every
+/// metric. The calls and parent/child-containment checks apply to the
+/// `TIME` metric only: hardware counters are conventionally attributed
+/// at leaves with zero calls and are not rolled up through every
+/// intermediate callpath node, so those invariants do not hold for them.
+pub fn validate_profile(profile: &Profile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let events: Vec<_> = profile.events().to_vec();
+    for metric in profile.metrics().to_vec() {
+        let m = profile.metric_id(&metric.name).expect("iterating");
+        let is_time = metric.name == "TIME";
+        for event in &events {
+            let e = profile.event_id(&event.name).expect("iterating");
+            for t in 0..profile.thread_count() {
+                let cell = profile.get(e, m, t).expect("dense");
+                for (field, value) in [
+                    ("inclusive", cell.inclusive),
+                    ("exclusive", cell.exclusive),
+                    ("calls", cell.calls),
+                    ("subcalls", cell.subcalls),
+                ] {
+                    if value < 0.0 {
+                        out.push(Violation {
+                            event: event.name.clone(),
+                            metric: metric.name.clone(),
+                            thread: t,
+                            kind: ViolationKind::Negative {
+                                field: field.to_string(),
+                                value,
+                            },
+                        });
+                    }
+                }
+                if cell.exclusive > cell.inclusive * (1.0 + TOLERANCE) + TOLERANCE {
+                    out.push(Violation {
+                        event: event.name.clone(),
+                        metric: metric.name.clone(),
+                        thread: t,
+                        kind: ViolationKind::ExclusiveExceedsInclusive {
+                            exclusive: cell.exclusive,
+                            inclusive: cell.inclusive,
+                        },
+                    });
+                }
+                if is_time && cell.calls == 0.0 && cell.inclusive != 0.0 {
+                    out.push(Violation {
+                        event: event.name.clone(),
+                        metric: metric.name.clone(),
+                        thread: t,
+                        kind: ViolationKind::ValueWithoutCalls {
+                            inclusive: cell.inclusive,
+                        },
+                    });
+                }
+            }
+        }
+        // Parent/child: direct children's inclusive ≤ parent inclusive
+        // (TIME only; counters are not rolled up through the callpath).
+        if !is_time {
+            continue;
+        }
+        for parent in &events {
+            let pe = profile.event_id(&parent.name).expect("iterating");
+            let children: Vec<_> = events
+                .iter()
+                .filter(|c| c.parent_name() == Some(parent.name.as_str()))
+                .collect();
+            if children.is_empty() {
+                continue;
+            }
+            for t in 0..profile.thread_count() {
+                let p_incl = profile.get(pe, m, t).expect("dense").inclusive;
+                let sum: f64 = children
+                    .iter()
+                    .map(|c| {
+                        let ce = profile.event_id(&c.name).expect("iterating");
+                        profile.get(ce, m, t).expect("dense").inclusive
+                    })
+                    .sum();
+                if sum > p_incl * (1.0 + TOLERANCE) + TOLERANCE {
+                    out.push(Violation {
+                        event: parent.name.clone(),
+                        metric: metric.name.clone(),
+                        thread: t,
+                        kind: ViolationKind::ChildrenExceedParent {
+                            children_sum: sum,
+                            parent: p_incl,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Validates a trial.
+pub fn validate(trial: &Trial) -> Vec<Violation> {
+    validate_profile(&trial.profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Measurement, TrialBuilder};
+
+    fn clean_trial() -> Trial {
+        let mut b = TrialBuilder::with_flat_threads("t", 2);
+        let time = b.metric("TIME");
+        let main = b.event("main");
+        let k = b.event("main => k");
+        for t in 0..2 {
+            b.set(main, time, t, Measurement { inclusive: 10.0, exclusive: 4.0, calls: 1.0, subcalls: 1.0 });
+            b.set(k, time, t, Measurement { inclusive: 6.0, exclusive: 6.0, calls: 3.0, subcalls: 0.0 });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clean_profile_passes() {
+        assert!(validate(&clean_trial()).is_empty());
+    }
+
+    // Cross-crate validation of *simulated* trials lives in the
+    // workspace integration tests (tests/pipeline.rs); this module's
+    // tests stay local to hand-built profiles.
+
+    #[test]
+    fn detects_exclusive_over_inclusive() {
+        let mut t = clean_trial();
+        let time = t.profile.metric_id("TIME").unwrap();
+        let k = t.profile.event_id("main => k").unwrap();
+        t.profile
+            .set(k, time, 0, Measurement { inclusive: 1.0, exclusive: 2.0, calls: 1.0, subcalls: 0.0 })
+            .unwrap();
+        let violations = validate(&t);
+        assert!(violations.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::ExclusiveExceedsInclusive { exclusive, inclusive }
+                if exclusive == 2.0 && inclusive == 1.0
+        )));
+    }
+
+    #[test]
+    fn detects_children_exceeding_parent() {
+        let mut t = clean_trial();
+        let time = t.profile.metric_id("TIME").unwrap();
+        let k = t.profile.event_id("main => k").unwrap();
+        t.profile
+            .set(k, time, 1, Measurement { inclusive: 50.0, exclusive: 50.0, calls: 1.0, subcalls: 0.0 })
+            .unwrap();
+        let violations = validate(&t);
+        assert!(violations.iter().any(|v| matches!(
+            &v.kind,
+            ViolationKind::ChildrenExceedParent { children_sum, parent }
+                if *children_sum == 50.0 && *parent == 10.0
+        ) && v.thread == 1));
+    }
+
+    #[test]
+    fn detects_negative_and_callless_values() {
+        let mut t = clean_trial();
+        let time = t.profile.metric_id("TIME").unwrap();
+        let main = t.profile.event_id("main").unwrap();
+        t.profile
+            .set(main, time, 0, Measurement { inclusive: 10.0, exclusive: -1.0, calls: 1.0, subcalls: 0.0 })
+            .unwrap();
+        let k = t.profile.event_id("main => k").unwrap();
+        t.profile
+            .set(k, time, 1, Measurement { inclusive: 5.0, exclusive: 5.0, calls: 0.0, subcalls: 0.0 })
+            .unwrap();
+        let violations = validate(&t);
+        assert!(violations.iter().any(|v| matches!(
+            &v.kind,
+            ViolationKind::Negative { field, value } if field == "exclusive" && *value == -1.0
+        )));
+        assert!(violations.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::ValueWithoutCalls { inclusive } if inclusive == 5.0
+        )));
+    }
+
+    #[test]
+    fn reports_every_violation_not_just_first() {
+        let mut t = clean_trial();
+        let time = t.profile.metric_id("TIME").unwrap();
+        let main = t.profile.event_id("main").unwrap();
+        let k = t.profile.event_id("main => k").unwrap();
+        t.profile
+            .set(main, time, 0, Measurement { inclusive: 1.0, exclusive: 2.0, calls: 1.0, subcalls: 0.0 })
+            .unwrap();
+        t.profile
+            .set(k, time, 1, Measurement { inclusive: -3.0, exclusive: -3.0, calls: 1.0, subcalls: 0.0 })
+            .unwrap();
+        let violations = validate(&t);
+        assert!(violations.len() >= 3, "found: {violations:?}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the profile store, algebra and formats.
+
+use perfdmf::algebra::{aggregate_threads, difference, merge, Aggregation};
+use perfdmf::formats::{csv, tau};
+use perfdmf::{Measurement, Profile, Repository, ThreadId, Trial, TrialBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a small random profile with one TIME metric.
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        1usize..5,                                         // threads
+        prop::collection::vec("[a-z]{1,8}", 1..6),         // event names
+    )
+        .prop_flat_map(|(threads, mut names)| {
+            names.sort();
+            names.dedup();
+            let n_events = names.len();
+            (
+                Just(threads),
+                Just(names),
+                prop::collection::vec(0.0f64..1e4, n_events * threads),
+            )
+        })
+        .prop_map(|(threads, names, values)| {
+            let mut b = TrialBuilder::with_flat_threads("p", threads);
+            let m = b.metric("TIME");
+            for (i, name) in names.iter().enumerate() {
+                let e = b.event(name);
+                for t in 0..threads {
+                    b.set(e, m, t, Measurement::leaf(values[i * threads + t]));
+                }
+            }
+            b.build().profile
+        })
+}
+
+proptest! {
+    #[test]
+    fn difference_with_self_is_zero(p in arb_profile()) {
+        let d = difference(&p, &p).unwrap();
+        let m = d.metric_id("TIME").unwrap();
+        for ev in d.events() {
+            let e = d.event_id(&ev.name).unwrap();
+            for t in 0..d.thread_count() {
+                let c = d.get(e, m, t).unwrap();
+                prop_assert!(c.exclusive.abs() < 1e-9);
+                prop_assert!(c.inclusive.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_on_values(a in arb_profile(), b in arb_profile()) {
+        prop_assume!(a.thread_count() == b.thread_count());
+        let ab = merge(&a, &b).unwrap();
+        let ba = merge(&b, &a).unwrap();
+        let m = ab.metric_id("TIME").unwrap();
+        let m2 = ba.metric_id("TIME").unwrap();
+        for ev in ab.events() {
+            let e1 = ab.event_id(&ev.name).unwrap();
+            let e2 = ba.event_id(&ev.name).unwrap();
+            for t in 0..ab.thread_count() {
+                let c1 = ab.get(e1, m, t).unwrap();
+                let c2 = ba.get(e2, m2, t).unwrap();
+                prop_assert!((c1.exclusive - c2.exclusive).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_then_difference_recovers_left(a in arb_profile(), b in arb_profile()) {
+        prop_assume!(a.thread_count() == b.thread_count());
+        let merged = merge(&a, &b).unwrap();
+        let back = difference(&merged, &b).unwrap();
+        let m = back.metric_id("TIME").unwrap();
+        for ev in a.events() {
+            // Events unique to `a` survive; events shared with `b` must
+            // subtract back to a's values.
+            if b.event_id(&ev.name).is_some() {
+                let ea = a.event_id(&ev.name).unwrap();
+                let eo = back.event_id(&ev.name).unwrap();
+                let ma = a.metric_id("TIME").unwrap();
+                for t in 0..a.thread_count() {
+                    let va = a.get(ea, ma, t).unwrap().exclusive;
+                    let vo = back.get(eo, m, t).unwrap().exclusive;
+                    prop_assert!((va - vo).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_mean_between_min_and_max(p in arb_profile()) {
+        let mean = aggregate_threads(&p, Aggregation::Mean).unwrap();
+        let min = aggregate_threads(&p, Aggregation::Min).unwrap();
+        let max = aggregate_threads(&p, Aggregation::Max).unwrap();
+        let m = mean.metric_id("TIME").unwrap();
+        for ev in p.events() {
+            let e = mean.event_id(&ev.name).unwrap();
+            let vmean = mean.get(e, m, 0).unwrap().exclusive;
+            let vmin = min.get(e, m, 0).unwrap().exclusive;
+            let vmax = max.get(e, m, 0).unwrap().exclusive;
+            prop_assert!(vmin <= vmean + 1e-9);
+            prop_assert!(vmean <= vmax + 1e-9);
+        }
+    }
+
+    #[test]
+    fn aggregation_total_is_threads_times_mean(p in arb_profile()) {
+        let mean = aggregate_threads(&p, Aggregation::Mean).unwrap();
+        let total = aggregate_threads(&p, Aggregation::Total).unwrap();
+        let m = mean.metric_id("TIME").unwrap();
+        let n = p.thread_count() as f64;
+        for ev in p.events() {
+            let e = mean.event_id(&ev.name).unwrap();
+            let vmean = mean.get(e, m, 0).unwrap().exclusive;
+            let vtotal = total.get(e, m, 0).unwrap().exclusive;
+            prop_assert!((vtotal - n * vmean).abs() < 1e-6 * (1.0 + vtotal.abs()));
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_profile(p in arb_profile()) {
+        let trial = Trial::new("t", p);
+        let text = csv::write_trial(&trial);
+        let back = csv::parse_trial("t", &text).unwrap();
+        prop_assert_eq!(trial.profile, back.profile);
+    }
+
+    #[test]
+    fn tau_roundtrip_preserves_rows(
+        rows in prop::collection::vec(
+            ("[a-z]{1,10}", 0.0f64..1e6, 0.0f64..1e6, 1.0f64..100.0),
+            1..8,
+        )
+    ) {
+        let mut named: Vec<(String, Measurement)> = Vec::new();
+        for (name, excl, extra, calls) in rows {
+            if named.iter().any(|(n, _)| *n == name) {
+                continue;
+            }
+            named.push((
+                name,
+                Measurement {
+                    exclusive: excl,
+                    inclusive: excl + extra,
+                    calls,
+                    subcalls: 0.0,
+                },
+            ));
+        }
+        let text = tau::write_thread_profile("TIME", &named);
+        let parsed = tau::parse_thread_profile(&text).unwrap();
+        prop_assert_eq!(parsed.metric, "TIME");
+        prop_assert_eq!(parsed.rows, named);
+    }
+
+    #[test]
+    fn repository_roundtrips_through_json(p in arb_profile()) {
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", Trial::new("t", p)).unwrap();
+        let json = repo.to_json().unwrap();
+        let back = Repository::from_json(&json).unwrap();
+        prop_assert_eq!(repo, back);
+    }
+}
+
+#[test]
+fn repository_query_across_formats() {
+    // Profiles arriving via different formats coexist in one repository.
+    let tau_text = "1 templated_functions_MULTI_TIME\n\"main\" 1 0 10 10 0\n";
+    let tau_trial =
+        tau::assemble_trial("tau_run", &[(ThreadId::flat(0), tau_text)]).unwrap();
+
+    let csv_text = "\
+event,metric,node,context,thread,inclusive,exclusive,calls,subcalls
+main,TIME,0,0,0,20,20,1,0
+";
+    let csv_trial = csv::parse_trial("csv_run", csv_text).unwrap();
+
+    let mut repo = Repository::new();
+    repo.add_trial("app", "exp", tau_trial).unwrap();
+    repo.add_trial("app", "exp", csv_trial).unwrap();
+
+    let a = repo.trial("app", "exp", "tau_run").unwrap();
+    let b = repo.trial("app", "exp", "csv_run").unwrap();
+    let (pa, pb) = (&a.profile, &b.profile);
+    let diff = difference(pb, pa).unwrap();
+    let m = diff.metric_id("TIME").unwrap();
+    let e = diff.event_id("main").unwrap();
+    assert_eq!(diff.get(e, m, 0).unwrap().exclusive, 10.0);
+}

@@ -1,0 +1,662 @@
+//! The inference engine: working memory, agenda, match–resolve–act loop.
+
+use crate::fact::{Fact, FactHandle};
+use crate::rule::{Action, RhsContext, RhsStatement, Rule};
+use crate::value::Value;
+use crate::{Result, RuleError};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A structured conclusion emitted by a rule — the engine's primary
+/// output for the analysis layer. Where the paper's rules print their
+/// findings ("Event X has a higher than average stall / cycle rate"),
+/// this engine additionally captures them as data so downstream
+/// consumers (recommendation rendering, compiler feedback) need not
+/// parse text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Category tag, e.g. `"load-imbalance"`, `"memory-locality"`.
+    pub category: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Severity in `[0, 1]` when the rule quantified it.
+    pub severity: Option<f64>,
+    /// Suggested remedy, if the rule proposes one.
+    pub recommendation: Option<String>,
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Variable bindings at firing time, so consumers can recover which
+    /// event/trial the diagnosis is about without parsing the message.
+    #[serde(default)]
+    pub bindings: BTreeMap<String, Value>,
+}
+
+/// Record of one rule firing, for explanation and audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiringRecord {
+    /// Rule that fired.
+    pub rule: String,
+    /// Handles of the matched facts, in pattern order.
+    pub matched: Vec<FactHandle>,
+    /// Variable environment at firing time.
+    pub bindings: BTreeMap<String, Value>,
+}
+
+/// The output of an engine run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Lines printed by rule actions, in firing order.
+    pub printed: Vec<String>,
+    /// Structured diagnoses, in firing order.
+    pub diagnoses: Vec<Diagnosis>,
+    /// One record per firing, in order.
+    pub firings: Vec<FiringRecord>,
+    /// Match–act cycles executed.
+    pub cycles: usize,
+}
+
+impl RunReport {
+    /// Diagnoses in one category.
+    pub fn diagnoses_in(&self, category: &str) -> Vec<&Diagnosis> {
+        self.diagnoses
+            .iter()
+            .filter(|d| d.category == category)
+            .collect()
+    }
+
+    /// Whether any rule with the given name fired.
+    pub fn fired(&self, rule: &str) -> bool {
+        self.firings.iter().any(|f| f.rule == rule)
+    }
+
+    /// Merges another report produced by a later run on the same engine.
+    pub fn absorb(&mut self, other: RunReport) {
+        self.printed.extend(other.printed);
+        self.diagnoses.extend(other.diagnoses);
+        self.firings.extend(other.firings);
+        self.cycles += other.cycles;
+    }
+}
+
+/// One activation candidate: the matched fact tuple and its bindings.
+type Activation = (Vec<FactHandle>, BTreeMap<String, Value>);
+
+/// A forward-chaining rule engine.
+pub struct Engine {
+    rules: Vec<Rule>,
+    wm: BTreeMap<FactHandle, Fact>,
+    next_handle: u64,
+    /// Refraction memory: activations that already fired.
+    fired: BTreeSet<(usize, Vec<FactHandle>)>,
+    /// Safety bound on total firings per `run`.
+    cycle_limit: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Creates an empty engine with the default cycle limit.
+    pub fn new() -> Self {
+        Engine {
+            rules: Vec::new(),
+            wm: BTreeMap::new(),
+            next_handle: 0,
+            fired: BTreeSet::new(),
+            cycle_limit: 100_000,
+        }
+    }
+
+    /// Overrides the firing budget (guards against rules that assert
+    /// facts in an unbounded loop).
+    pub fn with_cycle_limit(mut self, limit: usize) -> Self {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// Adds one rule. Duplicate names are rejected so a knowledge base
+    /// cannot silently shadow itself.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        if self.rules.iter().any(|r| r.name == rule.name) {
+            return Err(RuleError::DuplicateRule(rule.name));
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Adds many rules; stops at the first duplicate.
+    pub fn add_rules(&mut self, rules: Vec<Rule>) -> Result<()> {
+        for r in rules {
+            self.add_rule(r)?;
+        }
+        Ok(())
+    }
+
+    /// Asserts a fact into working memory, returning its handle.
+    pub fn assert_fact(&mut self, fact: Fact) -> FactHandle {
+        let h = FactHandle(self.next_handle);
+        self.next_handle += 1;
+        self.wm.insert(h, fact);
+        h
+    }
+
+    /// Retracts a fact; returns it if it was present.
+    pub fn retract(&mut self, handle: FactHandle) -> Option<Fact> {
+        self.wm.remove(&handle)
+    }
+
+    /// Read access to working memory, in handle order.
+    pub fn facts(&self) -> impl Iterator<Item = (FactHandle, &Fact)> {
+        self.wm.iter().map(|(h, f)| (*h, f))
+    }
+
+    /// Number of facts in working memory.
+    pub fn fact_count(&self) -> usize {
+        self.wm.len()
+    }
+
+    /// Number of rules loaded.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Clears facts and refraction memory, keeping the rules.
+    pub fn reset(&mut self) {
+        self.wm.clear();
+        self.fired.clear();
+        self.next_handle = 0;
+    }
+
+    /// Finds every activation of `rule` (index `idx`) against current
+    /// working memory: all fact tuples matching the pattern conjunction
+    /// with consistent bindings.
+    fn activations_of(&self, idx: usize) -> Vec<Activation> {
+        let rule = &self.rules[idx];
+        let mut partial: Vec<Activation> = vec![(Vec::new(), BTreeMap::new())];
+        for pattern in &rule.patterns {
+            let mut next = Vec::new();
+            for (handles, env) in &partial {
+                if pattern.negated {
+                    // Absence test: keep the partial match only if no
+                    // fact satisfies the pattern under these bindings.
+                    let blocked = self
+                        .wm
+                        .values()
+                        .any(|fact| pattern.matches(fact, env).is_some());
+                    if !blocked {
+                        next.push((handles.clone(), env.clone()));
+                    }
+                    continue;
+                }
+                for (h, fact) in &self.wm {
+                    // A fact participates at most once per activation: the
+                    // paper's nested-loop rule matches two *different*
+                    // events with the same pattern shape.
+                    if handles.contains(h) {
+                        continue;
+                    }
+                    if let Some(new_env) = pattern.matches(fact, env) {
+                        let mut hs = handles.clone();
+                        hs.push(*h);
+                        next.push((hs, new_env));
+                    }
+                }
+            }
+            partial = next;
+            if partial.is_empty() {
+                break;
+            }
+        }
+        partial
+    }
+
+    /// Selects the next activation to fire: highest salience, then rule
+    /// definition order, then fact recency (newest tuple first).
+    fn select(&self) -> Option<(usize, Vec<FactHandle>, BTreeMap<String, Value>)> {
+        let mut best: Option<(i32, usize, Activation)> = None;
+        for idx in 0..self.rules.len() {
+            let salience = self.rules[idx].salience;
+            // A later rule with lower-or-equal salience cannot beat an
+            // already-found activation of an earlier rule.
+            if let Some((s, bidx, _)) = &best {
+                if *s >= salience && *bidx < idx {
+                    continue;
+                }
+            }
+            for (handles, env) in self.activations_of(idx) {
+                if self.fired.contains(&(idx, handles.clone())) {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((s, bidx, (bh, _))) => {
+                        salience > *s
+                            || (salience == *s && idx < *bidx)
+                            || (salience == *s && idx == *bidx && handles > *bh)
+                    }
+                };
+                if better {
+                    best = Some((salience, idx, (handles, env)));
+                }
+            }
+        }
+        best.map(|(_, idx, (h, e))| (idx, h, e))
+    }
+
+    /// Runs the match–resolve–act cycle to quiescence.
+    pub fn run(&mut self) -> Result<RunReport> {
+        let mut report = RunReport::default();
+        while let Some((idx, handles, env)) = self.select() {
+            if report.firings.len() >= self.cycle_limit {
+                return Err(RuleError::CycleLimit {
+                    limit: self.cycle_limit,
+                });
+            }
+            self.fired.insert((idx, handles.clone()));
+
+            let matched: Vec<(FactHandle, Fact)> = handles
+                .iter()
+                .map(|h| (*h, self.wm.get(h).expect("matched fact present").clone()))
+                .collect();
+            let rule_name = self.rules[idx].name.clone();
+            let mut ctx = RhsContext::new(&env, &matched, &rule_name);
+
+            // Matched-fact positions skip negated patterns (they match
+            // nothing), so the retract lookup must too.
+            let fact_bindings: Vec<Option<String>> = self.rules[idx]
+                .patterns
+                .iter()
+                .filter(|p| !p.negated)
+                .map(|p| p.fact_binding.clone())
+                .collect();
+            match &self.rules[idx].action {
+                Action::Native(f) => f(&mut ctx),
+                Action::Interpreted(stmts) => {
+                    let stmts = stmts.clone();
+                    Self::execute_interpreted(&mut ctx, &stmts, &rule_name, &fact_bindings)?;
+                }
+            }
+
+            let printed = std::mem::take(&mut ctx.printed);
+            let diagnoses = std::mem::take(&mut ctx.diagnoses);
+            let asserts = std::mem::take(&mut ctx.asserts);
+            let retracts = std::mem::take(&mut ctx.retracts);
+            drop(ctx);
+
+            report.firings.push(FiringRecord {
+                rule: rule_name,
+                matched: handles,
+                bindings: env,
+            });
+            report.printed.extend(printed);
+            report.diagnoses.extend(diagnoses);
+
+            // Apply buffered commands.
+            for h in retracts {
+                self.wm.remove(&h);
+            }
+            for f in asserts {
+                self.assert_fact(f);
+            }
+            report.cycles += 1;
+        }
+        Ok(report)
+    }
+
+    /// Executes interpreted RHS statements into the context.
+    fn execute_interpreted(
+        ctx: &mut RhsContext,
+        statements: &[RhsStatement],
+        rule_name: &str,
+        fact_bindings: &[Option<String>],
+    ) -> Result<()> {
+        let unbound = |variable: &str| RuleError::UnboundVariable {
+            rule: rule_name.to_string(),
+            variable: variable.to_string(),
+        };
+        let eval = |expr: &crate::rule::RhsExpr,
+                    ctx: &RhsContext|
+         -> Result<Value> {
+            expr.eval(ctx.env).ok_or_else(|| {
+                let mut vars = Vec::new();
+                expr.variables(&mut vars);
+                let missing = vars
+                    .into_iter()
+                    .find(|v| !ctx.env.contains_key(v))
+                    .unwrap_or_default();
+                unbound(&missing)
+            })
+        };
+        for stmt in statements {
+            match stmt {
+                RhsStatement::Print(parts) => {
+                    let mut line = String::new();
+                    for p in parts {
+                        line.push_str(&eval(p, ctx)?.to_string());
+                    }
+                    ctx.print(line);
+                }
+                RhsStatement::Assert { fact_type, fields } => {
+                    let mut fact = Fact::new(fact_type.clone());
+                    for (name, expr) in fields {
+                        let v = eval(expr, ctx)?;
+                        fact.set(name, v);
+                    }
+                    ctx.assert_fact(fact);
+                }
+                RhsStatement::Retract(var) => {
+                    // The variable names a fact binding: find the pattern
+                    // that bound it and retract the corresponding fact.
+                    let handle = fact_bindings
+                        .iter()
+                        .position(|name| name.as_deref() == Some(var.as_str()))
+                        .and_then(|i| ctx.matched.get(i))
+                        .map(|(h, _)| *h);
+                    match handle {
+                        Some(h) => ctx.retract(h),
+                        None => return Err(unbound(var)),
+                    }
+                }
+                RhsStatement::Diagnose {
+                    category,
+                    message,
+                    severity,
+                    recommendation,
+                } => {
+                    let cat = eval(category, ctx)?.to_string();
+                    let msg = eval(message, ctx)?.to_string();
+                    let sev = match severity {
+                        Some(e) => eval(e, ctx)?.as_num(),
+                        None => None,
+                    };
+                    let rec = match recommendation {
+                        Some(e) => Some(eval(e, ctx)?.to_string()),
+                        None => None,
+                    };
+                    let rule = ctx.rule_name.to_string();
+                    ctx.diagnose(Diagnosis {
+                        category: cat,
+                        message: msg,
+                        severity: sev,
+                        recommendation: rec,
+                        rule,
+                        bindings: BTreeMap::new(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Comparator, Pattern};
+    use crate::rule::Rule;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn high_severity_rule() -> Rule {
+        Rule::builder("high severity")
+            .when(
+                Pattern::new("MeanEventFact")
+                    .constrain("severity", Comparator::Gt, 0.1)
+                    .bind("e", "eventName")
+                    .bind("s", "severity"),
+            )
+            .then(|ctx| {
+                let e = ctx.var("e").unwrap().to_string();
+                ctx.print(format!("severe: {e}"));
+            })
+    }
+
+    #[test]
+    fn single_rule_fires_per_matching_fact() {
+        let mut engine = Engine::new();
+        engine.add_rule(high_severity_rule()).unwrap();
+        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.5).with("eventName", "a"));
+        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.05).with("eventName", "b"));
+        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.2).with("eventName", "c"));
+        let report = engine.run().unwrap();
+        assert_eq!(report.firings.len(), 2);
+        assert!(report.printed.contains(&"severe: a".to_string()));
+        assert!(report.printed.contains(&"severe: c".to_string()));
+    }
+
+    #[test]
+    fn refraction_prevents_refiring_on_second_run() {
+        let mut engine = Engine::new();
+        engine.add_rule(high_severity_rule()).unwrap();
+        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.5).with("eventName", "a"));
+        let first = engine.run().unwrap();
+        assert_eq!(first.firings.len(), 1);
+        let second = engine.run().unwrap();
+        assert_eq!(second.firings.len(), 0);
+        // A new equal fact is a new activation.
+        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.5).with("eventName", "a"));
+        let third = engine.run().unwrap();
+        assert_eq!(third.firings.len(), 1);
+    }
+
+    #[test]
+    fn salience_orders_firing() {
+        let order = Arc::new(parking());
+        fn parking() -> std::sync::Mutex<Vec<&'static str>> {
+            std::sync::Mutex::new(Vec::new())
+        }
+        let o1 = order.clone();
+        let o2 = order.clone();
+        let mut engine = Engine::new();
+        engine
+            .add_rule(
+                Rule::builder("low")
+                    .salience(1)
+                    .when(Pattern::new("T"))
+                    .then(move |_| o1.lock().unwrap().push("low")),
+            )
+            .unwrap();
+        engine
+            .add_rule(
+                Rule::builder("high")
+                    .salience(10)
+                    .when(Pattern::new("T"))
+                    .then(move |_| o2.lock().unwrap().push("high")),
+            )
+            .unwrap();
+        engine.assert_fact(Fact::new("T"));
+        engine.run().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["high", "low"]);
+    }
+
+    #[test]
+    fn chaining_asserted_facts_trigger_other_rules() {
+        let mut engine = Engine::new();
+        engine
+            .add_rule(
+                Rule::builder("producer")
+                    .when(Pattern::new("Input").bind("v", "value"))
+                    .then(|ctx| {
+                        let v = ctx.var("v").cloned().unwrap();
+                        ctx.assert_fact(Fact::new("Derived").with("value", v));
+                    }),
+            )
+            .unwrap();
+        engine
+            .add_rule(
+                Rule::builder("consumer")
+                    .when(Pattern::new("Derived").bind("v", "value"))
+                    .then(|ctx| {
+                        let v = ctx.var("v").unwrap().to_string();
+                        ctx.print(format!("derived {v}"));
+                    }),
+            )
+            .unwrap();
+        engine.assert_fact(Fact::new("Input").with("value", 7.0));
+        let report = engine.run().unwrap();
+        assert!(report.fired("producer"));
+        assert!(report.fired("consumer"));
+        assert_eq!(report.printed, vec!["derived 7"]);
+    }
+
+    #[test]
+    fn join_across_patterns_with_binding() {
+        let mut engine = Engine::new();
+        engine
+            .add_rule(
+                Rule::builder("nested imbalance")
+                    .when(
+                        Pattern::new("Region")
+                            .constrain("imbalanced", Comparator::Eq, true)
+                            .bind("outer", "name"),
+                    )
+                    .when(
+                        Pattern::new("Region")
+                            .constrain("imbalanced", Comparator::Eq, true)
+                            .constrain_var("parent", Comparator::Eq, "outer")
+                            .bind("inner", "name"),
+                    )
+                    .then(|ctx| {
+                        let o = ctx.var("outer").unwrap().to_string();
+                        let i = ctx.var("inner").unwrap().to_string();
+                        ctx.print(format!("{i} nested in {o}"));
+                    }),
+            )
+            .unwrap();
+        engine.assert_fact(
+            Fact::new("Region")
+                .with("name", "outer_loop")
+                .with("parent", "main")
+                .with("imbalanced", true),
+        );
+        engine.assert_fact(
+            Fact::new("Region")
+                .with("name", "inner_loop")
+                .with("parent", "outer_loop")
+                .with("imbalanced", true),
+        );
+        engine.assert_fact(
+            Fact::new("Region")
+                .with("name", "unrelated")
+                .with("parent", "main")
+                .with("imbalanced", false),
+        );
+        let report = engine.run().unwrap();
+        assert_eq!(report.printed, vec!["inner_loop nested in outer_loop"]);
+    }
+
+    #[test]
+    fn retraction_removes_fact_from_memory() {
+        let mut engine = Engine::new();
+        let h = engine.assert_fact(Fact::new("T").with("x", 1.0));
+        assert_eq!(engine.fact_count(), 1);
+        let f = engine.retract(h).unwrap();
+        assert_eq!(f.get_num("x"), Some(1.0));
+        assert_eq!(engine.fact_count(), 0);
+        assert!(engine.retract(h).is_none());
+    }
+
+    #[test]
+    fn native_retract_during_firing() {
+        let mut engine = Engine::new();
+        engine
+            .add_rule(
+                Rule::builder("consume")
+                    .when(Pattern::new("Token").bind_fact("t"))
+                    .then(|ctx| {
+                        let (h, _) = ctx.matched[0];
+                        ctx.retract(h);
+                    }),
+            )
+            .unwrap();
+        engine.assert_fact(Fact::new("Token"));
+        engine.run().unwrap();
+        assert_eq!(engine.fact_count(), 0);
+    }
+
+    #[test]
+    fn cycle_limit_stops_runaway_rules() {
+        let mut engine = Engine::new().with_cycle_limit(25);
+        engine
+            .add_rule(
+                Rule::builder("runaway")
+                    .when(Pattern::new("Seed").bind("n", "n"))
+                    .then(|ctx| {
+                        // Asserts a fresh Seed each firing: never settles.
+                        let n = ctx.var("n").and_then(Value::as_num).unwrap_or(0.0);
+                        ctx.assert_fact(Fact::new("Seed").with("n", n + 1.0));
+                    }),
+            )
+            .unwrap();
+        engine.assert_fact(Fact::new("Seed").with("n", 0.0));
+        assert!(matches!(
+            engine.run(),
+            Err(RuleError::CycleLimit { limit: 25 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_rule_name_rejected() {
+        let mut engine = Engine::new();
+        engine.add_rule(high_severity_rule()).unwrap();
+        assert!(matches!(
+            engine.add_rule(high_severity_rule()),
+            Err(RuleError::DuplicateRule(_))
+        ));
+    }
+
+    #[test]
+    fn reset_clears_memory_but_keeps_rules() {
+        let mut engine = Engine::new();
+        engine.add_rule(high_severity_rule()).unwrap();
+        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.9).with("eventName", "x"));
+        engine.run().unwrap();
+        engine.reset();
+        assert_eq!(engine.fact_count(), 0);
+        assert_eq!(engine.rule_count(), 1);
+        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.9).with("eventName", "x"));
+        let report = engine.run().unwrap();
+        assert_eq!(report.firings.len(), 1, "refraction memory was cleared");
+    }
+
+    #[test]
+    fn firing_records_capture_bindings() {
+        let mut engine = Engine::new();
+        engine.add_rule(high_severity_rule()).unwrap();
+        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.5).with("eventName", "a"));
+        let report = engine.run().unwrap();
+        let rec = &report.firings[0];
+        assert_eq!(rec.rule, "high severity");
+        assert_eq!(rec.bindings.get("e"), Some(&Value::from("a")));
+        assert_eq!(rec.bindings.get("s"), Some(&Value::from(0.5)));
+        assert_eq!(rec.matched.len(), 1);
+    }
+
+    #[test]
+    fn same_fact_cannot_fill_two_patterns() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let mut engine = Engine::new();
+        engine
+            .add_rule(
+                Rule::builder("pair")
+                    .when(Pattern::new("T"))
+                    .when(Pattern::new("T"))
+                    .then(move |_| {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }),
+            )
+            .unwrap();
+        engine.assert_fact(Fact::new("T"));
+        engine.run().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 0, "single fact, two patterns");
+        engine.assert_fact(Fact::new("T"));
+        engine.run().unwrap();
+        // Two facts, ordered pairs (a,b) and (b,a).
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the rule engine and rule language.
+
+use std::fmt;
+
+/// Errors produced by rule parsing and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleError {
+    /// The textual rule source failed to parse.
+    Parse {
+        /// 1-based line where the problem was found.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A rule's RHS referenced a variable that its LHS never bound.
+    UnboundVariable {
+        /// Rule name.
+        rule: String,
+        /// Variable name.
+        variable: String,
+    },
+    /// The match–act cycle exceeded its iteration budget, indicating a
+    /// rule set that asserts facts in an unbounded loop.
+    CycleLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A duplicate rule name was added to an engine.
+    DuplicateRule(String),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Parse { line, message } => {
+                write!(f, "rule parse error at line {line}: {message}")
+            }
+            RuleError::UnboundVariable { rule, variable } => {
+                write!(f, "rule {rule:?} uses unbound variable ${variable}")
+            }
+            RuleError::CycleLimit { limit } => {
+                write!(f, "inference did not settle within {limit} cycles")
+            }
+            RuleError::DuplicateRule(name) => write!(f, "duplicate rule name {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = RuleError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(RuleError::CycleLimit { limit: 10 }.to_string().contains("10"));
+        assert!(RuleError::DuplicateRule("r".into()).to_string().contains("r"));
+        let u = RuleError::UnboundVariable {
+            rule: "r".into(),
+            variable: "v".into(),
+        };
+        assert!(u.to_string().contains("$v"));
+    }
+}

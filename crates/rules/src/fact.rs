@@ -1,0 +1,119 @@
+//! Facts: typed bags of named values in working memory.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Handle identifying a fact instance inside an engine's working memory.
+///
+/// Handles are never reused: retracting a fact and asserting an equal one
+/// yields a new handle, which is what makes refraction (fire-once per
+/// activation) behave like Drools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FactHandle(pub u64);
+
+/// A typed fact, e.g. the paper's `MeanEventFact` with fields `metric`,
+/// `higherLower`, `severity`, `eventName`, `mainValue`, `eventValue`,
+/// `factType`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fact {
+    /// The fact type name used by pattern matching.
+    pub fact_type: String,
+    /// Named fields.
+    pub fields: BTreeMap<String, Value>,
+}
+
+impl Fact {
+    /// Creates an empty fact of the given type.
+    pub fn new(fact_type: impl Into<String>) -> Self {
+        Fact {
+            fact_type: fact_type.into(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style field setter.
+    pub fn with(mut self, field: &str, value: impl Into<Value>) -> Self {
+        self.fields.insert(field.to_string(), value.into());
+        self
+    }
+
+    /// Sets a field in place.
+    pub fn set(&mut self, field: &str, value: impl Into<Value>) {
+        self.fields.insert(field.to_string(), value.into());
+    }
+
+    /// Field lookup.
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        self.fields.get(field)
+    }
+
+    /// String field lookup.
+    pub fn get_str(&self, field: &str) -> Option<&str> {
+        self.get(field).and_then(Value::as_str)
+    }
+
+    /// Numeric field lookup.
+    pub fn get_num(&self, field: &str) -> Option<f64> {
+        self.get(field).and_then(Value::as_num)
+    }
+
+    /// Boolean field lookup.
+    pub fn get_bool(&self, field: &str) -> Option<bool> {
+        self.get(field).and_then(Value::as_bool)
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.fact_type)?;
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookups() {
+        let f = Fact::new("MeanEventFact")
+            .with("metric", "stall_per_cycle")
+            .with("severity", 0.31)
+            .with("higher", true);
+        assert_eq!(f.fact_type, "MeanEventFact");
+        assert_eq!(f.get_str("metric"), Some("stall_per_cycle"));
+        assert_eq!(f.get_num("severity"), Some(0.31));
+        assert_eq!(f.get_bool("higher"), Some(true));
+        assert_eq!(f.get("missing"), None);
+        assert_eq!(f.get_num("metric"), None);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut f = Fact::new("T").with("a", 1.0);
+        f.set("a", 2.0);
+        assert_eq!(f.get_num("a"), Some(2.0));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let f = Fact::new("T").with("x", 1.0).with("name", "loop");
+        assert_eq!(f.to_string(), "T(name: loop, x: 1)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = Fact::new("T").with("x", 1.5).with("s", "v");
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Fact = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,70 @@
+//! A forward-chaining production-rule engine.
+//!
+//! This crate plays the role JBoss Rules (Drools) plays in the paper: an
+//! inference engine whose rules "interpret the performance results" and
+//! from which "an expert system for explaining parallel performance data
+//! can be constructed".
+//!
+//! The model is a classic production system:
+//!
+//! * **facts** ([`Fact`]) are typed bags of named, dynamically-typed
+//!   fields — the analysis layer asserts facts like `MeanEventFact`
+//!   with fields `metric`, `severity`, `eventName`, …;
+//! * **rules** ([`Rule`]) pair a `when` part (a conjunction of
+//!   [`Pattern`]s with field constraints and variable bindings, joined
+//!   across patterns by binding consistency) with a `then` part (an
+//!   [`Action`]: print, assert new facts, retract matched facts, or run
+//!   native Rust);
+//! * the **engine** ([`Engine`]) runs the match–resolve–act cycle with
+//!   salience-ordered conflict resolution and refraction (an activation
+//!   fires at most once), and records a full firing trace for
+//!   explanation.
+//!
+//! Rules can be built programmatically ([`RuleBuilder`]) or parsed from a
+//! Drools-flavoured textual language ([`drl`]), so performance knowledge
+//! can be captured in files that ship alongside an application — the
+//! paper's `openuh/OpenUHRules.drl`.
+//!
+//! ```
+//! use rules::{Engine, Fact, drl};
+//!
+//! let source = r#"
+//! rule "High stall rate"
+//! when
+//!     f : MeanEventFact( metric == "stall_per_cycle", severity > 0.10,
+//!                        e : eventName, v : severity )
+//! then
+//!     diagnose("stalls", "Event " + e + " has a high stall rate");
+//! end
+//! "#;
+//! let mut engine = Engine::new();
+//! engine.add_rules(drl::parse(source).unwrap());
+//! engine.assert_fact(
+//!     Fact::new("MeanEventFact")
+//!         .with("metric", "stall_per_cycle")
+//!         .with("severity", 0.25)
+//!         .with("eventName", "matxvec"),
+//! );
+//! let report = engine.run().unwrap();
+//! assert_eq!(report.diagnoses.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod condition;
+pub mod drl;
+pub mod engine;
+pub mod error;
+pub mod fact;
+pub mod rule;
+pub mod value;
+
+pub use condition::{Comparator, Constraint, Operand, Pattern};
+pub use engine::{Diagnosis, Engine, FiringRecord, RunReport};
+pub use error::RuleError;
+pub use fact::{Fact, FactHandle};
+pub use rule::{Action, RhsContext, Rule, RuleBuilder, RhsStatement, RhsExpr};
+pub use value::Value;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, RuleError>;

@@ -1,0 +1,132 @@
+//! Abstract syntax tree.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric addition or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// An expression, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// 1-based source line.
+    pub line: usize,
+    /// Expression kind.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `null`
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// List literal.
+    List(Vec<Expr>),
+    /// Map literal (string keys).
+    Map(Vec<(String, Expr)>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Function call: `name(args...)`.
+    Call(String, Vec<Expr>),
+    /// Indexing: `base[index]` (lists by number, maps by string).
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// A statement, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// 1-based source line.
+    pub line: usize,
+    /// Statement kind.
+    pub kind: StmtKind,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let name = expr;`
+    Let(String, Expr),
+    /// `name = expr;`
+    Assign(String, Expr),
+    /// `base[index] = expr;`
+    IndexAssign(Expr, Expr, Expr),
+    /// An expression evaluated for effect (or as the block value when
+    /// last and unterminated).
+    Expr(Expr),
+    /// `if cond { .. } else { .. }` (else optional; may nest an `if`).
+    If(Expr, Vec<Stmt>, Option<Vec<Stmt>>),
+    /// `while cond { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `for var in expr { .. }`
+    For(String, Expr, Vec<Stmt>),
+    /// `fn name(params) { .. }`
+    FnDef(FnDef),
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A user-defined function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed program: a statement list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level statements.
+    pub statements: Vec<Stmt>,
+}

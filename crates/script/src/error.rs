@@ -1,0 +1,80 @@
+//! Script error type.
+
+use std::fmt;
+
+/// Errors from lexing, parsing or executing a script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptError {
+    /// 1-based source line, when known.
+    pub line: usize,
+    /// Phase that failed.
+    pub phase: Phase,
+    /// Explanation.
+    pub message: String,
+}
+
+/// The processing phase an error arose in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Evaluation.
+    Runtime,
+}
+
+impl ScriptError {
+    /// Lexer error.
+    pub fn lex(line: usize, message: impl Into<String>) -> Self {
+        ScriptError {
+            line,
+            phase: Phase::Lex,
+            message: message.into(),
+        }
+    }
+
+    /// Parser error.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        ScriptError {
+            line,
+            phase: Phase::Parse,
+            message: message.into(),
+        }
+    }
+
+    /// Runtime error.
+    pub fn runtime(line: usize, message: impl Into<String>) -> Self {
+        ScriptError {
+            line,
+            phase: Phase::Runtime,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Runtime => "runtime",
+        };
+        write!(f, "{phase} error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_line() {
+        let e = ScriptError::runtime(7, "undefined variable x");
+        assert_eq!(e.to_string(), "runtime error at line 7: undefined variable x");
+        assert_eq!(ScriptError::lex(1, "m").phase, Phase::Lex);
+        assert_eq!(ScriptError::parse(2, "m").phase, Phase::Parse);
+    }
+}

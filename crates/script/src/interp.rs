@@ -1,0 +1,916 @@
+//! Tree-walking interpreter with a host-function registry.
+
+use crate::ast::*;
+use crate::parser::parse;
+use crate::value::Value;
+use crate::{Result, ScriptError};
+use std::collections::{BTreeMap, HashMap};
+
+/// Signature of a host function: positional arguments in, value out.
+/// Host errors are plain strings; the interpreter attaches the call site.
+pub type HostFn = Box<dyn FnMut(Vec<Value>) -> std::result::Result<Value, String>>;
+
+type Scope = BTreeMap<String, Value>;
+
+enum Flow {
+    Normal(Value),
+    Return(Value),
+    Break,
+    Continue,
+}
+
+/// The script interpreter.
+///
+/// An interpreter owns global state across [`Interpreter::run`] calls, so
+/// a host can define bindings once and evaluate several scripts against
+/// them (as PerfExplorer does with its session objects).
+pub struct Interpreter {
+    host_fns: HashMap<String, HostFn>,
+    user_fns: HashMap<String, FnDef>,
+    /// Call frames; each frame is a stack of block scopes. Frame 0 /
+    /// scope 0 is the global scope.
+    frames: Vec<Vec<Scope>>,
+    output: Vec<String>,
+    steps: u64,
+    step_limit: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter::new()
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the default step budget.
+    pub fn new() -> Self {
+        Interpreter {
+            host_fns: HashMap::new(),
+            user_fns: HashMap::new(),
+            frames: vec![vec![Scope::new()]],
+            output: Vec::new(),
+            steps: 0,
+            step_limit: 50_000_000,
+        }
+    }
+
+    /// Overrides the execution step budget (each statement and expression
+    /// node costs one step). Guards runaway `while` loops.
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Registers a host function callable from scripts.
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl FnMut(Vec<Value>) -> std::result::Result<Value, String> + 'static,
+    ) {
+        self.host_fns.insert(name.to_string(), Box::new(f));
+    }
+
+    /// Defines a global variable visible to scripts.
+    pub fn set_global(&mut self, name: &str, value: Value) {
+        self.frames[0][0].insert(name.to_string(), value);
+    }
+
+    /// Reads a global variable after a run.
+    pub fn get_global(&self, name: &str) -> Option<&Value> {
+        self.frames[0][0].get(name)
+    }
+
+    /// Takes the accumulated `print` output.
+    pub fn take_output(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Parses and executes a script, returning the value of its final
+    /// expression statement (or [`Value::Null`]).
+    pub fn run(&mut self, src: &str) -> Result<Value> {
+        let program = parse(src)?;
+        self.steps = 0;
+        let mut last = Value::Null;
+        for stmt in &program.statements {
+            match self.exec(stmt)? {
+                Flow::Normal(v) => last = v,
+                Flow::Return(v) => return Ok(v),
+                Flow::Break | Flow::Continue => {
+                    return Err(ScriptError::runtime(
+                        stmt.line,
+                        "break/continue outside loop",
+                    ))
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    fn bump(&mut self, line: usize) -> Result<()> {
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            return Err(ScriptError::runtime(line, "step limit exceeded"));
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Value> {
+        let frame = self.frames.last().expect("at least global frame");
+        for scope in frame.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v);
+            }
+        }
+        // Fall back to globals (frame 0, scope 0) from inside functions.
+        self.frames[0][0].get(name)
+    }
+
+    fn assign(&mut self, name: &str, value: Value, line: usize) -> Result<()> {
+        let frame = self.frames.last_mut().expect("at least global frame");
+        for scope in frame.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = value;
+                return Ok(());
+            }
+        }
+        if let Some(slot) = self.frames[0][0].get_mut(name) {
+            *slot = value;
+            return Ok(());
+        }
+        Err(ScriptError::runtime(
+            line,
+            format!("assignment to undefined variable {name:?}"),
+        ))
+    }
+
+    fn exec_block(&mut self, body: &[Stmt]) -> Result<Flow> {
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .push(Scope::new());
+        let mut flow = Flow::Normal(Value::Null);
+        for stmt in body {
+            match self.exec(stmt)? {
+                Flow::Normal(v) => flow = Flow::Normal(v),
+                other => {
+                    flow = other;
+                    break;
+                }
+            }
+        }
+        self.frames.last_mut().expect("frame").pop();
+        Ok(flow)
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> Result<Flow> {
+        self.bump(stmt.line)?;
+        match &stmt.kind {
+            StmtKind::Let(name, e) => {
+                let v = self.eval(e)?;
+                self.frames
+                    .last_mut()
+                    .expect("frame")
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), v);
+                Ok(Flow::Normal(Value::Null))
+            }
+            StmtKind::Assign(name, e) => {
+                let v = self.eval(e)?;
+                self.assign(name, v, stmt.line)?;
+                Ok(Flow::Normal(Value::Null))
+            }
+            StmtKind::IndexAssign(base, index, e) => {
+                let value = self.eval(e)?;
+                let idx = self.eval(index)?;
+                // Only direct variables support index assignment; nested
+                // containers are updated by rebuilding in script code.
+                let ExprKind::Var(name) = &base.kind else {
+                    return Err(ScriptError::runtime(
+                        stmt.line,
+                        "index assignment requires a variable base",
+                    ));
+                };
+                let mut container = self
+                    .lookup(name)
+                    .cloned()
+                    .ok_or_else(|| {
+                        ScriptError::runtime(stmt.line, format!("undefined variable {name:?}"))
+                    })?;
+                match (&mut container, &idx) {
+                    (Value::List(items), Value::Num(n)) => {
+                        let i = *n as usize;
+                        if n.fract() != 0.0 || i >= items.len() {
+                            return Err(ScriptError::runtime(
+                                stmt.line,
+                                format!("list index {n} out of range (len {})", items.len()),
+                            ));
+                        }
+                        items[i] = value;
+                    }
+                    (Value::Map(m), Value::Str(k)) => {
+                        m.insert(k.clone(), value);
+                    }
+                    (c, i) => {
+                        return Err(ScriptError::runtime(
+                            stmt.line,
+                            format!("cannot index {} with {}", c.type_name(), i.type_name()),
+                        ))
+                    }
+                }
+                self.assign(name, container, stmt.line)?;
+                Ok(Flow::Normal(Value::Null))
+            }
+            StmtKind::Expr(e) => Ok(Flow::Normal(self.eval(e)?)),
+            StmtKind::If(cond, then_block, else_block) => {
+                if self.eval(cond)?.truthy() {
+                    self.exec_block(then_block)
+                } else if let Some(eb) = else_block {
+                    self.exec_block(eb)
+                } else {
+                    Ok(Flow::Normal(Value::Null))
+                }
+            }
+            StmtKind::While(cond, body) => {
+                while self.eval(cond)?.truthy() {
+                    self.bump(stmt.line)?;
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal(_) | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal(Value::Null))
+            }
+            StmtKind::For(var, iter, body) => {
+                let iterable = self.eval(iter)?;
+                let items: Vec<Value> = match iterable {
+                    Value::List(v) => v,
+                    Value::Map(m) => m.keys().map(|k| Value::Str(k.clone())).collect(),
+                    other => {
+                        return Err(ScriptError::runtime(
+                            stmt.line,
+                            format!("cannot iterate a {}", other.type_name()),
+                        ))
+                    }
+                };
+                for item in items {
+                    self.bump(stmt.line)?;
+                    self.frames
+                        .last_mut()
+                        .expect("frame")
+                        .push(Scope::new());
+                    self.frames
+                        .last_mut()
+                        .expect("frame")
+                        .last_mut()
+                        .expect("scope")
+                        .insert(var.clone(), item);
+                    let mut result = Flow::Normal(Value::Null);
+                    for s in body {
+                        match self.exec(s)? {
+                            Flow::Normal(_) => {}
+                            other => {
+                                result = other;
+                                break;
+                            }
+                        }
+                    }
+                    self.frames.last_mut().expect("frame").pop();
+                    match result {
+                        Flow::Break => return Ok(Flow::Normal(Value::Null)),
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal(_) | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal(Value::Null))
+            }
+            StmtKind::FnDef(def) => {
+                self.user_fns.insert(def.name.clone(), def.clone());
+                Ok(Flow::Normal(Value::Null))
+            }
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Value> {
+        self.bump(e.line)?;
+        match &e.kind {
+            ExprKind::Null => Ok(Value::Null),
+            ExprKind::Bool(b) => Ok(Value::Bool(*b)),
+            ExprKind::Num(n) => Ok(Value::Num(*n)),
+            ExprKind::Str(s) => Ok(Value::Str(s.clone())),
+            ExprKind::Var(name) => self.lookup(name).cloned().ok_or_else(|| {
+                ScriptError::runtime(e.line, format!("undefined variable {name:?}"))
+            }),
+            ExprKind::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.eval(item)?);
+                }
+                Ok(Value::List(out))
+            }
+            ExprKind::Map(pairs) => {
+                let mut m = BTreeMap::new();
+                for (k, v) in pairs {
+                    m.insert(k.clone(), self.eval(v)?);
+                }
+                Ok(Value::Map(m))
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval(inner)?;
+                match op {
+                    UnOp::Neg => v
+                        .as_num()
+                        .map(|n| Value::Num(-n))
+                        .ok_or_else(|| {
+                            ScriptError::runtime(
+                                e.line,
+                                format!("cannot negate a {}", v.type_name()),
+                            )
+                        }),
+                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => self.eval_binary(e.line, *op, lhs, rhs),
+            ExprKind::Index(base, index) => {
+                let b = self.eval(base)?;
+                let i = self.eval(index)?;
+                match (&b, &i) {
+                    (Value::List(items), Value::Num(n)) => {
+                        let idx = *n as usize;
+                        if n.fract() != 0.0 || *n < 0.0 || idx >= items.len() {
+                            Err(ScriptError::runtime(
+                                e.line,
+                                format!("list index {n} out of range (len {})", items.len()),
+                            ))
+                        } else {
+                            Ok(items[idx].clone())
+                        }
+                    }
+                    (Value::Map(m), Value::Str(k)) => m.get(k).cloned().ok_or_else(|| {
+                        ScriptError::runtime(e.line, format!("missing map key {k:?}"))
+                    }),
+                    (Value::Str(s), Value::Num(n)) => {
+                        let idx = *n as usize;
+                        s.chars()
+                            .nth(idx)
+                            .map(|c| Value::Str(c.to_string()))
+                            .ok_or_else(|| {
+                                ScriptError::runtime(e.line, format!("string index {n} out of range"))
+                            })
+                    }
+                    (b, i) => Err(ScriptError::runtime(
+                        e.line,
+                        format!("cannot index {} with {}", b.type_name(), i.type_name()),
+                    )),
+                }
+            }
+            ExprKind::Call(name, args) => {
+                // Short-circuit-free argument evaluation.
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(a)?);
+                }
+                self.call(name, values, e.line)
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, line: usize, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Value> {
+        // Short-circuit logic first.
+        if matches!(op, BinOp::And | BinOp::Or) {
+            let l = self.eval(lhs)?;
+            return match (op, l.truthy()) {
+                (BinOp::And, false) => Ok(Value::Bool(false)),
+                (BinOp::Or, true) => Ok(Value::Bool(true)),
+                _ => Ok(Value::Bool(self.eval(rhs)?.truthy())),
+            };
+        }
+        let l = self.eval(lhs)?;
+        let r = self.eval(rhs)?;
+        let type_err = |op: &str| {
+            ScriptError::runtime(
+                line,
+                format!("cannot apply {op} to {} and {}", l.type_name(), r.type_name()),
+            )
+        };
+        match op {
+            BinOp::Add => match (&l, &r) {
+                (Value::Num(a), Value::Num(b)) => Ok(Value::Num(a + b)),
+                (Value::List(a), Value::List(b)) => {
+                    let mut out = a.clone();
+                    out.extend(b.iter().cloned());
+                    Ok(Value::List(out))
+                }
+                (Value::Str(_), _) | (_, Value::Str(_)) => {
+                    Ok(Value::Str(format!("{l}{r}")))
+                }
+                _ => Err(type_err("+")),
+            },
+            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                let (Some(a), Some(b)) = (l.as_num(), r.as_num()) else {
+                    return Err(type_err(match op {
+                        BinOp::Sub => "-",
+                        BinOp::Mul => "*",
+                        BinOp::Div => "/",
+                        _ => "%",
+                    }));
+                };
+                match op {
+                    BinOp::Sub => Ok(Value::Num(a - b)),
+                    BinOp::Mul => Ok(Value::Num(a * b)),
+                    BinOp::Div => {
+                        if b == 0.0 {
+                            Err(ScriptError::runtime(line, "division by zero"))
+                        } else {
+                            Ok(Value::Num(a / b))
+                        }
+                    }
+                    _ => {
+                        if b == 0.0 {
+                            Err(ScriptError::runtime(line, "modulo by zero"))
+                        } else {
+                            Ok(Value::Num(a % b))
+                        }
+                    }
+                }
+            }
+            BinOp::Eq => Ok(Value::Bool(l == r)),
+            BinOp::Ne => Ok(Value::Bool(l != r)),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let ord = match (&l, &r) {
+                    (Value::Num(a), Value::Num(b)) => a.partial_cmp(b),
+                    (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+                    _ => None,
+                }
+                .ok_or_else(|| type_err("comparison"))?;
+                use std::cmp::Ordering::*;
+                Ok(Value::Bool(match op {
+                    BinOp::Lt => ord == Less,
+                    BinOp::Le => ord != Greater,
+                    BinOp::Gt => ord == Greater,
+                    _ => ord != Less,
+                }))
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: Vec<Value>, line: usize) -> Result<Value> {
+        // 1. builtins, 2. user functions, 3. host functions.
+        if let Some(v) = self.call_builtin(name, &args, line)? {
+            return Ok(v);
+        }
+        if let Some(def) = self.user_fns.get(name).cloned() {
+            if def.params.len() != args.len() {
+                return Err(ScriptError::runtime(
+                    line,
+                    format!(
+                        "{name}() expects {} arguments, got {}",
+                        def.params.len(),
+                        args.len()
+                    ),
+                ));
+            }
+            let mut scope = Scope::new();
+            for (p, a) in def.params.iter().zip(args) {
+                scope.insert(p.clone(), a);
+            }
+            self.frames.push(vec![scope]);
+            let mut result = Value::Null;
+            let mut flow_err = None;
+            for stmt in &def.body {
+                match self.exec(stmt) {
+                    Ok(Flow::Normal(v)) => result = v,
+                    Ok(Flow::Return(v)) => {
+                        result = v;
+                        break;
+                    }
+                    Ok(Flow::Break) | Ok(Flow::Continue) => {
+                        flow_err = Some(ScriptError::runtime(
+                            stmt.line,
+                            "break/continue outside loop",
+                        ));
+                        break;
+                    }
+                    Err(e) => {
+                        flow_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.frames.pop();
+            return match flow_err {
+                Some(e) => Err(e),
+                None => Ok(result),
+            };
+        }
+        if let Some(f) = self.host_fns.get_mut(name) {
+            return f(args).map_err(|msg| {
+                ScriptError::runtime(line, format!("{name}(): {msg}"))
+            });
+        }
+        Err(ScriptError::runtime(
+            line,
+            format!("unknown function {name:?}"),
+        ))
+    }
+
+    /// Built-in functions. Returns `Ok(None)` when `name` is not a
+    /// builtin so resolution can continue.
+    fn call_builtin(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        line: usize,
+    ) -> Result<Option<Value>> {
+        let argc_err = |expected: &str| {
+            ScriptError::runtime(line, format!("{name}() expects {expected} arguments"))
+        };
+        let num_arg = |i: usize| -> Result<f64> {
+            args.get(i)
+                .and_then(Value::as_num)
+                .ok_or_else(|| ScriptError::runtime(line, format!("{name}(): argument {i} must be a number")))
+        };
+        let v = match name {
+            "print" => {
+                let text = args
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                self.output.push(text);
+                Value::Null
+            }
+            "len" => match args {
+                [Value::Str(s)] => Value::Num(s.chars().count() as f64),
+                [Value::List(v)] => Value::Num(v.len() as f64),
+                [Value::Map(m)] => Value::Num(m.len() as f64),
+                _ => return Err(argc_err("one str/list/map")),
+            },
+            "str" => match args {
+                [v] => Value::Str(v.to_string()),
+                _ => return Err(argc_err("one")),
+            },
+            "num" => match args {
+                [Value::Num(n)] => Value::Num(*n),
+                [Value::Str(s)] => s
+                    .trim()
+                    .parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| ScriptError::runtime(line, format!("num(): cannot parse {s:?}")))?,
+                _ => return Err(argc_err("one num/str")),
+            },
+            "push" => match args {
+                [Value::List(items), v] => {
+                    let mut out = items.clone();
+                    out.push(v.clone());
+                    Value::List(out)
+                }
+                _ => return Err(argc_err("a list and a value")),
+            },
+            "range" => match args.len() {
+                1 => {
+                    let n = num_arg(0)? as i64;
+                    Value::List((0..n).map(|i| Value::Num(i as f64)).collect())
+                }
+                2 => {
+                    let a = num_arg(0)? as i64;
+                    let b = num_arg(1)? as i64;
+                    Value::List((a..b).map(|i| Value::Num(i as f64)).collect())
+                }
+                _ => return Err(argc_err("one or two")),
+            },
+            "keys" => match args {
+                [Value::Map(m)] => Value::List(m.keys().map(|k| Value::Str(k.clone())).collect()),
+                _ => return Err(argc_err("one map")),
+            },
+            "has" => match args {
+                [Value::Map(m), Value::Str(k)] => Value::Bool(m.contains_key(k)),
+                [Value::List(v), item] => Value::Bool(v.contains(item)),
+                _ => return Err(argc_err("a map/list and a key")),
+            },
+            "get" => match args {
+                [Value::Map(m), Value::Str(k), default] => {
+                    m.get(k).cloned().unwrap_or_else(|| default.clone())
+                }
+                _ => return Err(argc_err("a map, key, and default")),
+            },
+            "abs" => Value::Num(num_arg(0)?.abs()),
+            "sqrt" => {
+                let n = num_arg(0)?;
+                if n < 0.0 {
+                    return Err(ScriptError::runtime(line, "sqrt of negative number"));
+                }
+                Value::Num(n.sqrt())
+            }
+            "floor" => Value::Num(num_arg(0)?.floor()),
+            "ceil" => Value::Num(num_arg(0)?.ceil()),
+            "pow" => Value::Num(num_arg(0)?.powf(num_arg(1)?)),
+            "min" => match args {
+                [Value::List(items)] if !items.is_empty() => {
+                    let mut best = f64::INFINITY;
+                    for v in items {
+                        best = best.min(v.as_num().ok_or_else(|| argc_err("numeric list"))?);
+                    }
+                    Value::Num(best)
+                }
+                [Value::Num(a), Value::Num(b)] => Value::Num(a.min(*b)),
+                _ => return Err(argc_err("two numbers or a non-empty numeric list")),
+            },
+            "max" => match args {
+                [Value::List(items)] if !items.is_empty() => {
+                    let mut best = f64::NEG_INFINITY;
+                    for v in items {
+                        best = best.max(v.as_num().ok_or_else(|| argc_err("numeric list"))?);
+                    }
+                    Value::Num(best)
+                }
+                [Value::Num(a), Value::Num(b)] => Value::Num(a.max(*b)),
+                _ => return Err(argc_err("two numbers or a non-empty numeric list")),
+            },
+            "sum" => match args {
+                [Value::List(items)] => {
+                    let mut total = 0.0;
+                    for v in items {
+                        total += v.as_num().ok_or_else(|| argc_err("numeric list"))?;
+                    }
+                    Value::Num(total)
+                }
+                _ => return Err(argc_err("one numeric list")),
+            },
+            "sort" => match args {
+                [Value::List(items)] => {
+                    let mut out = items.clone();
+                    out.sort_by(|a, b| match (a, b) {
+                        (Value::Num(x), Value::Num(y)) => {
+                            x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal)
+                        }
+                        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                        _ => std::cmp::Ordering::Equal,
+                    });
+                    Value::List(out)
+                }
+                _ => return Err(argc_err("one list")),
+            },
+            "join" => match args {
+                [Value::List(items), Value::Str(sep)] => Value::Str(
+                    items
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(sep),
+                ),
+                _ => return Err(argc_err("a list and a separator")),
+            },
+            "split" => match args {
+                [Value::Str(s), Value::Str(sep)] => Value::List(
+                    s.split(sep.as_str())
+                        .map(|p| Value::Str(p.to_string()))
+                        .collect(),
+                ),
+                _ => return Err(argc_err("a string and a separator")),
+            },
+            "contains" => match args {
+                [Value::Str(s), Value::Str(sub)] => Value::Bool(s.contains(sub.as_str())),
+                _ => return Err(argc_err("two strings")),
+            },
+            "type" => match args {
+                [v] => Value::Str(v.type_name().to_string()),
+                _ => return Err(argc_err("one")),
+            },
+            _ => return Ok(None),
+        };
+        Ok(Some(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str) -> Value {
+        Interpreter::new().run(src).unwrap()
+    }
+
+    fn eval_err(src: &str) -> ScriptError {
+        Interpreter::new().run(src).unwrap_err()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval("1 + 2 * 3"), Value::Num(7.0));
+        assert_eq!(eval("(1 + 2) * 3"), Value::Num(9.0));
+        assert_eq!(eval("10 % 3"), Value::Num(1.0));
+        assert_eq!(eval("-2 * 3"), Value::Num(-6.0));
+        assert_eq!(eval("7 / 2"), Value::Num(3.5));
+    }
+
+    #[test]
+    fn string_concat_and_comparison() {
+        assert_eq!(eval("\"a\" + 1"), Value::Str("a1".into()));
+        assert_eq!(eval("1 + \"a\""), Value::Str("1a".into()));
+        assert_eq!(eval("\"ab\" < \"ac\""), Value::Bool(true));
+        assert_eq!(eval("\"x\" == \"x\""), Value::Bool(true));
+    }
+
+    #[test]
+    fn let_assign_and_scoping() {
+        assert_eq!(eval("let x = 1; x = x + 1; x"), Value::Num(2.0));
+        // Block scope shadows then disappears.
+        assert_eq!(
+            eval("let x = 1; if true { let x = 99; } x"),
+            Value::Num(1.0)
+        );
+        // Assignment inside a block reaches outward.
+        assert_eq!(
+            eval("let x = 1; if true { x = 5; } x"),
+            Value::Num(5.0)
+        );
+    }
+
+    #[test]
+    fn while_loop_with_break_continue() {
+        let src = "\
+let total = 0;
+let i = 0;
+while true {
+    i = i + 1;
+    if i > 10 { break; }
+    if i % 2 == 0 { continue; }
+    total = total + i;
+}
+total";
+        assert_eq!(eval(src), Value::Num(25.0)); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn for_loop_over_list_and_map() {
+        assert_eq!(
+            eval("let t = 0; for x in [1, 2, 3] { t = t + x; } t"),
+            Value::Num(6.0)
+        );
+        assert_eq!(
+            eval("let ks = \"\"; for k in { b: 1, a: 2 } { ks = ks + k; } ks"),
+            Value::Str("ab".into()) // map iteration is key-ordered
+        );
+    }
+
+    #[test]
+    fn functions_recursion_and_return() {
+        let src = "\
+fn fib(n) {
+    if n < 2 { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+fib(10)";
+        assert_eq!(eval(src), Value::Num(55.0));
+    }
+
+    #[test]
+    fn functions_see_globals_but_have_own_scope() {
+        let src = "\
+let g = 10;
+fn f(x) { return x + g; }
+let r = f(5);
+r";
+        assert_eq!(eval(src), Value::Num(15.0));
+        // Parameters do not leak.
+        assert!(matches!(
+            eval_err("fn f(x) { return x; } f(1); x"),
+            ScriptError { .. }
+        ));
+    }
+
+    #[test]
+    fn lists_maps_indexing() {
+        assert_eq!(eval("[10, 20, 30][1]"), Value::Num(20.0));
+        assert_eq!(eval("{ a: 5 }[\"a\"]"), Value::Num(5.0));
+        assert_eq!(
+            eval("let a = [1, 2]; a[0] = 9; a[0] + a[1]"),
+            Value::Num(11.0)
+        );
+        assert_eq!(
+            eval("let m = { x: 1 }; m[\"y\"] = 2; m[\"x\"] + m[\"y\"]"),
+            Value::Num(3.0)
+        );
+        assert_eq!(eval("\"abc\"[1]"), Value::Str("b".into()));
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(eval("len([1, 2, 3])"), Value::Num(3.0));
+        assert_eq!(eval("len(\"abc\")"), Value::Num(3.0));
+        assert_eq!(eval("str(1.5)"), Value::Str("1.5".into()));
+        assert_eq!(eval("num(\" 42 \")"), Value::Num(42.0));
+        assert_eq!(eval("sum(range(5))"), Value::Num(10.0));
+        assert_eq!(eval("len(range(2, 6))"), Value::Num(4.0));
+        assert_eq!(eval("max([3, 9, 1])"), Value::Num(9.0));
+        assert_eq!(eval("min(3, 9)"), Value::Num(3.0));
+        assert_eq!(eval("abs(0 - 5)"), Value::Num(5.0));
+        assert_eq!(eval("sqrt(16)"), Value::Num(4.0));
+        assert_eq!(eval("pow(2, 10)"), Value::Num(1024.0));
+        assert_eq!(eval("join([1, 2], \"-\")"), Value::Str("1-2".into()));
+        assert_eq!(
+            eval("split(\"a,b\", \",\")"),
+            Value::List(vec![Value::Str("a".into()), Value::Str("b".into())])
+        );
+        assert_eq!(eval("contains(\"hay\", \"a\")"), Value::Bool(true));
+        assert_eq!(eval("sort([3, 1, 2])[0]"), Value::Num(1.0));
+        assert_eq!(eval("type({})"), Value::Str("map".into()));
+        assert_eq!(eval("has({ a: 1 }, \"a\")"), Value::Bool(true));
+        assert_eq!(eval("has([1, 2], 2)"), Value::Bool(true));
+        assert_eq!(eval("get({ a: 1 }, \"b\", 7)"), Value::Num(7.0));
+        assert_eq!(eval("len(push([1], 2))"), Value::Num(2.0));
+    }
+
+    #[test]
+    fn print_accumulates_output() {
+        let mut interp = Interpreter::new();
+        interp.run("print(\"a\", 1); print([2]);").unwrap();
+        assert_eq!(interp.take_output(), vec!["a 1", "[2]"]);
+        assert!(interp.take_output().is_empty());
+    }
+
+    #[test]
+    fn host_functions_and_handles() {
+        let mut interp = Interpreter::new();
+        interp.register("make_trial", |_args| {
+            Ok(Value::Handle {
+                tag: "trial".into(),
+                id: 7,
+            })
+        });
+        interp.register("trial_id", |args| {
+            match args.first().and_then(Value::as_handle) {
+                Some(("trial", id)) => Ok(Value::Num(id as f64)),
+                _ => Err("expected a trial handle".into()),
+            }
+        });
+        let out = interp.run("let t = make_trial(); trial_id(t)").unwrap();
+        assert_eq!(out, Value::Num(7.0));
+        // Wrong handle type surfaces the host's message with call context.
+        let err = interp.run("trial_id(42)").unwrap_err();
+        assert!(err.message.contains("trial_id"));
+        assert!(err.message.contains("expected a trial handle"));
+    }
+
+    #[test]
+    fn globals_persist_across_runs() {
+        let mut interp = Interpreter::new();
+        interp.run("let counter = 1;").unwrap();
+        let v = interp.run("counter = counter + 1; counter").unwrap();
+        assert_eq!(v, Value::Num(2.0));
+        assert_eq!(interp.get_global("counter"), Some(&Value::Num(2.0)));
+        interp.set_global("injected", Value::from("hi"));
+        assert_eq!(interp.run("injected").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn runtime_errors() {
+        assert!(eval_err("missing").message.contains("undefined variable"));
+        assert!(eval_err("1 / 0").message.contains("division by zero"));
+        assert!(eval_err("5 % 0").message.contains("modulo by zero"));
+        assert!(eval_err("[1][5]").message.contains("out of range"));
+        assert!(eval_err("{ a: 1 }[\"b\"]").message.contains("missing map key"));
+        assert!(eval_err("x = 1;").message.contains("undefined variable"));
+        assert!(eval_err("1 + null").message.contains("cannot apply"));
+        assert!(eval_err("nothere()").message.contains("unknown function"));
+        assert!(eval_err("fn f(a) { return a; } f(1, 2)")
+            .message
+            .contains("expects 1 arguments"));
+        assert!(eval_err("break;").message.contains("outside loop"));
+        assert!(eval_err("sqrt(0 - 1)").message.contains("negative"));
+        assert!(eval_err("for x in 5 { }").message.contains("cannot iterate"));
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let mut interp = Interpreter::new().with_step_limit(10_000);
+        let err = interp.run("while true { }").unwrap_err();
+        assert!(err.message.contains("step limit"));
+    }
+
+    #[test]
+    fn error_lines_are_reported() {
+        let err = eval_err("let x = 1;\nlet y = 2;\nz");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // The RHS would error if evaluated.
+        assert_eq!(eval("false && missing_var"), Value::Bool(false));
+        assert_eq!(eval("true || missing_var"), Value::Bool(true));
+        assert_eq!(eval("true && 1"), Value::Bool(true));
+    }
+}

@@ -1,0 +1,221 @@
+//! Tokeniser for the scripting language.
+
+use crate::{Result, ScriptError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (escapes resolved).
+    Str(String),
+    /// Punctuation or operator, e.g. `+`, `==`, `{`.
+    Sym(&'static str),
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line it starts on.
+    pub line: usize,
+}
+
+const SYMBOLS: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "{",
+    "}", "[", "]", ",", ";", ":", "!", ".",
+];
+
+/// Tokenises a source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let mut line = 1;
+    'outer: while pos < bytes.len() {
+        let c = bytes[pos];
+        if c == b'\n' {
+            line += 1;
+            pos += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        // Comments: `//` and `#` to end of line.
+        if c == b'#' || (c == b'/' && bytes.get(pos + 1) == Some(&b'/')) {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        if c == b'"' {
+            let start_line = line;
+            pos += 1;
+            let mut s = String::new();
+            loop {
+                if pos >= bytes.len() {
+                    return Err(ScriptError::lex(start_line, "unterminated string"));
+                }
+                let c = bytes[pos];
+                pos += 1;
+                match c {
+                    b'"' => break,
+                    b'\\' => {
+                        let esc = *bytes
+                            .get(pos)
+                            .ok_or_else(|| ScriptError::lex(line, "dangling escape"))?;
+                        pos += 1;
+                        s.push(match esc {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            other => {
+                                return Err(ScriptError::lex(
+                                    line,
+                                    format!("unknown escape \\{}", other as char),
+                                ))
+                            }
+                        });
+                    }
+                    b'\n' => return Err(ScriptError::lex(start_line, "newline in string")),
+                    other => s.push(other as char),
+                }
+            }
+            out.push(Spanned {
+                token: Token::Str(s),
+                line: start_line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = pos;
+            pos += 1;
+            while pos < bytes.len()
+                && (bytes[pos].is_ascii_digit()
+                    || bytes[pos] == b'.'
+                    || bytes[pos] == b'e'
+                    || bytes[pos] == b'E'
+                    || (matches!(bytes[pos], b'+' | b'-') && matches!(bytes[pos - 1], b'e' | b'E')))
+            {
+                pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii digits");
+            let n: f64 = text
+                .parse()
+                .map_err(|_| ScriptError::lex(line, format!("bad number {text:?}")))?;
+            out.push(Spanned {
+                token: Token::Num(n),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = pos;
+            while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+                pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii ident");
+            out.push(Spanned {
+                token: Token::Ident(text.to_string()),
+                line,
+            });
+            continue;
+        }
+        for sym in SYMBOLS {
+            if bytes[pos..].starts_with(sym.as_bytes()) {
+                pos += sym.len();
+                out.push(Spanned {
+                    token: Token::Sym(sym),
+                    line,
+                });
+                continue 'outer;
+            }
+        }
+        return Err(ScriptError::lex(
+            line,
+            format!("unexpected character {:?}", c as char),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_mixed_source() {
+        let t = toks("let x = 1.5; // comment\nprint(\"hi\");");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("let".into()),
+                Token::Ident("x".into()),
+                Token::Sym("="),
+                Token::Num(1.5),
+                Token::Sym(";"),
+                Token::Ident("print".into()),
+                Token::Sym("("),
+                Token::Str("hi".into()),
+                Token::Sym(")"),
+                Token::Sym(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win_over_one_char() {
+        assert_eq!(
+            toks("a <= b == c && d"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Sym("<="),
+                Token::Ident("b".into()),
+                Token::Sym("=="),
+                Token::Ident("c".into()),
+                Token::Sym("&&"),
+                Token::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let spanned = lex("a\nb\n  c").unwrap();
+        let lines: Vec<usize> = spanned.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn hash_comments() {
+        assert_eq!(toks("# full line\nx # trailing"), vec![Token::Ident("x".into())]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\tb\n\"q\"""#), vec![Token::Str("a\tb\n\"q\"".into())]);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(toks("1e3 2.5e-2"), vec![Token::Num(1000.0), Token::Num(0.025)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"open").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("\"bad\\q\"").is_err());
+        assert!(lex("1.2.3").is_err());
+    }
+}

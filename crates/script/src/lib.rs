@@ -1,0 +1,54 @@
+//! An embeddable analysis scripting language.
+//!
+//! PerfExplorer 2.0 added "a scripting interface for process control …
+//! with the interface, it is straightforward to derive new metrics,
+//! perform analysis, and automate the processing of performance data"
+//! (the paper's Figure 1 shows a Jython workflow). This crate provides
+//! the equivalent capability for the Rust stack: a small, dynamically
+//! typed language with a tree-walking interpreter and a host-function
+//! registry through which the analysis layer exposes its operations.
+//!
+//! The language has `let` bindings, assignment, arithmetic and logic,
+//! strings/lists/maps, `if`/`else`, `while`, `for … in`, user functions
+//! and host functions. Host objects (trials, analysis results) cross the
+//! boundary as opaque [`Value::Handle`] values.
+//!
+//! ```
+//! use script::{Interpreter, Value};
+//!
+//! let mut interp = Interpreter::new();
+//! interp.register("double", |args| {
+//!     let n = args[0].as_num().unwrap_or(0.0);
+//!     Ok(Value::Num(n * 2.0))
+//! });
+//! let out = interp
+//!     .run(
+//!         r#"
+//!         let total = 0;
+//!         for x in [1, 2, 3] {
+//!             total = total + double(x);
+//!         }
+//!         print("total = " + str(total));
+//!         total
+//!         "#,
+//!     )
+//!     .unwrap();
+//! assert_eq!(out, Value::Num(12.0));
+//! assert_eq!(interp.take_output(), vec!["total = 12"]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use error::ScriptError;
+pub use interp::Interpreter;
+pub use value::Value;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, ScriptError>;

@@ -1,0 +1,593 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{lex, Spanned, Token};
+use crate::{Result, ScriptError};
+
+/// Parses source text into a [`Program`].
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    while p.peek().is_some() {
+        statements.push(p.statement()?);
+    }
+    Ok(Program { statements })
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ScriptError {
+        ScriptError::parse(self.line(), message)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .map(|s| s.token.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn at_sym(&self, sym: &str) -> bool {
+        matches!(self.peek(), Some(Token::Sym(s)) if *s == sym)
+    }
+
+    fn at_kw(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == word)
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> Result<()> {
+        if self.at_sym(sym) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {sym:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.eat_sym("{")?;
+        let mut out = Vec::new();
+        while !self.at_sym("}") {
+            out.push(self.statement()?);
+        }
+        self.eat_sym("}")?;
+        Ok(out)
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        // Keyword statements.
+        if self.at_kw("let") {
+            self.pos += 1;
+            let name = self.ident()?;
+            self.eat_sym("=")?;
+            let value = self.expr()?;
+            self.eat_sym(";")?;
+            return Ok(Stmt {
+                line,
+                kind: StmtKind::Let(name, value),
+            });
+        }
+        if self.at_kw("if") {
+            self.pos += 1;
+            return self.if_tail(line);
+        }
+        if self.at_kw("while") {
+            self.pos += 1;
+            let cond = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt {
+                line,
+                kind: StmtKind::While(cond, body),
+            });
+        }
+        if self.at_kw("for") {
+            self.pos += 1;
+            let var = self.ident()?;
+            if !self.at_kw("in") {
+                return Err(self.err("expected 'in' in for loop"));
+            }
+            self.pos += 1;
+            let iter = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt {
+                line,
+                kind: StmtKind::For(var, iter, body),
+            });
+        }
+        if self.at_kw("fn") {
+            self.pos += 1;
+            let name = self.ident()?;
+            self.eat_sym("(")?;
+            let mut params = Vec::new();
+            if !self.at_sym(")") {
+                loop {
+                    params.push(self.ident()?);
+                    if self.at_sym(",") {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.eat_sym(")")?;
+            let body = self.block()?;
+            return Ok(Stmt {
+                line,
+                kind: StmtKind::FnDef(FnDef { name, params, body }),
+            });
+        }
+        if self.at_kw("return") {
+            self.pos += 1;
+            let value = if self.at_sym(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.eat_sym(";")?;
+            return Ok(Stmt {
+                line,
+                kind: StmtKind::Return(value),
+            });
+        }
+        if self.at_kw("break") {
+            self.pos += 1;
+            self.eat_sym(";")?;
+            return Ok(Stmt {
+                line,
+                kind: StmtKind::Break,
+            });
+        }
+        if self.at_kw("continue") {
+            self.pos += 1;
+            self.eat_sym(";")?;
+            return Ok(Stmt {
+                line,
+                kind: StmtKind::Continue,
+            });
+        }
+        // Assignment: `ident = expr;` (but not `==`).
+        if let (Some(Token::Ident(name)), Some(Token::Sym("="))) = (self.peek(), self.peek2()) {
+            let name = name.clone();
+            self.pos += 2;
+            let value = self.expr()?;
+            self.eat_sym(";")?;
+            return Ok(Stmt {
+                line,
+                kind: StmtKind::Assign(name, value),
+            });
+        }
+        // Expression statement, possibly an index assignment.
+        let e = self.expr()?;
+        if self.at_sym("=") {
+            self.pos += 1;
+            let value = self.expr()?;
+            self.eat_sym(";")?;
+            return match e.kind {
+                ExprKind::Index(base, index) => Ok(Stmt {
+                    line,
+                    kind: StmtKind::IndexAssign(*base, *index, value),
+                }),
+                _ => Err(self.err("invalid assignment target")),
+            };
+        }
+        // Optional semicolon: the final expression of a block/program may
+        // omit it, making the script evaluate to that value.
+        if self.at_sym(";") {
+            self.pos += 1;
+        } else if self.peek().is_some() && !self.at_sym("}") {
+            return Err(self.err(format!("expected ';', found {:?}", self.peek())));
+        }
+        Ok(Stmt {
+            line,
+            kind: StmtKind::Expr(e),
+        })
+    }
+
+    fn if_tail(&mut self, line: usize) -> Result<Stmt> {
+        let cond = self.expr()?;
+        let then_block = self.block()?;
+        let else_block = if self.at_kw("else") {
+            self.pos += 1;
+            if self.at_kw("if") {
+                self.pos += 1;
+                let nested_line = self.line();
+                Some(vec![self.if_tail(nested_line)?])
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt {
+            line,
+            kind: StmtKind::If(cond, then_block, else_block),
+        })
+    }
+
+    // --- expressions, precedence climbing ---
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.at_sym("||") {
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.at_sym("&&") {
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.cmp_expr()?;
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Sym("==")) => Some(BinOp::Eq),
+            Some(Token::Sym("!=")) => Some(BinOp::Ne),
+            Some(Token::Sym("<")) => Some(BinOp::Lt),
+            Some(Token::Sym("<=")) => Some(BinOp::Le),
+            Some(Token::Sym(">")) => Some(BinOp::Gt),
+            Some(Token::Sym(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            Ok(Expr {
+                line,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("+")) => BinOp::Add,
+                Some(Token::Sym("-")) => BinOp::Sub,
+                _ => break,
+            };
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("*")) => BinOp::Mul,
+                Some(Token::Sym("/")) => BinOp::Div,
+                Some(Token::Sym("%")) => BinOp::Rem,
+                _ => break,
+            };
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        let line = self.line();
+        if self.at_sym("-") {
+            self.pos += 1;
+            let e = self.unary_expr()?;
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+            });
+        }
+        if self.at_sym("!") {
+            self.pos += 1;
+            let e = self.unary_expr()?;
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Unary(UnOp::Not, Box::new(e)),
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.at_sym("[") {
+                let line = self.line();
+                self.pos += 1;
+                let idx = self.expr()?;
+                self.eat_sym("]")?;
+                e = Expr {
+                    line,
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.next()? {
+            Token::Num(n) => Ok(Expr {
+                line,
+                kind: ExprKind::Num(n),
+            }),
+            Token::Str(s) => Ok(Expr {
+                line,
+                kind: ExprKind::Str(s),
+            }),
+            Token::Ident(name) => match name.as_str() {
+                "null" => Ok(Expr {
+                    line,
+                    kind: ExprKind::Null,
+                }),
+                "true" => Ok(Expr {
+                    line,
+                    kind: ExprKind::Bool(true),
+                }),
+                "false" => Ok(Expr {
+                    line,
+                    kind: ExprKind::Bool(false),
+                }),
+                _ => {
+                    if self.at_sym("(") {
+                        self.pos += 1;
+                        let mut args = Vec::new();
+                        if !self.at_sym(")") {
+                            loop {
+                                args.push(self.expr()?);
+                                if self.at_sym(",") {
+                                    self.pos += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.eat_sym(")")?;
+                        Ok(Expr {
+                            line,
+                            kind: ExprKind::Call(name, args),
+                        })
+                    } else {
+                        Ok(Expr {
+                            line,
+                            kind: ExprKind::Var(name),
+                        })
+                    }
+                }
+            },
+            Token::Sym("(") => {
+                let e = self.expr()?;
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            Token::Sym("[") => {
+                let mut items = Vec::new();
+                if !self.at_sym("]") {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.at_sym(",") {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_sym("]")?;
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::List(items),
+                })
+            }
+            Token::Sym("{") => {
+                let mut pairs = Vec::new();
+                if !self.at_sym("}") {
+                    loop {
+                        let key = match self.next()? {
+                            Token::Str(s) => s,
+                            Token::Ident(s) => s,
+                            other => {
+                                return Err(self.err(format!("expected map key, found {other:?}")))
+                            }
+                        };
+                        self.eat_sym(":")?;
+                        let value = self.expr()?;
+                        pairs.push((key, value));
+                        if self.at_sym(",") {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_sym("}")?;
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Map(pairs),
+                })
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_let_and_expression_statements() {
+        let p = parse("let x = 1 + 2 * 3;\nx").unwrap();
+        assert_eq!(p.statements.len(), 2);
+        match &p.statements[0].kind {
+            StmtKind::Let(name, e) => {
+                assert_eq!(name, "x");
+                // Precedence: 1 + (2 * 3)
+                match &e.kind {
+                    ExprKind::Binary(BinOp::Add, _, rhs) => {
+                        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse("if a { x(); } else if b { y(); } else { z(); }").unwrap();
+        match &p.statements[0].kind {
+            StmtKind::If(_, _, Some(else_block)) => {
+                assert!(matches!(else_block[0].kind, StmtKind::If(_, _, Some(_))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_loops_and_functions() {
+        let src = "\
+fn add(a, b) { return a + b; }
+let i = 0;
+while i < 10 { i = i + 1; }
+for x in [1, 2] { print(x); }
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.statements.len(), 4);
+        assert!(matches!(p.statements[0].kind, StmtKind::FnDef(_)));
+        assert!(matches!(p.statements[2].kind, StmtKind::While(_, _)));
+        assert!(matches!(p.statements[3].kind, StmtKind::For(_, _, _)));
+    }
+
+    #[test]
+    fn parses_index_and_index_assignment() {
+        let p = parse("let a = [1]; a[0] = 2; a[0];").unwrap();
+        assert!(matches!(p.statements[1].kind, StmtKind::IndexAssign(_, _, _)));
+        match &p.statements[2].kind {
+            StmtKind::Expr(e) => assert!(matches!(e.kind, ExprKind::Index(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_map_literals() {
+        let p = parse("let m = { a: 1, \"b c\": 2 };").unwrap();
+        match &p.statements[0].kind {
+            StmtKind::Let(_, e) => match &e.kind {
+                ExprKind::Map(pairs) => {
+                    assert_eq!(pairs[0].0, "a");
+                    assert_eq!(pairs[1].0, "b c");
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_assignment_target_rejected() {
+        assert!(parse("1 + 2 = 3;").is_err());
+        assert!(parse("f() = 3;").is_err());
+    }
+
+    #[test]
+    fn missing_semicolon_mid_program_rejected() {
+        assert!(parse("let x = 1\nlet y = 2;").is_err());
+    }
+
+    #[test]
+    fn trailing_expression_without_semicolon_ok() {
+        let p = parse("let x = 1; x + 1").unwrap();
+        assert_eq!(p.statements.len(), 2);
+    }
+
+    #[test]
+    fn unbalanced_delimiters_rejected() {
+        assert!(parse("f(1, 2;").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("if x { y();").is_err());
+    }
+
+    #[test]
+    fn logical_operator_precedence() {
+        // a || b && c  parses as  a || (b && c)
+        let p = parse("a || b && c").unwrap();
+        match &p.statements[0].kind {
+            StmtKind::Expr(e) => match &e.kind {
+                ExprKind::Binary(BinOp::Or, _, rhs) => {
+                    assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::And, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

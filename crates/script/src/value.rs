@@ -1,0 +1,216 @@
+//! Runtime values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A script runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (`null`, and the result of value-less calls).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (f64, like the profile data it manipulates).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// List.
+    List(Vec<Value>),
+    /// String-keyed map.
+    Map(BTreeMap<String, Value>),
+    /// Opaque host object: a tag describing its kind plus a host-side id.
+    /// The script can pass handles around and back into host functions
+    /// but cannot inspect them.
+    Handle {
+        /// Host-defined kind tag, e.g. `"trial"`.
+        tag: String,
+        /// Host-side identifier.
+        id: u64,
+    },
+}
+
+impl Value {
+    /// Truthiness: `null`, `false`, `0`, `""`, `[]` and `{}` are false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(v) => !v.is_empty(),
+            Value::Map(m) => !m.is_empty(),
+            Value::Handle { .. } => true,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// List view.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Map view.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Handle view: `(tag, id)`.
+    pub fn as_handle(&self) -> Option<(&str, u64)> {
+        match self {
+            Value::Handle { tag, id } => Some((tag, *id)),
+            _ => None,
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "num",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+            Value::Handle { .. } => "handle",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Handle { tag, id } => write!(f, "<{tag}#{id}>"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(!Value::List(vec![]).truthy());
+        assert!(Value::Num(1.0).truthy());
+        assert!(Value::from("x").truthy());
+        assert!(Value::Handle { tag: "t".into(), id: 0 }.truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Num(3.0).to_string(), "3");
+        assert_eq!(Value::Num(3.5).to_string(), "3.5");
+        assert_eq!(Value::from(vec![1.0, 2.0]).to_string(), "[1, 2]");
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), Value::Num(1.0));
+        assert_eq!(Value::Map(m).to_string(), "{a: 1}");
+        assert_eq!(
+            Value::Handle { tag: "trial".into(), id: 3 }.to_string(),
+            "<trial#3>"
+        );
+    }
+
+    #[test]
+    fn typed_views() {
+        assert_eq!(Value::Num(2.0).as_num(), Some(2.0));
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert!(Value::from(vec![1.0]).as_list().is_some());
+        assert_eq!(
+            Value::Handle { tag: "t".into(), id: 9 }.as_handle(),
+            Some(("t", 9))
+        );
+        assert_eq!(Value::Null.as_num(), None);
+        assert_eq!(Value::Num(1.0).type_name(), "num");
+    }
+}

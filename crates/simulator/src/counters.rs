@@ -1,0 +1,172 @@
+//! Synthetic hardware counters.
+//!
+//! The counter names mirror the Itanium 2 events the paper collects via
+//! TAU/PAPI (`CPU_CYCLES`, `BACK_END_BUBBLE_ALL`, cache miss counts,
+//! instruction counts) so that derived-metric expressions in analysis
+//! scripts read the same as in the paper.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A hardware counter kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Counter {
+    /// Total CPU cycles.
+    CpuCycles,
+    /// Back-end pipeline bubble (stall) cycles — `BACK_END_BUBBLE_ALL`.
+    BackEndBubbleAll,
+    /// L1 data cache misses.
+    L1dMisses,
+    /// L2 cache references.
+    L2References,
+    /// L2 cache misses.
+    L2Misses,
+    /// L3 cache misses.
+    L3Misses,
+    /// TLB misses.
+    TlbMisses,
+    /// References satisfied from local memory.
+    LocalMemoryRefs,
+    /// References satisfied from remote memory.
+    RemoteMemoryRefs,
+    /// Floating-point operations.
+    FpOps,
+    /// Floating-point stall cycles (register feed from L2 on Itanium).
+    FpStalls,
+    /// Branch mispredictions.
+    BranchMispredictions,
+    /// Instructions completed (retired).
+    InstCompleted,
+    /// Instructions issued.
+    InstIssued,
+}
+
+impl Counter {
+    /// The PAPI/TAU-style metric name used in profiles and scripts.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            Counter::CpuCycles => "CPU_CYCLES",
+            Counter::BackEndBubbleAll => "BACK_END_BUBBLE_ALL",
+            Counter::L1dMisses => "L1D_MISSES",
+            Counter::L2References => "L2_REFERENCES",
+            Counter::L2Misses => "L2_MISSES",
+            Counter::L3Misses => "L3_MISSES",
+            Counter::TlbMisses => "TLB_MISSES",
+            Counter::LocalMemoryRefs => "LOCAL_MEMORY_REFS",
+            Counter::RemoteMemoryRefs => "REMOTE_MEMORY_REFS",
+            Counter::FpOps => "FP_OPS",
+            Counter::FpStalls => "FP_STALLS",
+            Counter::BranchMispredictions => "BRANCH_MISPREDICTIONS",
+            Counter::InstCompleted => "INST_COMPLETED",
+            Counter::InstIssued => "INST_ISSUED",
+        }
+    }
+
+    /// All counters, for enumeration when exporting profiles.
+    pub fn all() -> &'static [Counter] {
+        &[
+            Counter::CpuCycles,
+            Counter::BackEndBubbleAll,
+            Counter::L1dMisses,
+            Counter::L2References,
+            Counter::L2Misses,
+            Counter::L3Misses,
+            Counter::TlbMisses,
+            Counter::LocalMemoryRefs,
+            Counter::RemoteMemoryRefs,
+            Counter::FpOps,
+            Counter::FpStalls,
+            Counter::BranchMispredictions,
+            Counter::InstCompleted,
+            Counter::InstIssued,
+        ]
+    }
+}
+
+/// A bag of counter values.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CounterSet {
+    values: BTreeMap<Counter, f64>,
+}
+
+impl CounterSet {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Adds to one counter.
+    pub fn add(&mut self, counter: Counter, amount: f64) {
+        *self.values.entry(counter).or_insert(0.0) += amount;
+    }
+
+    /// Sets one counter.
+    pub fn set(&mut self, counter: Counter, value: f64) {
+        self.values.insert(counter, value);
+    }
+
+    /// Reads one counter (0 if never touched).
+    pub fn get(&self, counter: Counter) -> f64 {
+        self.values.get(&counter).copied().unwrap_or(0.0)
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (c, v) in &other.values {
+            self.add(*c, *v);
+        }
+    }
+
+    /// Iterates the non-zero counters.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, f64)> + '_ {
+        self.values.iter().map(|(c, v)| (*c, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_set() {
+        let mut c = CounterSet::new();
+        assert_eq!(c.get(Counter::CpuCycles), 0.0);
+        c.add(Counter::CpuCycles, 10.0);
+        c.add(Counter::CpuCycles, 5.0);
+        assert_eq!(c.get(Counter::CpuCycles), 15.0);
+        c.set(Counter::CpuCycles, 2.0);
+        assert_eq!(c.get(Counter::CpuCycles), 2.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CounterSet::new();
+        a.add(Counter::FpOps, 100.0);
+        let mut b = CounterSet::new();
+        b.add(Counter::FpOps, 50.0);
+        b.add(Counter::L3Misses, 7.0);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::FpOps), 150.0);
+        assert_eq!(a.get(Counter::L3Misses), 7.0);
+    }
+
+    #[test]
+    fn metric_names_match_paper() {
+        assert_eq!(Counter::CpuCycles.metric_name(), "CPU_CYCLES");
+        assert_eq!(Counter::BackEndBubbleAll.metric_name(), "BACK_END_BUBBLE_ALL");
+        // All names unique.
+        let mut names: Vec<&str> = Counter::all().iter().map(|c| c.metric_name()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn iter_skips_untouched() {
+        let mut c = CounterSet::new();
+        c.add(Counter::L2Misses, 1.0);
+        let items: Vec<_> = c.iter().collect();
+        assert_eq!(items, vec![(Counter::L2Misses, 1.0)]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Machine description: topology, cache hierarchy, latencies, power.
+
+use serde::{Deserialize, Serialize};
+
+/// One cache level's geometry and cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// Capacity in bytes.
+    pub capacity: f64,
+    /// Line size in bytes.
+    pub line_size: f64,
+    /// Access latency in cycles (hit at this level).
+    pub latency: f64,
+}
+
+/// A parameterised ccNUMA machine.
+///
+/// The presets model the paper's two systems: the Altix 300 used for
+/// characterisation and the Altix 3600 used for production runs. Both are
+/// built from two-processor nodes (C-bricks pair two nodes via a memory
+/// hub) joined by NUMAlink routers in a hierarchical topology, so remote
+/// latency grows with hop count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Processors per node.
+    pub cpus_per_node: usize,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Maximum instructions issued per cycle (Itanium 2: 6).
+    pub issue_width: f64,
+    /// L1 data cache.
+    pub l1d: CacheLevel,
+    /// Unified L2.
+    pub l2: CacheLevel,
+    /// Unified L3.
+    pub l3: CacheLevel,
+    /// Local memory latency in cycles.
+    pub local_memory_latency: f64,
+    /// Remote memory latency per NUMAlink hop, in cycles, added to the
+    /// local latency.
+    pub remote_hop_latency: f64,
+    /// Worst-case hop count across the router hierarchy.
+    pub max_hops: usize,
+    /// TLB miss penalty in cycles.
+    pub tlb_penalty: f64,
+    /// Page size in bytes (first-touch placement granularity).
+    pub page_size: f64,
+    /// Published thermal design power per processor, in watts.
+    pub tdp_watts: f64,
+    /// Idle power per processor, in watts.
+    pub idle_watts: f64,
+    /// Memory contention coefficient: extra fractional latency added per
+    /// additional concurrent accessor of one node's memory.
+    pub contention_factor: f64,
+}
+
+impl MachineConfig {
+    /// The 8-node, 16-processor Altix 300 used for the paper's
+    /// characterisation runs.
+    pub fn altix300() -> Self {
+        MachineConfig {
+            name: "SGI Altix 300".to_string(),
+            nodes: 8,
+            cpus_per_node: 2,
+            clock_hz: 1.3e9,
+            issue_width: 6.0,
+            l1d: CacheLevel {
+                capacity: 16.0 * 1024.0,
+                line_size: 64.0,
+                latency: 1.0,
+            },
+            l2: CacheLevel {
+                capacity: 256.0 * 1024.0,
+                line_size: 128.0,
+                latency: 5.0,
+            },
+            l3: CacheLevel {
+                capacity: 3.0 * 1024.0 * 1024.0,
+                line_size: 128.0,
+                latency: 14.0,
+            },
+            local_memory_latency: 180.0,
+            remote_hop_latency: 95.0,
+            max_hops: 3,
+            tlb_penalty: 25.0,
+            page_size: 16.0 * 1024.0,
+            tdp_watts: 130.0,
+            idle_watts: 25.0,
+            contention_factor: 0.25,
+        }
+    }
+
+    /// The 256-node, 512-processor Altix 3600 used for the paper's
+    /// production runs.
+    pub fn altix3600() -> Self {
+        MachineConfig {
+            name: "SGI Altix 3600".to_string(),
+            nodes: 256,
+            cpus_per_node: 2,
+            max_hops: 6,
+            ..MachineConfig::altix300()
+        }
+    }
+
+    /// Total processor count.
+    pub fn total_cpus(&self) -> usize {
+        self.nodes * self.cpus_per_node
+    }
+
+    /// Node housing a given flat CPU index (threads are packed
+    /// node-by-node, the OS default for OMP_PLACES=cores).
+    pub fn node_of_cpu(&self, cpu: usize) -> usize {
+        (cpu / self.cpus_per_node) % self.nodes
+    }
+
+    /// NUMAlink hop count between two nodes in the hierarchical router
+    /// topology: 0 within a node, 1 within a C-brick (paired nodes via
+    /// the memory hub), otherwise log2 distance through the routers,
+    /// capped at `max_hops`.
+    pub fn hops_between(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        if a / 2 == b / 2 {
+            return 1; // same C-brick
+        }
+        let distance = (a / 2) ^ (b / 2);
+        let levels = usize::BITS - distance.leading_zeros();
+        (1 + levels as usize).min(self.max_hops)
+    }
+
+    /// Remote-memory access latency in cycles from `from` node to memory
+    /// homed on `home` node.
+    pub fn memory_latency(&self, from: usize, home: usize) -> f64 {
+        self.local_memory_latency + self.remote_hop_latency * self.hops_between(from, home) as f64
+    }
+
+    /// Converts cycles to seconds at this machine's clock.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_description() {
+        let a300 = MachineConfig::altix300();
+        assert_eq!(a300.total_cpus(), 16);
+        assert_eq!(a300.l1d.capacity, 16.0 * 1024.0);
+        assert_eq!(a300.l2.capacity, 256.0 * 1024.0);
+
+        let a3600 = MachineConfig::altix3600();
+        assert_eq!(a3600.nodes, 256);
+        assert_eq!(a3600.total_cpus(), 512);
+    }
+
+    #[test]
+    fn cpu_to_node_packing() {
+        let m = MachineConfig::altix300();
+        assert_eq!(m.node_of_cpu(0), 0);
+        assert_eq!(m.node_of_cpu(1), 0);
+        assert_eq!(m.node_of_cpu(2), 1);
+        assert_eq!(m.node_of_cpu(15), 7);
+    }
+
+    #[test]
+    fn hop_counts_are_hierarchical() {
+        let m = MachineConfig::altix300();
+        assert_eq!(m.hops_between(3, 3), 0);
+        assert_eq!(m.hops_between(0, 1), 1); // same C-brick
+        assert!(m.hops_between(0, 2) >= 2); // across bricks
+        // Farther apart in the router tree: at least as many hops.
+        assert!(m.hops_between(0, 7) >= m.hops_between(0, 2));
+        // Symmetric.
+        assert_eq!(m.hops_between(2, 5), m.hops_between(5, 2));
+        // Capped.
+        let big = MachineConfig::altix3600();
+        assert!(big.hops_between(0, 255) <= big.max_hops);
+    }
+
+    #[test]
+    fn memory_latency_grows_with_distance() {
+        let m = MachineConfig::altix300();
+        let local = m.memory_latency(0, 0);
+        let brick = m.memory_latency(0, 1);
+        let far = m.memory_latency(0, 7);
+        assert_eq!(local, m.local_memory_latency);
+        assert!(brick > local);
+        assert!(far > brick);
+    }
+
+    #[test]
+    fn cycle_time_conversion() {
+        let m = MachineConfig::altix300();
+        let s = m.cycles_to_seconds(1.3e9);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,378 @@
+//! Memory hierarchy and NUMA placement model.
+//!
+//! Two pieces:
+//!
+//! * [`PageTable`] — first-touch page placement, the SGI Altix default
+//!   policy the paper's locality case study revolves around: "a page of
+//!   memory is allocated/moved to the local memory of the first process
+//!   to access the page".
+//! * [`MemoryCosts`] — an analytic cache/NUMA cost model computing the
+//!   per-level miss counts and total memory stall cycles, structurally
+//!   identical to the paper's *Memory Stalls* formula:
+//!
+//! ```text
+//! Memory Stalls = (L2 refs − L2 misses) · L2 lat
+//!              + (L2 misses − L3 misses) · L3 lat
+//!              + (L3 misses − remote refs) · local lat
+//!              + remote refs · remote lat
+//!              + TLB misses · TLB penalty
+//! ```
+
+use crate::machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// First-touch page table: page index → home node.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PageTable {
+    pages: BTreeMap<u64, usize>,
+}
+
+impl PageTable {
+    /// An empty page table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Touches a page from `node`; the first toucher becomes its home.
+    /// Returns the page's home node.
+    pub fn touch(&mut self, page: u64, node: usize) -> usize {
+        *self.pages.entry(page).or_insert(node)
+    }
+
+    /// Touches a contiguous page range.
+    pub fn touch_range(&mut self, first_page: u64, count: u64, node: usize) {
+        for p in first_page..first_page + count {
+            self.touch(p, node);
+        }
+    }
+
+    /// Home node of a page, if it has been touched.
+    pub fn home(&self, page: u64) -> Option<usize> {
+        self.pages.get(&page).copied()
+    }
+
+    /// Number of placed pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no page has been placed.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Placement statistics as seen from `node` over a page range: the
+    /// fraction of pages homed remotely and their mean hop distance.
+    pub fn placement_from(
+        &self,
+        node: usize,
+        first_page: u64,
+        count: u64,
+        machine: &MachineConfig,
+    ) -> PlacementStats {
+        if count == 0 {
+            return PlacementStats {
+                remote_fraction: 0.0,
+                mean_remote_hops: 0.0,
+            };
+        }
+        let mut remote = 0u64;
+        let mut hops_sum = 0.0;
+        for p in first_page..first_page + count {
+            // Untouched pages would be first-touched by this access, i.e.
+            // local — so only count placed, remote pages.
+            if let Some(home) = self.home(p) {
+                if home != node {
+                    remote += 1;
+                    hops_sum += machine.hops_between(node, home) as f64;
+                }
+            }
+        }
+        PlacementStats {
+            remote_fraction: remote as f64 / count as f64,
+            mean_remote_hops: if remote > 0 {
+                hops_sum / remote as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// NUMA placement summary from one accessor's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementStats {
+    /// Fraction of accessed pages homed on other nodes, in `[0, 1]`.
+    pub remote_fraction: f64,
+    /// Mean NUMAlink hops for the remote pages.
+    pub mean_remote_hops: f64,
+}
+
+impl PlacementStats {
+    /// Everything local (MPI ranks touching only their own data).
+    pub fn all_local() -> Self {
+        PlacementStats {
+            remote_fraction: 0.0,
+            mean_remote_hops: 0.0,
+        }
+    }
+}
+
+/// A kernel's memory access behaviour over one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessProfile {
+    /// Total memory references issued.
+    pub refs: f64,
+    /// Bytes touched (per traversal working set).
+    pub working_set: f64,
+    /// Number of passes over the working set.
+    pub traversals: f64,
+}
+
+/// Per-level miss counts and stall cycles for one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MemoryCosts {
+    /// L1 data cache misses.
+    pub l1d_misses: f64,
+    /// L2 references (== L1 misses in this two-level filter model).
+    pub l2_references: f64,
+    /// L2 misses.
+    pub l2_misses: f64,
+    /// L3 misses.
+    pub l3_misses: f64,
+    /// TLB misses.
+    pub tlb_misses: f64,
+    /// Memory references served locally (of the L3 misses).
+    pub local_refs: f64,
+    /// Memory references served remotely (of the L3 misses).
+    pub remote_refs: f64,
+    /// Total memory stall cycles.
+    pub stall_cycles: f64,
+}
+
+/// Misses a cache level suffers for a streaming-with-reuse workload.
+///
+/// Cold misses load each line once; capacity misses re-load the fraction
+/// of the working set that exceeds the cache on every further traversal.
+fn level_misses(working_set: f64, traversals: f64, capacity: f64, line: f64) -> f64 {
+    let lines = working_set / line;
+    let cold = lines;
+    let overflow = if working_set > capacity {
+        (1.0 - capacity / working_set) * lines * (traversals - 1.0).max(0.0)
+    } else {
+        0.0
+    };
+    cold + overflow
+}
+
+/// Computes cache misses and memory stall cycles for one kernel
+/// execution on one thread.
+///
+/// `contending_accessors` models node-memory hot-spotting: the number of
+/// threads concurrently hammering the same home node's memory (1 = no
+/// contention). Sequentially-initialised data read by many threads drives
+/// this up, which is the mechanism behind the unoptimised GenIDLEST
+/// OpenMP version's collapse.
+pub fn memory_costs(
+    access: &AccessProfile,
+    placement: &PlacementStats,
+    machine: &MachineConfig,
+    contending_accessors: f64,
+) -> MemoryCosts {
+    if access.refs <= 0.0 || access.working_set <= 0.0 {
+        return MemoryCosts::default();
+    }
+    let l1 = level_misses(
+        access.working_set,
+        access.traversals,
+        machine.l1d.capacity,
+        machine.l1d.line_size,
+    );
+    let l2 = level_misses(
+        access.working_set,
+        access.traversals,
+        machine.l2.capacity,
+        machine.l2.line_size,
+    )
+    .min(l1);
+    let l3 = level_misses(
+        access.working_set,
+        access.traversals,
+        machine.l3.capacity,
+        machine.l3.line_size,
+    )
+    .min(l2);
+    // One TLB fill per page per traversal beyond what the TLB covers;
+    // approximate with pages touched per traversal.
+    let pages = access.working_set / machine.page_size;
+    let tlb = pages * access.traversals.max(1.0);
+
+    let remote = l3 * placement.remote_fraction;
+    let local = l3 - remote;
+    let contention = 1.0 + machine.contention_factor * (contending_accessors - 1.0).max(0.0);
+    let remote_latency = (machine.local_memory_latency
+        + machine.remote_hop_latency * placement.mean_remote_hops)
+        * contention;
+    let local_latency = machine.local_memory_latency
+        * if placement.remote_fraction == 0.0 {
+            1.0
+        } else {
+            contention
+        };
+
+    let stalls = (l1 - l2) * machine.l2.latency
+        + (l2 - l3) * machine.l3.latency
+        + local * local_latency
+        + remote * remote_latency
+        + tlb * machine.tlb_penalty;
+
+    MemoryCosts {
+        l1d_misses: l1,
+        l2_references: l1,
+        l2_misses: l2,
+        l3_misses: l3,
+        tlb_misses: tlb,
+        local_refs: local,
+        remote_refs: remote,
+        stall_cycles: stalls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::altix300()
+    }
+
+    fn profile(ws_kb: f64, traversals: f64) -> AccessProfile {
+        AccessProfile {
+            refs: ws_kb * 1024.0 / 8.0 * traversals,
+            working_set: ws_kb * 1024.0,
+            traversals,
+        }
+    }
+
+    #[test]
+    fn first_touch_is_sticky() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.touch(0, 3), 3);
+        assert_eq!(pt.touch(0, 5), 3, "page stays on first toucher");
+        assert_eq!(pt.home(0), Some(3));
+        assert_eq!(pt.home(1), None);
+    }
+
+    #[test]
+    fn sequential_init_places_everything_on_one_node() {
+        let m = machine();
+        let mut pt = PageTable::new();
+        pt.touch_range(0, 100, 0); // thread 0 initialises everything
+        let from_node0 = pt.placement_from(0, 0, 100, &m);
+        let from_node5 = pt.placement_from(5, 0, 100, &m);
+        assert_eq!(from_node0.remote_fraction, 0.0);
+        assert_eq!(from_node5.remote_fraction, 1.0);
+        assert!(from_node5.mean_remote_hops >= 1.0);
+    }
+
+    #[test]
+    fn parallel_init_places_locally() {
+        let m = machine();
+        let mut pt = PageTable::new();
+        // Each node initialises its own slice.
+        for node in 0..8u64 {
+            pt.touch_range(node * 100, 100, node as usize);
+        }
+        for node in 0..8usize {
+            let stats = pt.placement_from(node, node as u64 * 100, 100, &m);
+            assert_eq!(stats.remote_fraction, 0.0);
+        }
+    }
+
+    #[test]
+    fn fits_in_cache_only_cold_misses() {
+        // 8 KB fits in L1 (16 KB): repeated traversals add no misses.
+        let once = memory_costs(&profile(8.0, 1.0), &PlacementStats::all_local(), &machine(), 1.0);
+        let many = memory_costs(&profile(8.0, 50.0), &PlacementStats::all_local(), &machine(), 1.0);
+        assert_eq!(once.l1d_misses, many.l1d_misses);
+    }
+
+    #[test]
+    fn larger_working_sets_miss_deeper() {
+        let m = machine();
+        let local = PlacementStats::all_local();
+        let small = memory_costs(&profile(8.0, 10.0), &local, &m, 1.0); // < L1
+        let mid = memory_costs(&profile(128.0, 10.0), &local, &m, 1.0); // < L2
+        let large = memory_costs(&profile(1024.0, 10.0), &local, &m, 1.0); // < L3
+        let huge = memory_costs(&profile(16.0 * 1024.0, 10.0), &local, &m, 1.0); // > L3
+        assert!(small.stall_cycles < mid.stall_cycles);
+        assert!(mid.stall_cycles < large.stall_cycles);
+        assert!(large.stall_cycles < huge.stall_cycles);
+        // Capacity-driven L3 misses only for the over-L3 footprint.
+        assert!(huge.l3_misses > large.l3_misses * 2.0);
+    }
+
+    #[test]
+    fn remote_placement_raises_stalls() {
+        let m = machine();
+        let p = profile(16.0 * 1024.0, 4.0);
+        let local = memory_costs(&p, &PlacementStats::all_local(), &m, 1.0);
+        let remote = memory_costs(
+            &p,
+            &PlacementStats {
+                remote_fraction: 1.0,
+                mean_remote_hops: 3.0,
+            },
+            &m,
+            1.0,
+        );
+        assert!(remote.stall_cycles > local.stall_cycles * 1.5);
+        assert_eq!(remote.local_refs, 0.0);
+        assert!(remote.remote_refs > 0.0);
+        assert_eq!(local.remote_refs, 0.0);
+    }
+
+    #[test]
+    fn contention_amplifies_remote_cost() {
+        let m = machine();
+        let p = profile(16.0 * 1024.0, 4.0);
+        let placement = PlacementStats {
+            remote_fraction: 1.0,
+            mean_remote_hops: 2.0,
+        };
+        let alone = memory_costs(&p, &placement, &m, 1.0);
+        let crowded = memory_costs(&p, &placement, &m, 16.0);
+        assert!(crowded.stall_cycles > alone.stall_cycles * 2.0);
+        // Miss counts are unchanged; only latency grows.
+        assert_eq!(alone.l3_misses, crowded.l3_misses);
+    }
+
+    #[test]
+    fn miss_counts_are_monotone_down_the_hierarchy() {
+        let c = memory_costs(
+            &profile(4.0 * 1024.0, 8.0),
+            &PlacementStats::all_local(),
+            &machine(),
+            1.0,
+        );
+        assert!(c.l1d_misses >= c.l2_misses);
+        assert!(c.l2_misses >= c.l3_misses);
+        assert_eq!(c.l3_misses, c.local_refs + c.remote_refs);
+    }
+
+    #[test]
+    fn zero_work_costs_nothing() {
+        let c = memory_costs(
+            &AccessProfile {
+                refs: 0.0,
+                working_set: 0.0,
+                traversals: 0.0,
+            },
+            &PlacementStats::all_local(),
+            &machine(),
+            1.0,
+        );
+        assert_eq!(c, MemoryCosts::default());
+    }
+}

@@ -1,0 +1,212 @@
+//! MPI message and ghost-cell-exchange cost model.
+//!
+//! GenIDLEST's boundary update uses asynchronous `MPI_Isend` /
+//! `MPI_Ireceive` with temporary buffers "that enable some overlapping …
+//! for greater efficiency". This module models message costs with the
+//! classic latency/bandwidth (Hockney) model plus an eager/rendezvous
+//! split, and a ghost-exchange primitive with configurable overlap. It
+//! also models the shared-memory analogue — master-thread sequential
+//! buffer copies — whose serialisation is the paper's second OpenMP
+//! bottleneck.
+
+use serde::{Deserialize, Serialize};
+
+/// Point-to-point message cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpiCostModel {
+    /// Per-message latency in seconds (software + NUMAlink).
+    pub latency: f64,
+    /// Sustained point-to-point bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Messages at or below this size use the eager protocol.
+    pub eager_threshold: f64,
+    /// Extra handshake latency for rendezvous (large) messages, seconds.
+    pub rendezvous_extra: f64,
+    /// Memory copy bandwidth for on-node buffer copies, bytes/second.
+    pub memcpy_bandwidth: f64,
+    /// Effective bandwidth for *strided* ghost-face copies (non-unit
+    /// stride gathers/scatters through the cache hierarchy), bytes/s.
+    /// Far below dense memcpy — the reason the serialised boundary
+    /// update is so expensive.
+    pub strided_copy_bandwidth: f64,
+}
+
+impl Default for MpiCostModel {
+    fn default() -> Self {
+        // NUMAlink-4-era figures: ~1.2 µs latency, ~1.6 GB/s point to
+        // point, ~4 GB/s on-node copies.
+        MpiCostModel {
+            latency: 1.2e-6,
+            bandwidth: 1.6e9,
+            eager_threshold: 16.0 * 1024.0,
+            rendezvous_extra: 2.0e-6,
+            memcpy_bandwidth: 4.0e9,
+            strided_copy_bandwidth: 5.0e8,
+        }
+    }
+}
+
+/// One rank's ghost-cell exchange in a halo update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeSpec {
+    /// Number of neighbour messages (sends; receives are symmetric).
+    pub neighbors: usize,
+    /// Payload per neighbour, bytes.
+    pub bytes_per_neighbor: f64,
+    /// Fraction of communication hidden by nonblocking overlap, `[0, 1]`.
+    pub overlap: f64,
+}
+
+impl MpiCostModel {
+    /// Time for one point-to-point message of `bytes`.
+    pub fn message_time(&self, bytes: f64) -> f64 {
+        let base = self.latency + bytes / self.bandwidth;
+        if bytes > self.eager_threshold {
+            base + self.rendezvous_extra
+        } else {
+            base
+        }
+    }
+
+    /// Time one rank spends in a halo exchange. Nonblocking overlap hides
+    /// a fraction of all but the first message's cost.
+    pub fn exchange_time(&self, spec: &ExchangeSpec) -> f64 {
+        if spec.neighbors == 0 {
+            return 0.0;
+        }
+        let per_msg = self.message_time(spec.bytes_per_neighbor);
+        let overlap = spec.overlap.clamp(0.0, 1.0);
+        // The first message is always exposed; the rest overlap partially.
+        per_msg + per_msg * (spec.neighbors - 1) as f64 * (1.0 - overlap)
+    }
+
+    /// Time for `copies` sequential on-node buffer copies of `bytes`
+    /// each, performed by a single thread (the unoptimised OpenMP
+    /// boundary update: "all boundary updates are copies in shared
+    /// memory initiated by the master thread").
+    pub fn sequential_copy_time(&self, copies: usize, bytes: f64) -> f64 {
+        copies as f64 * (bytes / self.memcpy_bandwidth)
+    }
+
+    /// Time for the same copies spread across `threads` threads with a
+    /// parallel-for (the paper's optimised `exchange_var` rewrite).
+    pub fn parallel_copy_time(&self, copies: usize, bytes: f64, threads: usize) -> f64 {
+        if threads == 0 || copies == 0 {
+            return 0.0;
+        }
+        let per_thread = copies.div_ceil(threads);
+        per_thread as f64 * (bytes / self.memcpy_bandwidth)
+    }
+
+    /// Time for `copies` sequential *strided* ghost-face copies by one
+    /// thread (the unoptimised OpenMP boundary update).
+    pub fn sequential_strided_copy_time(&self, copies: usize, bytes: f64) -> f64 {
+        copies as f64 * (bytes / self.strided_copy_bandwidth)
+    }
+
+    /// Strided ghost-face copies distributed across `threads` threads
+    /// as direct copies (no intermediate buffers), so each thread moves
+    /// its share at the strided bandwidth.
+    pub fn parallel_strided_copy_time(&self, copies: usize, bytes: f64, threads: usize) -> f64 {
+        if threads == 0 || copies == 0 {
+            return 0.0;
+        }
+        let per_thread = copies.div_ceil(threads);
+        per_thread as f64 * (bytes / self.strided_copy_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MpiCostModel {
+        MpiCostModel::default()
+    }
+
+    #[test]
+    fn message_time_has_latency_floor_and_bandwidth_slope() {
+        let m = model();
+        let tiny = m.message_time(8.0);
+        assert!(tiny >= m.latency);
+        let big = m.message_time(1.6e9); // one second of bandwidth
+        assert!(big > 1.0 && big < 1.1);
+        // Monotone in size.
+        assert!(m.message_time(1024.0) <= m.message_time(2048.0));
+    }
+
+    #[test]
+    fn rendezvous_penalty_applies_above_threshold() {
+        let m = model();
+        let under = m.message_time(m.eager_threshold);
+        let over = m.message_time(m.eager_threshold + 1.0);
+        assert!(over - under > m.rendezvous_extra * 0.99);
+    }
+
+    #[test]
+    fn overlap_hides_communication() {
+        let m = model();
+        let blocking = m.exchange_time(&ExchangeSpec {
+            neighbors: 4,
+            bytes_per_neighbor: 64.0 * 1024.0,
+            overlap: 0.0,
+        });
+        let overlapped = m.exchange_time(&ExchangeSpec {
+            neighbors: 4,
+            bytes_per_neighbor: 64.0 * 1024.0,
+            overlap: 0.8,
+        });
+        assert!(overlapped < blocking);
+        // Full overlap leaves exactly one exposed message.
+        let full = m.exchange_time(&ExchangeSpec {
+            neighbors: 4,
+            bytes_per_neighbor: 64.0 * 1024.0,
+            overlap: 1.0,
+        });
+        let one = m.message_time(64.0 * 1024.0);
+        assert!((full - one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_neighbors_costs_nothing() {
+        let m = model();
+        assert_eq!(
+            m.exchange_time(&ExchangeSpec {
+                neighbors: 0,
+                bytes_per_neighbor: 1024.0,
+                overlap: 0.5,
+            }),
+            0.0
+        );
+    }
+
+    #[test]
+    fn sequential_copies_scale_linearly_and_parallel_divides() {
+        let m = model();
+        let seq30 = m.sequential_copy_time(30, 1e6);
+        let seq126 = m.sequential_copy_time(126, 1e6);
+        assert!((seq126 / seq30 - 126.0 / 30.0).abs() < 1e-9);
+        let par = m.parallel_copy_time(126, 1e6, 16);
+        assert!(par < seq126 / 10.0);
+        // Parallel with one thread equals sequential.
+        assert!((m.parallel_copy_time(30, 1e6, 1) - seq30).abs() < 1e-12);
+        assert_eq!(m.parallel_copy_time(0, 1e6, 8), 0.0);
+        assert_eq!(m.parallel_copy_time(8, 1e6, 0), 0.0);
+    }
+
+    #[test]
+    fn overlap_is_clamped() {
+        let m = model();
+        let a = m.exchange_time(&ExchangeSpec {
+            neighbors: 3,
+            bytes_per_neighbor: 1024.0,
+            overlap: 7.0,
+        });
+        let b = m.exchange_time(&ExchangeSpec {
+            neighbors: 3,
+            bytes_per_neighbor: 1024.0,
+            overlap: 1.0,
+        });
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,379 @@
+//! OpenMP work-sharing loop simulation.
+//!
+//! Models an OpenMP `parallel for` over iterations with known costs under
+//! the schedule kinds the paper's MSA case study sweeps: static, static
+//! with a chunk size, dynamic with a chunk size, and guided. The
+//! simulator is a deterministic list scheduler over per-thread virtual
+//! clocks; its outputs are per-thread busy time, barrier wait time (the
+//! implicit barrier at the end of the work-sharing construct), and
+//! dispatch counts — exactly the observables the load-imbalance analysis
+//! consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// An OpenMP loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// `schedule(static)`: one contiguous block per thread.
+    Static,
+    /// `schedule(static, chunk)`: fixed chunks dealt round-robin.
+    StaticChunk(usize),
+    /// `schedule(dynamic, chunk)`: chunks claimed on demand.
+    Dynamic(usize),
+    /// `schedule(guided, min_chunk)`: exponentially shrinking chunks
+    /// claimed on demand.
+    Guided(usize),
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Schedule::Static => write!(f, "static"),
+            Schedule::StaticChunk(c) => write!(f, "static,{c}"),
+            Schedule::Dynamic(c) => write!(f, "dynamic,{c}"),
+            Schedule::Guided(c) => write!(f, "guided,{c}"),
+        }
+    }
+}
+
+/// Runtime overheads of the work-sharing implementation, in the same
+/// (cycle) units as the iteration costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenMpConfig {
+    /// Fork + join cost of the parallel region.
+    pub fork_join_overhead: f64,
+    /// Cost a thread pays to claim one chunk from the shared queue
+    /// (atomic increment + bookkeeping). Dynamic scheduling pays this per
+    /// chunk, which is why chunk size 1 is not free.
+    pub dispatch_overhead: f64,
+}
+
+impl Default for OpenMpConfig {
+    fn default() -> Self {
+        OpenMpConfig {
+            fork_join_overhead: 8_000.0,
+            dispatch_overhead: 150.0,
+        }
+    }
+}
+
+/// Per-thread outcome of a simulated work-sharing loop.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThreadTimes {
+    /// Time spent executing iterations and claiming chunks.
+    pub busy: f64,
+    /// Time spent waiting at the implicit end barrier.
+    pub barrier_wait: f64,
+    /// Iterations this thread executed.
+    pub iterations: usize,
+    /// Chunks this thread claimed.
+    pub dispatches: usize,
+}
+
+/// Result of simulating one work-sharing loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelForResult {
+    /// Per-thread accounting.
+    pub per_thread: Vec<ThreadTimes>,
+    /// Wall-clock span of the construct, including fork/join overhead.
+    pub elapsed: f64,
+}
+
+impl ParallelForResult {
+    /// Total busy time across threads.
+    pub fn total_busy(&self) -> f64 {
+        self.per_thread.iter().map(|t| t.busy).sum()
+    }
+
+    /// Total barrier wait across threads.
+    pub fn total_wait(&self) -> f64 {
+        self.per_thread.iter().map(|t| t.barrier_wait).sum()
+    }
+
+    /// Ratio of the slowest thread's busy time to the mean — a direct
+    /// imbalance indicator (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let n = self.per_thread.len() as f64;
+        if n == 0.0 {
+            return 1.0;
+        }
+        let mean = self.total_busy() / n;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        let max = self
+            .per_thread
+            .iter()
+            .map(|t| t.busy)
+            .fold(0.0, f64::max);
+        max / mean
+    }
+}
+
+/// Simulates `schedule(...)` execution of a loop whose iteration `i`
+/// costs `costs[i]`, on `threads` threads.
+///
+/// Panics never: zero threads or an empty loop produce an empty result.
+pub fn parallel_for(
+    costs: &[f64],
+    schedule: Schedule,
+    threads: usize,
+    config: &OpenMpConfig,
+) -> ParallelForResult {
+    if threads == 0 {
+        return ParallelForResult {
+            per_thread: Vec::new(),
+            elapsed: 0.0,
+        };
+    }
+    let n = costs.len();
+    let mut per_thread = vec![ThreadTimes::default(); threads];
+    let mut clocks = vec![0.0f64; threads];
+
+    // Execute a chunk [start, end) on thread t.
+    let run_chunk = |t: usize,
+                         start: usize,
+                         end: usize,
+                         clocks: &mut Vec<f64>,
+                         per_thread: &mut Vec<ThreadTimes>| {
+        let work: f64 = costs[start..end].iter().sum();
+        let cost = work + config.dispatch_overhead;
+        clocks[t] += cost;
+        per_thread[t].busy += cost;
+        per_thread[t].iterations += end - start;
+        per_thread[t].dispatches += 1;
+    };
+
+    match schedule {
+        Schedule::Static => {
+            // Contiguous blocks of ceil(n / threads).
+            let block = n.div_ceil(threads.max(1)).max(1);
+            for t in 0..threads {
+                let start = (t * block).min(n);
+                let end = ((t + 1) * block).min(n);
+                if start < end {
+                    run_chunk(t, start, end, &mut clocks, &mut per_thread);
+                }
+            }
+        }
+        Schedule::StaticChunk(chunk) => {
+            let chunk = chunk.max(1);
+            let mut start = 0;
+            let mut t = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                run_chunk(t % threads, start, end, &mut clocks, &mut per_thread);
+                start = end;
+                t += 1;
+            }
+        }
+        Schedule::Dynamic(chunk) => {
+            let chunk = chunk.max(1);
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                // The earliest-free thread claims the next chunk.
+                let t = min_clock(&clocks);
+                run_chunk(t, start, end, &mut clocks, &mut per_thread);
+                start = end;
+            }
+        }
+        Schedule::Guided(min_chunk) => {
+            let min_chunk = min_chunk.max(1);
+            let mut start = 0;
+            while start < n {
+                let remaining = n - start;
+                let chunk = (remaining / threads).max(min_chunk).min(remaining);
+                let t = min_clock(&clocks);
+                run_chunk(t, start, start + chunk, &mut clocks, &mut per_thread);
+                start += chunk;
+            }
+        }
+    }
+
+    let finish = clocks.iter().copied().fold(0.0, f64::max);
+    for (t, times) in per_thread.iter_mut().enumerate() {
+        times.barrier_wait = finish - clocks[t];
+    }
+    ParallelForResult {
+        per_thread,
+        elapsed: finish + config.fork_join_overhead,
+    }
+}
+
+fn min_clock(clocks: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &c) in clocks.iter().enumerate() {
+        if c < clocks[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Iteration costs shaped like the MSA distance matrix: pair (i, j)
+    /// costs ~ len_i × len_j, flattened over the upper triangle, which
+    /// makes early iterations systematically more expensive.
+    fn triangular_costs(n: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.push(((n - i) * (n - i)) as f64);
+        }
+        out
+    }
+
+    fn cfg() -> OpenMpConfig {
+        OpenMpConfig {
+            fork_join_overhead: 0.0,
+            dispatch_overhead: 0.0,
+        }
+    }
+
+    #[test]
+    fn all_schedules_execute_every_iteration() {
+        let costs = triangular_costs(97);
+        for schedule in [
+            Schedule::Static,
+            Schedule::StaticChunk(4),
+            Schedule::Dynamic(1),
+            Schedule::Dynamic(16),
+            Schedule::Guided(1),
+        ] {
+            let r = parallel_for(&costs, schedule, 8, &cfg());
+            let total: usize = r.per_thread.iter().map(|t| t.iterations).sum();
+            assert_eq!(total, costs.len(), "schedule {schedule}");
+            let busy: f64 = r.total_busy();
+            let work: f64 = costs.iter().sum();
+            assert!((busy - work).abs() < 1e-6, "schedule {schedule}");
+        }
+    }
+
+    #[test]
+    fn static_schedule_is_imbalanced_on_skewed_costs() {
+        let costs = triangular_costs(400);
+        let stat = parallel_for(&costs, Schedule::Static, 16, &cfg());
+        let dyn1 = parallel_for(&costs, Schedule::Dynamic(1), 16, &cfg());
+        assert!(
+            stat.imbalance() > 1.5,
+            "static imbalance = {}",
+            stat.imbalance()
+        );
+        assert!(
+            dyn1.imbalance() < 1.05,
+            "dynamic,1 imbalance = {}",
+            dyn1.imbalance()
+        );
+        assert!(dyn1.elapsed < stat.elapsed);
+    }
+
+    #[test]
+    fn large_dynamic_chunks_approach_static_behaviour() {
+        // The paper: "Larger chunk sizes tend to change the scheduling
+        // behavior to be more like the static even behavior."
+        let costs = triangular_costs(400);
+        let threads = 16;
+        let small = parallel_for(&costs, Schedule::Dynamic(1), threads, &cfg());
+        let large = parallel_for(
+            &costs,
+            Schedule::Dynamic(costs.len() / threads),
+            threads,
+            &cfg(),
+        );
+        let stat = parallel_for(&costs, Schedule::Static, threads, &cfg());
+        assert!(large.imbalance() > small.imbalance());
+        // Large-chunk dynamic lands near static's imbalance.
+        assert!((large.imbalance() - stat.imbalance()).abs() < 0.5);
+    }
+
+    #[test]
+    fn dispatch_overhead_penalises_tiny_chunks() {
+        let costs = vec![10.0; 1000];
+        let config = OpenMpConfig {
+            fork_join_overhead: 0.0,
+            dispatch_overhead: 50.0,
+        };
+        let fine = parallel_for(&costs, Schedule::Dynamic(1), 4, &config);
+        let coarse = parallel_for(&costs, Schedule::Dynamic(50), 4, &config);
+        // Uniform costs: coarse chunks win because dispatches are fewer.
+        assert!(coarse.elapsed < fine.elapsed);
+        let fine_dispatches: usize = fine.per_thread.iter().map(|t| t.dispatches).sum();
+        let coarse_dispatches: usize = coarse.per_thread.iter().map(|t| t.dispatches).sum();
+        assert_eq!(fine_dispatches, 1000);
+        assert_eq!(coarse_dispatches, 20);
+    }
+
+    #[test]
+    fn guided_uses_fewer_dispatches_than_dynamic_one() {
+        let costs = vec![5.0; 1024];
+        let guided = parallel_for(&costs, Schedule::Guided(1), 8, &cfg());
+        let dynamic = parallel_for(&costs, Schedule::Dynamic(1), 8, &cfg());
+        let gd: usize = guided.per_thread.iter().map(|t| t.dispatches).sum();
+        let dd: usize = dynamic.per_thread.iter().map(|t| t.dispatches).sum();
+        assert!(gd < dd / 4, "guided {gd} vs dynamic {dd}");
+    }
+
+    #[test]
+    fn barrier_wait_complements_busy_time() {
+        let costs = triangular_costs(100);
+        let r = parallel_for(&costs, Schedule::Static, 8, &cfg());
+        let finish = r
+            .per_thread
+            .iter()
+            .map(|t| t.busy)
+            .fold(0.0f64, f64::max);
+        for t in &r.per_thread {
+            assert!((t.busy + t.barrier_wait - finish).abs() < 1e-9);
+        }
+        // Negative correlation: more busy ⇒ less wait, exactly.
+        let busiest = r
+            .per_thread
+            .iter()
+            .max_by(|a, b| a.busy.partial_cmp(&b.busy).unwrap())
+            .unwrap();
+        assert_eq!(busiest.barrier_wait, 0.0);
+    }
+
+    #[test]
+    fn single_thread_has_no_wait() {
+        let costs = triangular_costs(50);
+        let r = parallel_for(&costs, Schedule::Dynamic(4), 1, &cfg());
+        assert_eq!(r.per_thread.len(), 1);
+        assert_eq!(r.per_thread[0].barrier_wait, 0.0);
+        assert_eq!(r.per_thread[0].iterations, 50);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let r = parallel_for(&[], Schedule::Static, 4, &cfg());
+        assert_eq!(r.per_thread.iter().map(|t| t.iterations).sum::<usize>(), 0);
+        let r0 = parallel_for(&[1.0], Schedule::Static, 0, &cfg());
+        assert!(r0.per_thread.is_empty());
+        // More threads than iterations: extras idle at the barrier.
+        let r = parallel_for(&[5.0, 5.0], Schedule::Dynamic(1), 8, &cfg());
+        let active = r.per_thread.iter().filter(|t| t.iterations > 0).count();
+        assert_eq!(active, 2);
+    }
+
+    #[test]
+    fn fork_join_overhead_is_charged_once() {
+        let costs = vec![1.0; 8];
+        let config = OpenMpConfig {
+            fork_join_overhead: 100.0,
+            dispatch_overhead: 0.0,
+        };
+        let r = parallel_for(&costs, Schedule::Static, 8, &config);
+        assert!((r.elapsed - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_display_forms() {
+        assert_eq!(Schedule::Static.to_string(), "static");
+        assert_eq!(Schedule::StaticChunk(8).to_string(), "static,8");
+        assert_eq!(Schedule::Dynamic(1).to_string(), "dynamic,1");
+        assert_eq!(Schedule::Guided(2).to_string(), "guided,2");
+    }
+}

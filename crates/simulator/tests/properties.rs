@@ -1,0 +1,160 @@
+//! Property-based tests for the machine/runtime simulator.
+
+use proptest::prelude::*;
+use simulator::machine::MachineConfig;
+use simulator::memory::{memory_costs, AccessProfile, PageTable, PlacementStats};
+use simulator::openmp::{parallel_for, OpenMpConfig, Schedule};
+use simulator::{Counter, CounterSet, PowerModel};
+
+fn machine() -> MachineConfig {
+    MachineConfig::altix300()
+}
+
+proptest! {
+    /// Every schedule executes every iteration exactly once and conserves
+    /// total work.
+    #[test]
+    fn schedules_conserve_work(
+        costs in prop::collection::vec(0.1f64..100.0, 1..200),
+        threads in 1usize..32,
+        chunk in 1usize..16,
+        which in 0usize..4,
+    ) {
+        let schedule = match which {
+            0 => Schedule::Static,
+            1 => Schedule::StaticChunk(chunk),
+            2 => Schedule::Dynamic(chunk),
+            _ => Schedule::Guided(chunk),
+        };
+        let cfg = OpenMpConfig { fork_join_overhead: 0.0, dispatch_overhead: 0.0 };
+        let r = parallel_for(&costs, schedule, threads, &cfg);
+        let iters: usize = r.per_thread.iter().map(|t| t.iterations).sum();
+        prop_assert_eq!(iters, costs.len());
+        let busy: f64 = r.per_thread.iter().map(|t| t.busy).sum();
+        let work: f64 = costs.iter().sum();
+        prop_assert!((busy - work).abs() < 1e-6 * work.max(1.0));
+    }
+
+    /// Elapsed time is between work/threads (perfect) and total work
+    /// (fully serial), inclusive of rounding.
+    #[test]
+    fn elapsed_is_within_physical_bounds(
+        costs in prop::collection::vec(0.1f64..100.0, 1..150),
+        threads in 1usize..16,
+    ) {
+        let cfg = OpenMpConfig { fork_join_overhead: 0.0, dispatch_overhead: 0.0 };
+        let r = parallel_for(&costs, Schedule::Dynamic(1), threads, &cfg);
+        let work: f64 = costs.iter().sum();
+        let max_cost = costs.iter().copied().fold(0.0f64, f64::max);
+        let lower = (work / threads as f64).max(max_cost);
+        prop_assert!(r.elapsed >= lower - 1e-9);
+        prop_assert!(r.elapsed <= work + 1e-9);
+    }
+
+    /// Dynamic chunk-1 scheduling is greedy list scheduling, so Graham's
+    /// bound holds: elapsed ≤ work/threads + max iteration cost.
+    #[test]
+    fn dynamic_one_satisfies_graham_bound(
+        costs in prop::collection::vec(0.1f64..100.0, 2..150),
+        threads in 2usize..16,
+    ) {
+        let cfg = OpenMpConfig { fork_join_overhead: 0.0, dispatch_overhead: 0.0 };
+        let dynamic = parallel_for(&costs, Schedule::Dynamic(1), threads, &cfg);
+        let work: f64 = costs.iter().sum();
+        let max_cost = costs.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(dynamic.elapsed <= work / threads as f64 + max_cost + 1e-9);
+    }
+
+    /// Busy + barrier wait is the same for every thread (they all leave
+    /// the barrier together).
+    #[test]
+    fn barrier_equalises_finish_times(
+        costs in prop::collection::vec(0.1f64..50.0, 1..100),
+        threads in 1usize..12,
+    ) {
+        let cfg = OpenMpConfig { fork_join_overhead: 0.0, dispatch_overhead: 0.0 };
+        let r = parallel_for(&costs, Schedule::StaticChunk(3), threads, &cfg);
+        let finish0 = r.per_thread[0].busy + r.per_thread[0].barrier_wait;
+        for t in &r.per_thread {
+            prop_assert!((t.busy + t.barrier_wait - finish0).abs() < 1e-9);
+        }
+    }
+
+    /// First-touch: pages keep their first home under any touch order.
+    #[test]
+    fn first_touch_is_idempotent(touches in prop::collection::vec((0u64..64, 0usize..8), 1..100)) {
+        let mut pt = PageTable::new();
+        let mut expected = std::collections::BTreeMap::new();
+        for (page, node) in &touches {
+            expected.entry(*page).or_insert(*node);
+            pt.touch(*page, *node);
+        }
+        for (page, node) in expected {
+            prop_assert_eq!(pt.home(page), Some(node));
+        }
+    }
+
+    /// Memory stalls grow monotonically with remote fraction.
+    #[test]
+    fn stalls_monotone_in_remote_fraction(
+        ws_kb in 64.0f64..32768.0,
+        f1 in 0.0f64..1.0,
+        f2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let m = machine();
+        let access = AccessProfile {
+            refs: ws_kb * 128.0,
+            working_set: ws_kb * 1024.0,
+            traversals: 4.0,
+        };
+        let mk = |f: f64| PlacementStats { remote_fraction: f, mean_remote_hops: 2.0 };
+        let a = memory_costs(&access, &mk(lo), &m, 1.0);
+        let b = memory_costs(&access, &mk(hi), &m, 1.0);
+        prop_assert!(a.stall_cycles <= b.stall_cycles + 1e-6);
+    }
+
+    /// Miss counts decrease down the hierarchy for any working set.
+    #[test]
+    fn hierarchy_filters_misses(ws_kb in 1.0f64..65536.0, traversals in 1.0f64..32.0) {
+        let m = machine();
+        let c = memory_costs(
+            &AccessProfile {
+                refs: ws_kb * 128.0 * traversals,
+                working_set: ws_kb * 1024.0,
+                traversals,
+            },
+            &PlacementStats::all_local(),
+            &m,
+            1.0,
+        );
+        prop_assert!(c.l1d_misses >= c.l2_misses);
+        prop_assert!(c.l2_misses >= c.l3_misses);
+        prop_assert!(c.l3_misses >= 0.0);
+        prop_assert!(c.stall_cycles >= 0.0);
+    }
+
+    /// Power stays within [idle, idle + TDP] for any counter values.
+    #[test]
+    fn power_is_physically_bounded(
+        cycles in 1.0f64..1e12,
+        issued in 0.0f64..1e13,
+        fp in 0.0f64..1e13,
+        l2 in 0.0f64..1e12,
+        l3 in 0.0f64..1e12,
+    ) {
+        let m = machine();
+        let model = PowerModel::itanium2(&m);
+        let mut c = CounterSet::new();
+        c.set(Counter::CpuCycles, cycles);
+        c.set(Counter::InstIssued, issued);
+        c.set(Counter::FpOps, fp);
+        c.set(Counter::L2References, l2);
+        c.set(Counter::L2Misses, l2 / 2.0);
+        c.set(Counter::L3Misses, l3);
+        let r = model.reading(&c, &m);
+        prop_assert!(r.watts >= m.idle_watts - 1e-9);
+        prop_assert!(r.watts <= m.idle_watts + m.tdp_watts + 1e-9);
+        prop_assert!(r.joules >= 0.0);
+    }
+}

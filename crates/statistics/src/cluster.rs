@@ -1,0 +1,349 @@
+//! k-means clustering with k-means++ seeding.
+//!
+//! PerfExplorer's data-mining operations include clustering of per-thread
+//! behaviour (e.g. grouping threads by their event time vectors to reveal
+//! distinct behavioural classes on large runs). This module provides the
+//! same capability: deterministic, seedable k-means over dense vectors.
+
+use crate::{Result, StatError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters to form.
+    pub k: usize,
+    /// Maximum Lloyd iterations before declaring non-convergence.
+    pub max_iterations: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tolerance: f64,
+    /// Seed for the deterministic k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 2,
+            max_iterations: 200,
+            tolerance: 1e-9,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster index assigned to each input point.
+    pub assignments: Vec<usize>,
+    /// Final centroids, `k` rows of the input dimensionality.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centroid (inertia).
+    pub inertia: f64,
+    /// Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Small deterministic xorshift generator so clustering results are
+/// reproducible without pulling a full RNG dependency into this crate.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Clusters `points` (rows) into `config.k` groups with Lloyd's algorithm
+/// seeded by k-means++.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult> {
+    if points.is_empty() {
+        return Err(StatError::Empty);
+    }
+    if config.k == 0 {
+        return Err(StatError::InvalidParameter("k must be >= 1".into()));
+    }
+    if config.k > points.len() {
+        return Err(StatError::InvalidParameter(format!(
+            "k = {} exceeds number of points {}",
+            config.k,
+            points.len()
+        )));
+    }
+    let dim = points[0].len();
+    if dim == 0 {
+        return Err(StatError::InvalidParameter("zero-dimensional points".into()));
+    }
+    for p in points {
+        if p.len() != dim {
+            return Err(StatError::LengthMismatch {
+                left: dim,
+                right: p.len(),
+            });
+        }
+    }
+
+    // --- k-means++ seeding ---
+    let mut rng = XorShift64::new(config.seed);
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(config.k);
+    centroids.push(points[(rng.next_u64() % points.len() as u64) as usize].clone());
+    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < config.k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick uniformly.
+            (rng.next_u64() % points.len() as u64) as usize
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().expect("just pushed"));
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed at the point farthest from its
+                // centroid to avoid collapsing k.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        sq_dist(a, &centroids[assignments[0]])
+                            .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                movement += sq_dist(&centroids[c], &points[far]);
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += sq_dist(&centroids[c], &new);
+            centroids[c] = new;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+        if iterations >= config.max_iterations {
+            return Err(StatError::NoConvergence {
+                algorithm: "kmeans",
+                iterations,
+            });
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    })
+}
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`; larger is
+/// better separated. Requires at least 2 clusters actually populated.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64> {
+    if points.is_empty() {
+        return Err(StatError::Empty);
+    }
+    if points.len() != assignments.len() {
+        return Err(StatError::LengthMismatch {
+            left: points.len(),
+            right: assignments.len(),
+        });
+    }
+    let k = assignments.iter().copied().max().unwrap_or(0) + 1;
+    let mut cluster_sizes = vec![0usize; k];
+    for &a in assignments {
+        cluster_sizes[a] += 1;
+    }
+    if cluster_sizes.iter().filter(|&&c| c > 0).count() < 2 {
+        return Err(StatError::InvalidParameter(
+            "silhouette requires at least 2 populated clusters".into(),
+        ));
+    }
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        // Mean distance to every cluster.
+        let mut mean_d = vec![0.0; k];
+        for (j, q) in points.iter().enumerate() {
+            if i != j {
+                mean_d[assignments[j]] += sq_dist(p, q).sqrt();
+            }
+        }
+        let own = assignments[i];
+        let a = if cluster_sizes[own] > 1 {
+            mean_d[own] / (cluster_sizes[own] - 1) as f64
+        } else {
+            0.0
+        };
+        let b = (0..k)
+            .filter(|&c| c != own && cluster_sizes[c] > 0)
+            .map(|c| mean_d[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = if cluster_sizes[own] > 1 {
+            (b - a) / a.max(b)
+        } else {
+            0.0
+        };
+        total += s;
+    }
+    Ok(total / points.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            pts.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &KMeansConfig::default()).unwrap();
+        // All even indices (blob A) share a cluster; odd (blob B) the other.
+        let a = res.assignments[0];
+        let b = res.assignments[1];
+        assert_ne!(a, b);
+        for i in (0..pts.len()).step_by(2) {
+            assert_eq!(res.assignments[i], a);
+        }
+        for i in (1..pts.len()).step_by(2) {
+            assert_eq!(res.assignments[i], b);
+        }
+        assert!(res.inertia < 1.0);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_for_fixed_seed() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        let r1 = kmeans(&pts, &cfg).unwrap();
+        let r2 = kmeans(&pts, &cfg).unwrap();
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.centroids, r2.centroids);
+    }
+
+    #[test]
+    fn kmeans_k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let cfg = KMeansConfig {
+            k: 3,
+            ..Default::default()
+        };
+        let res = kmeans(&pts, &cfg).unwrap();
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn kmeans_rejects_bad_parameters() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        assert!(kmeans(&pts, &KMeansConfig { k: 0, ..Default::default() }).is_err());
+        assert!(kmeans(&pts, &KMeansConfig { k: 3, ..Default::default() }).is_err());
+        assert!(kmeans(&[], &KMeansConfig::default()).is_err());
+    }
+
+    #[test]
+    fn kmeans_rejects_ragged_points() {
+        let pts = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(
+            kmeans(&pts, &KMeansConfig::default()),
+            Err(StatError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn kmeans_identical_points_converges() {
+        let pts = vec![vec![5.0, 5.0]; 8];
+        let res = kmeans(&pts, &KMeansConfig::default()).unwrap();
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &KMeansConfig::default()).unwrap();
+        let s = silhouette(&pts, &res.assignments).unwrap();
+        assert!(s > 0.9, "expected well-separated blobs, got s = {s}");
+    }
+
+    #[test]
+    fn silhouette_requires_two_clusters() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        assert!(silhouette(&pts, &[0, 0]).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Correlation and covariance.
+//!
+//! The paper's load-imbalance rule requires that "on a per-thread basis,
+//! the times in the events are highly negatively correlated — a thread
+//! that finishes the inner loop early will spend more time in the outer
+//! loop waiting at the barrier". [`pearson`] is the primitive behind that
+//! condition; [`spearman`] is provided for rank-robust variants.
+
+use crate::{Result, StatError};
+
+fn check_pair(x: &[f64], y: &[f64], need: usize) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(StatError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < need {
+        return Err(StatError::TooFewSamples {
+            got: x.len(),
+            need,
+        });
+    }
+    Ok(())
+}
+
+/// Population covariance of two equal-length series.
+pub fn covariance(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_pair(x, y, 1)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    Ok(x.iter()
+        .zip(y)
+        .map(|(&a, &b)| (a - mx) * (b - my))
+        .sum::<f64>()
+        / n)
+}
+
+/// Pearson product-moment correlation coefficient, in `[-1, 1]`.
+///
+/// Returns [`StatError::Degenerate`] when either series has zero variance
+/// (correlation is undefined for a constant series).
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_pair(x, y, 2)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatError::Degenerate("zero variance series".into()));
+    }
+    // Clamp to counteract floating point drift just outside [-1, 1].
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Assigns fractional ranks (average rank for ties), 1-based.
+fn ranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient, in `[-1, 1]`.
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_pair(x, y, 2)?;
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Full covariance matrix of column-major data: `columns[j]` is variable
+/// `j`'s samples. Result is a symmetric `p × p` matrix in row-major order.
+pub fn covariance_matrix(columns: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    if columns.is_empty() {
+        return Err(StatError::Empty);
+    }
+    let n = columns[0].len();
+    if n == 0 {
+        return Err(StatError::Empty);
+    }
+    for c in columns {
+        if c.len() != n {
+            return Err(StatError::LengthMismatch {
+                left: n,
+                right: c.len(),
+            });
+        }
+    }
+    let p = columns.len();
+    let mut m = vec![vec![0.0; p]; p];
+    for i in 0..p {
+        for j in i..p {
+            let c = covariance(&columns[i], &columns[j])?;
+            m[i][j] = c;
+            m[j][i] = c;
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!(approx(pearson(&x, &y).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        // The paper's barrier-wait signature: inner-loop time up,
+        // outer-loop wait time down, exactly anti-correlated.
+        let inner = [5.0, 7.0, 9.0, 11.0];
+        let outer: Vec<f64> = inner.iter().map(|t| 20.0 - t).collect();
+        assert!(approx(pearson(&inner, &outer).unwrap(), -1.0));
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_near_zero() {
+        // A symmetric pattern orthogonal to the linear ramp.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = [1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_degenerate() {
+        assert!(matches!(
+            pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn pearson_length_mismatch() {
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(StatError::LengthMismatch { left: 2, right: 3 })
+        ));
+    }
+
+    #[test]
+    fn pearson_needs_two_samples() {
+        assert!(matches!(
+            pearson(&[1.0], &[1.0]),
+            Err(StatError::TooFewSamples { got: 1, need: 2 })
+        ));
+    }
+
+    #[test]
+    fn covariance_known_value() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 6.0, 8.0];
+        // cov = E[(x - 2)(y - 6)] = (2 + 0 + 2) / 3
+        assert!(approx(covariance(&x, &y).unwrap(), 4.0 / 3.0));
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert!(approx(spearman(&x, &y).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!(approx(spearman(&x, &y).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn covariance_matrix_is_symmetric_with_variances_on_diagonal() {
+        let cols = vec![vec![1.0, 2.0, 3.0, 4.0], vec![2.0, 1.0, 4.0, 3.0]];
+        let m = covariance_matrix(&cols).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(approx(m[0][1], m[1][0]));
+        let var0 = covariance(&cols[0], &cols[0]).unwrap();
+        assert!(approx(m[0][0], var0));
+    }
+
+    #[test]
+    fn covariance_matrix_rejects_ragged_input() {
+        let cols = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(covariance_matrix(&cols).is_err());
+    }
+}

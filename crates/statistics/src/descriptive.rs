@@ -1,0 +1,356 @@
+//! Descriptive statistics: one-pass summaries, quantiles and ratios.
+//!
+//! The load-imbalance analysis in the paper is built on exactly these
+//! quantities: for each instrumented code region it computes the mean and
+//! standard deviation of exclusive time across threads and then the ratio
+//! of the standard deviation to the mean (a coefficient of variation).
+
+use crate::{Result, StatError};
+use serde::{Deserialize, Serialize};
+
+/// One-pass mean/variance accumulator using Welford's algorithm.
+///
+/// Welford's recurrence is numerically stable for long streams of samples
+/// whose magnitudes differ widely — common for cycle counters, where values
+/// span many orders of magnitude between a tight loop and `main`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one sample into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    ///
+    /// This is the Chan et al. pairwise update, so summaries computed per
+    /// thread can be combined without revisiting the samples.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the samples (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`); 0 when fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen, `+inf` if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen, `-inf` if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A complete descriptive summary of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// Sum of the samples.
+    pub sum: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `data`.
+    ///
+    /// Returns [`StatError::Empty`] for an empty slice.
+    pub fn of(data: &[f64]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatError::Empty);
+        }
+        let mut acc = Welford::new();
+        let mut sum = 0.0;
+        for &x in data {
+            acc.push(x);
+            sum += x;
+        }
+        Ok(Summary {
+            count: data.len(),
+            mean: acc.mean(),
+            stddev: acc.stddev(),
+            variance: acc.variance(),
+            min: acc.min(),
+            max: acc.max(),
+            median: quantile(data, 0.5)?,
+            sum,
+        })
+    }
+
+    /// Coefficient of variation: `stddev / mean`.
+    ///
+    /// This is the imbalance indicator used by the paper's load-balance
+    /// rule ("two loops have a high standard deviation to mean ratio
+    /// (> 0.25)"). Returns [`StatError::Degenerate`] when the mean is zero.
+    pub fn coefficient_of_variation(&self) -> Result<f64> {
+        if self.mean == 0.0 {
+            return Err(StatError::Degenerate("zero mean".into()));
+        }
+        Ok(self.stddev / self.mean)
+    }
+}
+
+/// Computes the `q`-quantile (`0.0..=1.0`) of `data` with linear
+/// interpolation between order statistics.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatError::InvalidParameter(format!(
+            "quantile {q} outside [0, 1]"
+        )));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Arithmetic mean of a slice.
+pub fn mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatError::Empty);
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Population standard deviation of a slice.
+pub fn stddev(data: &[f64]) -> Result<f64> {
+    Summary::of(data).map(|s| s.stddev)
+}
+
+/// Geometric mean; every element must be strictly positive.
+pub fn geometric_mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatError::Empty);
+    }
+    if data.iter().any(|&x| x <= 0.0) {
+        return Err(StatError::InvalidParameter(
+            "geometric mean requires positive values".into(),
+        ));
+    }
+    let log_sum: f64 = data.iter().map(|x| x.ln()).sum();
+    Ok((log_sum / data.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!(approx(s.mean, 5.0));
+        assert!(approx(s.stddev, 2.0));
+        assert!(approx(s.min, 2.0));
+        assert!(approx(s.max, 9.0));
+        assert!(approx(s.sum, 40.0));
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn summary_empty_is_error() {
+        assert_eq!(Summary::of(&[]).unwrap_err(), StatError::Empty);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert!(approx(s.mean, 3.5));
+        assert!(approx(s.stddev, 0.0));
+        assert!(approx(s.median, 3.5));
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [1.0, 2.0, 3.0, 4.0, 100.0, -7.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let m = data.iter().sum::<f64>() / data.len() as f64;
+        let v = data.iter().map(|x| (x - m).powi(2)).sum::<f64>() / data.len() as f64;
+        assert!(approx(w.mean(), m));
+        assert!(approx(w.variance(), v));
+        assert_eq!(w.count(), 6);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let a = [1.0, 5.0, 2.0];
+        let b = [10.0, -3.0, 4.0, 8.0];
+        let mut wa = Welford::new();
+        let mut wb = Welford::new();
+        let mut wall = Welford::new();
+        for &x in &a {
+            wa.push(x);
+            wall.push(x);
+        }
+        for &x in &b {
+            wb.push(x);
+            wall.push(x);
+        }
+        wa.merge(&wb);
+        assert!(approx(wa.mean(), wall.mean()));
+        assert!(approx(wa.variance(), wall.variance()));
+        assert_eq!(wa.count(), wall.count());
+        assert!(approx(wa.min(), wall.min()));
+        assert!(approx(wa.max(), wall.max()));
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut w = Welford::new();
+        w.push(2.0);
+        let empty = Welford::new();
+        let snapshot = w;
+        w.merge(&empty);
+        assert_eq!(w, snapshot);
+
+        let mut e = Welford::new();
+        e.merge(&w);
+        assert_eq!(e, w);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!(approx(quantile(&data, 0.0).unwrap(), 1.0));
+        assert!(approx(quantile(&data, 1.0).unwrap(), 4.0));
+        assert!(approx(quantile(&data, 0.5).unwrap(), 2.5));
+        assert!(approx(quantile(&data, 0.25).unwrap(), 1.75));
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q() {
+        assert!(matches!(
+            quantile(&[1.0], 1.5),
+            Err(StatError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            quantile(&[1.0], -0.1),
+            Err(StatError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn coefficient_of_variation_detects_imbalance() {
+        // Balanced: identical per-thread times.
+        let balanced = Summary::of(&[10.0; 16]).unwrap();
+        assert!(approx(balanced.coefficient_of_variation().unwrap(), 0.0));
+        // Imbalanced: one thread does everything.
+        let mut times = vec![0.5; 15];
+        times.push(20.0);
+        let imbalanced = Summary::of(&times).unwrap();
+        assert!(imbalanced.coefficient_of_variation().unwrap() > 0.25);
+    }
+
+    #[test]
+    fn cov_zero_mean_is_degenerate() {
+        let s = Summary::of(&[-1.0, 1.0]).unwrap();
+        assert!(matches!(
+            s.coefficient_of_variation(),
+            Err(StatError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn geometric_mean_known() {
+        assert!(approx(geometric_mean(&[1.0, 4.0, 16.0]).unwrap(), 4.0));
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[]).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Fixed-width histograms.
+//!
+//! Used to build per-event distribution facts (e.g. the spread of
+//! per-thread times that Figure 4(a) visualises) and for summarising
+//! iteration-cost distributions in the scheduling studies.
+
+use crate::{Result, StatError};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over a closed range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatError::InvalidParameter("bins must be >= 1".into()));
+        }
+        if lo >= hi {
+            return Err(StatError::InvalidParameter(format!(
+                "invalid range [{lo}, {hi}]"
+            )));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Builds a histogram from data, choosing the range from its extremes.
+    pub fn from_data(data: &[f64], bins: usize) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatError::Empty);
+        }
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // Degenerate all-equal data still deserves a usable histogram.
+        let (lo, hi) = if lo == hi { (lo - 0.5, hi + 0.5) } else { (lo, hi) };
+        let mut h = Histogram::new(lo, hi, bins)?;
+        for &x in data {
+            h.record(x);
+        }
+        Ok(h)
+    }
+
+    /// Records one sample. Samples outside the range land in the
+    /// under/overflow counters rather than being dropped silently.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x > self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut idx = ((x - self.lo) / width) as usize;
+        if idx >= self.counts.len() {
+            idx = self.counts.len() - 1; // x == hi lands in the last bin
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket counts, left to right.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(low_edge, high_edge)` of bucket `i`.
+    pub fn bucket_range(&self, i: usize) -> Option<(f64, f64)> {
+        if i >= self.counts.len() {
+            return None;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        Some((self.lo + width * i as f64, self.lo + width * (i + 1) as f64))
+    }
+
+    /// Renders a terminal-friendly bar chart, one bucket per line.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bucket_range(i).expect("index in range");
+            let bar_len = (c as usize * width) / max as usize;
+            out.push_str(&format!(
+                "[{lo:>12.4}, {hi:>12.4}) {c:>8} {}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.record(0.5);
+        h.record(5.5);
+        h.record(9.99);
+        h.record(10.0); // boundary: last bin
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_counted_not_dropped() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.record(-1.0);
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 2);
+        assert!(h.counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn from_data_covers_extremes() {
+        let data = [3.0, 1.0, 2.0, 4.0];
+        let h = Histogram::from_data(&data, 3).unwrap();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+        assert_eq!(h.counts().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn from_data_constant_series() {
+        let h = Histogram::from_data(&[7.0; 5], 4).unwrap();
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::from_data(&[], 4).is_err());
+    }
+
+    #[test]
+    fn bucket_range_and_render() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        assert_eq!(h.bucket_range(0), Some((0.0, 1.0)));
+        assert_eq!(h.bucket_range(3), Some((3.0, 4.0)));
+        assert_eq!(h.bucket_range(4), None);
+        h.record(0.5);
+        let text = h.render(10);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('#'));
+    }
+}

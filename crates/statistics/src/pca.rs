@@ -1,0 +1,208 @@
+//! Principal component analysis via Jacobi eigendecomposition.
+//!
+//! PerfExplorer uses dimensionality reduction to visualise
+//! multi-metric/multi-event profiles; this module provides the same
+//! operation: center the data, form the covariance matrix, and extract
+//! eigenvectors sorted by explained variance.
+
+// Index-based loops are the natural notation for symmetric-matrix
+// rotations; iterator adaptors obscure the (p, q) plane updates.
+#![allow(clippy::needless_range_loop)]
+
+use crate::correlation::covariance_matrix;
+use crate::{Result, StatError};
+use serde::{Deserialize, Serialize};
+
+/// Result of a principal component analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    /// Eigenvalues (variances along components), descending.
+    pub eigenvalues: Vec<f64>,
+    /// Component vectors (rows), matching `eigenvalues` order.
+    pub components: Vec<Vec<f64>>,
+    /// Fraction of total variance explained per component.
+    pub explained_variance_ratio: Vec<f64>,
+    /// Column means subtracted before analysis.
+    pub means: Vec<f64>,
+}
+
+impl Pca {
+    /// Projects a single observation (length = number of variables) onto
+    /// the first `n` principal components.
+    pub fn project(&self, row: &[f64], n: usize) -> Result<Vec<f64>> {
+        if row.len() != self.means.len() {
+            return Err(StatError::LengthMismatch {
+                left: row.len(),
+                right: self.means.len(),
+            });
+        }
+        let n = n.min(self.components.len());
+        let centered: Vec<f64> = row.iter().zip(&self.means).map(|(x, m)| x - m).collect();
+        Ok(self.components[..n]
+            .iter()
+            .map(|c| c.iter().zip(&centered).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` where `eigenvectors[i]` is the
+/// eigenvector for `eigenvalues[i]`, both sorted descending by eigenvalue.
+fn jacobi_eigen(matrix: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
+    let n = matrix.len();
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    const MAX_SWEEPS: usize = 100;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            let mut eigen: Vec<(f64, Vec<f64>)> = (0..n)
+                .map(|i| (a[i][i], (0..n).map(|r| v[r][i]).collect()))
+                .collect();
+            eigen.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+            let (vals, vecs) = eigen.into_iter().unzip();
+            return Ok((vals, vecs));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(StatError::NoConvergence {
+        algorithm: "jacobi",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Runs PCA over column-major data: `columns[j]` holds variable `j`'s
+/// samples (one per observation).
+pub fn principal_components(columns: &[Vec<f64>]) -> Result<Pca> {
+    if columns.is_empty() {
+        return Err(StatError::Empty);
+    }
+    let cov = covariance_matrix(columns)?;
+    let (eigenvalues, components) = jacobi_eigen(&cov)?;
+    let total: f64 = eigenvalues.iter().map(|&e| e.max(0.0)).sum();
+    let explained = if total > 0.0 {
+        eigenvalues.iter().map(|&e| e.max(0.0) / total).collect()
+    } else {
+        vec![0.0; eigenvalues.len()]
+    };
+    let means = columns
+        .iter()
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    Ok(Pca {
+        eigenvalues,
+        components,
+        explained_variance_ratio: explained,
+        means,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrix() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (vals, vecs) = jacobi_eigen(&m).unwrap();
+        assert!(approx(vals[0], 3.0, 1e-9));
+        assert!(approx(vals[1], 1.0, 1e-9));
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v = &vecs[0];
+        assert!(approx(v[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-9));
+        assert!(approx(v[1].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-9));
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along the line y = 2x with slight noise: the first
+        // component must align with (1, 2)/|.| and explain ~all variance.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let pca = principal_components(&[xs, ys]).unwrap();
+        assert!(pca.explained_variance_ratio[0] > 0.999);
+        let c = &pca.components[0];
+        let slope = c[1] / c[0];
+        assert!(approx(slope, 2.0, 0.01));
+    }
+
+    #[test]
+    fn pca_projection_is_centered() {
+        let xs = vec![1.0, 2.0, 3.0];
+        let ys = vec![1.0, 2.0, 3.0];
+        let pca = principal_components(&[xs, ys]).unwrap();
+        // Projecting the mean point must give the origin.
+        let p = pca.project(&[2.0, 2.0], 2).unwrap();
+        assert!(p.iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn pca_explained_ratios_sum_to_one() {
+        let cols = vec![
+            vec![1.0, 4.0, 2.0, 8.0, 3.0],
+            vec![2.0, 1.0, 7.0, 3.0, 5.0],
+            vec![0.5, 2.5, 1.5, 4.5, 0.0],
+        ];
+        let pca = principal_components(&cols).unwrap();
+        let sum: f64 = pca.explained_variance_ratio.iter().sum();
+        assert!(approx(sum, 1.0, 1e-9));
+        // Eigenvalues are sorted descending.
+        for w in pca.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn pca_rejects_empty_and_mismatched_projection() {
+        assert!(principal_components(&[]).is_err());
+        let pca = principal_components(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert!(pca.project(&[1.0], 1).is_err());
+    }
+}

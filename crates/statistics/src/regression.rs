@@ -1,0 +1,216 @@
+//! Least-squares regression.
+//!
+//! Used by the scalability analyses to fit speedup and efficiency trends
+//! across thread counts, and by the power model validation to relate
+//! instruction counts to energy.
+
+use crate::{Result, StatError};
+use serde::{Deserialize, Serialize};
+
+/// Result of an ordinary least squares fit `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+impl OlsFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits a straight line through `(x, y)` pairs by ordinary least squares.
+pub fn ols(x: &[f64], y: &[f64]) -> Result<OlsFit> {
+    if x.len() != y.len() {
+        return Err(StatError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatError::TooFewSamples {
+            got: x.len(),
+            need: 2,
+        });
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxx += (a - mx) * (a - mx);
+        sxy += (a - mx) * (b - my);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 {
+        return Err(StatError::Degenerate("all x values identical".into()));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0 // y is constant and perfectly fit by the horizontal line
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Ok(OlsFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fits a polynomial of the given `degree` by least squares, returning
+/// coefficients lowest-order first (`c[0] + c[1]·x + …`).
+///
+/// Solves the normal equations with Gaussian elimination and partial
+/// pivoting; degrees stay small (≤ 4 in practice) so this is both fast and
+/// stable enough for trend fitting.
+pub fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Result<Vec<f64>> {
+    if x.len() != y.len() {
+        return Err(StatError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let terms = degree + 1;
+    if x.len() < terms {
+        return Err(StatError::TooFewSamples {
+            got: x.len(),
+            need: terms,
+        });
+    }
+    // Normal equations: (VᵀV) c = Vᵀ y with Vandermonde V.
+    let mut ata = vec![vec![0.0; terms]; terms];
+    let mut atb = vec![0.0; terms];
+    for (&xi, &yi) in x.iter().zip(y) {
+        let mut powers = Vec::with_capacity(terms);
+        let mut p = 1.0;
+        for _ in 0..terms {
+            powers.push(p);
+            p *= xi;
+        }
+        for i in 0..terms {
+            atb[i] += powers[i] * yi;
+            for j in 0..terms {
+                ata[i][j] += powers[i] * powers[j];
+            }
+        }
+    }
+    solve_linear(&mut ata, &mut atb)
+}
+
+/// Solves `A c = b` in place via Gaussian elimination with partial
+/// pivoting. `a` and `b` are consumed as scratch space.
+#[allow(clippy::needless_range_loop)] // dense index math reads better
+fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(StatError::Degenerate("singular normal equations".into()));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut c = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * c[k];
+        }
+        c[row] = acc / a[row][row];
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn ols_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let fit = ols(&x, &y).unwrap();
+        assert!(approx(fit.slope, 2.0));
+        assert!(approx(fit.intercept, 1.0));
+        assert!(approx(fit.r_squared, 1.0));
+        assert!(approx(fit.predict(10.0), 21.0));
+    }
+
+    #[test]
+    fn ols_noisy_line_has_lower_r2() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.0, 2.4, 1.6, 3.5, 3.9];
+        let fit = ols(&x, &y).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.5);
+        assert!(fit.slope > 0.0);
+    }
+
+    #[test]
+    fn ols_constant_x_is_degenerate() {
+        assert!(matches!(
+            ols(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(StatError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn ols_constant_y_r2_is_one() {
+        let fit = ols(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert!(approx(fit.slope, 0.0));
+        assert!(approx(fit.r_squared, 1.0));
+    }
+
+    #[test]
+    fn polyfit_recovers_quadratic() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2.0 - 3.0 * v + 0.5 * v * v).collect();
+        let c = polyfit(&x, &y, 2).unwrap();
+        assert!(approx(c[0], 2.0));
+        assert!(approx(c[1], -3.0));
+        assert!(approx(c[2], 0.5));
+    }
+
+    #[test]
+    fn polyfit_degree_zero_is_mean() {
+        let c = polyfit(&[1.0, 2.0, 3.0], &[4.0, 6.0, 8.0], 0).unwrap();
+        assert!(approx(c[0], 6.0));
+    }
+
+    #[test]
+    fn polyfit_requires_enough_points() {
+        assert!(matches!(
+            polyfit(&[1.0, 2.0], &[1.0, 2.0], 3),
+            Err(StatError::TooFewSamples { .. })
+        ));
+    }
+}

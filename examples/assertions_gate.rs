@@ -1,0 +1,84 @@
+//! Performance knowledge as checked expectations: a CI-style gate.
+//!
+//! The paper's related work (Vetter & Worley's Performance Assertions)
+//! encodes expected performance and verifies it against empirical data.
+//! This example expresses the MSA case study's *tuned* behaviour as a
+//! set of assertions and gates two builds against them — the tuned
+//! schedule passes, a regression to the default schedule fails, with
+//! every violation reported at once.
+//!
+//! ```text
+//! cargo run --example assertions_gate
+//! ```
+
+use apps::msa::{self, MsaConfig};
+use perfexplorer::assertions::{
+    check_all, Expect, PerformanceAssertion, Quantity,
+};
+use simulator::openmp::Schedule;
+
+fn gate() -> Vec<PerformanceAssertion> {
+    // Knowledge captured from the tuning study, as expectations:
+    vec![
+        // 1. The alignment loop must be balanced across threads.
+        PerformanceAssertion::new(
+            "alignment loop balanced",
+            "TIME",
+            Quantity::BalanceRatio {
+                event: "main => distance_matrix => sw_align".into(),
+            },
+            Expect::AtMost,
+            0.25,
+        ),
+        // 2. Barrier waits in the outer loop must stay small.
+        PerformanceAssertion::new(
+            "outer-loop waits small",
+            "TIME",
+            Quantity::MeanExclusive {
+                event: "main => distance_matrix".into(),
+            },
+            Expect::AtMost,
+            0.05,
+        ),
+        // 3. Real work must actually have happened.
+        PerformanceAssertion::new(
+            "alignment did work",
+            "TIME",
+            Quantity::MaxInclusive {
+                event: "main => distance_matrix => sw_align".into(),
+            },
+            Expect::AtLeast,
+            0.001,
+        ),
+    ]
+}
+
+fn check(label: &str, schedule: Schedule) -> bool {
+    let mut config = MsaConfig::paper_400(16, schedule);
+    config.sequences = 200;
+    let trial = msa::run(&config);
+    let outcomes = check_all(&gate(), &trial).expect("events present");
+    let passed = outcomes.iter().all(|o| o.passed);
+    println!(
+        "\n== {label} ({}) -> {} ==",
+        schedule,
+        if passed { "PASS" } else { "FAIL" }
+    );
+    for o in &outcomes {
+        println!("  {}", o.message);
+    }
+    passed
+}
+
+fn main() {
+    let tuned = check("tuned build", Schedule::Dynamic(1));
+    let regressed = check("regressed build", Schedule::Static);
+
+    println!();
+    assert!(tuned, "the tuned build must pass its own gate");
+    assert!(
+        !regressed,
+        "the gate must catch the schedule regression"
+    );
+    println!("gate verdicts: tuned build PASSES, regressed build is CAUGHT");
+}

@@ -1,0 +1,74 @@
+//! The §III-A case study end to end: OpenMP schedule tuning for the
+//! multiple-sequence-alignment distance matrix.
+//!
+//! Sweeps schedules and thread counts, shows the imbalance the paper's
+//! Figure 4 visualises, lets the rulebase diagnose it, applies the
+//! recommended schedule, and verifies the diagnosis disappears.
+//!
+//! ```text
+//! cargo run --example msa_tuning
+//! ```
+
+use apps::msa::{self, elapsed_seconds, relative_efficiency, MsaConfig};
+use perfexplorer::workflow::analyze_load_balance;
+use simulator::openmp::Schedule;
+
+const SEQUENCES: usize = 200;
+
+fn run(threads: usize, schedule: Schedule) -> perfdmf::Trial {
+    let mut config = MsaConfig::paper_400(threads, schedule);
+    config.sequences = SEQUENCES;
+    msa::run(&config)
+}
+
+fn main() {
+    println!("== MSA schedule tuning ({SEQUENCES} sequences) ==\n");
+
+    // --- efficiency sweep (the Fig. 4(b) view) ---
+    let schedules = [
+        Schedule::Static,
+        Schedule::Dynamic(1),
+        Schedule::Dynamic(16),
+        Schedule::Dynamic(64),
+    ];
+    print!("{:>12}", "schedule");
+    for t in [1usize, 2, 4, 8, 16] {
+        print!("{:>8}", format!("p={t}"));
+    }
+    println!("  (relative efficiency)");
+    for schedule in schedules {
+        let t1 = elapsed_seconds(&run(1, schedule));
+        print!("{:>12}", schedule.to_string());
+        for threads in [1usize, 2, 4, 8, 16] {
+            let tp = elapsed_seconds(&run(threads, schedule));
+            print!("{:>8.3}", relative_efficiency(t1, tp, threads));
+        }
+        println!();
+    }
+
+    // --- automated diagnosis of the default schedule ---
+    println!("\n== automated analysis: schedule(static), 16 threads ==");
+    let bad = run(16, Schedule::Static);
+    let result = analyze_load_balance(&bad, "TIME").expect("analysis");
+    print!("{}", result.rendered);
+
+    let recommendation = result
+        .report
+        .diagnoses
+        .iter()
+        .find_map(|d| d.recommendation.clone())
+        .unwrap_or_default();
+    println!("applying recommendation: {recommendation}\n");
+
+    // --- apply the fix and re-analyse ---
+    println!("== after fix: schedule(dynamic,1), 16 threads ==");
+    let good = run(16, Schedule::Dynamic(1));
+    let result = analyze_load_balance(&good, "TIME").expect("analysis");
+    print!("{}", result.rendered);
+
+    let speedup = elapsed_seconds(&bad) / elapsed_seconds(&good);
+    println!(
+        "\nelapsed improvement from the schedule change: {:.2}x",
+        speedup
+    );
+}

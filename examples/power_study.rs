@@ -1,0 +1,67 @@
+//! The §III-C case study end to end: power and energy modeling across
+//! compiler optimisation levels.
+//!
+//! Compiles the GenIDLEST model at O0–O3, runs 16 MPI ranks, computes
+//! the counter-based power model (paper Eq. 1–2), prints the Table-I
+//! analogue, and lets the power rulebase recommend levels.
+//!
+//! ```text
+//! cargo run --example power_study
+//! ```
+
+use apps::power_study::{run_all, PowerStudyConfig};
+use openuh::feedback::{level_for_priority, OptimizationPriority};
+use perfdmf::Trial;
+use perfexplorer::powerenergy::render_table;
+use perfexplorer::workflow::analyze_power;
+use simulator::machine::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::altix300();
+    let config = PowerStudyConfig {
+        ranks: 16,
+        timesteps: 5,
+        machine: machine.clone(),
+    };
+
+    println!("== GenIDLEST 90rib at O0..O3, 16 MPI ranks ==\n");
+    println!("transformations per level:");
+    for (level, _) in run_all(&PowerStudyConfig {
+        ranks: 1,
+        timesteps: 1,
+        machine: machine.clone(),
+    }) {
+        println!(
+            "  {:<3} {}",
+            level.to_string(),
+            if level.transformations().is_empty() {
+                "(none)".to_string()
+            } else {
+                level.transformations().join(", ")
+            }
+        );
+    }
+
+    let runs = run_all(&config);
+    let trials: Vec<&Trial> = runs.iter().map(|(_, t)| t).collect();
+    let (table, result) = analyze_power(&trials, &machine).expect("workflow");
+
+    println!("\nrelative differences (O0 = 1.0):\n");
+    print!("{}", render_table(&table));
+
+    println!("\n== automated recommendations ==");
+    print!("{}", result.rendered);
+
+    println!("== priority -> level mapping (paper's conclusion) ==");
+    for (priority, label) in [
+        (OptimizationPriority::LowPower, "low power"),
+        (OptimizationPriority::LowEnergy, "low energy"),
+        (OptimizationPriority::CacheMisses, "cache misses"),
+    ] {
+        println!(
+            "  optimize for {:<13} -> compile {}",
+            label,
+            level_for_priority(priority)
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: the full pipeline in one page.
+//!
+//! Simulate an application run, store the profile, write a Figure-1
+//! style analysis script, and read the automated diagnosis.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use apps::msa::{self, MsaConfig};
+use perfdmf::Repository;
+use perfexplorer::scripting::PerfExplorerScript;
+use simulator::openmp::Schedule;
+
+fn main() {
+    // 1. "Run" the instrumented application on the simulated Altix:
+    //    ClustalW's distance-matrix stage, 8 OpenMP threads, the
+    //    default static schedule.
+    let mut config = MsaConfig::paper_400(8, Schedule::Static);
+    config.sequences = 128; // quick demo size
+    let trial = msa::run(&config);
+    println!(
+        "simulated MSA run: {} threads, {} events, schedule {}",
+        trial.profile.thread_count(),
+        trial.profile.events().len(),
+        trial.metadata.get_str("schedule").unwrap_or("?")
+    );
+
+    // 2. Store the TAU-like profile in the repository (PerfDMF's role).
+    let mut repo = Repository::new();
+    repo.add_trial("msap", "scheduling", trial).unwrap();
+
+    // 3. Drive the analysis from a script, exactly like the paper's
+    //    Jython example: load rules, load the trial, build facts,
+    //    process the rules.
+    let mut session = PerfExplorerScript::new(repo);
+    session
+        .run(
+            r#"
+            load_rules("load_balance");
+            let trial = load_trial("msap", "scheduling", "8_static");
+            print("events: " + join(trial_events(trial), ", "));
+            let n = assert_balance_facts(trial, "TIME");
+            print("asserted " + n + " facts");
+            process_rules();
+            "#,
+        )
+        .expect("script runs");
+
+    for line in session.output() {
+        println!("[script] {line}");
+    }
+
+    // 4. Read the structured diagnosis and its recommendation.
+    let report = session.last_report().expect("rules processed");
+    println!("\n{}", perfexplorer::recommend::render_report(&report));
+
+    // 5. Feed the diagnosis back into the compiler's cost model.
+    let mut cost_model = openuh::cost::CostModel::default();
+    let plan = perfexplorer::recommend::compiler_feedback(&report, &mut cost_model);
+    println!("compiler feedback:");
+    for s in &plan.suggestions {
+        println!("  {} -> {}", s.region, s.action);
+    }
+    println!(
+        "cost model weights: processor {:.2}, cache {:.2}, parallel {:.2}",
+        cost_model.processor_weight, cost_model.cache_weight, cost_model.parallel_weight
+    );
+}

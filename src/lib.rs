@@ -1,0 +1,31 @@
+//! # perfknow
+//!
+//! Umbrella crate for the `perfknow` workspace: an automated parallel
+//! performance analysis system reproducing *"Capturing Performance
+//! Knowledge for Automated Analysis"* (Huck et al., SC 2008).
+//!
+//! The workspace integrates:
+//!
+//! * [`perfexplorer`] — the analysis and knowledge-engineering layer
+//!   (derived metrics, facts, diagnoses, scalability studies),
+//! * [`perfdmf`] — parallel profile data management,
+//! * [`rules`] — a forward-chaining inference engine,
+//! * [`script`] — an embeddable analysis scripting language,
+//! * [`simulator`] — a ccNUMA machine / OpenMP / MPI execution model,
+//! * [`openuh`] — a compiler model with instrumentation and cost models,
+//! * [`apps`] — the paper's two case-study applications (MSA, GenIDLEST),
+//! * [`statistics`] — the numerical analysis kernels.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduction of every figure and table in the paper's evaluation.
+
+pub mod cli;
+
+pub use apps;
+pub use openuh;
+pub use perfdmf;
+pub use perfexplorer;
+pub use rules;
+pub use script;
+pub use simulator;
+pub use statistics;

@@ -1,0 +1,84 @@
+//! The paper's second GenIDLEST test case: the 45-degree rib problem
+//! (8 blocks, up to 8 processors), exercising the same diagnosis chain
+//! at its smaller scale.
+
+use apps::genidlest::{self, elapsed_seconds, CodeVersion, GenIdlestConfig, Paradigm, Problem};
+use perfdmf::Trial;
+use perfexplorer::workflow::analyze_locality;
+use simulator::machine::MachineConfig;
+
+fn run(paradigm: Paradigm, version: CodeVersion, procs: usize) -> Trial {
+    let mut c = GenIdlestConfig::new(Problem::Rib45, paradigm, version, procs);
+    c.timesteps = 2;
+    genidlest::run(&c)
+}
+
+#[test]
+fn rib45_unoptimized_gap_is_smaller_than_rib90s() {
+    // The paper: ×3.48 on 45rib vs ×11.16 on 90rib at their block-count
+    // processor limits — the smaller problem has fewer boundary copies
+    // (30 vs 126) and fewer blocks, so the gap shrinks.
+    let mpi8 = elapsed_seconds(&run(Paradigm::Mpi, CodeVersion::Optimized, 8));
+    let unopt8 = elapsed_seconds(&run(Paradigm::OpenMp, CodeVersion::Unoptimized, 8));
+    let gap45 = unopt8 / mpi8;
+    assert!((2.0..12.0).contains(&gap45), "45rib gap = {gap45}");
+
+    let mut c90 = GenIdlestConfig::new(
+        Problem::Rib90,
+        Paradigm::OpenMp,
+        CodeVersion::Unoptimized,
+        16,
+    );
+    c90.timesteps = 2;
+    let unopt90 = elapsed_seconds(&genidlest::run(&c90));
+    let mut m90 = GenIdlestConfig::new(Problem::Rib90, Paradigm::Mpi, CodeVersion::Optimized, 16);
+    m90.timesteps = 2;
+    let mpi90 = elapsed_seconds(&genidlest::run(&m90));
+    let gap90 = unopt90 / mpi90;
+    assert!(gap45 < gap90, "45rib gap {gap45} should be below 90rib gap {gap90}");
+}
+
+#[test]
+fn rib45_optimization_closes_the_gap() {
+    let mpi = elapsed_seconds(&run(Paradigm::Mpi, CodeVersion::Optimized, 8));
+    let opt = elapsed_seconds(&run(Paradigm::OpenMp, CodeVersion::Optimized, 8));
+    let gap = (opt - mpi) / mpi;
+    // Paper: 16.8% residual gap on 45rib.
+    assert!((-0.05..0.40).contains(&gap), "gap = {gap}");
+}
+
+#[test]
+fn rib45_diagnosis_chain_matches_rib90s() {
+    let machine = MachineConfig::altix300();
+    let trials: Vec<(usize, Trial)> = [1usize, 4, 8]
+        .iter()
+        .map(|&p| (p, run(Paradigm::OpenMp, CodeVersion::Unoptimized, p)))
+        .collect();
+    let series: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+    let result = analyze_locality(&series, &machine).unwrap();
+    assert!(
+        !result.report.diagnoses_in("memory-locality").is_empty(),
+        "{}",
+        result.rendered
+    );
+    // The serial exchange is proportionally smaller on 45rib (30 copies)
+    // but must still be flagged when it clears the significance bar, or
+    // at minimum the exchange must appear among poor scalers.
+    let mentions_exchange = result
+        .report
+        .printed
+        .iter()
+        .any(|l| l.contains("exchange_var"));
+    assert!(mentions_exchange, "{}", result.rendered);
+}
+
+#[test]
+fn rib45_respects_its_block_limit() {
+    // 8 blocks: at 8 processors every rank holds one block.
+    let t = run(Paradigm::Mpi, CodeVersion::Optimized, 8);
+    assert_eq!(t.profile.thread_count(), 8);
+    let t1 = elapsed_seconds(&run(Paradigm::Mpi, CodeVersion::Optimized, 1));
+    let t8 = elapsed_seconds(&run(Paradigm::Mpi, CodeVersion::Optimized, 8));
+    let speedup = t1 / t8;
+    assert!(speedup > 6.0, "MPI speedup at 8 = {speedup}");
+}

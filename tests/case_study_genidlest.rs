@@ -1,0 +1,166 @@
+//! Integration test for the §III-B case study: the GenIDLEST
+//! data-locality diagnosis chain and the feedback loop to the compiler
+//! cost models.
+
+use apps::genidlest::{self, elapsed_seconds, CodeVersion, GenIdlestConfig, Paradigm, Problem};
+use perfdmf::Trial;
+use perfexplorer::workflow::analyze_locality;
+use simulator::machine::MachineConfig;
+
+fn run(paradigm: Paradigm, version: CodeVersion, procs: usize) -> Trial {
+    let mut c = GenIdlestConfig::new(Problem::Rib90, paradigm, version, procs);
+    c.timesteps = 2;
+    genidlest::run(&c)
+}
+
+fn series(paradigm: Paradigm, version: CodeVersion) -> Vec<(usize, Trial)> {
+    [1usize, 4, 16]
+        .iter()
+        .map(|&p| (p, run(paradigm, version, p)))
+        .collect()
+}
+
+#[test]
+fn unoptimized_openmp_produces_locality_and_serial_diagnoses() {
+    let machine = MachineConfig::altix300();
+    let trials = series(Paradigm::OpenMp, CodeVersion::Unoptimized);
+    let refs: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+    let result = analyze_locality(&refs, &machine).unwrap();
+
+    // The paper's pass 1/2: stall-heavy events identified.
+    assert!(
+        !result.report.diagnoses_in("stalls").is_empty(),
+        "no stall diagnoses: {}",
+        result.rendered
+    );
+    // Pass 3: locality problems on the computation kernels.
+    assert!(!result.report.diagnoses_in("memory-locality").is_empty());
+    // The metadata-joined context rule fired, citing the machine.
+    assert!(
+        result.report.fired("First-touch policy exposure"),
+        "context rule silent: {}",
+        result.rendered
+    );
+    assert!(result
+        .report
+        .printed
+        .iter()
+        .any(|l| l.contains("Altix") && l.contains("first-touch")));
+    // And the serialized exchange is called out.
+    let serial = result.report.diagnoses_in("serial-bottleneck");
+    assert!(!serial.is_empty(), "no serial diagnosis: {}", result.rendered);
+    assert!(
+        serial[0].message.contains("exchange_var"),
+        "serial diagnosis should name exchange_var: {}",
+        serial[0].message
+    );
+}
+
+#[test]
+fn optimized_versions_are_clean() {
+    let machine = MachineConfig::altix300();
+    for (paradigm, label) in [(Paradigm::OpenMp, "openmp"), (Paradigm::Mpi, "mpi")] {
+        let trials = series(paradigm, CodeVersion::Optimized);
+        let refs: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+        let result = analyze_locality(&refs, &machine).unwrap();
+        assert!(
+            result.report.diagnoses_in("memory-locality").is_empty(),
+            "{label}: unexpected locality diagnosis: {}",
+            result.rendered
+        );
+        assert!(
+            result.report.diagnoses_in("serial-bottleneck").is_empty(),
+            "{label}: unexpected serial diagnosis: {}",
+            result.rendered
+        );
+    }
+}
+
+#[test]
+fn feedback_reweights_cost_model_toward_the_problem() {
+    let machine = MachineConfig::altix300();
+    let trials = series(Paradigm::OpenMp, CodeVersion::Unoptimized);
+    let refs: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+    let result = analyze_locality(&refs, &machine).unwrap();
+
+    // Locality diagnoses must have raised the cache model's weight more
+    // than anything else — the paper's "focus on improving the L3
+    // optimizations by targeting reduction of the cycles predicted in
+    // the cache model".
+    assert!(result.cost_model.cache_weight > 1.5);
+    assert!(result.cost_model.cache_weight > result.cost_model.processor_weight);
+
+    // And the suggestions include the two fixes the paper applied.
+    let actions: Vec<&str> = result
+        .feedback
+        .suggestions
+        .iter()
+        .map(|s| s.action.as_str())
+        .collect();
+    assert!(
+        actions.iter().any(|a| a.contains("first-touch")),
+        "missing first-touch suggestion: {actions:?}"
+    );
+    assert!(
+        actions.iter().any(|a| a.contains("parallelize the serial section")
+            || a.contains("parallelize the boundary-copy")),
+        "missing exchange fix suggestion: {actions:?}"
+    );
+}
+
+#[test]
+fn headline_performance_ratios_hold() {
+    // The paper's headline numbers, as shape checks.
+    let mpi16 = elapsed_seconds(&run(Paradigm::Mpi, CodeVersion::Optimized, 16));
+    let unopt16 = elapsed_seconds(&run(Paradigm::OpenMp, CodeVersion::Unoptimized, 16));
+    let opt16 = elapsed_seconds(&run(Paradigm::OpenMp, CodeVersion::Optimized, 16));
+
+    let before = unopt16 / mpi16;
+    let after = opt16 / mpi16;
+    assert!(
+        (6.0..22.0).contains(&before),
+        "unoptimized gap = {before} (paper: 11.16x)"
+    );
+    assert!(
+        (0.9..1.4).contains(&after),
+        "optimized gap = {after} (paper: ~1.15x)"
+    );
+
+    // Unoptimized OpenMP "does not scale at all".
+    let unopt1 = elapsed_seconds(&run(Paradigm::OpenMp, CodeVersion::Unoptimized, 1));
+    assert!(unopt1 / unopt16 < 2.5);
+    // Optimized OpenMP scales nearly linearly.
+    let opt1 = elapsed_seconds(&run(Paradigm::OpenMp, CodeVersion::Optimized, 1));
+    assert!(opt1 / opt16 > 10.0);
+}
+
+#[test]
+fn per_event_counters_justify_the_diagnosis() {
+    // The evidence trail: at 16 threads the unoptimised version's
+    // non-node-0 threads see almost exclusively remote references on
+    // the computation kernels, unlike MPI.
+    let unopt = run(Paradigm::OpenMp, CodeVersion::Unoptimized, 16);
+    let mpi = run(Paradigm::Mpi, CodeVersion::Optimized, 16);
+    for trial in [&unopt, &mpi] {
+        let p = &trial.profile;
+        assert!(p.metric_id("REMOTE_MEMORY_REFS").is_some());
+        assert!(p.metric_id("L3_MISSES").is_some());
+        assert!(p.metric_id("BACK_END_BUBBLE_ALL").is_some());
+    }
+    let remote_share = |t: &Trial, thread: usize| {
+        let p = &t.profile;
+        let e = p.event_id("main => matxvec").unwrap();
+        let r = p
+            .get(e, p.metric_id("REMOTE_MEMORY_REFS").unwrap(), thread)
+            .unwrap()
+            .exclusive;
+        let l = p
+            .get(e, p.metric_id("LOCAL_MEMORY_REFS").unwrap(), thread)
+            .unwrap()
+            .exclusive;
+        r / (r + l).max(1e-12)
+    };
+    assert!(remote_share(&unopt, 15) > 0.9);
+    assert!(remote_share(&unopt, 0) < 0.1, "node-0 thread stays local");
+    assert!(remote_share(&mpi, 15) < 0.1);
+}

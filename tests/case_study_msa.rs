@@ -1,0 +1,113 @@
+//! Integration test for the §III-A case study: OpenMP schedule tuning
+//! of the MSA distance matrix, end to end across `apps`, `perfdmf`,
+//! `perfexplorer`, `rules` and `script`.
+
+use apps::msa::{self, elapsed_seconds, relative_efficiency, MsaConfig};
+use perfdmf::Repository;
+use perfexplorer::scripting::PerfExplorerScript;
+use perfexplorer::workflow::analyze_load_balance;
+use simulator::openmp::Schedule;
+
+const SEQUENCES: usize = 128;
+
+fn trial(threads: usize, schedule: Schedule) -> perfdmf::Trial {
+    let mut config = MsaConfig::paper_400(threads, schedule);
+    config.sequences = SEQUENCES;
+    msa::run(&config)
+}
+
+#[test]
+fn static_schedule_is_diagnosed_and_fix_verifies() {
+    // 1. The default schedule shows the four-condition imbalance.
+    let bad = trial(16, Schedule::Static);
+    let result = analyze_load_balance(&bad, "TIME").unwrap();
+    let diags = result.report.diagnoses_in("load-imbalance");
+    assert!(!diags.is_empty(), "no diagnosis: {}", result.rendered);
+    let rec = diags[0].recommendation.as_deref().unwrap_or("");
+    assert!(rec.contains("dynamic"), "recommendation: {rec}");
+
+    // 2. Applying the recommended schedule removes the diagnosis.
+    let good = trial(16, Schedule::Dynamic(1));
+    let clean = analyze_load_balance(&good, "TIME").unwrap();
+    assert!(
+        clean.report.diagnoses_in("load-imbalance").is_empty(),
+        "diagnosis persists after fix: {}",
+        clean.rendered
+    );
+
+    // 3. And it is actually faster.
+    assert!(elapsed_seconds(&good) < elapsed_seconds(&bad));
+}
+
+#[test]
+fn efficiency_ranking_matches_paper() {
+    // dynamic,1 > dynamic,16 > dynamic,64 ~ static at 16 threads.
+    let mut eff = std::collections::BTreeMap::new();
+    for schedule in [
+        Schedule::Static,
+        Schedule::Dynamic(1),
+        Schedule::Dynamic(16),
+        Schedule::Dynamic(64),
+    ] {
+        let t1 = elapsed_seconds(&trial(1, schedule));
+        let t16 = elapsed_seconds(&trial(16, schedule));
+        eff.insert(schedule.to_string(), relative_efficiency(t1, t16, 16));
+    }
+    assert!(eff["dynamic,1"] > 0.85, "dynamic,1: {}", eff["dynamic,1"]);
+    assert!(eff["dynamic,1"] > eff["dynamic,16"]);
+    assert!(eff["dynamic,16"] > eff["dynamic,64"]);
+    assert!(eff["dynamic,1"] > eff["static"] + 0.2);
+}
+
+#[test]
+fn scripted_workflow_agrees_with_native_api() {
+    let mut repo = Repository::new();
+    repo.add_trial("msap", "scheduling", trial(16, Schedule::Static))
+        .unwrap();
+
+    // Native analysis.
+    let native = analyze_load_balance(
+        repo.trial("msap", "scheduling", "16_static").unwrap(),
+        "TIME",
+    )
+    .unwrap();
+
+    // Scripted analysis (the paper's Figure 1 shape).
+    let mut session = PerfExplorerScript::new(repo);
+    session
+        .run(
+            r#"
+            load_rules("load_balance");
+            let t = load_trial("msap", "scheduling", "16_static");
+            assert_balance_facts(t, "TIME");
+            process_rules();
+            "#,
+        )
+        .unwrap();
+    let scripted = session.last_report().unwrap();
+
+    assert_eq!(
+        native.report.diagnoses.len(),
+        scripted.diagnoses.len(),
+        "script and native API disagree"
+    );
+    assert_eq!(native.report.firings.len(), scripted.firings.len());
+    for (a, b) in native.report.diagnoses.iter().zip(&scripted.diagnoses) {
+        assert_eq!(a.category, b.category);
+        assert_eq!(a.rule, b.rule);
+    }
+}
+
+#[test]
+fn repository_roundtrip_preserves_analysis_outcome() {
+    let mut repo = Repository::new();
+    repo.add_trial("msap", "scheduling", trial(8, Schedule::Static))
+        .unwrap();
+    let json = repo.to_json().unwrap();
+    let restored = Repository::from_json(&json).unwrap();
+    let t1 = repo.trial("msap", "scheduling", "8_static").unwrap();
+    let t2 = restored.trial("msap", "scheduling", "8_static").unwrap();
+    let r1 = analyze_load_balance(t1, "TIME").unwrap();
+    let r2 = analyze_load_balance(t2, "TIME").unwrap();
+    assert_eq!(r1.report.diagnoses, r2.report.diagnoses);
+}

@@ -1,0 +1,100 @@
+//! Integration test for the §III-C case study: power/energy modeling
+//! across optimisation levels, reproducing Table I's shape.
+
+use apps::power_study::{run_all, PowerStudyConfig};
+use openuh::optimize::OptLevel;
+use perfdmf::Trial;
+use perfexplorer::powerenergy::{relative_table, trial_power};
+use perfexplorer::workflow::analyze_power;
+use simulator::machine::MachineConfig;
+
+fn table() -> (Vec<(OptLevel, Trial)>, Vec<perfexplorer::powerenergy::RelativeRow>) {
+    let machine = MachineConfig::altix300();
+    let config = PowerStudyConfig {
+        ranks: 16,
+        timesteps: 2,
+        machine: machine.clone(),
+    };
+    let runs = run_all(&config);
+    let readings: Vec<_> = runs
+        .iter()
+        .map(|(_, t)| trial_power(t, &machine).unwrap())
+        .collect();
+    let rows = relative_table(&readings).unwrap();
+    (runs, rows)
+}
+
+#[test]
+fn relative_time_and_instructions_match_paper_shape() {
+    let (_, rows) = table();
+    assert_eq!(rows.len(), 4);
+    // Paper: Time 1.0 / 0.338 / 0.071 / 0.049.
+    assert!((rows[1].time - 0.338).abs() < 0.07, "O1 time {}", rows[1].time);
+    assert!((rows[2].time - 0.071).abs() < 0.03, "O2 time {}", rows[2].time);
+    assert!((rows[3].time - 0.049).abs() < 0.03, "O3 time {}", rows[3].time);
+    // Paper: Instructions Completed 1.0 / 0.471 / 0.059 / 0.056.
+    assert!((rows[1].instructions_completed - 0.471).abs() < 0.05);
+    assert!((rows[2].instructions_completed - 0.059).abs() < 0.02);
+    assert!((rows[3].instructions_completed - 0.056).abs() < 0.02);
+}
+
+#[test]
+fn ipc_watts_joules_follow_paper_trajectory() {
+    let (_, rows) = table();
+    // IPC: up at O1, below O1 at O2, recovering at O3.
+    assert!(rows[1].ipc_completed > 1.1);
+    assert!(rows[2].ipc_completed < rows[1].ipc_completed);
+    assert!(rows[3].ipc_completed > rows[2].ipc_completed);
+    // Power: small increases with optimisation (paper: ≤ ~3%; allow 10%).
+    for r in &rows[1..] {
+        assert!(r.watts >= 0.98 && r.watts <= 1.10, "watts {}", r.watts);
+    }
+    // Energy: falls dramatically, tracking time.
+    assert!(rows[3].joules < 0.1);
+    assert!(rows[1].joules < 0.5);
+    // FLOP/Joule: strictly improving.
+    for w in rows.windows(2) {
+        assert!(w[1].flop_per_joule > w[0].flop_per_joule);
+    }
+    assert!(rows[3].flop_per_joule > 10.0, "paper: 19.3");
+}
+
+#[test]
+fn power_rules_recommend_the_paper_split() {
+    let machine = MachineConfig::altix300();
+    let (runs, _) = table();
+    let trials: Vec<&Trial> = runs.iter().map(|(_, t)| t).collect();
+    let (_, result) = analyze_power(&trials, &machine).unwrap();
+
+    // O0 for low power.
+    let power = result.report.diagnoses_in("power");
+    assert!(power.iter().any(|d| d.message.contains("O0")
+        && d.message.contains("lowest power")));
+    // O3 (or O2) for low energy.
+    let energy = result.report.diagnoses_in("energy");
+    assert!(!energy.is_empty());
+    assert!(
+        energy[0].message.contains("O3") || energy[0].message.contains("O2"),
+        "{}",
+        energy[0].message
+    );
+}
+
+#[test]
+fn fp_work_is_preserved_across_levels() {
+    // Optimisation changes instruction encoding, not the numerical work:
+    // FLOP counts must be level-invariant or the FLOP/Joule row is
+    // meaningless.
+    let (runs, _) = table();
+    let machine = MachineConfig::altix300();
+    let fp: Vec<f64> = runs
+        .iter()
+        .map(|(_, t)| {
+            let p = trial_power(t, &machine).unwrap();
+            p.flop_per_joule * p.joules
+        })
+        .collect();
+    for v in &fp[1..] {
+        assert!((v / fp[0] - 1.0).abs() < 0.05, "FLOPs drifted: {fp:?}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Robustness fuzzing: no parser in the workspace may panic on
+//! arbitrary input — malformed files must come back as typed errors.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The rule-language parser returns Ok or Err, never panics.
+    #[test]
+    fn drl_parser_never_panics(input in "\\PC*") {
+        let _ = rules::drl::parse(&input);
+    }
+
+    /// Structured-looking rule fragments still never panic.
+    #[test]
+    fn drl_parser_survives_rule_shaped_input(
+        name in "[a-zA-Z ]{0,12}",
+        field in "[a-z]{1,8}",
+        op in prop::sample::select(vec!["==", ">", "<", "contains", "!!", ":"]),
+        value in "[a-z0-9\"(){};,]{0,10}",
+    ) {
+        let src = format!(
+            "rule \"{name}\" when F( {field} {op} {value} ) then print({field}); end"
+        );
+        let _ = rules::drl::parse(&src);
+    }
+
+    /// The script language parser/interpreter never panics.
+    #[test]
+    fn script_never_panics(input in "\\PC*") {
+        let mut interp = script::Interpreter::new().with_step_limit(50_000);
+        let _ = interp.run(&input);
+    }
+
+    /// Script fragments with plausible syntax never panic either.
+    #[test]
+    fn script_survives_code_shaped_input(
+        kw in prop::sample::select(vec!["let", "if", "while", "for", "fn", "return"]),
+        body in "[a-z0-9+\\-*/=<>(){};, \"\\[\\]]{0,40}",
+    ) {
+        let mut interp = script::Interpreter::new().with_step_limit(50_000);
+        let _ = interp.run(&format!("{kw} {body}"));
+    }
+
+    /// TAU profile parser never panics.
+    #[test]
+    fn tau_parser_never_panics(input in "\\PC*") {
+        let _ = perfdmf::formats::tau::parse_thread_profile(&input);
+    }
+
+    /// TAU header-shaped input never panics.
+    #[test]
+    fn tau_parser_survives_header_shaped_input(
+        n in 0usize..5,
+        metric in "[A-Z_]{0,12}",
+        rows in prop::collection::vec(("[a-z => ]{0,16}", "[0-9. eE+-]{0,16}"), 0..5),
+    ) {
+        let mut src = format!("{n} templated_functions_MULTI_{metric}\n# header\n");
+        for (name, nums) in rows {
+            src.push_str(&format!("\"{name}\" {nums}\n"));
+        }
+        let _ = perfdmf::formats::tau::parse_thread_profile(&src);
+    }
+
+    /// CSV trial parser never panics.
+    #[test]
+    fn csv_parser_never_panics(input in "\\PC*") {
+        let _ = perfdmf::formats::csv::parse_trial("fuzz", &input);
+    }
+
+    /// CSV with the right header but junk rows never panics.
+    #[test]
+    fn csv_parser_survives_row_junk(rows in prop::collection::vec("[a-z0-9\",.\\-]{0,40}", 0..8)) {
+        let mut src = String::from(
+            "event,metric,node,context,thread,inclusive,exclusive,calls,subcalls\n",
+        );
+        for r in rows {
+            src.push_str(&r);
+            src.push('\n');
+        }
+        let _ = perfdmf::formats::csv::parse_trial("fuzz", &src);
+    }
+
+    /// gprof flat-profile parser never panics.
+    #[test]
+    fn gprof_parser_never_panics(input in "\\PC*") {
+        let _ = perfdmf::formats::gprof::parse_flat_profile("fuzz", &input);
+    }
+
+    /// Repository JSON loader never panics.
+    #[test]
+    fn repository_json_never_panics(input in "\\PC*") {
+        let _ = perfdmf::Repository::from_json(&input);
+    }
+}

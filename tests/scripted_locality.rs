@@ -1,0 +1,79 @@
+//! The full §III-B locality workflow written *as a script*, proving the
+//! scripting layer can express everything the native workflow does —
+//! the paper's central claim that analysis processes are capturable as
+//! reusable scripts.
+
+use apps::genidlest::{self, CodeVersion, GenIdlestConfig, Paradigm, Problem};
+use perfdmf::{Repository, Trial};
+use perfexplorer::scripting::PerfExplorerScript;
+use perfexplorer::workflow::analyze_locality;
+use simulator::machine::MachineConfig;
+
+fn trial(procs: usize) -> Trial {
+    let mut c = GenIdlestConfig::new(
+        Problem::Rib90,
+        Paradigm::OpenMp,
+        CodeVersion::Unoptimized,
+        procs,
+    );
+    c.timesteps = 2;
+    genidlest::run(&c)
+}
+
+#[test]
+fn scripted_locality_workflow_matches_native_diagnosis_categories() {
+    let mut repo = Repository::new();
+    let procs = [1usize, 4, 16];
+    for &p in &procs {
+        repo.add_trial("Fluid Dynamic", "rib 90", trial(p)).unwrap();
+    }
+
+    // --- native ---
+    let owned: Vec<(usize, Trial)> = procs.iter().map(|&p| (p, trial(p))).collect();
+    let series: Vec<(usize, &Trial)> = owned.iter().map(|(p, t)| (*p, t)).collect();
+    let native = analyze_locality(&series, &MachineConfig::altix300()).unwrap();
+
+    // --- scripted: the same passes, written in the analysis language ---
+    let mut session = PerfExplorerScript::new(repo);
+    session
+        .run(
+            r#"
+            load_rules("stalls");
+            load_rules("locality");
+            load_rules("load_balance");
+
+            let t1 = load_trial("Fluid Dynamic", "rib 90", "openmp_unoptimized_1");
+            let t4 = load_trial("Fluid Dynamic", "rib 90", "openmp_unoptimized_4");
+            let t16 = load_trial("Fluid Dynamic", "rib 90", "openmp_unoptimized_16");
+
+            // Pass 1: inefficiency metric + compare-to-main facts.
+            derive_inefficiency(t16);
+            compare_all_events(t16, "(BACK_END_BUBBLE_ALL / CPU_CYCLES)", "TIME");
+            // Pass 2: stall decomposition.
+            assert_stall_facts(t16);
+            // Pass 3: memory behaviour, scaling, balance, context.
+            assert_memory_facts(t16);
+            assert_scaling_facts([[1, t1], [4, t4], [16, t16]], "TIME");
+            assert_balance_facts(t16, "TIME");
+            assert_context_fact(t16);
+
+            process_rules();
+            "#,
+        )
+        .unwrap();
+    let scripted = session.last_report().unwrap();
+
+    // Same diagnosis categories, same counts per category.
+    let count = |r: &rules::RunReport, c: &str| r.diagnoses_in(c).len();
+    for category in ["stalls", "memory-locality", "serial-bottleneck"] {
+        assert_eq!(
+            count(&native.report, category),
+            count(&scripted, category),
+            "category {category} differs: native {} vs scripted {}",
+            native.rendered,
+            perfexplorer::recommend::render_report(&scripted),
+        );
+    }
+    // The context-joined rule fired in both.
+    assert!(scripted.fired("First-touch policy exposure"));
+}
