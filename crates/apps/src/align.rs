@@ -70,8 +70,7 @@ pub fn smith_waterman(a: &[u8], b: &[u8], scoring: &Scoring) -> Alignment {
             };
             e_row[j] = (e_row[j] - scoring.gap_extend)
                 .max(h_prev[j] - scoring.gap_open - scoring.gap_extend);
-            f = (f - scoring.gap_extend)
-                .max(h_curr[j - 1] - scoring.gap_open - scoring.gap_extend);
+            f = (f - scoring.gap_extend).max(h_curr[j - 1] - scoring.gap_open - scoring.gap_extend);
             let h = 0.max(h_prev[j - 1] + sub).max(e_row[j]).max(f);
             h_curr[j] = h;
             if h > best {
@@ -101,12 +100,7 @@ pub fn distance(a: &[u8], b: &[u8], scoring: &Scoring) -> f64 {
 ///
 /// Length variation is what skews the pairwise work distribution — the
 /// mechanism behind the static-schedule load imbalance of Figure 4(a).
-pub fn generate_sequences(
-    count: usize,
-    min_len: usize,
-    max_len: usize,
-    seed: u64,
-) -> Vec<Vec<u8>> {
+pub fn generate_sequences(count: usize, min_len: usize, max_len: usize, seed: u64) -> Vec<Vec<u8>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {

@@ -369,8 +369,7 @@ fn exchange_cost(config: &GenIdlestConfig, thread: usize) -> (f64, f64) {
                 }
                 CodeVersion::Optimized => {
                     // Direct copies distributed across the team.
-                    let t = mpi
-                        .parallel_strided_copy_time(copies, bytes, config.procs)
+                    let t = mpi.parallel_strided_copy_time(copies, bytes, config.procs)
                         * exchanges_per_step;
                     (t, 0.0)
                 }
@@ -474,11 +473,7 @@ pub fn elapsed_seconds(trial: &Trial) -> f64 {
 mod tests {
     use super::*;
 
-    fn cfg(
-        paradigm: Paradigm,
-        version: CodeVersion,
-        procs: usize,
-    ) -> GenIdlestConfig {
+    fn cfg(paradigm: Paradigm, version: CodeVersion, procs: usize) -> GenIdlestConfig {
         let mut c = GenIdlestConfig::new(Problem::Rib90, paradigm, version, procs);
         c.timesteps = 2;
         c
@@ -594,9 +589,7 @@ mod tests {
         let config = cfg(Paradigm::Mpi, CodeVersion::Optimized, 8);
         let pc = kernel_cost(&kernels()[3], &config, 0, 4.0);
         let matxvec = kernel_cost(&kernels()[2], &config, 0, 4.0);
-        assert!(
-            pc.counters.get(Counter::L3Misses) < matxvec.counters.get(Counter::L3Misses)
-        );
+        assert!(pc.counters.get(Counter::L3Misses) < matxvec.counters.get(Counter::L3Misses));
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub mod msa;
 pub mod power_study;
 pub mod sweep;
 
-pub use genidlest::{GenIdlestConfig, CodeVersion, Paradigm, Problem};
+pub use genidlest::{CodeVersion, GenIdlestConfig, Paradigm, Problem};
 pub use msa::MsaConfig;
 pub use power_study::PowerStudyConfig;

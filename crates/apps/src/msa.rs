@@ -90,9 +90,7 @@ pub fn iteration_cells(lengths: &[usize]) -> Vec<f64> {
     for i in (0..n).rev() {
         suffix[i] = suffix[i + 1] + lengths[i] as f64;
     }
-    (0..n)
-        .map(|i| lengths[i] as f64 * suffix[i + 1])
-        .collect()
+    (0..n).map(|i| lengths[i] as f64 * suffix[i + 1]).collect()
 }
 
 /// Simulates one MSA distance-matrix execution, returning the recorded
@@ -258,7 +256,11 @@ mod tests {
             s.coefficient_of_variation().unwrap()
         };
         assert!(imbalance(&stat) > 0.25, "static cov = {}", imbalance(&stat));
-        assert!(imbalance(&dyn1) < 0.10, "dynamic cov = {}", imbalance(&dyn1));
+        assert!(
+            imbalance(&dyn1) < 0.10,
+            "dynamic cov = {}",
+            imbalance(&dyn1)
+        );
     }
 
     #[test]

@@ -194,7 +194,11 @@ mod tests {
         }
         // O3 is dramatically faster than O0 (paper reports ~20×; the
         // memory-stall floor in this model keeps it nearer ~10×).
-        assert!(times[3] < times[0] * 0.15, "O3/O0 = {}", times[3] / times[0]);
+        assert!(
+            times[3] < times[0] * 0.15,
+            "O3/O0 = {}",
+            times[3] / times[0]
+        );
     }
 
     #[test]
@@ -215,9 +219,7 @@ mod tests {
         let runs = run_all(&quick());
         let ipc: Vec<f64> = runs
             .iter()
-            .map(|(_, t)| {
-                main_counter(t, "INST_COMPLETED") / main_counter(t, "CPU_CYCLES")
-            })
+            .map(|(_, t)| main_counter(t, "INST_COMPLETED") / main_counter(t, "CPU_CYCLES"))
             .collect();
         let rel: Vec<f64> = ipc.iter().map(|i| i / ipc[0]).collect();
         assert!(rel[1] > 1.0, "O1 IPC rel = {}", rel[1]);

@@ -81,9 +81,7 @@ fn bench_derive(c: &mut Criterion) {
     c.bench_function("derive/divide_64x64", |bench| {
         bench.iter_batched(
             || perfdmf::Trial::new("b", profile.clone()),
-            |mut trial| {
-                derive_metric(&mut trial, "TIME", DeriveOp::Divide, "CPU_CYCLES").unwrap()
-            },
+            |mut trial| derive_metric(&mut trial, "TIME", DeriveOp::Divide, "CPU_CYCLES").unwrap(),
             BatchSize::SmallInput,
         )
     });

@@ -54,10 +54,11 @@ fn bench_join(c: &mut Criterion) {
                     .add_rule(
                         Rule::builder("join")
                             .when(Pattern::new("Parent").bind("name", "name"))
-                            .when(
-                                Pattern::new("Child")
-                                    .constrain_var("parent", Comparator::Eq, "name"),
-                            )
+                            .when(Pattern::new("Child").constrain_var(
+                                "parent",
+                                Comparator::Eq,
+                                "name",
+                            ))
                             .then(|_| {}),
                     )
                     .unwrap();

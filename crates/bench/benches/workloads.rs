@@ -19,7 +19,9 @@ fn bench_smith_waterman(c: &mut Criterion) {
 }
 
 fn bench_openmp_sim(c: &mut Criterion) {
-    let costs: Vec<f64> = (0..4096).map(|i| ((4096 - i) * (4096 - i)) as f64).collect();
+    let costs: Vec<f64> = (0..4096)
+        .map(|i| ((4096 - i) * (4096 - i)) as f64)
+        .collect();
     let cfg = OpenMpConfig::default();
     let mut group = c.benchmark_group("workload/openmp_sim_4096");
     // Ablation: per-iteration (chunk 1) vs chunked accounting.
@@ -61,12 +63,16 @@ fn bench_pipeline(c: &mut Criterion) {
         config.sequences = 64;
         bench.iter(|| {
             let trial = msa::run(&config);
-            black_box(
-                perfexplorer::workflow::analyze_load_balance(&trial, "TIME").unwrap(),
-            )
+            black_box(perfexplorer::workflow::analyze_load_balance(&trial, "TIME").unwrap())
         })
     });
 }
 
-criterion_group!(benches, bench_smith_waterman, bench_openmp_sim, bench_apps, bench_pipeline);
+criterion_group!(
+    benches,
+    bench_smith_waterman,
+    bench_openmp_sim,
+    bench_apps,
+    bench_pipeline
+);
 criterion_main!(benches);

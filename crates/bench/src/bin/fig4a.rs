@@ -54,9 +54,7 @@ fn main() {
             "MSA load imbalance, inner & outer loops, 16 threads (400 sequences)"
         )
     );
-    println!(
-        "paper: static scheduling distributes uneven tasks; dynamic,1 removes the imbalance"
-    );
+    println!("paper: static scheduling distributes uneven tasks; dynamic,1 removes the imbalance");
 
     let stat = msa_trial(400, 16, Schedule::Static);
     print_per_thread(&stat, "schedule(static) — the paper's Fig. 4(a) condition");
@@ -65,8 +63,8 @@ fn main() {
     print_per_thread(&dynamic, "schedule(dynamic,1) — the paper's fix");
 
     // The automated diagnosis the figure motivated.
-    let result = perfexplorer::workflow::analyze_load_balance(&stat, "TIME")
-        .expect("analysis runs");
+    let result =
+        perfexplorer::workflow::analyze_load_balance(&stat, "TIME").expect("analysis runs");
     println!("\n--- automated diagnosis on the static run ---");
     print!("{}", result.rendered);
 }

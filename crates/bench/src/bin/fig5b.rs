@@ -26,7 +26,11 @@ fn main() {
     println!("paper: unoptimized OpenMP does not scale at all; after optimization the\nOpenMP version scales nearly as well as MPI (gap ~15%)\n");
 
     let variants: [(&str, Paradigm, CodeVersion); 3] = [
-        ("OpenMP unoptimized", Paradigm::OpenMp, CodeVersion::Unoptimized),
+        (
+            "OpenMP unoptimized",
+            Paradigm::OpenMp,
+            CodeVersion::Unoptimized,
+        ),
         ("OpenMP optimized", Paradigm::OpenMp, CodeVersion::Optimized),
         ("MPI optimized", Paradigm::Mpi, CodeVersion::Optimized),
     ];

@@ -14,7 +14,10 @@ const PAPER: &[(&str, [f64; 4])] = &[
     ("Time", [1.0, 0.338, 0.071, 0.049]),
     ("Instructions Completed", [1.0, 0.471, 0.059, 0.056]),
     ("Instructions Issued", [1.0, 0.472, 0.063, 0.061]),
-    ("Instructions Completed Per Cycle", [1.0, 1.397, 0.857, 1.209]),
+    (
+        "Instructions Completed Per Cycle",
+        [1.0, 1.397, 0.857, 1.209],
+    ),
     ("Instructions Issued Per Cycle", [1.0, 1.400, 0.909, 1.316]),
     ("Watts", [1.0, 1.025, 1.001, 1.029]),
     ("Joules", [1.0, 0.346, 0.071, 0.050]),

@@ -180,7 +180,17 @@ mod tests {
         let k = b.event("main => k");
         let values = [1.0, 1.1, 0.9, 1.0];
         for (t, &v) in values.iter().enumerate() {
-            b.set(main, time, t, Measurement { inclusive: 2.0, exclusive: 1.0, calls: 1.0, subcalls: 1.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: 2.0,
+                    exclusive: 1.0,
+                    calls: 1.0,
+                    subcalls: 1.0,
+                },
+            );
             b.set(k, time, t, Measurement::leaf(v));
         }
         b.build()
@@ -192,18 +202,15 @@ mod tests {
         let ok = PerformanceAssertion::new(
             "k mean",
             "TIME",
-            Quantity::MeanExclusive { event: "main => k".into() },
+            Quantity::MeanExclusive {
+                event: "main => k".into(),
+            },
             Expect::AtMost,
             1.05,
         );
         assert!(ok.check(&t).unwrap().passed);
-        let bad = PerformanceAssertion::new(
-            "elapsed",
-            "TIME",
-            Quantity::Elapsed,
-            Expect::AtMost,
-            1.0,
-        );
+        let bad =
+            PerformanceAssertion::new("elapsed", "TIME", Quantity::Elapsed, Expect::AtMost, 1.0);
         let outcome = bad.check(&t).unwrap();
         assert!(!outcome.passed);
         assert!(outcome.message.contains("VIOLATED"));
@@ -216,7 +223,9 @@ mod tests {
         let a = PerformanceAssertion::new(
             "k balanced",
             "TIME",
-            Quantity::BalanceRatio { event: "main => k".into() },
+            Quantity::BalanceRatio {
+                event: "main => k".into(),
+            },
             Expect::AtMost,
             0.25,
         );
@@ -275,7 +284,9 @@ mod tests {
         let a = PerformanceAssertion::new(
             "did work",
             "TIME",
-            Quantity::MaxInclusive { event: "main => k".into() },
+            Quantity::MaxInclusive {
+                event: "main => k".into(),
+            },
             Expect::AtLeast,
             1.0,
         );
@@ -298,13 +309,7 @@ mod tests {
     #[test]
     fn missing_names_error() {
         let t = trial();
-        let a = PerformanceAssertion::new(
-            "x",
-            "NOPE",
-            Quantity::Elapsed,
-            Expect::AtMost,
-            1.0,
-        );
+        let a = PerformanceAssertion::new("x", "NOPE", Quantity::Elapsed, Expect::AtMost, 1.0);
         assert!(a.check(&t).is_err());
     }
 }

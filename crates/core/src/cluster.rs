@@ -7,9 +7,9 @@
 //! the significant events, k-means it with silhouette-guided `k`
 //! selection, and emit facts describing the groups.
 
-use crate::result::TrialResult;
 use crate::{AnalysisError, Result};
-use perfdmf::{Trial, MAIN_EVENT};
+use perfdmf::{EventId, Trial, MAIN_EVENT};
+use rayon::prelude::*;
 use rules::Fact;
 use serde::{Deserialize, Serialize};
 use statistics::cluster::{kmeans, silhouette, KMeansConfig};
@@ -67,23 +67,37 @@ impl ThreadClustering {
 /// falls back to a single group when nothing separates well
 /// (silhouette < 0.25) or there are too few threads.
 pub fn cluster_threads(trial: &Trial, metric: &str, max_k: usize) -> Result<ThreadClustering> {
-    let r = TrialResult::new(trial);
-    let threads = trial.profile.thread_count();
+    let profile = &trial.profile;
+    let threads = profile.thread_count();
     if threads == 0 {
         return Err(AnalysisError::Invalid("trial has no threads".into()));
     }
-    // Dimensions: every non-main event with any nonzero value.
+    let m = profile
+        .metric_id(metric)
+        .ok_or_else(|| AnalysisError::MissingMetric(metric.to_string()))?;
+    // Dimensions: every non-main event with any nonzero value. Each
+    // event's feature column is an independent read of one contiguous
+    // arena column, so extraction fans out over rayon.
+    let extracted: Vec<Option<(String, Vec<f64>)>> = (0..profile.event_count())
+        .into_par_iter()
+        .map(|ei| {
+            let e = profile.event(EventId(ei as u32));
+            if e.name == MAIN_EVENT {
+                return None;
+            }
+            let v: Vec<f64> = profile
+                .column(EventId(ei as u32), m)
+                .iter()
+                .map(|c| c.exclusive)
+                .collect();
+            v.iter().any(|&x| x != 0.0).then(|| (e.name.clone(), v))
+        })
+        .collect();
     let mut events = Vec::new();
     let mut columns: Vec<Vec<f64>> = Vec::new();
-    for e in trial.profile.events() {
-        if e.name == MAIN_EVENT {
-            continue;
-        }
-        let v = r.exclusive(&e.name, metric)?;
-        if v.iter().any(|&x| x != 0.0) {
-            events.push(e.name.clone());
-            columns.push(v);
-        }
+    for (name, v) in extracted.into_iter().flatten() {
+        events.push(name);
+        columns.push(v);
     }
     if events.is_empty() {
         return Err(AnalysisError::Invalid(
@@ -149,22 +163,26 @@ pub fn cluster_threads(trial: &Trial, metric: &str, max_k: usize) -> Result<Thre
         return Ok(single(events, &points));
     }
 
-    // (silhouette, k, assignments, centroids)
+    // (silhouette, k, assignments, centroids). Each candidate k is an
+    // independent kmeans + silhouette run, evaluated in parallel.
     type Candidate = (f64, usize, Vec<usize>, Vec<Vec<f64>>);
+    let points_ref = &points;
+    let candidates: Vec<Option<Candidate>> = (2..=max_k.min(threads - 1))
+        .into_par_iter()
+        .map(move |k| {
+            let cfg = KMeansConfig {
+                k,
+                ..Default::default()
+            };
+            let res = kmeans(points_ref, &cfg).ok()?;
+            let s = silhouette(points_ref, &res.assignments).ok()?;
+            Some((s, k, res.assignments, res.centroids))
+        })
+        .collect();
     let mut best: Option<Candidate> = None;
-    for k in 2..=max_k.min(threads - 1) {
-        let cfg = KMeansConfig {
-            k,
-            ..Default::default()
-        };
-        let Ok(res) = kmeans(&points, &cfg) else {
-            continue;
-        };
-        let Ok(s) = silhouette(&points, &res.assignments) else {
-            continue;
-        };
-        if best.as_ref().is_none_or(|(bs, ..)| s > *bs) {
-            best = Some((s, k, res.assignments, res.centroids));
+    for cand in candidates.into_iter().flatten() {
+        if best.as_ref().is_none_or(|(bs, ..)| cand.0 > *bs) {
+            best = Some(cand);
         }
     }
 
@@ -222,7 +240,11 @@ mod tests {
         assert!(
             clustering.groups.iter().any(|g| g.threads == vec![0]),
             "thread 0 not isolated: {:?}",
-            clustering.groups.iter().map(|g| &g.threads).collect::<Vec<_>>()
+            clustering
+                .groups
+                .iter()
+                .map(|g| &g.threads)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -248,7 +270,11 @@ mod tests {
             assert!(
                 dynamic.groups.iter().any(|g| g.threads == vec![0]),
                 "only the master may stand apart: {:?}",
-                dynamic.groups.iter().map(|g| &g.threads).collect::<Vec<_>>()
+                dynamic
+                    .groups
+                    .iter()
+                    .map(|g| &g.threads)
+                    .collect::<Vec<_>>()
             );
         }
     }
@@ -260,7 +286,17 @@ mod tests {
         let main = b.event("main");
         let k = b.event("main => k");
         for t in 0..8 {
-            b.set(main, time, t, Measurement { inclusive: 2.0, exclusive: 1.0, calls: 1.0, subcalls: 1.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: 2.0,
+                    exclusive: 1.0,
+                    calls: 1.0,
+                    subcalls: 1.0,
+                },
+            );
             // Tiny jitter, far below any meaningful split.
             b.set(k, time, t, Measurement::leaf(1.0 + 1e-6 * t as f64));
         }

@@ -9,7 +9,8 @@
 use crate::result::TrialResult;
 use crate::{AnalysisError, Result};
 use perfdmf::algebra::{aggregate_threads, Aggregation};
-use perfdmf::{Trial, MAIN_EVENT};
+use perfdmf::{EventId, Trial, MAIN_EVENT};
+use rayon::prelude::*;
 use rules::Fact;
 use serde::{Deserialize, Serialize};
 
@@ -95,29 +96,38 @@ pub fn compare(baseline: &Trial, candidate: &Trial, metric: &str) -> Result<Tria
         return Err(AnalysisError::Invalid("baseline elapsed is zero".into()));
     }
 
-    let mut deltas = Vec::new();
-    for event in base_mean.events() {
-        if event.name == MAIN_EVENT {
-            continue;
-        }
-        let Some(ce) = cand_mean.event_id(&event.name) else {
-            continue;
-        };
-        let be = base_mean.event_id(&event.name).expect("iterating");
-        let b = base_mean.get(be, bm, 0).map(|m| m.exclusive).unwrap_or(0.0);
-        let c = cand_mean.get(ce, cm, 0).map(|m| m.exclusive).unwrap_or(0.0);
-        if b == 0.0 && c == 0.0 {
-            continue;
-        }
-        let ratio = if b > 0.0 { c / b } else { f64::INFINITY };
-        deltas.push(EventDelta {
-            event: event.name.clone(),
-            baseline: b,
-            candidate: c,
-            ratio,
-            baseline_share: (b / total_base).clamp(0.0, 1.0),
-        });
-    }
+    // Each baseline event resolves its candidate partner through the
+    // interned lookup and reads one mean cell apiece; events are
+    // independent, so the extraction fans out over rayon.
+    let base_ref = &base_mean;
+    let cand_ref = &cand_mean;
+    let mut deltas: Vec<EventDelta> = (0..base_mean.event_count())
+        .into_par_iter()
+        .map(move |ei| {
+            let be = EventId(ei as u32);
+            let event = base_ref.event(be);
+            if event.name == MAIN_EVENT {
+                return None;
+            }
+            let ce = cand_ref.event_id(&event.name)?;
+            let b = base_ref.get(be, bm, 0).map(|m| m.exclusive).unwrap_or(0.0);
+            let c = cand_ref.get(ce, cm, 0).map(|m| m.exclusive).unwrap_or(0.0);
+            if b == 0.0 && c == 0.0 {
+                return None;
+            }
+            let ratio = if b > 0.0 { c / b } else { f64::INFINITY };
+            Some(EventDelta {
+                event: event.name.clone(),
+                baseline: b,
+                candidate: c,
+                ratio,
+                baseline_share: (b / total_base).clamp(0.0, 1.0),
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect();
     deltas.sort_by(|a, b| {
         let impact = |d: &EventDelta| {
             let r = if d.ratio.is_finite() { d.ratio } else { 1e9 };
@@ -148,7 +158,17 @@ mod tests {
         let e1 = b.event("main => k1");
         let e2 = b.event("main => k2");
         for t in 0..2 {
-            b.set(main, time, t, Measurement { inclusive: main_s, exclusive: main_s - k1 - k2, calls: 1.0, subcalls: 2.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: main_s,
+                    exclusive: main_s - k1 - k2,
+                    calls: 1.0,
+                    subcalls: 2.0,
+                },
+            );
             b.set(e1, time, t, Measurement::leaf(k1));
             b.set(e2, time, t, Measurement::leaf(k2));
         }
@@ -183,15 +203,18 @@ mod tests {
     #[test]
     fn optimized_genidlest_improves_exchange_most() {
         let mk = |version| {
-            let mut c =
-                GenIdlestConfig::new(Problem::Rib90, Paradigm::OpenMp, version, 16);
+            let mut c = GenIdlestConfig::new(Problem::Rib90, Paradigm::OpenMp, version, 16);
             c.timesteps = 2;
             genidlest::run(&c)
         };
         let unopt = mk(CodeVersion::Unoptimized);
         let opt = mk(CodeVersion::Optimized);
         let cmp = compare(&unopt, &opt, "TIME").unwrap();
-        assert!(cmp.total_ratio < 0.2, "optimisation ratio {}", cmp.total_ratio);
+        assert!(
+            cmp.total_ratio < 0.2,
+            "optimisation ratio {}",
+            cmp.total_ratio
+        );
         // Everything improved; nothing regressed.
         assert!(cmp.regressions(1.2).is_empty());
         assert!(!cmp.improvements(2.0).is_empty());
@@ -210,7 +233,17 @@ mod tests {
         let main = b.event("main");
         let e1 = b.event("main => k1");
         for t in 0..2 {
-            b.set(main, time, t, Measurement { inclusive: 5.0, exclusive: 1.0, calls: 1.0, subcalls: 1.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: 5.0,
+                    exclusive: 1.0,
+                    calls: 1.0,
+                    subcalls: 1.0,
+                },
+            );
             b.set(e1, time, t, Measurement::leaf(4.0));
         }
         let after = b.build();

@@ -7,7 +7,8 @@
 //! `(BACK_END_BUBBLE_ALL / CPU_CYCLES)`, so rules can match on them.
 
 use crate::{AnalysisError, Result};
-use perfdmf::{Measurement, Metric, Trial};
+use perfdmf::{EventId, Measurement, Metric, Trial};
+use rayon::prelude::*;
 
 /// The arithmetic applied cell-wise to two metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,23 +72,30 @@ pub fn derive_metric(trial: &mut Trial, lhs: &str, op: DeriveOp, rhs: &str) -> R
         .metric_id(rhs)
         .ok_or_else(|| AnalysisError::MissingMetric(rhs.to_string()))?;
     let out = trial.profile.add_metric(Metric::derived(&name))?;
-    for ei in 0..trial.profile.events().len() {
-        let e = perfdmf::EventId(ei as u32);
-        for t in 0..trial.profile.thread_count() {
-            let a = *trial.profile.get(e, ml, t).expect("dense profile");
-            let b = *trial.profile.get(e, mr, t).expect("dense profile");
-            trial.profile.set(
-                e,
-                out,
-                t,
-                Measurement {
+    // Compute each event's derived column in parallel over the two
+    // source columns, then write the results through column_mut.
+    let p = &trial.profile;
+    let derived: Vec<Vec<Measurement>> = (0..p.event_count())
+        .into_par_iter()
+        .map(|ei| {
+            let e = EventId(ei as u32);
+            p.column(e, ml)
+                .iter()
+                .zip(p.column(e, mr))
+                .map(|(a, b)| Measurement {
                     inclusive: op.apply(a.inclusive, b.inclusive),
                     exclusive: op.apply(a.exclusive, b.exclusive),
                     calls: a.calls,
                     subcalls: a.subcalls,
-                },
-            )?;
-        }
+                })
+                .collect()
+        })
+        .collect();
+    for (ei, cells) in derived.into_iter().enumerate() {
+        trial
+            .profile
+            .column_mut(EventId(ei as u32), out)
+            .copy_from_slice(&cells);
     }
     Ok(name)
 }
@@ -102,22 +110,26 @@ pub fn scale_metric(trial: &mut Trial, metric: &str, factor: f64, name: &str) ->
         .metric_id(metric)
         .ok_or_else(|| AnalysisError::MissingMetric(metric.to_string()))?;
     let out = trial.profile.add_metric(Metric::derived(name))?;
-    for ei in 0..trial.profile.events().len() {
-        let e = perfdmf::EventId(ei as u32);
-        for t in 0..trial.profile.thread_count() {
-            let a = *trial.profile.get(e, m, t).expect("dense profile");
-            trial.profile.set(
-                e,
-                out,
-                t,
-                Measurement {
+    let p = &trial.profile;
+    let scaled: Vec<Vec<Measurement>> = (0..p.event_count())
+        .into_par_iter()
+        .map(|ei| {
+            p.column(EventId(ei as u32), m)
+                .iter()
+                .map(|a| Measurement {
                     inclusive: a.inclusive * factor,
                     exclusive: a.exclusive * factor,
                     calls: a.calls,
                     subcalls: a.subcalls,
-                },
-            )?;
-        }
+                })
+                .collect()
+        })
+        .collect();
+    for (ei, cells) in scaled.into_iter().enumerate() {
+        trial
+            .profile
+            .column_mut(EventId(ei as u32), out)
+            .copy_from_slice(&cells);
     }
     Ok(name.to_string())
 }
@@ -165,8 +177,7 @@ mod tests {
             (DeriveOp::Subtract, -70.0),
             (DeriveOp::Multiply, 3000.0),
         ] {
-            let name =
-                derive_metric(&mut t, "BACK_END_BUBBLE_ALL", op, "CPU_CYCLES").unwrap();
+            let name = derive_metric(&mut t, "BACK_END_BUBBLE_ALL", op, "CPU_CYCLES").unwrap();
             let m = t.profile.metric_id(&name).unwrap();
             let e = t.profile.event_id("main").unwrap();
             assert_eq!(t.profile.get(e, m, 0).unwrap().exclusive, expected);
@@ -195,11 +206,21 @@ mod tests {
             derive_metric(&mut t, "NOPE", DeriveOp::Add, "CPU_CYCLES"),
             Err(AnalysisError::MissingMetric(_))
         ));
-        let n1 = derive_metric(&mut t, "BACK_END_BUBBLE_ALL", DeriveOp::Divide, "CPU_CYCLES")
-            .unwrap();
+        let n1 = derive_metric(
+            &mut t,
+            "BACK_END_BUBBLE_ALL",
+            DeriveOp::Divide,
+            "CPU_CYCLES",
+        )
+        .unwrap();
         let count = t.profile.metrics().len();
-        let n2 = derive_metric(&mut t, "BACK_END_BUBBLE_ALL", DeriveOp::Divide, "CPU_CYCLES")
-            .unwrap();
+        let n2 = derive_metric(
+            &mut t,
+            "BACK_END_BUBBLE_ALL",
+            DeriveOp::Divide,
+            "CPU_CYCLES",
+        )
+        .unwrap();
         assert_eq!(n1, n2);
         assert_eq!(t.profile.metrics().len(), count);
     }

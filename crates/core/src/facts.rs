@@ -10,6 +10,7 @@
 use crate::result::TrialMeanResult;
 use crate::{AnalysisError, Result};
 use perfdmf::{Trial, MAIN_EVENT};
+use rayon::prelude::*;
 use rules::Fact;
 
 /// Direction of a comparison, stored in the `higherLower` field.
@@ -32,6 +33,17 @@ impl MeanEventFact {
         event: &str,
     ) -> Result<Fact> {
         let mean = TrialMeanResult::of(trial)?;
+        Self::compare_to_main_in(&mean, metric, severity_metric, event)
+    }
+
+    /// [`Self::compare_event_to_main`] over an already-computed mean
+    /// result, so batch callers aggregate the trial once, not per event.
+    pub fn compare_to_main_in(
+        mean: &TrialMeanResult,
+        metric: &str,
+        severity_metric: &str,
+        event: &str,
+    ) -> Result<Fact> {
         let event_value = mean.exclusive(event, metric)?;
         let main_value = mean.inclusive(MAIN_EVENT, metric)?;
 
@@ -69,10 +81,19 @@ impl MeanEventFact {
         if mean.profile.event_id(MAIN_EVENT).is_none() {
             return Err(AnalysisError::MissingEvent(MAIN_EVENT.to_string()));
         }
-        mean.event_names()
-            .iter()
+        // One aggregation for the whole batch; per-event fact
+        // construction is independent and fans out over rayon.
+        let mean_ref = &mean;
+        let names: Vec<String> = mean
+            .event_names()
+            .into_iter()
             .filter(|name| name.as_str() != MAIN_EVENT)
-            .map(|name| Self::compare_event_to_main(trial, metric, severity_metric, name))
+            .collect();
+        names
+            .into_par_iter()
+            .map(move |name| Self::compare_to_main_in(mean_ref, metric, severity_metric, &name))
+            .collect::<Vec<_>>()
+            .into_iter()
             .collect()
     }
 }
@@ -106,10 +127,30 @@ mod tests {
         let hot = b.event("main => hot");
         let cold = b.event("main => cold");
         for t in 0..2 {
-            b.set(main, ratio, t, Measurement { inclusive: 0.2, exclusive: 0.05, calls: 1.0, subcalls: 2.0 });
+            b.set(
+                main,
+                ratio,
+                t,
+                Measurement {
+                    inclusive: 0.2,
+                    exclusive: 0.05,
+                    calls: 1.0,
+                    subcalls: 2.0,
+                },
+            );
             b.set(hot, ratio, t, Measurement::leaf(0.6));
             b.set(cold, ratio, t, Measurement::leaf(0.1));
-            b.set(main, time, t, Measurement { inclusive: 100.0, exclusive: 10.0, calls: 1.0, subcalls: 2.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: 100.0,
+                    exclusive: 10.0,
+                    calls: 1.0,
+                    subcalls: 2.0,
+                },
+            );
             b.set(hot, time, t, Measurement::leaf(50.0));
             b.set(cold, time, t, Measurement::leaf(40.0));
         }
@@ -127,7 +168,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(f.fact_type, "MeanEventFact");
-        assert_eq!(f.get_str("metric"), Some("(BACK_END_BUBBLE_ALL / CPU_CYCLES)"));
+        assert_eq!(
+            f.get_str("metric"),
+            Some("(BACK_END_BUBBLE_ALL / CPU_CYCLES)")
+        );
         assert_eq!(f.get_str("eventName"), Some("main => hot"));
         assert_eq!(f.get_str("higherLower"), Some(HIGHER));
         assert_eq!(f.get_num("eventValue"), Some(0.6));
@@ -157,24 +201,20 @@ mod tests {
             MeanEventFact::compare_all_events(&t, "(BACK_END_BUBBLE_ALL / CPU_CYCLES)", "TIME")
                 .unwrap();
         assert_eq!(facts.len(), 2);
-        assert!(facts
-            .iter()
-            .all(|f| f.get_str("eventName") != Some("main")));
+        assert!(facts.iter().all(|f| f.get_str("eventName") != Some("main")));
     }
 
     #[test]
     fn missing_names_are_errors() {
         let t = trial();
         assert!(MeanEventFact::compare_event_to_main(&t, "NOPE", "TIME", "main => hot").is_err());
-        assert!(
-            MeanEventFact::compare_event_to_main(
-                &t,
-                "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
-                "TIME",
-                "nope"
-            )
-            .is_err()
-        );
+        assert!(MeanEventFact::compare_event_to_main(
+            &t,
+            "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
+            "TIME",
+            "nope"
+        )
+        .is_err());
     }
 
     #[test]
@@ -210,12 +250,8 @@ end
         let t = trial();
         let mut engine = rules::Engine::new();
         engine.add_rules(rules::drl::parse(src).unwrap()).unwrap();
-        for f in MeanEventFact::compare_all_events(
-            &t,
-            "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
-            "TIME",
-        )
-        .unwrap()
+        for f in MeanEventFact::compare_all_events(&t, "(BACK_END_BUBBLE_ALL / CPU_CYCLES)", "TIME")
+            .unwrap()
         {
             engine.assert_fact(f);
         }

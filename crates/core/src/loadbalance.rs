@@ -12,8 +12,9 @@
 //! nested pair, ready for the load-imbalance rulebase.
 
 use crate::result::TrialResult;
-use crate::Result;
-use perfdmf::{Trial, MAIN_EVENT};
+use crate::{AnalysisError, Result};
+use perfdmf::{EventId, Trial, MAIN_EVENT};
+use rayon::prelude::*;
 use rules::Fact;
 use serde::{Deserialize, Serialize};
 use statistics::{pearson, Summary};
@@ -81,54 +82,81 @@ impl LoadBalanceAnalysis {
 pub fn analyze(trial: &Trial, metric: &str) -> Result<LoadBalanceAnalysis> {
     let r = TrialResult::new(trial);
     let total = r.elapsed(metric)?;
-    let events = r.event_names();
+    let profile = &trial.profile;
+    let m = profile
+        .metric_id(metric)
+        .ok_or_else(|| AnalysisError::MissingMetric(metric.to_string()))?;
+    let exclusive_col =
+        |e: EventId| -> Vec<f64> { profile.column(e, m).iter().map(|c| c.exclusive).collect() };
 
-    let mut observations = Vec::new();
-    for name in &events {
-        if name == MAIN_EVENT {
-            continue;
-        }
-        let values = r.exclusive(name, metric)?;
-        if values.iter().all(|&v| v == 0.0) {
-            continue;
-        }
-        let summary = Summary::of(&values)?;
-        let ratio = if summary.mean != 0.0 {
-            summary.stddev / summary.mean
-        } else {
-            0.0
-        };
-        observations.push(BalanceObservation {
-            event: name.clone(),
-            stddev_mean_ratio: ratio,
-            runtime_fraction: if total > 0.0 {
-                (summary.mean / total).clamp(0.0, 1.0)
+    // Per-event summaries are independent: one rayon task per event,
+    // each reading its contiguous column.
+    let observations: Vec<BalanceObservation> = (0..profile.event_count())
+        .into_par_iter()
+        .map(|ei| -> Result<Option<BalanceObservation>> {
+            let e = EventId(ei as u32);
+            let event = profile.event(e);
+            if event.name == MAIN_EVENT {
+                return Ok(None);
+            }
+            let values = exclusive_col(e);
+            if values.iter().all(|&v| v == 0.0) {
+                return Ok(None);
+            }
+            let summary = Summary::of(&values)?;
+            let ratio = if summary.mean != 0.0 {
+                summary.stddev / summary.mean
             } else {
                 0.0
-            },
-            mean: summary.mean,
-        });
-    }
+            };
+            Ok(Some(BalanceObservation {
+                event: event.name.clone(),
+                stddev_mean_ratio: ratio,
+                runtime_fraction: if total > 0.0 {
+                    (summary.mean / total).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
+                mean: summary.mean,
+            }))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?
+        .into_iter()
+        .flatten()
+        .collect();
 
-    // Nested pairs: outer is a callpath ancestor of inner.
-    let mut nested = Vec::new();
-    let profile = &trial.profile;
-    for outer in profile.events() {
-        for inner in profile.events() {
-            if !outer.is_ancestor_of(inner) || outer.name == MAIN_EVENT {
-                continue;
+    // Nested pairs: outer is a callpath ancestor of inner. The O(E²)
+    // ancestor sweep parallelises over the outer event.
+    let nested: Vec<NestedCorrelation> = (0..profile.event_count())
+        .into_par_iter()
+        .map(|oi| {
+            let oe = EventId(oi as u32);
+            let outer = profile.event(oe);
+            if outer.name == MAIN_EVENT {
+                return Vec::new();
             }
-            let vo = r.exclusive(&outer.name, metric)?;
-            let vi = r.exclusive(&inner.name, metric)?;
-            if let Ok(c) = pearson(&vo, &vi) {
-                nested.push(NestedCorrelation {
-                    outer: outer.name.clone(),
-                    inner: inner.name.clone(),
-                    correlation: c,
-                });
-            }
-        }
-    }
+            let vo = exclusive_col(oe);
+            profile
+                .events()
+                .iter()
+                .enumerate()
+                .filter(|(_, inner)| outer.is_ancestor_of(inner))
+                .filter_map(|(ii, inner)| {
+                    let vi = exclusive_col(EventId(ii as u32));
+                    pearson(&vo, &vi).ok().map(|c| NestedCorrelation {
+                        outer: outer.name.clone(),
+                        inner: inner.name.clone(),
+                        correlation: c,
+                    })
+                })
+                .collect()
+        })
+        .collect::<Vec<Vec<_>>>()
+        .into_iter()
+        .flatten()
+        .collect();
 
     Ok(LoadBalanceAnalysis {
         observations,
@@ -153,8 +181,28 @@ mod tests {
         let total = 62.0;
         for (t, &busy) in inner_times.iter().enumerate() {
             let wait = total - busy;
-            b.set(main, time, t, Measurement { inclusive: total + 2.0, exclusive: 2.0, calls: 1.0, subcalls: 1.0 });
-            b.set(outer, time, t, Measurement { inclusive: total, exclusive: wait, calls: 1.0, subcalls: 1.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: total + 2.0,
+                    exclusive: 2.0,
+                    calls: 1.0,
+                    subcalls: 1.0,
+                },
+            );
+            b.set(
+                outer,
+                time,
+                t,
+                Measurement {
+                    inclusive: total,
+                    exclusive: wait,
+                    calls: 1.0,
+                    subcalls: 1.0,
+                },
+            );
             b.set(inner, time, t, Measurement::leaf(busy));
         }
         b.build()
@@ -168,7 +216,11 @@ mod tests {
             .iter()
             .find(|o| o.event == "main => outer => inner")
             .unwrap();
-        assert!(inner.stddev_mean_ratio > 0.25, "ratio = {}", inner.stddev_mean_ratio);
+        assert!(
+            inner.stddev_mean_ratio > 0.25,
+            "ratio = {}",
+            inner.stddev_mean_ratio
+        );
         assert!(inner.runtime_fraction > 0.05);
 
         let pair = analysis
@@ -176,7 +228,11 @@ mod tests {
             .iter()
             .find(|n| n.outer == "main => outer" && n.inner == "main => outer => inner")
             .unwrap();
-        assert!(pair.correlation < -0.99, "correlation = {}", pair.correlation);
+        assert!(
+            pair.correlation < -0.99,
+            "correlation = {}",
+            pair.correlation
+        );
     }
 
     #[test]
@@ -186,7 +242,17 @@ mod tests {
         let main = b.event("main");
         let k = b.event("main => k");
         for t in 0..4 {
-            b.set(main, time, t, Measurement { inclusive: 10.0, exclusive: 0.0, calls: 1.0, subcalls: 1.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: 10.0,
+                    exclusive: 0.0,
+                    calls: 1.0,
+                    subcalls: 1.0,
+                },
+            );
             b.set(k, time, t, Measurement::leaf(10.0));
         }
         let analysis = analyze(&b.build(), "TIME").unwrap();
@@ -242,10 +308,23 @@ mod tests {
         let main = b.event("main");
         let ghost = b.event("main => ghost");
         for t in 0..2 {
-            b.set(main, time, t, Measurement { inclusive: 5.0, exclusive: 5.0, calls: 1.0, subcalls: 0.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: 5.0,
+                    exclusive: 5.0,
+                    calls: 1.0,
+                    subcalls: 0.0,
+                },
+            );
             b.set(ghost, time, t, Measurement::default());
         }
         let analysis = analyze(&b.build(), "TIME").unwrap();
-        assert!(analysis.observations.iter().all(|o| o.event != "main => ghost"));
+        assert!(analysis
+            .observations
+            .iter()
+            .all(|o| o.event != "main => ghost"));
     }
 }

@@ -29,12 +29,7 @@ pub const INEFFICIENCY: &str = "INEFFICIENCY";
 ///
 /// Returns the metric name (always [`INEFFICIENCY`]).
 pub fn derive_inefficiency(trial: &mut Trial) -> Result<String> {
-    let ratio = derive_metric(
-        trial,
-        "BACK_END_BUBBLE_ALL",
-        DeriveOp::Divide,
-        "CPU_CYCLES",
-    )?;
+    let ratio = derive_metric(trial, "BACK_END_BUBBLE_ALL", DeriveOp::Divide, "CPU_CYCLES")?;
     let product = derive_metric(trial, "FP_OPS", DeriveOp::Multiply, &ratio)?;
     // Give it the canonical short name via a scaled alias (×1).
     crate::derive::scale_metric(trial, &product, 1.0, INEFFICIENCY)?;
@@ -85,7 +80,9 @@ pub fn stall_decomposition(trial: &Trial, machine: &MachineConfig) -> Result<Vec
             + (l2m - l3m).max(0.0) * machine.l3.latency
             + l3m * machine.local_memory_latency;
         let fp_stalls = mean.exclusive(&event, "FP_STALLS").unwrap_or(0.0);
-        let branch = mean.exclusive(&event, "BRANCH_MISPREDICTIONS").unwrap_or(0.0)
+        let branch = mean
+            .exclusive(&event, "BRANCH_MISPREDICTIONS")
+            .unwrap_or(0.0)
             * BRANCH_MISS_PENALTY;
         let explained = l1d_stalls + fp_stalls + branch;
         let other = (total - explained).max(0.0);
@@ -262,7 +259,17 @@ mod tests {
         let hot = b.event("main => hot");
         for (name, v) in &metrics {
             let m = b.metric(name);
-            b.set(main, m, 0, Measurement { inclusive: *v * 2.0, exclusive: *v, calls: 1.0, subcalls: 1.0 });
+            b.set(
+                main,
+                m,
+                0,
+                Measurement {
+                    inclusive: *v * 2.0,
+                    exclusive: *v,
+                    calls: 1.0,
+                    subcalls: 1.0,
+                },
+            );
             b.set(hot, m, 0, Measurement::leaf(*v));
         }
         b.build()
@@ -285,12 +292,19 @@ mod tests {
         let t = counter_trial();
         let m = MachineConfig::altix300();
         let breakdowns = stall_decomposition(&t, &m).unwrap();
-        let hot = breakdowns.iter().find(|b| b.event == "main => hot").unwrap();
+        let hot = breakdowns
+            .iter()
+            .find(|b| b.event == "main => hot")
+            .unwrap();
         assert_eq!(hot.total_stalls, 4e8);
         assert_eq!(hot.fp_stalls, 1e8);
         // L1D: (5e6-2e6)*5 + (2e6-1e6)*14 + 1e6*180 = 2.09e8
         assert!((hot.l1d_stalls - 2.09e8).abs() < 1e3);
-        assert!(hot.l1d_fp_fraction > 0.7, "fraction = {}", hot.l1d_fp_fraction);
+        assert!(
+            hot.l1d_fp_fraction > 0.7,
+            "fraction = {}",
+            hot.l1d_fp_fraction
+        );
         assert!((hot.branch_stalls - 6e5).abs() < 1.0);
         assert!(hot.other_stalls >= 0.0);
     }

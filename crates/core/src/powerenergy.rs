@@ -85,7 +85,11 @@ pub fn trial_power(trial: &Trial, machine: &MachineConfig) -> Result<TrialPower>
         } else {
             0.0
         },
-        ipc_issued: if cycles > 0.0 { inst_issued / cycles } else { 0.0 },
+        ipc_issued: if cycles > 0.0 {
+            inst_issued / cycles
+        } else {
+            0.0
+        },
         watts: total.watts,
         joules: total.joules,
         flop_per_joule: if total.joules > 0.0 {
@@ -153,9 +157,7 @@ pub fn power_facts(rows: &[RelativeRow]) -> Vec<Fact> {
     let min_by = |f: fn(&RelativeRow) -> f64| -> Option<usize> {
         rows.iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                f(a).partial_cmp(&f(b)).unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|(_, a), (_, b)| f(a).partial_cmp(&f(b)).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i)
     };
     let min_power = min_by(|r| r.watts);
@@ -228,7 +230,17 @@ mod tests {
         for (metric, v) in metrics {
             let m = b.metric(metric);
             for t in 0..2 {
-                b.set(main, m, t, Measurement { inclusive: v, exclusive: v, calls: 1.0, subcalls: 0.0 });
+                b.set(
+                    main,
+                    m,
+                    t,
+                    Measurement {
+                        inclusive: v,
+                        exclusive: v,
+                        calls: 1.0,
+                        subcalls: 0.0,
+                    },
+                );
             }
         }
         b.build()

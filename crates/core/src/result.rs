@@ -113,7 +113,11 @@ impl TrialMeanResult {
             .profile
             .metric_id(metric)
             .ok_or_else(|| AnalysisError::MissingMetric(metric.to_string()))?;
-        Ok(self.profile.get(e, m, 0).map(|c| c.exclusive).unwrap_or(0.0))
+        Ok(self
+            .profile
+            .get(e, m, 0)
+            .map(|c| c.exclusive)
+            .unwrap_or(0.0))
     }
 
     /// Mean inclusive value of an event/metric.
@@ -126,12 +130,20 @@ impl TrialMeanResult {
             .profile
             .metric_id(metric)
             .ok_or_else(|| AnalysisError::MissingMetric(metric.to_string()))?;
-        Ok(self.profile.get(e, m, 0).map(|c| c.inclusive).unwrap_or(0.0))
+        Ok(self
+            .profile
+            .get(e, m, 0)
+            .map(|c| c.inclusive)
+            .unwrap_or(0.0))
     }
 
     /// Event names.
     pub fn event_names(&self) -> Vec<String> {
-        self.profile.events().iter().map(|e| e.name.clone()).collect()
+        self.profile
+            .events()
+            .iter()
+            .map(|e| e.name.clone())
+            .collect()
     }
 }
 
@@ -145,8 +157,28 @@ mod tests {
         let time = b.metric("TIME");
         let main = b.event("main");
         let inner = b.event("main => k");
-        b.set(main, time, 0, Measurement { inclusive: 10.0, exclusive: 4.0, calls: 1.0, subcalls: 1.0 });
-        b.set(main, time, 1, Measurement { inclusive: 12.0, exclusive: 6.0, calls: 1.0, subcalls: 1.0 });
+        b.set(
+            main,
+            time,
+            0,
+            Measurement {
+                inclusive: 10.0,
+                exclusive: 4.0,
+                calls: 1.0,
+                subcalls: 1.0,
+            },
+        );
+        b.set(
+            main,
+            time,
+            1,
+            Measurement {
+                inclusive: 12.0,
+                exclusive: 6.0,
+                calls: 1.0,
+                subcalls: 1.0,
+            },
+        );
         b.set(inner, time, 0, Measurement::leaf(6.0));
         b.set(inner, time, 1, Measurement::leaf(6.0));
         b.build()

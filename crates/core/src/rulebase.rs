@@ -300,8 +300,17 @@ mod tests {
             );
         }
         let report = engine.run().unwrap();
-        assert!(report.printed.iter().any(|l| l.contains("Lowest power") && l.contains("O0")));
-        assert!(report.printed.iter().any(|l| l.contains("Lowest energy") && l.contains("O3")));
-        assert!(report.printed.iter().any(|l| l.contains("balance") && l.contains("O2")));
+        assert!(report
+            .printed
+            .iter()
+            .any(|l| l.contains("Lowest power") && l.contains("O0")));
+        assert!(report
+            .printed
+            .iter()
+            .any(|l| l.contains("Lowest energy") && l.contains("O3")));
+        assert!(report
+            .printed
+            .iter()
+            .any(|l| l.contains("balance") && l.contains("O2")));
     }
 }

@@ -43,10 +43,7 @@ impl ScalingSeries {
     }
 }
 
-fn build_series(
-    subject: &str,
-    mut raw: Vec<(usize, f64)>,
-) -> Result<ScalingSeries> {
+fn build_series(subject: &str, mut raw: Vec<(usize, f64)>) -> Result<ScalingSeries> {
     if raw.is_empty() {
         return Err(AnalysisError::Invalid(format!(
             "empty scaling series for {subject:?}"
@@ -133,10 +130,7 @@ pub fn scaling_facts(series: &[ScalingSeries]) -> Vec<rules::Fact> {
                 .with("eventName", s.subject.as_str())
                 .with("finalSpeedup", s.final_speedup())
                 .with("finalEfficiency", s.final_efficiency())
-                .with(
-                    "maxProcs",
-                    s.points.last().map(|p| p.procs).unwrap_or(0),
-                )
+                .with("maxProcs", s.points.last().map(|p| p.procs).unwrap_or(0))
         })
         .collect()
 }
@@ -152,7 +146,17 @@ mod tests {
         let main = b.event("main");
         let k = b.event("main => k");
         for t in 0..procs {
-            b.set(main, time, t, Measurement { inclusive: main_time, exclusive: main_time - kernel_time, calls: 1.0, subcalls: 1.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: main_time,
+                    exclusive: main_time - kernel_time,
+                    calls: 1.0,
+                    subcalls: 1.0,
+                },
+            );
             b.set(k, time, t, Measurement::leaf(kernel_time));
         }
         b.build()
@@ -163,8 +167,7 @@ mod tests {
         let t1 = trial(1, 16.0, 8.0);
         let t4 = trial(4, 4.0, 2.0);
         let t16 = trial(16, 1.0, 0.5);
-        let series =
-            whole_program(&[(1, &t1), (4, &t4), (16, &t16)], "TIME").unwrap();
+        let series = whole_program(&[(1, &t1), (4, &t4), (16, &t16)], "TIME").unwrap();
         assert_eq!(series.points.len(), 3);
         assert!((series.points[2].speedup - 16.0).abs() < 1e-9);
         assert!((series.final_efficiency() - 1.0).abs() < 1e-9);
@@ -205,8 +208,28 @@ mod tests {
         let time = b.metric("TIME");
         let main = b.event("main");
         let k = b.event("main => k");
-        b.set(main, time, 0, Measurement { inclusive: 8.0, exclusive: 0.0, calls: 1.0, subcalls: 1.0 });
-        b.set(main, time, 1, Measurement { inclusive: 8.0, exclusive: 8.0, calls: 1.0, subcalls: 0.0 });
+        b.set(
+            main,
+            time,
+            0,
+            Measurement {
+                inclusive: 8.0,
+                exclusive: 0.0,
+                calls: 1.0,
+                subcalls: 1.0,
+            },
+        );
+        b.set(
+            main,
+            time,
+            1,
+            Measurement {
+                inclusive: 8.0,
+                exclusive: 8.0,
+                calls: 1.0,
+                subcalls: 0.0,
+            },
+        );
         b.set(k, time, 0, Measurement::leaf(8.0));
         b.set(k, time, 1, Measurement::leaf(0.0));
         let t2 = b.build();

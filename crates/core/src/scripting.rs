@@ -257,9 +257,8 @@ impl PerfExplorerScript {
             let event = expect_str(&args, 3)?;
             let mut st = s.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
-            let fact =
-                MeanEventFact::compare_event_to_main(trial, &metric, &severity, &event)
-                    .map_err(|e| host_err(e.to_string()))?;
+            let fact = MeanEventFact::compare_event_to_main(trial, &metric, &severity, &event)
+                .map_err(|e| host_err(e.to_string()))?;
             st.engine.assert_fact(fact);
             Ok(Value::Null)
         });
@@ -406,9 +405,7 @@ impl PerfExplorerScript {
             let mut count = 0.0;
             let mut series = Vec::new();
             for event in target.profile.events() {
-                if let Ok(s) =
-                    crate::scalability::per_event_total(&refs, &metric, &event.name)
-                {
+                if let Ok(s) = crate::scalability::per_event_total(&refs, &metric, &event.name) {
                     series.push(s);
                 }
             }
@@ -429,10 +426,7 @@ impl PerfExplorerScript {
                 .map_err(|e| host_err(e.to_string()))?;
             let mut out = BTreeMap::new();
             out.insert("clusters".to_string(), Value::Num(clustering.k as f64));
-            out.insert(
-                "silhouette".to_string(),
-                Value::Num(clustering.silhouette),
-            );
+            out.insert("silhouette".to_string(), Value::Num(clustering.silhouette));
             out.insert(
                 "groups".to_string(),
                 Value::List(
@@ -440,9 +434,7 @@ impl PerfExplorerScript {
                         .groups
                         .iter()
                         .map(|g| {
-                            Value::List(
-                                g.threads.iter().map(|&t| Value::Num(t as f64)).collect(),
-                            )
+                            Value::List(g.threads.iter().map(|&t| Value::Num(t as f64)).collect())
                         })
                         .collect(),
                 ),
@@ -639,10 +631,7 @@ mod tests {
                 "#,
             )
             .unwrap();
-        assert_eq!(
-            out,
-            Value::List(vec![Value::Str("got 2".to_string())])
-        );
+        assert_eq!(out, Value::List(vec![Value::Str("got 2".to_string())]));
     }
 
     #[test]
@@ -671,16 +660,18 @@ mod tests {
             .unwrap();
         assert_eq!(
             out,
-            Value::List(vec![Value::Bool(true), Value::Bool(true), Value::Bool(true)])
+            Value::List(vec![
+                Value::Bool(true),
+                Value::Bool(true),
+                Value::Bool(true)
+            ])
         );
     }
 
     #[test]
     fn errors_surface_with_context() {
         let mut session = PerfExplorerScript::new(Repository::new());
-        let err = session
-            .run("load_trial(\"a\", \"b\", \"c\")")
-            .unwrap_err();
+        let err = session.run("load_trial(\"a\", \"b\", \"c\")").unwrap_err();
         let text = err.to_string();
         assert!(text.contains("load_trial"), "{text}");
         assert!(text.contains("not found"), "{text}");
@@ -708,7 +699,11 @@ mod tests {
             .unwrap();
         assert_eq!(
             out,
-            Value::List(vec![Value::Bool(true), Value::Bool(true), Value::Bool(true)])
+            Value::List(vec![
+                Value::Bool(true),
+                Value::Bool(true),
+                Value::Bool(true)
+            ])
         );
     }
 }

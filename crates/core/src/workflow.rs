@@ -82,11 +82,9 @@ pub fn analyze_locality(
     engine.assert_fact(crate::facts::context_fact(&trial));
 
     // Pass 1 facts: stall/cycle rate of every event vs main.
-    for fact in MeanEventFact::compare_all_events(
-        &trial,
-        "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
-        "TIME",
-    )? {
+    for fact in
+        MeanEventFact::compare_all_events(&trial, "(BACK_END_BUBBLE_ALL / CPU_CYCLES)", "TIME")?
+    {
         engine.assert_fact(fact);
     }
     // Pass 2 facts: stall decomposition.
@@ -152,13 +150,13 @@ mod tests {
         let result = analyze_load_balance(&trial, "TIME").unwrap();
         let diags = result.report.diagnoses_in("load-imbalance");
         assert!(!diags.is_empty(), "report: {}", result.rendered);
-        assert!(result
-            .report
-            .fired("Load imbalance in nested loops"));
+        assert!(result.report.fired("Load imbalance in nested loops"));
         // The recommendation names the fix the paper applied.
-        assert!(diags
-            .iter()
-            .any(|d| d.recommendation.as_deref().unwrap_or("").contains("dynamic")));
+        assert!(diags.iter().any(|d| d
+            .recommendation
+            .as_deref()
+            .unwrap_or("")
+            .contains("dynamic")));
         // Feedback raises the parallel model's weight.
         assert!(result.cost_model.parallel_weight > 1.0);
     }
@@ -219,12 +217,8 @@ mod tests {
         let trials: Vec<(usize, Trial)> = [1usize, 16]
             .iter()
             .map(|&p| {
-                let mut c = GenIdlestConfig::new(
-                    Problem::Rib90,
-                    Paradigm::Mpi,
-                    CodeVersion::Optimized,
-                    p,
-                );
+                let mut c =
+                    GenIdlestConfig::new(Problem::Rib90, Paradigm::Mpi, CodeVersion::Optimized, p);
                 c.timesteps = 2;
                 (p, genidlest::run(&c))
             })

@@ -12,8 +12,8 @@ use proptest::prelude::*;
 /// list (plus main), values strictly positive.
 fn arb_trial() -> impl Strategy<Value = Trial> {
     (
-        2usize..6,                                  // threads
-        prop::collection::vec("[a-z]{1,6}", 1..5),  // event leaf names
+        2usize..6,                                 // threads
+        prop::collection::vec("[a-z]{1,6}", 1..5), // event leaf names
     )
         .prop_flat_map(|(threads, mut names)| {
             names.sort();
@@ -59,8 +59,28 @@ fn arb_trial() -> impl Strategy<Value = Trial> {
                         subcalls: names.len() as f64,
                     },
                 );
-                b.set(main, cyc, t, Measurement { inclusive: 1e7, exclusive: 1.0, calls: 1.0, subcalls: 0.0 });
-                b.set(main, stall, t, Measurement { inclusive: 3e6, exclusive: 0.3, calls: 1.0, subcalls: 0.0 });
+                b.set(
+                    main,
+                    cyc,
+                    t,
+                    Measurement {
+                        inclusive: 1e7,
+                        exclusive: 1.0,
+                        calls: 1.0,
+                        subcalls: 0.0,
+                    },
+                );
+                b.set(
+                    main,
+                    stall,
+                    t,
+                    Measurement {
+                        inclusive: 3e6,
+                        exclusive: 0.3,
+                        calls: 1.0,
+                        subcalls: 0.0,
+                    },
+                );
             }
             b.build()
         })

@@ -186,7 +186,9 @@ impl CostModel {
     ) -> f64 {
         self.processor_weight * self.processor.compute_cycles(attrs, machine)
             + self.cache_weight
-                * (self.cache.memory_cycles(attrs, machine, placement, contending)
+                * (self
+                    .cache
+                    .memory_cycles(attrs, machine, placement, contending)
                     + self.cache.startup_cycles(attrs))
     }
 }

@@ -139,10 +139,9 @@ pub fn ingest(model: &mut CostModel, diagnoses: &[DiagnosisInput]) -> FeedbackPl
             "power" | "energy" => {
                 plan.suggestions.push(Suggestion {
                     region: d.event.clone(),
-                    action: d
-                        .recommendation
-                        .clone()
-                        .unwrap_or_else(|| "select optimization level per power/energy goal".into()),
+                    action: d.recommendation.clone().unwrap_or_else(|| {
+                        "select optimization level per power/energy goal".into()
+                    }),
                     reason: format!("{} priority from power model", d.category),
                 });
             }
@@ -272,7 +271,10 @@ mod tests {
     #[test]
     fn serial_bottleneck_suggests_parallelization() {
         let mut model = CostModel::default();
-        let plan = ingest(&mut model, &[diag("serial-bottleneck", "exchange_var", 0.31)]);
+        let plan = ingest(
+            &mut model,
+            &[diag("serial-bottleneck", "exchange_var", 0.31)],
+        );
         assert!(plan.suggestions[0].action.contains("parallelize"));
     }
 }

@@ -33,20 +33,15 @@ impl FrequencyProfile {
     pub fn from_trial(trial: &Trial) -> Self {
         let mut counts = BTreeMap::new();
         let p = &trial.profile;
-        let Some(metric) = p.metric_id("TIME").or_else(|| {
-            p.metrics()
-                .first()
-                .and_then(|m| p.metric_id(&m.name))
-        }) else {
+        let Some(metric) = p
+            .metric_id("TIME")
+            .or_else(|| p.metrics().first().and_then(|m| p.metric_id(&m.name)))
+        else {
             return FrequencyProfile::default();
         };
         for event in p.events() {
             let id = p.event_id(&event.name).expect("iterating events");
-            let calls: f64 = p
-                .across_threads(id, metric)
-                .iter()
-                .map(|m| m.calls)
-                .sum();
+            let calls: f64 = p.across_threads(id, metric).iter().map(|m| m.calls).sum();
             // Leaf name is the compiler's mapping identifier.
             let leaf = event.leaf().to_string();
             *counts.entry(leaf).or_insert(0.0) += calls;
@@ -331,7 +326,11 @@ mod tests {
         let sparse = FrequencyProfile::from_counts([("hot_loop".to_string(), 5_000.0)]);
         apply(&mut p, &sparse, &FrequencyConfig::default());
         let hc = p.find("hot_call").unwrap();
-        assert_eq!(p.region(hc).attrs.invocations, 100.0, "unmeasured untouched");
+        assert_eq!(
+            p.region(hc).attrs.invocations,
+            100.0,
+            "unmeasured untouched"
+        );
     }
 
     #[test]
@@ -341,8 +340,28 @@ mod tests {
         let main = b.event("main");
         let call = b.event("main => hot_call");
         for t in 0..2 {
-            b.set(main, time, t, Measurement { inclusive: 1.0, exclusive: 0.5, calls: 1.0, subcalls: 9.0 });
-            b.set(call, time, t, Measurement { inclusive: 0.5, exclusive: 0.5, calls: 25_000.0, subcalls: 0.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: 1.0,
+                    exclusive: 0.5,
+                    calls: 1.0,
+                    subcalls: 9.0,
+                },
+            );
+            b.set(
+                call,
+                time,
+                t,
+                Measurement {
+                    inclusive: 0.5,
+                    exclusive: 0.5,
+                    calls: 25_000.0,
+                    subcalls: 0.0,
+                },
+            );
         }
         let profile = FrequencyProfile::from_trial(&b.build());
         assert_eq!(profile.count("hot_call"), Some(50_000.0)); // summed threads

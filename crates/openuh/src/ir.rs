@@ -292,14 +292,8 @@ mod tests {
     fn dynamic_instructions_roll_up() {
         let (p, main, outer, inner) = sample();
         assert_eq!(p.dynamic_instructions(inner), 50.0 * 1000.0);
-        assert_eq!(
-            p.dynamic_instructions(outer),
-            500.0 * 10.0 + 50_000.0
-        );
-        assert_eq!(
-            p.dynamic_instructions(main),
-            1000.0 + 5000.0 + 50_000.0
-        );
+        assert_eq!(p.dynamic_instructions(outer), 500.0 * 10.0 + 50_000.0);
+        assert_eq!(p.dynamic_instructions(main), 1000.0 + 5000.0 + 50_000.0);
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! These operations are the building blocks of "optimized vs unoptimized"
 //! and "MPI vs OpenMP" comparisons in the case studies.
 
-use crate::model::{Measurement, Profile, ThreadId};
+//! All three operations stream the profiles' contiguous columns
+//! ([`Profile::columns`] / [`Profile::column_mut`]) instead of probing
+//! cell-by-cell, and resolve cross-profile names through the interned
+//! O(1) lookups once per axis rather than once per cell.
+
+use crate::model::{EventId, Measurement, MetricId, Profile, ThreadId};
 use crate::{DmfError, Result};
 use serde::{Deserialize, Serialize};
 
@@ -42,36 +47,47 @@ fn check_compatible(a: &Profile, b: &Profile) -> Result<()> {
 pub fn difference(a: &Profile, b: &Profile) -> Result<Profile> {
     check_compatible(a, b)?;
     let mut out = Profile::new(a.threads().to_vec());
-    for metric in a.metrics() {
-        let Some(mb) = b.metric_id(&metric.name) else {
+    // Register shared metrics before any event so the arena is laid out
+    // once (add_metric after events would rebuild it per metric).
+    let metric_map: Vec<Option<(MetricId, MetricId)>> = a
+        .metrics()
+        .iter()
+        .map(|metric| {
+            b.metric_id(&metric.name)
+                .map(|mb| Ok((out.add_metric(metric.clone())?, mb)))
+                .transpose()
+        })
+        .collect::<Result<_>>()?;
+    if out.metric_count() == 0 {
+        return Ok(out);
+    }
+    let event_map: Vec<Option<(EventId, EventId)>> = a
+        .events()
+        .iter()
+        .map(|event| {
+            b.event_id(&event.name)
+                .map(|eb| Ok((out.add_event(event.clone())?, eb)))
+                .transpose()
+        })
+        .collect::<Result<_>>()?;
+    for (ea, ma, col_a) in a.columns() {
+        let (Some((eo, eb)), Some((mo, mb))) =
+            (event_map[ea.0 as usize], metric_map[ma.0 as usize])
+        else {
             continue;
         };
-        let ma = a.metric_id(&metric.name).expect("iterating a's metrics");
-        let mo = out.add_metric(metric.clone())?;
-        for event in a.events() {
-            let Some(eb) = b.event_id(&event.name) else {
-                continue;
+        let col_b = b.column(eb, mb);
+        for (cell, (ca, cb)) in out
+            .column_mut(eo, mo)
+            .iter_mut()
+            .zip(col_a.iter().zip(col_b))
+        {
+            *cell = Measurement {
+                inclusive: ca.inclusive - cb.inclusive,
+                exclusive: ca.exclusive - cb.exclusive,
+                calls: ca.calls - cb.calls,
+                subcalls: ca.subcalls - cb.subcalls,
             };
-            let ea = a.event_id(&event.name).expect("iterating a's events");
-            let eo = match out.event_id(&event.name) {
-                Some(id) => id,
-                None => out.add_event(event.clone())?,
-            };
-            for t in 0..a.thread_count() {
-                let ca = a.get(ea, ma, t).expect("dims checked");
-                let cb = b.get(eb, mb, t).expect("dims checked");
-                out.set(
-                    eo,
-                    mo,
-                    t,
-                    Measurement {
-                        inclusive: ca.inclusive - cb.inclusive,
-                        exclusive: ca.exclusive - cb.exclusive,
-                        calls: ca.calls - cb.calls,
-                        subcalls: ca.subcalls - cb.subcalls,
-                    },
-                )?;
-            }
         }
     }
     Ok(out)
@@ -82,12 +98,16 @@ pub fn difference(a: &Profile, b: &Profile) -> Result<Profile> {
 pub fn merge(a: &Profile, b: &Profile) -> Result<Profile> {
     check_compatible(a, b)?;
     let mut out = Profile::new(a.threads().to_vec());
+    // Union the metric axis first: events appended afterwards get their
+    // full-width blocks in one arena append each.
     for src in [a, b] {
         for metric in src.metrics() {
             if out.metric_id(&metric.name).is_none() {
                 out.add_metric(metric.clone())?;
             }
         }
+    }
+    for src in [a, b] {
         for event in src.events() {
             if out.event_id(&event.name).is_none() {
                 out.add_event(event.clone())?;
@@ -95,21 +115,25 @@ pub fn merge(a: &Profile, b: &Profile) -> Result<Profile> {
         }
     }
     for src in [a, b] {
-        for metric in src.metrics() {
-            let ms = src.metric_id(&metric.name).expect("src metric");
-            let mo = out.metric_id(&metric.name).expect("added above");
-            for event in src.events() {
-                let es = src.event_id(&event.name).expect("src event");
-                let eo = out.event_id(&event.name).expect("added above");
-                for t in 0..src.thread_count() {
-                    let c = src.get(es, ms, t).expect("dims checked");
-                    if let Some(cell) = out.get_mut(eo, mo, t) {
-                        cell.inclusive += c.inclusive;
-                        cell.exclusive += c.exclusive;
-                        cell.calls += c.calls;
-                        cell.subcalls += c.subcalls;
-                    }
-                }
+        // Resolve each axis to out's ids once, then stream columns.
+        let metric_map: Vec<MetricId> = src
+            .metrics()
+            .iter()
+            .map(|m| out.metric_id(&m.name).expect("metrics unioned above"))
+            .collect();
+        let event_map: Vec<EventId> = src
+            .events()
+            .iter()
+            .map(|e| out.event_id(&e.name).expect("events unioned above"))
+            .collect();
+        for (es, ms, col) in src.columns() {
+            let eo = event_map[es.0 as usize];
+            let mo = metric_map[ms.0 as usize];
+            for (cell, c) in out.column_mut(eo, mo).iter_mut().zip(col) {
+                cell.inclusive += c.inclusive;
+                cell.exclusive += c.exclusive;
+                cell.calls += c.calls;
+                cell.subcalls += c.subcalls;
             }
         }
     }
@@ -130,33 +154,23 @@ pub fn aggregate_threads(p: &Profile, how: Aggregation) -> Result<Profile> {
         out.add_event(event.clone())?;
     }
     let n = p.thread_count() as f64;
-    for metric in p.metrics() {
-        let ms = p.metric_id(&metric.name).expect("src metric");
-        let mo = out.metric_id(&metric.name).expect("added above");
-        for event in p.events() {
-            let es = p.event_id(&event.name).expect("src event");
-            let eo = out.event_id(&event.name).expect("added above");
-            let cells = p.across_threads(es, ms);
-            let fold = |f: fn(&Measurement) -> f64| -> f64 {
-                match how {
-                    Aggregation::Mean => cells.iter().map(f).sum::<f64>() / n,
-                    Aggregation::Total => cells.iter().map(f).sum::<f64>(),
-                    Aggregation::Max => cells.iter().map(f).fold(f64::NEG_INFINITY, f64::max),
-                    Aggregation::Min => cells.iter().map(f).fold(f64::INFINITY, f64::min),
-                }
-            };
-            out.set(
-                eo,
-                mo,
-                0,
-                Measurement {
-                    inclusive: fold(|m| m.inclusive),
-                    exclusive: fold(|m| m.exclusive),
-                    calls: fold(|m| m.calls),
-                    subcalls: fold(|m| m.subcalls),
-                },
-            )?;
-        }
+    // `out` mirrors p's axes in order, so source ids are valid out ids.
+    for (e, m, cells) in p.columns() {
+        let fold = |f: fn(&Measurement) -> f64| -> f64 {
+            match how {
+                Aggregation::Mean => cells.iter().map(f).sum::<f64>() / n,
+                Aggregation::Total => cells.iter().map(f).sum::<f64>(),
+                Aggregation::Max => cells.iter().map(f).fold(f64::NEG_INFINITY, f64::max),
+                Aggregation::Min => cells.iter().map(f).fold(f64::INFINITY, f64::min),
+            }
+        };
+        let agg = Measurement {
+            inclusive: fold(|c| c.inclusive),
+            exclusive: fold(|c| c.exclusive),
+            calls: fold(|c| c.calls),
+            subcalls: fold(|c| c.subcalls),
+        };
+        out.set(e, m, 0, agg)?;
     }
     Ok(out)
 }
@@ -195,10 +209,7 @@ mod tests {
     fn difference_requires_same_thread_count() {
         let a = profile(2, &[("main", &[1.0, 2.0])]);
         let b = profile(3, &[("main", &[1.0, 2.0, 3.0])]);
-        assert!(matches!(
-            difference(&a, &b),
-            Err(DmfError::Incompatible(_))
-        ));
+        assert!(matches!(difference(&a, &b), Err(DmfError::Incompatible(_))));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::model::{Measurement, ThreadId, Trial, TrialBuilder};
 use crate::{DmfError, Result};
+use std::collections::{BTreeSet, HashMap};
 
 const HEADER: &str = "event,metric,node,context,thread,inclusive,exclusive,calls,subcalls";
 
@@ -64,28 +65,34 @@ fn split_record(line: &str, line_no: usize) -> Result<Vec<String>> {
 
 /// Serialises a trial to CSV.
 pub fn write_trial(trial: &Trial) -> String {
+    use std::fmt::Write;
+
     let p = &trial.profile;
+    // Quote each axis name once, not once per row.
+    let event_names: Vec<String> = p.events().iter().map(|e| quote(&e.name)).collect();
+    let metric_names: Vec<String> = p.metrics().iter().map(|m| quote(&m.name)).collect();
     let mut out = String::from(HEADER);
     out.push('\n');
-    for event in p.events() {
-        let e = p.event_id(&event.name).expect("iterating events");
-        for metric in p.metrics() {
-            let m = p.metric_id(&metric.name).expect("iterating metrics");
-            for (t, tid) in p.threads().iter().enumerate() {
-                let cell = p.get(e, m, t).expect("dense profile");
-                out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{}\n",
-                    quote(&event.name),
-                    quote(&metric.name),
-                    tid.node,
-                    tid.context,
-                    tid.thread,
-                    cell.inclusive,
-                    cell.exclusive,
-                    cell.calls,
-                    cell.subcalls
-                ));
-            }
+    // columns() yields event-major, metric-inner order — the same row
+    // order the nested loops produced.
+    for (e, m, col) in p.columns() {
+        let event = &event_names[e.0 as usize];
+        let metric = &metric_names[m.0 as usize];
+        for (tid, cell) in p.threads().iter().zip(col) {
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{}",
+                event,
+                metric,
+                tid.node,
+                tid.context,
+                tid.thread,
+                cell.inclusive,
+                cell.exclusive,
+                cell.calls,
+                cell.subcalls
+            )
+            .expect("writing to String cannot fail");
         }
     }
     out
@@ -100,7 +107,8 @@ pub fn parse_trial(trial_name: &str, text: &str) -> Result<Trial> {
     }
 
     // First pass: collect rows & thread ids so the builder sees a stable
-    // thread ordering.
+    // thread ordering. Event/metric names are moved out of the field
+    // vector rather than cloned per row.
     struct Row {
         event: String,
         metric: String,
@@ -108,7 +116,7 @@ pub fn parse_trial(trial_name: &str, text: &str) -> Result<Trial> {
         m: Measurement,
     }
     let mut rows: Vec<Row> = Vec::new();
-    let mut threads: Vec<ThreadId> = Vec::new();
+    let mut thread_set: BTreeSet<ThreadId> = BTreeSet::new();
     for (idx, line) in lines {
         let line_no = idx + 1;
         if line.trim().is_empty() {
@@ -136,30 +144,39 @@ pub fn parse_trial(trial_name: &str, text: &str) -> Result<Trial> {
             context: int(3)?,
             thread: int(4)?,
         };
-        if !threads.contains(&tid) {
-            threads.push(tid);
-        }
+        thread_set.insert(tid);
+        let m = Measurement {
+            inclusive: num(5)?,
+            exclusive: num(6)?,
+            calls: num(7)?,
+            subcalls: num(8)?,
+        };
+        let mut f = f.into_iter();
+        let event = f.next().expect("length checked above");
+        let metric = f.next().expect("length checked above");
         rows.push(Row {
-            event: f[0].clone(),
-            metric: f[1].clone(),
+            event,
+            metric,
             tid,
-            m: Measurement {
-                inclusive: num(5)?,
-                exclusive: num(6)?,
-                calls: num(7)?,
-                subcalls: num(8)?,
-            },
+            m,
         });
     }
     if rows.is_empty() {
         return Err(parse_err(0, "no data rows"));
     }
-    threads.sort();
-    let mut builder = TrialBuilder::with_threads(trial_name, threads.clone());
+    // BTreeSet iteration is already sorted; intern each tid's index once
+    // so per-row placement is an O(1) map hit, not a binary search.
+    let threads: Vec<ThreadId> = thread_set.into_iter().collect();
+    let thread_index: HashMap<ThreadId, usize> = threads
+        .iter()
+        .enumerate()
+        .map(|(i, &tid)| (tid, i))
+        .collect();
+    let mut builder = TrialBuilder::with_threads(trial_name, threads);
     for row in rows {
         let e = builder.event(&row.event);
         let m = builder.metric(&row.metric);
-        let ti = threads.binary_search(&row.tid).expect("collected above");
+        let ti = thread_index[&row.tid];
         builder.set(e, m, ti, row.m);
     }
     Ok(builder.build())
@@ -175,8 +192,30 @@ mod tests {
         let m = p.add_metric(Metric::measured("TIME")).unwrap();
         let e = p.add_event(Event::new("main")).unwrap();
         let f = p.add_event(Event::new("weird, \"name\"")).unwrap();
-        p.set(e, m, 0, Measurement { inclusive: 10.0, exclusive: 4.0, calls: 1.0, subcalls: 2.0 }).unwrap();
-        p.set(e, m, 1, Measurement { inclusive: 11.0, exclusive: 5.0, calls: 1.0, subcalls: 2.0 }).unwrap();
+        p.set(
+            e,
+            m,
+            0,
+            Measurement {
+                inclusive: 10.0,
+                exclusive: 4.0,
+                calls: 1.0,
+                subcalls: 2.0,
+            },
+        )
+        .unwrap();
+        p.set(
+            e,
+            m,
+            1,
+            Measurement {
+                inclusive: 11.0,
+                exclusive: 5.0,
+                calls: 1.0,
+                subcalls: 2.0,
+            },
+        )
+        .unwrap();
         p.set(f, m, 0, Measurement::leaf(1.0)).unwrap();
         p.set(f, m, 1, Measurement::leaf(2.0)).unwrap();
         Trial::new("t", p)
@@ -236,14 +275,9 @@ mod tests {
 
     #[test]
     fn threads_are_sorted_regardless_of_row_order() {
-        let text = format!(
-            "{HEADER}\nmain,TIME,0,0,1,2,2,1,0\nmain,TIME,0,0,0,1,1,1,0\n"
-        );
+        let text = format!("{HEADER}\nmain,TIME,0,0,1,2,2,1,0\nmain,TIME,0,0,0,1,1,1,0\n");
         let t = parse_trial("t", &text).unwrap();
-        assert_eq!(
-            t.profile.threads(),
-            &[ThreadId::flat(0), ThreadId::flat(1)]
-        );
+        assert_eq!(t.profile.threads(), &[ThreadId::flat(0), ThreadId::flat(1)]);
         let m = t.profile.metric_id("TIME").unwrap();
         let e = t.profile.event_id("main").unwrap();
         assert_eq!(t.profile.get(e, m, 0).unwrap().inclusive, 1.0);

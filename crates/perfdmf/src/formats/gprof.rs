@@ -31,8 +31,7 @@ fn parse_err(line: usize, message: impl Into<String>) -> DmfError {
 
 /// Parses a gprof flat profile into a single-thread trial.
 pub fn parse_flat_profile(trial_name: &str, text: &str) -> Result<Trial> {
-    let mut builder =
-        TrialBuilder::with_threads(trial_name, vec![ThreadId::flat(0)]);
+    let mut builder = TrialBuilder::with_threads(trial_name, vec![ThreadId::flat(0)]);
     let metric = builder.metric("TIME");
 
     let mut in_table = false;

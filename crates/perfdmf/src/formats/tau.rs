@@ -17,6 +17,7 @@
 
 use crate::model::{Measurement, ThreadId, Trial, TrialBuilder};
 use crate::{DmfError, Result};
+use std::collections::HashMap;
 
 /// Parsed contents of a single `profile.N.C.T` file.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,9 +39,7 @@ fn parse_err(line: usize, message: impl Into<String>) -> DmfError {
 /// Parses one TAU profile file.
 pub fn parse_thread_profile(text: &str) -> Result<TauThreadProfile> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty profile"))?;
+    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty profile"))?;
     let mut parts = header.split_whitespace();
     let count: usize = parts
         .next()
@@ -108,13 +107,17 @@ pub fn parse_thread_profile(text: &str) -> Result<TauThreadProfile> {
 /// Writes one thread's rows in TAU text form (the inverse of
 /// [`parse_thread_profile`]).
 pub fn write_thread_profile(metric: &str, rows: &[(String, Measurement)]) -> String {
+    use std::fmt::Write;
+
     let mut out = format!("{} templated_functions_MULTI_{}\n", rows.len(), metric);
     out.push_str("# Name Calls Subrs Excl Incl ProfileCalls\n");
     for (name, m) in rows {
-        out.push_str(&format!(
-            "\"{}\" {} {} {} {} 0\n",
+        writeln!(
+            out,
+            "\"{}\" {} {} {} {} 0",
             name, m.calls, m.subcalls, m.exclusive, m.inclusive
-        ));
+        )
+        .expect("writing to String cannot fail");
     }
     out
 }
@@ -139,10 +142,7 @@ pub fn parse_profile_filename(name: &str) -> Option<ThreadId> {
 /// Assembles a [`Trial`] from per-thread profile texts, e.g. the contents
 /// of one TAU profile directory. Multiple metrics may be supplied by
 /// including each thread once per metric.
-pub fn assemble_trial(
-    trial_name: &str,
-    files: &[(ThreadId, &str)],
-) -> Result<Trial> {
+pub fn assemble_trial(trial_name: &str, files: &[(ThreadId, &str)]) -> Result<Trial> {
     if files.is_empty() {
         return Err(DmfError::Parse {
             format: "tau",
@@ -153,13 +153,19 @@ pub fn assemble_trial(
     let mut threads: Vec<ThreadId> = files.iter().map(|(t, _)| *t).collect();
     threads.sort();
     threads.dedup();
-    let index_of = |t: &ThreadId| threads.binary_search(t).expect("collected above");
+    // Intern each tid's index before the vector moves into the builder:
+    // per-file placement becomes an O(1) map hit with no threads.clone().
+    let thread_index: HashMap<ThreadId, usize> = threads
+        .iter()
+        .enumerate()
+        .map(|(i, &tid)| (tid, i))
+        .collect();
 
-    let mut builder = TrialBuilder::with_threads(trial_name, threads.clone());
+    let mut builder = TrialBuilder::with_threads(trial_name, threads);
     for (tid, text) in files {
         let parsed = parse_thread_profile(text)?;
         let metric = builder.metric(&parsed.metric);
-        let ti = index_of(tid);
+        let ti = thread_index[tid];
         for (name, m) in parsed.rows {
             let ev = builder.event(&name);
             builder.set(ev, metric, ti, m);
@@ -241,7 +247,11 @@ mod tests {
     fn filename_parsing() {
         assert_eq!(
             parse_profile_filename("profile.3.0.7"),
-            Some(ThreadId { node: 3, context: 0, thread: 7 })
+            Some(ThreadId {
+                node: 3,
+                context: 0,
+                thread: 7
+            })
         );
         assert_eq!(parse_profile_filename("profile.3.0"), None);
         assert_eq!(parse_profile_filename("profile.3.0.7.9"), None);

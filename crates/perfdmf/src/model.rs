@@ -1,8 +1,17 @@
 //! The profile data model: trials, metrics, events, threads, measurements.
+//!
+//! Measurements live in a single contiguous arena indexed
+//! `(event * n_metrics + metric) * n_threads + thread`, so one
+//! event/metric column is a contiguous `&[Measurement]` handed out
+//! zero-copy, and name → id lookups go through interned hash tables
+//! instead of linear scans. The JSON form is unchanged from the
+//! original nested `data[event][metric][thread]` layout (see the
+//! manual `Serialize`/`Deserialize` impls on [`Profile`]).
 
 use crate::metadata::Metadata;
 use crate::{DmfError, Result};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Name of the conventional top-level event. Analyses that compare a
 /// region against the whole program (the paper's `compareEventToMain`)
@@ -170,13 +179,34 @@ impl Measurement {
 
 /// The measurement container of a trial: a dense
 /// `event × metric × thread` array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Storage is a flat arena with event-major stride
+/// `(event * n_metrics + metric) * n_threads + thread`: one
+/// event/metric column occupies `n_threads` adjacent cells, and one
+/// event's block of `n_metrics * n_threads` cells is contiguous too.
+/// Name lookups ([`Profile::metric_id`], [`Profile::event_id`]) are
+/// O(1) through interned side tables kept in sync by the mutating
+/// methods.
+#[derive(Debug, Clone)]
 pub struct Profile {
     metrics: Vec<Metric>,
     events: Vec<Event>,
     threads: Vec<ThreadId>,
-    /// `data[event][metric][thread]`.
-    data: Vec<Vec<Vec<Measurement>>>,
+    /// Flat arena; see the struct docs for the stride.
+    data: Vec<Measurement>,
+    metric_index: HashMap<String, u32>,
+    event_index: HashMap<String, u32>,
+}
+
+// The intern tables are derivable from `metrics`/`events`, so equality
+// (like the wire format) covers only the four logical fields.
+impl PartialEq for Profile {
+    fn eq(&self, other: &Self) -> bool {
+        self.metrics == other.metrics
+            && self.events == other.events
+            && self.threads == other.threads
+            && self.data == other.data
+    }
 }
 
 impl Profile {
@@ -187,7 +217,20 @@ impl Profile {
             events: Vec::new(),
             threads,
             data: Vec::new(),
+            metric_index: HashMap::new(),
+            event_index: HashMap::new(),
         }
+    }
+
+    /// Creates an empty profile with arena capacity reserved for
+    /// `events × metrics` columns, so bulk loads append without
+    /// reallocating.
+    pub fn with_capacity(threads: Vec<ThreadId>, events: usize, metrics: usize) -> Self {
+        let mut p = Profile::new(threads);
+        p.metrics.reserve(metrics);
+        p.events.reserve(events);
+        p.data.reserve(events * metrics * p.threads.len());
+        p
     }
 
     /// All metrics.
@@ -210,20 +253,30 @@ impl Profile {
         self.threads.len()
     }
 
-    /// Looks up a metric id by name.
-    pub fn metric_id(&self, name: &str) -> Option<MetricId> {
-        self.metrics
-            .iter()
-            .position(|m| m.name == name)
-            .map(|i| MetricId(i as u32))
+    /// Number of metrics.
+    pub fn metric_count(&self) -> usize {
+        self.metrics.len()
     }
 
-    /// Looks up an event id by full name.
+    /// Number of events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Arena offset of a cell; see the struct docs for the stride.
+    #[inline]
+    fn offset(&self, event: usize, metric: usize, thread: usize) -> usize {
+        (event * self.metrics.len() + metric) * self.threads.len() + thread
+    }
+
+    /// Looks up a metric id by name in O(1).
+    pub fn metric_id(&self, name: &str) -> Option<MetricId> {
+        self.metric_index.get(name).map(|&i| MetricId(i))
+    }
+
+    /// Looks up an event id by full name in O(1).
     pub fn event_id(&self, name: &str) -> Option<EventId> {
-        self.events
-            .iter()
-            .position(|e| e.name == name)
-            .map(|i| EventId(i as u32))
+        self.event_index.get(name).map(|&i| EventId(i))
     }
 
     /// Metric by id.
@@ -238,43 +291,66 @@ impl Profile {
 
     /// Adds a metric, initialising its cells to zero for every existing
     /// event. Fails on duplicates.
+    ///
+    /// This is the expensive mutation: the arena is rebuilt to widen
+    /// every event block by one column. Loaders that know their metric
+    /// set up front should add all metrics before the bulk of events.
     pub fn add_metric(&mut self, metric: Metric) -> Result<MetricId> {
-        if self.metric_id(&metric.name).is_some() {
+        if self.metric_index.contains_key(&metric.name) {
             return Err(DmfError::Duplicate {
                 kind: "metric",
                 name: metric.name,
             });
         }
-        self.metrics.push(metric);
+        let nm = self.metrics.len();
         let nt = self.threads.len();
-        for ev in &mut self.data {
-            ev.push(vec![Measurement::default(); nt]);
+        let ne = self.events.len();
+        if ne > 0 && nt > 0 {
+            let mut widened = Vec::with_capacity(ne * (nm + 1) * nt);
+            if nm == 0 {
+                widened.resize(ne * nt, Measurement::default());
+            } else {
+                for block in self.data.chunks_exact(nm * nt) {
+                    widened.extend_from_slice(block);
+                    widened.resize(widened.len() + nt, Measurement::default());
+                }
+            }
+            self.data = widened;
         }
-        Ok(MetricId(self.metrics.len() as u32 - 1))
+        self.metric_index.insert(metric.name.clone(), nm as u32);
+        self.metrics.push(metric);
+        Ok(MetricId(nm as u32))
     }
 
     /// Adds an event, initialising its cells to zero for every metric.
-    /// Fails on duplicates.
+    /// Fails on duplicates. Amortised O(1) in the arena: the new block
+    /// is appended at the end.
     pub fn add_event(&mut self, event: Event) -> Result<EventId> {
-        if self.event_id(&event.name).is_some() {
+        if self.event_index.contains_key(&event.name) {
             return Err(DmfError::Duplicate {
                 kind: "event",
                 name: event.name,
             });
         }
-        self.events.push(event);
-        let nt = self.threads.len();
+        let ne = self.events.len();
+        let block = self.metrics.len() * self.threads.len();
         self.data
-            .push(vec![vec![Measurement::default(); nt]; self.metrics.len()]);
-        Ok(EventId(self.events.len() as u32 - 1))
+            .resize(self.data.len() + block, Measurement::default());
+        self.event_index.insert(event.name.clone(), ne as u32);
+        self.events.push(event);
+        Ok(EventId(ne as u32))
     }
 
     /// Returns the measurement cell, if all indices are in range.
     pub fn get(&self, event: EventId, metric: MetricId, thread: usize) -> Option<&Measurement> {
+        if event.0 as usize >= self.events.len()
+            || metric.0 as usize >= self.metrics.len()
+            || thread >= self.threads.len()
+        {
+            return None;
+        }
         self.data
-            .get(event.0 as usize)?
-            .get(metric.0 as usize)?
-            .get(thread)
+            .get(self.offset(event.0 as usize, metric.0 as usize, thread))
     }
 
     /// Mutable access to a measurement cell.
@@ -284,10 +360,14 @@ impl Profile {
         metric: MetricId,
         thread: usize,
     ) -> Option<&mut Measurement> {
-        self.data
-            .get_mut(event.0 as usize)?
-            .get_mut(metric.0 as usize)?
-            .get_mut(thread)
+        if event.0 as usize >= self.events.len()
+            || metric.0 as usize >= self.metrics.len()
+            || thread >= self.threads.len()
+        {
+            return None;
+        }
+        let idx = self.offset(event.0 as usize, metric.0 as usize, thread);
+        self.data.get_mut(idx)
     }
 
     /// Sets a measurement cell. Out-of-range indices are an error.
@@ -310,9 +390,101 @@ impl Profile {
         }
     }
 
+    /// Zero-copy per-thread column for one event/metric: `n_threads`
+    /// contiguous cells straight out of the arena.
+    pub fn column(&self, event: EventId, metric: MetricId) -> &[Measurement] {
+        let start = self.offset(event.0 as usize, metric.0 as usize, 0);
+        &self.data[start..start + self.threads.len()]
+    }
+
+    /// Mutable counterpart of [`Profile::column`].
+    pub fn column_mut(&mut self, event: EventId, metric: MetricId) -> &mut [Measurement] {
+        let start = self.offset(event.0 as usize, metric.0 as usize, 0);
+        let nt = self.threads.len();
+        &mut self.data[start..start + nt]
+    }
+
+    /// Zero-copy block of one event's cells across all metrics and
+    /// threads: `n_metrics * n_threads` contiguous cells, metric-major.
+    pub fn event_slice(&self, event: EventId) -> &[Measurement] {
+        let block = self.metrics.len() * self.threads.len();
+        let start = event.0 as usize * block;
+        &self.data[start..start + block]
+    }
+
+    /// Strided view of one metric on one thread across every event, in
+    /// event order. (The stride makes this a walk, not a slice.)
+    pub fn thread_slice(
+        &self,
+        metric: MetricId,
+        thread: usize,
+    ) -> impl Iterator<Item = (EventId, &Measurement)> + '_ {
+        let stride = self.metrics.len() * self.threads.len();
+        let first = metric.0 as usize * self.threads.len() + thread;
+        self.data
+            .iter()
+            .skip(first)
+            .step_by(stride.max(1))
+            .take(self.events.len())
+            .enumerate()
+            .map(|(e, m)| (EventId(e as u32), m))
+    }
+
+    /// Iterates every event/metric column as a zero-copy slice. This is
+    /// the replacement for the old triple index loop: callers get each
+    /// contiguous column exactly once, in arena order.
+    pub fn columns(&self) -> impl Iterator<Item = (EventId, MetricId, &[Measurement])> + '_ {
+        let nm = self.metrics.len();
+        let nt = self.threads.len();
+        self.data
+            .chunks_exact(nt.max(1))
+            .enumerate()
+            .map(move |(i, col)| {
+                (
+                    EventId((i / nm.max(1)) as u32),
+                    MetricId((i % nm.max(1)) as u32),
+                    col,
+                )
+            })
+    }
+
+    /// Mutable counterpart of [`Profile::columns`]; columns are disjoint
+    /// so the borrow is safe to split.
+    pub fn columns_mut(
+        &mut self,
+    ) -> impl Iterator<Item = (EventId, MetricId, &mut [Measurement])> + '_ {
+        let nm = self.metrics.len();
+        let nt = self.threads.len();
+        self.data
+            .chunks_exact_mut(nt.max(1))
+            .enumerate()
+            .map(move |(i, col)| {
+                (
+                    EventId((i / nm.max(1)) as u32),
+                    MetricId((i % nm.max(1)) as u32),
+                    col,
+                )
+            })
+    }
+
+    /// Iterates every cell with its coordinates, in arena order.
+    pub fn cells(&self) -> impl Iterator<Item = (EventId, MetricId, usize, &Measurement)> + '_ {
+        self.columns()
+            .flat_map(|(e, m, col)| col.iter().enumerate().map(move |(t, c)| (e, m, t, c)))
+    }
+
+    /// The whole arena, read-only. Exposed for benchmarks and bulk
+    /// numeric sweeps; coordinate-aware callers should prefer
+    /// [`Profile::columns`].
+    pub fn arena(&self) -> &[Measurement] {
+        &self.data
+    }
+
     /// Per-thread slice of measurements for one event/metric.
+    /// (Original name of [`Profile::column`], kept for callers that
+    /// read better with it.)
     pub fn across_threads(&self, event: EventId, metric: MetricId) -> &[Measurement] {
-        &self.data[event.0 as usize][metric.0 as usize]
+        self.column(event, metric)
     }
 
     /// Exclusive values across threads as a fresh vector.
@@ -361,6 +533,108 @@ impl Profile {
     /// The event id of [`MAIN_EVENT`], if present.
     pub fn main_event(&self) -> Option<EventId> {
         self.event_id(MAIN_EVENT)
+    }
+}
+
+// The wire format predates the flat arena: `data` is serialized as the
+// original nested `[event][metric][thread]` arrays, so repositories
+// written by older builds load unchanged and new files remain readable
+// by them. Only the in-memory layout changed.
+impl Serialize for Profile {
+    fn to_value(&self) -> serde::Value {
+        let events: Vec<serde::Value> = (0..self.events.len())
+            .map(|e| {
+                serde::Value::Array(
+                    (0..self.metrics.len())
+                        .map(|m| {
+                            serde::Value::Array(
+                                self.column(EventId(e as u32), MetricId(m as u32))
+                                    .iter()
+                                    .map(Serialize::to_value)
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        serde::Value::Object(vec![
+            ("metrics".to_string(), self.metrics.to_value()),
+            ("events".to_string(), self.events.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+            ("data".to_string(), serde::Value::Array(events)),
+        ])
+    }
+}
+
+impl Deserialize for Profile {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("Profile: expected object"))?;
+        let field = |name: &str| {
+            serde::object_get(pairs, name)
+                .ok_or_else(|| serde::Error::custom(format!("Profile: missing field {name}")))
+        };
+        let metrics = Vec::<Metric>::from_value(field("metrics")?)?;
+        let events = Vec::<Event>::from_value(field("events")?)?;
+        let threads = Vec::<ThreadId>::from_value(field("threads")?)?;
+        let nested = Vec::<Vec<Vec<Measurement>>>::from_value(field("data")?)?;
+
+        let (ne, nm, nt) = (events.len(), metrics.len(), threads.len());
+        if nested.len() != ne {
+            return Err(serde::Error::custom(format!(
+                "Profile: {} events but {} data blocks",
+                ne,
+                nested.len()
+            )));
+        }
+        let mut data = Vec::with_capacity(ne * nm * nt);
+        for (e, block) in nested.iter().enumerate() {
+            if block.len() != nm {
+                return Err(serde::Error::custom(format!(
+                    "Profile: event {e} has {} metric rows, expected {nm}",
+                    block.len()
+                )));
+            }
+            for (m, col) in block.iter().enumerate() {
+                if col.len() != nt {
+                    return Err(serde::Error::custom(format!(
+                        "Profile: event {e} metric {m} has {} cells, expected {nt}",
+                        col.len()
+                    )));
+                }
+                data.extend_from_slice(col);
+            }
+        }
+
+        let mut metric_index = HashMap::with_capacity(nm);
+        for (i, m) in metrics.iter().enumerate() {
+            if metric_index.insert(m.name.clone(), i as u32).is_some() {
+                return Err(serde::Error::custom(format!(
+                    "Profile: duplicate metric {:?}",
+                    m.name
+                )));
+            }
+        }
+        let mut event_index = HashMap::with_capacity(ne);
+        for (i, e) in events.iter().enumerate() {
+            if event_index.insert(e.name.clone(), i as u32).is_some() {
+                return Err(serde::Error::custom(format!(
+                    "Profile: duplicate event {:?}",
+                    e.name
+                )));
+            }
+        }
+
+        Ok(Profile {
+            metrics,
+            events,
+            threads,
+            data,
+            metric_index,
+            event_index,
+        })
     }
 }
 
@@ -498,11 +772,31 @@ mod tests {
         let mut p = Profile::new(vec![ThreadId::flat(0), ThreadId::flat(1)]);
         let time = p.add_metric(Metric::measured("TIME")).unwrap();
         let main = p.add_event(Event::new("main")).unwrap();
-        let inner = p
-            .add_event(Event::new("main => loop"))
-            .unwrap();
-        p.set(main, time, 0, Measurement { inclusive: 10.0, exclusive: 4.0, calls: 1.0, subcalls: 1.0 }).unwrap();
-        p.set(main, time, 1, Measurement { inclusive: 12.0, exclusive: 6.0, calls: 1.0, subcalls: 1.0 }).unwrap();
+        let inner = p.add_event(Event::new("main => loop")).unwrap();
+        p.set(
+            main,
+            time,
+            0,
+            Measurement {
+                inclusive: 10.0,
+                exclusive: 4.0,
+                calls: 1.0,
+                subcalls: 1.0,
+            },
+        )
+        .unwrap();
+        p.set(
+            main,
+            time,
+            1,
+            Measurement {
+                inclusive: 12.0,
+                exclusive: 6.0,
+                calls: 1.0,
+                subcalls: 1.0,
+            },
+        )
+        .unwrap();
         p.set(inner, time, 0, Measurement::leaf(6.0)).unwrap();
         p.set(inner, time, 1, Measurement::leaf(6.0)).unwrap();
         p
@@ -604,10 +898,7 @@ mod tests {
         let cell = trial.profile.get(e, t, 0).unwrap();
         assert_eq!(cell.exclusive, 1.0);
         assert_eq!(cell.calls, 2.0);
-        assert_eq!(
-            trial.metadata.get_str("schedule"),
-            Some("dynamic")
-        );
+        assert_eq!(trial.metadata.get_str("schedule"), Some("dynamic"));
     }
 
     #[test]
@@ -633,5 +924,108 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: Profile = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn serde_wire_format_is_nested_v1() {
+        // The arena must not leak into the JSON: `data` stays the
+        // nested [event][metric][thread] arrays of the original layout.
+        let p = sample_profile();
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.contains("\"data\":[[["));
+        assert!(json.starts_with("{\"metrics\":["));
+    }
+
+    #[test]
+    fn column_views_are_contiguous_and_correct() {
+        let p = sample_profile();
+        let time = p.metric_id("TIME").unwrap();
+        let main = p.event_id("main").unwrap();
+        let inner = p.event_id("main => loop").unwrap();
+
+        let col = p.column(main, time);
+        assert_eq!(col.len(), 2);
+        assert_eq!(col[0].exclusive, 4.0);
+        assert_eq!(col[1].exclusive, 6.0);
+
+        // event_slice covers all metrics for one event contiguously.
+        assert_eq!(p.event_slice(inner), p.column(inner, time));
+
+        // thread_slice walks one (metric, thread) lane across events.
+        let lane: Vec<f64> = p.thread_slice(time, 1).map(|(_, m)| m.exclusive).collect();
+        assert_eq!(lane, vec![6.0, 6.0]);
+    }
+
+    #[test]
+    fn columns_iterator_covers_every_column_once() {
+        let mut p = sample_profile();
+        p.add_metric(Metric::measured("CPU_CYCLES")).unwrap();
+        let seen: Vec<(u32, u32)> = p.columns().map(|(e, m, _)| (e.0, m.0)).collect();
+        assert_eq!(seen, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        for (e, m, col) in p.columns() {
+            assert_eq!(col, p.column(e, m));
+        }
+        assert_eq!(p.cells().count(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn columns_mut_writes_through() {
+        let mut p = sample_profile();
+        for (_, _, col) in p.columns_mut() {
+            for cell in col {
+                cell.exclusive *= 2.0;
+            }
+        }
+        let time = p.metric_id("TIME").unwrap();
+        let main = p.event_id("main").unwrap();
+        assert_eq!(p.get(main, time, 0).unwrap().exclusive, 8.0);
+    }
+
+    #[test]
+    fn add_metric_preserves_existing_cells() {
+        let mut p = sample_profile();
+        let time = p.metric_id("TIME").unwrap();
+        let main = p.event_id("main").unwrap();
+        let before = *p.get(main, time, 1).unwrap();
+        let cyc = p.add_metric(Metric::measured("CPU_CYCLES")).unwrap();
+        assert_eq!(p.get(main, time, 1), Some(&before));
+        assert_eq!(p.get(main, cyc, 1), Some(&Measurement::default()));
+        // Columns remain addressable after the rebuild.
+        assert_eq!(p.column(main, cyc).len(), 2);
+    }
+
+    #[test]
+    fn interned_lookup_tracks_mutations() {
+        let mut p = Profile::new(vec![ThreadId::flat(0)]);
+        assert_eq!(p.metric_id("TIME"), None);
+        let t = p.add_metric(Metric::measured("TIME")).unwrap();
+        let e = p.add_event(Event::new("alpha")).unwrap();
+        assert_eq!(p.metric_id("TIME"), Some(t));
+        assert_eq!(p.event_id("alpha"), Some(e));
+        for i in 0..100 {
+            p.add_event(Event::new(format!("ev{i}"))).unwrap();
+        }
+        assert_eq!(p.event_id("ev99"), Some(EventId(100)));
+        assert_eq!(p.event_count(), 101);
+        assert_eq!(p.arena().len(), 101);
+    }
+
+    #[test]
+    fn empty_profiles_are_serde_stable() {
+        let p = Profile::new(Vec::new());
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Profile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(back.columns().count(), 0);
+    }
+
+    #[test]
+    fn deserialize_rejects_ragged_data() {
+        // Two events declared, one data block: dimension mismatch.
+        let json = r#"{"metrics":[{"name":"TIME","derived":false}],
+            "events":[{"name":"a","kind":null},{"name":"b","kind":null}],
+            "threads":[{"node":0,"context":0,"thread":0}],
+            "data":[[[{"inclusive":1.0,"exclusive":1.0,"calls":1.0,"subcalls":0.0}]]]}"#;
+        assert!(serde_json::from_str::<Profile>(json).is_err());
     }
 }

@@ -105,10 +105,12 @@ impl Repository {
 
     /// Looks up an application.
     pub fn application(&self, app: &str) -> Result<&Application> {
-        self.applications.get(app).ok_or_else(|| DmfError::NotFound {
-            kind: "application",
-            name: app.to_string(),
-        })
+        self.applications
+            .get(app)
+            .ok_or_else(|| DmfError::NotFound {
+                kind: "application",
+                name: app.to_string(),
+            })
     }
 
     /// Looks up an experiment.
@@ -214,7 +216,8 @@ mod tests {
     #[test]
     fn add_and_get_trial() {
         let mut repo = Repository::new();
-        repo.add_trial("Fluid Dynamic", "rib 45", trial("1_8", 8)).unwrap();
+        repo.add_trial("Fluid Dynamic", "rib 45", trial("1_8", 8))
+            .unwrap();
         let t = repo.trial("Fluid Dynamic", "rib 45", "1_8").unwrap();
         assert_eq!(t.profile.thread_count(), 8);
     }
@@ -224,13 +227,19 @@ mod tests {
         let repo = Repository::new();
         assert!(matches!(
             repo.trial("nope", "x", "y"),
-            Err(DmfError::NotFound { kind: "application", .. })
+            Err(DmfError::NotFound {
+                kind: "application",
+                ..
+            })
         ));
         let mut repo = Repository::new();
         repo.add_trial("app", "exp", trial("t", 1)).unwrap();
         assert!(matches!(
             repo.trial("app", "other", "t"),
-            Err(DmfError::NotFound { kind: "experiment", .. })
+            Err(DmfError::NotFound {
+                kind: "experiment",
+                ..
+            })
         ));
         assert!(matches!(
             repo.trial("app", "exp", "other"),
@@ -247,10 +256,7 @@ mod tests {
             Err(DmfError::Duplicate { .. })
         ));
         repo.upsert_trial("a", "e", trial("t", 4));
-        assert_eq!(
-            repo.trial("a", "e", "t").unwrap().profile.thread_count(),
-            4
-        );
+        assert_eq!(repo.trial("a", "e", "t").unwrap().profile.thread_count(), 4);
     }
 
     #[test]

@@ -114,9 +114,7 @@ mod tests {
         repo.upsert_trial("app", "exp", trial("t0"));
         assert_eq!(t.profile.thread_count(), 1);
         // Structured read access.
-        let names: Vec<String> = repo.read(|r| {
-            r.application_names().map(str::to_string).collect()
-        });
+        let names: Vec<String> = repo.read(|r| r.application_names().map(str::to_string).collect());
         assert_eq!(names, vec!["app"]);
     }
 

@@ -8,7 +8,7 @@
 //! diagnosed in one pass — the same philosophy as the analysis layer's
 //! batched performance assertions.
 
-use crate::model::{Profile, Trial};
+use crate::model::{EventId, Profile, Trial};
 use serde::{Deserialize, Serialize};
 
 /// One consistency violation.
@@ -69,89 +69,89 @@ const TOLERANCE: f64 = 1e-9;
 /// intermediate callpath node, so those invariants do not hold for them.
 pub fn validate_profile(profile: &Profile) -> Vec<Violation> {
     let mut out = Vec::new();
-    let events: Vec<_> = profile.events().to_vec();
-    for metric in profile.metrics().to_vec() {
-        let m = profile.metric_id(&metric.name).expect("iterating");
+    // Per-cell checks: one streaming pass over the contiguous columns.
+    for (e, m, col) in profile.columns() {
+        let event = profile.event(e);
+        let metric = profile.metric(m);
         let is_time = metric.name == "TIME";
-        for event in &events {
-            let e = profile.event_id(&event.name).expect("iterating");
-            for t in 0..profile.thread_count() {
-                let cell = profile.get(e, m, t).expect("dense");
-                for (field, value) in [
-                    ("inclusive", cell.inclusive),
-                    ("exclusive", cell.exclusive),
-                    ("calls", cell.calls),
-                    ("subcalls", cell.subcalls),
-                ] {
-                    if value < 0.0 {
-                        out.push(Violation {
-                            event: event.name.clone(),
-                            metric: metric.name.clone(),
-                            thread: t,
-                            kind: ViolationKind::Negative {
-                                field: field.to_string(),
-                                value,
-                            },
-                        });
-                    }
-                }
-                if cell.exclusive > cell.inclusive * (1.0 + TOLERANCE) + TOLERANCE {
+        for (t, cell) in col.iter().enumerate() {
+            for (field, value) in [
+                ("inclusive", cell.inclusive),
+                ("exclusive", cell.exclusive),
+                ("calls", cell.calls),
+                ("subcalls", cell.subcalls),
+            ] {
+                if value < 0.0 {
                     out.push(Violation {
                         event: event.name.clone(),
                         metric: metric.name.clone(),
                         thread: t,
-                        kind: ViolationKind::ExclusiveExceedsInclusive {
-                            exclusive: cell.exclusive,
-                            inclusive: cell.inclusive,
-                        },
-                    });
-                }
-                if is_time && cell.calls == 0.0 && cell.inclusive != 0.0 {
-                    out.push(Violation {
-                        event: event.name.clone(),
-                        metric: metric.name.clone(),
-                        thread: t,
-                        kind: ViolationKind::ValueWithoutCalls {
-                            inclusive: cell.inclusive,
+                        kind: ViolationKind::Negative {
+                            field: field.to_string(),
+                            value,
                         },
                     });
                 }
             }
+            if cell.exclusive > cell.inclusive * (1.0 + TOLERANCE) + TOLERANCE {
+                out.push(Violation {
+                    event: event.name.clone(),
+                    metric: metric.name.clone(),
+                    thread: t,
+                    kind: ViolationKind::ExclusiveExceedsInclusive {
+                        exclusive: cell.exclusive,
+                        inclusive: cell.inclusive,
+                    },
+                });
+            }
+            if is_time && cell.calls == 0.0 && cell.inclusive != 0.0 {
+                out.push(Violation {
+                    event: event.name.clone(),
+                    metric: metric.name.clone(),
+                    thread: t,
+                    kind: ViolationKind::ValueWithoutCalls {
+                        inclusive: cell.inclusive,
+                    },
+                });
+            }
         }
-        // Parent/child: direct children's inclusive ≤ parent inclusive
-        // (TIME only; counters are not rolled up through the callpath).
-        if !is_time {
+    }
+    // Parent/child: direct children's inclusive ≤ parent inclusive
+    // (TIME only; counters are not rolled up through the callpath).
+    // Children resolve their parents through the interned event table.
+    let Some(time) = profile.metric_id("TIME") else {
+        return out;
+    };
+    let mut children: Vec<Vec<EventId>> = vec![Vec::new(); profile.event_count()];
+    for (i, event) in profile.events().iter().enumerate() {
+        if let Some(parent) = event.parent_name() {
+            if let Some(pe) = profile.event_id(parent) {
+                children[pe.0 as usize].push(EventId(i as u32));
+            }
+        }
+    }
+    for (pe, kids) in children.iter().enumerate() {
+        if kids.is_empty() {
             continue;
         }
-        for parent in &events {
-            let pe = profile.event_id(&parent.name).expect("iterating");
-            let children: Vec<_> = events
+        let parent = profile.event(EventId(pe as u32));
+        let parent_col = profile.column(EventId(pe as u32), time);
+        for (t, parent_cell) in parent_col.iter().enumerate() {
+            let p_incl = parent_cell.inclusive;
+            let sum: f64 = kids
                 .iter()
-                .filter(|c| c.parent_name() == Some(parent.name.as_str()))
-                .collect();
-            if children.is_empty() {
-                continue;
-            }
-            for t in 0..profile.thread_count() {
-                let p_incl = profile.get(pe, m, t).expect("dense").inclusive;
-                let sum: f64 = children
-                    .iter()
-                    .map(|c| {
-                        let ce = profile.event_id(&c.name).expect("iterating");
-                        profile.get(ce, m, t).expect("dense").inclusive
-                    })
-                    .sum();
-                if sum > p_incl * (1.0 + TOLERANCE) + TOLERANCE {
-                    out.push(Violation {
-                        event: parent.name.clone(),
-                        metric: metric.name.clone(),
-                        thread: t,
-                        kind: ViolationKind::ChildrenExceedParent {
-                            children_sum: sum,
-                            parent: p_incl,
-                        },
-                    });
-                }
+                .map(|&ce| profile.column(ce, time)[t].inclusive)
+                .sum();
+            if sum > p_incl * (1.0 + TOLERANCE) + TOLERANCE {
+                out.push(Violation {
+                    event: parent.name.clone(),
+                    metric: "TIME".to_string(),
+                    thread: t,
+                    kind: ViolationKind::ChildrenExceedParent {
+                        children_sum: sum,
+                        parent: p_incl,
+                    },
+                });
             }
         }
     }
@@ -174,8 +174,28 @@ mod tests {
         let main = b.event("main");
         let k = b.event("main => k");
         for t in 0..2 {
-            b.set(main, time, t, Measurement { inclusive: 10.0, exclusive: 4.0, calls: 1.0, subcalls: 1.0 });
-            b.set(k, time, t, Measurement { inclusive: 6.0, exclusive: 6.0, calls: 3.0, subcalls: 0.0 });
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: 10.0,
+                    exclusive: 4.0,
+                    calls: 1.0,
+                    subcalls: 1.0,
+                },
+            );
+            b.set(
+                k,
+                time,
+                t,
+                Measurement {
+                    inclusive: 6.0,
+                    exclusive: 6.0,
+                    calls: 3.0,
+                    subcalls: 0.0,
+                },
+            );
         }
         b.build()
     }
@@ -195,7 +215,17 @@ mod tests {
         let time = t.profile.metric_id("TIME").unwrap();
         let k = t.profile.event_id("main => k").unwrap();
         t.profile
-            .set(k, time, 0, Measurement { inclusive: 1.0, exclusive: 2.0, calls: 1.0, subcalls: 0.0 })
+            .set(
+                k,
+                time,
+                0,
+                Measurement {
+                    inclusive: 1.0,
+                    exclusive: 2.0,
+                    calls: 1.0,
+                    subcalls: 0.0,
+                },
+            )
             .unwrap();
         let violations = validate(&t);
         assert!(violations.iter().any(|v| matches!(
@@ -211,7 +241,17 @@ mod tests {
         let time = t.profile.metric_id("TIME").unwrap();
         let k = t.profile.event_id("main => k").unwrap();
         t.profile
-            .set(k, time, 1, Measurement { inclusive: 50.0, exclusive: 50.0, calls: 1.0, subcalls: 0.0 })
+            .set(
+                k,
+                time,
+                1,
+                Measurement {
+                    inclusive: 50.0,
+                    exclusive: 50.0,
+                    calls: 1.0,
+                    subcalls: 0.0,
+                },
+            )
             .unwrap();
         let violations = validate(&t);
         assert!(violations.iter().any(|v| matches!(
@@ -227,11 +267,31 @@ mod tests {
         let time = t.profile.metric_id("TIME").unwrap();
         let main = t.profile.event_id("main").unwrap();
         t.profile
-            .set(main, time, 0, Measurement { inclusive: 10.0, exclusive: -1.0, calls: 1.0, subcalls: 0.0 })
+            .set(
+                main,
+                time,
+                0,
+                Measurement {
+                    inclusive: 10.0,
+                    exclusive: -1.0,
+                    calls: 1.0,
+                    subcalls: 0.0,
+                },
+            )
             .unwrap();
         let k = t.profile.event_id("main => k").unwrap();
         t.profile
-            .set(k, time, 1, Measurement { inclusive: 5.0, exclusive: 5.0, calls: 0.0, subcalls: 0.0 })
+            .set(
+                k,
+                time,
+                1,
+                Measurement {
+                    inclusive: 5.0,
+                    exclusive: 5.0,
+                    calls: 0.0,
+                    subcalls: 0.0,
+                },
+            )
             .unwrap();
         let violations = validate(&t);
         assert!(violations.iter().any(|v| matches!(
@@ -251,10 +311,30 @@ mod tests {
         let main = t.profile.event_id("main").unwrap();
         let k = t.profile.event_id("main => k").unwrap();
         t.profile
-            .set(main, time, 0, Measurement { inclusive: 1.0, exclusive: 2.0, calls: 1.0, subcalls: 0.0 })
+            .set(
+                main,
+                time,
+                0,
+                Measurement {
+                    inclusive: 1.0,
+                    exclusive: 2.0,
+                    calls: 1.0,
+                    subcalls: 0.0,
+                },
+            )
             .unwrap();
         t.profile
-            .set(k, time, 1, Measurement { inclusive: -3.0, exclusive: -3.0, calls: 1.0, subcalls: 0.0 })
+            .set(
+                k,
+                time,
+                1,
+                Measurement {
+                    inclusive: -3.0,
+                    exclusive: -3.0,
+                    calls: 1.0,
+                    subcalls: 0.0,
+                },
+            )
             .unwrap();
         let violations = validate(&t);
         assert!(violations.len() >= 3, "found: {violations:?}");

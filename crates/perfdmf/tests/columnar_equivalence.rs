@@ -1,0 +1,235 @@
+//! Observational equivalence of the columnar arena `Profile` against a
+//! reference implementation of the seed's nested
+//! `data[event][metric][thread]` model, plus the seed-format (v1) JSON
+//! fixture check.
+//!
+//! Random construction sequences are applied to both models; every
+//! read the old API offered must agree afterwards, so the arena refactor
+//! is invisible to callers.
+
+use perfdmf::{Event, EventId, Measurement, Metric, MetricId, Profile, Repository, ThreadId};
+use proptest::prelude::*;
+
+/// Reference model: the seed's storage layout and lookup semantics.
+struct NestedProfile {
+    metric_names: Vec<String>,
+    event_names: Vec<String>,
+    threads: usize,
+    /// `data[event][metric][thread]`.
+    data: Vec<Vec<Vec<Measurement>>>,
+}
+
+impl NestedProfile {
+    fn new(threads: usize) -> Self {
+        NestedProfile {
+            metric_names: Vec::new(),
+            event_names: Vec::new(),
+            threads,
+            data: Vec::new(),
+        }
+    }
+
+    fn add_metric(&mut self, name: &str) -> Option<usize> {
+        if self.metric_names.iter().any(|m| m == name) {
+            return None;
+        }
+        self.metric_names.push(name.to_string());
+        for block in &mut self.data {
+            block.push(vec![Measurement::default(); self.threads]);
+        }
+        Some(self.metric_names.len() - 1)
+    }
+
+    fn add_event(&mut self, name: &str) -> Option<usize> {
+        if self.event_names.iter().any(|e| e == name) {
+            return None;
+        }
+        self.event_names.push(name.to_string());
+        self.data.push(vec![
+            vec![Measurement::default(); self.threads];
+            self.metric_names.len()
+        ]);
+        Some(self.event_names.len() - 1)
+    }
+
+    fn set(&mut self, e: usize, m: usize, t: usize, v: Measurement) {
+        self.data[e][m][t] = v;
+    }
+}
+
+/// One step of a random construction sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    AddMetric(String),
+    AddEvent(String),
+    /// Indices are taken modulo the current axis lengths.
+    Set(usize, usize, usize, f64),
+}
+
+fn arb_ops() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    let op = prop_oneof![
+        "[A-Z]{1,6}".prop_map(Op::AddMetric),
+        "[a-z]{1,6}".prop_map(Op::AddEvent),
+        (0usize..8, 0usize..8, 0usize..8, -1e6f64..1e6)
+            .prop_map(|(e, m, t, v)| Op::Set(e, m, t, v)),
+    ];
+    (1usize..5, prop::collection::vec(op, 0..40))
+}
+
+/// Applies the same sequence to both models. Metrics and events pass
+/// through the same duplicate filter; sets target the same cell.
+fn build_both(threads: usize, ops: &[Op]) -> (Profile, NestedProfile) {
+    let mut col = Profile::new((0..threads as u32).map(ThreadId::flat).collect());
+    let mut nested = NestedProfile::new(threads);
+    for op in ops {
+        match op {
+            Op::AddMetric(name) => {
+                let n = nested.add_metric(name);
+                let c = col.add_metric(Metric::measured(name.as_str()));
+                assert_eq!(n.is_some(), c.is_ok(), "duplicate detection must agree");
+                if let (Some(n), Ok(c)) = (n, c) {
+                    assert_eq!(n as u32, c.0, "metric ids must agree");
+                }
+            }
+            Op::AddEvent(name) => {
+                let n = nested.add_event(name);
+                let c = col.add_event(Event::new(name.as_str()));
+                assert_eq!(n.is_some(), c.is_ok(), "duplicate detection must agree");
+                if let (Some(n), Ok(c)) = (n, c) {
+                    assert_eq!(n as u32, c.0, "event ids must agree");
+                }
+            }
+            Op::Set(e, m, t, v) => {
+                let (ne, nm) = (nested.event_names.len(), nested.metric_names.len());
+                if ne == 0 || nm == 0 {
+                    continue;
+                }
+                let (e, m, t) = (e % ne, m % nm, t % threads);
+                let cell = Measurement {
+                    inclusive: 2.0 * v,
+                    exclusive: *v,
+                    calls: 1.0,
+                    subcalls: 0.0,
+                };
+                nested.set(e, m, t, cell);
+                col.set(EventId(e as u32), MetricId(m as u32), t, cell)
+                    .expect("in-range set");
+            }
+        }
+    }
+    (col, nested)
+}
+
+proptest! {
+    /// Every read the old nested API offered agrees with the arena.
+    #[test]
+    fn construction_sequences_are_observationally_equivalent(
+        (threads, ops) in arb_ops()
+    ) {
+        let (col, nested) = build_both(threads, &ops);
+
+        prop_assert_eq!(col.metric_count(), nested.metric_names.len());
+        prop_assert_eq!(col.event_count(), nested.event_names.len());
+        prop_assert_eq!(col.thread_count(), threads);
+
+        // Interned name lookups agree with the seed's linear scans.
+        for (i, name) in nested.metric_names.iter().enumerate() {
+            prop_assert_eq!(col.metric_id(name), Some(MetricId(i as u32)));
+        }
+        for (i, name) in nested.event_names.iter().enumerate() {
+            prop_assert_eq!(col.event_id(name), Some(EventId(i as u32)));
+        }
+        prop_assert_eq!(col.metric_id("no such metric"), None);
+        prop_assert_eq!(col.event_id("no such event"), None);
+
+        // Cell-for-cell equality through get / column / thread_slice.
+        for e in 0..nested.event_names.len() {
+            let eid = EventId(e as u32);
+            for m in 0..nested.metric_names.len() {
+                let mid = MetricId(m as u32);
+                let column = col.column(eid, mid);
+                prop_assert_eq!(column, nested.data[e][m].as_slice());
+                for t in 0..threads {
+                    prop_assert_eq!(col.get(eid, mid, t), Some(&nested.data[e][m][t]));
+                }
+            }
+        }
+        for m in 0..nested.metric_names.len() {
+            for t in 0..threads {
+                let lane: Vec<Measurement> = col
+                    .thread_slice(MetricId(m as u32), t)
+                    .map(|(_, c)| *c)
+                    .collect();
+                let expect: Vec<Measurement> =
+                    (0..nested.event_names.len()).map(|e| nested.data[e][m][t]).collect();
+                prop_assert_eq!(lane, expect);
+            }
+        }
+
+        // The columns iterator is the triple loop in event-major,
+        // metric-inner order, each column exactly once.
+        let mut expect = Vec::new();
+        for e in 0..nested.event_names.len() {
+            for m in 0..nested.metric_names.len() {
+                expect.push((e as u32, m as u32, nested.data[e][m].clone()));
+            }
+        }
+        let got: Vec<(u32, u32, Vec<Measurement>)> =
+            col.columns().map(|(e, m, c)| (e.0, m.0, c.to_vec())).collect();
+        prop_assert_eq!(got, expect);
+
+        // Out-of-range access stays checked, as the nested Vecs were.
+        let ne = nested.event_names.len() as u32;
+        let nm = nested.metric_names.len() as u32;
+        prop_assert_eq!(col.get(EventId(ne), MetricId(0), 0), None);
+        prop_assert_eq!(col.get(EventId(0), MetricId(nm), 0), None);
+        prop_assert_eq!(col.get(EventId(0), MetricId(0), threads), None);
+    }
+
+    /// The wire format round-trips and is byte-stable: the arena never
+    /// leaks into JSON, so old readers keep working.
+    #[test]
+    fn serialization_is_nested_and_stable((threads, ops) in arb_ops()) {
+        let (col, _) = build_both(threads, &ops);
+        let json = serde_json::to_string(&col).unwrap();
+        if col.event_count() > 0 && col.metric_count() > 0 {
+            prop_assert!(json.contains("\"data\":[[["));
+        }
+        let back: Profile = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &col);
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}
+
+/// A repository JSON written by the seed build (nested v1 `data`
+/// arrays) loads unchanged and resolves through the interned lookups.
+#[test]
+fn v1_fixture_loads() {
+    let json = include_str!("fixtures/v1_repo.json");
+    assert!(
+        json.contains("\"data\":[[["),
+        "fixture must be the nested v1 wire format"
+    );
+    let repo = Repository::from_json(json).unwrap();
+    let trial = repo.trial("gyro.B1-std", "scaling", "64_threads").unwrap();
+    let p = &trial.profile;
+
+    assert_eq!(p.thread_count(), 4);
+    let time = p.metric_id("TIME").unwrap();
+    let cycles = p.metric_id("CPU_CYCLES").unwrap();
+    let main = p.event_id("main").unwrap();
+    let hot = p.event_id("main => timestep => diff_coeff").unwrap();
+
+    assert_eq!(p.get(main, time, 0).unwrap().inclusive, 110.0);
+    assert_eq!(p.get(main, time, 3).unwrap().exclusive, 13.0);
+    assert_eq!(p.get(hot, time, 2).unwrap().exclusive, 54.0);
+    assert_eq!(p.get(main, cycles, 1).unwrap().inclusive, 1e6);
+    assert_eq!(p.column(hot, cycles).len(), 4);
+    assert!(p.column(hot, cycles).iter().all(|c| c.exclusive == 5e5));
+
+    assert_eq!(trial.metadata.get_str("machine"), Some("mcr.llnl.gov"));
+    assert_eq!(trial.metadata.get_num("threads"), Some(4.0));
+
+    // Writing it back preserves the v1 wire format byte-for-byte.
+    assert_eq!(repo.to_json().unwrap(), json.trim_end());
+}

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 /// Strategy: a small random profile with one TIME metric.
 fn arb_profile() -> impl Strategy<Value = Profile> {
     (
-        1usize..5,                                         // threads
-        prop::collection::vec("[a-z]{1,8}", 1..6),         // event names
+        1usize..5,                                 // threads
+        prop::collection::vec("[a-z]{1,8}", 1..6), // event names
     )
         .prop_flat_map(|(threads, mut names)| {
             names.sort();
@@ -169,8 +169,7 @@ proptest! {
 fn repository_query_across_formats() {
     // Profiles arriving via different formats coexist in one repository.
     let tau_text = "1 templated_functions_MULTI_TIME\n\"main\" 1 0 10 10 0\n";
-    let tau_trial =
-        tau::assemble_trial("tau_run", &[(ThreadId::flat(0), tau_text)]).unwrap();
+    let tau_trial = tau::assemble_trial("tau_run", &[(ThreadId::flat(0), tau_text)]).unwrap();
 
     let csv_text = "\
 event,metric,node,context,thread,inclusive,exclusive,calls,subcalls

@@ -109,12 +109,7 @@ impl Pattern {
     }
 
     /// Adds a literal constraint.
-    pub fn constrain(
-        mut self,
-        field: &str,
-        cmp: Comparator,
-        value: impl Into<Value>,
-    ) -> Self {
+    pub fn constrain(mut self, field: &str, cmp: Comparator, value: impl Into<Value>) -> Self {
         self.constraints.push(Constraint {
             field: field.to_string(),
             cmp,
@@ -135,7 +130,8 @@ impl Pattern {
 
     /// Binds `variable` to `field` of the matched fact.
     pub fn bind(mut self, variable: &str, field: &str) -> Self {
-        self.bindings.push((variable.to_string(), field.to_string()));
+        self.bindings
+            .push((variable.to_string(), field.to_string()));
         self
     }
 

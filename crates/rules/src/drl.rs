@@ -111,10 +111,9 @@ impl<'a> Lexer<'a> {
                             b'"' => '"',
                             b'\\' => '\\',
                             other => {
-                                return Err(self.error(format!(
-                                    "unknown escape \\{}",
-                                    other as char
-                                )))
+                                return Err(
+                                    self.error(format!("unknown escape \\{}", other as char))
+                                )
                             }
                         });
                     }
@@ -158,7 +157,9 @@ impl<'a> Lexer<'a> {
             return Ok(Some((Tok::Ident(text), line)));
         }
         // Symbols, longest first.
-        for sym in ["==", "!=", "<=", ">=", "(", ")", ",", ":", ";", "+", "<", ">"] {
+        for sym in [
+            "==", "!=", "<=", ">=", "(", ")", ",", ":", ";", "+", "<", ">",
+        ] {
             if self.src[self.pos..].starts_with(sym.as_bytes()) {
                 self.pos += sym.len();
                 return Ok(Some((Tok::Sym(sym.to_string()), line)));
@@ -591,9 +592,7 @@ end
             .replace("inner_name : m", "m : name");
         let mut engine = Engine::new();
         engine.add_rules(parse(&src).unwrap()).unwrap();
-        engine.assert_fact(
-            Fact::new("Region").with("kind", "outer").with("name", "A"),
-        );
+        engine.assert_fact(Fact::new("Region").with("kind", "outer").with("name", "A"));
         engine.assert_fact(
             Fact::new("Region")
                 .with("kind", "inner")
@@ -654,10 +653,7 @@ rule "b" when T( ) then end
 
     #[test]
     fn string_escapes() {
-        let rules = parse(
-            "rule \"r\" when T( ) then print(\"a\\tb\\n\\\"q\\\"\"); end",
-        )
-        .unwrap();
+        let rules = parse("rule \"r\" when T( ) then print(\"a\\tb\\n\\\"q\\\"\"); end").unwrap();
         let mut engine = Engine::new();
         engine.add_rules(rules).unwrap();
         engine.assert_fact(Fact::new("T"));
@@ -692,7 +688,13 @@ end
 /// Renders a value as DRL source.
 fn value_to_drl(v: &Value) -> String {
     match v {
-        Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n").replace('\t', "\\t")),
+        Value::Str(s) => format!(
+            "\"{}\"",
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t")
+        ),
         Value::Num(n) => {
             if n.fract() == 0.0 && n.abs() < 1e15 {
                 format!("{}", *n as i64)
@@ -771,7 +773,11 @@ pub fn to_drl(rules: &[Rule]) -> Result<String> {
             out.push_str("    ");
             match stmt {
                 RhsStatement::Print(parts) => {
-                    let text = parts.iter().map(expr_to_drl).collect::<Vec<_>>().join(" + ");
+                    let text = parts
+                        .iter()
+                        .map(expr_to_drl)
+                        .collect::<Vec<_>>()
+                        .join(" + ");
                     out.push_str(&format!("print({text});"));
                 }
                 RhsStatement::Retract(var) => out.push_str(&format!("retract({var});")),

@@ -317,9 +317,7 @@ impl Engine {
             rule: rule_name.to_string(),
             variable: variable.to_string(),
         };
-        let eval = |expr: &crate::rule::RhsExpr,
-                    ctx: &RhsContext|
-         -> Result<Value> {
+        let eval = |expr: &crate::rule::RhsExpr, ctx: &RhsContext| -> Result<Value> {
             expr.eval(ctx.env).ok_or_else(|| {
                 let mut vars = Vec::new();
                 expr.variables(&mut vars);
@@ -390,7 +388,6 @@ impl Engine {
         }
         Ok(())
     }
-
 }
 
 #[cfg(test)]
@@ -419,9 +416,21 @@ mod tests {
     fn single_rule_fires_per_matching_fact() {
         let mut engine = Engine::new();
         engine.add_rule(high_severity_rule()).unwrap();
-        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.5).with("eventName", "a"));
-        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.05).with("eventName", "b"));
-        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.2).with("eventName", "c"));
+        engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.5)
+                .with("eventName", "a"),
+        );
+        engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.05)
+                .with("eventName", "b"),
+        );
+        engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.2)
+                .with("eventName", "c"),
+        );
         let report = engine.run().unwrap();
         assert_eq!(report.firings.len(), 2);
         assert!(report.printed.contains(&"severe: a".to_string()));
@@ -432,13 +441,21 @@ mod tests {
     fn refraction_prevents_refiring_on_second_run() {
         let mut engine = Engine::new();
         engine.add_rule(high_severity_rule()).unwrap();
-        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.5).with("eventName", "a"));
+        engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.5)
+                .with("eventName", "a"),
+        );
         let first = engine.run().unwrap();
         assert_eq!(first.firings.len(), 1);
         let second = engine.run().unwrap();
         assert_eq!(second.firings.len(), 0);
         // A new equal fact is a new activation.
-        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.5).with("eventName", "a"));
+        engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.5)
+                .with("eventName", "a"),
+        );
         let third = engine.run().unwrap();
         assert_eq!(third.firings.len(), 1);
     }
@@ -613,12 +630,20 @@ mod tests {
     fn reset_clears_memory_but_keeps_rules() {
         let mut engine = Engine::new();
         engine.add_rule(high_severity_rule()).unwrap();
-        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.9).with("eventName", "x"));
+        engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.9)
+                .with("eventName", "x"),
+        );
         engine.run().unwrap();
         engine.reset();
         assert_eq!(engine.fact_count(), 0);
         assert_eq!(engine.rule_count(), 1);
-        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.9).with("eventName", "x"));
+        engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.9)
+                .with("eventName", "x"),
+        );
         let report = engine.run().unwrap();
         assert_eq!(report.firings.len(), 1, "refraction memory was cleared");
     }
@@ -627,7 +652,11 @@ mod tests {
     fn firing_records_capture_bindings() {
         let mut engine = Engine::new();
         engine.add_rule(high_severity_rule()).unwrap();
-        engine.assert_fact(Fact::new("MeanEventFact").with("severity", 0.5).with("eventName", "a"));
+        engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.5)
+                .with("eventName", "a"),
+        );
         let report = engine.run().unwrap();
         let rec = &report.firings[0];
         assert_eq!(rec.rule, "high severity");

@@ -59,8 +59,12 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(e.to_string().contains("line 3"));
-        assert!(RuleError::CycleLimit { limit: 10 }.to_string().contains("10"));
-        assert!(RuleError::DuplicateRule("r".into()).to_string().contains("r"));
+        assert!(RuleError::CycleLimit { limit: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(RuleError::DuplicateRule("r".into())
+            .to_string()
+            .contains("r"));
         let u = RuleError::UnboundVariable {
             rule: "r".into(),
             variable: "v".into(),

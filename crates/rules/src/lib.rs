@@ -63,7 +63,7 @@ pub use condition::{Comparator, Constraint, Operand, Pattern};
 pub use engine::{Diagnosis, Engine, FiringRecord, RunReport};
 pub use error::RuleError;
 pub use fact::{Fact, FactHandle};
-pub use rule::{Action, RhsContext, Rule, RuleBuilder, RhsStatement, RhsExpr};
+pub use rule::{Action, RhsContext, RhsExpr, RhsStatement, Rule, RuleBuilder};
 pub use value::Value;
 
 /// Convenience result alias.

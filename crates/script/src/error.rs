@@ -73,7 +73,10 @@ mod tests {
     #[test]
     fn display_includes_phase_and_line() {
         let e = ScriptError::runtime(7, "undefined variable x");
-        assert_eq!(e.to_string(), "runtime error at line 7: undefined variable x");
+        assert_eq!(
+            e.to_string(),
+            "runtime error at line 7: undefined variable x"
+        );
         assert_eq!(ScriptError::lex(1, "m").phase, Phase::Lex);
         assert_eq!(ScriptError::parse(2, "m").phase, Phase::Parse);
     }

@@ -144,10 +144,7 @@ impl Interpreter {
     }
 
     fn exec_block(&mut self, body: &[Stmt]) -> Result<Flow> {
-        self.frames
-            .last_mut()
-            .expect("frame")
-            .push(Scope::new());
+        self.frames.last_mut().expect("frame").push(Scope::new());
         let mut flow = Flow::Normal(Value::Null);
         for stmt in body {
             match self.exec(stmt)? {
@@ -191,12 +188,9 @@ impl Interpreter {
                         "index assignment requires a variable base",
                     ));
                 };
-                let mut container = self
-                    .lookup(name)
-                    .cloned()
-                    .ok_or_else(|| {
-                        ScriptError::runtime(stmt.line, format!("undefined variable {name:?}"))
-                    })?;
+                let mut container = self.lookup(name).cloned().ok_or_else(|| {
+                    ScriptError::runtime(stmt.line, format!("undefined variable {name:?}"))
+                })?;
                 match (&mut container, &idx) {
                     (Value::List(items), Value::Num(n)) => {
                         let i = *n as usize;
@@ -256,10 +250,7 @@ impl Interpreter {
                 };
                 for item in items {
                     self.bump(stmt.line)?;
-                    self.frames
-                        .last_mut()
-                        .expect("frame")
-                        .push(Scope::new());
+                    self.frames.last_mut().expect("frame").push(Scope::new());
                     self.frames
                         .last_mut()
                         .expect("frame")
@@ -328,15 +319,9 @@ impl Interpreter {
             ExprKind::Unary(op, inner) => {
                 let v = self.eval(inner)?;
                 match op {
-                    UnOp::Neg => v
-                        .as_num()
-                        .map(|n| Value::Num(-n))
-                        .ok_or_else(|| {
-                            ScriptError::runtime(
-                                e.line,
-                                format!("cannot negate a {}", v.type_name()),
-                            )
-                        }),
+                    UnOp::Neg => v.as_num().map(|n| Value::Num(-n)).ok_or_else(|| {
+                        ScriptError::runtime(e.line, format!("cannot negate a {}", v.type_name()))
+                    }),
                     UnOp::Not => Ok(Value::Bool(!v.truthy())),
                 }
             }
@@ -365,7 +350,10 @@ impl Interpreter {
                             .nth(idx)
                             .map(|c| Value::Str(c.to_string()))
                             .ok_or_else(|| {
-                                ScriptError::runtime(e.line, format!("string index {n} out of range"))
+                                ScriptError::runtime(
+                                    e.line,
+                                    format!("string index {n} out of range"),
+                                )
                             })
                     }
                     (b, i) => Err(ScriptError::runtime(
@@ -400,7 +388,11 @@ impl Interpreter {
         let type_err = |op: &str| {
             ScriptError::runtime(
                 line,
-                format!("cannot apply {op} to {} and {}", l.type_name(), r.type_name()),
+                format!(
+                    "cannot apply {op} to {} and {}",
+                    l.type_name(),
+                    r.type_name()
+                ),
             )
         };
         match op {
@@ -411,9 +403,7 @@ impl Interpreter {
                     out.extend(b.iter().cloned());
                     Ok(Value::List(out))
                 }
-                (Value::Str(_), _) | (_, Value::Str(_)) => {
-                    Ok(Value::Str(format!("{l}{r}")))
-                }
+                (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::Str(format!("{l}{r}"))),
                 _ => Err(type_err("+")),
             },
             BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
@@ -515,9 +505,7 @@ impl Interpreter {
             };
         }
         if let Some(f) = self.host_fns.get_mut(name) {
-            return f(args).map_err(|msg| {
-                ScriptError::runtime(line, format!("{name}(): {msg}"))
-            });
+            return f(args).map_err(|msg| ScriptError::runtime(line, format!("{name}(): {msg}")));
         }
         Err(ScriptError::runtime(
             line,
@@ -527,19 +515,14 @@ impl Interpreter {
 
     /// Built-in functions. Returns `Ok(None)` when `name` is not a
     /// builtin so resolution can continue.
-    fn call_builtin(
-        &mut self,
-        name: &str,
-        args: &[Value],
-        line: usize,
-    ) -> Result<Option<Value>> {
+    fn call_builtin(&mut self, name: &str, args: &[Value], line: usize) -> Result<Option<Value>> {
         let argc_err = |expected: &str| {
             ScriptError::runtime(line, format!("{name}() expects {expected} arguments"))
         };
         let num_arg = |i: usize| -> Result<f64> {
-            args.get(i)
-                .and_then(Value::as_num)
-                .ok_or_else(|| ScriptError::runtime(line, format!("{name}(): argument {i} must be a number")))
+            args.get(i).and_then(Value::as_num).ok_or_else(|| {
+                ScriptError::runtime(line, format!("{name}(): argument {i} must be a number"))
+            })
         };
         let v = match name {
             "print" => {
@@ -563,11 +546,9 @@ impl Interpreter {
             },
             "num" => match args {
                 [Value::Num(n)] => Value::Num(*n),
-                [Value::Str(s)] => s
-                    .trim()
-                    .parse::<f64>()
-                    .map(Value::Num)
-                    .map_err(|_| ScriptError::runtime(line, format!("num(): cannot parse {s:?}")))?,
+                [Value::Str(s)] => s.trim().parse::<f64>().map(Value::Num).map_err(|_| {
+                    ScriptError::runtime(line, format!("num(): cannot parse {s:?}"))
+                })?,
                 _ => return Err(argc_err("one num/str")),
             },
             "push" => match args {
@@ -732,10 +713,7 @@ mod tests {
             Value::Num(1.0)
         );
         // Assignment inside a block reaches outward.
-        assert_eq!(
-            eval("let x = 1; if true { x = 5; } x"),
-            Value::Num(5.0)
-        );
+        assert_eq!(eval("let x = 1; if true { x = 5; } x"), Value::Num(5.0));
     }
 
     #[test]
@@ -881,7 +859,9 @@ r";
         assert!(eval_err("1 / 0").message.contains("division by zero"));
         assert!(eval_err("5 % 0").message.contains("modulo by zero"));
         assert!(eval_err("[1][5]").message.contains("out of range"));
-        assert!(eval_err("{ a: 1 }[\"b\"]").message.contains("missing map key"));
+        assert!(eval_err("{ a: 1 }[\"b\"]")
+            .message
+            .contains("missing map key"));
         assert!(eval_err("x = 1;").message.contains("undefined variable"));
         assert!(eval_err("1 + null").message.contains("cannot apply"));
         assert!(eval_err("nothere()").message.contains("unknown function"));
@@ -890,7 +870,9 @@ r";
             .contains("expects 1 arguments"));
         assert!(eval_err("break;").message.contains("outside loop"));
         assert!(eval_err("sqrt(0 - 1)").message.contains("negative"));
-        assert!(eval_err("for x in 5 { }").message.contains("cannot iterate"));
+        assert!(eval_err("for x in 5 { }")
+            .message
+            .contains("cannot iterate"));
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub struct Spanned {
 }
 
 const SYMBOLS: &[&str] = &[
-    "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "{",
-    "}", "[", "]", ",", ";", ":", "!", ".",
+    "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=", "(", ")", "{", "}",
+    "[", "]", ",", ";", ":", "!", ".",
 ];
 
 /// Tokenises a source string.
@@ -198,17 +198,26 @@ mod tests {
 
     #[test]
     fn hash_comments() {
-        assert_eq!(toks("# full line\nx # trailing"), vec![Token::Ident("x".into())]);
+        assert_eq!(
+            toks("# full line\nx # trailing"),
+            vec![Token::Ident("x".into())]
+        );
     }
 
     #[test]
     fn string_escapes() {
-        assert_eq!(toks(r#""a\tb\n\"q\"""#), vec![Token::Str("a\tb\n\"q\"".into())]);
+        assert_eq!(
+            toks(r#""a\tb\n\"q\"""#),
+            vec![Token::Str("a\tb\n\"q\"".into())]
+        );
     }
 
     #[test]
     fn scientific_notation() {
-        assert_eq!(toks("1e3 2.5e-2"), vec![Token::Num(1000.0), Token::Num(0.025)]);
+        assert_eq!(
+            toks("1e3 2.5e-2"),
+            vec![Token::Num(1000.0), Token::Num(0.025)]
+        );
     }
 
     #[test]

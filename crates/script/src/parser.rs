@@ -530,7 +530,10 @@ for x in [1, 2] { print(x); }
     #[test]
     fn parses_index_and_index_assignment() {
         let p = parse("let a = [1]; a[0] = 2; a[0];").unwrap();
-        assert!(matches!(p.statements[1].kind, StmtKind::IndexAssign(_, _, _)));
+        assert!(matches!(
+            p.statements[1].kind,
+            StmtKind::IndexAssign(_, _, _)
+        ));
         match &p.statements[2].kind {
             StmtKind::Expr(e) => assert!(matches!(e.kind, ExprKind::Index(_, _))),
             other => panic!("unexpected {other:?}"),

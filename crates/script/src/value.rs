@@ -184,7 +184,11 @@ mod tests {
         assert!(!Value::List(vec![]).truthy());
         assert!(Value::Num(1.0).truthy());
         assert!(Value::from("x").truthy());
-        assert!(Value::Handle { tag: "t".into(), id: 0 }.truthy());
+        assert!(Value::Handle {
+            tag: "t".into(),
+            id: 0
+        }
+        .truthy());
     }
 
     #[test]
@@ -196,7 +200,11 @@ mod tests {
         m.insert("a".to_string(), Value::Num(1.0));
         assert_eq!(Value::Map(m).to_string(), "{a: 1}");
         assert_eq!(
-            Value::Handle { tag: "trial".into(), id: 3 }.to_string(),
+            Value::Handle {
+                tag: "trial".into(),
+                id: 3
+            }
+            .to_string(),
             "<trial#3>"
         );
     }
@@ -207,7 +215,11 @@ mod tests {
         assert_eq!(Value::from("s").as_str(), Some("s"));
         assert!(Value::from(vec![1.0]).as_list().is_some());
         assert_eq!(
-            Value::Handle { tag: "t".into(), id: 9 }.as_handle(),
+            Value::Handle {
+                tag: "t".into(),
+                id: 9
+            }
+            .as_handle(),
             Some(("t", 9))
         );
         assert_eq!(Value::Null.as_num(), None);

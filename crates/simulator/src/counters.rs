@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn metric_names_match_paper() {
         assert_eq!(Counter::CpuCycles.metric_name(), "CPU_CYCLES");
-        assert_eq!(Counter::BackEndBubbleAll.metric_name(), "BACK_END_BUBBLE_ALL");
+        assert_eq!(
+            Counter::BackEndBubbleAll.metric_name(),
+            "BACK_END_BUBBLE_ALL"
+        );
         // All names unique.
         let mut names: Vec<&str> = Counter::all().iter().map(|c| c.metric_name()).collect();
         let before = names.len();

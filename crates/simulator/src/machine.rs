@@ -176,7 +176,7 @@ mod tests {
         assert_eq!(m.hops_between(3, 3), 0);
         assert_eq!(m.hops_between(0, 1), 1); // same C-brick
         assert!(m.hops_between(0, 2) >= 2); // across bricks
-        // Farther apart in the router tree: at least as many hops.
+                                            // Farther apart in the router tree: at least as many hops.
         assert!(m.hops_between(0, 7) >= m.hops_between(0, 2));
         // Symmetric.
         assert_eq!(m.hops_between(2, 5), m.hops_between(5, 2));

@@ -293,8 +293,18 @@ mod tests {
     #[test]
     fn fits_in_cache_only_cold_misses() {
         // 8 KB fits in L1 (16 KB): repeated traversals add no misses.
-        let once = memory_costs(&profile(8.0, 1.0), &PlacementStats::all_local(), &machine(), 1.0);
-        let many = memory_costs(&profile(8.0, 50.0), &PlacementStats::all_local(), &machine(), 1.0);
+        let once = memory_costs(
+            &profile(8.0, 1.0),
+            &PlacementStats::all_local(),
+            &machine(),
+            1.0,
+        );
+        let many = memory_costs(
+            &profile(8.0, 50.0),
+            &PlacementStats::all_local(),
+            &machine(),
+            1.0,
+        );
         assert_eq!(once.l1d_misses, many.l1d_misses);
     }
 

@@ -101,11 +101,7 @@ impl ParallelForResult {
         if mean == 0.0 {
             return 1.0;
         }
-        let max = self
-            .per_thread
-            .iter()
-            .map(|t| t.busy)
-            .fold(0.0, f64::max);
+        let max = self.per_thread.iter().map(|t| t.busy).fold(0.0, f64::max);
         max / mean
     }
 }
@@ -132,10 +128,10 @@ pub fn parallel_for(
 
     // Execute a chunk [start, end) on thread t.
     let run_chunk = |t: usize,
-                         start: usize,
-                         end: usize,
-                         clocks: &mut Vec<f64>,
-                         per_thread: &mut Vec<ThreadTimes>| {
+                     start: usize,
+                     end: usize,
+                     clocks: &mut Vec<f64>,
+                     per_thread: &mut Vec<ThreadTimes>| {
         let work: f64 = costs[start..end].iter().sum();
         let cost = work + config.dispatch_overhead;
         clocks[t] += cost;
@@ -320,11 +316,7 @@ mod tests {
     fn barrier_wait_complements_busy_time() {
         let costs = triangular_costs(100);
         let r = parallel_for(&costs, Schedule::Static, 8, &cfg());
-        let finish = r
-            .per_thread
-            .iter()
-            .map(|t| t.busy)
-            .fold(0.0f64, f64::max);
+        let finish = r.per_thread.iter().map(|t| t.busy).fold(0.0f64, f64::max);
         for t in &r.per_thread {
             assert!((t.busy + t.barrier_wait - finish).abs() < 1e-9);
         }

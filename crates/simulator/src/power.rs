@@ -225,9 +225,7 @@ mod tests {
         let model = PowerModel::itanium2(&m);
         let r = model.reading(&counters(1e9, 3e9, 1e9), &m);
         let component_sum: f64 = r.per_component.iter().map(|(_, w)| w).sum();
-        assert!(
-            (r.watts - m.idle_watts - model.running_power - component_sum).abs() < 1e-9
-        );
+        assert!((r.watts - m.idle_watts - model.running_power - component_sum).abs() < 1e-9);
     }
 
     #[test]

@@ -116,9 +116,9 @@ impl Recorder {
     /// values land in the event's exclusive and inclusive columns (the
     /// convention TAU uses for leaf attribution).
     pub fn record_counters(&mut self, thread: usize, event_path: &str, counters: &CounterSet) {
+        let event = self.builder.event(event_path);
         for (counter, value) in counters.iter() {
             let metric = self.builder.metric(counter.metric_name());
-            let event = self.builder.event(event_path);
             self.builder.accumulate(
                 event,
                 metric,
@@ -136,9 +136,9 @@ impl Recorder {
     /// Adds counter values to an *ancestor*'s inclusive column only —
     /// used when rolling leaf counters up a callpath.
     pub fn roll_up_counters(&mut self, thread: usize, event_path: &str, counters: &CounterSet) {
+        let event = self.builder.event(event_path);
         for (counter, value) in counters.iter() {
             let metric = self.builder.metric(counter.metric_name());
-            let event = self.builder.event(event_path);
             self.builder.accumulate(
                 event,
                 metric,

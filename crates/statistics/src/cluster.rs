@@ -88,7 +88,9 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult
     }
     let dim = points[0].len();
     if dim == 0 {
-        return Err(StatError::InvalidParameter("zero-dimensional points".into()));
+        return Err(StatError::InvalidParameter(
+            "zero-dimensional points".into(),
+        ));
     }
     for p in points {
         if p.len() != dim {
@@ -312,8 +314,22 @@ mod tests {
     #[test]
     fn kmeans_rejects_bad_parameters() {
         let pts = vec![vec![1.0], vec![2.0]];
-        assert!(kmeans(&pts, &KMeansConfig { k: 0, ..Default::default() }).is_err());
-        assert!(kmeans(&pts, &KMeansConfig { k: 3, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(kmeans(&[], &KMeansConfig::default()).is_err());
     }
 

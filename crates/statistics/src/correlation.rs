@@ -16,10 +16,7 @@ fn check_pair(x: &[f64], y: &[f64], need: usize) -> Result<()> {
         });
     }
     if x.len() < need {
-        return Err(StatError::TooFewSamples {
-            got: x.len(),
-            need,
-        });
+        return Err(StatError::TooFewSamples { got: x.len(), need });
     }
     Ok(())
 }
@@ -66,7 +63,11 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
 /// Assigns fractional ranks (average rank for ties), 1-based.
 fn ranks(data: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..data.len()).collect();
-    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        data[a]
+            .partial_cmp(&data[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; data.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -54,7 +54,10 @@ impl fmt::Display for StatError {
             StatError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
         }
     }
 }

@@ -47,7 +47,11 @@ impl Histogram {
         let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         // Degenerate all-equal data still deserves a usable histogram.
-        let (lo, hi) = if lo == hi { (lo - 0.5, hi + 0.5) } else { (lo, hi) };
+        let (lo, hi) = if lo == hi {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
         let mut h = Histogram::new(lo, hi, bins)?;
         for &x in data {
             h.record(x);

@@ -12,9 +12,7 @@
 //! ```
 
 use apps::msa::{self, MsaConfig};
-use perfexplorer::assertions::{
-    check_all, Expect, PerformanceAssertion, Quantity,
-};
+use perfexplorer::assertions::{check_all, Expect, PerformanceAssertion, Quantity};
 use simulator::openmp::Schedule;
 
 fn gate() -> Vec<PerformanceAssertion> {
@@ -76,9 +74,6 @@ fn main() {
 
     println!();
     assert!(tuned, "the tuned build must pass its own gate");
-    assert!(
-        !regressed,
-        "the gate must catch the schedule regression"
-    );
+    assert!(!regressed, "the gate must catch the schedule regression");
     println!("gate verdicts: tuned build PASSES, regressed build is CAUGHT");
 }

@@ -57,10 +57,7 @@ fn main() {
     let before = CostModel::default();
     let after = &result.cost_model;
     println!("\ncost model weights:");
-    println!(
-        "  {:<12} {:>8} {:>8}",
-        "term", "before", "after"
-    );
+    println!("  {:<12} {:>8} {:>8}", "term", "before", "after");
     println!(
         "  {:<12} {:>8.2} {:>8.2}",
         "processor", before.processor_weight, after.processor_weight
@@ -108,7 +105,10 @@ fn main() {
             .find(|(n, _)| n == name)
             .map(|(_, c)| *c)
             .unwrap_or(0.0);
-        println!("  {:<14} {:>16.3e} {:>16.3e}", name, cost_before, cost_after);
+        println!(
+            "  {:<14} {:>16.3e} {:>16.3e}",
+            name, cost_before, cost_after
+        );
     }
 
     // --- 5. the concrete suggestions handed to the compiler ---

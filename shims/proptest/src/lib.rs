@@ -1,0 +1,686 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy-combinator subset this workspace's property
+//! tests use — numeric ranges, regex-subset string patterns, tuples,
+//! `Just`, `prop_map`/`prop_flat_map`, `collection::vec` and
+//! `sample::select` — plus the `proptest!`/`prop_assert!` macro family
+//! and a deterministic case runner. Differences from real proptest:
+//! failing inputs are reported but **not shrunk**, and the RNG seed is
+//! derived from the test name so runs are reproducible without
+//! `.proptest-regressions` files (which are ignored).
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod test_runner {
+    //! Case execution: configuration, rejection handling, seeding.
+
+    pub use rand::prelude::*;
+
+    /// Per-test configuration. `cases` is the number of accepted
+    /// (non-rejected) inputs each property is checked against.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The input did not satisfy a `prop_assume!`; retried silently.
+        Reject(String),
+        /// The property failed; aborts the whole test.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// FNV-1a hash of the test name: a stable per-test seed.
+    fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `case` until `config.cases` inputs have been accepted, or
+    /// panics on the first failing input.
+    pub fn run_cases<F>(config: Config, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = StdRng::seed_from_u64(seed_for(name));
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let reject_budget = config.cases.saturating_mul(16).max(1024);
+        while accepted < config.cases {
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > reject_budget {
+                        panic!(
+                            "proptest '{name}': too many prop_assume! rejections \
+                             ({rejected} rejects for {accepted} accepted cases)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed at case {accepted}: {msg}");
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and core combinators.
+
+    use rand::prelude::*;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent follow-up strategy from each value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u32, u64, i32, i64);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl Strategy for ::std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.random::<f64>() * (hi - lo)
+        }
+    }
+
+    /// String slices are regex-subset patterns (see [`crate::string`]).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// One type-erased branch of a [`Union`].
+    pub type UnionBranch<T> = Box<dyn Fn(&mut StdRng) -> T>;
+
+    /// Uniform choice between heterogeneous strategies producing one
+    /// value type; built by the [`prop_oneof!`](crate::prop_oneof)
+    /// macro. Branches are type-erased to closures because the
+    /// [`Strategy`] trait's generic combinators make it non-object-safe.
+    pub struct Union<T> {
+        branches: Vec<UnionBranch<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty branch list.
+        pub fn new(branches: Vec<UnionBranch<T>>) -> Self {
+            assert!(
+                !branches.is_empty(),
+                "prop_oneof! needs at least one branch"
+            );
+            Union { branches }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.random_range(0..self.branches.len());
+            (self.branches[i])(rng)
+        }
+    }
+}
+
+/// Picks one of several strategies uniformly at random per generated
+/// value. All branches must produce the same value type. (The real
+/// proptest's `weight => strategy` form is not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $strategy;
+                Box::new(move |rng: &mut $crate::__rand::prelude::StdRng| {
+                    $crate::strategy::Strategy::generate(&s, rng)
+                }) as Box<dyn Fn(&mut $crate::__rand::prelude::StdRng) -> _>
+            }),+
+        ])
+    }};
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use rand::prelude::*;
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty proptest size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`select`).
+
+    use crate::strategy::Strategy;
+    use rand::prelude::*;
+
+    /// Picks uniformly from a fixed set of options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// A strategy choosing one of `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select needs options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod string {
+    //! Generation from the regex subset proptest accepts for `&str`
+    //! strategies: literals, escapes, `[...]` classes with ranges,
+    //! `\PC` (any printable), and the `{m}`/`{m,n}`/`*`/`+`/`?`
+    //! quantifiers.
+
+    use rand::prelude::*;
+
+    enum Atom {
+        Literal(char),
+        /// Inclusive char ranges; singletons are `(c, c)`.
+        Class(Vec<(char, char)>),
+        AnyPrintable,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        // `a-z` is a range unless `-` is last-in-class.
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((c, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((c, c));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated [class] in pattern {pattern:?}"
+                    );
+                    i += 1;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    if chars[i] == 'P' && i + 1 < chars.len() && chars[i + 1] == 'C' {
+                        i += 2;
+                        Atom::AnyPrintable
+                    } else {
+                        let c = chars[i];
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .expect("unterminated {quantifier}")
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("bad quantifier"),
+                                hi.trim().parse().expect("bad quantifier"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("bad quantifier");
+                                (n, n)
+                            }
+                        }
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn pick(atom: &Atom, rng: &mut StdRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::AnyPrintable => {
+                // ASCII printable keeps generated text terminal-safe.
+                char::from_u32(rng.random_range(0x20u32..0x7f)).unwrap()
+            }
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                let mut idx = rng.random_range(0..total);
+                for &(a, b) in ranges {
+                    let span = b as u32 - a as u32 + 1;
+                    if idx < span {
+                        return char::from_u32(a as u32 + idx).expect("bad class range");
+                    }
+                    idx -= span;
+                }
+                unreachable!("class pick out of range")
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = rng.random_range(piece.min..=piece.max);
+            for _ in 0..count {
+                out.push(pick(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! The strategy trait, combinators and macros most tests need.
+
+    /// `prop::collection::vec(...)`-style paths, as in real proptest.
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body against generated inputs.
+/// An optional leading `#![proptest_config(expr)]` overrides the case
+/// count for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;) => {};
+    (
+        config = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases($cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __out
+            });
+        }
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh input) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = crate::string::generate("[a-zA-Z0-9 _.,-]*", &mut rng);
+            assert!(t.len() <= 8);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.,-".contains(c)));
+
+            let u = crate::string::generate("x[0-9]+y", &mut rng);
+            assert!(u.starts_with('x') && u.ends_with('y') && u.len() >= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -5i32..5, f in 0.5f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn flat_map_links_dimensions(
+            pair in (1usize..4).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0u32..10, n * 2))
+            })
+        ) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n * 2);
+        }
+
+        #[test]
+        fn assume_rejects_gracefully(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for `serde_json`, backed by the `serde` shim's
+//! [`Value`] data model and JSON codec.
+//!
+//! Floats print with `{:?}` — the shortest representation that parses
+//! back to the same bits — so round-trips are exact, matching the real
+//! crate's `float_roundtrip` feature.
+
+pub use serde::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::write_json(&value.to_value()))
+}
+
+/// Serializes a value to pretty-printed JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::write_json_pretty(&value.to_value()))
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&serde::parse_json(text)?)
+}
+
+/// Parses JSON text into an untyped [`Value`].
+pub fn from_str_value(text: &str) -> Result<Value, Error> {
+    serde::parse_json(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_roundtrip() {
+        let v: Vec<f64> = from_str("[1.0,2.5,0.1]").unwrap();
+        assert_eq!(v, vec![1.0, 2.5, 0.1]);
+        assert_eq!(to_string(&v).unwrap(), "[1.0,2.5,0.1]");
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for &f in &[0.1, 1.0 / 3.0, f64::MAX, 5e-324, 123456.789e-30] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn option_and_map() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<String, Option<f64>> = BTreeMap::new();
+        m.insert("a".into(), Some(1.5));
+        m.insert("b".into(), None);
+        let text = to_string(&m).unwrap();
+        assert_eq!(text, r#"{"a":1.5,"b":null}"#);
+        let back: BTreeMap<String, Option<f64>> = from_str(&text).unwrap();
+        assert_eq!(m, back);
+    }
+}

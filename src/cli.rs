@@ -275,8 +275,7 @@ fn sweep(opts: &Options) -> Result<String, CliError> {
     for paradigm in [Paradigm::Mpi, Paradigm::OpenMp] {
         for version in [CodeVersion::Unoptimized, CodeVersion::Optimized] {
             for procs in [1usize, 2, 4, 8, 16, 32] {
-                let mut c =
-                    GenIdlestConfig::new(Problem::Rib90, paradigm, version, procs);
+                let mut c = GenIdlestConfig::new(Problem::Rib90, paradigm, version, procs);
                 c.timesteps = timesteps;
                 jobs.push(SweepJob::GenIdlest(c));
             }
@@ -341,8 +340,8 @@ fn analyze(opts: &Options) -> Result<String, CliError> {
             let trial = repo
                 .trial(app, experiment, opts.need("trial")?)
                 .map_err(|e| err(e.to_string()))?;
-            let result = workflow::analyze_load_balance(trial, "TIME")
-                .map_err(|e| err(e.to_string()))?;
+            let result =
+                workflow::analyze_load_balance(trial, "TIME").map_err(|e| err(e.to_string()))?;
             Ok(result.rendered)
         }
         "locality" => {
@@ -420,8 +419,8 @@ fn script(opts: &Options) -> Result<String, CliError> {
         .positional
         .get(1)
         .ok_or_else(|| err("script needs a file path"))?;
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read {path:?}: {e}")))?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path:?}: {e}")))?;
     let repo = load_or_new(&PathBuf::from(opts.need("repo")?))?;
     let mut session = PerfExplorerScript::new(repo);
     let value = session
@@ -467,8 +466,10 @@ mod tests {
 
     #[test]
     fn parse_args_splits_flags_and_positionals() {
-        let o = parse_args(&args(&["analyze", "balance", "--repo", "r.json", "--app", "x"]))
-            .unwrap();
+        let o = parse_args(&args(&[
+            "analyze", "balance", "--repo", "r.json", "--app", "x",
+        ]))
+        .unwrap();
         assert_eq!(o.positional, vec!["analyze", "balance"]);
         assert_eq!(o.need("repo").unwrap(), "r.json");
         assert_eq!(o.need("app").unwrap(), "x");
@@ -494,7 +495,10 @@ mod tests {
     #[test]
     fn schedule_parsing() {
         assert_eq!(parse_schedule("static").unwrap(), Schedule::Static);
-        assert_eq!(parse_schedule("static,8").unwrap(), Schedule::StaticChunk(8));
+        assert_eq!(
+            parse_schedule("static,8").unwrap(),
+            Schedule::StaticChunk(8)
+        );
         assert_eq!(parse_schedule("dynamic,4").unwrap(), Schedule::Dynamic(4));
         assert_eq!(parse_schedule("dynamic").unwrap(), Schedule::Dynamic(1));
         assert_eq!(parse_schedule("guided,2").unwrap(), Schedule::Guided(2));
@@ -517,8 +521,16 @@ mod tests {
         let repo_str = repo_path.to_str().unwrap();
 
         let out = run(&args(&[
-            "simulate", "msa", "--threads", "8", "--schedule", "static",
-            "--sequences", "64", "--repo", repo_str,
+            "simulate",
+            "msa",
+            "--threads",
+            "8",
+            "--schedule",
+            "static",
+            "--sequences",
+            "64",
+            "--repo",
+            repo_str,
         ]))
         .unwrap();
         assert!(out.contains("recorded msap/scheduling/8_static"));
@@ -528,15 +540,30 @@ mod tests {
         assert!(listing.contains("8_static"));
 
         let analysis = run(&args(&[
-            "analyze", "balance", "--repo", repo_str, "--app", "msap",
-            "--experiment", "scheduling", "--trial", "8_static",
+            "analyze",
+            "balance",
+            "--repo",
+            repo_str,
+            "--app",
+            "msap",
+            "--experiment",
+            "scheduling",
+            "--trial",
+            "8_static",
         ]))
         .unwrap();
         assert!(analysis.contains("load-imbalance"), "{analysis}");
 
         let csv_text = run(&args(&[
-            "export", "--repo", repo_str, "--app", "msap",
-            "--experiment", "scheduling", "--trial", "8_static",
+            "export",
+            "--repo",
+            repo_str,
+            "--app",
+            "msap",
+            "--experiment",
+            "scheduling",
+            "--trial",
+            "8_static",
         ]))
         .unwrap();
         assert!(csv_text.starts_with("event,metric,"));
@@ -549,8 +576,16 @@ mod tests {
         std::fs::remove_file(&repo_path).ok();
         let repo_str = repo_path.to_str().unwrap();
         run(&args(&[
-            "simulate", "msa", "--threads", "4", "--schedule", "dynamic,1",
-            "--sequences", "48", "--repo", repo_str,
+            "simulate",
+            "msa",
+            "--threads",
+            "4",
+            "--schedule",
+            "dynamic,1",
+            "--sequences",
+            "48",
+            "--repo",
+            repo_str,
         ]))
         .unwrap();
 
@@ -580,8 +615,16 @@ mod tests {
         let repo_path = tmp("missing.json");
         std::fs::remove_file(&repo_path).ok();
         let e = run(&args(&[
-            "analyze", "balance", "--repo", repo_path.to_str().unwrap(),
-            "--app", "a", "--experiment", "b", "--trial", "c",
+            "analyze",
+            "balance",
+            "--repo",
+            repo_path.to_str().unwrap(),
+            "--app",
+            "a",
+            "--experiment",
+            "b",
+            "--trial",
+            "c",
         ]))
         .unwrap_err();
         assert!(e.message.contains("not found"));
@@ -636,28 +679,54 @@ mod analyze_extra_tests {
         let repo_path = dir.join("extra.json");
         std::fs::remove_file(&repo_path).ok();
         let repo_str = repo_path.to_str().unwrap().to_string();
-        let args = |words: &[&str]| -> Vec<String> {
-            words.iter().map(|s| s.to_string()).collect()
-        };
+        let args =
+            |words: &[&str]| -> Vec<String> { words.iter().map(|s| s.to_string()).collect() };
         for version in ["unoptimized", "optimized"] {
             run(&args(&[
-                "simulate", "genidlest", "--paradigm", "openmp", "--version", version,
-                "--procs", "8", "--timesteps", "1", "--repo", &repo_str,
+                "simulate",
+                "genidlest",
+                "--paradigm",
+                "openmp",
+                "--version",
+                version,
+                "--procs",
+                "8",
+                "--timesteps",
+                "1",
+                "--repo",
+                &repo_str,
             ]))
             .unwrap();
         }
 
         let clustered = run(&args(&[
-            "analyze", "cluster", "--repo", &repo_str, "--app", "Fluid Dynamic",
-            "--experiment", "rib 90", "--trial", "openmp_unoptimized_8",
+            "analyze",
+            "cluster",
+            "--repo",
+            &repo_str,
+            "--app",
+            "Fluid Dynamic",
+            "--experiment",
+            "rib 90",
+            "--trial",
+            "openmp_unoptimized_8",
         ]))
         .unwrap();
         assert!(clustered.contains("behaviour class"), "{clustered}");
 
         let compared = run(&args(&[
-            "analyze", "compare", "--repo", &repo_str, "--app", "Fluid Dynamic",
-            "--experiment", "rib 90", "--baseline", "openmp_unoptimized_8",
-            "--candidate", "openmp_optimized_8",
+            "analyze",
+            "compare",
+            "--repo",
+            &repo_str,
+            "--app",
+            "Fluid Dynamic",
+            "--experiment",
+            "rib 90",
+            "--baseline",
+            "openmp_unoptimized_8",
+            "--candidate",
+            "openmp_optimized_8",
         ]))
         .unwrap();
         assert!(compared.contains("total ratio"), "{compared}");

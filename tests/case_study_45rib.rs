@@ -35,7 +35,10 @@ fn rib45_unoptimized_gap_is_smaller_than_rib90s() {
     m90.timesteps = 2;
     let mpi90 = elapsed_seconds(&genidlest::run(&m90));
     let gap90 = unopt90 / mpi90;
-    assert!(gap45 < gap90, "45rib gap {gap45} should be below 90rib gap {gap90}");
+    assert!(
+        gap45 < gap90,
+        "45rib gap {gap45} should be below 90rib gap {gap90}"
+    );
 }
 
 #[test]

@@ -48,7 +48,11 @@ fn unoptimized_openmp_produces_locality_and_serial_diagnoses() {
         .any(|l| l.contains("Altix") && l.contains("first-touch")));
     // And the serialized exchange is called out.
     let serial = result.report.diagnoses_in("serial-bottleneck");
-    assert!(!serial.is_empty(), "no serial diagnosis: {}", result.rendered);
+    assert!(
+        !serial.is_empty(),
+        "no serial diagnosis: {}",
+        result.rendered
+    );
     assert!(
         serial[0].message.contains("exchange_var"),
         "serial diagnosis should name exchange_var: {}",
@@ -102,8 +106,10 @@ fn feedback_reweights_cost_model_toward_the_problem() {
         "missing first-touch suggestion: {actions:?}"
     );
     assert!(
-        actions.iter().any(|a| a.contains("parallelize the serial section")
-            || a.contains("parallelize the boundary-copy")),
+        actions
+            .iter()
+            .any(|a| a.contains("parallelize the serial section")
+                || a.contains("parallelize the boundary-copy")),
         "missing exchange fix suggestion: {actions:?}"
     );
 }

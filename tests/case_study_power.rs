@@ -8,7 +8,10 @@ use perfexplorer::powerenergy::{relative_table, trial_power};
 use perfexplorer::workflow::analyze_power;
 use simulator::machine::MachineConfig;
 
-fn table() -> (Vec<(OptLevel, Trial)>, Vec<perfexplorer::powerenergy::RelativeRow>) {
+fn table() -> (
+    Vec<(OptLevel, Trial)>,
+    Vec<perfexplorer::powerenergy::RelativeRow>,
+) {
     let machine = MachineConfig::altix300();
     let config = PowerStudyConfig {
         ranks: 16,
@@ -29,9 +32,21 @@ fn relative_time_and_instructions_match_paper_shape() {
     let (_, rows) = table();
     assert_eq!(rows.len(), 4);
     // Paper: Time 1.0 / 0.338 / 0.071 / 0.049.
-    assert!((rows[1].time - 0.338).abs() < 0.07, "O1 time {}", rows[1].time);
-    assert!((rows[2].time - 0.071).abs() < 0.03, "O2 time {}", rows[2].time);
-    assert!((rows[3].time - 0.049).abs() < 0.03, "O3 time {}", rows[3].time);
+    assert!(
+        (rows[1].time - 0.338).abs() < 0.07,
+        "O1 time {}",
+        rows[1].time
+    );
+    assert!(
+        (rows[2].time - 0.071).abs() < 0.03,
+        "O2 time {}",
+        rows[2].time
+    );
+    assert!(
+        (rows[3].time - 0.049).abs() < 0.03,
+        "O3 time {}",
+        rows[3].time
+    );
     // Paper: Instructions Completed 1.0 / 0.471 / 0.059 / 0.056.
     assert!((rows[1].instructions_completed - 0.471).abs() < 0.05);
     assert!((rows[2].instructions_completed - 0.059).abs() < 0.02);
@@ -68,8 +83,9 @@ fn power_rules_recommend_the_paper_split() {
 
     // O0 for low power.
     let power = result.report.diagnoses_in("power");
-    assert!(power.iter().any(|d| d.message.contains("O0")
-        && d.message.contains("lowest power")));
+    assert!(power
+        .iter()
+        .any(|d| d.message.contains("O0") && d.message.contains("lowest power")));
     // O3 (or O2) for low energy.
     let energy = result.report.diagnoses_in("energy");
     assert!(!energy.is_empty());
