@@ -1,11 +1,14 @@
 //! Criterion benchmarks for the inference engine: matching throughput
-//! vs working-memory size, join cost, and rule-language parsing.
+//! vs working-memory size, join cost, rule-language parsing, and the
+//! incremental-vs-rematch ablation.
 //!
-//! The working-memory sweep is the ablation DESIGN.md calls out: the
-//! engine matches linearly over working memory, so activation cost grows
-//! with fact count — these benches quantify that design choice.
+//! `engine/incremental_vs_rematch` drives the production engine (alpha
+//! indexes + persistent agenda) and `rules::reference::ReferenceEngine`
+//! (full conflict-set rebuild before every firing) through the same
+//! rulebase and fact load, quantifying what the indexed agenda buys.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rules::reference::ReferenceEngine;
 use rules::{drl, Comparator, Engine, Fact, Pattern, Rule};
 use std::hint::black_box;
 
@@ -77,6 +80,60 @@ fn bench_join(c: &mut Criterion) {
     group.finish();
 }
 
+/// Twenty single-pattern rules with distinct severity bands and
+/// distinct saliences — every band fires on its slice of the facts, and
+/// the distinct priorities defeat the reference engine's equal-salience
+/// rule pruning so it pays the full rebuild cost it would in general.
+fn banded_rules() -> Vec<Rule> {
+    (0..20)
+        .map(|j| {
+            let lo = j as f64 * 0.05;
+            Rule::builder(format!("band{j}"))
+                .salience(j)
+                .when(
+                    Pattern::new("MeanEventFact")
+                        .constrain("severity", Comparator::Gt, lo)
+                        .constrain("severity", Comparator::Le, lo + 0.011)
+                        .bind("e", "eventName"),
+                )
+                .then(|_| {})
+        })
+        .collect()
+}
+
+fn band_fact(i: usize) -> Fact {
+    Fact::new("MeanEventFact")
+        .with("severity", (i % 100) as f64 / 100.0)
+        .with("eventName", format!("e{i}"))
+}
+
+fn bench_incremental_vs_rematch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/incremental_vs_rematch");
+    for &n in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut engine = Engine::new();
+                engine.add_rules(banded_rules()).unwrap();
+                for i in 0..n {
+                    engine.assert_fact(band_fact(i));
+                }
+                black_box(engine.run().unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rematch", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut engine = ReferenceEngine::new();
+                engine.add_rules(banded_rules()).unwrap();
+                for i in 0..n {
+                    engine.assert_fact(band_fact(i));
+                }
+                black_box(engine.run().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_parse(c: &mut Criterion) {
     let source = perfexplorer::rulebase::LOCALITY_RULES;
     c.bench_function("engine/parse_locality_rulebase", |bench| {
@@ -84,5 +141,11 @@ fn bench_parse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_match_fire, bench_join, bench_parse);
+criterion_group!(
+    benches,
+    bench_match_fire,
+    bench_join,
+    bench_incremental_vs_rematch,
+    bench_parse
+);
 criterion_main!(benches);

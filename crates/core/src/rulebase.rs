@@ -215,6 +215,37 @@ mod tests {
     }
 
     #[test]
+    fn interpreted_diagnose_populates_bindings_from_rules_file() {
+        // Regression: diagnoses produced by interpreted (.rules-file)
+        // RHSes must carry the firing environment, not empty bindings.
+        let mut engine = engine_with(STALL_RULES).unwrap();
+        engine.assert_fact(
+            rules::Fact::new("MeanEventFact")
+                .with("metric", "(BACK_END_BUBBLE_ALL / CPU_CYCLES)")
+                .with("higherLower", "higher")
+                .with("severity", 0.42)
+                .with("eventName", "matxvec")
+                .with("mainValue", 0.08)
+                .with("eventValue", 0.42)
+                .with("factType", "Compared to Main"),
+        );
+        let report = engine.run().unwrap();
+        let d = report
+            .diagnoses
+            .iter()
+            .find(|d| d.rule == "Stalls per Cycle")
+            .expect("stall rule fired");
+        assert_eq!(
+            d.bindings.get("e").map(|v| v.to_string()),
+            Some("matxvec".into())
+        );
+        assert_eq!(
+            d.bindings.get("v").map(|v| v.to_string()),
+            Some("0.42".into())
+        );
+    }
+
+    #[test]
     fn combined_engine_loads_every_rule() {
         let engine = engine_with_all(&all_rulebases()).unwrap();
         assert!(engine.rule_count() >= 9, "rules = {}", engine.rule_count());

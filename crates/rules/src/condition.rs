@@ -147,25 +147,38 @@ impl Pattern {
         self
     }
 
-    /// Tests whether `fact` matches under the given environment of
-    /// already-bound variables. On success returns the extended
-    /// environment including this pattern's bindings.
-    pub fn matches(
+    /// Tests the environment-independent part of the pattern: the fact
+    /// type and every constraint whose operand is a literal. This is the
+    /// "alpha" test — it can be evaluated once per fact at assertion time
+    /// and the result cached in an index, because no later variable
+    /// binding can change it.
+    pub fn passes_alpha(&self, fact: &Fact) -> bool {
+        if fact.fact_type != self.fact_type {
+            return false;
+        }
+        self.constraints.iter().all(|c| match &c.rhs {
+            Operand::Literal(v) => fact.get(&c.field).is_some_and(|lhs| c.cmp.apply(lhs, v)),
+            Operand::Binding(_) => true,
+        })
+    }
+
+    /// Completes a match for a fact that already passed [`passes_alpha`]:
+    /// checks the environment-dependent (join) constraints and extends
+    /// the environment with this pattern's bindings.
+    ///
+    /// [`passes_alpha`]: Pattern::passes_alpha
+    pub fn matches_given_alpha(
         &self,
         fact: &Fact,
         env: &BTreeMap<String, Value>,
     ) -> Option<BTreeMap<String, Value>> {
-        if fact.fact_type != self.fact_type {
-            return None;
-        }
         for c in &self.constraints {
-            let lhs = fact.get(&c.field)?;
-            let rhs = match &c.rhs {
-                Operand::Literal(v) => v,
-                Operand::Binding(var) => env.get(var)?,
-            };
-            if !c.cmp.apply(lhs, rhs) {
-                return None;
+            if let Operand::Binding(var) = &c.rhs {
+                let lhs = fact.get(&c.field)?;
+                let rhs = env.get(var)?;
+                if !c.cmp.apply(lhs, rhs) {
+                    return None;
+                }
             }
         }
         let mut out = env.clone();
@@ -180,6 +193,20 @@ impl Pattern {
             out.insert(var.clone(), v);
         }
         Some(out)
+    }
+
+    /// Tests whether `fact` matches under the given environment of
+    /// already-bound variables. On success returns the extended
+    /// environment including this pattern's bindings.
+    pub fn matches(
+        &self,
+        fact: &Fact,
+        env: &BTreeMap<String, Value>,
+    ) -> Option<BTreeMap<String, Value>> {
+        if !self.passes_alpha(fact) {
+            return None;
+        }
+        self.matches_given_alpha(fact, env)
     }
 }
 
@@ -256,6 +283,45 @@ mod tests {
         assert!(p.matches(&no, &e).is_none());
         // Unbound join variable: no match (rather than panic).
         assert!(p.matches(&ok, &env()).is_none());
+    }
+
+    #[test]
+    fn alpha_split_agrees_with_full_match() {
+        // passes_alpha covers exactly the literal half of the pattern;
+        // matches_given_alpha the join half. Their conjunction is matches.
+        let p = Pattern::new("Child")
+            .constrain("kind", Comparator::Eq, "inner")
+            .constrain_var("parent", Comparator::Eq, "pname")
+            .bind("n", "name");
+        let mut e = env();
+        e.insert("pname".to_string(), Value::from("outer"));
+        let facts = [
+            Fact::new("Child")
+                .with("kind", "inner")
+                .with("parent", "outer")
+                .with("name", "x"),
+            Fact::new("Child")
+                .with("kind", "outer")
+                .with("parent", "outer")
+                .with("name", "x"),
+            Fact::new("Child")
+                .with("kind", "inner")
+                .with("parent", "elsewhere")
+                .with("name", "x"),
+            Fact::new("Other").with("kind", "inner"),
+        ];
+        for f in &facts {
+            let composed = if p.passes_alpha(f) {
+                p.matches_given_alpha(f, &e)
+            } else {
+                None
+            };
+            assert_eq!(composed, p.matches(f, &e), "disagreement on {f}");
+        }
+        assert!(
+            p.passes_alpha(&facts[2]),
+            "join failure is not an alpha failure"
+        );
     }
 
     #[test]

@@ -1,10 +1,31 @@
 //! The inference engine: working memory, agenda, match–resolve–act loop.
+//!
+//! Matching is incremental and indexed (a "Rete-lite"):
+//!
+//! * an **alpha layer** buckets working memory per distinct
+//!   (fact type, literal constraints) pattern signature, so joins scan
+//!   only candidate facts that already passed every constant test;
+//! * the **conflict set** is maintained persistently: asserting or
+//!   retracting a fact only (re)computes activations for rules whose
+//!   patterns reference the affected alpha memories — rules over other
+//!   fact types are untouched, and firing a rule whose action leaves
+//!   working memory unchanged costs one ordered-set pop;
+//! * **negated patterns** are tracked per rule: an assert into a
+//!   negatively-referenced alpha memory can *deactivate* pending matches
+//!   and a retract can *activate* them, so those rules are recomputed
+//!   from their (small) alpha candidate sets.
+//!
+//! The naive quadratic matcher this replaces lives on as
+//! [`crate::reference::ReferenceEngine`], used by differential tests and
+//! the `bench_rules` ablation.
 
+use crate::condition::{Operand, Pattern};
 use crate::fact::{Fact, FactHandle};
 use crate::rule::{Action, RhsContext, RhsStatement, Rule};
 use crate::value::Value;
 use crate::{Result, RuleError};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A structured conclusion emitted by a rule — the engine's primary
@@ -81,6 +102,24 @@ impl RunReport {
 /// One activation candidate: the matched fact tuple and its bindings.
 type Activation = (Vec<FactHandle>, BTreeMap<String, Value>);
 
+/// Agenda ordering key: highest salience first, then rule definition
+/// order, then fact recency (newest tuple first). A `BTreeSet` of these
+/// keys iterates best-first.
+type AgendaKey = (Reverse<i32>, usize, Reverse<Vec<FactHandle>>);
+
+/// One alpha memory: the set of fact handles passing a pattern's
+/// environment-independent tests (fact type + literal constraints).
+/// Patterns with identical signatures share a memory.
+struct AlphaMemory {
+    /// The shared alpha test: `filter.fact_type` plus only the literal
+    /// constraints of the patterns using this memory.
+    filter: Pattern,
+    /// Facts currently passing the test, in handle (recency) order.
+    handles: BTreeSet<FactHandle>,
+    /// `(rule index, pattern position)` pairs reading this memory.
+    users: Vec<(usize, usize)>,
+}
+
 /// A forward-chaining rule engine.
 pub struct Engine {
     rules: Vec<Rule>,
@@ -90,6 +129,17 @@ pub struct Engine {
     fired: BTreeSet<(usize, Vec<FactHandle>)>,
     /// Safety bound on total firings per `run`.
     cycle_limit: usize,
+    /// Alpha layer: one memory per distinct pattern signature.
+    alphas: Vec<AlphaMemory>,
+    /// Fact type → indices into `alphas`, for assert/retract routing.
+    type_alphas: BTreeMap<String, Vec<usize>>,
+    /// Per rule, per pattern (in order): index into `alphas`.
+    rule_alpha: Vec<Vec<usize>>,
+    /// Per rule: current unfired activations (the conflict set), keyed
+    /// by matched-handle tuple.
+    conflict: Vec<BTreeMap<Vec<FactHandle>, BTreeMap<String, Value>>>,
+    /// Salience/recency-ordered view over every conflict set.
+    agenda: BTreeSet<AgendaKey>,
 }
 
 impl Default for Engine {
@@ -107,6 +157,11 @@ impl Engine {
             next_handle: 0,
             fired: BTreeSet::new(),
             cycle_limit: 100_000,
+            alphas: Vec::new(),
+            type_alphas: BTreeMap::new(),
+            rule_alpha: Vec::new(),
+            conflict: Vec::new(),
+            agenda: BTreeSet::new(),
         }
     }
 
@@ -123,8 +178,54 @@ impl Engine {
         if self.rules.iter().any(|r| r.name == rule.name) {
             return Err(RuleError::DuplicateRule(rule.name));
         }
+        let idx = self.rules.len();
+        let mut pattern_alphas = Vec::with_capacity(rule.patterns.len());
+        for (pos, p) in rule.patterns.iter().enumerate() {
+            let a = self.alpha_for(p);
+            self.alphas[a].users.push((idx, pos));
+            pattern_alphas.push(a);
+        }
+        self.rule_alpha.push(pattern_alphas);
         self.rules.push(rule);
+        self.conflict.push(BTreeMap::new());
+        self.recompute_rule(idx);
         Ok(())
+    }
+
+    /// Finds or creates the alpha memory for a pattern's signature. A
+    /// newly-created memory is populated from current working memory, so
+    /// rules may be added after facts.
+    fn alpha_for(&mut self, pattern: &Pattern) -> usize {
+        let literals: Vec<_> = pattern
+            .constraints
+            .iter()
+            .filter(|c| matches!(c.rhs, Operand::Literal(_)))
+            .cloned()
+            .collect();
+        if let Some(a) = self.alphas.iter().position(|a| {
+            a.filter.fact_type == pattern.fact_type && a.filter.constraints == literals
+        }) {
+            return a;
+        }
+        let mut filter = Pattern::new(pattern.fact_type.clone());
+        filter.constraints = literals;
+        let handles = self
+            .wm
+            .iter()
+            .filter(|(_, f)| filter.passes_alpha(f))
+            .map(|(h, _)| *h)
+            .collect();
+        let a = self.alphas.len();
+        self.alphas.push(AlphaMemory {
+            filter,
+            handles,
+            users: Vec::new(),
+        });
+        self.type_alphas
+            .entry(pattern.fact_type.clone())
+            .or_default()
+            .push(a);
+        a
     }
 
     /// Adds many rules; stops at the first duplicate.
@@ -135,17 +236,80 @@ impl Engine {
         Ok(())
     }
 
-    /// Asserts a fact into working memory, returning its handle.
+    /// Asserts a fact into working memory, returning its handle. The
+    /// conflict set is updated incrementally: only rules whose patterns
+    /// read an alpha memory that accepted the fact are reconsidered.
     pub fn assert_fact(&mut self, fact: Fact) -> FactHandle {
         let h = FactHandle(self.next_handle);
         self.next_handle += 1;
+        let fact_type = fact.fact_type.clone();
         self.wm.insert(h, fact);
+
+        // Full recompute for rules where the fact feeds a negated
+        // pattern (it may *deactivate* pending matches); a cheap delta
+        // join for purely positive uses (it can only add activations).
+        let mut full: BTreeSet<usize> = BTreeSet::new();
+        let mut deltas: Vec<(usize, usize)> = Vec::new();
+        if let Some(alpha_ids) = self.type_alphas.get(&fact_type) {
+            for &a in alpha_ids.clone().iter() {
+                if !self.alphas[a].filter.passes_alpha(&self.wm[&h]) {
+                    continue;
+                }
+                self.alphas[a].handles.insert(h);
+                for &(r, pos) in &self.alphas[a].users {
+                    if self.rules[r].patterns[pos].negated {
+                        full.insert(r);
+                    } else {
+                        deltas.push((r, pos));
+                    }
+                }
+            }
+        }
+        for &r in &full {
+            self.recompute_rule(r);
+        }
+        for (r, pos) in deltas {
+            if !full.contains(&r) {
+                self.delta_add(r, pos, h);
+            }
+        }
         h
     }
 
-    /// Retracts a fact; returns it if it was present.
+    /// Retracts a fact; returns it if it was present. Activations whose
+    /// tuple contains the fact are dropped from the agenda; rules that
+    /// test the fact's type negatively are recomputed (a retract can
+    /// *activate* previously-blocked matches). Refraction entries naming
+    /// the dead handle are purged — handles are never reused, so those
+    /// tuples can never match again and would only leak memory.
     pub fn retract(&mut self, handle: FactHandle) -> Option<Fact> {
-        self.wm.remove(&handle)
+        let fact = self.wm.remove(&handle)?;
+        let mut full: BTreeSet<usize> = BTreeSet::new();
+        let mut positive: BTreeSet<usize> = BTreeSet::new();
+        if let Some(alpha_ids) = self.type_alphas.get(&fact.fact_type) {
+            for &a in alpha_ids.clone().iter() {
+                if !self.alphas[a].handles.remove(&handle) {
+                    continue;
+                }
+                for &(r, pos) in &self.alphas[a].users {
+                    if self.rules[r].patterns[pos].negated {
+                        full.insert(r);
+                    } else {
+                        positive.insert(r);
+                    }
+                }
+            }
+        }
+        self.fired.retain(|(_, hs)| !hs.contains(&handle));
+        for &r in &full {
+            self.recompute_rule(r);
+        }
+        for &r in &positive {
+            if !full.contains(&r) {
+                self.remove_activations_containing(r, handle);
+            }
+        }
+        Some(fact)
     }
 
     /// Read access to working memory, in handle order.
@@ -163,42 +327,77 @@ impl Engine {
         self.rules.len()
     }
 
-    /// Clears facts and refraction memory, keeping the rules.
+    /// Clears facts, the agenda and refraction memory, keeping the
+    /// rules. The handle counter is *not* reset: handles held from
+    /// before the reset stay dead forever instead of silently aliasing
+    /// facts asserted afterwards.
     pub fn reset(&mut self) {
         self.wm.clear();
         self.fired.clear();
-        self.next_handle = 0;
+        self.agenda.clear();
+        for alpha in &mut self.alphas {
+            alpha.handles.clear();
+        }
+        for set in &mut self.conflict {
+            set.clear();
+        }
+    }
+
+    /// Number of refraction-memory entries currently retained. Exposed
+    /// so long-lived callers (parameter sweeps) can check that retracted
+    /// facts do not pin refraction state forever.
+    pub fn refraction_len(&self) -> usize {
+        self.fired.len()
     }
 
     /// Finds every activation of `rule` (index `idx`) against current
     /// working memory: all fact tuples matching the pattern conjunction
-    /// with consistent bindings.
+    /// with consistent bindings. Each pattern scans only its alpha
+    /// memory, not all of working memory.
     fn activations_of(&self, idx: usize) -> Vec<Activation> {
+        self.join(idx, None)
+    }
+
+    /// The indexed join. With `pin = Some((pos, h))`, pattern `pos` is
+    /// restricted to the single fact `h` — the delta join used when `h`
+    /// was just asserted, producing exactly the activations that involve
+    /// it at that position.
+    fn join(&self, idx: usize, pin: Option<(usize, FactHandle)>) -> Vec<Activation> {
         let rule = &self.rules[idx];
         let mut partial: Vec<Activation> = vec![(Vec::new(), BTreeMap::new())];
-        for pattern in &rule.patterns {
+        for (pos, pattern) in rule.patterns.iter().enumerate() {
+            let alpha = &self.alphas[self.rule_alpha[idx][pos]];
             let mut next = Vec::new();
             for (handles, env) in &partial {
                 if pattern.negated {
                     // Absence test: keep the partial match only if no
-                    // fact satisfies the pattern under these bindings.
-                    let blocked = self
-                        .wm
-                        .values()
-                        .any(|fact| pattern.matches(fact, env).is_some());
+                    // candidate satisfies the pattern under these
+                    // bindings.
+                    let blocked = alpha
+                        .handles
+                        .iter()
+                        .any(|h| pattern.matches_given_alpha(&self.wm[h], env).is_some());
                     if !blocked {
                         next.push((handles.clone(), env.clone()));
                     }
                     continue;
                 }
-                for (h, fact) in &self.wm {
+                let pinned;
+                let candidates: &BTreeSet<FactHandle> = match pin {
+                    Some((p, h)) if p == pos => {
+                        pinned = BTreeSet::from([h]);
+                        &pinned
+                    }
+                    _ => &alpha.handles,
+                };
+                for h in candidates {
                     // A fact participates at most once per activation: the
                     // paper's nested-loop rule matches two *different*
                     // events with the same pattern shape.
                     if handles.contains(h) {
                         continue;
                     }
-                    if let Some(new_env) = pattern.matches(fact, env) {
+                    if let Some(new_env) = pattern.matches_given_alpha(&self.wm[h], env) {
                         let mut hs = handles.clone();
                         hs.push(*h);
                         next.push((hs, new_env));
@@ -213,48 +412,79 @@ impl Engine {
         partial
     }
 
-    /// Selects the next activation to fire: highest salience, then rule
-    /// definition order, then fact recency (newest tuple first).
-    fn select(&self) -> Option<(usize, Vec<FactHandle>, BTreeMap<String, Value>)> {
-        let mut best: Option<(i32, usize, Activation)> = None;
-        for idx in 0..self.rules.len() {
-            let salience = self.rules[idx].salience;
-            // A later rule with lower-or-equal salience cannot beat an
-            // already-found activation of an earlier rule.
-            if let Some((s, bidx, _)) = &best {
-                if *s >= salience && *bidx < idx {
-                    continue;
-                }
-            }
-            for (handles, env) in self.activations_of(idx) {
-                if self.fired.contains(&(idx, handles.clone())) {
-                    continue;
-                }
-                let better = match &best {
-                    None => true,
-                    Some((s, bidx, (bh, _))) => {
-                        salience > *s
-                            || (salience == *s && idx < *bidx)
-                            || (salience == *s && idx == *bidx && handles > *bh)
-                    }
-                };
-                if better {
-                    best = Some((salience, idx, (handles, env)));
-                }
-            }
+    /// Rebuilds rule `idx`'s conflict set from scratch (still via the
+    /// alpha indexes) and reconciles the agenda. Used when a change may
+    /// both add and remove activations — negated patterns, rule loading.
+    fn recompute_rule(&mut self, idx: usize) {
+        let salience = self.rules[idx].salience;
+        let old = std::mem::take(&mut self.conflict[idx]);
+        for handles in old.into_keys() {
+            self.agenda
+                .remove(&(Reverse(salience), idx, Reverse(handles)));
         }
-        best.map(|(_, idx, (h, e))| (idx, h, e))
+        for (handles, env) in self.activations_of(idx) {
+            self.insert_activation(idx, handles, env);
+        }
     }
 
-    /// Runs the match–resolve–act cycle to quiescence.
+    /// Adds to rule `idx` every activation involving just-asserted fact
+    /// `h` at pattern position `pos`. Purely additive — existing
+    /// activations of a rule without negated patterns cannot be
+    /// invalidated by an assert.
+    fn delta_add(&mut self, idx: usize, pos: usize, h: FactHandle) {
+        for (handles, env) in self.join(idx, Some((pos, h))) {
+            self.insert_activation(idx, handles, env);
+        }
+    }
+
+    /// Inserts one activation into the conflict set and agenda unless it
+    /// already fired (refraction).
+    fn insert_activation(
+        &mut self,
+        idx: usize,
+        handles: Vec<FactHandle>,
+        env: BTreeMap<String, Value>,
+    ) {
+        if self.fired.contains(&(idx, handles.clone())) {
+            return;
+        }
+        let salience = self.rules[idx].salience;
+        self.agenda
+            .insert((Reverse(salience), idx, Reverse(handles.clone())));
+        self.conflict[idx].insert(handles, env);
+    }
+
+    /// Drops every pending activation of rule `idx` whose matched tuple
+    /// contains `h` (used when `h` is retracted).
+    fn remove_activations_containing(&mut self, idx: usize, h: FactHandle) {
+        let salience = self.rules[idx].salience;
+        let dead: Vec<Vec<FactHandle>> = self.conflict[idx]
+            .keys()
+            .filter(|hs| hs.contains(&h))
+            .cloned()
+            .collect();
+        for hs in dead {
+            self.conflict[idx].remove(&hs);
+            self.agenda.remove(&(Reverse(salience), idx, Reverse(hs)));
+        }
+    }
+
+    /// Runs the match–resolve–act cycle to quiescence. If the cycle
+    /// limit is hit, the partial report is carried inside the error.
     pub fn run(&mut self) -> Result<RunReport> {
         let mut report = RunReport::default();
-        while let Some((idx, handles, env)) = self.select() {
+        while let Some((Reverse(salience), idx, Reverse(handles))) = self.agenda.first().cloned() {
             if report.firings.len() >= self.cycle_limit {
                 return Err(RuleError::CycleLimit {
                     limit: self.cycle_limit,
+                    report: Box::new(report),
                 });
             }
+            self.agenda
+                .remove(&(Reverse(salience), idx, Reverse(handles.clone())));
+            let env = self.conflict[idx]
+                .remove(&handles)
+                .expect("agenda and conflict set in sync");
             self.fired.insert((idx, handles.clone()));
 
             let matched: Vec<(FactHandle, Fact)> = handles
@@ -294,9 +524,10 @@ impl Engine {
             report.printed.extend(printed);
             report.diagnoses.extend(diagnoses);
 
-            // Apply buffered commands.
+            // Apply buffered commands through the incremental paths so
+            // the agenda tracks every working-memory change.
             for h in retracts {
-                self.wm.remove(&h);
+                self.retract(h);
             }
             for f in asserts {
                 self.assert_fact(f);
@@ -306,8 +537,10 @@ impl Engine {
         Ok(report)
     }
 
-    /// Executes interpreted RHS statements into the context.
-    fn execute_interpreted(
+    /// Executes interpreted RHS statements into the context. Shared with
+    /// [`crate::reference::ReferenceEngine`] so both engines interpret
+    /// rule actions identically.
+    pub(crate) fn execute_interpreted(
         ctx: &mut RhsContext,
         statements: &[RhsStatement],
         rule_name: &str,
@@ -375,13 +608,18 @@ impl Engine {
                         None => None,
                     };
                     let rule = ctx.rule_name.to_string();
+                    // Attach the firing environment explicitly so the
+                    // documented contract — consumers can recover which
+                    // event/trial the diagnosis is about — holds for
+                    // interpreted rules exactly as for native actions.
+                    let bindings = ctx.env.clone();
                     ctx.diagnose(Diagnosis {
                         category: cat,
                         message: msg,
                         severity: sev,
                         recommendation: rec,
                         rule,
-                        bindings: BTreeMap::new(),
+                        bindings,
                     });
                 }
             }
@@ -610,10 +848,148 @@ mod tests {
             )
             .unwrap();
         engine.assert_fact(Fact::new("Seed").with("n", 0.0));
-        assert!(matches!(
-            engine.run(),
-            Err(RuleError::CycleLimit { limit: 25 })
-        ));
+        match engine.run() {
+            Err(RuleError::CycleLimit { limit, report }) => {
+                assert_eq!(limit, 25);
+                // The partial report survives the limit: every firing up
+                // to the budget is recorded, not discarded.
+                assert_eq!(report.firings.len(), 25);
+                assert_eq!(report.cycles, 25);
+            }
+            other => panic!("expected cycle limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_limit_error_carries_diagnoses() {
+        let mut engine = Engine::new().with_cycle_limit(10);
+        engine
+            .add_rule(
+                Rule::builder("diagnosing runaway")
+                    .when(Pattern::new("Seed").bind("n", "n"))
+                    .then(|ctx| {
+                        let n = ctx.var("n").and_then(Value::as_num).unwrap_or(0.0);
+                        ctx.diagnose(Diagnosis {
+                            category: "loop".into(),
+                            message: format!("iteration {n}"),
+                            severity: None,
+                            recommendation: None,
+                            rule: ctx.rule_name.to_string(),
+                            bindings: BTreeMap::new(),
+                        });
+                        ctx.assert_fact(Fact::new("Seed").with("n", n + 1.0));
+                    }),
+            )
+            .unwrap();
+        engine.assert_fact(Fact::new("Seed").with("n", 0.0));
+        let Err(RuleError::CycleLimit { report, .. }) = engine.run() else {
+            panic!("expected cycle limit");
+        };
+        assert_eq!(report.diagnoses.len(), 10);
+        assert_eq!(report.diagnoses[0].message, "iteration 0");
+        assert_eq!(report.diagnoses[9].message, "iteration 9");
+    }
+
+    #[test]
+    fn handles_stay_monotonic_across_reset() {
+        let mut engine = Engine::new();
+        engine.add_rule(high_severity_rule()).unwrap();
+        let stale = engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.9)
+                .with("eventName", "old"),
+        );
+        engine.reset();
+        let fresh = engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.9)
+                .with("eventName", "new"),
+        );
+        assert_ne!(stale, fresh, "handle counter must not restart");
+        // A stale handle held across reset is dead, not an alias: using
+        // it must not retract the new fact.
+        assert!(engine.retract(stale).is_none());
+        assert_eq!(engine.fact_count(), 1);
+        let report = engine.run().unwrap();
+        assert_eq!(report.printed, vec!["severe: new"]);
+    }
+
+    #[test]
+    fn retract_purges_refraction_entries() {
+        let mut engine = Engine::new();
+        engine.add_rule(high_severity_rule()).unwrap();
+        // A long-lived engine cycling facts through working memory must
+        // not accumulate refraction entries for dead handles.
+        for i in 0..50 {
+            let h = engine.assert_fact(
+                Fact::new("MeanEventFact")
+                    .with("severity", 0.9)
+                    .with("eventName", format!("e{i}")),
+            );
+            let report = engine.run().unwrap();
+            assert_eq!(report.firings.len(), 1);
+            assert_eq!(engine.refraction_len(), 1);
+            engine.retract(h);
+            assert_eq!(engine.refraction_len(), 0, "stale entry kept after retract");
+        }
+    }
+
+    #[test]
+    fn interpreted_diagnose_carries_bindings() {
+        let src = r#"
+rule "hot"
+when
+    MeanEventFact( severity > 0.1, e : eventName, v : severity )
+then
+    diagnose("hotspot", "region " + e + " is hot", v);
+end
+"#;
+        let mut engine = Engine::new();
+        engine.add_rules(crate::drl::parse(src).unwrap()).unwrap();
+        engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.5)
+                .with("eventName", "pc"),
+        );
+        let report = engine.run().unwrap();
+        let d = &report.diagnoses[0];
+        assert_eq!(d.bindings.get("e"), Some(&Value::from("pc")));
+        assert_eq!(d.bindings.get("v"), Some(&Value::from(0.5)));
+    }
+
+    #[test]
+    fn rules_added_after_facts_see_existing_memory() {
+        // The alpha memories for a late-loaded rule must be populated
+        // from facts asserted before the rule existed.
+        let mut engine = Engine::new();
+        engine.assert_fact(
+            Fact::new("MeanEventFact")
+                .with("severity", 0.7)
+                .with("eventName", "early"),
+        );
+        engine.add_rule(high_severity_rule()).unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.printed, vec!["severe: early"]);
+    }
+
+    #[test]
+    fn assert_deactivates_pending_negated_match() {
+        // An assert into a negatively-referenced alpha memory must
+        // remove the pending activation before it fires.
+        let mut engine = Engine::new();
+        engine
+            .add_rule(
+                Rule::builder("quiet")
+                    .when(Pattern::new("Probe"))
+                    .when(Pattern::new("Noise").negate())
+                    .then(|ctx| ctx.print("quiet")),
+            )
+            .unwrap();
+        engine.assert_fact(Fact::new("Probe"));
+        // Pending activation exists now; asserting Noise deactivates it.
+        engine.assert_fact(Fact::new("Noise"));
+        let report = engine.run().unwrap();
+        assert!(report.printed.is_empty());
     }
 
     #[test]

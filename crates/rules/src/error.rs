@@ -1,5 +1,6 @@
 //! Error type for the rule engine and rule language.
 
+use crate::engine::RunReport;
 use std::fmt;
 
 /// Errors produced by rule parsing and execution.
@@ -24,6 +25,11 @@ pub enum RuleError {
     CycleLimit {
         /// The configured limit.
         limit: usize,
+        /// Everything the run produced before hitting the limit: printed
+        /// lines, diagnoses and firing records are carried here rather
+        /// than discarded, so callers can still inspect or render the
+        /// partial analysis.
+        report: Box<RunReport>,
     },
     /// A duplicate rule name was added to an engine.
     DuplicateRule(String),
@@ -38,8 +44,12 @@ impl fmt::Display for RuleError {
             RuleError::UnboundVariable { rule, variable } => {
                 write!(f, "rule {rule:?} uses unbound variable ${variable}")
             }
-            RuleError::CycleLimit { limit } => {
-                write!(f, "inference did not settle within {limit} cycles")
+            RuleError::CycleLimit { limit, report } => {
+                write!(
+                    f,
+                    "inference did not settle within {limit} cycles ({} firings recorded)",
+                    report.firings.len()
+                )
             }
             RuleError::DuplicateRule(name) => write!(f, "duplicate rule name {name:?}"),
         }
@@ -59,9 +69,12 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(e.to_string().contains("line 3"));
-        assert!(RuleError::CycleLimit { limit: 10 }
-            .to_string()
-            .contains("10"));
+        assert!(RuleError::CycleLimit {
+            limit: 10,
+            report: Box::default()
+        }
+        .to_string()
+        .contains("10"));
         assert!(RuleError::DuplicateRule("r".into())
             .to_string()
             .contains("r"));

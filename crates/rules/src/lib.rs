@@ -56,6 +56,7 @@ pub mod drl;
 pub mod engine;
 pub mod error;
 pub mod fact;
+pub mod reference;
 pub mod rule;
 pub mod value;
 

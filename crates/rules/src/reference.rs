@@ -1,0 +1,294 @@
+//! The naive match–resolve–act engine kept as an executable
+//! specification.
+//!
+//! [`ReferenceEngine`] re-derives every activation of every rule from
+//! scratch after each firing by scanning all of working memory — the
+//! pre-index behaviour of [`crate::Engine`]. It exists for two reasons:
+//!
+//! * **differential testing** — the equivalence property tests drive
+//!   both engines with identical rulebases and assert/retract sequences
+//!   and require identical firing order, reports and final memory;
+//! * **ablation benchmarking** — `bench -p bench --bench engine`
+//!   measures the incremental indexed agenda against this rematch loop.
+//!
+//! It is not intended for production use: its per-firing cost is
+//! O(rules × |WM|^patterns).
+
+use crate::engine::{Engine, FiringRecord, RunReport};
+use crate::fact::{Fact, FactHandle};
+use crate::rule::{Action, RhsContext, Rule};
+use crate::value::Value;
+use crate::{Result, RuleError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One activation candidate: the matched fact tuple and its bindings.
+type Activation = (Vec<FactHandle>, BTreeMap<String, Value>);
+
+/// A forward-chaining engine that rebuilds its conflict set from scratch
+/// on every selection — the behavioural reference for [`crate::Engine`].
+pub struct ReferenceEngine {
+    rules: Vec<Rule>,
+    wm: BTreeMap<FactHandle, Fact>,
+    next_handle: u64,
+    fired: BTreeSet<(usize, Vec<FactHandle>)>,
+    cycle_limit: usize,
+}
+
+impl Default for ReferenceEngine {
+    fn default() -> Self {
+        ReferenceEngine::new()
+    }
+}
+
+impl ReferenceEngine {
+    /// Creates an empty engine with the default cycle limit.
+    pub fn new() -> Self {
+        ReferenceEngine {
+            rules: Vec::new(),
+            wm: BTreeMap::new(),
+            next_handle: 0,
+            fired: BTreeSet::new(),
+            cycle_limit: 100_000,
+        }
+    }
+
+    /// Overrides the firing budget.
+    pub fn with_cycle_limit(mut self, limit: usize) -> Self {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// Adds one rule; duplicate names are rejected.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        if self.rules.iter().any(|r| r.name == rule.name) {
+            return Err(RuleError::DuplicateRule(rule.name));
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Adds many rules; stops at the first duplicate.
+    pub fn add_rules(&mut self, rules: Vec<Rule>) -> Result<()> {
+        for r in rules {
+            self.add_rule(r)?;
+        }
+        Ok(())
+    }
+
+    /// Asserts a fact into working memory, returning its handle.
+    pub fn assert_fact(&mut self, fact: Fact) -> FactHandle {
+        let h = FactHandle(self.next_handle);
+        self.next_handle += 1;
+        self.wm.insert(h, fact);
+        h
+    }
+
+    /// Retracts a fact; returns it if it was present. Mirrors the
+    /// production engine's refraction purge (handles are never reused,
+    /// so entries naming the dead handle can never match again).
+    pub fn retract(&mut self, handle: FactHandle) -> Option<Fact> {
+        let fact = self.wm.remove(&handle)?;
+        self.fired.retain(|(_, hs)| !hs.contains(&handle));
+        Some(fact)
+    }
+
+    /// Read access to working memory, in handle order.
+    pub fn facts(&self) -> impl Iterator<Item = (FactHandle, &Fact)> {
+        self.wm.iter().map(|(h, f)| (*h, f))
+    }
+
+    /// Number of facts in working memory.
+    pub fn fact_count(&self) -> usize {
+        self.wm.len()
+    }
+
+    /// Number of rules loaded.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Number of refraction-memory entries currently retained.
+    pub fn refraction_len(&self) -> usize {
+        self.fired.len()
+    }
+
+    /// Clears facts and refraction memory, keeping the rules and the
+    /// monotonic handle counter.
+    pub fn reset(&mut self) {
+        self.wm.clear();
+        self.fired.clear();
+    }
+
+    /// Finds every activation of rule `idx` by scanning all of working
+    /// memory for every pattern.
+    fn activations_of(&self, idx: usize) -> Vec<Activation> {
+        let rule = &self.rules[idx];
+        let mut partial: Vec<Activation> = vec![(Vec::new(), BTreeMap::new())];
+        for pattern in &rule.patterns {
+            let mut next = Vec::new();
+            for (handles, env) in &partial {
+                if pattern.negated {
+                    let blocked = self
+                        .wm
+                        .values()
+                        .any(|fact| pattern.matches(fact, env).is_some());
+                    if !blocked {
+                        next.push((handles.clone(), env.clone()));
+                    }
+                    continue;
+                }
+                for (h, fact) in &self.wm {
+                    if handles.contains(h) {
+                        continue;
+                    }
+                    if let Some(new_env) = pattern.matches(fact, env) {
+                        let mut hs = handles.clone();
+                        hs.push(*h);
+                        next.push((hs, new_env));
+                    }
+                }
+            }
+            partial = next;
+            if partial.is_empty() {
+                break;
+            }
+        }
+        partial
+    }
+
+    /// Selects the next activation: highest salience, then rule
+    /// definition order, then fact recency (newest tuple first).
+    fn select(&self) -> Option<(usize, Vec<FactHandle>, BTreeMap<String, Value>)> {
+        let mut best: Option<(i32, usize, Activation)> = None;
+        for idx in 0..self.rules.len() {
+            let salience = self.rules[idx].salience;
+            if let Some((s, bidx, _)) = &best {
+                if *s >= salience && *bidx < idx {
+                    continue;
+                }
+            }
+            for (handles, env) in self.activations_of(idx) {
+                if self.fired.contains(&(idx, handles.clone())) {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((s, bidx, (bh, _))) => {
+                        salience > *s
+                            || (salience == *s && idx < *bidx)
+                            || (salience == *s && idx == *bidx && handles > *bh)
+                    }
+                };
+                if better {
+                    best = Some((salience, idx, (handles, env)));
+                }
+            }
+        }
+        best.map(|(_, idx, (h, e))| (idx, h, e))
+    }
+
+    /// Runs the match–resolve–act cycle to quiescence, rebuilding the
+    /// conflict set before every firing.
+    pub fn run(&mut self) -> Result<RunReport> {
+        let mut report = RunReport::default();
+        while let Some((idx, handles, env)) = self.select() {
+            if report.firings.len() >= self.cycle_limit {
+                return Err(RuleError::CycleLimit {
+                    limit: self.cycle_limit,
+                    report: Box::new(report),
+                });
+            }
+            self.fired.insert((idx, handles.clone()));
+
+            let matched: Vec<(FactHandle, Fact)> = handles
+                .iter()
+                .map(|h| (*h, self.wm.get(h).expect("matched fact present").clone()))
+                .collect();
+            let rule_name = self.rules[idx].name.clone();
+            let mut ctx = RhsContext::new(&env, &matched, &rule_name);
+
+            let fact_bindings: Vec<Option<String>> = self.rules[idx]
+                .patterns
+                .iter()
+                .filter(|p| !p.negated)
+                .map(|p| p.fact_binding.clone())
+                .collect();
+            match &self.rules[idx].action {
+                Action::Native(f) => f(&mut ctx),
+                Action::Interpreted(stmts) => {
+                    let stmts = stmts.clone();
+                    Engine::execute_interpreted(&mut ctx, &stmts, &rule_name, &fact_bindings)?;
+                }
+            }
+
+            let printed = std::mem::take(&mut ctx.printed);
+            let diagnoses = std::mem::take(&mut ctx.diagnoses);
+            let asserts = std::mem::take(&mut ctx.asserts);
+            let retracts = std::mem::take(&mut ctx.retracts);
+            drop(ctx);
+
+            report.firings.push(FiringRecord {
+                rule: rule_name,
+                matched: handles,
+                bindings: env,
+            });
+            report.printed.extend(printed);
+            report.diagnoses.extend(diagnoses);
+
+            for h in retracts {
+                self.retract(h);
+            }
+            for f in asserts {
+                self.assert_fact(f);
+            }
+            report.cycles += 1;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Comparator, Pattern};
+
+    #[test]
+    fn reference_engine_basic_behaviour() {
+        let mut engine = ReferenceEngine::new();
+        engine
+            .add_rule(
+                Rule::builder("severe")
+                    .when(
+                        Pattern::new("F")
+                            .constrain("s", Comparator::Gt, 0.5)
+                            .bind("e", "name"),
+                    )
+                    .then(|ctx| {
+                        let e = ctx.var("e").unwrap().to_string();
+                        ctx.print(format!("severe: {e}"));
+                    }),
+            )
+            .unwrap();
+        engine.assert_fact(Fact::new("F").with("s", 0.9).with("name", "a"));
+        engine.assert_fact(Fact::new("F").with("s", 0.1).with("name", "b"));
+        let report = engine.run().unwrap();
+        assert_eq!(report.printed, vec!["severe: a"]);
+        assert_eq!(engine.run().unwrap().firings.len(), 0, "refraction");
+    }
+
+    #[test]
+    fn reference_handles_monotonic_and_purged() {
+        let mut engine = ReferenceEngine::new();
+        let a = engine.assert_fact(Fact::new("T"));
+        engine.reset();
+        let b = engine.assert_fact(Fact::new("T"));
+        assert_ne!(a, b);
+        engine
+            .add_rule(Rule::builder("r").when(Pattern::new("T")).then(|_| {}))
+            .unwrap();
+        engine.run().unwrap();
+        assert_eq!(engine.refraction_len(), 1);
+        engine.retract(b);
+        assert_eq!(engine.refraction_len(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Differential property tests: the incremental indexed engine must be
+//! observationally equivalent to the naive rematch reference — same
+//! firings, same order, same reports, same working memory — for random
+//! rulebases and random assert/retract sequences.
+
+use proptest::prelude::*;
+use rules::reference::ReferenceEngine;
+use rules::{Comparator, Engine, Fact, Pattern, RhsExpr, RhsStatement, Rule, Value};
+
+const TYPES: [&str; 3] = ["A", "B", "C"];
+const CYCLE_LIMIT: usize = 80;
+
+/// Plan for one generated pattern over field `k`.
+#[derive(Debug, Clone)]
+struct PatternPlan {
+    ty: usize,
+    /// Literal constraint on `k`: comparator selector and operand.
+    lit: Option<(u32, i64)>,
+    /// Bind the shared variable `v` to `k` (joins + unification).
+    bind_v: bool,
+    /// Constrain `k == v` against an earlier binding of `v`.
+    join_v: bool,
+}
+
+/// Plan for one generated rule.
+#[derive(Debug, Clone)]
+struct RulePlan {
+    salience: i32,
+    patterns: Vec<PatternPlan>,
+    negated: Option<PatternPlan>,
+    bind_fact: bool,
+    retract_f: bool,
+    assert_fact: Option<(usize, i64)>,
+    diagnose: bool,
+}
+
+/// One step of the driver sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    Assert { ty: usize, k: i64, s: bool },
+    Retract(usize),
+    Run,
+}
+
+/// The shim has no `any::<bool>()`; derive booleans from a range.
+fn pbool() -> impl Strategy<Value = bool> {
+    (0u32..2).prop_map(|b| b == 1)
+}
+
+fn pattern_plan() -> impl Strategy<Value = PatternPlan> {
+    (
+        0..TYPES.len(),
+        // ~50% Some: comparator selector + operand for the `k` literal.
+        (0u32..2, 0u32..3, 0i64..4).prop_map(|(some, cmp, v)| (some == 1).then_some((cmp, v))),
+        pbool(),
+        pbool(),
+    )
+        .prop_map(|(ty, lit, bind_v, join_v)| PatternPlan {
+            ty,
+            lit,
+            bind_v,
+            join_v,
+        })
+}
+
+fn rule_plan() -> impl Strategy<Value = RulePlan> {
+    // The shim's tuple strategies stop at six elements, so the seven
+    // plan fields are grouped into two nested tuples.
+    (
+        (
+            -3i32..4,
+            proptest::collection::vec(pattern_plan(), 1..=3),
+            // ~40% of rules carry a negated pattern.
+            (0u32..10, pattern_plan()).prop_map(|(p, pp)| (p < 4).then_some(pp)),
+        ),
+        (
+            pbool(),
+            pbool(),
+            // ~25% of rules assert a fresh fact from their RHS.
+            (0u32..4, 0..TYPES.len(), 0i64..4).prop_map(|(p, ty, k)| (p == 0).then_some((ty, k))),
+            pbool(),
+        ),
+    )
+        .prop_map(
+            |((salience, patterns, negated), (bind_fact, retract_f, assert_fact, diagnose))| {
+                RulePlan {
+                    salience,
+                    patterns,
+                    negated,
+                    bind_fact,
+                    retract_f,
+                    assert_fact,
+                    diagnose,
+                }
+            },
+        )
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // 4:2:1 assert/retract/run mix via a selector range (the shim's
+    // `prop_oneof!` has no weighted form).
+    (0u32..7, 0..TYPES.len(), 0i64..4, 0u32..2, 0usize..1_000_000).prop_map(|(sel, ty, k, s, j)| {
+        match sel {
+            0..=3 => Op::Assert { ty, k, s: s == 1 },
+            4..=5 => Op::Retract(j),
+            _ => Op::Run,
+        }
+    })
+}
+
+fn build_pattern(plan: &PatternPlan, pos: usize, earlier_binds_v: bool) -> Pattern {
+    let mut p = Pattern::new(TYPES[plan.ty]);
+    if let Some((cmp, val)) = plan.lit {
+        let cmp = [Comparator::Eq, Comparator::Gt, Comparator::Le][cmp as usize];
+        p = p.constrain("k", cmp, val as f64);
+    }
+    if plan.join_v && earlier_binds_v {
+        p = p.constrain_var("k", Comparator::Eq, "v");
+    }
+    if plan.bind_v {
+        p = p.bind("v", "k");
+    }
+    p.bind(&format!("w{pos}"), "k")
+}
+
+fn build_rule(i: usize, plan: &RulePlan) -> Rule {
+    let name = format!("r{i}");
+    let mut builder = Rule::builder(name.clone()).salience(plan.salience);
+    let mut binds_v = false;
+    for (pos, pp) in plan.patterns.iter().enumerate() {
+        let mut p = build_pattern(pp, pos, binds_v);
+        if pos == 0 && plan.bind_fact {
+            p = p.bind_fact("f");
+        }
+        binds_v |= pp.bind_v;
+        builder = builder.when(p);
+    }
+    if let Some(np) = &plan.negated {
+        // Negated patterns contribute no bindings; reuse only the
+        // constraint half of the plan.
+        let mut p = Pattern::new(TYPES[np.ty]);
+        if let Some((cmp, val)) = np.lit {
+            let cmp = [Comparator::Eq, Comparator::Gt, Comparator::Le][cmp as usize];
+            p = p.constrain("k", cmp, val as f64);
+        }
+        if np.join_v && binds_v {
+            p = p.constrain_var("k", Comparator::Eq, "v");
+        }
+        builder = builder.when(p.negate());
+    }
+
+    // RHS references only variables the LHS is guaranteed to bind.
+    let mut print = RhsExpr::Literal(Value::from(name.as_str()));
+    for pos in 0..plan.patterns.len() {
+        print = RhsExpr::Add(Box::new(print), Box::new(RhsExpr::Var(format!("w{pos}"))));
+    }
+    let mut stmts = vec![RhsStatement::Print(vec![print])];
+    if plan.diagnose {
+        stmts.push(RhsStatement::Diagnose {
+            category: RhsExpr::Literal(Value::from("cat")),
+            message: RhsExpr::Add(
+                Box::new(RhsExpr::Literal(Value::from(name.as_str()))),
+                Box::new(RhsExpr::Var("w0".to_string())),
+            ),
+            severity: Some(RhsExpr::Literal(Value::from(0.5))),
+            recommendation: None,
+        });
+    }
+    if let Some((ty, k)) = plan.assert_fact {
+        stmts.push(RhsStatement::Assert {
+            fact_type: TYPES[ty].to_string(),
+            fields: vec![
+                ("k".to_string(), RhsExpr::Literal(Value::from(k as f64))),
+                ("s".to_string(), RhsExpr::Literal(Value::from("rhs"))),
+            ],
+        });
+    }
+    if plan.retract_f && plan.bind_fact {
+        stmts.push(RhsStatement::Retract("f".to_string()));
+    }
+    builder.then_interpreted(stmts)
+}
+
+fn fact(ty: usize, k: i64, s: bool) -> Fact {
+    Fact::new(TYPES[ty])
+        .with("k", k as f64)
+        .with("s", if s { "yes" } else { "no" })
+}
+
+fn snapshot(engine: &Engine) -> Vec<(rules::FactHandle, Fact)> {
+    engine.facts().map(|(h, f)| (h, f.clone())).collect()
+}
+
+fn snapshot_ref(engine: &ReferenceEngine) -> Vec<(rules::FactHandle, Fact)> {
+    engine.facts().map(|(h, f)| (h, f.clone())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The full differential property: random rulebase, random driver
+    /// sequence, identical observable behaviour at every step.
+    #[test]
+    fn incremental_engine_equals_reference(
+        plans in proptest::collection::vec(rule_plan(), 1..=4),
+        ops in proptest::collection::vec(op(), 0..24),
+    ) {
+        let mut inc = Engine::new().with_cycle_limit(CYCLE_LIMIT);
+        let mut reference = ReferenceEngine::new().with_cycle_limit(CYCLE_LIMIT);
+        for (i, plan) in plans.iter().enumerate() {
+            inc.add_rule(build_rule(i, plan)).unwrap();
+            reference.add_rule(build_rule(i, plan)).unwrap();
+        }
+
+        let mut handles = Vec::new();
+        for op in ops.iter().chain([&Op::Run]) {
+            match op {
+                Op::Assert { ty, k, s } => {
+                    let hi = inc.assert_fact(fact(*ty, *k, *s));
+                    let hr = reference.assert_fact(fact(*ty, *k, *s));
+                    prop_assert_eq!(hi, hr);
+                    handles.push(hi);
+                }
+                Op::Retract(j) => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let h = handles[j % handles.len()];
+                    let fi = inc.retract(h);
+                    let fr = reference.retract(h);
+                    prop_assert_eq!(fi, fr);
+                }
+                Op::Run => {
+                    let ri = inc.run();
+                    let rr = reference.run();
+                    prop_assert_eq!(&ri, &rr);
+                }
+            }
+            prop_assert_eq!(inc.fact_count(), reference.fact_count());
+        }
+
+        prop_assert_eq!(snapshot(&inc), snapshot_ref(&reference));
+        prop_assert_eq!(inc.refraction_len(), reference.refraction_len());
+    }
+
+    /// Interleaving reset() keeps the engines aligned, including the
+    /// monotonic handle counter.
+    #[test]
+    fn equivalence_survives_reset(
+        plans in proptest::collection::vec(rule_plan(), 1..=3),
+        ops_a in proptest::collection::vec(op(), 0..12),
+        ops_b in proptest::collection::vec(op(), 0..12),
+    ) {
+        let mut inc = Engine::new().with_cycle_limit(CYCLE_LIMIT);
+        let mut reference = ReferenceEngine::new().with_cycle_limit(CYCLE_LIMIT);
+        for (i, plan) in plans.iter().enumerate() {
+            inc.add_rule(build_rule(i, plan)).unwrap();
+            reference.add_rule(build_rule(i, plan)).unwrap();
+        }
+        for phase in [&ops_a, &ops_b] {
+            let mut handles = Vec::new();
+            for op in phase.iter().chain([&Op::Run]) {
+                match op {
+                    Op::Assert { ty, k, s } => {
+                        let hi = inc.assert_fact(fact(*ty, *k, *s));
+                        let hr = reference.assert_fact(fact(*ty, *k, *s));
+                        prop_assert_eq!(hi, hr);
+                        handles.push(hi);
+                    }
+                    Op::Retract(j) => {
+                        if handles.is_empty() {
+                            continue;
+                        }
+                        let h = handles[j % handles.len()];
+                        prop_assert_eq!(inc.retract(h), reference.retract(h));
+                    }
+                    Op::Run => {
+                        prop_assert_eq!(inc.run(), reference.run());
+                    }
+                }
+            }
+            inc.reset();
+            reference.reset();
+        }
+        // Post-reset, fresh handles must not collide with pre-reset ones.
+        let hi = inc.assert_fact(fact(0, 0, false));
+        let hr = reference.assert_fact(fact(0, 0, false));
+        prop_assert_eq!(hi, hr);
+    }
+}
