@@ -248,28 +248,27 @@ mod tests {
 
 /// Computes the full pairwise distance matrix in parallel with Rayon —
 /// the *real* computation the paper's MSA stage performs (the simulated
-/// runs only model its cost). Returns a symmetric `n × n` matrix with
-/// zero diagonal.
-pub fn distance_matrix(sequences: &[Vec<u8>], scoring: &Scoring) -> Vec<Vec<f64>> {
+/// runs only model its cost). Returns a flat symmetric `n × n`
+/// [`DenseMatrix`](statistics::DenseMatrix) with zero diagonal, so the
+/// result feeds the flat statistics kernels (clustering, PCA) without a
+/// gather.
+pub fn distance_matrix(sequences: &[Vec<u8>], scoring: &Scoring) -> statistics::DenseMatrix {
     use rayon::prelude::*;
     let n = sequences.len();
-    // Parallelise over rows: row i aligns against every j > i, exactly
-    // the outer loop the OpenMP case study schedules.
-    let upper: Vec<Vec<f64>> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            ((i + 1)..n)
-                .map(|j| distance(&sequences[i], &sequences[j], scoring))
-                .collect()
-        })
+    // Each strict-upper-triangle pair is one independent alignment —
+    // exactly the iteration space the OpenMP case study schedules —
+    // flattened into a single work list so no per-row Vec is built.
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
         .collect();
-    let mut m = vec![vec![0.0; n]; n];
-    for (i, row) in upper.iter().enumerate() {
-        for (k, &d) in row.iter().enumerate() {
-            let j = i + 1 + k;
-            m[i][j] = d;
-            m[j][i] = d;
-        }
+    let upper: Vec<f64> = pairs
+        .par_iter()
+        .map(|&(i, j)| distance(&sequences[i], &sequences[j], scoring))
+        .collect();
+    let mut m = statistics::DenseMatrix::zeros(n, n);
+    for (&(i, j), &d) in pairs.iter().zip(&upper) {
+        m.set(i, j, d);
+        m.set(j, i, d);
     }
     m
 }
@@ -283,12 +282,13 @@ mod matrix_tests {
     fn distance_matrix_is_symmetric_with_zero_diagonal() {
         let seqs = generate_family(6, 80, 0.15, 3);
         let m = distance_matrix(&seqs, &Scoring::default());
-        assert_eq!(m.len(), 6);
+        assert_eq!(m.rows(), 6);
+        assert_eq!(m.cols(), 6);
         for i in 0..6 {
-            assert_eq!(m[i][i], 0.0);
+            assert_eq!(m.get(i, i), 0.0);
             for j in 0..6 {
-                assert_eq!(m[i][j], m[j][i]);
-                assert!((0.0..=1.0).contains(&m[i][j]));
+                assert_eq!(m.get(i, j), m.get(j, i));
+                assert!((0.0..=1.0).contains(&m.get(i, j)));
             }
         }
     }
@@ -301,7 +301,7 @@ mod matrix_tests {
         for i in 0..8 {
             for j in (i + 1)..8 {
                 let seq = distance(&seqs[i], &seqs[j], &sc);
-                assert_eq!(par[i][j], seq, "pair ({i}, {j})");
+                assert_eq!(par.get(i, j), seq, "pair ({i}, {j})");
             }
         }
     }
@@ -312,7 +312,7 @@ mod matrix_tests {
         seqs.extend(generate_sequences(1, 100, 100, 99));
         let m = distance_matrix(&seqs, &Scoring::default());
         // Family pair distance well below family-to-random distance.
-        assert!(m[0][1] < m[0][3]);
-        assert!(m[1][2] < m[2][3]);
+        assert!(m.get(0, 1) < m.get(0, 3));
+        assert!(m.get(1, 2) < m.get(2, 3));
     }
 }

@@ -1,0 +1,111 @@
+//! Flat-matrix statistics kernel microbenchmarks.
+//!
+//! Compares the flat [`DenseMatrix`](statistics::DenseMatrix) kernels
+//! (`kmeans_flat`, `covariance_matrix_flat`,
+//! `principal_components_flat`) against the nested `Vec<Vec<f64>>`
+//! reference implementations in `statistics::reference` — the seed's
+//! layout, kept as the executable spec — at 64–4096 points × 8–64
+//! dimensions. The `*/reference` and `*/flat` pairs are the numbers
+//! recorded in EXPERIMENTS.md; the differential proptests in
+//! `crates/statistics/tests/flat_equivalence.rs` pin the two sides to
+//! identical results, so these pairs measure layout and kernel cost
+//! only.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use statistics::cluster::KMeansConfig;
+use statistics::matrix::DenseMatrix;
+use statistics::{covariance_matrix_flat, kmeans_flat, principal_components_flat, reference};
+use std::hint::black_box;
+
+/// `(points, dims)` shapes; the mid shape is the ISSUE's ≥3x kmeans
+/// acceptance point.
+const SHAPES: [(usize, usize); 3] = [(64, 8), (1024, 32), (4096, 64)];
+
+/// Deterministic synthetic observations with loose cluster structure:
+/// four blobs plus per-coordinate jitter, so k-means does realistic
+/// (non-degenerate, multi-iteration) work.
+fn dataset(n: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ ((n as u64) << 8) ^ (d as u64);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let blob = (i % 4) as f64 * 10.0;
+            (0..d).map(|_| blob + next()).collect()
+        })
+        .collect()
+}
+
+fn flatten(points: &[Vec<f64>]) -> DenseMatrix {
+    DenseMatrix::from_rows(points).unwrap()
+}
+
+/// Columns-of-samples view of the same data, the shape the reference
+/// covariance/PCA entry points take.
+fn columns(points: &[Vec<f64>], d: usize) -> Vec<Vec<f64>> {
+    (0..d)
+        .map(|j| points.iter().map(|p| p[j]).collect())
+        .collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("statistics_kernels/kmeans");
+    for (n, d) in SHAPES {
+        let points = dataset(n, d);
+        let flat = flatten(&points);
+        let cfg = KMeansConfig {
+            k: 8,
+            max_iterations: 50,
+            ..Default::default()
+        };
+        g.throughput(Throughput::Elements((n * d) as u64));
+        g.bench_function(&format!("reference/{n}x{d}"), |b| {
+            b.iter(|| reference::kmeans(black_box(&points), black_box(&cfg)).unwrap())
+        });
+        g.bench_function(&format!("flat/{n}x{d}"), |b| {
+            b.iter(|| kmeans_flat(black_box(flat.view()), black_box(&cfg)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_covariance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("statistics_kernels/covariance");
+    for (n, d) in SHAPES {
+        let points = dataset(n, d);
+        let flat = flatten(&points);
+        let cols = columns(&points, d);
+        g.throughput(Throughput::Elements((n * d * d) as u64));
+        g.bench_function(&format!("reference/{n}x{d}"), |b| {
+            b.iter(|| reference::covariance_matrix(black_box(&cols)).unwrap())
+        });
+        g.bench_function(&format!("flat/{n}x{d}"), |b| {
+            b.iter(|| covariance_matrix_flat(black_box(flat.view())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let mut g = c.benchmark_group("statistics_kernels/pca");
+    for (n, d) in SHAPES {
+        let points = dataset(n, d);
+        let flat = flatten(&points);
+        let cols = columns(&points, d);
+        g.throughput(Throughput::Elements((n * d) as u64));
+        g.bench_function(&format!("reference/{n}x{d}"), |b| {
+            b.iter(|| reference::principal_components(black_box(&cols)).unwrap())
+        });
+        g.bench_function(&format!("flat/{n}x{d}"), |b| {
+            b.iter(|| principal_components_flat(black_box(flat.view())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_covariance, bench_pca);
+criterion_main!(benches);

@@ -12,7 +12,8 @@ use perfdmf::{EventId, Trial, MAIN_EVENT};
 use rayon::prelude::*;
 use rules::Fact;
 use serde::{Deserialize, Serialize};
-use statistics::cluster::{kmeans, silhouette, KMeansConfig};
+use statistics::cluster::{kmeans_flat, silhouette_flat, FlatKMeans, KMeansConfig};
+use statistics::matrix::{sq_dist, DenseMatrix, MatrixView};
 
 /// One discovered thread group.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,69 +105,69 @@ pub fn cluster_threads(trial: &Trial, metric: &str, max_k: usize) -> Result<Thre
             "no nonzero events to cluster on".into(),
         ));
     }
-    // Row per thread, normalised by the global maximum so distances are
-    // relative to the trial's dominant cost. Per-dimension normalisation
-    // would amplify negligible jitter on cheap events into spurious
-    // clusters (silhouette is scale-invariant, so "tiny but consistent"
-    // looks like structure).
+    // One flat threads × events point matrix, normalised by the global
+    // maximum so distances are relative to the trial's dominant cost.
+    // Per-dimension normalisation would amplify negligible jitter on
+    // cheap events into spurious clusters (silhouette is
+    // scale-invariant, so "tiny but consistent" looks like structure).
     let global_max = columns
         .iter()
         .flat_map(|c| c.iter().copied())
         .fold(0.0, f64::max)
         .max(1e-300);
-    let mut points = vec![vec![0.0; events.len()]; threads];
+    let mut points = DenseMatrix::zeros(threads, events.len());
     for (j, col) in columns.iter().enumerate() {
         for (t, &v) in col.iter().enumerate() {
-            points[t][j] = v / global_max;
+            points.row_mut(t)[j] = v / global_max;
         }
     }
+    let view = points.view();
 
-    let single = |events: Vec<String>, points: &[Vec<f64>]| {
-        let dim = points[0].len();
-        let centroid = (0..dim)
-            .map(|j| points.iter().map(|p| p[j]).sum::<f64>() / points.len() as f64)
+    let single = |events: Vec<String>, points: MatrixView<'_>| {
+        let centroid = (0..points.cols())
+            .map(|j| {
+                (0..points.rows()).map(|t| points.get(t, j)).sum::<f64>() / points.rows() as f64
+            })
             .collect();
         ThreadClustering {
             events,
             k: 1,
             silhouette: 0.0,
             groups: vec![ThreadGroup {
-                threads: (0..points.len()).collect(),
+                threads: (0..points.rows()).collect(),
                 centroid,
             }],
         }
     };
 
     if threads < 4 || max_k < 2 {
-        return Ok(single(events, &points));
+        return Ok(single(events, view));
     }
 
     // Absolute spread guard: if no pair of threads differs by a
     // meaningful fraction of the dominant cost, there is one behaviour
     // class regardless of what a scale-invariant silhouette would say.
-    let max_pair_dist = {
-        let mut best: f64 = 0.0;
-        for a in 0..threads {
-            for b in (a + 1)..threads {
-                let d: f64 = points[a]
-                    .iter()
-                    .zip(&points[b])
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum::<f64>()
-                    .sqrt();
-                best = best.max(d);
+    // One pair past the threshold proves structure, so stop there
+    // instead of scanning all O(n²) pairs.
+    const SPREAD: f64 = 0.05;
+    let mut has_spread = false;
+    'pairs: for a in 0..threads {
+        for b in (a + 1)..threads {
+            if sq_dist(view.row(a), view.row(b)) >= SPREAD * SPREAD {
+                has_spread = true;
+                break 'pairs;
             }
         }
-        best
-    };
-    if max_pair_dist < 0.05 {
-        return Ok(single(events, &points));
+    }
+    if !has_spread {
+        return Ok(single(events, view));
     }
 
-    // (silhouette, k, assignments, centroids). Each candidate k is an
-    // independent kmeans + silhouette run, evaluated in parallel.
-    type Candidate = (f64, usize, Vec<usize>, Vec<Vec<f64>>);
-    let points_ref = &points;
+    // (silhouette, k, flat clustering). Each candidate k is an
+    // independent kmeans + silhouette run over the shared view,
+    // evaluated in parallel; centroids stay in one matrix per candidate
+    // instead of k cloned Vecs.
+    type Candidate = (f64, usize, FlatKMeans);
     let candidates: Vec<Option<Candidate>> = (2..=max_k.min(threads - 1))
         .into_par_iter()
         .map(move |k| {
@@ -174,9 +175,9 @@ pub fn cluster_threads(trial: &Trial, metric: &str, max_k: usize) -> Result<Thre
                 k,
                 ..Default::default()
             };
-            let res = kmeans(points_ref, &cfg).ok()?;
-            let s = silhouette(points_ref, &res.assignments).ok()?;
-            Some((s, k, res.assignments, res.centroids))
+            let res = kmeans_flat(view, &cfg).ok()?;
+            let s = silhouette_flat(view, &res.assignments).ok()?;
+            Some((s, k, res))
         })
         .collect();
     let mut best: Option<Candidate> = None;
@@ -187,16 +188,17 @@ pub fn cluster_threads(trial: &Trial, metric: &str, max_k: usize) -> Result<Thre
     }
 
     match best {
-        Some((s, k, assignments, centroids)) if s >= 0.25 => {
+        Some((s, k, res)) if s >= 0.25 => {
             let mut groups: Vec<ThreadGroup> = (0..k)
                 .map(|c| ThreadGroup {
-                    threads: assignments
+                    threads: res
+                        .assignments
                         .iter()
                         .enumerate()
                         .filter(|(_, &a)| a == c)
                         .map(|(t, _)| t)
                         .collect(),
-                    centroid: centroids[c].clone(),
+                    centroid: res.centroids.row(c).to_vec(),
                 })
                 .filter(|g| !g.threads.is_empty())
                 .collect();
@@ -208,7 +210,7 @@ pub fn cluster_threads(trial: &Trial, metric: &str, max_k: usize) -> Result<Thre
                 groups,
             })
         }
-        _ => Ok(single(events, &points)),
+        _ => Ok(single(events, view)),
     }
 }
 

@@ -8,7 +8,6 @@
 
 use crate::result::TrialResult;
 use crate::{AnalysisError, Result};
-use perfdmf::algebra::{aggregate_threads, Aggregation};
 use perfdmf::{EventId, Trial, MAIN_EVENT};
 use rayon::prelude::*;
 use rules::Fact;
@@ -80,13 +79,15 @@ impl TrialComparison {
 /// comparison meaningful across scales, which is how the paper compares
 /// a 16-thread OpenMP run with a 16-rank MPI run.
 pub fn compare(baseline: &Trial, candidate: &Trial, metric: &str) -> Result<TrialComparison> {
-    let base_mean = aggregate_threads(&baseline.profile, Aggregation::Mean)?;
-    let cand_mean = aggregate_threads(&candidate.profile, Aggregation::Mean)?;
-
-    let bm = base_mean
+    let bp = &baseline.profile;
+    let cp = &candidate.profile;
+    if bp.thread_count() == 0 || cp.thread_count() == 0 {
+        return Err(AnalysisError::Invalid("profile has no threads".into()));
+    }
+    let bm = bp
         .metric_id(metric)
         .ok_or_else(|| AnalysisError::MissingMetric(metric.to_string()))?;
-    let cm = cand_mean
+    let cm = cp
         .metric_id(metric)
         .ok_or_else(|| AnalysisError::MissingMetric(metric.to_string()))?;
 
@@ -97,21 +98,23 @@ pub fn compare(baseline: &Trial, candidate: &Trial, metric: &str) -> Result<Tria
     }
 
     // Each baseline event resolves its candidate partner through the
-    // interned lookup and reads one mean cell apiece; events are
-    // independent, so the extraction fans out over rayon.
-    let base_ref = &base_mean;
-    let cand_ref = &cand_mean;
-    let mut deltas: Vec<EventDelta> = (0..base_mean.event_count())
+    // interned lookup and takes its thread mean straight off each
+    // profile's contiguous column view — no aggregated intermediate
+    // profiles. Events are independent, so the sweep fans out over
+    // rayon.
+    let bn = bp.thread_count() as f64;
+    let cn = cp.thread_count() as f64;
+    let mut deltas: Vec<EventDelta> = (0..bp.event_count())
         .into_par_iter()
         .map(move |ei| {
             let be = EventId(ei as u32);
-            let event = base_ref.event(be);
+            let event = bp.event(be);
             if event.name == MAIN_EVENT {
                 return None;
             }
-            let ce = cand_ref.event_id(&event.name)?;
-            let b = base_ref.get(be, bm, 0).map(|m| m.exclusive).unwrap_or(0.0);
-            let c = cand_ref.get(ce, cm, 0).map(|m| m.exclusive).unwrap_or(0.0);
+            let ce = cp.event_id(&event.name)?;
+            let b = bp.column(be, bm).iter().map(|m| m.exclusive).sum::<f64>() / bn;
+            let c = cp.column(ce, cm).iter().map(|m| m.exclusive).sum::<f64>() / cn;
             if b == 0.0 && c == 0.0 {
                 return None;
             }

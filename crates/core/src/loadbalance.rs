@@ -17,7 +17,7 @@ use perfdmf::{EventId, Trial, MAIN_EVENT};
 use rayon::prelude::*;
 use rules::Fact;
 use serde::{Deserialize, Serialize};
-use statistics::{pearson, Summary};
+use statistics::{pearson, DenseMatrix, Summary};
 
 /// Per-event balance observation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -86,11 +86,25 @@ pub fn analyze(trial: &Trial, metric: &str) -> Result<LoadBalanceAnalysis> {
     let m = profile
         .metric_id(metric)
         .ok_or_else(|| AnalysisError::MissingMetric(metric.to_string()))?;
-    let exclusive_col =
-        |e: EventId| -> Vec<f64> { profile.column(e, m).iter().map(|c| c.exclusive).collect() };
+
+    // One gather: an events × threads matrix of exclusive times. Every
+    // pass below (summaries, the O(E²) nested correlation sweep) reads
+    // contiguous row slices out of it instead of re-collecting a Vec
+    // per event per pair.
+    let mut excl = DenseMatrix::zeros(profile.event_count(), profile.thread_count());
+    for ei in 0..profile.event_count() {
+        for (dst, c) in excl
+            .row_mut(ei)
+            .iter_mut()
+            .zip(profile.column(EventId(ei as u32), m))
+        {
+            *dst = c.exclusive;
+        }
+    }
+    let excl = &excl;
 
     // Per-event summaries are independent: one rayon task per event,
-    // each reading its contiguous column.
+    // each reading its contiguous row.
     let observations: Vec<BalanceObservation> = (0..profile.event_count())
         .into_par_iter()
         .map(|ei| -> Result<Option<BalanceObservation>> {
@@ -99,11 +113,11 @@ pub fn analyze(trial: &Trial, metric: &str) -> Result<LoadBalanceAnalysis> {
             if event.name == MAIN_EVENT {
                 return Ok(None);
             }
-            let values = exclusive_col(e);
+            let values = excl.row(ei);
             if values.iter().all(|&v| v == 0.0) {
                 return Ok(None);
             }
-            let summary = Summary::of(&values)?;
+            let summary = Summary::of(values)?;
             let ratio = if summary.mean != 0.0 {
                 summary.stddev / summary.mean
             } else {
@@ -137,15 +151,14 @@ pub fn analyze(trial: &Trial, metric: &str) -> Result<LoadBalanceAnalysis> {
             if outer.name == MAIN_EVENT {
                 return Vec::new();
             }
-            let vo = exclusive_col(oe);
+            let vo = excl.row(oi);
             profile
                 .events()
                 .iter()
                 .enumerate()
                 .filter(|(_, inner)| outer.is_ancestor_of(inner))
                 .filter_map(|(ii, inner)| {
-                    let vi = exclusive_col(EventId(ii as u32));
-                    pearson(&vo, &vi).ok().map(|c| NestedCorrelation {
+                    pearson(vo, excl.row(ii)).ok().map(|c| NestedCorrelation {
                         outer: outer.name.clone(),
                         inner: inner.name.clone(),
                         correlation: c,

@@ -1,14 +1,37 @@
-//! k-means clustering with k-means++ seeding.
+//! k-means clustering with k-means++ seeding, over the flat matrix
+//! layout.
 //!
 //! PerfExplorer's data-mining operations include clustering of per-thread
 //! behaviour (e.g. grouping threads by their event time vectors to reveal
 //! distinct behavioural classes on large runs). This module provides the
 //! same capability: deterministic, seedable k-means over dense vectors.
+//!
+//! The kernels ([`kmeans_flat`], [`silhouette_flat`]) operate on a
+//! zero-copy [`MatrixView`] so data gathered once from the columnar
+//! profile store is clustered in place. The assignment step ranks
+//! centroids with the norm expansion `‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²`:
+//! centroid norms are cached per iteration and the remaining work per
+//! (point, centroid) pair is one contiguous unrolled dot product,
+//! parallelised over points with rayon. Seeding, the blocked update
+//! step, and the inertia pass accumulate in the exact term order of
+//! [`crate::reference::kmeans`], so for equal assignments the results
+//! are bit-identical to the nested reference — the property the
+//! differential proptests in `tests/flat_equivalence.rs` pin.
+//!
+//! [`kmeans`] and [`silhouette`] are thin compatibility wrappers that
+//! gather nested `Vec<Vec<f64>>` points once and defer to the flat
+//! kernels.
 
+use crate::matrix::{
+    dot, scatter_add, sq_dist, sq_dists_assigned, sq_dists_to, sq_norm, CentroidBlock, DenseMatrix,
+    MatrixView,
+};
+use crate::reference::XorShift64;
 use crate::{Result, StatError};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// Configuration for [`kmeans`].
+/// Configuration for [`kmeans`] / [`kmeans_flat`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct KMeansConfig {
     /// Number of clusters to form.
@@ -32,7 +55,7 @@ impl Default for KMeansConfig {
     }
 }
 
-/// Result of a k-means run.
+/// Result of a k-means run over nested points (compat shape).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KMeansResult {
     /// Cluster index assigned to each input point.
@@ -45,75 +68,71 @@ pub struct KMeansResult {
     pub iterations: usize,
 }
 
-/// Small deterministic xorshift generator so clustering results are
-/// reproducible without pulling a full RNG dependency into this crate.
-struct XorShift64(u64);
-
-impl XorShift64 {
-    fn new(seed: u64) -> Self {
-        XorShift64(seed.max(1))
-    }
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-    fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
+/// Result of a k-means run over the flat layout: centroids stay in one
+/// contiguous `k × dim` matrix, so keeping or comparing many candidate
+/// clusterings does not clone per-centroid `Vec`s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatKMeans {
+    /// Cluster index assigned to each input point.
+    pub assignments: Vec<usize>,
+    /// Final centroids as a flat `k × dim` matrix.
+    pub centroids: DenseMatrix,
+    /// Sum of squared distances of points to their centroid (inertia).
+    pub inertia: f64,
+    /// Lloyd iterations performed.
+    pub iterations: usize,
 }
 
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
-}
-
-/// Clusters `points` (rows) into `config.k` groups with Lloyd's algorithm
-/// seeded by k-means++.
-pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult> {
-    if points.is_empty() {
+fn validate(rows: usize, cols: usize, config: &KMeansConfig) -> Result<()> {
+    if rows == 0 {
         return Err(StatError::Empty);
     }
     if config.k == 0 {
         return Err(StatError::InvalidParameter("k must be >= 1".into()));
     }
-    if config.k > points.len() {
+    if config.k > rows {
         return Err(StatError::InvalidParameter(format!(
             "k = {} exceeds number of points {}",
-            config.k,
-            points.len()
+            config.k, rows
         )));
     }
-    let dim = points[0].len();
-    if dim == 0 {
+    if cols == 0 {
         return Err(StatError::InvalidParameter(
             "zero-dimensional points".into(),
         ));
     }
-    for p in points {
-        if p.len() != dim {
-            return Err(StatError::LengthMismatch {
-                left: dim,
-                right: p.len(),
-            });
-        }
-    }
+    Ok(())
+}
 
-    // --- k-means++ seeding ---
+/// Clusters the rows of `points` into `config.k` groups with Lloyd's
+/// algorithm seeded by k-means++, entirely on the flat layout.
+pub fn kmeans_flat(points: MatrixView<'_>, config: &KMeansConfig) -> Result<FlatKMeans> {
+    let n = points.rows();
+    let dim = points.cols();
+    validate(n, dim, config)?;
+    let k = config.k;
+
+    // --- k-means++ seeding (term order identical to the reference, so
+    // both draw the same RNG decisions from the same seed) ---
     let mut rng = XorShift64::new(config.seed);
-    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(config.k);
-    centroids.push(points[(rng.next_u64() % points.len() as u64) as usize].clone());
-    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
-    while centroids.len() < config.k {
+    let mut centroids = DenseMatrix::zeros(k, dim);
+    let first = (rng.next_u64() % n as u64) as usize;
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+    // `sq_dists_to` pins one point per SIMD lane, so every distance is
+    // bit-identical to a scalar `sq_dist` call and the RNG decisions
+    // below are unchanged.
+    let mut dists = vec![0.0; n];
+    sq_dists_to(points, centroids.row(0), &mut dists);
+    let mut newd = vec![0.0; n];
+    let mut seeded = 1;
+    while seeded < k {
         let total: f64 = dists.iter().sum();
         let next = if total <= 0.0 {
             // All remaining points coincide with a centroid; pick uniformly.
-            (rng.next_u64() % points.len() as u64) as usize
+            (rng.next_u64() % n as u64) as usize
         } else {
             let mut target = rng.next_f64() * total;
-            let mut chosen = points.len() - 1;
+            let mut chosen = n - 1;
             for (i, &d) in dists.iter().enumerate() {
                 target -= d;
                 if target <= 0.0 {
@@ -123,64 +142,71 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult
             }
             chosen
         };
-        centroids.push(points[next].clone());
-        for (i, p) in points.iter().enumerate() {
-            let d = sq_dist(p, centroids.last().expect("just pushed"));
-            if d < dists[i] {
-                dists[i] = d;
+        centroids.row_mut(seeded).copy_from_slice(points.row(next));
+        sq_dists_to(points, centroids.row(seeded), &mut newd);
+        for (d, &nd) in dists.iter_mut().zip(&newd) {
+            if nd < *d {
+                *d = nd;
             }
         }
+        seeded += 1;
     }
 
     // --- Lloyd iterations ---
-    let mut assignments = vec![0usize; points.len()];
+    let mut assignments: Vec<usize> = vec![0; n];
     let mut iterations = 0;
+    let mut scratch = vec![0.0; dim];
     loop {
         iterations += 1;
-        // Assignment step.
-        for (i, p) in points.iter().enumerate() {
-            let mut best = 0;
-            let mut best_d = f64::INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let d = sq_dist(p, centroid);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            assignments[i] = best;
-        }
-        // Update step.
-        let mut sums = vec![vec![0.0; dim]; config.k];
-        let mut counts = vec![0usize; config.k];
-        for (p, &a) in points.iter().zip(&assignments) {
-            counts[a] += 1;
-            for (s, &v) in sums[a].iter_mut().zip(p) {
-                *s += v;
-            }
-        }
+        // Assignment step: rank centroids by ‖c‖² − 2·x·c (the ‖x‖²
+        // term is constant per point, so it cannot change the argmin).
+        // The centroids are transposed once into a register-blocked
+        // [`CentroidBlock`]; rayon fans the scan out over contiguous
+        // chunks of one reused assignment buffer (no per-iteration
+        // allocation), and inside a chunk points go through the kernel
+        // in pairs so each panel row read serves two points.
+        let block = CentroidBlock::new(&centroids);
+        let block = &block;
+        const ASSIGN_CHUNK: usize = 256;
+        assignments
+            .par_chunks_mut(ASSIGN_CHUNK)
+            .enumerate()
+            .for_each(|(ch, chunk)| {
+                block.assign_into(points, ch * ASSIGN_CHUNK, chunk);
+            });
+
+        // Update step: one fused pass over the points in input order,
+        // accumulating into the contiguous per-cluster rows of a flat
+        // sum matrix — the same summation order as the reference, so
+        // converged centroids match it bit for bit.
+        let mut sums = DenseMatrix::zeros(k, dim);
+        let mut counts = vec![0usize; k];
+        scatter_add(points, &assignments, &mut sums, &mut counts);
         let mut movement = 0.0;
-        for c in 0..config.k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Empty cluster: re-seed at the point farthest from its
-                // centroid to avoid collapsing k.
-                let far = points
-                    .iter()
-                    .enumerate()
-                    .max_by(|(_, a), (_, b)| {
-                        sq_dist(a, &centroids[assignments[0]])
-                            .partial_cmp(&sq_dist(b, &centroids[assignments[0]]))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .map(|(i, _)| i)
-                    .unwrap_or(0);
-                movement += sq_dist(&centroids[c], &points[far]);
-                centroids[c] = points[far].clone();
+                // *own* assigned centroid to avoid collapsing k. Ties
+                // keep the later point, matching the reference's
+                // `max_by` semantics.
+                let mut far = 0;
+                let mut far_d = f64::NEG_INFINITY;
+                for (i, &a) in assignments.iter().enumerate() {
+                    let d = sq_dist(points.row(i), centroids.row(a));
+                    if d.partial_cmp(&far_d) != Some(std::cmp::Ordering::Less) {
+                        far_d = d;
+                        far = i;
+                    }
+                }
+                movement += sq_dist(centroids.row(c), points.row(far));
+                centroids.row_mut(c).copy_from_slice(points.row(far));
                 continue;
             }
-            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
-            movement += sq_dist(&centroids[c], &new);
-            centroids[c] = new;
+            for (j, s) in sums.row(c).iter().enumerate() {
+                scratch[j] = s / count as f64;
+            }
+            movement += sq_dist(centroids.row(c), &scratch);
+            centroids.row_mut(c).copy_from_slice(&scratch);
         }
         if movement <= config.tolerance {
             break;
@@ -193,12 +219,12 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult
         }
     }
 
-    let inertia = points
-        .iter()
-        .zip(&assignments)
-        .map(|(p, &a)| sq_dist(p, &centroids[a]))
-        .sum();
-    Ok(KMeansResult {
+    // Batched per-point distances (bit-identical per lane), summed
+    // sequentially in input order — the reference's reduction order.
+    let mut dists = vec![0.0; n];
+    sq_dists_assigned(points, &centroids, &assignments, &mut dists);
+    let inertia = dists.iter().sum();
+    Ok(FlatKMeans {
         assignments,
         centroids,
         inertia,
@@ -206,17 +232,48 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult
     })
 }
 
-/// Mean silhouette coefficient of a clustering, in `[-1, 1]`; larger is
-/// better separated. Requires at least 2 clusters actually populated.
-pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64> {
+/// Clusters nested `points` (rows) into `config.k` groups.
+///
+/// Compatibility wrapper: gathers the points into a [`DenseMatrix`]
+/// once and defers to [`kmeans_flat`].
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult> {
     if points.is_empty() {
         return Err(StatError::Empty);
     }
-    if points.len() != assignments.len() {
+    validate(points.len(), points[0].len(), config)?;
+    let m = DenseMatrix::from_rows(points)?;
+    let flat = kmeans_flat(m.view(), config)?;
+    Ok(KMeansResult {
+        assignments: flat.assignments,
+        centroids: flat.centroids.to_nested(),
+        inertia: flat.inertia,
+        iterations: flat.iterations,
+    })
+}
+
+/// Mean silhouette coefficient of a clustering over the flat layout,
+/// in `[-1, 1]`; larger is better separated. Requires at least 2
+/// populated clusters.
+///
+/// Per query point the distances to all clusters are folded into one
+/// per-cluster aggregate (sum of distances) in a single scan built on
+/// cached squared norms and the unrolled dot kernel; query points are
+/// independent and evaluated in parallel.
+pub fn silhouette_flat(points: MatrixView<'_>, assignments: &[usize]) -> Result<f64> {
+    let n = points.rows();
+    if n == 0 {
+        return Err(StatError::Empty);
+    }
+    if n != assignments.len() {
         return Err(StatError::LengthMismatch {
-            left: points.len(),
+            left: n,
             right: assignments.len(),
         });
+    }
+    if points.cols() == 0 {
+        return Err(StatError::InvalidParameter(
+            "zero-dimensional points".into(),
+        ));
     }
     let k = assignments.iter().copied().max().unwrap_or(0) + 1;
     let mut cluster_sizes = vec![0usize; k];
@@ -228,33 +285,56 @@ pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64> {
             "silhouette requires at least 2 populated clusters".into(),
         ));
     }
-    let mut total = 0.0;
-    for (i, p) in points.iter().enumerate() {
-        // Mean distance to every cluster.
-        let mut mean_d = vec![0.0; k];
-        for (j, q) in points.iter().enumerate() {
-            if i != j {
-                mean_d[assignments[j]] += sq_dist(p, q).sqrt();
+    let norms: Vec<f64> = (0..n).map(|i| sq_norm(points.row(i))).collect();
+    let sizes = &cluster_sizes;
+    let norms_ref = &norms;
+    let scores: Vec<f64> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let x = points.row(i);
+            // Per-cluster aggregate distances, one scan: the pairwise
+            // distance is √(‖x‖² + ‖q‖² − 2·x·q) from cached norms.
+            let mut sum_d = vec![0.0; k];
+            for j in 0..n {
+                if i != j {
+                    let d2 = norms_ref[i] + norms_ref[j] - 2.0 * dot(x, points.row(j));
+                    sum_d[assignments[j]] += d2.max(0.0).sqrt();
+                }
             }
-        }
-        let own = assignments[i];
-        let a = if cluster_sizes[own] > 1 {
-            mean_d[own] / (cluster_sizes[own] - 1) as f64
-        } else {
-            0.0
-        };
-        let b = (0..k)
-            .filter(|&c| c != own && cluster_sizes[c] > 0)
-            .map(|c| mean_d[c] / cluster_sizes[c] as f64)
-            .fold(f64::INFINITY, f64::min);
-        let s = if cluster_sizes[own] > 1 {
-            (b - a) / a.max(b)
-        } else {
-            0.0
-        };
-        total += s;
+            let own = assignments[i];
+            let a = if sizes[own] > 1 {
+                sum_d[own] / (sizes[own] - 1) as f64
+            } else {
+                0.0
+            };
+            let b = (0..k)
+                .filter(|&c| c != own && sizes[c] > 0)
+                .map(|c| sum_d[c] / sizes[c] as f64)
+                .fold(f64::INFINITY, f64::min);
+            if sizes[own] > 1 {
+                (b - a) / a.max(b)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Ok(scores.iter().sum::<f64>() / n as f64)
+}
+
+/// Mean silhouette coefficient over nested points (compat wrapper for
+/// [`silhouette_flat`]; also rejects ragged point sets).
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64> {
+    if points.is_empty() {
+        return Err(StatError::Empty);
     }
-    Ok(total / points.len() as f64)
+    if points.len() != assignments.len() {
+        return Err(StatError::LengthMismatch {
+            left: points.len(),
+            right: assignments.len(),
+        });
+    }
+    let m = DenseMatrix::from_rows(points)?;
+    silhouette_flat(m.view(), assignments)
 }
 
 #[cfg(test)]
@@ -335,11 +415,71 @@ mod tests {
 
     #[test]
     fn kmeans_rejects_ragged_points() {
+        // LengthMismatch carries (expected dim, offending row's len).
         let pts = vec![vec![1.0, 2.0], vec![3.0]];
         assert!(matches!(
             kmeans(&pts, &KMeansConfig::default()),
-            Err(StatError::LengthMismatch { .. })
+            Err(StatError::LengthMismatch { left: 2, right: 1 })
         ));
+    }
+
+    #[test]
+    fn kmeans_rejects_zero_dimensional_points() {
+        let pts = vec![vec![], vec![]];
+        assert!(matches!(
+            kmeans(&pts, &KMeansConfig::default()),
+            Err(StatError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn silhouette_rejects_ragged_and_zero_dimensional_points() {
+        // Ragged: LengthMismatch carries (expected dim, offending len).
+        assert!(matches!(
+            silhouette(&[vec![1.0, 2.0], vec![3.0]], &[0, 1]),
+            Err(StatError::LengthMismatch { left: 2, right: 1 })
+        ));
+        assert!(matches!(
+            silhouette(&[vec![], vec![]], &[0, 1]),
+            Err(StatError::InvalidParameter(_))
+        ));
+        // Assignment-length mismatch carries (points, assignments).
+        assert!(matches!(
+            silhouette(&[vec![1.0], vec![2.0], vec![3.0]], &[0, 1]),
+            Err(StatError::LengthMismatch { left: 3, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_cluster_reseeds_at_farthest_from_own_centroid() {
+        // With this seed, Lloyd dynamics empty one of the four clusters
+        // mid-run. The old re-seeding measured every point against
+        // *point 0's* centroid instead of each point's own, picked the
+        // already-well-clustered 0.5 and collapsed two clusters onto it
+        // (assignments [0,1,1,1,1,2,0], inertia ≈ 17.08). Re-seeding at
+        // the point farthest from its own centroid recovers all four
+        // real clusters {15.25, 15.0}, {10.0, 10.25, 10.5}, {5.5}, {0.5}.
+        let pts = vec![
+            vec![15.25],
+            vec![10.0],
+            vec![10.25],
+            vec![5.5],
+            vec![10.5],
+            vec![0.5],
+            vec![15.0],
+        ];
+        let cfg = KMeansConfig {
+            k: 4,
+            seed: 0xcb54d58de858f293,
+            ..Default::default()
+        };
+        let res = kmeans(&pts, &cfg).unwrap();
+        assert_eq!(res.assignments, vec![0, 1, 1, 2, 1, 3, 0]);
+        assert!(
+            res.inertia < 1.0,
+            "reseed regression: inertia {}",
+            res.inertia
+        );
     }
 
     #[test]
@@ -347,6 +487,27 @@ mod tests {
         let pts = vec![vec![5.0, 5.0]; 8];
         let res = kmeans(&pts, &KMeansConfig::default()).unwrap();
         assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn flat_api_runs_without_gather() {
+        // 4 points on a line, flat row-major buffer, no nesting anywhere.
+        let data = [0.0, 0.1, 10.0, 10.1];
+        let view = MatrixView::new(&data, 4, 1).unwrap();
+        let res = kmeans_flat(
+            view,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(res.assignments[0], res.assignments[1]);
+        assert_eq!(res.assignments[2], res.assignments[3]);
+        assert_ne!(res.assignments[0], res.assignments[2]);
+        assert_eq!(res.centroids.rows(), 2);
+        let s = silhouette_flat(view, &res.assignments).unwrap();
+        assert!(s > 0.9);
     }
 
     #[test]

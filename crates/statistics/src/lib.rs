@@ -20,15 +20,20 @@ pub mod correlation;
 pub mod descriptive;
 pub mod error;
 pub mod histogram;
+pub mod matrix;
 pub mod pca;
+pub mod reference;
 pub mod regression;
 
-pub use cluster::{kmeans, silhouette, KMeansConfig, KMeansResult};
-pub use correlation::{covariance, covariance_matrix, pearson, spearman};
+pub use cluster::{
+    kmeans, kmeans_flat, silhouette, silhouette_flat, FlatKMeans, KMeansConfig, KMeansResult,
+};
+pub use correlation::{covariance, covariance_matrix, covariance_matrix_flat, pearson, spearman};
 pub use descriptive::{Summary, Welford};
 pub use error::StatError;
 pub use histogram::Histogram;
-pub use pca::{principal_components, Pca};
+pub use matrix::{dot, sq_dist, sq_norm, DenseMatrix, MatrixView};
+pub use pca::{jacobi_eigen_flat, principal_components, principal_components_flat, Pca};
 pub use regression::{polyfit, OlsFit};
 
 /// Convenience result alias for statistics routines.

@@ -4,12 +4,17 @@
 //! multi-metric/multi-event profiles; this module provides the same
 //! operation: center the data, form the covariance matrix, and extract
 //! eigenvectors sorted by explained variance.
+//!
+//! The hot path is flat end-to-end: [`principal_components_flat`] forms
+//! the covariance with [`covariance_matrix_flat`] (columns centred
+//! once, unrolled dots) and diagonalises it with [`jacobi_eigen_flat`],
+//! whose rotation updates stride one contiguous `n × n` buffer instead
+//! of `n` heap rows. The nested [`principal_components`] signature
+//! survives as a gather-once wrapper; the original implementation lives
+//! on in [`crate::reference`] as the executable spec.
 
-// Index-based loops are the natural notation for symmetric-matrix
-// rotations; iterator adaptors obscure the (p, q) plane updates.
-#![allow(clippy::needless_range_loop)]
-
-use crate::correlation::covariance_matrix;
+use crate::correlation::covariance_matrix_flat;
+use crate::matrix::{DenseMatrix, MatrixView};
 use crate::{Result, StatError};
 use serde::{Deserialize, Serialize};
 
@@ -45,60 +50,78 @@ impl Pca {
     }
 }
 
-/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix in the flat
+/// layout.
 ///
-/// Returns `(eigenvalues, eigenvectors)` where `eigenvectors[i]` is the
-/// eigenvector for `eigenvalues[i]`, both sorted descending by eigenvalue.
-fn jacobi_eigen(matrix: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
-    let n = matrix.len();
-    let mut a: Vec<Vec<f64>> = matrix.to_vec();
-    let mut v = vec![vec![0.0; n]; n];
-    for (i, row) in v.iter_mut().enumerate() {
-        row[i] = 1.0;
+/// Returns `(eigenvalues, eigenvectors)` sorted descending by
+/// eigenvalue, with `eigenvectors.row(i)` the unit eigenvector for
+/// `eigenvalues[i]`. The rotation updates index directly into one
+/// contiguous `n × n` buffer per matrix, so each (p, q) plane sweep
+/// streams two strided lanes instead of dereferencing `n` row pointers.
+pub fn jacobi_eigen_flat(matrix: &DenseMatrix) -> Result<(Vec<f64>, DenseMatrix)> {
+    let n = matrix.rows();
+    if n != matrix.cols() {
+        return Err(StatError::LengthMismatch {
+            left: n,
+            right: matrix.cols(),
+        });
+    }
+    let mut a = matrix.as_slice().to_vec();
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
     }
     const MAX_SWEEPS: usize = 100;
     for _sweep in 0..MAX_SWEEPS {
         let mut off = 0.0;
         for i in 0..n {
             for j in (i + 1)..n {
-                off += a[i][j] * a[i][j];
+                off += a[i * n + j] * a[i * n + j];
             }
         }
         if off.sqrt() < 1e-12 {
-            let mut eigen: Vec<(f64, Vec<f64>)> = (0..n)
-                .map(|i| (a[i][i], (0..n).map(|r| v[r][i]).collect()))
-                .collect();
-            eigen.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
-            let (vals, vecs) = eigen.into_iter().unzip();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&x, &y| {
+                a[y * n + y]
+                    .partial_cmp(&a[x * n + x])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let vals = order.iter().map(|&i| a[i * n + i]).collect();
+            let mut vecs = DenseMatrix::zeros(n, n);
+            for (out, &i) in order.iter().enumerate() {
+                for r in 0..n {
+                    vecs.set(out, r, v[r * n + i]);
+                }
+            }
             return Ok((vals, vecs));
         }
         for p in 0..n {
             for q in (p + 1)..n {
-                if a[p][q].abs() < 1e-15 {
+                if a[p * n + q].abs() < 1e-15 {
                     continue;
                 }
-                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let theta = (a[q * n + q] - a[p * n + p]) / (2.0 * a[p * n + q]);
                 let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
                 let c = 1.0 / (t * t + 1.0).sqrt();
                 let s = t * c;
                 // Rotate rows/columns p and q.
                 for k in 0..n {
-                    let akp = a[k][p];
-                    let akq = a[k][q];
-                    a[k][p] = c * akp - s * akq;
-                    a[k][q] = s * akp + c * akq;
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
                 }
                 for k in 0..n {
-                    let apk = a[p][k];
-                    let aqk = a[q][k];
-                    a[p][k] = c * apk - s * aqk;
-                    a[q][k] = s * apk + c * aqk;
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
                 }
                 for k in 0..n {
-                    let vkp = v[k][p];
-                    let vkq = v[k][q];
-                    v[k][p] = c * vkp - s * vkq;
-                    v[k][q] = s * vkp + c * vkq;
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
                 }
             }
         }
@@ -109,30 +132,43 @@ fn jacobi_eigen(matrix: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
     })
 }
 
-/// Runs PCA over column-major data: `columns[j]` holds variable `j`'s
-/// samples (one per observation).
-pub fn principal_components(columns: &[Vec<f64>]) -> Result<Pca> {
-    if columns.is_empty() {
-        return Err(StatError::Empty);
-    }
-    let cov = covariance_matrix(columns)?;
-    let (eigenvalues, components) = jacobi_eigen(&cov)?;
+/// Runs PCA over the flat layout: one observation per row of `data`,
+/// one variable per column.
+pub fn principal_components_flat(data: MatrixView<'_>) -> Result<Pca> {
+    let cov = covariance_matrix_flat(data)?;
+    let (eigenvalues, components) = jacobi_eigen_flat(&cov)?;
     let total: f64 = eigenvalues.iter().map(|&e| e.max(0.0)).sum();
     let explained = if total > 0.0 {
         eigenvalues.iter().map(|&e| e.max(0.0) / total).collect()
     } else {
         vec![0.0; eigenvalues.len()]
     };
-    let means = columns
-        .iter()
-        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
-        .collect();
+    let n = data.rows() as f64;
+    let mut means = vec![0.0; data.cols()];
+    for i in 0..data.rows() {
+        for (m, &v) in means.iter_mut().zip(data.row(i)) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
     Ok(Pca {
         eigenvalues,
-        components,
+        components: components.to_nested(),
         explained_variance_ratio: explained,
         means,
     })
+}
+
+/// Runs PCA over column-major data: `columns[j]` holds variable `j`'s
+/// samples (one per observation).
+///
+/// Compatibility wrapper: transposes the columns into a [`DenseMatrix`]
+/// once and defers to [`principal_components_flat`].
+pub fn principal_components(columns: &[Vec<f64>]) -> Result<Pca> {
+    let m = DenseMatrix::from_columns(columns)?;
+    principal_components_flat(m.view())
 }
 
 #[cfg(test)]
@@ -146,14 +182,23 @@ mod tests {
     #[test]
     fn jacobi_diagonalizes_known_matrix() {
         // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
-        let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
-        let (vals, vecs) = jacobi_eigen(&m).unwrap();
+        let m = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let (vals, vecs) = jacobi_eigen_flat(&m).unwrap();
         assert!(approx(vals[0], 3.0, 1e-9));
         assert!(approx(vals[1], 1.0, 1e-9));
         // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
-        let v = &vecs[0];
+        let v = vecs.row(0);
         assert!(approx(v[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-9));
         assert!(approx(v[1].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-9));
+    }
+
+    #[test]
+    fn jacobi_rejects_non_square() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            jacobi_eigen_flat(&m),
+            Err(StatError::LengthMismatch { left: 2, right: 3 })
+        ));
     }
 
     #[test]
@@ -204,5 +249,20 @@ mod tests {
         assert!(principal_components(&[]).is_err());
         let pca = principal_components(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         assert!(pca.project(&[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn flat_pca_runs_on_row_major_observations() {
+        // Same data as pca_finds_dominant_direction, but row-major
+        // observations straight into the flat entry point.
+        let mut data = Vec::new();
+        for i in 0..50 {
+            let x = i as f64 / 10.0;
+            data.push(x);
+            data.push(2.0 * x + if i % 2 == 0 { 0.01 } else { -0.01 });
+        }
+        let view = MatrixView::new(&data, 50, 2).unwrap();
+        let pca = principal_components_flat(view).unwrap();
+        assert!(pca.explained_variance_ratio[0] > 0.999);
     }
 }

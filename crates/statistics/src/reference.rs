@@ -1,0 +1,424 @@
+//! Nested-`Vec` reference implementations — the executable spec for the
+//! flat kernels.
+//!
+//! These are the original `Vec<Vec<f64>>` statistics routines, kept
+//! verbatim (modulo the empty-cluster re-seeding bugfix, applied to
+//! both sides) after the hot paths were rewritten over
+//! [`crate::matrix::DenseMatrix`]. They exist for two reasons, the same
+//! convention `rules::reference` established:
+//!
+//! 1. **Differential testing** — `tests/flat_equivalence.rs` pins the
+//!    optimized kernels to these across random point sets, seeds and
+//!    `k`: k-means must match on assignments, centroids and inertia;
+//!    silhouette, covariance and PCA within floating-point reordering
+//!    tolerance.
+//! 2. **Bench ablation** — `bench/benches/statistics_kernels.rs`
+//!    measures flat vs. reference on identical inputs, so the layout
+//!    win is quantified against the real former implementation rather
+//!    than a strawman.
+//!
+//! Nothing in the analysis layer should call these; use the flat
+//! kernels (or their compat wrappers) in [`crate::cluster`],
+//! [`crate::correlation`] and [`crate::pca`] instead.
+
+// Index-based loops are the natural notation for symmetric-matrix
+// rotations; iterator adaptors obscure the (p, q) plane updates.
+#![allow(clippy::needless_range_loop)]
+
+use crate::cluster::{KMeansConfig, KMeansResult};
+use crate::matrix::sq_dist;
+use crate::pca::Pca;
+use crate::{Result, StatError};
+
+/// Small deterministic xorshift generator so clustering results are
+/// reproducible without pulling a full RNG dependency into this crate.
+/// Shared by the reference and flat k-means so both draw identical
+/// seeding decisions from the same `seed`.
+pub(crate) struct XorShift64(u64);
+
+impl XorShift64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
+    }
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Reference k-means: Lloyd's algorithm over nested points, k-means++
+/// seeding, one heap-allocated `Vec` per point and per centroid.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult> {
+    if points.is_empty() {
+        return Err(StatError::Empty);
+    }
+    if config.k == 0 {
+        return Err(StatError::InvalidParameter("k must be >= 1".into()));
+    }
+    if config.k > points.len() {
+        return Err(StatError::InvalidParameter(format!(
+            "k = {} exceeds number of points {}",
+            config.k,
+            points.len()
+        )));
+    }
+    let dim = points[0].len();
+    if dim == 0 {
+        return Err(StatError::InvalidParameter(
+            "zero-dimensional points".into(),
+        ));
+    }
+    for p in points {
+        if p.len() != dim {
+            return Err(StatError::LengthMismatch {
+                left: dim,
+                right: p.len(),
+            });
+        }
+    }
+
+    // --- k-means++ seeding ---
+    let mut rng = XorShift64::new(config.seed);
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(config.k);
+    centroids.push(points[(rng.next_u64() % points.len() as u64) as usize].clone());
+    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < config.k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick uniformly.
+            (rng.next_u64() % points.len() as u64) as usize
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().expect("just pushed"));
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed at the point farthest from its
+                // *own* assigned centroid to avoid collapsing k.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, a), (j, b)| {
+                        sq_dist(a, &centroids[assignments[*i]])
+                            .partial_cmp(&sq_dist(b, &centroids[assignments[*j]]))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                movement += sq_dist(&centroids[c], &points[far]);
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += sq_dist(&centroids[c], &new);
+            centroids[c] = new;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+        if iterations >= config.max_iterations {
+            return Err(StatError::NoConvergence {
+                algorithm: "kmeans",
+                iterations,
+            });
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    })
+}
+
+/// Reference silhouette: for every query point, one full O(n) scan of
+/// all other points per evaluation — O(n²·d) with nested rows.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64> {
+    if points.is_empty() {
+        return Err(StatError::Empty);
+    }
+    if points.len() != assignments.len() {
+        return Err(StatError::LengthMismatch {
+            left: points.len(),
+            right: assignments.len(),
+        });
+    }
+    if points[0].is_empty() {
+        return Err(StatError::InvalidParameter(
+            "zero-dimensional points".into(),
+        ));
+    }
+    let k = assignments.iter().copied().max().unwrap_or(0) + 1;
+    let mut cluster_sizes = vec![0usize; k];
+    for &a in assignments {
+        cluster_sizes[a] += 1;
+    }
+    if cluster_sizes.iter().filter(|&&c| c > 0).count() < 2 {
+        return Err(StatError::InvalidParameter(
+            "silhouette requires at least 2 populated clusters".into(),
+        ));
+    }
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        // Mean distance to every cluster.
+        let mut mean_d = vec![0.0; k];
+        for (j, q) in points.iter().enumerate() {
+            if i != j {
+                mean_d[assignments[j]] += sq_dist(p, q).sqrt();
+            }
+        }
+        let own = assignments[i];
+        let a = if cluster_sizes[own] > 1 {
+            mean_d[own] / (cluster_sizes[own] - 1) as f64
+        } else {
+            0.0
+        };
+        let b = (0..k)
+            .filter(|&c| c != own && cluster_sizes[c] > 0)
+            .map(|c| mean_d[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = if cluster_sizes[own] > 1 {
+            (b - a) / a.max(b)
+        } else {
+            0.0
+        };
+        total += s;
+    }
+    Ok(total / points.len() as f64)
+}
+
+/// Reference covariance matrix over column-major data: one pairwise
+/// pass per (i, j) entry, each recomputing both column means.
+pub fn covariance_matrix(columns: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    if columns.is_empty() {
+        return Err(StatError::Empty);
+    }
+    let n = columns[0].len();
+    if n == 0 {
+        return Err(StatError::Empty);
+    }
+    for c in columns {
+        if c.len() != n {
+            return Err(StatError::LengthMismatch {
+                left: n,
+                right: c.len(),
+            });
+        }
+    }
+    let p = columns.len();
+    let mut m = vec![vec![0.0; p]; p];
+    for i in 0..p {
+        for j in i..p {
+            let c = crate::correlation::covariance(&columns[i], &columns[j])?;
+            m[i][j] = c;
+            m[j][i] = c;
+        }
+    }
+    Ok(m)
+}
+
+/// Cyclic Jacobi eigendecomposition of a nested symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` where `eigenvectors[i]` is the
+/// eigenvector for `eigenvalues[i]`, both sorted descending by eigenvalue.
+pub fn jacobi_eigen(matrix: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
+    let n = matrix.len();
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    const MAX_SWEEPS: usize = 100;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            let mut eigen: Vec<(f64, Vec<f64>)> = (0..n)
+                .map(|i| (a[i][i], (0..n).map(|r| v[r][i]).collect()))
+                .collect();
+            eigen.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+            let (vals, vecs) = eigen.into_iter().unzip();
+            return Ok((vals, vecs));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(StatError::NoConvergence {
+        algorithm: "jacobi",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Reference PCA over column-major data via the nested covariance and
+/// Jacobi routines above.
+pub fn principal_components(columns: &[Vec<f64>]) -> Result<Pca> {
+    if columns.is_empty() {
+        return Err(StatError::Empty);
+    }
+    let cov = covariance_matrix(columns)?;
+    let (eigenvalues, components) = jacobi_eigen(&cov)?;
+    let total: f64 = eigenvalues.iter().map(|&e| e.max(0.0)).sum();
+    let explained = if total > 0.0 {
+        eigenvalues.iter().map(|&e| e.max(0.0) / total).collect()
+    } else {
+        vec![0.0; eigenvalues.len()]
+    };
+    let means = columns
+        .iter()
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    Ok(Pca {
+        eigenvalues,
+        components,
+        explained_variance_ratio: explained,
+        means,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_kmeans_separates_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            pts.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        let res = kmeans(&pts, &KMeansConfig::default()).unwrap();
+        assert_ne!(res.assignments[0], res.assignments[1]);
+        assert!(res.inertia < 1.0);
+        let s = silhouette(&pts, &res.assignments).unwrap();
+        assert!(s > 0.9);
+    }
+
+    #[test]
+    fn reference_reseed_uses_own_centroid_distances() {
+        // Same crafted case as the regression test in `crate::cluster`:
+        // a cluster empties mid-run and the farthest-point pick must be
+        // measured against each point's own centroid, not point 0's.
+        let pts = vec![
+            vec![15.25],
+            vec![10.0],
+            vec![10.25],
+            vec![5.5],
+            vec![10.5],
+            vec![0.5],
+            vec![15.0],
+        ];
+        let cfg = KMeansConfig {
+            k: 4,
+            seed: 0xcb54d58de858f293,
+            ..Default::default()
+        };
+        let res = kmeans(&pts, &cfg).unwrap();
+        assert_eq!(res.assignments, vec![0, 1, 1, 2, 1, 3, 0]);
+        assert!(res.inertia < 1.0);
+    }
+
+    #[test]
+    fn reference_jacobi_known_eigenvalues() {
+        let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (vals, _) = jacobi_eigen(&m).unwrap();
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_covariance_symmetric() {
+        let cols = vec![vec![1.0, 2.0, 3.0, 4.0], vec![2.0, 1.0, 4.0, 3.0]];
+        let m = covariance_matrix(&cols).unwrap();
+        assert_eq!(m[0][1], m[1][0]);
+    }
+}

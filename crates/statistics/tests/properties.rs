@@ -13,6 +13,19 @@ fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6f64, 1..max_len)
 }
 
+/// O(n²) fractional ranks straight from the definition: rank = (count
+/// below) + midpoint of the tie block. The naive spec the single-pass
+/// `ranks` in `statistics::correlation` is pinned against.
+fn naive_ranks(data: &[f64]) -> Vec<f64> {
+    data.iter()
+        .map(|&v| {
+            let less = data.iter().filter(|&&w| w < v).count();
+            let equal = data.iter().filter(|&&w| w == v).count();
+            less as f64 + (equal as f64 + 1.0) / 2.0
+        })
+        .collect()
+}
+
 proptest! {
     #[test]
     fn mean_lies_within_min_max(data in finite_vec(64)) {
@@ -113,6 +126,20 @@ proptest! {
         let y: Vec<f64> = data.iter().map(|p| p.1).collect();
         if let Ok(r) = spearman(&x, &y) {
             prop_assert!((-1.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn spearman_matches_naive_rank_reference_on_ties(
+        data in prop::collection::vec((0i32..6, 0i32..6), 2..48)
+    ) {
+        // Small integer grids force heavy ties in both series.
+        let x: Vec<f64> = data.iter().map(|p| p.0 as f64).collect();
+        let y: Vec<f64> = data.iter().map(|p| p.1 as f64).collect();
+        match (spearman(&x, &y), pearson(&naive_ranks(&x), &naive_ranks(&y))) {
+            (Ok(a), Ok(b)) => prop_assert!((a - b).abs() < 1e-9, "{} vs naive {}", a, b),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "tie handling diverges from the naive reference"),
         }
     }
 

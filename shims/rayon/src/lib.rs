@@ -13,13 +13,19 @@ use std::marker::PhantomData;
 
 /// Number of worker threads to use for `n` items.
 fn workers_for(n: usize) -> usize {
+    // `available_parallelism` is a syscall; cache it so fine-grained
+    // hot loops (e.g. one dispatch per k-means iteration) don't pay
+    // for it repeatedly.
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     if n < 2 {
         return 1;
     }
-    std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1)
-        .min(n)
+    let cores = *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    });
+    cores.min(n)
 }
 
 /// Applies `f` to every item on a pool of scoped threads, preserving
@@ -63,6 +69,14 @@ impl<T: Send> ParIter<T> {
             items: self.items,
             f,
             _out: PhantomData,
+        }
+    }
+
+    /// Pairs every item with its index, like
+    /// `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
         }
     }
 
@@ -166,9 +180,26 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// Parallel mutable chunk splitting, like rayon's `ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into `chunk_size`-sized mutable chunks (the
+    /// last may be shorter), processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
 /// The traits most callers want in scope.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
@@ -198,6 +229,17 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice_in_order() {
+        let mut data = vec![0usize; 10];
+        data.par_chunks_mut(4).enumerate().for_each(|(ch, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = ch + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
     }
 
     #[test]
