@@ -34,6 +34,40 @@ fn bench_interpreter(c: &mut Criterion) {
         let src = "let xs = range(100); let t = 0; for x in xs { t = t + x * 2; } t";
         bench.iter(|| black_box(script::parser::parse(src).unwrap()))
     });
+    // Precompiled variant: the compile-once / run-many path a cached
+    // workflow script takes after its first execution.
+    c.bench_function("script/fib_15_precompiled", |bench| {
+        let mut interp = Interpreter::new();
+        let program = interp
+            .compile("fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } fib(15)")
+            .unwrap();
+        bench.iter(|| black_box(interp.run_compiled(&program).unwrap()))
+    });
+}
+
+/// Ablation: the tree-walking reference interpreter on the same
+/// programs, to measure the bytecode VM's speedup.
+fn bench_reference(c: &mut Criterion) {
+    c.bench_function("script_reference/fib_15", |bench| {
+        bench.iter(|| {
+            let mut interp = script::reference::Interpreter::new();
+            black_box(
+                interp
+                    .run("fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } fib(15)")
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("script_reference/loop_sum_10k", |bench| {
+        bench.iter(|| {
+            let mut interp = script::reference::Interpreter::new();
+            black_box(
+                interp
+                    .run("let t = 0; let i = 0; while i < 10000 { t = t + i; i = i + 1; } t")
+                    .unwrap(),
+            )
+        })
+    });
 }
 
 fn bench_workflow_script(c: &mut Criterion) {
@@ -63,5 +97,10 @@ fn bench_workflow_script(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_interpreter, bench_workflow_script);
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_reference,
+    bench_workflow_script
+);
 criterion_main!(benches);

@@ -107,8 +107,24 @@ impl PerfExplorerScript {
     }
 
     /// Runs a script, returning its final value.
+    ///
+    /// Compilation is cached per source string, so driving the same
+    /// workflow script repeatedly (the per-trial loop of the paper's
+    /// §III workflows) re-executes cached bytecode instead of
+    /// re-lexing/re-parsing each time.
     pub fn run(&mut self, source: &str) -> Result<Value> {
         Ok(self.interp.run(source)?)
+    }
+
+    /// Compiles a workflow script once for repeated execution.
+    pub fn compile(&mut self, source: &str) -> Result<script::Compiled> {
+        Ok(self.interp.compile(source)?)
+    }
+
+    /// Runs a script previously compiled with
+    /// [`PerfExplorerScript::compile`].
+    pub fn run_compiled(&mut self, program: &script::Compiled) -> Result<Value> {
+        Ok(self.interp.run_compiled(program)?)
     }
 
     /// Takes the script's printed output.
@@ -125,9 +141,9 @@ impl PerfExplorerScript {
         // --- data access ---
         let s = state.clone();
         interp.register("load_trial", move |args| {
-            let app = expect_str(&args, 0)?;
-            let exp = expect_str(&args, 1)?;
-            let trial = expect_str(&args, 2)?;
+            let app = expect_str(args, 0)?;
+            let exp = expect_str(args, 1)?;
+            let trial = expect_str(args, 2)?;
             let mut st = s.borrow_mut();
             let t = st
                 .repo
@@ -140,7 +156,7 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("trial_events", move |args| {
-            let id = expect_trial(&args, 0)?;
+            let id = expect_trial(args, 0)?;
             let st = s.borrow();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             Ok(Value::List(
@@ -155,7 +171,7 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("trial_metrics", move |args| {
-            let id = expect_trial(&args, 0)?;
+            let id = expect_trial(args, 0)?;
             let st = s.borrow();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             Ok(Value::List(
@@ -170,9 +186,9 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("mean_exclusive", move |args| {
-            let id = expect_trial(&args, 0)?;
-            let event = expect_str(&args, 1)?;
-            let metric = expect_str(&args, 2)?;
+            let id = expect_trial(args, 0)?;
+            let event = expect_str(args, 1)?;
+            let metric = expect_str(args, 2)?;
             let st = s.borrow();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let r = TrialResult::new(trial);
@@ -186,9 +202,9 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("mean_inclusive", move |args| {
-            let id = expect_trial(&args, 0)?;
-            let event = expect_str(&args, 1)?;
-            let metric = expect_str(&args, 2)?;
+            let id = expect_trial(args, 0)?;
+            let event = expect_str(args, 1)?;
+            let metric = expect_str(args, 2)?;
             let st = s.borrow();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let r = TrialResult::new(trial);
@@ -202,8 +218,8 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("elapsed", move |args| {
-            let id = expect_trial(&args, 0)?;
-            let metric = expect_str(&args, 1)?;
+            let id = expect_trial(args, 0)?;
+            let metric = expect_str(args, 1)?;
             let st = s.borrow();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             TrialResult::new(trial)
@@ -215,16 +231,16 @@ impl PerfExplorerScript {
         // --- derived metrics ---
         let s = state.clone();
         interp.register("derive_metric", move |args| {
-            let id = expect_trial(&args, 0)?;
-            let lhs = expect_str(&args, 1)?;
-            let op = match expect_str(&args, 2)?.as_str() {
+            let id = expect_trial(args, 0)?;
+            let lhs = expect_str(args, 1)?;
+            let op = match expect_str(args, 2)?.as_str() {
                 "add" => DeriveOp::Add,
                 "subtract" => DeriveOp::Subtract,
                 "multiply" => DeriveOp::Multiply,
                 "divide" => DeriveOp::Divide,
                 other => return Err(host_err(format!("unknown operation {other:?}"))),
             };
-            let rhs = expect_str(&args, 3)?;
+            let rhs = expect_str(args, 3)?;
             let mut st = s.borrow_mut();
             let trial = st
                 .trials
@@ -237,7 +253,7 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("derive_inefficiency", move |args| {
-            let id = expect_trial(&args, 0)?;
+            let id = expect_trial(args, 0)?;
             let mut st = s.borrow_mut();
             let trial = st
                 .trials
@@ -251,10 +267,10 @@ impl PerfExplorerScript {
         // --- facts ---
         let s = state.clone();
         interp.register("compare_event_to_main", move |args| {
-            let id = expect_trial(&args, 0)?;
-            let metric = expect_str(&args, 1)?;
-            let severity = expect_str(&args, 2)?;
-            let event = expect_str(&args, 3)?;
+            let id = expect_trial(args, 0)?;
+            let metric = expect_str(args, 1)?;
+            let severity = expect_str(args, 2)?;
+            let event = expect_str(args, 3)?;
             let mut st = s.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let fact = MeanEventFact::compare_event_to_main(trial, &metric, &severity, &event)
@@ -265,9 +281,9 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("compare_all_events", move |args| {
-            let id = expect_trial(&args, 0)?;
-            let metric = expect_str(&args, 1)?;
-            let severity = expect_str(&args, 2)?;
+            let id = expect_trial(args, 0)?;
+            let metric = expect_str(args, 1)?;
+            let severity = expect_str(args, 2)?;
             let mut st = s.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let facts = MeanEventFact::compare_all_events(trial, &metric, &severity)
@@ -281,8 +297,8 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("assert_balance_facts", move |args| {
-            let id = expect_trial(&args, 0)?;
-            let metric = expect_str(&args, 1)?;
+            let id = expect_trial(args, 0)?;
+            let metric = expect_str(args, 1)?;
             let mut st = s.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let analysis =
@@ -297,7 +313,7 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("assert_stall_facts", move |args| {
-            let id = expect_trial(&args, 0)?;
+            let id = expect_trial(args, 0)?;
             let mut st = s.borrow_mut();
             let machine = st.machine.clone();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
@@ -313,7 +329,7 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("assert_memory_facts", move |args| {
-            let id = expect_trial(&args, 0)?;
+            let id = expect_trial(args, 0)?;
             let mut st = s.borrow_mut();
             let machine = st.machine.clone();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
@@ -330,7 +346,7 @@ impl PerfExplorerScript {
         let s = state.clone();
         interp.register("assert_fact", move |args| {
             // assert_fact(type, { field: value, ... })
-            let fact_type = expect_str(&args, 0)?;
+            let fact_type = expect_str(args, 0)?;
             let map = args
                 .get(1)
                 .and_then(Value::as_map)
@@ -355,7 +371,7 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("assert_context_fact", move |args| {
-            let id = expect_trial(&args, 0)?;
+            let id = expect_trial(args, 0)?;
             let mut st = s.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let fact = crate::facts::context_fact(trial);
@@ -370,7 +386,7 @@ impl PerfExplorerScript {
                 .first()
                 .and_then(Value::as_list)
                 .ok_or_else(|| host_err("argument 0 must be a list of [procs, trial] pairs"))?;
-            let metric = expect_str(&args, 1)?;
+            let metric = expect_str(args, 1)?;
             let mut pairs: Vec<(usize, usize)> = Vec::new();
             for item in series_arg {
                 let pair = item
@@ -418,8 +434,8 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("cluster_threads", move |args| {
-            let id = expect_trial(&args, 0)?;
-            let metric = expect_str(&args, 1)?;
+            let id = expect_trial(args, 0)?;
+            let metric = expect_str(args, 1)?;
             let mut st = s.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let clustering = crate::cluster::cluster_threads(trial, &metric, 4)
@@ -448,9 +464,9 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("compare_trials", move |args| {
-            let base = expect_trial(&args, 0)?;
-            let cand = expect_trial(&args, 1)?;
-            let metric = expect_str(&args, 2)?;
+            let base = expect_trial(args, 0)?;
+            let cand = expect_trial(args, 1)?;
+            let metric = expect_str(args, 2)?;
             let mut st = s.borrow_mut();
             let baseline = st
                 .trials
@@ -493,7 +509,7 @@ impl PerfExplorerScript {
         // --- rules ---
         let s = state.clone();
         interp.register("load_rules", move |args| {
-            let which = expect_str(&args, 0)?;
+            let which = expect_str(args, 0)?;
             let source = match which.as_str() {
                 "load_balance" => rulebase::LOAD_BALANCE_RULES,
                 "stalls" => rulebase::STALL_RULES,
@@ -512,7 +528,7 @@ impl PerfExplorerScript {
 
         let s = state.clone();
         interp.register("load_rules_source", move |args| {
-            let source = expect_str(&args, 0)?;
+            let source = expect_str(args, 0)?;
             let parsed = rules::drl::parse(&source).map_err(|e| host_err(e.to_string()))?;
             let n = parsed.len();
             s.borrow_mut()

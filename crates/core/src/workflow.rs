@@ -17,7 +17,7 @@ use crate::scalability::{per_event_total, scaling_facts, ScalingSeries};
 use crate::{facts::MeanEventFact, loadbalance, Result};
 use openuh::cost::CostModel;
 use openuh::feedback::FeedbackPlan;
-use perfdmf::Trial;
+use perfdmf::{EventId, Profile, Trial};
 use simulator::machine::MachineConfig;
 
 /// Outcome of one case-study workflow.
@@ -31,6 +31,52 @@ pub struct CaseStudyReport {
     pub feedback: FeedbackPlan,
     /// The cost model after feedback weighting.
     pub cost_model: CostModel,
+}
+
+/// Metrics the locality derivation chain reads (`derive_inefficiency`
+/// sources plus the severity metric `compare_all_events` weighs by).
+const DERIVATION_METRICS: [&str; 4] = ["BACK_END_BUBBLE_ALL", "CPU_CYCLES", "FP_OPS", "TIME"];
+
+/// Builds the derivation scratch trial for [`analyze_locality`]: same
+/// events and threads as `target`, but only the columns in
+/// [`DERIVATION_METRICS`] (those present — a missing source metric must
+/// surface as the same `MissingMetric` error the derivation would have
+/// raised on a full copy). Everything not derived keeps reading
+/// `target` directly, so the deep clone of every counter column is
+/// avoided.
+fn derivation_scratch(target: &Trial) -> Trial {
+    let src = &target.profile;
+    let wanted: Vec<perfdmf::MetricId> = DERIVATION_METRICS
+        .iter()
+        .filter_map(|name| src.metric_id(name))
+        .collect();
+    let mut profile =
+        Profile::with_capacity(src.threads().to_vec(), src.event_count(), wanted.len());
+    // Metrics first: `add_event` is then amortised O(1) per block while
+    // `add_metric` would rebuild the arena per event.
+    for &m in &wanted {
+        profile
+            .add_metric(src.metric(m).clone())
+            .expect("source metrics are unique");
+    }
+    for event in src.events() {
+        profile
+            .add_event(event.clone())
+            .expect("source events are unique");
+    }
+    for ei in 0..src.event_count() {
+        let e = EventId(ei as u32);
+        for (out, &m) in wanted.iter().enumerate() {
+            profile
+                .column_mut(e, perfdmf::MetricId(out as u32))
+                .copy_from_slice(src.column(e, m));
+        }
+    }
+    Trial {
+        name: target.name.clone(),
+        profile,
+        metadata: target.metadata.clone(),
+    }
 }
 
 fn finish(report: rules::RunReport) -> CaseStudyReport {
@@ -71,32 +117,42 @@ pub fn analyze_locality(
     let (_, target) = series
         .last()
         .ok_or_else(|| crate::AnalysisError::Invalid("empty trial series".into()))?;
-    // Derived metrics happen on a private copy, as a script would write
-    // its derivations back to its own analysis result.
-    let mut trial = (*target).clone();
-    derive_inefficiency(&mut trial)?;
+    // Derived metrics happen on a private scratch trial, as a script
+    // would write its derivations back to its own analysis result. The
+    // scratch copies only the columns the derivation chain touches;
+    // every fact pass that reads measured counters stays on `target`.
+    #[cfg(debug_assertions)]
+    let before = (*target).clone();
+    let mut scratch = derivation_scratch(target);
+    derive_inefficiency(&mut scratch)?;
+    #[cfg(debug_assertions)]
+    debug_assert!(
+        **target == before,
+        "analyze_locality must not modify the source trial"
+    );
 
     let mut engine = engine_with_all(&[STALL_RULES, LOCALITY_RULES, LOAD_BALANCE_RULES])?;
 
     // Performance context: rules join on metadata to justify conclusions.
-    engine.assert_fact(crate::facts::context_fact(&trial));
+    engine.assert_fact(crate::facts::context_fact(target));
 
-    // Pass 1 facts: stall/cycle rate of every event vs main.
+    // Pass 1 facts: stall/cycle rate of every event vs main (needs the
+    // derived ratio, so it reads the scratch).
     for fact in
-        MeanEventFact::compare_all_events(&trial, "(BACK_END_BUBBLE_ALL / CPU_CYCLES)", "TIME")?
+        MeanEventFact::compare_all_events(&scratch, "(BACK_END_BUBBLE_ALL / CPU_CYCLES)", "TIME")?
     {
         engine.assert_fact(fact);
     }
     // Pass 2 facts: stall decomposition.
-    for fact in stall_facts(&stall_decomposition(&trial, machine)?) {
+    for fact in stall_facts(&stall_decomposition(target, machine)?) {
         engine.assert_fact(fact);
     }
     // Pass 3 facts: memory behaviour and scaling.
-    for fact in memory_facts(&memory_analysis(&trial, machine)?) {
+    for fact in memory_facts(&memory_analysis(target, machine)?) {
         engine.assert_fact(fact);
     }
     let mut scaling: Vec<ScalingSeries> = Vec::new();
-    for event in trial.profile.events() {
+    for event in target.profile.events() {
         if let Ok(s) = per_event_total(series, "TIME", &event.name) {
             scaling.push(s);
         }
@@ -105,7 +161,7 @@ pub fn analyze_locality(
         engine.assert_fact(fact);
     }
     // Balance facts supply the runtime-fraction condition.
-    for fact in loadbalance::analyze(&trial, "TIME")?.facts() {
+    for fact in loadbalance::analyze(target, "TIME")?.facts() {
         engine.assert_fact(fact);
     }
 
@@ -209,6 +265,37 @@ mod tests {
             .suggestions
             .iter()
             .any(|s| s.action.contains("first-touch")));
+    }
+
+    #[test]
+    fn analyze_locality_leaves_source_trials_unmodified() {
+        let machine = MachineConfig::altix300();
+        let trials: Vec<(usize, Trial)> = [1usize, 4]
+            .iter()
+            .map(|&p| {
+                let mut c = GenIdlestConfig::new(
+                    Problem::Rib90,
+                    Paradigm::OpenMp,
+                    CodeVersion::Unoptimized,
+                    p,
+                );
+                c.timesteps = 1;
+                (p, genidlest::run(&c))
+            })
+            .collect();
+        let before = trials.clone();
+        let series: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+        analyze_locality(&series, &machine).unwrap();
+        // The derivation works on a scratch copy; no trial in the
+        // series grows derived metrics or changes a measurement.
+        assert_eq!(trials, before);
+        assert!(trials
+            .last()
+            .unwrap()
+            .1
+            .profile
+            .metric_id("INEFFICIENCY")
+            .is_none());
     }
 
     #[test]

@@ -1,0 +1,1037 @@
+//! AST → bytecode compiler.
+//!
+//! A single pass over the AST that (a) interns every identifier, (b)
+//! resolves each variable reference to either a frame-relative local
+//! slot or a persistent global slot, (c) resolves each call to a dense
+//! builtin/function id, (d) dedups literals (and folds constant
+//! arithmetic) into a per-function constant pool, and (e) emits flat
+//! [`Op`] sequences for the stack VM in `vm.rs`.
+//!
+//! # Step accounting
+//!
+//! The reference tree-walker charges one step per statement and per
+//! expression node, in pre-order, and one extra step per loop
+//! iteration. The VM must exhaust a step budget after the *same* number
+//! of steps with the *same* error line, so the compiler records every
+//! would-be bump as a pending line and flushes consecutive runs into a
+//! single `Step { n, meta }` op, where `meta` indexes a side table
+//! (`Proto::step_lines`) holding the line of each individual bump. The
+//! VM can then charge `n` steps in one add and still recover the exact
+//! line of the bump that crossed the limit. Merging is sound because no
+//! observable effect (value, output, error) occurs between the bumps of
+//! one run. Constant folding keeps parity for the same reason: folding
+//! `1 + 2 * 3` to a pooled `7` still emits the five bumps the
+//! tree-walker would have charged.
+//!
+//! Runs merge across *pure* ops too: an op that cannot fail and touches
+//! only transient state (the value stack, locals, the statement-value
+//! register — all discarded when a run errors) may execute before the
+//! `Step` op charging the bumps the tree-walker would have charged
+//! first. A step-limit abort between the two orders is
+//! indistinguishable: same error, same line, same step count, and no
+//! persistent state (globals, output, function bindings) has diverged,
+//! because every fallible or persistent-effect op flushes pending bumps
+//! before it executes.
+//!
+//! # Scope rules
+//!
+//! The tree-walker's scoping is dynamic in mechanism but lexical in
+//! effect: a name resolves through the enclosing block scopes of the
+//! current frame and then falls back to the global scope, and function
+//! bodies execute in a fresh frame seeing only their parameters (plus
+//! body-level `let`s, which share the parameter scope) and globals. The
+//! compiler mirrors this with a compile-time scope stack: names bound
+//! by `let` (in a block), parameters, and `for` variables become local
+//! slots with block-bounded lifetimes (slots are reused after block
+//! exit); everything else — including `let` at the top level of the
+//! program — resolves to a named global slot that persists across runs
+//! of one interpreter, which is what keeps cached [`Proto`]s valid.
+
+use crate::ast::*;
+use crate::builtins::Builtin;
+use crate::value::{Interner, Symbol, Value};
+use crate::vm::{FnTable, Globals};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Comparison selector for the fused [`Op::CmpJumpFalse`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Cmp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic selector for the fused [`Op::FusedBin`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Arith {
+    /// `+` (numeric add, list concat, or string concat)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (errors on zero divisor)
+    Div,
+    /// `%` (errors on zero divisor)
+    Rem,
+}
+
+/// Packed operand of a fused op: tag in the top two bits
+/// ([`OPERAND_LOCAL`], [`OPERAND_GLOBAL`] — always compiler-proven
+/// defined — or [`OPERAND_CONST`]), index in the low 30.
+pub(crate) const OPERAND_LOCAL: u32 = 0;
+/// Tag: proven-defined global slot.
+pub(crate) const OPERAND_GLOBAL: u32 = 1;
+/// Tag: constant-pool index.
+pub(crate) const OPERAND_CONST: u32 = 2;
+
+/// Splits a packed operand into (tag, index).
+#[inline]
+pub(crate) fn operand_parts(packed: u32) -> (u32, u32) {
+    (packed >> 30, packed & 0x3FFF_FFFF)
+}
+
+fn pack_operand(tag: u32, idx: u32) -> u32 {
+    debug_assert!(idx < (1 << 30));
+    (tag << 30) | idx
+}
+
+/// One VM instruction. Jump targets are absolute instruction indices.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    /// Charge `n` execution steps; `meta` indexes `Proto::step_lines`
+    /// at the line of the first of the `n` merged bumps.
+    Step { n: u32, meta: u32 },
+    /// Push `consts[i]`.
+    Const(u32),
+    /// Push a copy of local slot `i` (frame-relative).
+    LoadLocal(u32),
+    /// Pop into local slot `i` and null the statement-value register
+    /// (stores only occur in statements whose value is `null`).
+    StoreLocal(u32),
+    /// Push a copy of global slot `i`; error if still undefined.
+    LoadGlobal(u32),
+    /// [`Op::LoadGlobal`] for a slot the compiler proved is already
+    /// defined (an earlier top-level `let` of this program dominates
+    /// it), so the op is pure and step bumps may be delayed across it.
+    LoadGlobalFast(u32),
+    /// Pop into global slot `i` (error if still undefined) and null the
+    /// statement-value register.
+    StoreGlobal(u32),
+    /// [`Op::StoreGlobal`] for a compiler-proven-defined slot; the
+    /// undefined check is vestigial. Still a flush point: the write is
+    /// observable across runs, so pending bumps must precede it.
+    StoreGlobalFast(u32),
+    /// Pop into global slot `i`, defining it (`let` at the top level),
+    /// and null the statement-value register.
+    DefineGlobal(u32),
+    /// Pop `n` values into a list.
+    MakeList(u32),
+    /// Pop `n` (key, value) pairs into a map.
+    MakeMap(u32),
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump if the value is falsy.
+    JumpIfFalse(u32),
+    /// Fused comparison + branch: pop rhs and lhs, evaluate `cmp` with
+    /// the comparison ops' exact type rules, jump to `target` when the
+    /// result is false. Emitted when a condition ends in a comparison,
+    /// replacing the `Cmp`/`JumpIfFalse` pair.
+    CmpJumpFalse {
+        /// Which comparison.
+        cmp: Cmp,
+        /// Branch target when the comparison is false.
+        target: u32,
+    },
+    /// Fully fused condition: read two packed operands (no stack
+    /// traffic), compare, jump to `target` when false. Emitted when
+    /// both sides of an `if`/`while` comparison are simple (local,
+    /// proven-defined global, or constant).
+    CmpOperandsJumpFalse {
+        /// Which comparison.
+        cmp: Cmp,
+        /// Packed left operand.
+        lhs: u32,
+        /// Packed right operand.
+        rhs: u32,
+        /// Branch target when the comparison is false.
+        target: u32,
+    },
+    /// Fused `dst = lhs op rhs` over packed operands: the whole
+    /// assignment statement in one op (operands and destination are
+    /// simple, so reads are pure and the only fallible part is the
+    /// arithmetic itself). Nulls the statement-value register.
+    FusedBin {
+        /// Which arithmetic.
+        op: Arith,
+        /// Packed destination (local or proven-defined global).
+        dst: u32,
+        /// Packed left operand.
+        lhs: u32,
+        /// Packed right operand.
+        rhs: u32,
+    },
+    /// `&&` left operand: pop; if falsy push `false` and jump over the
+    /// right operand, else continue into it.
+    AndJump(u32),
+    /// `||` left operand: pop; if truthy push `true` and jump over the
+    /// right operand, else continue into it.
+    OrJump(u32),
+    /// Pop; push the value's truthiness as a bool.
+    ToBool,
+    /// Binary `+` (numeric add, list concat, or string concat).
+    Add,
+    /// Binary `-`.
+    Sub,
+    /// Binary `*`.
+    Mul,
+    /// Binary `/` (errors on zero divisor).
+    Div,
+    /// Binary `%` (errors on zero divisor).
+    Rem,
+    /// Binary `==`.
+    Eq,
+    /// Binary `!=`.
+    Ne,
+    /// Binary `<`.
+    Lt,
+    /// Binary `<=`.
+    Le,
+    /// Binary `>`.
+    Gt,
+    /// Binary `>=`.
+    Ge,
+    /// Unary numeric negation.
+    Neg,
+    /// Unary logical not.
+    Not,
+    /// Pop index and base; push `base[index]`.
+    Index,
+    /// Pop index and value; `locals[slot][index] = value` in place;
+    /// null the statement-value register.
+    IndexSetLocal(u32),
+    /// Pop index and value; `globals[slot][index] = value` in place;
+    /// null the statement-value register.
+    IndexSetGlobal(u32),
+    /// Call a builtin over the top `argc` stack values.
+    CallBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Argument count.
+        argc: u32,
+    },
+    /// Call user/host function `fn_id` over the top `argc` values.
+    CallFn {
+        /// Dense function id in the interpreter's function table.
+        fn_id: u32,
+        /// Argument count.
+        argc: u32,
+    },
+    /// Bind `defs[def]` as the body of function `fn_id` (executed when
+    /// the `fn` statement runs, so definitions stay dynamic) and null
+    /// the statement-value register.
+    DefineFn {
+        /// Dense function id to (re)bind.
+        fn_id: u32,
+        /// Index into `Proto::defs`.
+        def: u32,
+    },
+    /// Pop an iterable and open an iterator over it.
+    ForPrep,
+    /// Advance the innermost iterator into local `slot`, or pop the
+    /// iterator and jump to `exit` when exhausted.
+    ForNext {
+        /// Loop-variable slot.
+        slot: u32,
+        /// Jump target once exhausted.
+        exit: u32,
+    },
+    /// Discard the innermost iterator (`break` out of a `for`).
+    PopIter,
+    /// Pop into the statement-value register.
+    SetLast,
+    /// Null the statement-value register.
+    ClearLast,
+    /// Pop the return value and unwind one frame (or finish the run).
+    Return,
+    /// Return the statement-value register (function fall-off-the-end
+    /// and end-of-program).
+    ReturnLast,
+    /// `break`/`continue` reached outside any loop: raise the
+    /// tree-walker's error at the enclosing top-level statement's line.
+    FailLoopFlow,
+    /// Index assignment whose base is not a plain variable.
+    FailIndexBase,
+}
+
+/// A compiled function (or the program's top level).
+#[derive(Debug)]
+pub(crate) struct Proto {
+    /// Number of parameters (local slots `0..params`).
+    pub params: u32,
+    /// Total local slots the frame needs.
+    pub locals: u32,
+    /// Instructions; always terminated by [`Op::ReturnLast`].
+    pub code: Box<[Op]>,
+    /// Source line of each instruction (for error reporting).
+    pub lines: Box<[u32]>,
+    /// Per-bump lines for merged [`Op::Step`] ops.
+    pub step_lines: Box<[u32]>,
+    /// Constant pool (deduplicated).
+    pub consts: Box<[Value]>,
+    /// Nested function bodies, referenced by [`Op::DefineFn`].
+    pub defs: Box<[Rc<Proto>]>,
+}
+
+/// Compiles a parsed program against an interpreter's persistent
+/// interner / global-slot / function tables. Infallible: all language
+/// errors are runtime errors by the reference semantics, so the
+/// compiler lowers even statically-doomed code (e.g. `break` outside a
+/// loop) to ops that raise the identical error when reached.
+pub(crate) fn compile(
+    program: &Program,
+    interner: &mut Interner,
+    globals: &mut Globals,
+    fns: &mut FnTable,
+) -> Rc<Proto> {
+    let mut shared = Shared {
+        interner,
+        globals,
+        fns,
+    };
+    compile_proto(&mut shared, &[], &program.statements, true)
+}
+
+/// Interpreter-wide tables the compiler interns into.
+struct Shared<'a> {
+    interner: &'a mut Interner,
+    globals: &'a mut Globals,
+    fns: &'a mut FnTable,
+}
+
+/// Constant-pool dedup key (`f64` by bit pattern so NaN/−0.0 are kept
+/// distinct exactly as written).
+#[derive(PartialEq, Eq, Hash)]
+enum ConstKey {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+}
+
+struct ScopeVar {
+    sym: Symbol,
+    slot: u32,
+}
+
+struct ScopeFrame {
+    vars: Vec<ScopeVar>,
+    /// `next_slot` watermark to rewind to on block exit (slot reuse).
+    base_slot: u32,
+}
+
+struct LoopCtx {
+    /// `continue` target (loop head).
+    cont_target: usize,
+    /// `break` jump sites to patch once the exit label is known.
+    breaks: Vec<usize>,
+}
+
+enum Resolved {
+    Local(u32),
+    Global(u32),
+}
+
+/// A fused-op operand before packing.
+enum Simple {
+    Local(u32),
+    Global(u32),
+    Const(Value),
+}
+
+/// Placeholder jump target, patched once the label is bound.
+const PATCH: u32 = u32::MAX;
+
+struct ProtoCompiler<'a, 'b> {
+    sh: &'a mut Shared<'b>,
+    code: Vec<Op>,
+    lines: Vec<u32>,
+    step_lines: Vec<u32>,
+    /// Lines of bumps not yet flushed into a `Step` op.
+    pending: Vec<u32>,
+    consts: Vec<Value>,
+    const_map: HashMap<ConstKey, u32>,
+    defs: Vec<Rc<Proto>>,
+    scopes: Vec<ScopeFrame>,
+    next_slot: u32,
+    max_slots: u32,
+    is_main: bool,
+    loops: Vec<LoopCtx>,
+    /// Line of the top-level statement currently being compiled; the
+    /// tree-walker reports `break`/`continue`-outside-loop there.
+    toplevel_line: u32,
+    /// Global slots proven defined at this point: targets of earlier
+    /// top-level `DefineGlobal`s of *this* program. Top-level
+    /// statements run in order and globals are never undefined, so any
+    /// later access in the program (including inside loops, `if`s and
+    /// later statements — but not function bodies, which compile as
+    /// separate protos) can skip the defined check.
+    defined: HashSet<u32>,
+}
+
+fn compile_proto(sh: &mut Shared, params: &[String], body: &[Stmt], is_main: bool) -> Rc<Proto> {
+    let mut c = ProtoCompiler {
+        sh,
+        code: Vec::new(),
+        lines: Vec::new(),
+        step_lines: Vec::new(),
+        pending: Vec::new(),
+        consts: Vec::new(),
+        const_map: HashMap::new(),
+        defs: Vec::new(),
+        scopes: vec![ScopeFrame {
+            vars: Vec::new(),
+            base_slot: 0,
+        }],
+        next_slot: 0,
+        max_slots: 0,
+        is_main,
+        loops: Vec::new(),
+        toplevel_line: 0,
+        defined: HashSet::new(),
+    };
+    for p in params {
+        c.define_local(p);
+    }
+    for s in body {
+        c.stmt(s);
+    }
+    c.flush();
+    c.code.push(Op::ReturnLast);
+    c.lines.push(0);
+    Rc::new(Proto {
+        params: params.len() as u32,
+        locals: c.max_slots,
+        code: c.code.into_boxed_slice(),
+        lines: c.lines.into_boxed_slice(),
+        step_lines: c.step_lines.into_boxed_slice(),
+        consts: c.consts.into_boxed_slice(),
+        defs: c.defs.into_boxed_slice(),
+    })
+}
+
+/// Folds a constant-only expression to its value, or `None` when the
+/// expression could have effects, errors, or non-constant inputs.
+/// Division/modulo fold only with a nonzero divisor so `1 / 0` still
+/// raises its runtime error at the right line and step count.
+fn fold(e: &Expr) -> Option<Value> {
+    match &e.kind {
+        ExprKind::Null => Some(Value::Null),
+        ExprKind::Bool(b) => Some(Value::Bool(*b)),
+        ExprKind::Num(n) => Some(Value::Num(*n)),
+        ExprKind::Str(s) => Some(Value::Str(s.clone())),
+        ExprKind::Unary(UnOp::Neg, inner) => match fold(inner)? {
+            Value::Num(n) => Some(Value::Num(-n)),
+            _ => None,
+        },
+        ExprKind::Unary(UnOp::Not, inner) => Some(Value::Bool(!fold(inner)?.truthy())),
+        ExprKind::Binary(op, lhs, rhs) => {
+            let (Value::Num(a), Value::Num(b)) = (fold(lhs)?, fold(rhs)?) else {
+                return None;
+            };
+            match op {
+                BinOp::Add => Some(Value::Num(a + b)),
+                BinOp::Sub => Some(Value::Num(a - b)),
+                BinOp::Mul => Some(Value::Num(a * b)),
+                BinOp::Div if b != 0.0 => Some(Value::Num(a / b)),
+                BinOp::Rem if b != 0.0 => Some(Value::Num(a % b)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+impl ProtoCompiler<'_, '_> {
+    /// Records one would-be tree-walker bump at `line`.
+    fn bump(&mut self, line: usize) {
+        self.pending.push(line as u32);
+    }
+
+    /// Flushes pending bumps into a single merged `Step` op.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let meta = self.step_lines.len() as u32;
+        self.step_lines.extend_from_slice(&self.pending);
+        let n = self.pending.len() as u32;
+        self.lines.push(self.pending[0]);
+        self.code.push(Op::Step { n, meta });
+        self.pending.clear();
+    }
+
+    fn emit(&mut self, op: Op, line: usize) {
+        self.flush();
+        self.code.push(op);
+        self.lines.push(line as u32);
+    }
+
+    /// Emits a *pure* op — one that cannot fail and touches only
+    /// transient state — without flushing pending bumps, so runs of
+    /// bumps merge across it (see the module docs for why this is
+    /// unobservable).
+    fn emit_pure(&mut self, op: Op, line: usize) {
+        self.code.push(op);
+        self.lines.push(line as u32);
+    }
+
+    /// Emits a jump-family op with a placeholder target; returns its
+    /// address for patching.
+    fn emit_patch(&mut self, op: Op, line: usize) -> usize {
+        self.emit(op, line);
+        self.code.len() - 1
+    }
+
+    /// Emits the falsy-branch of a condition, fusing a trailing
+    /// comparison op into a single [`Op::CmpJumpFalse`]. Returns the
+    /// jump's address for patching.
+    fn emit_cond_jump(&mut self, line: usize) -> usize {
+        if self.pending.is_empty() {
+            let cmp = match self.code.last() {
+                Some(Op::Eq) => Some(Cmp::Eq),
+                Some(Op::Ne) => Some(Cmp::Ne),
+                Some(Op::Lt) => Some(Cmp::Lt),
+                Some(Op::Le) => Some(Cmp::Le),
+                Some(Op::Gt) => Some(Cmp::Gt),
+                Some(Op::Ge) => Some(Cmp::Ge),
+                _ => None,
+            };
+            if let Some(cmp) = cmp {
+                // Reuse the comparison's line so its type error (and
+                // the fused op's) report identically.
+                let cline = *self.lines.last().expect("line per op");
+                self.code.pop();
+                self.lines.pop();
+                self.code.push(Op::CmpJumpFalse { cmp, target: PATCH });
+                self.lines.push(cline);
+                return self.code.len() - 1;
+            }
+        }
+        self.emit_patch(Op::JumpIfFalse(PATCH), line)
+    }
+
+    /// Binds a label at the current position (flushing pending bumps so
+    /// jumps to the label skip exactly the code before it).
+    fn here(&mut self) -> usize {
+        self.flush();
+        self.code.len()
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        let t = target as u32;
+        match &mut self.code[at] {
+            Op::Jump(x) | Op::JumpIfFalse(x) | Op::AndJump(x) | Op::OrJump(x) => *x = t,
+            Op::CmpJumpFalse { target, .. } | Op::CmpOperandsJumpFalse { target, .. } => {
+                *target = t
+            }
+            Op::ForNext { exit, .. } => *exit = t,
+            other => unreachable!("patching non-jump op {other:?}"),
+        }
+    }
+
+    fn const_id(&mut self, v: Value) -> u32 {
+        let key = match &v {
+            Value::Null => ConstKey::Null,
+            Value::Bool(b) => ConstKey::Bool(*b),
+            Value::Num(n) => ConstKey::Num(n.to_bits()),
+            Value::Str(s) => ConstKey::Str(s.clone()),
+            // Non-literal values never reach the pool.
+            _ => {
+                self.consts.push(v);
+                return self.consts.len() as u32 - 1;
+            }
+        };
+        if let Some(&id) = self.const_map.get(&key) {
+            return id;
+        }
+        let id = self.consts.len() as u32;
+        self.consts.push(v);
+        self.const_map.insert(key, id);
+        id
+    }
+
+    fn open_scope(&mut self) {
+        self.scopes.push(ScopeFrame {
+            vars: Vec::new(),
+            base_slot: self.next_slot,
+        });
+    }
+
+    fn close_scope(&mut self) {
+        let frame = self.scopes.pop().expect("scope underflow");
+        self.next_slot = frame.base_slot;
+    }
+
+    fn define_local(&mut self, name: &str) -> u32 {
+        let sym = self.sh.interner.intern(name);
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.max_slots = self.max_slots.max(self.next_slot);
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .vars
+            .push(ScopeVar { sym, slot });
+        slot
+    }
+
+    fn resolve(&mut self, name: &str) -> Resolved {
+        let sym = self.sh.interner.intern(name);
+        for scope in self.scopes.iter().rev() {
+            for v in scope.vars.iter().rev() {
+                if v.sym == sym {
+                    return Resolved::Local(v.slot);
+                }
+            }
+        }
+        Resolved::Global(self.sh.globals.ensure(sym))
+    }
+
+    /// Compiles a `{ ... }` block: fresh scope, statements, and a
+    /// `ClearLast` when empty (an empty block's value is `null`).
+    fn block(&mut self, body: &[Stmt], line: usize) {
+        if body.is_empty() {
+            self.emit(Op::ClearLast, line);
+            return;
+        }
+        self.open_scope();
+        for s in body {
+            self.stmt(s);
+        }
+        self.close_scope();
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        if self.scopes.len() == 1 {
+            self.toplevel_line = s.line as u32;
+        }
+        self.bump(s.line);
+        match &s.kind {
+            StmtKind::Let(name, e) => {
+                self.expr(e);
+                if self.is_main && self.scopes.len() == 1 {
+                    // Top-level `let` defines (or redefines) a global.
+                    let sym = self.sh.interner.intern(name);
+                    let g = self.sh.globals.ensure(sym);
+                    self.emit(Op::DefineGlobal(g), s.line);
+                    self.defined.insert(g);
+                } else {
+                    let slot = self.define_local(name);
+                    self.emit_pure(Op::StoreLocal(slot), s.line);
+                }
+            }
+            StmtKind::Assign(name, e) => {
+                if self.try_fused_assign(name, e) {
+                    return;
+                }
+                self.expr(e);
+                match self.resolve(name) {
+                    Resolved::Local(slot) => self.emit_pure(Op::StoreLocal(slot), s.line),
+                    Resolved::Global(g) if self.defined.contains(&g) => {
+                        self.emit(Op::StoreGlobalFast(g), s.line)
+                    }
+                    Resolved::Global(g) => self.emit(Op::StoreGlobal(g), s.line),
+                }
+            }
+            StmtKind::IndexAssign(base, index, e) => {
+                // Value then index, matching the tree-walker's order, so
+                // their errors (and bumps) happen before the base check.
+                self.expr(e);
+                self.expr(index);
+                let op = match &base.kind {
+                    ExprKind::Var(name) => match self.resolve(name) {
+                        Resolved::Local(slot) => Op::IndexSetLocal(slot),
+                        Resolved::Global(g) => Op::IndexSetGlobal(g),
+                    },
+                    _ => Op::FailIndexBase,
+                };
+                self.emit(op, s.line);
+            }
+            StmtKind::Expr(e) => {
+                self.expr(e);
+                self.emit_pure(Op::SetLast, s.line);
+            }
+            StmtKind::If(cond, then_block, else_block) => {
+                let jf = match self.try_fused_cond(cond) {
+                    Some(at) => at,
+                    None => {
+                        self.expr(cond);
+                        self.emit_cond_jump(s.line)
+                    }
+                };
+                self.block(then_block, s.line);
+                let jend = self.emit_patch(Op::Jump(PATCH), s.line);
+                let l_else = self.here();
+                self.patch(jf, l_else);
+                match else_block {
+                    Some(eb) => self.block(eb, s.line),
+                    // No else: the statement's value is null.
+                    None => self.emit(Op::ClearLast, s.line),
+                }
+                let l_end = self.here();
+                self.patch(jend, l_end);
+            }
+            StmtKind::While(cond, body) => {
+                let l_cond = self.here();
+                let jf = match self.try_fused_cond(cond) {
+                    Some(at) => at,
+                    None => {
+                        self.expr(cond);
+                        self.emit_cond_jump(s.line)
+                    }
+                };
+                // The tree-walker charges one step per iteration.
+                self.bump(s.line);
+                self.loops.push(LoopCtx {
+                    cont_target: l_cond,
+                    breaks: Vec::new(),
+                });
+                self.open_scope();
+                for st in body {
+                    self.stmt(st);
+                }
+                self.close_scope();
+                self.emit(Op::Jump(l_cond as u32), s.line);
+                let ctx = self.loops.pop().expect("loop ctx");
+                let l_exit = self.here();
+                self.patch(jf, l_exit);
+                for b in ctx.breaks {
+                    self.patch(b, l_exit);
+                }
+                self.emit(Op::ClearLast, s.line);
+            }
+            StmtKind::For(var, iter, body) => {
+                self.expr(iter);
+                self.emit(Op::ForPrep, s.line);
+                // The loop variable and the body share one per-iteration
+                // scope, exactly like the tree-walker's.
+                self.open_scope();
+                let slot = self.define_local(var);
+                let l_next = self.here();
+                let fornext = self.emit_patch(Op::ForNext { slot, exit: PATCH }, s.line);
+                self.bump(s.line);
+                self.loops.push(LoopCtx {
+                    cont_target: l_next,
+                    breaks: Vec::new(),
+                });
+                for st in body {
+                    self.stmt(st);
+                }
+                self.emit(Op::Jump(l_next as u32), s.line);
+                self.close_scope();
+                let ctx = self.loops.pop().expect("loop ctx");
+                let l_brk = self.here();
+                self.emit(Op::PopIter, s.line);
+                for b in ctx.breaks {
+                    self.patch(b, l_brk);
+                }
+                let l_exit = self.here();
+                self.patch(fornext, l_exit);
+                self.emit(Op::ClearLast, s.line);
+            }
+            StmtKind::FnDef(def) => {
+                let sym = self.sh.interner.intern(&def.name);
+                let fn_id = self.sh.fns.ensure(sym);
+                let proto = compile_proto(self.sh, &def.params, &def.body, false);
+                let d = self.defs.len() as u32;
+                self.defs.push(proto);
+                self.emit(Op::DefineFn { fn_id, def: d }, s.line);
+            }
+            StmtKind::Return(e) => {
+                match e {
+                    Some(e) => self.expr(e),
+                    None => {
+                        let id = self.const_id(Value::Null);
+                        self.emit(Op::Const(id), s.line);
+                    }
+                }
+                self.emit(Op::Return, s.line);
+            }
+            StmtKind::Break => match self.loops.last_mut() {
+                Some(_) => {
+                    let j = self.emit_patch(Op::Jump(PATCH), s.line);
+                    self.loops.last_mut().expect("loop ctx").breaks.push(j);
+                }
+                None => {
+                    let line = self.toplevel_line as usize;
+                    self.emit(Op::FailLoopFlow, line);
+                }
+            },
+            StmtKind::Continue => match self.loops.last() {
+                Some(ctx) => {
+                    let t = ctx.cont_target as u32;
+                    self.emit(Op::Jump(t), s.line);
+                }
+                None => {
+                    let line = self.toplevel_line as usize;
+                    self.emit(Op::FailLoopFlow, line);
+                }
+            },
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        if let Some(v) = fold(e) {
+            // Constant subtree: charge its bumps (pre-order, matching
+            // the walk the tree-walker would have done) and push the
+            // pooled value.
+            self.fold_steps(e);
+            let id = self.const_id(v);
+            self.emit_pure(Op::Const(id), e.line);
+            return;
+        }
+        self.bump(e.line);
+        match &e.kind {
+            // Literals are always folded above; kept for robustness.
+            ExprKind::Null => {
+                let id = self.const_id(Value::Null);
+                self.emit_pure(Op::Const(id), e.line);
+            }
+            ExprKind::Bool(b) => {
+                let id = self.const_id(Value::Bool(*b));
+                self.emit_pure(Op::Const(id), e.line);
+            }
+            ExprKind::Num(n) => {
+                let id = self.const_id(Value::Num(*n));
+                self.emit_pure(Op::Const(id), e.line);
+            }
+            ExprKind::Str(s) => {
+                let id = self.const_id(Value::Str(s.clone()));
+                self.emit_pure(Op::Const(id), e.line);
+            }
+            ExprKind::Var(name) => match self.resolve(name) {
+                Resolved::Local(slot) => self.emit_pure(Op::LoadLocal(slot), e.line),
+                Resolved::Global(g) if self.defined.contains(&g) => {
+                    self.emit_pure(Op::LoadGlobalFast(g), e.line)
+                }
+                Resolved::Global(g) => self.emit(Op::LoadGlobal(g), e.line),
+            },
+            ExprKind::List(items) => {
+                for item in items {
+                    self.expr(item);
+                }
+                self.emit(Op::MakeList(items.len() as u32), e.line);
+            }
+            ExprKind::Map(pairs) => {
+                for (k, v) in pairs {
+                    let id = self.const_id(Value::Str(k.clone()));
+                    self.emit_pure(Op::Const(id), e.line);
+                    self.expr(v);
+                }
+                self.emit(Op::MakeMap(pairs.len() as u32), e.line);
+            }
+            ExprKind::Unary(op, inner) => {
+                self.expr(inner);
+                let op = match op {
+                    UnOp::Neg => Op::Neg,
+                    UnOp::Not => Op::Not,
+                };
+                self.emit(op, e.line);
+            }
+            ExprKind::Binary(BinOp::And, lhs, rhs) => {
+                self.expr(lhs);
+                let j = self.emit_patch(Op::AndJump(PATCH), e.line);
+                self.expr(rhs);
+                self.emit(Op::ToBool, e.line);
+                let end = self.here();
+                self.patch(j, end);
+            }
+            ExprKind::Binary(BinOp::Or, lhs, rhs) => {
+                self.expr(lhs);
+                let j = self.emit_patch(Op::OrJump(PATCH), e.line);
+                self.expr(rhs);
+                self.emit(Op::ToBool, e.line);
+                let end = self.here();
+                self.patch(j, end);
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                self.expr(lhs);
+                self.expr(rhs);
+                let op = match op {
+                    BinOp::Add => Op::Add,
+                    BinOp::Sub => Op::Sub,
+                    BinOp::Mul => Op::Mul,
+                    BinOp::Div => Op::Div,
+                    BinOp::Rem => Op::Rem,
+                    BinOp::Eq => Op::Eq,
+                    BinOp::Ne => Op::Ne,
+                    BinOp::Lt => Op::Lt,
+                    BinOp::Le => Op::Le,
+                    BinOp::Gt => Op::Gt,
+                    BinOp::Ge => Op::Ge,
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                self.emit(op, e.line);
+            }
+            ExprKind::Call(name, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                let argc = args.len() as u32;
+                // Builtins shadow user and host functions by name, as in
+                // the tree-walker's resolution order.
+                let op = match Builtin::from_name(name) {
+                    Some(builtin) => Op::CallBuiltin { builtin, argc },
+                    None => {
+                        let sym = self.sh.interner.intern(name);
+                        let fn_id = self.sh.fns.ensure(sym);
+                        Op::CallFn { fn_id, argc }
+                    }
+                };
+                self.emit(op, e.line);
+            }
+            ExprKind::Index(base, index) => {
+                self.expr(base);
+                self.expr(index);
+                self.emit(Op::Index, e.line);
+            }
+        }
+    }
+
+    /// Classifies an expression as a fused-op operand: a local, a
+    /// proven-defined global (both pure loads), or a folded constant.
+    /// `None` means it needs the general stack path.
+    fn classify(&mut self, e: &Expr) -> Option<Simple> {
+        if let Some(v) = fold(e) {
+            return Some(Simple::Const(v));
+        }
+        if let ExprKind::Var(name) = &e.kind {
+            return match self.resolve(name) {
+                Resolved::Local(slot) => Some(Simple::Local(slot)),
+                Resolved::Global(g) if self.defined.contains(&g) => Some(Simple::Global(g)),
+                // An unproven global load can fail, which would break
+                // the bump/error ordering a fused op assumes.
+                Resolved::Global(_) => None,
+            };
+        }
+        None
+    }
+
+    /// Charges the bumps the tree-walker would for a fused operand.
+    fn charge_operand(&mut self, e: &Expr, s: &Simple) {
+        match s {
+            Simple::Const(_) => self.fold_steps(e),
+            _ => self.bump(e.line),
+        }
+    }
+
+    fn pack(&mut self, s: Simple) -> u32 {
+        match s {
+            Simple::Local(slot) => pack_operand(OPERAND_LOCAL, slot),
+            Simple::Global(g) => pack_operand(OPERAND_GLOBAL, g),
+            Simple::Const(v) => {
+                let id = self.const_id(v);
+                pack_operand(OPERAND_CONST, id)
+            }
+        }
+    }
+
+    /// Compiles `name = lhs op rhs` into a single [`Op::FusedBin`] when
+    /// the destination and both operands are simple. Returns `false`
+    /// (emitting nothing) when the pattern doesn't apply.
+    fn try_fused_assign(&mut self, name: &str, e: &Expr) -> bool {
+        // A fully constant RHS folds better on the general path.
+        if fold(e).is_some() {
+            return false;
+        }
+        let ExprKind::Binary(bop, l, r) = &e.kind else {
+            return false;
+        };
+        let op = match bop {
+            BinOp::Add => Arith::Add,
+            BinOp::Sub => Arith::Sub,
+            BinOp::Mul => Arith::Mul,
+            BinOp::Div => Arith::Div,
+            BinOp::Rem => Arith::Rem,
+            _ => return false,
+        };
+        let dst = match self.resolve(name) {
+            Resolved::Local(slot) => pack_operand(OPERAND_LOCAL, slot),
+            Resolved::Global(g) if self.defined.contains(&g) => pack_operand(OPERAND_GLOBAL, g),
+            // A store to an unproven global can fail after the RHS
+            // evaluates; keep the checked path.
+            Resolved::Global(_) => return false,
+        };
+        let (Some(cl), Some(cr)) = (self.classify(l), self.classify(r)) else {
+            return false;
+        };
+        // Same pre-order bumps as expr() would charge.
+        self.bump(e.line);
+        self.charge_operand(l, &cl);
+        self.charge_operand(r, &cr);
+        let (lhs, rhs) = (self.pack(cl), self.pack(cr));
+        self.emit(Op::FusedBin { op, dst, lhs, rhs }, e.line);
+        true
+    }
+
+    /// Compiles an `if`/`while` condition of the shape
+    /// `simple cmp simple` into a single [`Op::CmpOperandsJumpFalse`];
+    /// returns its address for patching, or `None` for the general
+    /// `expr` + [`Self::emit_cond_jump`] path.
+    fn try_fused_cond(&mut self, cond: &Expr) -> Option<usize> {
+        if fold(cond).is_some() {
+            return None;
+        }
+        let ExprKind::Binary(bop, l, r) = &cond.kind else {
+            return None;
+        };
+        let cmp = match bop {
+            BinOp::Eq => Cmp::Eq,
+            BinOp::Ne => Cmp::Ne,
+            BinOp::Lt => Cmp::Lt,
+            BinOp::Le => Cmp::Le,
+            BinOp::Gt => Cmp::Gt,
+            BinOp::Ge => Cmp::Ge,
+            _ => return None,
+        };
+        let cl = self.classify(l)?;
+        let cr = self.classify(r)?;
+        self.bump(cond.line);
+        self.charge_operand(l, &cl);
+        self.charge_operand(r, &cr);
+        let (lhs, rhs) = (self.pack(cl), self.pack(cr));
+        Some(self.emit_patch(
+            Op::CmpOperandsJumpFalse {
+                cmp,
+                lhs,
+                rhs,
+                target: PATCH,
+            },
+            cond.line,
+        ))
+    }
+
+    /// Charges the pre-order bumps of a folded constant subtree.
+    fn fold_steps(&mut self, e: &Expr) {
+        self.bump(e.line);
+        match &e.kind {
+            ExprKind::Unary(_, inner) => self.fold_steps(inner),
+            ExprKind::Binary(_, lhs, rhs) => {
+                self.fold_steps(lhs);
+                self.fold_steps(rhs);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,22 +1,50 @@
-//! Tree-walking interpreter with a host-function registry.
+//! The script interpreter: compile-and-execute pipeline over the
+//! bytecode VM, with a host-function registry and compilation caching.
+//!
+//! [`Interpreter::run`] lexes/parses/compiles on first sight of a
+//! source string and caches the compiled program, so driver loops that
+//! re-run the same script (as PerfExplorer workflows do per trial) pay
+//! for compilation once. [`Interpreter::compile`] exposes the cached
+//! unit as a [`Compiled`] handle for callers that want to manage reuse
+//! explicitly.
+//!
+//! The original tree-walking implementation lives on in
+//! [`crate::reference`] as the executable specification; differential
+//! tests pin this engine against it.
 
-use crate::ast::*;
+use crate::compile::{compile, Proto};
 use crate::parser::parse;
-use crate::value::Value;
+use crate::value::{Interner, Value};
+use crate::vm::{FnTable, Globals};
 use crate::{Result, ScriptError};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Signature of a host function: positional arguments in, value out.
-/// Host errors are plain strings; the interpreter attaches the call site.
-pub type HostFn = Box<dyn FnMut(Vec<Value>) -> std::result::Result<Value, String>>;
+/// Signature of a host function: positional arguments in (as a
+/// mutable, interpreter-owned buffer the host may consume or inspect in
+/// place — its contents after the call are discarded), value out. Host
+/// errors are plain strings; the interpreter attaches the call site.
+pub type HostFn = Box<dyn FnMut(&mut Vec<Value>) -> std::result::Result<Value, String>>;
 
-type Scope = BTreeMap<String, Value>;
+/// Source of unique interpreter ids, used to pair [`Compiled`] programs
+/// with the interpreter whose symbol/slot tables they bake in.
+static NEXT_INTERP_ID: AtomicU64 = AtomicU64::new(1);
 
-enum Flow {
-    Normal(Value),
-    Return(Value),
-    Break,
-    Continue,
+/// Keep at most this many distinct sources in the per-interpreter
+/// compilation cache before discarding it wholesale.
+const CACHE_CAP: usize = 128;
+
+/// A compiled script, reusable across [`Interpreter::run_compiled`]
+/// calls on the interpreter that produced it.
+///
+/// The bytecode bakes in global-slot and function-table indices of its
+/// interpreter, so a `Compiled` is only executable there; running it on
+/// a different interpreter is caught and reported as a runtime error.
+#[derive(Clone)]
+pub struct Compiled {
+    main: Rc<Proto>,
+    owner: u64,
 }
 
 /// The script interpreter.
@@ -25,14 +53,22 @@ enum Flow {
 /// a host can define bindings once and evaluate several scripts against
 /// them (as PerfExplorer does with its session objects).
 pub struct Interpreter {
-    host_fns: HashMap<String, HostFn>,
-    user_fns: HashMap<String, FnDef>,
-    /// Call frames; each frame is a stack of block scopes. Frame 0 /
-    /// scope 0 is the global scope.
-    frames: Vec<Vec<Scope>>,
-    output: Vec<String>,
-    steps: u64,
-    step_limit: u64,
+    pub(crate) interner: Interner,
+    pub(crate) globals: Globals,
+    pub(crate) fns: FnTable,
+    pub(crate) output: Vec<String>,
+    pub(crate) steps: u64,
+    pub(crate) step_limit: u64,
+    /// VM operand stack, reused across runs.
+    pub(crate) stack: Vec<Value>,
+    /// VM local slots of all live frames, reused across runs.
+    pub(crate) locals: Vec<Value>,
+    /// Open `for` iterators: (items, next index).
+    pub(crate) iters: Vec<(Vec<Value>, usize)>,
+    /// Reusable host-call argument buffer.
+    pub(crate) argbuf: Vec<Value>,
+    cache: HashMap<String, Rc<Proto>>,
+    id: u64,
 }
 
 impl Default for Interpreter {
@@ -45,12 +81,18 @@ impl Interpreter {
     /// Creates an interpreter with the default step budget.
     pub fn new() -> Self {
         Interpreter {
-            host_fns: HashMap::new(),
-            user_fns: HashMap::new(),
-            frames: vec![vec![Scope::new()]],
+            interner: Interner::new(),
+            globals: Globals::default(),
+            fns: FnTable::default(),
             output: Vec::new(),
             steps: 0,
             step_limit: 50_000_000,
+            stack: Vec::new(),
+            locals: Vec::new(),
+            iters: Vec::new(),
+            argbuf: Vec::new(),
+            cache: HashMap::new(),
+            id: NEXT_INTERP_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -65,19 +107,25 @@ impl Interpreter {
     pub fn register(
         &mut self,
         name: &str,
-        f: impl FnMut(Vec<Value>) -> std::result::Result<Value, String> + 'static,
+        f: impl FnMut(&mut Vec<Value>) -> std::result::Result<Value, String> + 'static,
     ) {
-        self.host_fns.insert(name.to_string(), Box::new(f));
+        let sym = self.interner.intern(name);
+        let id = self.fns.ensure(sym);
+        self.fns.entries[id as usize].host = Some(Box::new(f));
     }
 
     /// Defines a global variable visible to scripts.
     pub fn set_global(&mut self, name: &str, value: Value) {
-        self.frames[0][0].insert(name.to_string(), value);
+        let sym = self.interner.intern(name);
+        let g = self.globals.ensure(sym);
+        self.globals.slots[g as usize] = Some(value);
     }
 
     /// Reads a global variable after a run.
     pub fn get_global(&self, name: &str) -> Option<&Value> {
-        self.frames[0][0].get(name)
+        let sym = self.interner.lookup(name)?;
+        let g = self.globals.lookup(sym)?;
+        self.globals.slots[g as usize].as_ref()
     }
 
     /// Takes the accumulated `print` output.
@@ -85,593 +133,62 @@ impl Interpreter {
         std::mem::take(&mut self.output)
     }
 
-    /// Parses and executes a script, returning the value of its final
-    /// expression statement (or [`Value::Null`]).
-    pub fn run(&mut self, src: &str) -> Result<Value> {
-        let program = parse(src)?;
+    /// Steps consumed by the most recent run.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Compiles a script to reusable bytecode without executing it.
+    ///
+    /// Compilation interns names into this interpreter's persistent
+    /// tables, so the handle stays valid across later `register` /
+    /// `set_global` / `run` calls on the same interpreter.
+    pub fn compile(&mut self, src: &str) -> Result<Compiled> {
+        let main = self.compile_cached(src)?;
+        Ok(Compiled {
+            main,
+            owner: self.id,
+        })
+    }
+
+    /// Executes a previously compiled script, returning the value of its
+    /// final expression statement (or [`Value::Null`]).
+    pub fn run_compiled(&mut self, program: &Compiled) -> Result<Value> {
+        if program.owner != self.id {
+            return Err(ScriptError::runtime(
+                0,
+                "compiled script belongs to a different interpreter",
+            ));
+        }
+        let main = Rc::clone(&program.main);
         self.steps = 0;
-        let mut last = Value::Null;
-        for stmt in &program.statements {
-            match self.exec(stmt)? {
-                Flow::Normal(v) => last = v,
-                Flow::Return(v) => return Ok(v),
-                Flow::Break | Flow::Continue => {
-                    return Err(ScriptError::runtime(
-                        stmt.line,
-                        "break/continue outside loop",
-                    ))
-                }
-            }
-        }
-        Ok(last)
+        self.execute(&main)
     }
 
-    fn bump(&mut self, line: usize) -> Result<()> {
-        self.steps += 1;
-        if self.steps > self.step_limit {
-            return Err(ScriptError::runtime(line, "step limit exceeded"));
-        }
-        Ok(())
+    /// Parses, compiles (with caching), and executes a script, returning
+    /// the value of its final expression statement (or [`Value::Null`]).
+    pub fn run(&mut self, src: &str) -> Result<Value> {
+        let main = self.compile_cached(src)?;
+        self.steps = 0;
+        self.execute(&main)
     }
 
-    fn lookup(&self, name: &str) -> Option<&Value> {
-        let frame = self.frames.last().expect("at least global frame");
-        for scope in frame.iter().rev() {
-            if let Some(v) = scope.get(name) {
-                return Some(v);
-            }
+    fn compile_cached(&mut self, src: &str) -> Result<Rc<Proto>> {
+        if let Some(main) = self.cache.get(src) {
+            return Ok(Rc::clone(main));
         }
-        // Fall back to globals (frame 0, scope 0) from inside functions.
-        self.frames[0][0].get(name)
-    }
-
-    fn assign(&mut self, name: &str, value: Value, line: usize) -> Result<()> {
-        let frame = self.frames.last_mut().expect("at least global frame");
-        for scope in frame.iter_mut().rev() {
-            if let Some(slot) = scope.get_mut(name) {
-                *slot = value;
-                return Ok(());
-            }
+        let program = parse(src)?;
+        let main = compile(
+            &program,
+            &mut self.interner,
+            &mut self.globals,
+            &mut self.fns,
+        );
+        if self.cache.len() >= CACHE_CAP {
+            self.cache.clear();
         }
-        if let Some(slot) = self.frames[0][0].get_mut(name) {
-            *slot = value;
-            return Ok(());
-        }
-        Err(ScriptError::runtime(
-            line,
-            format!("assignment to undefined variable {name:?}"),
-        ))
-    }
-
-    fn exec_block(&mut self, body: &[Stmt]) -> Result<Flow> {
-        self.frames.last_mut().expect("frame").push(Scope::new());
-        let mut flow = Flow::Normal(Value::Null);
-        for stmt in body {
-            match self.exec(stmt)? {
-                Flow::Normal(v) => flow = Flow::Normal(v),
-                other => {
-                    flow = other;
-                    break;
-                }
-            }
-        }
-        self.frames.last_mut().expect("frame").pop();
-        Ok(flow)
-    }
-
-    fn exec(&mut self, stmt: &Stmt) -> Result<Flow> {
-        self.bump(stmt.line)?;
-        match &stmt.kind {
-            StmtKind::Let(name, e) => {
-                let v = self.eval(e)?;
-                self.frames
-                    .last_mut()
-                    .expect("frame")
-                    .last_mut()
-                    .expect("scope")
-                    .insert(name.clone(), v);
-                Ok(Flow::Normal(Value::Null))
-            }
-            StmtKind::Assign(name, e) => {
-                let v = self.eval(e)?;
-                self.assign(name, v, stmt.line)?;
-                Ok(Flow::Normal(Value::Null))
-            }
-            StmtKind::IndexAssign(base, index, e) => {
-                let value = self.eval(e)?;
-                let idx = self.eval(index)?;
-                // Only direct variables support index assignment; nested
-                // containers are updated by rebuilding in script code.
-                let ExprKind::Var(name) = &base.kind else {
-                    return Err(ScriptError::runtime(
-                        stmt.line,
-                        "index assignment requires a variable base",
-                    ));
-                };
-                let mut container = self.lookup(name).cloned().ok_or_else(|| {
-                    ScriptError::runtime(stmt.line, format!("undefined variable {name:?}"))
-                })?;
-                match (&mut container, &idx) {
-                    (Value::List(items), Value::Num(n)) => {
-                        let i = *n as usize;
-                        if n.fract() != 0.0 || i >= items.len() {
-                            return Err(ScriptError::runtime(
-                                stmt.line,
-                                format!("list index {n} out of range (len {})", items.len()),
-                            ));
-                        }
-                        items[i] = value;
-                    }
-                    (Value::Map(m), Value::Str(k)) => {
-                        m.insert(k.clone(), value);
-                    }
-                    (c, i) => {
-                        return Err(ScriptError::runtime(
-                            stmt.line,
-                            format!("cannot index {} with {}", c.type_name(), i.type_name()),
-                        ))
-                    }
-                }
-                self.assign(name, container, stmt.line)?;
-                Ok(Flow::Normal(Value::Null))
-            }
-            StmtKind::Expr(e) => Ok(Flow::Normal(self.eval(e)?)),
-            StmtKind::If(cond, then_block, else_block) => {
-                if self.eval(cond)?.truthy() {
-                    self.exec_block(then_block)
-                } else if let Some(eb) = else_block {
-                    self.exec_block(eb)
-                } else {
-                    Ok(Flow::Normal(Value::Null))
-                }
-            }
-            StmtKind::While(cond, body) => {
-                while self.eval(cond)?.truthy() {
-                    self.bump(stmt.line)?;
-                    match self.exec_block(body)? {
-                        Flow::Break => break,
-                        Flow::Return(v) => return Ok(Flow::Return(v)),
-                        Flow::Normal(_) | Flow::Continue => {}
-                    }
-                }
-                Ok(Flow::Normal(Value::Null))
-            }
-            StmtKind::For(var, iter, body) => {
-                let iterable = self.eval(iter)?;
-                let items: Vec<Value> = match iterable {
-                    Value::List(v) => v,
-                    Value::Map(m) => m.keys().map(|k| Value::Str(k.clone())).collect(),
-                    other => {
-                        return Err(ScriptError::runtime(
-                            stmt.line,
-                            format!("cannot iterate a {}", other.type_name()),
-                        ))
-                    }
-                };
-                for item in items {
-                    self.bump(stmt.line)?;
-                    self.frames.last_mut().expect("frame").push(Scope::new());
-                    self.frames
-                        .last_mut()
-                        .expect("frame")
-                        .last_mut()
-                        .expect("scope")
-                        .insert(var.clone(), item);
-                    let mut result = Flow::Normal(Value::Null);
-                    for s in body {
-                        match self.exec(s)? {
-                            Flow::Normal(_) => {}
-                            other => {
-                                result = other;
-                                break;
-                            }
-                        }
-                    }
-                    self.frames.last_mut().expect("frame").pop();
-                    match result {
-                        Flow::Break => return Ok(Flow::Normal(Value::Null)),
-                        Flow::Return(v) => return Ok(Flow::Return(v)),
-                        Flow::Normal(_) | Flow::Continue => {}
-                    }
-                }
-                Ok(Flow::Normal(Value::Null))
-            }
-            StmtKind::FnDef(def) => {
-                self.user_fns.insert(def.name.clone(), def.clone());
-                Ok(Flow::Normal(Value::Null))
-            }
-            StmtKind::Return(e) => {
-                let v = match e {
-                    Some(e) => self.eval(e)?,
-                    None => Value::Null,
-                };
-                Ok(Flow::Return(v))
-            }
-            StmtKind::Break => Ok(Flow::Break),
-            StmtKind::Continue => Ok(Flow::Continue),
-        }
-    }
-
-    fn eval(&mut self, e: &Expr) -> Result<Value> {
-        self.bump(e.line)?;
-        match &e.kind {
-            ExprKind::Null => Ok(Value::Null),
-            ExprKind::Bool(b) => Ok(Value::Bool(*b)),
-            ExprKind::Num(n) => Ok(Value::Num(*n)),
-            ExprKind::Str(s) => Ok(Value::Str(s.clone())),
-            ExprKind::Var(name) => self.lookup(name).cloned().ok_or_else(|| {
-                ScriptError::runtime(e.line, format!("undefined variable {name:?}"))
-            }),
-            ExprKind::List(items) => {
-                let mut out = Vec::with_capacity(items.len());
-                for item in items {
-                    out.push(self.eval(item)?);
-                }
-                Ok(Value::List(out))
-            }
-            ExprKind::Map(pairs) => {
-                let mut m = BTreeMap::new();
-                for (k, v) in pairs {
-                    m.insert(k.clone(), self.eval(v)?);
-                }
-                Ok(Value::Map(m))
-            }
-            ExprKind::Unary(op, inner) => {
-                let v = self.eval(inner)?;
-                match op {
-                    UnOp::Neg => v.as_num().map(|n| Value::Num(-n)).ok_or_else(|| {
-                        ScriptError::runtime(e.line, format!("cannot negate a {}", v.type_name()))
-                    }),
-                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
-                }
-            }
-            ExprKind::Binary(op, lhs, rhs) => self.eval_binary(e.line, *op, lhs, rhs),
-            ExprKind::Index(base, index) => {
-                let b = self.eval(base)?;
-                let i = self.eval(index)?;
-                match (&b, &i) {
-                    (Value::List(items), Value::Num(n)) => {
-                        let idx = *n as usize;
-                        if n.fract() != 0.0 || *n < 0.0 || idx >= items.len() {
-                            Err(ScriptError::runtime(
-                                e.line,
-                                format!("list index {n} out of range (len {})", items.len()),
-                            ))
-                        } else {
-                            Ok(items[idx].clone())
-                        }
-                    }
-                    (Value::Map(m), Value::Str(k)) => m.get(k).cloned().ok_or_else(|| {
-                        ScriptError::runtime(e.line, format!("missing map key {k:?}"))
-                    }),
-                    (Value::Str(s), Value::Num(n)) => {
-                        let idx = *n as usize;
-                        s.chars()
-                            .nth(idx)
-                            .map(|c| Value::Str(c.to_string()))
-                            .ok_or_else(|| {
-                                ScriptError::runtime(
-                                    e.line,
-                                    format!("string index {n} out of range"),
-                                )
-                            })
-                    }
-                    (b, i) => Err(ScriptError::runtime(
-                        e.line,
-                        format!("cannot index {} with {}", b.type_name(), i.type_name()),
-                    )),
-                }
-            }
-            ExprKind::Call(name, args) => {
-                // Short-circuit-free argument evaluation.
-                let mut values = Vec::with_capacity(args.len());
-                for a in args {
-                    values.push(self.eval(a)?);
-                }
-                self.call(name, values, e.line)
-            }
-        }
-    }
-
-    fn eval_binary(&mut self, line: usize, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Value> {
-        // Short-circuit logic first.
-        if matches!(op, BinOp::And | BinOp::Or) {
-            let l = self.eval(lhs)?;
-            return match (op, l.truthy()) {
-                (BinOp::And, false) => Ok(Value::Bool(false)),
-                (BinOp::Or, true) => Ok(Value::Bool(true)),
-                _ => Ok(Value::Bool(self.eval(rhs)?.truthy())),
-            };
-        }
-        let l = self.eval(lhs)?;
-        let r = self.eval(rhs)?;
-        let type_err = |op: &str| {
-            ScriptError::runtime(
-                line,
-                format!(
-                    "cannot apply {op} to {} and {}",
-                    l.type_name(),
-                    r.type_name()
-                ),
-            )
-        };
-        match op {
-            BinOp::Add => match (&l, &r) {
-                (Value::Num(a), Value::Num(b)) => Ok(Value::Num(a + b)),
-                (Value::List(a), Value::List(b)) => {
-                    let mut out = a.clone();
-                    out.extend(b.iter().cloned());
-                    Ok(Value::List(out))
-                }
-                (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::Str(format!("{l}{r}"))),
-                _ => Err(type_err("+")),
-            },
-            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
-                let (Some(a), Some(b)) = (l.as_num(), r.as_num()) else {
-                    return Err(type_err(match op {
-                        BinOp::Sub => "-",
-                        BinOp::Mul => "*",
-                        BinOp::Div => "/",
-                        _ => "%",
-                    }));
-                };
-                match op {
-                    BinOp::Sub => Ok(Value::Num(a - b)),
-                    BinOp::Mul => Ok(Value::Num(a * b)),
-                    BinOp::Div => {
-                        if b == 0.0 {
-                            Err(ScriptError::runtime(line, "division by zero"))
-                        } else {
-                            Ok(Value::Num(a / b))
-                        }
-                    }
-                    _ => {
-                        if b == 0.0 {
-                            Err(ScriptError::runtime(line, "modulo by zero"))
-                        } else {
-                            Ok(Value::Num(a % b))
-                        }
-                    }
-                }
-            }
-            BinOp::Eq => Ok(Value::Bool(l == r)),
-            BinOp::Ne => Ok(Value::Bool(l != r)),
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                let ord = match (&l, &r) {
-                    (Value::Num(a), Value::Num(b)) => a.partial_cmp(b),
-                    (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
-                    _ => None,
-                }
-                .ok_or_else(|| type_err("comparison"))?;
-                use std::cmp::Ordering::*;
-                Ok(Value::Bool(match op {
-                    BinOp::Lt => ord == Less,
-                    BinOp::Le => ord != Greater,
-                    BinOp::Gt => ord == Greater,
-                    _ => ord != Less,
-                }))
-            }
-            BinOp::And | BinOp::Or => unreachable!("handled above"),
-        }
-    }
-
-    fn call(&mut self, name: &str, args: Vec<Value>, line: usize) -> Result<Value> {
-        // 1. builtins, 2. user functions, 3. host functions.
-        if let Some(v) = self.call_builtin(name, &args, line)? {
-            return Ok(v);
-        }
-        if let Some(def) = self.user_fns.get(name).cloned() {
-            if def.params.len() != args.len() {
-                return Err(ScriptError::runtime(
-                    line,
-                    format!(
-                        "{name}() expects {} arguments, got {}",
-                        def.params.len(),
-                        args.len()
-                    ),
-                ));
-            }
-            let mut scope = Scope::new();
-            for (p, a) in def.params.iter().zip(args) {
-                scope.insert(p.clone(), a);
-            }
-            self.frames.push(vec![scope]);
-            let mut result = Value::Null;
-            let mut flow_err = None;
-            for stmt in &def.body {
-                match self.exec(stmt) {
-                    Ok(Flow::Normal(v)) => result = v,
-                    Ok(Flow::Return(v)) => {
-                        result = v;
-                        break;
-                    }
-                    Ok(Flow::Break) | Ok(Flow::Continue) => {
-                        flow_err = Some(ScriptError::runtime(
-                            stmt.line,
-                            "break/continue outside loop",
-                        ));
-                        break;
-                    }
-                    Err(e) => {
-                        flow_err = Some(e);
-                        break;
-                    }
-                }
-            }
-            self.frames.pop();
-            return match flow_err {
-                Some(e) => Err(e),
-                None => Ok(result),
-            };
-        }
-        if let Some(f) = self.host_fns.get_mut(name) {
-            return f(args).map_err(|msg| ScriptError::runtime(line, format!("{name}(): {msg}")));
-        }
-        Err(ScriptError::runtime(
-            line,
-            format!("unknown function {name:?}"),
-        ))
-    }
-
-    /// Built-in functions. Returns `Ok(None)` when `name` is not a
-    /// builtin so resolution can continue.
-    fn call_builtin(&mut self, name: &str, args: &[Value], line: usize) -> Result<Option<Value>> {
-        let argc_err = |expected: &str| {
-            ScriptError::runtime(line, format!("{name}() expects {expected} arguments"))
-        };
-        let num_arg = |i: usize| -> Result<f64> {
-            args.get(i).and_then(Value::as_num).ok_or_else(|| {
-                ScriptError::runtime(line, format!("{name}(): argument {i} must be a number"))
-            })
-        };
-        let v = match name {
-            "print" => {
-                let text = args
-                    .iter()
-                    .map(|a| a.to_string())
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                self.output.push(text);
-                Value::Null
-            }
-            "len" => match args {
-                [Value::Str(s)] => Value::Num(s.chars().count() as f64),
-                [Value::List(v)] => Value::Num(v.len() as f64),
-                [Value::Map(m)] => Value::Num(m.len() as f64),
-                _ => return Err(argc_err("one str/list/map")),
-            },
-            "str" => match args {
-                [v] => Value::Str(v.to_string()),
-                _ => return Err(argc_err("one")),
-            },
-            "num" => match args {
-                [Value::Num(n)] => Value::Num(*n),
-                [Value::Str(s)] => s.trim().parse::<f64>().map(Value::Num).map_err(|_| {
-                    ScriptError::runtime(line, format!("num(): cannot parse {s:?}"))
-                })?,
-                _ => return Err(argc_err("one num/str")),
-            },
-            "push" => match args {
-                [Value::List(items), v] => {
-                    let mut out = items.clone();
-                    out.push(v.clone());
-                    Value::List(out)
-                }
-                _ => return Err(argc_err("a list and a value")),
-            },
-            "range" => match args.len() {
-                1 => {
-                    let n = num_arg(0)? as i64;
-                    Value::List((0..n).map(|i| Value::Num(i as f64)).collect())
-                }
-                2 => {
-                    let a = num_arg(0)? as i64;
-                    let b = num_arg(1)? as i64;
-                    Value::List((a..b).map(|i| Value::Num(i as f64)).collect())
-                }
-                _ => return Err(argc_err("one or two")),
-            },
-            "keys" => match args {
-                [Value::Map(m)] => Value::List(m.keys().map(|k| Value::Str(k.clone())).collect()),
-                _ => return Err(argc_err("one map")),
-            },
-            "has" => match args {
-                [Value::Map(m), Value::Str(k)] => Value::Bool(m.contains_key(k)),
-                [Value::List(v), item] => Value::Bool(v.contains(item)),
-                _ => return Err(argc_err("a map/list and a key")),
-            },
-            "get" => match args {
-                [Value::Map(m), Value::Str(k), default] => {
-                    m.get(k).cloned().unwrap_or_else(|| default.clone())
-                }
-                _ => return Err(argc_err("a map, key, and default")),
-            },
-            "abs" => Value::Num(num_arg(0)?.abs()),
-            "sqrt" => {
-                let n = num_arg(0)?;
-                if n < 0.0 {
-                    return Err(ScriptError::runtime(line, "sqrt of negative number"));
-                }
-                Value::Num(n.sqrt())
-            }
-            "floor" => Value::Num(num_arg(0)?.floor()),
-            "ceil" => Value::Num(num_arg(0)?.ceil()),
-            "pow" => Value::Num(num_arg(0)?.powf(num_arg(1)?)),
-            "min" => match args {
-                [Value::List(items)] if !items.is_empty() => {
-                    let mut best = f64::INFINITY;
-                    for v in items {
-                        best = best.min(v.as_num().ok_or_else(|| argc_err("numeric list"))?);
-                    }
-                    Value::Num(best)
-                }
-                [Value::Num(a), Value::Num(b)] => Value::Num(a.min(*b)),
-                _ => return Err(argc_err("two numbers or a non-empty numeric list")),
-            },
-            "max" => match args {
-                [Value::List(items)] if !items.is_empty() => {
-                    let mut best = f64::NEG_INFINITY;
-                    for v in items {
-                        best = best.max(v.as_num().ok_or_else(|| argc_err("numeric list"))?);
-                    }
-                    Value::Num(best)
-                }
-                [Value::Num(a), Value::Num(b)] => Value::Num(a.max(*b)),
-                _ => return Err(argc_err("two numbers or a non-empty numeric list")),
-            },
-            "sum" => match args {
-                [Value::List(items)] => {
-                    let mut total = 0.0;
-                    for v in items {
-                        total += v.as_num().ok_or_else(|| argc_err("numeric list"))?;
-                    }
-                    Value::Num(total)
-                }
-                _ => return Err(argc_err("one numeric list")),
-            },
-            "sort" => match args {
-                [Value::List(items)] => {
-                    let mut out = items.clone();
-                    out.sort_by(|a, b| match (a, b) {
-                        (Value::Num(x), Value::Num(y)) => {
-                            x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal)
-                        }
-                        (Value::Str(x), Value::Str(y)) => x.cmp(y),
-                        _ => std::cmp::Ordering::Equal,
-                    });
-                    Value::List(out)
-                }
-                _ => return Err(argc_err("one list")),
-            },
-            "join" => match args {
-                [Value::List(items), Value::Str(sep)] => Value::Str(
-                    items
-                        .iter()
-                        .map(|v| v.to_string())
-                        .collect::<Vec<_>>()
-                        .join(sep),
-                ),
-                _ => return Err(argc_err("a list and a separator")),
-            },
-            "split" => match args {
-                [Value::Str(s), Value::Str(sep)] => Value::List(
-                    s.split(sep.as_str())
-                        .map(|p| Value::Str(p.to_string()))
-                        .collect(),
-                ),
-                _ => return Err(argc_err("a string and a separator")),
-            },
-            "contains" => match args {
-                [Value::Str(s), Value::Str(sub)] => Value::Bool(s.contains(sub.as_str())),
-                _ => return Err(argc_err("two strings")),
-            },
-            "type" => match args {
-                [v] => Value::Str(v.type_name().to_string()),
-                _ => return Err(argc_err("one")),
-            },
-            _ => return Ok(None),
-        };
-        Ok(Some(v))
+        self.cache.insert(src.to_string(), Rc::clone(&main));
+        Ok(main)
     }
 }
 
@@ -894,5 +411,53 @@ r";
         assert_eq!(eval("false && missing_var"), Value::Bool(false));
         assert_eq!(eval("true || missing_var"), Value::Bool(true));
         assert_eq!(eval("true && 1"), Value::Bool(true));
+    }
+
+    #[test]
+    fn compiled_scripts_are_reusable() {
+        let mut interp = Interpreter::new();
+        interp.run("let n = 0;").unwrap();
+        let program = interp.compile("n = n + 1; n").unwrap();
+        assert_eq!(interp.run_compiled(&program).unwrap(), Value::Num(1.0));
+        assert_eq!(interp.run_compiled(&program).unwrap(), Value::Num(2.0));
+        // Functions registered after compilation are still reachable:
+        // call sites resolve through the persistent function table.
+        let call = interp.compile("late_fn(n)").unwrap();
+        interp.register("late_fn", |args| {
+            Ok(Value::Num(
+                args.first().and_then(Value::as_num).unwrap_or(0.0) + 100.0,
+            ))
+        });
+        assert_eq!(interp.run_compiled(&call).unwrap(), Value::Num(102.0));
+    }
+
+    #[test]
+    fn compiled_scripts_are_interpreter_specific() {
+        let mut a = Interpreter::new();
+        let mut b = Interpreter::new();
+        let program = a.compile("1 + 1").unwrap();
+        assert_eq!(a.run_compiled(&program).unwrap(), Value::Num(2.0));
+        let err = b.run_compiled(&program).unwrap_err();
+        assert!(err.message.contains("different interpreter"));
+    }
+
+    #[test]
+    fn repeated_runs_reuse_cached_compilation() {
+        let mut interp = Interpreter::new();
+        interp.run("let acc = 0;").unwrap();
+        for _ in 0..3 {
+            interp.run("acc = acc + 1;").unwrap();
+        }
+        assert_eq!(interp.get_global("acc"), Some(&Value::Num(3.0)));
+        // The cache holds one entry per distinct source.
+        assert_eq!(interp.cache.len(), 2);
+    }
+
+    #[test]
+    fn step_exhaustion_is_clamped_to_limit_plus_one() {
+        let mut interp = Interpreter::new().with_step_limit(100);
+        let err = interp.run("while true { }").unwrap_err();
+        assert!(err.message.contains("step limit"));
+        assert_eq!(interp.steps(), 101);
     }
 }

@@ -5,8 +5,11 @@
 //! perform analysis, and automate the processing of performance data"
 //! (the paper's Figure 1 shows a Jython workflow). This crate provides
 //! the equivalent capability for the Rust stack: a small, dynamically
-//! typed language with a tree-walking interpreter and a host-function
-//! registry through which the analysis layer exposes its operations.
+//! typed language compiled to bytecode and executed by a stack VM, with
+//! a host-function registry through which the analysis layer exposes
+//! its operations. The original tree-walking interpreter survives as
+//! [`reference`], the executable specification the VM is differentially
+//! tested against.
 //!
 //! The language has `let` bindings, assignment, arithmetic and logic,
 //! strings/lists/maps, `if`/`else`, `while`, `for … in`, user functions
@@ -40,14 +43,18 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+mod builtins;
+mod compile;
 pub mod error;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod reference;
 pub mod value;
+mod vm;
 
 pub use error::ScriptError;
-pub use interp::Interpreter;
+pub use interp::{Compiled, HostFn, Interpreter};
 pub use value::Value;
 
 /// Convenience result alias.

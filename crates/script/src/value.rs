@@ -1,7 +1,60 @@
-//! Runtime values.
+//! Runtime values and identifier interning.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+
+/// An interned identifier: a dense index into an [`Interner`].
+///
+/// The compiler interns every variable and function name once, so the
+/// VM compares and hashes 4-byte symbols instead of strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The symbol's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner mapping identifiers to dense [`Symbol`]s.
+///
+/// Interning is append-only: a name keeps its symbol for the lifetime
+/// of the interner, which is what lets compiled programs (which bake in
+/// symbol-derived slot ids) stay valid across runs of one interpreter.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<Box<str>, Symbol>,
+    names: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.into());
+        self.map.insert(name.into(), sym);
+        sym
+    }
+
+    /// Looks a name up without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The name behind a symbol.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+}
 
 /// A script runtime value.
 #[derive(Debug, Clone, PartialEq)]
@@ -224,5 +277,18 @@ mod tests {
         );
         assert_eq!(Value::Null.as_num(), None);
         assert_eq!(Value::Num(1.0).type_name(), "num");
+    }
+
+    #[test]
+    fn interner_round_trips_and_deduplicates() {
+        let mut interner = Interner::new();
+        let a = interner.intern("alpha");
+        let b = interner.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(interner.intern("alpha"), a);
+        assert_eq!(interner.resolve(a), "alpha");
+        assert_eq!(interner.resolve(b), "beta");
+        assert_eq!(interner.lookup("beta"), Some(b));
+        assert_eq!(interner.lookup("gamma"), None);
     }
 }

@@ -1,0 +1,741 @@
+//! The bytecode stack VM.
+//!
+//! Executes [`Proto`]s produced by `compile.rs`. The dispatch loop
+//! works exclusively with dense indices — local slots are
+//! frame-relative offsets into one shared `locals` vector, globals are
+//! offsets into a persistent slot table, and calls go through a dense
+//! function table — so steady-state execution performs no string
+//! comparison, no per-block scope allocation, and no hashing.
+//!
+//! Observable behaviour (result values, `print` output, error
+//! line/phase/message, and step accounting) is pinned against the
+//! tree-walker in [`crate::reference`] by the differential tests in
+//! `tests/differential.rs`.
+
+use crate::compile::{Arith, Cmp, Op, Proto};
+use crate::interp::{HostFn, Interpreter};
+use crate::value::{Symbol, Value};
+use crate::{Result, ScriptError};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// Persistent global variable slots.
+///
+/// Slots are created (holding `None` = not-yet-defined) the first time
+/// the compiler sees a name that doesn't resolve locally, and never
+/// move afterwards, so slot indices baked into cached bytecode stay
+/// valid for the lifetime of the interpreter.
+#[derive(Default)]
+pub(crate) struct Globals {
+    /// Slot values; `None` means referenced but never defined.
+    pub slots: Vec<Option<Value>>,
+    /// Symbol of each slot (for error messages).
+    pub names: Vec<Symbol>,
+    by_sym: HashMap<Symbol, u32>,
+}
+
+impl Globals {
+    /// Returns the slot for `sym`, creating an undefined one if new.
+    pub fn ensure(&mut self, sym: Symbol) -> u32 {
+        if let Some(&g) = self.by_sym.get(&sym) {
+            return g;
+        }
+        let g = self.slots.len() as u32;
+        self.slots.push(None);
+        self.names.push(sym);
+        self.by_sym.insert(sym, g);
+        g
+    }
+
+    /// Looks up the slot for `sym` without creating one.
+    pub fn lookup(&self, sym: Symbol) -> Option<u32> {
+        self.by_sym.get(&sym).copied()
+    }
+}
+
+/// One callable: a user-defined function body, a host closure, or both
+/// (user definitions shadow host functions, as in the tree-walker).
+pub(crate) struct FnEntry {
+    /// The function's name (for error messages).
+    pub name: Symbol,
+    /// Script-defined body, bound when its `fn` statement executes.
+    pub user: Option<Rc<Proto>>,
+    /// Host closure, bound by [`Interpreter::register`].
+    pub host: Option<HostFn>,
+}
+
+/// Dense function table: call sites compile to an index into `entries`.
+#[derive(Default)]
+pub(crate) struct FnTable {
+    /// All known callables, in id order.
+    pub entries: Vec<FnEntry>,
+    by_sym: HashMap<Symbol, u32>,
+}
+
+impl FnTable {
+    /// Returns the function id for `sym`, creating an empty entry
+    /// (which raises "unknown function" if called) if new.
+    pub fn ensure(&mut self, sym: Symbol) -> u32 {
+        if let Some(&id) = self.by_sym.get(&sym) {
+            return id;
+        }
+        let id = self.entries.len() as u32;
+        self.entries.push(FnEntry {
+            name: sym,
+            user: None,
+            host: None,
+        });
+        self.by_sym.insert(sym, id);
+        id
+    }
+}
+
+/// A suspended caller, restored on `Return`/`ReturnLast`.
+struct Frame {
+    proto: Rc<Proto>,
+    ret_ip: usize,
+    base: usize,
+    iter_base: usize,
+    saved_last: Value,
+}
+
+fn type_err(line: usize, op: &str, l: &Value, r: &Value) -> ScriptError {
+    ScriptError::runtime(
+        line,
+        format!(
+            "cannot apply {op} to {} and {}",
+            l.type_name(),
+            r.type_name()
+        ),
+    )
+}
+
+impl Interpreter {
+    /// Runs a compiled program to completion. `self.steps` must be
+    /// reset by the caller; transient stacks are cleared here so a
+    /// previous run that ended in an error can't leak state.
+    pub(crate) fn execute(&mut self, entry: &Rc<Proto>) -> Result<Value> {
+        let Interpreter {
+            interner,
+            globals,
+            fns,
+            output,
+            steps,
+            step_limit,
+            stack,
+            locals,
+            iters,
+            argbuf,
+            ..
+        } = self;
+        let limit = *step_limit;
+        stack.clear();
+        locals.clear();
+        iters.clear();
+
+        let mut proto = Rc::clone(entry);
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut ip = 0usize;
+        // Start of this frame's slots in `locals` / iterators in `iters`.
+        let mut base = 0usize;
+        let mut iter_base = 0usize;
+        // The statement-value register: the value of the most recent
+        // expression statement, i.e. what a frame returns when it falls
+        // off the end.
+        let mut last = Value::Null;
+        locals.resize(proto.locals as usize, Value::Null);
+
+        loop {
+            let op = proto.code[ip];
+            match op {
+                Op::Step { n, meta } => {
+                    let next = steps.saturating_add(n as u64);
+                    if next > limit {
+                        // Which of the merged bumps crossed the limit?
+                        let k = (limit - *steps) as usize;
+                        let line = proto.step_lines[meta as usize + k] as usize;
+                        *steps = limit.saturating_add(1);
+                        return Err(ScriptError::runtime(line, "step limit exceeded"));
+                    }
+                    *steps = next;
+                }
+                Op::Const(i) => stack.push(proto.consts[i as usize].clone()),
+                Op::LoadLocal(s) => stack.push(locals[base + s as usize].clone()),
+                Op::StoreLocal(s) => {
+                    let v = stack.pop().expect("stack value");
+                    locals[base + s as usize] = v;
+                    last = Value::Null;
+                }
+                Op::LoadGlobal(g) | Op::LoadGlobalFast(g) => match &globals.slots[g as usize] {
+                    Some(v) => stack.push(v.clone()),
+                    None => {
+                        let name = interner.resolve(globals.names[g as usize]);
+                        return Err(ScriptError::runtime(
+                            proto.lines[ip] as usize,
+                            format!("undefined variable {name:?}"),
+                        ));
+                    }
+                },
+                Op::StoreGlobal(g) | Op::StoreGlobalFast(g) => {
+                    let v = stack.pop().expect("stack value");
+                    let slot = &mut globals.slots[g as usize];
+                    if slot.is_none() {
+                        let name = interner.resolve(globals.names[g as usize]);
+                        return Err(ScriptError::runtime(
+                            proto.lines[ip] as usize,
+                            format!("assignment to undefined variable {name:?}"),
+                        ));
+                    }
+                    *slot = Some(v);
+                    last = Value::Null;
+                }
+                Op::DefineGlobal(g) => {
+                    let v = stack.pop().expect("stack value");
+                    globals.slots[g as usize] = Some(v);
+                    last = Value::Null;
+                }
+                Op::MakeList(n) => {
+                    let at = stack.len() - n as usize;
+                    let items = stack.split_off(at);
+                    stack.push(Value::List(items));
+                }
+                Op::MakeMap(n) => {
+                    let at = stack.len() - 2 * n as usize;
+                    let mut m = BTreeMap::new();
+                    let mut kvs = stack.split_off(at).into_iter();
+                    while let (Some(k), Some(v)) = (kvs.next(), kvs.next()) {
+                        // Keys are compiled as string constants.
+                        if let Value::Str(k) = k {
+                            m.insert(k, v);
+                        }
+                    }
+                    stack.push(Value::Map(m));
+                }
+                Op::Jump(t) => {
+                    ip = t as usize;
+                    continue;
+                }
+                Op::JumpIfFalse(t) => {
+                    let v = stack.pop().expect("condition");
+                    if !v.truthy() {
+                        ip = t as usize;
+                        continue;
+                    }
+                }
+                Op::CmpOperandsJumpFalse {
+                    cmp,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
+                    let line = proto.lines[ip] as usize;
+                    let l =
+                        read_operand(lhs, locals, base, globals, &proto.consts, interner, line)?;
+                    let r =
+                        read_operand(rhs, locals, base, globals, &proto.consts, interner, line)?;
+                    let b = match cmp {
+                        Cmp::Eq => l == r,
+                        Cmp::Ne => l != r,
+                        _ => {
+                            let ord = match (l, r) {
+                                (Value::Num(a), Value::Num(b)) => a.partial_cmp(b),
+                                (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+                                _ => None,
+                            };
+                            let Some(ord) = ord else {
+                                return Err(type_err(proto.lines[ip] as usize, "comparison", l, r));
+                            };
+                            use std::cmp::Ordering::*;
+                            match cmp {
+                                Cmp::Lt => ord == Less,
+                                Cmp::Le => ord != Greater,
+                                Cmp::Gt => ord == Greater,
+                                _ => ord != Less,
+                            }
+                        }
+                    };
+                    if !b {
+                        ip = target as usize;
+                        continue;
+                    }
+                }
+                Op::FusedBin { op, dst, lhs, rhs } => {
+                    let line = proto.lines[ip] as usize;
+                    let v = {
+                        let l = read_operand(
+                            lhs,
+                            locals,
+                            base,
+                            globals,
+                            &proto.consts,
+                            interner,
+                            line,
+                        )?;
+                        let r = read_operand(
+                            rhs,
+                            locals,
+                            base,
+                            globals,
+                            &proto.consts,
+                            interner,
+                            line,
+                        )?;
+                        match op {
+                            Arith::Add => match (l, r) {
+                                (Value::Num(a), Value::Num(b)) => Value::Num(a + b),
+                                (Value::List(a), Value::List(b)) => {
+                                    let mut out = a.clone();
+                                    out.extend(b.iter().cloned());
+                                    Value::List(out)
+                                }
+                                (Value::Str(_), _) | (_, Value::Str(_)) => {
+                                    Value::Str(format!("{l}{r}"))
+                                }
+                                _ => return Err(type_err(line, "+", l, r)),
+                            },
+                            _ => {
+                                let (Some(a), Some(b)) = (l.as_num(), r.as_num()) else {
+                                    let sym = match op {
+                                        Arith::Sub => "-",
+                                        Arith::Mul => "*",
+                                        Arith::Div => "/",
+                                        _ => "%",
+                                    };
+                                    return Err(type_err(line, sym, l, r));
+                                };
+                                match op {
+                                    Arith::Sub => Value::Num(a - b),
+                                    Arith::Mul => Value::Num(a * b),
+                                    Arith::Div => {
+                                        if b == 0.0 {
+                                            return Err(ScriptError::runtime(
+                                                line,
+                                                "division by zero",
+                                            ));
+                                        }
+                                        Value::Num(a / b)
+                                    }
+                                    _ => {
+                                        if b == 0.0 {
+                                            return Err(ScriptError::runtime(
+                                                line,
+                                                "modulo by zero",
+                                            ));
+                                        }
+                                        Value::Num(a % b)
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    let (tag, idx) = crate::compile::operand_parts(dst);
+                    if tag == crate::compile::OPERAND_GLOBAL {
+                        globals.slots[idx as usize] = Some(v);
+                    } else {
+                        locals[base + idx as usize] = v;
+                    }
+                    last = Value::Null;
+                }
+                Op::CmpJumpFalse { cmp, target } => {
+                    let r = stack.pop().expect("rhs");
+                    let l = stack.pop().expect("lhs");
+                    let b = match cmp {
+                        Cmp::Eq => l == r,
+                        Cmp::Ne => l != r,
+                        _ => {
+                            let ord = match (&l, &r) {
+                                (Value::Num(a), Value::Num(b)) => a.partial_cmp(b),
+                                (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+                                _ => None,
+                            };
+                            let Some(ord) = ord else {
+                                return Err(type_err(
+                                    proto.lines[ip] as usize,
+                                    "comparison",
+                                    &l,
+                                    &r,
+                                ));
+                            };
+                            use std::cmp::Ordering::*;
+                            match cmp {
+                                Cmp::Lt => ord == Less,
+                                Cmp::Le => ord != Greater,
+                                Cmp::Gt => ord == Greater,
+                                _ => ord != Less,
+                            }
+                        }
+                    };
+                    if !b {
+                        ip = target as usize;
+                        continue;
+                    }
+                }
+                Op::AndJump(t) => {
+                    let v = stack.pop().expect("operand");
+                    if !v.truthy() {
+                        stack.push(Value::Bool(false));
+                        ip = t as usize;
+                        continue;
+                    }
+                }
+                Op::OrJump(t) => {
+                    let v = stack.pop().expect("operand");
+                    if v.truthy() {
+                        stack.push(Value::Bool(true));
+                        ip = t as usize;
+                        continue;
+                    }
+                }
+                Op::ToBool => {
+                    let v = stack.pop().expect("operand");
+                    stack.push(Value::Bool(v.truthy()));
+                }
+                Op::Add => {
+                    let r = stack.pop().expect("rhs");
+                    let l = stack.pop().expect("lhs");
+                    let v = match (&l, &r) {
+                        (Value::Num(a), Value::Num(b)) => Value::Num(a + b),
+                        (Value::List(a), Value::List(b)) => {
+                            let mut out = a.clone();
+                            out.extend(b.iter().cloned());
+                            Value::List(out)
+                        }
+                        (Value::Str(_), _) | (_, Value::Str(_)) => Value::Str(format!("{l}{r}")),
+                        _ => return Err(type_err(proto.lines[ip] as usize, "+", &l, &r)),
+                    };
+                    stack.push(v);
+                }
+                op @ (Op::Sub | Op::Mul | Op::Div | Op::Rem) => {
+                    let r = stack.pop().expect("rhs");
+                    let l = stack.pop().expect("lhs");
+                    let line = proto.lines[ip] as usize;
+                    let (Some(a), Some(b)) = (l.as_num(), r.as_num()) else {
+                        let sym = match op {
+                            Op::Sub => "-",
+                            Op::Mul => "*",
+                            Op::Div => "/",
+                            _ => "%",
+                        };
+                        return Err(type_err(line, sym, &l, &r));
+                    };
+                    let v = match op {
+                        Op::Sub => a - b,
+                        Op::Mul => a * b,
+                        Op::Div => {
+                            if b == 0.0 {
+                                return Err(ScriptError::runtime(line, "division by zero"));
+                            }
+                            a / b
+                        }
+                        _ => {
+                            if b == 0.0 {
+                                return Err(ScriptError::runtime(line, "modulo by zero"));
+                            }
+                            a % b
+                        }
+                    };
+                    stack.push(Value::Num(v));
+                }
+                Op::Eq => {
+                    let r = stack.pop().expect("rhs");
+                    let l = stack.pop().expect("lhs");
+                    stack.push(Value::Bool(l == r));
+                }
+                Op::Ne => {
+                    let r = stack.pop().expect("rhs");
+                    let l = stack.pop().expect("lhs");
+                    stack.push(Value::Bool(l != r));
+                }
+                op @ (Op::Lt | Op::Le | Op::Gt | Op::Ge) => {
+                    let r = stack.pop().expect("rhs");
+                    let l = stack.pop().expect("lhs");
+                    let ord = match (&l, &r) {
+                        (Value::Num(a), Value::Num(b)) => a.partial_cmp(b),
+                        (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+                        _ => None,
+                    };
+                    let Some(ord) = ord else {
+                        return Err(type_err(proto.lines[ip] as usize, "comparison", &l, &r));
+                    };
+                    use std::cmp::Ordering::*;
+                    let b = match op {
+                        Op::Lt => ord == Less,
+                        Op::Le => ord != Greater,
+                        Op::Gt => ord == Greater,
+                        _ => ord != Less,
+                    };
+                    stack.push(Value::Bool(b));
+                }
+                Op::Neg => {
+                    let v = stack.pop().expect("operand");
+                    match v.as_num() {
+                        Some(n) => stack.push(Value::Num(-n)),
+                        None => {
+                            return Err(ScriptError::runtime(
+                                proto.lines[ip] as usize,
+                                format!("cannot negate a {}", v.type_name()),
+                            ))
+                        }
+                    }
+                }
+                Op::Not => {
+                    let v = stack.pop().expect("operand");
+                    stack.push(Value::Bool(!v.truthy()));
+                }
+                Op::Index => {
+                    let i = stack.pop().expect("index");
+                    let b = stack.pop().expect("base");
+                    let line = proto.lines[ip] as usize;
+                    let v = match (&b, &i) {
+                        (Value::List(items), Value::Num(n)) => {
+                            let idx = *n as usize;
+                            if n.fract() != 0.0 || *n < 0.0 || idx >= items.len() {
+                                return Err(ScriptError::runtime(
+                                    line,
+                                    format!("list index {n} out of range (len {})", items.len()),
+                                ));
+                            }
+                            items[idx].clone()
+                        }
+                        (Value::Map(m), Value::Str(k)) => match m.get(k) {
+                            Some(v) => v.clone(),
+                            None => {
+                                return Err(ScriptError::runtime(
+                                    line,
+                                    format!("missing map key {k:?}"),
+                                ))
+                            }
+                        },
+                        (Value::Str(s), Value::Num(n)) => {
+                            let idx = *n as usize;
+                            match s.chars().nth(idx) {
+                                Some(c) => Value::Str(c.to_string()),
+                                None => {
+                                    return Err(ScriptError::runtime(
+                                        line,
+                                        format!("string index {n} out of range"),
+                                    ))
+                                }
+                            }
+                        }
+                        (b, i) => {
+                            return Err(ScriptError::runtime(
+                                line,
+                                format!("cannot index {} with {}", b.type_name(), i.type_name()),
+                            ))
+                        }
+                    };
+                    stack.push(v);
+                }
+                Op::IndexSetLocal(s) => {
+                    let idx = stack.pop().expect("index");
+                    let value = stack.pop().expect("value");
+                    let line = proto.lines[ip] as usize;
+                    index_set(&mut locals[base + s as usize], idx, value, line)?;
+                    last = Value::Null;
+                }
+                Op::IndexSetGlobal(g) => {
+                    let idx = stack.pop().expect("index");
+                    let value = stack.pop().expect("value");
+                    let line = proto.lines[ip] as usize;
+                    let Some(container) = globals.slots[g as usize].as_mut() else {
+                        let name = interner.resolve(globals.names[g as usize]);
+                        return Err(ScriptError::runtime(
+                            line,
+                            format!("undefined variable {name:?}"),
+                        ));
+                    };
+                    index_set(container, idx, value, line)?;
+                    last = Value::Null;
+                }
+                Op::CallBuiltin { builtin, argc } => {
+                    let at = stack.len() - argc as usize;
+                    let line = proto.lines[ip] as usize;
+                    let v = crate::builtins::call(builtin, &stack[at..], output, line)?;
+                    stack.truncate(at);
+                    stack.push(v);
+                }
+                Op::CallFn { fn_id, argc } => {
+                    let line = proto.lines[ip] as usize;
+                    let entry = &mut fns.entries[fn_id as usize];
+                    if let Some(callee) = entry.user.clone() {
+                        if callee.params != argc {
+                            return Err(ScriptError::runtime(
+                                line,
+                                format!(
+                                    "{}() expects {} arguments, got {}",
+                                    interner.resolve(entry.name),
+                                    callee.params,
+                                    argc
+                                ),
+                            ));
+                        }
+                        // Arguments become the callee's first locals.
+                        let at = stack.len() - argc as usize;
+                        let new_base = locals.len();
+                        locals.extend(stack.drain(at..));
+                        locals.resize(new_base + callee.locals as usize, Value::Null);
+                        frames.push(Frame {
+                            proto: std::mem::replace(&mut proto, callee),
+                            ret_ip: ip + 1,
+                            base,
+                            iter_base,
+                            saved_last: std::mem::replace(&mut last, Value::Null),
+                        });
+                        base = new_base;
+                        iter_base = iters.len();
+                        ip = 0;
+                        continue;
+                    }
+                    if let Some(f) = entry.host.as_mut() {
+                        let at = stack.len() - argc as usize;
+                        argbuf.clear();
+                        argbuf.extend(stack.drain(at..));
+                        let name = interner.resolve(entry.name);
+                        let v = f(argbuf).map_err(|msg| {
+                            ScriptError::runtime(line, format!("{name}(): {msg}"))
+                        })?;
+                        stack.push(v);
+                    } else {
+                        return Err(ScriptError::runtime(
+                            line,
+                            format!("unknown function {:?}", interner.resolve(entry.name)),
+                        ));
+                    }
+                }
+                Op::DefineFn { fn_id, def } => {
+                    fns.entries[fn_id as usize].user = Some(Rc::clone(&proto.defs[def as usize]));
+                    last = Value::Null;
+                }
+                Op::ForPrep => {
+                    let iterable = stack.pop().expect("iterable");
+                    let items: Vec<Value> = match iterable {
+                        Value::List(v) => v,
+                        Value::Map(m) => m.keys().map(|k| Value::Str(k.clone())).collect(),
+                        other => {
+                            return Err(ScriptError::runtime(
+                                proto.lines[ip] as usize,
+                                format!("cannot iterate a {}", other.type_name()),
+                            ))
+                        }
+                    };
+                    iters.push((items, 0));
+                }
+                Op::ForNext { slot, exit } => {
+                    let (items, idx) = iters.last_mut().expect("iterator");
+                    if *idx < items.len() {
+                        let v = std::mem::replace(&mut items[*idx], Value::Null);
+                        *idx += 1;
+                        locals[base + slot as usize] = v;
+                    } else {
+                        iters.pop();
+                        ip = exit as usize;
+                        continue;
+                    }
+                }
+                Op::PopIter => {
+                    iters.pop();
+                }
+                Op::SetLast => {
+                    last = stack.pop().expect("statement value");
+                }
+                Op::ClearLast => {
+                    last = Value::Null;
+                }
+                Op::Return | Op::ReturnLast => {
+                    let v = match op {
+                        Op::Return => stack.pop().expect("return value"),
+                        _ => std::mem::replace(&mut last, Value::Null),
+                    };
+                    match frames.pop() {
+                        Some(f) => {
+                            // Unwind this frame's locals and any iterators
+                            // still open in loops we returned out of.
+                            iters.truncate(iter_base);
+                            locals.truncate(base);
+                            last = f.saved_last;
+                            base = f.base;
+                            iter_base = f.iter_base;
+                            ip = f.ret_ip;
+                            proto = f.proto;
+                            stack.push(v);
+                            continue;
+                        }
+                        None => return Ok(v),
+                    }
+                }
+                Op::FailLoopFlow => {
+                    return Err(ScriptError::runtime(
+                        proto.lines[ip] as usize,
+                        "break/continue outside loop",
+                    ));
+                }
+                Op::FailIndexBase => {
+                    return Err(ScriptError::runtime(
+                        proto.lines[ip] as usize,
+                        "index assignment requires a variable base",
+                    ));
+                }
+            }
+            ip += 1;
+        }
+    }
+}
+
+/// Reads a packed fused-op operand. The global case is compiler-proven
+/// defined; the error arm is defensive (it mirrors `LoadGlobal`'s)
+/// rather than a panic so no script input can abort the process.
+#[inline]
+fn read_operand<'v>(
+    packed: u32,
+    locals: &'v [Value],
+    base: usize,
+    globals: &'v Globals,
+    consts: &'v [Value],
+    interner: &crate::value::Interner,
+    line: usize,
+) -> Result<&'v Value> {
+    let (tag, idx) = crate::compile::operand_parts(packed);
+    match tag {
+        crate::compile::OPERAND_GLOBAL => match &globals.slots[idx as usize] {
+            Some(v) => Ok(v),
+            None => {
+                let name = interner.resolve(globals.names[idx as usize]);
+                Err(ScriptError::runtime(
+                    line,
+                    format!("undefined variable {name:?}"),
+                ))
+            }
+        },
+        crate::compile::OPERAND_CONST => Ok(&consts[idx as usize]),
+        _ => Ok(&locals[base + idx as usize]),
+    }
+}
+
+/// In-place `container[idx] = value`, replicating the tree-walker's
+/// checks exactly (including its lack of a negative-index check on list
+/// assignment: the cast saturates, so `a[-1] = v` writes `a[0]`).
+fn index_set(container: &mut Value, idx: Value, value: Value, line: usize) -> Result<()> {
+    match (container, idx) {
+        (Value::List(items), Value::Num(n)) => {
+            let i = n as usize;
+            if n.fract() != 0.0 || i >= items.len() {
+                return Err(ScriptError::runtime(
+                    line,
+                    format!("list index {n} out of range (len {})", items.len()),
+                ));
+            }
+            items[i] = value;
+        }
+        (Value::Map(m), Value::Str(k)) => {
+            m.insert(k, value);
+        }
+        (c, i) => {
+            return Err(ScriptError::runtime(
+                line,
+                format!("cannot index {} with {}", c.type_name(), i.type_name()),
+            ))
+        }
+    }
+    Ok(())
+}

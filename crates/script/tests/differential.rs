@@ -1,0 +1,356 @@
+//! Differential tests: the bytecode VM against the tree-walking
+//! reference interpreter.
+//!
+//! The VM (`script::Interpreter`) must be observably identical to
+//! `script::reference::Interpreter` — same result values, same printed
+//! output, same error line/phase/message, and same step counts
+//! (including the exact step at which a budget is exhausted). These
+//! tests generate random programs over the whole statement surface
+//! (arithmetic, nested functions, recursion, loops with
+//! `break`/`continue`, host calls, runtime errors) and assert the two
+//! engines agree; fixed cases pin the known semantic corners.
+
+use proptest::prelude::*;
+use proptest::test_runner::{Rng, SeedableRng, StdRng, TestCaseError};
+use script::{reference, Interpreter, Value};
+
+/// Registers the same host functions on either engine: an identity
+/// function, a summing function that rejects non-numbers, one that
+/// always fails, and a handle constructor.
+macro_rules! register_hosts {
+    ($interp:expr) => {{
+        $interp.register("h_id", |args: &mut Vec<Value>| {
+            Ok(args.pop().unwrap_or(Value::Null))
+        });
+        $interp.register("h_add", |args: &mut Vec<Value>| {
+            let mut total = 0.0;
+            for a in args.iter() {
+                total += a.as_num().ok_or("not a number")?;
+            }
+            Ok(Value::Num(total))
+        });
+        $interp.register("h_fail", |_args: &mut Vec<Value>| {
+            Err::<Value, String>("boom".into())
+        });
+        $interp.register("h_mk", |args: &mut Vec<Value>| {
+            let id = args.first().and_then(Value::as_num).unwrap_or(0.0);
+            Ok(Value::Handle {
+                tag: "t".into(),
+                id: id.abs() as u64,
+            })
+        });
+    }};
+}
+
+/// Runs `sources` in order on both engines (same interpreter instance
+/// per engine, so globals/functions persist across the runs) and
+/// asserts every observable agrees after each run.
+fn assert_engines_agree(sources: &[&str], limit: u64) -> Result<(), TestCaseError> {
+    let mut vm = Interpreter::new().with_step_limit(limit);
+    register_hosts!(vm);
+    let mut tree = reference::Interpreter::new().with_step_limit(limit);
+    register_hosts!(tree);
+    for (i, src) in sources.iter().enumerate() {
+        let vm_result = vm.run(src);
+        let tree_result = tree.run(src);
+        prop_assert!(
+            vm_result == tree_result,
+            "result mismatch on run {i} (limit {limit}) of:\n{src}\n  vm:   {vm_result:?}\n  tree: {tree_result:?}"
+        );
+        let (vm_out, tree_out) = (vm.take_output(), tree.take_output());
+        prop_assert!(
+            vm_out == tree_out,
+            "output mismatch on run {i} (limit {limit}) of:\n{src}\n  vm:   {vm_out:?}\n  tree: {tree_out:?}"
+        );
+        prop_assert!(
+            vm.steps() == tree.steps(),
+            "step-count mismatch on run {i} (limit {limit}) of:\n{src}\n  vm:   {}\n  tree: {}",
+            vm.steps(),
+            tree.steps()
+        );
+    }
+    Ok(())
+}
+
+fn check(src: &str) {
+    assert_engines_agree(&[src], 3_000).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Random-program generation. The generator emits *source text* so both
+// engines see the exact same program (and the same line numbers — each
+// statement is rendered on its own line). Programs may be statically
+// doomed (`break` outside a loop, undefined variables, bad operand
+// types): error parity is part of the contract.
+// ---------------------------------------------------------------------
+
+const VARS: &[&str] = &["a", "b", "c", "d"];
+const CALLEES: &[&str] = &[
+    "len", "str", "num", "sum", "range", "push", "min", "max", "sort", "abs", "f", "g", "h_id",
+    "h_add", "h_fail", "h_mk",
+];
+const BIN_OPS: &[&str] = &[
+    "+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||",
+];
+
+fn pick<'x>(rng: &mut StdRng, options: &[&'x str]) -> &'x str {
+    options[rng.random_range(0..options.len())]
+}
+
+fn gen_expr(rng: &mut StdRng, depth: u32) -> String {
+    if depth == 0 || rng.random_range(0u32..100) < 35 {
+        return match rng.random_range(0u32..8) {
+            0 | 1 => rng.random_range(-100i64..100).to_string(),
+            2 => format!(
+                "{}.{}",
+                rng.random_range(0i64..10),
+                rng.random_range(1u32..10)
+            ),
+            3 => pick(rng, &["true", "false", "null"]).to_string(),
+            4 => {
+                let n = rng.random_range(0usize..4);
+                let s: String = (0..n)
+                    .map(|_| char::from(b'a' + rng.random_range(0u32..26) as u8))
+                    .collect();
+                format!("\"{s}\"")
+            }
+            _ => pick(rng, VARS).to_string(),
+        };
+    }
+    match rng.random_range(0u32..10) {
+        0..=3 => format!(
+            "({} {} {})",
+            gen_expr(rng, depth - 1),
+            pick(rng, BIN_OPS),
+            gen_expr(rng, depth - 1)
+        ),
+        4 => format!("(-{})", gen_expr(rng, depth - 1)),
+        5 => format!("!{}", gen_expr(rng, depth - 1)),
+        6 | 7 => {
+            let name = pick(rng, CALLEES);
+            let argc = rng.random_range(0usize..3);
+            let args: Vec<String> = (0..argc).map(|_| gen_expr(rng, depth - 1)).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        8 => format!("{}[{}]", gen_expr(rng, depth - 1), gen_expr(rng, depth - 1)),
+        _ => {
+            if rng.random_range(0u32..2) == 0 {
+                let n = rng.random_range(0usize..3);
+                let items: Vec<String> = (0..n).map(|_| gen_expr(rng, depth - 1)).collect();
+                format!("[{}]", items.join(", "))
+            } else {
+                format!(
+                    "{{ {}: {} }}",
+                    pick(rng, &["x", "y", "z"]),
+                    gen_expr(rng, depth - 1)
+                )
+            }
+        }
+    }
+}
+
+fn gen_block(rng: &mut StdRng, depth: u32) -> String {
+    let n = rng.random_range(1usize..4);
+    let stmts: Vec<String> = (0..n).map(|_| gen_stmt(rng, depth)).collect();
+    stmts.join("\n")
+}
+
+fn gen_stmt(rng: &mut StdRng, depth: u32) -> String {
+    if depth > 0 && rng.random_range(0u32..100) < 40 {
+        return match rng.random_range(0u32..6) {
+            0 => format!(
+                "if {} {{\n{}\n}}",
+                gen_expr(rng, 2),
+                gen_block(rng, depth - 1)
+            ),
+            1 => format!(
+                "if {} {{\n{}\n}} else {{\n{}\n}}",
+                gen_expr(rng, 2),
+                gen_block(rng, depth - 1),
+                gen_block(rng, depth - 1)
+            ),
+            2 => format!(
+                "for {} in range({}) {{\n{}\n}}",
+                pick(rng, VARS),
+                rng.random_range(0u32..5),
+                gen_block(rng, depth - 1)
+            ),
+            3 => format!(
+                "for {} in {} {{\n{}\n}}",
+                pick(rng, VARS),
+                gen_expr(rng, 2),
+                gen_block(rng, depth - 1)
+            ),
+            4 => format!(
+                "while {} {{\n{}\n}}",
+                gen_expr(rng, 2),
+                gen_block(rng, depth - 1)
+            ),
+            _ => format!(
+                "fn {}({}) {{\n{}\n}}",
+                pick(rng, &["f", "g"]),
+                pick(rng, VARS),
+                gen_block(rng, depth - 1)
+            ),
+        };
+    }
+    match rng.random_range(0u32..10) {
+        0 | 1 => format!("let {} = {};", pick(rng, VARS), gen_expr(rng, 3)),
+        2 | 3 => format!("{} = {};", pick(rng, VARS), gen_expr(rng, 3)),
+        4 => format!(
+            "{}[{}] = {};",
+            pick(rng, VARS),
+            gen_expr(rng, 2),
+            gen_expr(rng, 2)
+        ),
+        5 | 6 => format!("{};", gen_expr(rng, 3)),
+        7 => format!("print({});", gen_expr(rng, 2)),
+        8 => pick(rng, &["break;", "continue;"]).to_string(),
+        _ => format!("return {};", gen_expr(rng, 2)),
+    }
+}
+
+fn gen_program(rng: &mut StdRng) -> String {
+    let n = rng.random_range(1usize..8);
+    let stmts: Vec<String> = (0..n).map(|_| gen_stmt(rng, 2)).collect();
+    stmts.join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The core differential property: for arbitrary generated
+    /// programs, the VM and the reference agree on result, output, and
+    /// step count (including error cases).
+    #[test]
+    fn vm_matches_reference(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = gen_program(&mut rng);
+        assert_engines_agree(&[src.as_str()], 3_000)?;
+    }
+
+    /// Persistent-state parity: programs run back-to-back on the same
+    /// interpreter pair, sharing globals and function definitions. The
+    /// third run repeats the first source, exercising the VM's
+    /// compilation cache against re-walking the tree.
+    #[test]
+    fn vm_matches_reference_across_runs(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = gen_program(&mut rng);
+        let second = gen_program(&mut rng);
+        assert_engines_agree(&[first.as_str(), second.as_str(), first.as_str()], 2_000)?;
+    }
+
+    /// Step-limit parity: with tight budgets, both engines exhaust the
+    /// budget after the same number of steps and report the same error
+    /// (line included). This covers the VM's merged step accounting.
+    #[test]
+    fn step_exhaustion_parity(seed in 0u64..u64::MAX, limit in 1u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = gen_program(&mut rng);
+        assert_engines_agree(&[src.as_str()], limit)?;
+    }
+
+    /// A known-hot loop shape under a varying budget: the budget can
+    /// run out at the condition, the per-iteration charge, or any
+    /// statement in the body, and the engines must agree on where.
+    #[test]
+    fn loop_exhaustion_parity(limit in 1u64..200) {
+        let src = "let t = 0;\nlet i = 0;\nwhile i < 50 {\n i = i + 1;\n if i % 3 == 0 { continue; }\n t = t + i;\n}\nt";
+        assert_engines_agree(&[src], limit)?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixed differential cases for the semantic corners the generator may
+// only rarely hit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn differential_recursion_and_function_values() {
+    check("fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } fib(12)");
+    // Fall-off-the-end returns the last statement value.
+    check("fn f(x) { x * 2; } f(21)");
+    check("fn f(x) { let y = x; } f(1)");
+    // Redefinition: the latest definition wins from then on.
+    check("fn f(x) { return 1; } let a = f(0); fn f(x) { return 2; } a + f(0)");
+}
+
+#[test]
+fn differential_loop_flow() {
+    check("let t = 0;\nlet i = 0;\nwhile true {\n i = i + 1;\n if i > 10 { break; }\n if i % 2 == 0 { continue; }\n t = t + i;\n}\nt");
+    check("let t = 0; for x in [1, 2, 3, 4] { if x == 3 { break; } t = t + x; } t");
+    check("let ks = \"\"; for k in { b: 1, a: 2 } { ks = ks + k; } ks");
+    // break/continue outside any loop: error at the enclosing
+    // top-level statement.
+    check("break;");
+    check("let a = 1;\nif a { continue; }");
+    check("fn f(x) { if x { break; } } f(1)");
+    // Return from inside nested loops unwinds open iterators.
+    check("fn f(x) { for i in [1, 2] { for j in [3, 4] { return i + j; } } } f(0)");
+}
+
+#[test]
+fn differential_indexing_quirks() {
+    // List read: negative and fractional indices are range errors.
+    check("[1, 2][-1]");
+    check("[1, 2][0.5]");
+    // List write: no negative check — the cast saturates to 0.
+    check("let a = [1, 2]; a[-1] = 9; a[0]");
+    check("let a = [1, 2]; a[0.5] = 9;");
+    // String read: no fractional/negative check — the cast truncates.
+    check("\"abc\"[1.5]");
+    check("\"abc\"[-1]");
+    check("\"abc\"[5]");
+    // Index assignment needs a variable base; operands still evaluate
+    // first (so their errors and steps come first).
+    check("[1, 2][0] = 5;");
+    check("[1, 2][0] = h_fail();");
+    check("m[\"k\"] = 1;");
+}
+
+#[test]
+fn differential_host_functions() {
+    check("h_id(42)");
+    check("h_add(1, 2, 3)");
+    check("h_add(1, \"x\")");
+    check("h_fail()");
+    check("let h = h_mk(7); h_id(h)");
+    check("print(h_mk(3));");
+    // Arguments evaluate before the unknown-function error.
+    check("nope(h_fail())");
+    check("nope(1, 2)");
+}
+
+#[test]
+fn differential_scope_rules() {
+    check("let x = 1; { let x = 2; x = 3; } x");
+    check("let x = 1; fn f(y) { return x + y; } f(10)");
+    check("fn f(y) { x = y; } let x = 0; f(5); x");
+    check("fn f(y) { x = y; } f(5);");
+    check("let x = x;");
+    check("let g = 10;\nfn f(x) { return x + g; }\nf(5);\nx");
+}
+
+#[test]
+fn differential_short_circuit_and_folding() {
+    check("false && missing_var");
+    check("true || missing_var");
+    check("1 + 2 * 3 - (4 / 2)");
+    check("1 / 0");
+    check("5 % 0");
+    check("-(1 + 2) + (3 * -4)");
+    check("!0 && !\"\"");
+}
+
+#[test]
+fn differential_step_exhaustion_fixed() {
+    for limit in [1, 2, 3, 5, 10, 50, 100, 101, 102, 1000] {
+        assert_engines_agree(&["while true { }"], limit).unwrap();
+        assert_engines_agree(
+            &["fn f(n) { if n < 1 { return 0; } return f(n - 1); } f(1000)"],
+            limit,
+        )
+        .unwrap();
+    }
+}
