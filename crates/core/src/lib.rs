@@ -26,7 +26,10 @@
 //! * [`recommend`] — rendering diagnoses into user recommendations and
 //!   compiler feedback (via `openuh::feedback`).
 //! * [`workflow`] — the three case studies as canned, reusable analysis
-//!   workflows.
+//!   workflows, each with a supervised graceful-degradation variant.
+//! * [`supervise`] — the stage supervisor behind the `*_supervised`
+//!   workflows: panic isolation, wall/firing budgets, degradation
+//!   records.
 //! * [`scripting`] — the whole API exposed to the embedded scripting
 //!   language, so workflows can be written as scripts (paper Fig. 1).
 //! * [`cluster`] — thread-behaviour clustering (PerfExplorer's k-means
@@ -53,12 +56,14 @@ pub mod result;
 pub mod rulebase;
 pub mod scalability;
 pub mod scripting;
+pub mod supervise;
 pub mod workflow;
 
 pub use derive::{derive_metric, DeriveOp};
 pub use error::AnalysisError;
 pub use facts::MeanEventFact;
 pub use result::{TrialMeanResult, TrialResult};
+pub use supervise::{DegradeCause, DegradedStage, Supervisor, SupervisorConfig};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, AnalysisError>;

@@ -7,6 +7,7 @@
 //! [`compiler_feedback`] converts diagnoses into the structural form
 //! `openuh::feedback` ingests.
 
+use crate::supervise::DegradedStage;
 use openuh::cost::CostModel;
 use openuh::feedback::{self, DiagnosisInput, FeedbackPlan};
 use rules::{Diagnosis, RunReport};
@@ -39,6 +40,25 @@ pub fn render_report(report: &RunReport) -> String {
             out.push_str(line);
             out.push('\n');
         }
+    }
+    out
+}
+
+/// Renders a supervised run: the ordinary report text, followed by a
+/// degraded-stages section when (and only when) anything degraded. On
+/// a clean run the output is byte-identical to [`render_report`], which
+/// is the supervised workflows' differential guarantee.
+pub fn render_report_degraded(report: &RunReport, degraded: &[DegradedStage]) -> String {
+    let mut out = render_report(report);
+    if !degraded.is_empty() {
+        out.push_str("\n--- degraded stages (partial report) ---\n");
+        for d in degraded {
+            out.push_str(&format!("! {d}\n"));
+        }
+        out.push_str(&format!(
+            "{} stage(s) degraded; conclusions above may be incomplete.\n",
+            degraded.len()
+        ));
     }
     out
 }
@@ -126,6 +146,26 @@ mod tests {
     fn render_empty_report() {
         let text = render_report(&RunReport::default());
         assert!(text.contains("No performance problems diagnosed"));
+    }
+
+    #[test]
+    fn degraded_render_is_identical_when_clean() {
+        let report = report_with(vec![diagnosis("stalls")]);
+        assert_eq!(render_report_degraded(&report, &[]), render_report(&report));
+    }
+
+    #[test]
+    fn degraded_render_appends_section() {
+        use crate::supervise::DegradeCause;
+        let report = report_with(vec![]);
+        let degraded = vec![DegradedStage {
+            stage: "stall-rate facts".into(),
+            cause: DegradeCause::Panicked("boom".into()),
+        }];
+        let text = render_report_degraded(&report, &degraded);
+        assert!(text.contains("--- degraded stages (partial report) ---"));
+        assert!(text.contains("! stall-rate facts: panicked: boom"));
+        assert!(text.contains("1 stage(s) degraded"));
     }
 
     #[test]

@@ -60,6 +60,29 @@ pub struct PerfExplorerScript {
     state: Rc<RefCell<SessionState>>,
 }
 
+/// Outcome of [`PerfExplorerScript::run_supervised`]: the script's
+/// value when it completed, plus whatever partial results the session
+/// accumulated before a failure.
+#[derive(Debug)]
+pub struct SupervisedScript {
+    /// The script's final value, when it ran to completion.
+    pub value: Option<Value>,
+    /// The report of the last completed `process_rules()` call, even
+    /// if the script failed afterwards.
+    pub report: Option<RunReport>,
+    /// Everything the script printed before finishing or failing.
+    pub printed: Vec<String>,
+    /// Why the run is partial; empty on a clean run.
+    pub degraded: Vec<crate::supervise::DegradedStage>,
+}
+
+impl SupervisedScript {
+    /// Whether the script ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.degraded.is_empty()
+    }
+}
+
 fn host_err(msg: impl Into<String>) -> String {
     msg.into()
 }
@@ -135,6 +158,46 @@ impl PerfExplorerScript {
     /// The report of the most recent `process_rules()` call.
     pub fn last_report(&self) -> Option<RunReport> {
         self.state.borrow().last_report.clone()
+    }
+
+    /// Runs a workflow script under panic isolation: a script error or
+    /// a panic inside a host function becomes a [`DegradedStage`]
+    /// record instead of unwinding the caller. The outcome carries
+    /// whatever the session produced before the failure — the last
+    /// `process_rules()` report and the printed output — so an
+    /// unattended pipeline can salvage partial conclusions.
+    ///
+    /// After a panic the session's interpreter state may be
+    /// inconsistent; callers that continue should start a fresh
+    /// session.
+    pub fn run_supervised(&mut self, source: &str) -> SupervisedScript {
+        use crate::supervise::{panic_message, DegradeCause, DegradedStage};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let mut degraded = Vec::new();
+        let value = match catch_unwind(AssertUnwindSafe(|| self.interp.run(source))) {
+            Ok(Ok(v)) => Some(v),
+            Ok(Err(e)) => {
+                degraded.push(DegradedStage {
+                    stage: "script".into(),
+                    cause: DegradeCause::Failed(e.to_string()),
+                });
+                None
+            }
+            Err(payload) => {
+                degraded.push(DegradedStage {
+                    stage: "script".into(),
+                    cause: DegradeCause::Panicked(panic_message(payload)),
+                });
+                None
+            }
+        };
+        SupervisedScript {
+            value,
+            report: self.last_report(),
+            printed: self.output(),
+            degraded,
+        }
     }
 
     fn register_all(interp: &mut Interpreter, state: &Rc<RefCell<SessionState>>) {
@@ -615,6 +678,46 @@ mod tests {
         let report = session.last_report().unwrap();
         assert!(report.fired("Load imbalance in nested loops"));
         assert!(session.output()[0].starts_with("asserted "));
+    }
+
+    #[test]
+    fn supervised_clean_script_matches_plain_run() {
+        let source = r#"
+            load_rules("load_balance");
+            let trial = load_trial("msap", "scheduling", "8_static");
+            assert_balance_facts(trial, "TIME");
+            let report = process_rules();
+            report["diagnoses"]
+        "#;
+        let mut plain = PerfExplorerScript::new(repo_with_msa());
+        let expected = plain.run(source).unwrap();
+        let mut session = PerfExplorerScript::new(repo_with_msa());
+        let out = session.run_supervised(source);
+        assert!(out.is_complete());
+        assert_eq!(out.value.unwrap().as_num(), expected.as_num());
+        assert!(out.report.unwrap().fired("Load imbalance in nested loops"));
+    }
+
+    #[test]
+    fn supervised_script_failure_keeps_partial_results() {
+        let mut session = PerfExplorerScript::new(repo_with_msa());
+        let out = session.run_supervised(
+            r#"
+            load_rules("load_balance");
+            let trial = load_trial("msap", "scheduling", "8_static");
+            assert_balance_facts(trial, "TIME");
+            let report = process_rules();
+            print("rules done");
+            load_trial("msap", "scheduling", "no_such_trial");
+            "#,
+        );
+        assert!(!out.is_complete());
+        assert!(out.value.is_none());
+        // Everything up to the failure survives.
+        assert!(out.report.unwrap().fired("Load imbalance in nested loops"));
+        assert_eq!(out.printed, vec!["rules done".to_string()]);
+        assert_eq!(out.degraded.len(), 1);
+        assert_eq!(out.degraded[0].stage, "script");
     }
 
     #[test]

@@ -9,11 +9,12 @@ use crate::metrics::{
     derive_inefficiency, memory_analysis, memory_facts, stall_decomposition, stall_facts,
 };
 use crate::powerenergy::{power_facts, relative_table, trial_power, RelativeRow, TrialPower};
-use crate::recommend::{compiler_feedback, render_report};
+use crate::recommend::{compiler_feedback, render_report, render_report_degraded};
 use crate::rulebase::{
     engine_with, engine_with_all, LOAD_BALANCE_RULES, LOCALITY_RULES, POWER_RULES, STALL_RULES,
 };
 use crate::scalability::{per_event_total, scaling_facts, ScalingSeries};
+use crate::supervise::{run_engine_budgeted, DegradedStage, Supervisor, SupervisorConfig};
 use crate::{facts::MeanEventFact, loadbalance, Result};
 use openuh::cost::CostModel;
 use openuh::feedback::FeedbackPlan;
@@ -31,6 +32,17 @@ pub struct CaseStudyReport {
     pub feedback: FeedbackPlan,
     /// The cost model after feedback weighting.
     pub cost_model: CostModel,
+    /// Stages that degraded (supervised workflows only; always empty
+    /// for the strict workflows). When non-empty, the report is
+    /// partial: the listed stages' conclusions are missing or suspect.
+    pub degraded: Vec<DegradedStage>,
+}
+
+impl CaseStudyReport {
+    /// Whether every stage ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.degraded.is_empty()
+    }
 }
 
 /// Metrics the locality derivation chain reads (`derive_inefficiency`
@@ -44,7 +56,7 @@ const DERIVATION_METRICS: [&str; 4] = ["BACK_END_BUBBLE_ALL", "CPU_CYCLES", "FP_
 /// raised on a full copy). Everything not derived keeps reading
 /// `target` directly, so the deep clone of every counter column is
 /// avoided.
-fn derivation_scratch(target: &Trial) -> Trial {
+fn derivation_scratch(target: &Trial) -> Result<Trial> {
     let src = &target.profile;
     let wanted: Vec<perfdmf::MetricId> = DERIVATION_METRICS
         .iter()
@@ -54,15 +66,27 @@ fn derivation_scratch(target: &Trial) -> Trial {
         Profile::with_capacity(src.threads().to_vec(), src.event_count(), wanted.len());
     // Metrics first: `add_event` is then amortised O(1) per block while
     // `add_metric` would rebuild the arena per event.
+    //
+    // A healthy profile interns unique metric/event names, but a
+    // corrupted one (stale index entries pointing at renamed rows) can
+    // present duplicates here — that must surface as a typed error,
+    // not a panic, so the supervised workflows can degrade.
     for &m in &wanted {
-        profile
-            .add_metric(src.metric(m).clone())
-            .expect("source metrics are unique");
+        profile.add_metric(src.metric(m).clone()).map_err(|_| {
+            crate::AnalysisError::Invalid(format!(
+                "duplicate metric name {:?} in source trial {:?}",
+                src.metric(m).name,
+                target.name
+            ))
+        })?;
     }
     for event in src.events() {
-        profile
-            .add_event(event.clone())
-            .expect("source events are unique");
+        profile.add_event(event.clone()).map_err(|_| {
+            crate::AnalysisError::Invalid(format!(
+                "duplicate event name {:?} in source trial {:?}",
+                event.name, target.name
+            ))
+        })?;
     }
     for ei in 0..src.event_count() {
         let e = EventId(ei as u32);
@@ -72,11 +96,11 @@ fn derivation_scratch(target: &Trial) -> Trial {
                 .copy_from_slice(src.column(e, m));
         }
     }
-    Trial {
+    Ok(Trial {
         name: target.name.clone(),
         profile,
         metadata: target.metadata.clone(),
-    }
+    })
 }
 
 fn finish(report: rules::RunReport) -> CaseStudyReport {
@@ -87,6 +111,22 @@ fn finish(report: rules::RunReport) -> CaseStudyReport {
         feedback,
         cost_model,
         report,
+        degraded: Vec::new(),
+    }
+}
+
+/// Like [`finish`], but renders the degraded-stages section when the
+/// supervision record is non-empty. With an empty record the output is
+/// byte-identical to [`finish`].
+fn finish_supervised(report: rules::RunReport, degraded: Vec<DegradedStage>) -> CaseStudyReport {
+    let mut cost_model = CostModel::default();
+    let feedback = compiler_feedback(&report, &mut cost_model);
+    CaseStudyReport {
+        rendered: render_report_degraded(&report, &degraded),
+        feedback,
+        cost_model,
+        report,
+        degraded,
     }
 }
 
@@ -123,7 +163,7 @@ pub fn analyze_locality(
     // every fact pass that reads measured counters stays on `target`.
     #[cfg(debug_assertions)]
     let before = (*target).clone();
-    let mut scratch = derivation_scratch(target);
+    let mut scratch = derivation_scratch(target)?;
     derive_inefficiency(&mut scratch)?;
     #[cfg(debug_assertions)]
     debug_assert!(
@@ -188,6 +228,175 @@ pub fn analyze_power(
     }
     let report = engine.run()?;
     Ok((table, finish(report)))
+}
+
+/// Supervised variant of [`analyze_load_balance`]: never returns an
+/// error. Each stage runs under a [`Supervisor`]; a failing or
+/// panicking stage is recorded in the report's `degraded` list and the
+/// remaining stages carry on with whatever facts survived. On clean
+/// input the result is byte-identical to the strict workflow's.
+pub fn analyze_load_balance_supervised(
+    trial: &Trial,
+    metric: &str,
+    config: &SupervisorConfig,
+) -> CaseStudyReport {
+    let mut sup = Supervisor::new(config.clone());
+    let facts = sup.run_stage("load-balance facts", || {
+        loadbalance::analyze(trial, metric).map(|a| a.facts())
+    });
+    let engine = sup.run_stage("rulebase", || {
+        Ok(engine_with(LOAD_BALANCE_RULES)?.with_cycle_limit(config.rule_firing_budget))
+    });
+    let Some(mut engine) = engine else {
+        return finish_supervised(rules::RunReport::default(), sup.into_degraded());
+    };
+    match facts {
+        Some(facts) => {
+            for fact in facts {
+                engine.assert_fact(fact);
+            }
+        }
+        None => sup.skip_stage("fact assertion", "load-balance facts"),
+    }
+    let (report, over_budget) = run_engine_budgeted(&mut engine, "rule engine");
+    if let Some(entry) = over_budget {
+        sup.note(entry);
+    }
+    finish_supervised(report, sup.into_degraded())
+}
+
+/// Supervised variant of [`analyze_locality`]: never returns an error.
+/// The five fact passes degrade independently — a corrupt counter that
+/// breaks the stall decomposition still leaves the scaling and balance
+/// facts (and the diagnoses they support) in the report.
+pub fn analyze_locality_supervised(
+    series: &[(usize, &Trial)],
+    machine: &MachineConfig,
+    config: &SupervisorConfig,
+) -> CaseStudyReport {
+    let mut sup = Supervisor::new(config.clone());
+    let Some((_, target)) = series.last() else {
+        sup.note(DegradedStage {
+            stage: "input".into(),
+            cause: crate::supervise::DegradeCause::Failed("empty trial series".into()),
+        });
+        return finish_supervised(rules::RunReport::default(), sup.into_degraded());
+    };
+
+    let scratch = sup.run_stage("derivation", || {
+        let mut scratch = derivation_scratch(target)?;
+        derive_inefficiency(&mut scratch)?;
+        Ok(scratch)
+    });
+
+    let engine = sup.run_stage("rulebase", || {
+        Ok(
+            engine_with_all(&[STALL_RULES, LOCALITY_RULES, LOAD_BALANCE_RULES])?
+                .with_cycle_limit(config.rule_firing_budget),
+        )
+    });
+    let Some(mut engine) = engine else {
+        return finish_supervised(rules::RunReport::default(), sup.into_degraded());
+    };
+
+    engine.assert_fact(crate::facts::context_fact(target));
+
+    match &scratch {
+        Some(scratch) => {
+            if let Some(facts) = sup.run_stage("stall-rate facts", || {
+                MeanEventFact::compare_all_events(
+                    scratch,
+                    "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
+                    "TIME",
+                )
+            }) {
+                for fact in facts {
+                    engine.assert_fact(fact);
+                }
+            }
+        }
+        None => sup.skip_stage("stall-rate facts", "derivation"),
+    }
+    if let Some(facts) = sup.run_stage("stall decomposition facts", || {
+        Ok(stall_facts(&stall_decomposition(target, machine)?))
+    }) {
+        for fact in facts {
+            engine.assert_fact(fact);
+        }
+    }
+    if let Some(facts) = sup.run_stage("memory facts", || {
+        Ok(memory_facts(&memory_analysis(target, machine)?))
+    }) {
+        for fact in facts {
+            engine.assert_fact(fact);
+        }
+    }
+    if let Some(facts) = sup.run_stage("scaling facts", || {
+        let mut scaling: Vec<ScalingSeries> = Vec::new();
+        for event in target.profile.events() {
+            if let Ok(s) = per_event_total(series, "TIME", &event.name) {
+                scaling.push(s);
+            }
+        }
+        Ok(scaling_facts(&scaling))
+    }) {
+        for fact in facts {
+            engine.assert_fact(fact);
+        }
+    }
+    if let Some(facts) = sup.run_stage("balance facts", || {
+        loadbalance::analyze(target, "TIME").map(|a| a.facts())
+    }) {
+        for fact in facts {
+            engine.assert_fact(fact);
+        }
+    }
+
+    let (report, over_budget) = run_engine_budgeted(&mut engine, "rule engine");
+    if let Some(entry) = over_budget {
+        sup.note(entry);
+    }
+    finish_supervised(report, sup.into_degraded())
+}
+
+/// Supervised variant of [`analyze_power`]: never returns an error.
+/// Trials whose power model cannot be evaluated are dropped from the
+/// table (each with a degradation record); the comparison proceeds
+/// over the survivors.
+pub fn analyze_power_supervised(
+    trials: &[&Trial],
+    machine: &MachineConfig,
+    config: &SupervisorConfig,
+) -> (Vec<RelativeRow>, CaseStudyReport) {
+    let mut sup = Supervisor::new(config.clone());
+    let mut readings: Vec<TrialPower> = Vec::new();
+    for trial in trials {
+        if let Some(r) = sup.run_stage(&format!("power model ({})", trial.name), || {
+            trial_power(trial, machine)
+        }) {
+            readings.push(r);
+        }
+    }
+    let table = sup
+        .run_stage("relative table", || relative_table(&readings))
+        .unwrap_or_default();
+    let engine = sup.run_stage("rulebase", || {
+        Ok(engine_with(POWER_RULES)?.with_cycle_limit(config.rule_firing_budget))
+    });
+    let Some(mut engine) = engine else {
+        return (
+            table,
+            finish_supervised(rules::RunReport::default(), sup.into_degraded()),
+        );
+    };
+    for fact in power_facts(&table) {
+        engine.assert_fact(fact);
+    }
+    let (report, over_budget) = run_engine_budgeted(&mut engine, "rule engine");
+    if let Some(entry) = over_budget {
+        sup.note(entry);
+    }
+    (table, finish_supervised(report, sup.into_degraded()))
 }
 
 #[cfg(test)]
@@ -317,6 +526,133 @@ mod tests {
             "MPI should have no locality problem: {}",
             result.rendered
         );
+    }
+
+    #[test]
+    fn duplicate_metric_names_error_instead_of_panicking() {
+        // Regression: a corrupted profile whose interned index is stale
+        // (two metrics now sharing a name) used to panic
+        // `derivation_scratch` via `expect("source metrics are
+        // unique")`. It must surface as a typed error instead.
+        let machine = MachineConfig::altix300();
+        let mut c = GenIdlestConfig::new(
+            Problem::Rib90,
+            Paradigm::OpenMp,
+            CodeVersion::Unoptimized,
+            4,
+        );
+        c.timesteps = 1;
+        let mut trial = genidlest::run(&c);
+        let fp = trial.profile.metric_id("FP_OPS").unwrap();
+        trial.profile.corrupt_metric_name(fp, "TIME");
+
+        let series: Vec<(usize, &Trial)> = vec![(4, &trial)];
+        let err = analyze_locality(&series, &machine).unwrap_err();
+        assert!(
+            matches!(&err, crate::AnalysisError::Invalid(msg) if msg.contains("duplicate metric")),
+            "got {err:?}"
+        );
+
+        // The supervised variant degrades the derivation stage and
+        // still produces a report.
+        let report = analyze_locality_supervised(&series, &machine, &SupervisorConfig::default());
+        assert!(!report.is_complete());
+        assert!(report.degraded.iter().any(|d| d.stage == "derivation"));
+        assert!(report
+            .degraded
+            .iter()
+            .any(|d| d.stage == "stall-rate facts"));
+        assert!(report.rendered.contains("degraded stages"));
+    }
+
+    #[test]
+    fn supervised_clean_reports_are_byte_identical() {
+        let config = SupervisorConfig::default();
+
+        // Load balance.
+        let mut msa_config = MsaConfig::paper_400(8, Schedule::Static);
+        msa_config.sequences = 96;
+        let trial = msa::run(&msa_config);
+        let strict = analyze_load_balance(&trial, "TIME").unwrap();
+        let supervised = analyze_load_balance_supervised(&trial, "TIME", &config);
+        assert!(supervised.is_complete());
+        assert_eq!(strict.rendered, supervised.rendered);
+        assert_eq!(
+            strict.report.diagnoses.len(),
+            supervised.report.diagnoses.len()
+        );
+
+        // Locality.
+        let machine = MachineConfig::altix300();
+        let trials: Vec<(usize, Trial)> = [1usize, 4]
+            .iter()
+            .map(|&p| {
+                let mut c = GenIdlestConfig::new(
+                    Problem::Rib90,
+                    Paradigm::OpenMp,
+                    CodeVersion::Unoptimized,
+                    p,
+                );
+                c.timesteps = 1;
+                (p, genidlest::run(&c))
+            })
+            .collect();
+        let series: Vec<(usize, &Trial)> = trials.iter().map(|(p, t)| (*p, t)).collect();
+        let strict = analyze_locality(&series, &machine).unwrap();
+        let supervised = analyze_locality_supervised(&series, &machine, &config);
+        assert!(supervised.is_complete());
+        assert_eq!(strict.rendered, supervised.rendered);
+
+        // Power.
+        let power_config = PowerStudyConfig {
+            ranks: 4,
+            timesteps: 1,
+            machine: machine.clone(),
+        };
+        let runs = power_study::run_all(&power_config);
+        let power_trials: Vec<&Trial> = runs.iter().map(|(_, t)| t).collect();
+        let (strict_table, strict) = analyze_power(&power_trials, &machine).unwrap();
+        let (sup_table, supervised) = analyze_power_supervised(&power_trials, &machine, &config);
+        assert!(supervised.is_complete());
+        assert_eq!(strict.rendered, supervised.rendered);
+        assert_eq!(strict_table.len(), sup_table.len());
+    }
+
+    #[test]
+    fn supervised_power_drops_bad_trials_and_continues() {
+        let machine = MachineConfig::altix300();
+        let power_config = PowerStudyConfig {
+            ranks: 4,
+            timesteps: 1,
+            machine: machine.clone(),
+        };
+        let runs = power_study::run_all(&power_config);
+        // An empty trial has none of the power-model metrics.
+        let broken = Trial::new(
+            "broken",
+            Profile::with_capacity(vec![perfdmf::ThreadId::flat(0)], 0, 0),
+        );
+        let mut trials: Vec<&Trial> = runs.iter().map(|(_, t)| t).collect();
+        trials.insert(1, &broken);
+        let (table, report) =
+            analyze_power_supervised(&trials, &machine, &SupervisorConfig::default());
+        // Survivors still produce the full table and the choice rules.
+        assert_eq!(table.len(), 4);
+        assert!(!report.is_complete());
+        assert!(report
+            .degraded
+            .iter()
+            .any(|d| d.stage.contains("power model (broken)")));
+        assert!(report.report.fired("Low energy choice"));
+    }
+
+    #[test]
+    fn supervised_locality_of_empty_series_degrades() {
+        let machine = MachineConfig::altix300();
+        let report = analyze_locality_supervised(&[], &machine, &SupervisorConfig::default());
+        assert!(!report.is_complete());
+        assert!(report.rendered.contains("degraded stages"));
+        assert!(report.report.diagnoses.is_empty());
     }
 
     #[test]

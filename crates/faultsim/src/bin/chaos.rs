@@ -1,0 +1,250 @@
+//! Chaos harness: drive the whole pipeline through seeded corruption.
+//!
+//! For every seed in the matrix this binary
+//!
+//! 1. builds clean trials from the simulated applications,
+//! 2. corrupts them in-memory with every profile-domain fault,
+//!    sanitizes them, and runs all supervised case-study workflows,
+//! 3. corrupts each serialized text form (csv / tau / gprof) with every
+//!    text-domain fault and runs the lossy parsers,
+//! 4. corrupts the repository JSON and runs the salvage path,
+//!
+//! all under `catch_unwind`. Any panic that escapes a supervised entry
+//! point is a bug: it is reported per seed and turns into a non-zero
+//! exit code, which is what the CI `chaos` job gates on.
+//!
+//! ```text
+//! chaos [--seeds N] [--base-seed B] [--verbose]
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use apps::msa::{self, MsaConfig};
+use apps::power_study::{self, PowerStudyConfig};
+use faultsim::{Fault, FaultPlan};
+use perfdmf::formats::{csv, gprof, tau};
+use perfdmf::{sanitize_trial, QualityConfig, Repository, Trial};
+use perfexplorer::workflow::{
+    analyze_load_balance_supervised, analyze_locality_supervised, analyze_power_supervised,
+};
+use perfexplorer::SupervisorConfig;
+use simulator::machine::MachineConfig;
+use simulator::openmp::Schedule;
+
+struct Args {
+    seeds: u64,
+    base_seed: u64,
+    verbose: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 8,
+        base_seed: 0,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seeds needs a number"));
+            }
+            "--base-seed" => {
+                args.base_seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--base-seed needs a number"));
+            }
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: chaos [--seeds N] [--base-seed B] [--verbose]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Outcome of one seed's run.
+#[derive(Default)]
+struct SeedOutcome {
+    faults_applied: usize,
+    stages_degraded: usize,
+    diagnostics: usize,
+    repairs: usize,
+    quarantined: usize,
+    salvage_dropped: usize,
+    panics: Vec<String>,
+}
+
+fn clean_trials() -> Vec<Trial> {
+    let mut msa_config = MsaConfig::paper_400(8, Schedule::Static);
+    msa_config.sequences = 48;
+    let mut out = vec![msa::run(&msa_config)];
+    let power = PowerStudyConfig {
+        ranks: 4,
+        timesteps: 1,
+        machine: MachineConfig::altix300(),
+    };
+    out.extend(power_study::run_all(&power).into_iter().map(|(_, t)| t));
+    out
+}
+
+/// Runs `f` under panic isolation; a panic is recorded against `what`.
+fn guarded(outcome: &mut SeedOutcome, what: &str, f: impl FnOnce(&mut SeedOutcome)) {
+    match catch_unwind(AssertUnwindSafe(|| {
+        let mut scratch = SeedOutcome::default();
+        f(&mut scratch);
+        scratch
+    })) {
+        Ok(scratch) => {
+            outcome.faults_applied += scratch.faults_applied;
+            outcome.stages_degraded += scratch.stages_degraded;
+            outcome.diagnostics += scratch.diagnostics;
+            outcome.repairs += scratch.repairs;
+            outcome.quarantined += scratch.quarantined;
+            outcome.salvage_dropped += scratch.salvage_dropped;
+            outcome.panics.extend(scratch.panics);
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic".into());
+            outcome.panics.push(format!("{what}: {msg}"));
+        }
+    }
+}
+
+fn run_seed(seed: u64, verbose: bool) -> SeedOutcome {
+    let machine = MachineConfig::altix300();
+    let supervisor = SupervisorConfig::default();
+    let quality = QualityConfig::default();
+    let mut outcome = SeedOutcome::default();
+
+    // --- profile-domain: corrupt, sanitize, analyze ---
+    let mut trials = clean_trials();
+    let plan = FaultPlan::new(seed).with_all(&Fault::PROFILE_FAULTS);
+    for trial in &mut trials {
+        let applied = plan.apply_to_trial(trial);
+        outcome.faults_applied += applied.len();
+        if verbose {
+            for a in &applied {
+                eprintln!("seed {seed}: [{}] {}", a.fault, a.detail);
+            }
+        }
+        let report = sanitize_trial(trial, &quality);
+        outcome.repairs += report.repairs.len();
+        outcome.quarantined += report.quarantined.len();
+    }
+
+    guarded(&mut outcome, "load-balance workflow", |o| {
+        let r = analyze_load_balance_supervised(&trials[0], "TIME", &supervisor);
+        o.stages_degraded += r.degraded.len();
+    });
+    guarded(&mut outcome, "locality workflow", |o| {
+        let series: Vec<(usize, &Trial)> = trials.iter().enumerate().collect();
+        let r = analyze_locality_supervised(&series, &machine, &supervisor);
+        o.stages_degraded += r.degraded.len();
+    });
+    guarded(&mut outcome, "power workflow", |o| {
+        let refs: Vec<&Trial> = trials.iter().skip(1).collect();
+        let (_, r) = analyze_power_supervised(&refs, &machine, &supervisor);
+        o.stages_degraded += r.degraded.len();
+    });
+
+    // --- text-domain: corrupt serialized forms, lossy-parse ---
+    let text_plan = FaultPlan::new(seed ^ 0x5eed).with_all(&Fault::TEXT_FAULTS);
+
+    guarded(&mut outcome, "csv lossy parse", |o| {
+        let clean = clean_trials();
+        let (corrupt, applied) = text_plan.apply_to_text(&csv::write_trial(&clean[0]));
+        o.faults_applied += applied.len();
+        let parsed = csv::parse_trial_lossy("chaos-csv", &corrupt);
+        o.diagnostics += parsed.diagnostics.len();
+    });
+    guarded(&mut outcome, "tau lossy parse", |o| {
+        let tau_text = "3 templated_functions_MULTI_TIME\n\
+             # Name Calls Subrs Excl Incl ProfileCalls\n\
+             \"main\" 1 2 400 1000 0\n\
+             \"main => compute\" 10 0 500 500 0\n\
+             \"main => exchange\" 10 0 100 100 0\n";
+        let (corrupt, applied) = text_plan.apply_to_text(tau_text);
+        o.faults_applied += applied.len();
+        let (_, diags) = tau::parse_thread_profile_lossy(&corrupt);
+        o.diagnostics += diags.len();
+    });
+    guarded(&mut outcome, "gprof lossy parse", |o| {
+        let gprof_text = "  %   cumulative   self              self     total\n \
+             time   seconds   seconds    calls  ms/call  ms/call  name\n \
+             90.01      9.00     9.00      100    90.00    95.00  compute\n  \
+             9.99      9.99     0.99        1   990.00  9990.00  main\n";
+        let (corrupt, applied) = text_plan.apply_to_text(gprof_text);
+        o.faults_applied += applied.len();
+        let parsed = gprof::parse_flat_profile_lossy("chaos-gprof", &corrupt);
+        o.diagnostics += parsed.diagnostics.len();
+    });
+
+    // --- repository salvage ---
+    guarded(&mut outcome, "repository salvage", |o| {
+        let mut repo = Repository::new();
+        for (i, t) in clean_trials().into_iter().enumerate() {
+            repo.add_trial("chaos", if i == 0 { "msa" } else { "power" }, t)
+                .expect("clean trials insert");
+        }
+        let json = repo.to_json().expect("clean repo serializes");
+        let (corrupt, applied) = text_plan.apply_to_text(&json);
+        o.faults_applied += applied.len();
+        if let Ok((_, dropped)) = Repository::salvage_json(&corrupt) {
+            o.salvage_dropped += dropped.len();
+        }
+    });
+
+    outcome
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "chaos: {} seed(s) starting at {}",
+        args.seeds, args.base_seed
+    );
+    println!("seed     faults  degraded  diags  repairs  quarantined  dropped  panics");
+
+    let mut total_panics = 0usize;
+    for i in 0..args.seeds {
+        let seed = args.base_seed + i;
+        let o = run_seed(seed, args.verbose);
+        println!(
+            "{:<8} {:<7} {:<9} {:<6} {:<8} {:<12} {:<8} {}",
+            seed,
+            o.faults_applied,
+            o.stages_degraded,
+            o.diagnostics,
+            o.repairs,
+            o.quarantined,
+            o.salvage_dropped,
+            o.panics.len()
+        );
+        for p in &o.panics {
+            eprintln!("seed {seed}: PANIC ESCAPED: {p}");
+        }
+        total_panics += o.panics.len();
+    }
+
+    if total_panics > 0 {
+        eprintln!("chaos: {total_panics} panic(s) escaped supervised entry points");
+        std::process::exit(1);
+    }
+    println!("chaos: no panics escaped");
+}

@@ -10,6 +10,9 @@
 //! Event names containing commas or quotes are double-quoted with `""`
 //! escaping, per RFC 4180.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use super::{Diagnostic, LossyTrial};
 use crate::model::{Measurement, ThreadId, Trial, TrialBuilder};
 use crate::{DmfError, Result};
 use std::collections::{BTreeSet, HashMap};
@@ -92,80 +95,68 @@ pub fn write_trial(trial: &Trial) -> String {
                 cell.calls,
                 cell.subcalls
             )
-            .expect("writing to String cannot fail");
+            .unwrap_or(()); // writing to String cannot fail
         }
     }
     out
 }
 
-/// Parses a trial from CSV produced by [`write_trial`] (or compatible).
-pub fn parse_trial(trial_name: &str, text: &str) -> Result<Trial> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
-    if header.trim() != HEADER {
-        return Err(parse_err(1, format!("unexpected header {header:?}")));
-    }
+/// One parsed data row. Event/metric names are moved out of the field
+/// vector rather than cloned per row.
+struct Row {
+    event: String,
+    metric: String,
+    tid: ThreadId,
+    m: Measurement,
+}
 
-    // First pass: collect rows & thread ids so the builder sees a stable
-    // thread ordering. Event/metric names are moved out of the field
-    // vector rather than cloned per row.
-    struct Row {
-        event: String,
-        metric: String,
-        tid: ThreadId,
-        m: Measurement,
+/// Parses one data record (header excluded).
+fn parse_row(line: &str, line_no: usize) -> Result<Row> {
+    let f = split_record(line, line_no)?;
+    if f.len() != 9 {
+        return Err(parse_err(
+            line_no,
+            format!("expected 9 fields, found {}", f.len()),
+        ));
     }
-    let mut rows: Vec<Row> = Vec::new();
-    let mut thread_set: BTreeSet<ThreadId> = BTreeSet::new();
-    for (idx, line) in lines {
-        let line_no = idx + 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let f = split_record(line, line_no)?;
-        if f.len() != 9 {
-            return Err(parse_err(
-                line_no,
-                format!("expected 9 fields, found {}", f.len()),
-            ));
-        }
-        let int = |i: usize| -> Result<u32> {
-            f[i].trim()
-                .parse()
-                .map_err(|_| parse_err(line_no, format!("bad integer {:?}", f[i])))
-        };
-        let num = |i: usize| -> Result<f64> {
-            f[i].trim()
-                .parse()
-                .map_err(|_| parse_err(line_no, format!("bad number {:?}", f[i])))
-        };
-        let tid = ThreadId {
-            node: int(2)?,
-            context: int(3)?,
-            thread: int(4)?,
-        };
-        thread_set.insert(tid);
-        let m = Measurement {
-            inclusive: num(5)?,
-            exclusive: num(6)?,
-            calls: num(7)?,
-            subcalls: num(8)?,
-        };
-        let mut f = f.into_iter();
-        let event = f.next().expect("length checked above");
-        let metric = f.next().expect("length checked above");
-        rows.push(Row {
-            event,
-            metric,
-            tid,
-            m,
-        });
-    }
-    if rows.is_empty() {
-        return Err(parse_err(0, "no data rows"));
-    }
-    // BTreeSet iteration is already sorted; intern each tid's index once
-    // so per-row placement is an O(1) map hit, not a binary search.
+    let int = |i: usize| -> Result<u32> {
+        f[i].trim()
+            .parse()
+            .map_err(|_| parse_err(line_no, format!("bad integer {:?}", f[i])))
+    };
+    let num = |i: usize| -> Result<f64> {
+        f[i].trim()
+            .parse()
+            .map_err(|_| parse_err(line_no, format!("bad number {:?}", f[i])))
+    };
+    let tid = ThreadId {
+        node: int(2)?,
+        context: int(3)?,
+        thread: int(4)?,
+    };
+    let m = Measurement {
+        inclusive: num(5)?,
+        exclusive: num(6)?,
+        calls: num(7)?,
+        subcalls: num(8)?,
+    };
+    let mut f = f.into_iter();
+    let (Some(event), Some(metric)) = (f.next(), f.next()) else {
+        // Unreachable: the field count was checked above.
+        return Err(parse_err(line_no, "missing event/metric fields"));
+    };
+    Ok(Row {
+        event,
+        metric,
+        tid,
+        m,
+    })
+}
+
+/// Builds the trial from collected rows; thread ordering is the sorted
+/// `BTreeSet` order, with each tid's index interned once so per-row
+/// placement is an O(1) map hit, not a binary search.
+fn build_trial(trial_name: &str, rows: Vec<Row>, thread_set: BTreeSet<ThreadId>) -> Trial {
     let threads: Vec<ThreadId> = thread_set.into_iter().collect();
     let thread_index: HashMap<ThreadId, usize> = threads
         .iter()
@@ -176,10 +167,109 @@ pub fn parse_trial(trial_name: &str, text: &str) -> Result<Trial> {
     for row in rows {
         let e = builder.event(&row.event);
         let m = builder.metric(&row.metric);
-        let ti = thread_index[&row.tid];
+        let ti = thread_index.get(&row.tid).copied().unwrap_or(0);
         builder.set(e, m, ti, row.m);
     }
-    Ok(builder.build())
+    builder.build()
+}
+
+/// Parses a trial from CSV produced by [`write_trial`] (or compatible),
+/// strictly: the first malformed construct is an error.
+pub fn parse_trial(trial_name: &str, text: &str) -> Result<Trial> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
+    if header.trim() != HEADER {
+        return Err(parse_err(1, format!("unexpected header {header:?}")));
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut thread_set: BTreeSet<ThreadId> = BTreeSet::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = parse_row(line, idx + 1)?;
+        thread_set.insert(row.tid);
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(parse_err(0, "no data rows"));
+    }
+    Ok(build_trial(trial_name, rows, thread_set))
+}
+
+/// Parses as much of a CSV trial as possible: malformed rows are
+/// skipped and reported as diagnostics instead of aborting the parse.
+/// A wrong header is reported but the rows are still attempted.
+pub fn parse_trial_lossy(trial_name: &str, text: &str) -> LossyTrial {
+    let mut diagnostics = Vec::new();
+    let diag = |diagnostics: &mut Vec<Diagnostic>, line: Option<usize>, message: String| {
+        diagnostics.push(Diagnostic {
+            format: "csv",
+            line,
+            message,
+        });
+    };
+
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        None => {
+            diag(&mut diagnostics, Some(1), "empty input".to_string());
+            return LossyTrial {
+                trial: None,
+                diagnostics,
+                rows_kept: 0,
+                rows_dropped: 0,
+            };
+        }
+        Some((_, header)) if header.trim() != HEADER => {
+            diag(
+                &mut diagnostics,
+                Some(1),
+                format!("unexpected header {header:?}; attempting rows anyway"),
+            );
+        }
+        Some(_) => {}
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut thread_set: BTreeSet<ThreadId> = BTreeSet::new();
+    let mut rows_dropped = 0usize;
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_row(line, idx + 1) {
+            Ok(row) => {
+                thread_set.insert(row.tid);
+                rows.push(row);
+            }
+            Err(e) => {
+                rows_dropped += 1;
+                let (line_no, message) = match e {
+                    DmfError::Parse { line, message, .. } => (line, message),
+                    other => (Some(idx + 1), other.to_string()),
+                };
+                diag(&mut diagnostics, line_no, format!("row skipped: {message}"));
+            }
+        }
+    }
+    let rows_kept = rows.len();
+    if rows.is_empty() {
+        diag(&mut diagnostics, None, "no usable data rows".to_string());
+        return LossyTrial {
+            trial: None,
+            diagnostics,
+            rows_kept: 0,
+            rows_dropped,
+        };
+    }
+    LossyTrial {
+        trial: Some(build_trial(trial_name, rows, thread_set)),
+        diagnostics,
+        rows_kept,
+        rows_dropped,
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +361,59 @@ mod tests {
     fn split_record_handles_escaped_quotes() {
         let f = split_record("\"a\"\"b\",c", 1).unwrap();
         assert_eq!(f, vec!["a\"b", "c"]);
+    }
+
+    #[test]
+    fn lossy_parse_skips_bad_rows_and_reports_each() {
+        let text = format!(
+            "{HEADER}\n\
+             main,TIME,0,0,0,1,1,1,0\n\
+             main,TIME,0,0,zero,2,2,1,0\n\
+             main,TIME,0,0,1,2,2\n\
+             main,TIME,0,0,1,3,3,1,0\n"
+        );
+        let r = parse_trial_lossy("t", &text);
+        let t = r.trial.expect("two good rows survive");
+        assert_eq!(r.rows_kept, 2);
+        assert_eq!(r.rows_dropped, 2);
+        assert_eq!(r.diagnostics.len(), 2);
+        assert_eq!(r.diagnostics[0].line, Some(3));
+        assert!(r.diagnostics[0].message.contains("bad integer"));
+        assert_eq!(r.diagnostics[1].line, Some(4));
+        assert!(r.diagnostics[1].message.contains("expected 9 fields"));
+        assert_eq!(t.profile.thread_count(), 2);
+    }
+
+    #[test]
+    fn lossy_parse_tolerates_wrong_header() {
+        let text = "not,a,header\nmain,TIME,0,0,0,1,1,1,0\n";
+        let r = parse_trial_lossy("t", text);
+        assert!(r.trial.is_some());
+        assert!(r.diagnostics[0].message.contains("unexpected header"));
+        assert_eq!(r.rows_kept, 1);
+    }
+
+    #[test]
+    fn lossy_parse_of_garbage_returns_none_with_diagnostics() {
+        let r = parse_trial_lossy("t", "");
+        assert!(r.trial.is_none());
+        assert!(!r.diagnostics.is_empty());
+        let r = parse_trial_lossy("t", &format!("{HEADER}\nnot a row at all\n"));
+        assert!(r.trial.is_none());
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("no usable data rows")));
+    }
+
+    #[test]
+    fn lossy_parse_of_clean_input_matches_strict() {
+        let t = sample_trial();
+        let csv = write_trial(&t);
+        let strict = parse_trial("t", &csv).unwrap();
+        let lossy = parse_trial_lossy("t", &csv);
+        assert!(lossy.is_clean());
+        assert_eq!(lossy.trial.unwrap().profile, strict.profile);
     }
 
     #[test]

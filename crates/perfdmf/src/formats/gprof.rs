@@ -18,6 +18,9 @@
 //! metric: `self seconds` → exclusive, `calls × total ms/call` →
 //! inclusive (when per-call figures are present, else exclusive).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use super::{Diagnostic, LossyTrial};
 use crate::model::{Measurement, ThreadId, Trial, TrialBuilder};
 use crate::{DmfError, Result};
 
@@ -27,6 +30,47 @@ fn parse_err(line: usize, message: impl Into<String>) -> DmfError {
         line: Some(line),
         message: message.into(),
     }
+}
+
+/// Parses one flat-profile table row into `(name, measurement)`.
+fn parse_table_row(trimmed: &str, line_no: usize) -> Result<(String, Measurement)> {
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    if fields.len() < 3 {
+        return Err(parse_err(line_no, "expected at least 3 columns"));
+    }
+    let self_seconds: f64 = fields[2]
+        .parse()
+        .map_err(|_| parse_err(line_no, format!("bad self-seconds {:?}", fields[2])))?;
+    // Optional columns: calls, self ms/call, total ms/call. gprof
+    // leaves them blank for functions it could not count.
+    let (calls, total_ms_per_call, name_start) = if fields.len() >= 7 {
+        let calls: f64 = fields[3]
+            .parse()
+            .map_err(|_| parse_err(line_no, format!("bad call count {:?}", fields[3])))?;
+        let total: f64 = fields[5]
+            .parse()
+            .map_err(|_| parse_err(line_no, format!("bad total ms/call {:?}", fields[5])))?;
+        (calls, Some(total), 6)
+    } else {
+        (0.0, None, 3)
+    };
+    let name = fields[name_start..].join(" ");
+    if name.is_empty() {
+        return Err(parse_err(line_no, "missing function name"));
+    }
+    let inclusive = match total_ms_per_call {
+        Some(ms) => calls * ms / 1000.0,
+        None => self_seconds,
+    };
+    Ok((
+        name,
+        Measurement {
+            inclusive: inclusive.max(self_seconds),
+            exclusive: self_seconds,
+            calls: if calls > 0.0 { calls } else { 1.0 },
+            subcalls: 0.0,
+        },
+    ))
 }
 
 /// Parses a gprof flat profile into a single-thread trial.
@@ -49,46 +93,9 @@ pub fn parse_flat_profile(trial_name: &str, text: &str) -> Result<Trial> {
         if trimmed.is_empty() {
             break; // flat profile table ends at the first blank line
         }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        if fields.len() < 3 {
-            return Err(parse_err(line_no, "expected at least 3 columns"));
-        }
-        let self_seconds: f64 = fields[2]
-            .parse()
-            .map_err(|_| parse_err(line_no, format!("bad self-seconds {:?}", fields[2])))?;
-        // Optional columns: calls, self ms/call, total ms/call. gprof
-        // leaves them blank for functions it could not count.
-        let (calls, total_ms_per_call, name_start) = if fields.len() >= 7 {
-            let calls: f64 = fields[3]
-                .parse()
-                .map_err(|_| parse_err(line_no, format!("bad call count {:?}", fields[3])))?;
-            let total: f64 = fields[5]
-                .parse()
-                .map_err(|_| parse_err(line_no, format!("bad total ms/call {:?}", fields[5])))?;
-            (calls, Some(total), 6)
-        } else {
-            (0.0, None, 3)
-        };
-        let name = fields[name_start..].join(" ");
-        if name.is_empty() {
-            return Err(parse_err(line_no, "missing function name"));
-        }
-        let inclusive = match total_ms_per_call {
-            Some(ms) => calls * ms / 1000.0,
-            None => self_seconds,
-        };
+        let (name, m) = parse_table_row(trimmed, line_no)?;
         let ev = builder.event(&name);
-        builder.set(
-            ev,
-            metric,
-            0,
-            Measurement {
-                inclusive: inclusive.max(self_seconds),
-                exclusive: self_seconds,
-                calls: if calls > 0.0 { calls } else { 1.0 },
-                subcalls: 0.0,
-            },
-        );
+        builder.set(ev, metric, 0, m);
         rows += 1;
     }
     if rows == 0 {
@@ -99,6 +106,75 @@ pub fn parse_flat_profile(trial_name: &str, text: &str) -> Result<Trial> {
         });
     }
     Ok(builder.build())
+}
+
+/// Lossy variant of [`parse_flat_profile`]: malformed table rows are
+/// skipped with a diagnostic instead of aborting the parse. Returns no
+/// trial only when not a single row was usable (including when no table
+/// header was found at all).
+pub fn parse_flat_profile_lossy(trial_name: &str, text: &str) -> LossyTrial {
+    let mut builder = TrialBuilder::with_threads(trial_name, vec![ThreadId::flat(0)]);
+    let metric = builder.metric("TIME");
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let diag = |line: Option<usize>, message: String| Diagnostic {
+        format: "gprof",
+        line,
+        message,
+    };
+
+    let mut in_table = false;
+    let mut rows_kept = 0usize;
+    let mut rows_dropped = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if !in_table {
+            if trimmed.starts_with("time") && trimmed.contains("name") {
+                in_table = true;
+            }
+            continue;
+        }
+        if trimmed.is_empty() {
+            break; // flat profile table ends at the first blank line
+        }
+        match parse_table_row(trimmed, line_no) {
+            Ok((name, m)) => {
+                let ev = builder.event(&name);
+                builder.set(ev, metric, 0, m);
+                rows_kept += 1;
+            }
+            Err(e) => {
+                let (line, message) = match e {
+                    DmfError::Parse { line, message, .. } => (line, message),
+                    other => (Some(line_no), other.to_string()),
+                };
+                diagnostics.push(diag(line, format!("row skipped: {message}")));
+                rows_dropped += 1;
+            }
+        }
+    }
+    if rows_kept == 0 {
+        diagnostics.push(diag(
+            None,
+            if in_table {
+                "no usable rows in flat profile table".into()
+            } else {
+                "no flat profile table found".into()
+            },
+        ));
+        return LossyTrial {
+            trial: None,
+            diagnostics,
+            rows_kept,
+            rows_dropped,
+        };
+    }
+    LossyTrial {
+        trial: Some(builder.build()),
+        diagnostics,
+        rows_kept,
+        rows_dropped,
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +244,41 @@ Each sample counts as 0.01 seconds.
         let t = parse_flat_profile("g", SAMPLE).unwrap();
         // "some other section" must not have been parsed as an event.
         assert_eq!(t.profile.events().len(), 2);
+    }
+
+    #[test]
+    fn lossy_parse_skips_bad_rows() {
+        let text = "\
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 50.00      1.00     abc      100     1.0      1.0    broken
+ 50.00      1.00     1.00      100     1.0      1.0    good
+";
+        let out = parse_flat_profile_lossy("g", text);
+        let t = out.trial.unwrap();
+        assert!(t.profile.event_id("good").is_some());
+        assert!(t.profile.event_id("broken").is_none());
+        assert_eq!(out.rows_kept, 1);
+        assert_eq!(out.rows_dropped, 1);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert!(out.diagnostics[0].message.contains("bad self-seconds"));
+        assert_eq!(out.diagnostics[0].line, Some(2));
+    }
+
+    #[test]
+    fn lossy_parse_without_table_is_none() {
+        let out = parse_flat_profile_lossy("g", "nothing here\n");
+        assert!(out.trial.is_none());
+        assert!(out.diagnostics[0]
+            .message
+            .contains("no flat profile table found"));
+    }
+
+    #[test]
+    fn lossy_parse_of_clean_input_matches_strict() {
+        let strict = parse_flat_profile("g", SAMPLE).unwrap();
+        let out = parse_flat_profile_lossy("g", SAMPLE);
+        assert!(out.is_clean());
+        assert_eq!(out.trial.unwrap(), strict);
+        assert_eq!(out.rows_kept, 2);
     }
 }

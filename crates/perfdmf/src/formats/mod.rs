@@ -12,7 +12,59 @@
 //!
 //! All readers produce the same in-memory [`crate::Trial`] model, so the
 //! analysis layer is format-agnostic.
+//!
+//! Every format has two entry points: a *strict* parser that fails on
+//! the first malformed construct (the right behaviour for data the
+//! caller just wrote), and a *lossy* variant (`*_lossy`) that keeps
+//! every parseable row, skips the rest, and reports each skip as a
+//! [`Diagnostic`] — the right behaviour for an unattended pipeline
+//! ingesting profile collections it does not control. The parser
+//! modules deny `unwrap`/`expect` outside tests, so malformed input can
+//! only surface as a typed [`crate::DmfError`] or a diagnostic.
 
 pub mod csv;
 pub mod gprof;
 pub mod tau;
+
+use crate::Trial;
+
+/// One recoverable problem a lossy parse stepped over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Format that produced the diagnostic ("csv", "tau", "gprof").
+    pub format: &'static str,
+    /// 1-based line number, when attributable to one line.
+    pub line: Option<usize>,
+    /// What was wrong and what the parser did about it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "{} line {}: {}", self.format, n, self.message),
+            None => write!(f, "{}: {}", self.format, self.message),
+        }
+    }
+}
+
+/// Outcome of a lossy parse: a partial trial (when anything at all was
+/// usable) plus the full diagnostic record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyTrial {
+    /// The assembled trial, or `None` when nothing was usable.
+    pub trial: Option<Trial>,
+    /// Every problem stepped over, in input order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Data rows that made it into the trial.
+    pub rows_kept: usize,
+    /// Data rows dropped by diagnostics.
+    pub rows_dropped: usize,
+}
+
+impl LossyTrial {
+    /// Whether the parse was lossless.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}

@@ -15,6 +15,9 @@
 //! event name followed by calls, subcalls, exclusive, inclusive and a
 //! trailing (ignored) profile-call count.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use super::{Diagnostic, LossyTrial};
 use crate::model::{Measurement, ThreadId, Trial, TrialBuilder};
 use crate::{DmfError, Result};
 use std::collections::HashMap;
@@ -34,6 +37,39 @@ fn parse_err(line: usize, message: impl Into<String>) -> DmfError {
         line: Some(line),
         message: message.into(),
     }
+}
+
+/// Parses one function-table row: a quoted name, then numeric fields.
+fn parse_data_row(trimmed: &str, line_no: usize) -> Result<(String, Measurement)> {
+    if !trimmed.starts_with('"') {
+        return Err(parse_err(line_no, "expected quoted event name"));
+    }
+    let close = trimmed[1..]
+        .find('"')
+        .ok_or_else(|| parse_err(line_no, "unterminated event name"))?;
+    let name = trimmed[1..=close].to_string();
+    let rest = &trimmed[close + 2..];
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    if fields.len() < 4 {
+        return Err(parse_err(
+            line_no,
+            format!("expected at least 4 numeric fields, found {}", fields.len()),
+        ));
+    }
+    let num = |i: usize| -> Result<f64> {
+        fields[i]
+            .parse::<f64>()
+            .map_err(|_| parse_err(line_no, format!("bad numeric field {:?}", fields[i])))
+    };
+    Ok((
+        name,
+        Measurement {
+            calls: num(0)?,
+            subcalls: num(1)?,
+            exclusive: num(2)?,
+            inclusive: num(3)?,
+        },
+    ))
 }
 
 /// Parses one TAU profile file.
@@ -64,36 +100,7 @@ pub fn parse_thread_profile(text: &str) -> Result<TauThreadProfile> {
         if rows.len() == count {
             break; // aggregate/user-event sections follow the function table
         }
-        // Quoted name, then numeric fields.
-        if !trimmed.starts_with('"') {
-            return Err(parse_err(line_no, "expected quoted event name"));
-        }
-        let close = trimmed[1..]
-            .find('"')
-            .ok_or_else(|| parse_err(line_no, "unterminated event name"))?;
-        let name = trimmed[1..=close].to_string();
-        let rest = &trimmed[close + 2..];
-        let fields: Vec<&str> = rest.split_whitespace().collect();
-        if fields.len() < 4 {
-            return Err(parse_err(
-                line_no,
-                format!("expected at least 4 numeric fields, found {}", fields.len()),
-            ));
-        }
-        let num = |i: usize| -> Result<f64> {
-            fields[i]
-                .parse::<f64>()
-                .map_err(|_| parse_err(line_no, format!("bad numeric field {:?}", fields[i])))
-        };
-        rows.push((
-            name,
-            Measurement {
-                calls: num(0)?,
-                subcalls: num(1)?,
-                exclusive: num(2)?,
-                inclusive: num(3)?,
-            },
-        ));
+        rows.push(parse_data_row(trimmed, line_no)?);
     }
     if rows.len() != count {
         return Err(parse_err(
@@ -117,9 +124,71 @@ pub fn write_thread_profile(metric: &str, rows: &[(String, Measurement)]) -> Str
             "\"{}\" {} {} {} {} 0",
             name, m.calls, m.subcalls, m.exclusive, m.inclusive
         )
-        .expect("writing to String cannot fail");
+        .unwrap_or(()); // writing to String cannot fail
     }
     out
+}
+
+/// Lossy variant of [`parse_thread_profile`]: malformed rows are
+/// skipped with a diagnostic, and a row count short of the header's
+/// declaration is reported rather than fatal. Returns `None` only when
+/// the header itself is unreadable (there is no metric to file rows
+/// under).
+pub fn parse_thread_profile_lossy(text: &str) -> (Option<TauThreadProfile>, Vec<Diagnostic>) {
+    let mut diagnostics = Vec::new();
+    let diag = |line: Option<usize>, message: String| Diagnostic {
+        format: "tau",
+        line,
+        message,
+    };
+
+    let mut lines = text.lines().enumerate();
+    let header = lines.next().map(|(_, h)| h).unwrap_or("");
+    let mut parts = header.split_whitespace();
+    let count: Option<usize> = parts.next().and_then(|w| w.parse().ok());
+    let metric = parts
+        .next()
+        .and_then(|tag| tag.strip_prefix("templated_functions_MULTI_"));
+    let (Some(count), Some(metric)) = (count, metric) else {
+        diagnostics.push(diag(
+            Some(1),
+            format!("unreadable header {header:?}; file skipped"),
+        ));
+        return (None, diagnostics);
+    };
+    let metric = metric.to_string();
+
+    let mut rows = Vec::with_capacity(count);
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if rows.len() == count {
+            break; // aggregate/user-event sections follow the function table
+        }
+        match parse_data_row(trimmed, line_no) {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                let (line, message) = match e {
+                    DmfError::Parse { line, message, .. } => (line, message),
+                    other => (Some(line_no), other.to_string()),
+                };
+                diagnostics.push(diag(line, format!("row skipped: {message}")));
+            }
+        }
+    }
+    if rows.len() != count {
+        diagnostics.push(diag(
+            None,
+            format!(
+                "header declared {count} functions, found {} (keeping partial profile)",
+                rows.len()
+            ),
+        ));
+    }
+    (Some(TauThreadProfile { metric, rows }), diagnostics)
 }
 
 /// Parses the `N.C.T` suffix of a `profile.N.C.T` filename.
@@ -165,13 +234,97 @@ pub fn assemble_trial(trial_name: &str, files: &[(ThreadId, &str)]) -> Result<Tr
     for (tid, text) in files {
         let parsed = parse_thread_profile(text)?;
         let metric = builder.metric(&parsed.metric);
-        let ti = thread_index[tid];
+        let ti = thread_index.get(tid).copied().unwrap_or(0);
         for (name, m) in parsed.rows {
             let ev = builder.event(&name);
             builder.set(ev, metric, ti, m);
         }
     }
     Ok(builder.build())
+}
+
+/// Lossy variant of [`assemble_trial`]: files that fail to parse are
+/// skipped (with per-file diagnostics), partially readable files
+/// contribute their good rows, and the trial covers whatever threads
+/// supplied any data. Returns no trial only when every file was
+/// unusable.
+pub fn assemble_trial_lossy(trial_name: &str, files: &[(ThreadId, &str)]) -> LossyTrial {
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    if files.is_empty() {
+        diagnostics.push(Diagnostic {
+            format: "tau",
+            line: None,
+            message: "no profile files supplied".into(),
+        });
+        return LossyTrial {
+            trial: None,
+            diagnostics,
+            rows_kept: 0,
+            rows_dropped: 0,
+        };
+    }
+
+    // Parse every file first: only threads that produced something
+    // usable become part of the trial, so a rank that never flushed
+    // its file does not appear as a column of zeros.
+    let mut parsed_files: Vec<(ThreadId, TauThreadProfile)> = Vec::new();
+    let mut rows_dropped = 0usize;
+    for (i, (tid, text)) in files.iter().enumerate() {
+        let (parsed, file_diags) = parse_thread_profile_lossy(text);
+        rows_dropped += file_diags
+            .iter()
+            .filter(|d| d.message.starts_with("row skipped"))
+            .count();
+        for d in file_diags {
+            diagnostics.push(Diagnostic {
+                format: "tau",
+                line: d.line,
+                message: format!("file {i} (thread {tid:?}): {}", d.message),
+            });
+        }
+        if let Some(p) = parsed {
+            parsed_files.push((*tid, p));
+        }
+    }
+    if parsed_files.is_empty() {
+        diagnostics.push(Diagnostic {
+            format: "tau",
+            line: None,
+            message: "no usable profile files".into(),
+        });
+        return LossyTrial {
+            trial: None,
+            diagnostics,
+            rows_kept: 0,
+            rows_dropped,
+        };
+    }
+
+    let mut threads: Vec<ThreadId> = parsed_files.iter().map(|(t, _)| *t).collect();
+    threads.sort();
+    threads.dedup();
+    let thread_index: HashMap<ThreadId, usize> = threads
+        .iter()
+        .enumerate()
+        .map(|(i, &tid)| (tid, i))
+        .collect();
+    let mut builder = TrialBuilder::with_threads(trial_name, threads);
+    let mut rows_kept = 0usize;
+    for (tid, parsed) in parsed_files {
+        let metric = builder.metric(&parsed.metric);
+        let ti = thread_index.get(&tid).copied().unwrap_or(0);
+        for (name, m) in parsed.rows {
+            let ev = builder.event(&name);
+            builder.set(ev, metric, ti, m);
+            rows_kept += 1;
+        }
+    }
+    LossyTrial {
+        trial: Some(builder.build()),
+        diagnostics,
+        rows_kept,
+        rows_dropped,
+    }
 }
 
 #[cfg(test)]
@@ -285,5 +438,81 @@ mod tests {
     #[test]
     fn assemble_trial_empty_is_error() {
         assert!(assemble_trial("x", &[]).is_err());
+    }
+
+    #[test]
+    fn lossy_parse_skips_bad_rows_and_keeps_partial() {
+        let text = "\
+3 templated_functions_MULTI_TIME
+# Name Calls Subrs Excl Incl ProfileCalls
+\"main\" 1 1 400 1000 0
+garbage row without quotes
+\"main => loop\" 1 0 600 600 0
+";
+        let (parsed, diags) = parse_thread_profile_lossy(text);
+        let p = parsed.unwrap();
+        assert_eq!(p.metric, "TIME");
+        assert_eq!(p.rows.len(), 2);
+        // One skipped row plus the count-mismatch notice.
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].message.starts_with("row skipped"));
+        assert_eq!(diags[0].line, Some(4));
+        assert!(diags[1].message.contains("keeping partial profile"));
+    }
+
+    #[test]
+    fn lossy_parse_unreadable_header_is_none() {
+        let (parsed, diags) = parse_thread_profile_lossy("not a header\n\"main\" 1 0 1 1 0\n");
+        assert!(parsed.is_none());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unreadable header"));
+    }
+
+    #[test]
+    fn lossy_parse_of_clean_input_matches_strict() {
+        let strict = parse_thread_profile(SAMPLE).unwrap();
+        let (lossy, diags) = parse_thread_profile_lossy(SAMPLE);
+        assert_eq!(lossy.unwrap(), strict);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn assemble_lossy_skips_unusable_files() {
+        let good = "1 templated_functions_MULTI_TIME\n\"main\" 1 0 10 10 0\n";
+        let bad = "truncated junk";
+        let out = assemble_trial_lossy(
+            "partial",
+            &[(ThreadId::flat(0), good), (ThreadId::flat(1), bad)],
+        );
+        let trial = out.trial.unwrap();
+        // The dead rank contributes no thread, so statistics are not
+        // diluted by a column of zeros.
+        assert_eq!(trial.profile.thread_count(), 1);
+        assert_eq!(out.rows_kept, 1);
+        assert!(out
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("unreadable header")));
+    }
+
+    #[test]
+    fn assemble_lossy_all_bad_is_none() {
+        let out = assemble_trial_lossy("none", &[(ThreadId::flat(0), "junk")]);
+        assert!(out.trial.is_none());
+        assert!(out
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("no usable profile files")));
+    }
+
+    #[test]
+    fn assemble_lossy_clean_matches_strict() {
+        let t0 = "1 templated_functions_MULTI_TIME\n\"main\" 1 0 10 10 0\n";
+        let t1 = "1 templated_functions_MULTI_TIME\n\"main\" 1 0 12 12 0\n";
+        let files = [(ThreadId::flat(0), t0), (ThreadId::flat(1), t1)];
+        let strict = assemble_trial("t", &files).unwrap();
+        let lossy = assemble_trial_lossy("t", &files);
+        assert!(lossy.is_clean());
+        assert_eq!(lossy.trial.unwrap(), strict);
     }
 }

@@ -33,6 +33,7 @@ pub mod error;
 pub mod formats;
 pub mod metadata;
 pub mod model;
+pub mod quality;
 pub mod repo;
 pub mod shared;
 pub mod validate;
@@ -43,6 +44,7 @@ pub use model::{
     Event, EventId, Measurement, Metric, MetricId, Profile, ThreadId, Trial, TrialBuilder,
     MAIN_EVENT,
 };
+pub use quality::{sanitize_profile, sanitize_trial, DataQuality, QualityConfig};
 pub use repo::Repository;
 pub use shared::SharedRepository;
 

@@ -341,6 +341,26 @@ impl Profile {
         Ok(EventId(ne as u32))
     }
 
+    /// Fault-injection support (the `faultsim` crate): overwrites a
+    /// metric's name **without** updating the interned lookup table,
+    /// leaving the index stale and possibly creating duplicate names —
+    /// the inconsistency a hand-edited or bit-rotted store exhibits.
+    /// Analyses must tolerate profiles in this state; normal code adds
+    /// metrics through [`Profile::add_metric`].
+    pub fn corrupt_metric_name(&mut self, id: MetricId, name: impl Into<String>) {
+        if let Some(m) = self.metrics.get_mut(id.0 as usize) {
+            m.name = name.into();
+        }
+    }
+
+    /// Fault-injection counterpart of [`Profile::corrupt_metric_name`]
+    /// for event names.
+    pub fn corrupt_event_name(&mut self, id: EventId, name: impl Into<String>) {
+        if let Some(e) = self.events.get_mut(id.0 as usize) {
+            e.name = name.into();
+        }
+    }
+
     /// Returns the measurement cell, if all indices are in range.
     pub fn get(&self, event: EventId, metric: MetricId, thread: usize) -> Option<&Measurement> {
         if event.0 as usize >= self.events.len()

@@ -1,0 +1,516 @@
+//! Ingest sanitization: validate → repair-or-quarantine.
+//!
+//! [`validate`](crate::validate) *reports* inconsistencies; this module
+//! is the ingest-side half of the robustness story: it walks a freshly
+//! imported profile, repairs every cell it can (non-finite counters,
+//! negative values, exclusive above inclusive, time without calls) and
+//! quarantines whole metrics or events it cannot (duplicate names from
+//! a corrupt store, columns that are mostly garbage). Every action is
+//! recorded in a typed [`DataQuality`] report so an unattended pipeline
+//! can say exactly what it changed and what it threw away — degraded
+//! data never flows into an analysis silently.
+
+use crate::model::{EventId, Metric, MetricId, Profile, Trial};
+use std::collections::HashSet;
+
+/// Tuning knobs for the sanitization pass.
+#[derive(Debug, Clone)]
+pub struct QualityConfig {
+    /// A metric or event whose fraction of non-finite cells exceeds
+    /// this is quarantined (dropped whole) instead of repaired
+    /// cell-by-cell: a column that is mostly garbage carries no signal,
+    /// and zero-filling it would fabricate one.
+    pub max_bad_fraction: f64,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        QualityConfig {
+            max_bad_fraction: 0.5,
+        }
+    }
+}
+
+/// One cell-level repair that was performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairAction {
+    /// A NaN or infinite field was replaced with zero.
+    ReplacedNonFinite {
+        /// Field name ("inclusive", "exclusive", "calls", "subcalls").
+        field: &'static str,
+        /// The offending value, stringified (`"NaN"`, `"inf"`, ...).
+        was: String,
+    },
+    /// A negative field was clamped to zero.
+    ClampedNegative {
+        /// Field name.
+        field: &'static str,
+        /// The offending value.
+        was: f64,
+    },
+    /// `exclusive > inclusive`; exclusive was clamped down.
+    ClampedExclusive {
+        /// The offending exclusive value.
+        exclusive: f64,
+        /// The inclusive value it was clamped to.
+        inclusive: f64,
+    },
+    /// A `TIME` cell carried a value with zero calls; calls set to one.
+    RestoredCalls {
+        /// The inclusive value that was present.
+        inclusive: f64,
+    },
+}
+
+/// A repaired cell: where, and what was done.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repair {
+    /// Event name.
+    pub event: String,
+    /// Metric name.
+    pub metric: String,
+    /// Thread index.
+    pub thread: usize,
+    /// The repair performed.
+    pub action: RepairAction,
+}
+
+/// Why a metric or event was quarantined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuarantineReason {
+    /// Too many non-finite cells to repair credibly.
+    MostlyNonFinite {
+        /// Number of non-finite cells.
+        bad_cells: usize,
+        /// Total cells in the column set.
+        total: usize,
+    },
+    /// The name duplicates an earlier metric/event — a corrupt or
+    /// hand-edited store; the first occurrence wins.
+    DuplicateName,
+}
+
+/// One quarantined (dropped) metric or event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quarantine {
+    /// `"metric"` or `"event"`.
+    pub kind: &'static str,
+    /// Name of the dropped entity.
+    pub name: String,
+    /// Why it was dropped.
+    pub reason: QuarantineReason,
+}
+
+/// The typed report of everything the sanitization pass did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataQuality {
+    /// Cell-level repairs, in scan order.
+    pub repairs: Vec<Repair>,
+    /// Whole metrics/events dropped.
+    pub quarantined: Vec<Quarantine>,
+}
+
+impl DataQuality {
+    /// Whether the profile needed no intervention at all.
+    pub fn is_clean(&self) -> bool {
+        self.repairs.is_empty() && self.quarantined.is_empty()
+    }
+
+    /// One-line-per-action human rendering, for report output.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return "data quality: clean".to_string();
+        }
+        let mut out = format!(
+            "data quality: {} repair(s), {} quarantined",
+            self.repairs.len(),
+            self.quarantined.len()
+        );
+        for q in &self.quarantined {
+            let why = match &q.reason {
+                QuarantineReason::MostlyNonFinite { bad_cells, total } => {
+                    format!("{bad_cells}/{total} cells non-finite")
+                }
+                QuarantineReason::DuplicateName => "duplicate name".to_string(),
+            };
+            out.push_str(&format!("\n  quarantined {} {:?}: {}", q.kind, q.name, why));
+        }
+        for r in &self.repairs {
+            let what = match &r.action {
+                RepairAction::ReplacedNonFinite { field, was } => {
+                    format!("{field} was {was}, set to 0")
+                }
+                RepairAction::ClampedNegative { field, was } => {
+                    format!("{field} was {was}, clamped to 0")
+                }
+                RepairAction::ClampedExclusive {
+                    exclusive,
+                    inclusive,
+                } => format!("exclusive {exclusive} clamped to inclusive {inclusive}"),
+                RepairAction::RestoredCalls { inclusive } => {
+                    format!("calls restored to 1 (inclusive {inclusive})")
+                }
+            };
+            out.push_str(&format!(
+                "\n  repaired {}[{}] thread {}: {}",
+                r.metric, r.event, r.thread, what
+            ));
+        }
+        out
+    }
+}
+
+const FIELDS: [&str; 4] = ["inclusive", "exclusive", "calls", "subcalls"];
+
+fn field_values(m: &crate::Measurement) -> [f64; 4] {
+    [m.inclusive, m.exclusive, m.calls, m.subcalls]
+}
+
+/// Sanitizes a profile in place; returns the report of every repair and
+/// quarantine. A clean profile comes back bit-identical with an empty
+/// report.
+pub fn sanitize_profile(profile: &mut Profile, config: &QualityConfig) -> DataQuality {
+    let mut quality = DataQuality::default();
+
+    // Pass 1: duplicate names. The interned index cannot hold two
+    // entries for one name, so duplicates are unreachable through the
+    // normal lookup path — quarantine every occurrence after the first.
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut keep_metrics: Vec<usize> = Vec::new();
+    for (i, m) in profile.metrics().iter().enumerate() {
+        if seen.insert(m.name.clone()) {
+            keep_metrics.push(i);
+        } else {
+            quality.quarantined.push(Quarantine {
+                kind: "metric",
+                name: m.name.clone(),
+                reason: QuarantineReason::DuplicateName,
+            });
+        }
+    }
+    seen.clear();
+    let mut keep_events: Vec<usize> = Vec::new();
+    for (i, e) in profile.events().iter().enumerate() {
+        if seen.insert(e.name.clone()) {
+            keep_events.push(i);
+        } else {
+            quality.quarantined.push(Quarantine {
+                kind: "event",
+                name: e.name.clone(),
+                reason: QuarantineReason::DuplicateName,
+            });
+        }
+    }
+
+    // Pass 2: non-finite census per metric and per event (over the
+    // surviving axes), quarantining columns that are mostly garbage.
+    let nt = profile.thread_count();
+    if nt > 0 && !keep_metrics.is_empty() && !keep_events.is_empty() {
+        let bad = |m: &crate::Measurement| field_values(m).iter().any(|v| !v.is_finite());
+        let count_bad = |p: &Profile, es: &[usize], ms: &[usize], by_metric: bool, axis: usize| {
+            let mut n = 0usize;
+            for &e in es {
+                for &m in ms {
+                    if (by_metric && m != axis) || (!by_metric && e != axis) {
+                        continue;
+                    }
+                    n += p
+                        .column(EventId(e as u32), MetricId(m as u32))
+                        .iter()
+                        .filter(|c| bad(c))
+                        .count();
+                }
+            }
+            n
+        };
+        let mut still_metrics: Vec<usize> = Vec::new();
+        for &m in &keep_metrics {
+            let bad_cells = count_bad(profile, &keep_events, &keep_metrics, true, m);
+            let total = keep_events.len() * nt;
+            if bad_cells as f64 > config.max_bad_fraction * total as f64 {
+                quality.quarantined.push(Quarantine {
+                    kind: "metric",
+                    name: profile.metrics()[m].name.clone(),
+                    reason: QuarantineReason::MostlyNonFinite { bad_cells, total },
+                });
+            } else {
+                still_metrics.push(m);
+            }
+        }
+        keep_metrics = still_metrics;
+        let mut still_events: Vec<usize> = Vec::new();
+        for &e in &keep_events {
+            let bad_cells = count_bad(profile, &keep_events, &keep_metrics, false, e);
+            let total = keep_metrics.len() * nt;
+            if total > 0 && bad_cells as f64 > config.max_bad_fraction * total as f64 {
+                quality.quarantined.push(Quarantine {
+                    kind: "event",
+                    name: profile.events()[e].name.clone(),
+                    reason: QuarantineReason::MostlyNonFinite { bad_cells, total },
+                });
+            } else {
+                still_events.push(e);
+            }
+        }
+        keep_events = still_events;
+    }
+
+    if !quality.quarantined.is_empty() {
+        *profile = retain_axes(profile, &keep_events, &keep_metrics);
+    }
+
+    // Pass 3: cell-by-cell repairs on what survived.
+    let metric_names: Vec<String> = profile.metrics().iter().map(|m| m.name.clone()).collect();
+    let event_names: Vec<String> = profile.events().iter().map(|e| e.name.clone()).collect();
+    for (e, m, col) in profile.columns_mut() {
+        let metric = &metric_names[m.0 as usize];
+        let event = &event_names[e.0 as usize];
+        let is_time = metric == "TIME";
+        for (t, cell) in col.iter_mut().enumerate() {
+            for (i, field) in FIELDS.iter().enumerate() {
+                let v = field_values(cell)[i];
+                if !v.is_finite() {
+                    quality.repairs.push(Repair {
+                        event: event.clone(),
+                        metric: metric.clone(),
+                        thread: t,
+                        action: RepairAction::ReplacedNonFinite {
+                            field,
+                            was: v.to_string(),
+                        },
+                    });
+                    set_field(cell, i, 0.0);
+                } else if v < 0.0 {
+                    quality.repairs.push(Repair {
+                        event: event.clone(),
+                        metric: metric.clone(),
+                        thread: t,
+                        action: RepairAction::ClampedNegative { field, was: v },
+                    });
+                    set_field(cell, i, 0.0);
+                }
+            }
+            if cell.exclusive > cell.inclusive {
+                quality.repairs.push(Repair {
+                    event: event.clone(),
+                    metric: metric.clone(),
+                    thread: t,
+                    action: RepairAction::ClampedExclusive {
+                        exclusive: cell.exclusive,
+                        inclusive: cell.inclusive,
+                    },
+                });
+                cell.exclusive = cell.inclusive;
+            }
+            if is_time && cell.calls == 0.0 && cell.inclusive != 0.0 {
+                quality.repairs.push(Repair {
+                    event: event.clone(),
+                    metric: metric.clone(),
+                    thread: t,
+                    action: RepairAction::RestoredCalls {
+                        inclusive: cell.inclusive,
+                    },
+                });
+                cell.calls = 1.0;
+            }
+        }
+    }
+    quality
+}
+
+fn set_field(m: &mut crate::Measurement, i: usize, v: f64) {
+    match i {
+        0 => m.inclusive = v,
+        1 => m.exclusive = v,
+        2 => m.calls = v,
+        _ => m.subcalls = v,
+    }
+}
+
+/// Rebuilds a profile keeping only the given event/metric indices.
+fn retain_axes(src: &Profile, keep_events: &[usize], keep_metrics: &[usize]) -> Profile {
+    let mut out = Profile::with_capacity(
+        src.threads().to_vec(),
+        keep_events.len(),
+        keep_metrics.len(),
+    );
+    let mut added_m: Vec<usize> = Vec::new();
+    for &m in keep_metrics {
+        let metric = src.metrics()[m].clone();
+        if out
+            .add_metric(Metric {
+                name: metric.name,
+                derived: metric.derived,
+            })
+            .is_ok()
+        {
+            added_m.push(m);
+        }
+    }
+    let mut added_e: Vec<usize> = Vec::new();
+    for &e in keep_events {
+        if out.add_event(src.events()[e].clone()).is_ok() {
+            added_e.push(e);
+        }
+    }
+    for (oe, &e) in added_e.iter().enumerate() {
+        for (om, &m) in added_m.iter().enumerate() {
+            let src_col = src.column(EventId(e as u32), MetricId(m as u32));
+            out.column_mut(EventId(oe as u32), MetricId(om as u32))
+                .copy_from_slice(src_col);
+        }
+    }
+    out
+}
+
+/// Sanitizes a trial's profile in place.
+pub fn sanitize_trial(trial: &mut Trial, config: &QualityConfig) -> DataQuality {
+    sanitize_profile(&mut trial.profile, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Measurement, TrialBuilder};
+
+    fn trial() -> Trial {
+        let mut b = TrialBuilder::with_flat_threads("t", 2);
+        let time = b.metric("TIME");
+        let cyc = b.metric("CPU_CYCLES");
+        let main = b.event("main");
+        let k = b.event("main => k");
+        for t in 0..2 {
+            b.set(
+                main,
+                time,
+                t,
+                Measurement {
+                    inclusive: 10.0,
+                    exclusive: 4.0,
+                    calls: 1.0,
+                    subcalls: 1.0,
+                },
+            );
+            b.set(k, time, t, Measurement::leaf(6.0));
+            b.set(main, cyc, t, Measurement::leaf(1e6));
+            b.set(k, cyc, t, Measurement::leaf(5e5));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clean_profile_is_untouched() {
+        let mut t = trial();
+        let before = t.clone();
+        let q = sanitize_trial(&mut t, &QualityConfig::default());
+        assert!(q.is_clean());
+        assert_eq!(t, before);
+        assert_eq!(q.summary(), "data quality: clean");
+    }
+
+    #[test]
+    fn nan_cell_is_repaired_and_reported() {
+        let mut t = trial();
+        let time = t.profile.metric_id("TIME").unwrap();
+        let main = t.profile.event_id("main").unwrap();
+        t.profile.column_mut(main, time)[1].exclusive = f64::NAN;
+        let q = sanitize_trial(&mut t, &QualityConfig::default());
+        assert_eq!(q.repairs.len(), 1);
+        assert_eq!(
+            q.repairs[0],
+            Repair {
+                event: "main".into(),
+                metric: "TIME".into(),
+                thread: 1,
+                action: RepairAction::ReplacedNonFinite {
+                    field: "exclusive",
+                    was: "NaN".into(),
+                },
+            }
+        );
+        assert_eq!(t.profile.column(main, time)[1].exclusive, 0.0);
+        assert!(q.summary().contains("repaired TIME[main] thread 1"));
+    }
+
+    #[test]
+    fn negative_and_inverted_cells_are_clamped() {
+        let mut t = trial();
+        let time = t.profile.metric_id("TIME").unwrap();
+        let k = t.profile.event_id("main => k").unwrap();
+        t.profile.column_mut(k, time)[0] = Measurement {
+            inclusive: 2.0,
+            exclusive: 5.0,
+            calls: -3.0,
+            subcalls: 0.0,
+        };
+        let q = sanitize_trial(&mut t, &QualityConfig::default());
+        let cell = t.profile.column(k, time)[0];
+        assert_eq!(cell.calls, 1.0); // clamped to 0, then restored for TIME
+        assert_eq!(cell.exclusive, 2.0);
+        assert!(q.repairs.iter().any(|r| matches!(
+            r.action,
+            RepairAction::ClampedNegative { field: "calls", .. }
+        )));
+        assert!(q
+            .repairs
+            .iter()
+            .any(|r| matches!(r.action, RepairAction::ClampedExclusive { .. })));
+    }
+
+    #[test]
+    fn mostly_nan_metric_is_quarantined() {
+        let mut t = trial();
+        let cyc = t.profile.metric_id("CPU_CYCLES").unwrap();
+        for ei in 0..t.profile.event_count() {
+            let col = t.profile.column_mut(crate::EventId(ei as u32), cyc);
+            for cell in col.iter_mut() {
+                cell.inclusive = f64::NAN;
+                cell.exclusive = f64::NAN;
+            }
+        }
+        let q = sanitize_trial(&mut t, &QualityConfig::default());
+        assert!(q.quarantined.iter().any(|qq| {
+            qq.kind == "metric"
+                && qq.name == "CPU_CYCLES"
+                && matches!(qq.reason, QuarantineReason::MostlyNonFinite { .. })
+        }));
+        assert!(t.profile.metric_id("CPU_CYCLES").is_none());
+        assert!(t.profile.metric_id("TIME").is_some());
+        // TIME survives unrepaired.
+        assert!(q.repairs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_metric_name_is_quarantined() {
+        let mut t = trial();
+        let cyc = t.profile.metric_id("CPU_CYCLES").unwrap();
+        t.profile.corrupt_metric_name(cyc, "TIME");
+        let q = sanitize_trial(&mut t, &QualityConfig::default());
+        assert_eq!(
+            q.quarantined,
+            vec![Quarantine {
+                kind: "metric",
+                name: "TIME".into(),
+                reason: QuarantineReason::DuplicateName,
+            }]
+        );
+        assert_eq!(t.profile.metric_count(), 1);
+        // The survivor is the original TIME column.
+        let time = t.profile.metric_id("TIME").unwrap();
+        let main = t.profile.event_id("main").unwrap();
+        assert_eq!(t.profile.column(main, time)[0].inclusive, 10.0);
+    }
+
+    #[test]
+    fn duplicate_event_name_is_quarantined() {
+        let mut t = trial();
+        let k = t.profile.event_id("main => k").unwrap();
+        t.profile.corrupt_event_name(k, "main");
+        let q = sanitize_trial(&mut t, &QualityConfig::default());
+        assert!(q
+            .quarantined
+            .iter()
+            .any(|qq| qq.kind == "event" && qq.reason == QuarantineReason::DuplicateName));
+        assert_eq!(t.profile.event_count(), 1);
+    }
+}

@@ -184,17 +184,140 @@ impl Repository {
         Ok(serde_json::from_str(json)?)
     }
 
-    /// Saves to a file.
+    /// Saves to a file, crash-safely.
+    ///
+    /// The document is written to `<path>.tmp`, fsynced, and atomically
+    /// renamed over `path`; a crash mid-write leaves the previous file
+    /// intact. The previous version (if any) is first preserved as
+    /// `<path>.bak`, so [`Repository::load_or_salvage`] always has one
+    /// generation to fall back to even if the primary is later
+    /// corrupted in place.
     pub fn save(&self, path: &Path) -> Result<()> {
-        std::fs::write(path, self.to_json()?)?;
+        use std::io::Write;
+
+        let json = self.to_json()?;
+        let tmp = sibling(path, ".tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        if path.exists() {
+            // Versioned backup: the .bak always holds the generation
+            // being replaced. A rename would be atomic too, but a copy
+            // keeps the primary present at every instant.
+            std::fs::copy(path, sibling(path, ".bak"))?;
+        }
+        std::fs::rename(&tmp, path)?;
         Ok(())
     }
 
-    /// Loads from a file.
+    /// Loads from a file, strictly: any corruption is an error.
     pub fn load(path: &Path) -> Result<Self> {
         let text = std::fs::read_to_string(path)?;
         Repository::from_json(&text)
     }
+
+    /// Recovers whatever is readable from a possibly corrupt repository
+    /// JSON document.
+    ///
+    /// The document is walked application by application, experiment by
+    /// experiment, trial by trial; every subtree that deserialises is
+    /// kept and every one that does not is recorded as a dropped-path
+    /// diagnostic. Fails only if the text is not JSON at all.
+    pub fn salvage_json(json: &str) -> Result<(Self, Vec<String>)> {
+        use serde::Deserialize;
+
+        let root = serde_json::from_str_value(json)?;
+        let mut repo = Repository::new();
+        let mut dropped = Vec::new();
+        let Some(apps) = root.get("applications").and_then(|v| v.as_object()) else {
+            dropped.push("no readable applications table".to_string());
+            return Ok((repo, dropped));
+        };
+        for (app_name, app_val) in apps {
+            let Some(exps) = app_val.get("experiments").and_then(|v| v.as_object()) else {
+                dropped.push(format!("{app_name}: unreadable experiments table"));
+                continue;
+            };
+            for (exp_name, exp_val) in exps {
+                let Some(trials) = exp_val.get("trials").and_then(|v| v.as_object()) else {
+                    dropped.push(format!("{app_name}/{exp_name}: unreadable trials table"));
+                    continue;
+                };
+                for (trial_name, trial_val) in trials {
+                    match Trial::from_value(trial_val) {
+                        Ok(trial) => repo.upsert_trial(app_name, exp_name, trial),
+                        Err(e) => {
+                            dropped.push(format!("{app_name}/{exp_name}/{trial_name}: {e}"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok((repo, dropped))
+    }
+
+    /// Loads a repository, degrading gracefully: a clean file loads
+    /// normally, a corrupt one is salvaged subtree-by-subtree, and if
+    /// the primary is beyond salvage the `.bak` generation written by
+    /// [`Repository::save`] is tried. The [`RecoveredRepository`]
+    /// records which path was taken.
+    pub fn load_or_salvage(path: &Path) -> Result<RecoveredRepository> {
+        match Repository::load(path) {
+            Ok(repo) => Ok(RecoveredRepository {
+                repo,
+                dropped: Vec::new(),
+                used_backup: false,
+            }),
+            Err(primary_err) => {
+                if let Ok(text) = std::fs::read_to_string(path) {
+                    if let Ok((repo, dropped)) = Repository::salvage_json(&text) {
+                        if repo.trial_count() > 0 {
+                            return Ok(RecoveredRepository {
+                                repo,
+                                dropped,
+                                used_backup: false,
+                            });
+                        }
+                    }
+                }
+                match Repository::load(&sibling(path, ".bak")) {
+                    Ok(repo) => Ok(RecoveredRepository {
+                        repo,
+                        dropped: vec![format!("primary unreadable: {primary_err}")],
+                        used_backup: true,
+                    }),
+                    Err(_) => Err(primary_err),
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of [`Repository::load_or_salvage`].
+#[derive(Debug)]
+pub struct RecoveredRepository {
+    /// The repository that was recovered (possibly partial).
+    pub repo: Repository,
+    /// Diagnostics for every subtree that could not be recovered.
+    pub dropped: Vec<String>,
+    /// Whether the `.bak` generation had to be used.
+    pub used_backup: bool,
+}
+
+impl RecoveredRepository {
+    /// Whether the load was entirely clean.
+    pub fn is_clean(&self) -> bool {
+        self.dropped.is_empty() && !self.used_backup
+    }
+}
+
+/// `<path><suffix>` as a sibling file (`repo.json` → `repo.json.tmp`).
+fn sibling(path: &Path, suffix: &str) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    path.with_file_name(name)
 }
 
 #[cfg(test)]
@@ -298,6 +421,87 @@ mod tests {
     #[test]
     fn malformed_json_is_parse_error() {
         assert!(Repository::from_json("{ not json").is_err());
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("perfdmf_repo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_keeps_backup_generation_and_no_tmp() {
+        let path = temp_path("gen.json");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(super::sibling(&path, ".bak")).ok();
+
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t1", 1)).unwrap();
+        repo.save(&path).unwrap();
+        assert!(!super::sibling(&path, ".bak").exists());
+        assert!(!super::sibling(&path, ".tmp").exists());
+
+        let gen1 = repo.clone();
+        repo.add_trial("app", "exp", trial("t2", 2)).unwrap();
+        repo.save(&path).unwrap();
+        // The .bak holds the previous generation.
+        let bak = Repository::load(&super::sibling(&path, ".bak")).unwrap();
+        assert_eq!(bak, gen1);
+        assert_eq!(Repository::load(&path).unwrap(), repo);
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(super::sibling(&path, ".bak")).ok();
+    }
+
+    #[test]
+    fn salvage_recovers_good_trials_from_corrupt_repo() {
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("good", 2)).unwrap();
+        repo.add_trial("app", "exp", trial("bad", 2)).unwrap();
+        let json = repo.to_json().unwrap();
+        // Corrupt the "bad" trial: its name field becomes a number, so
+        // that one subtree no longer deserialises.
+        let corrupt = json.replace("\"name\":\"bad\"", "\"name\":42");
+        assert!(Repository::from_json(&corrupt).is_err());
+        let (salvaged, dropped) = Repository::salvage_json(&corrupt).unwrap();
+        assert_eq!(salvaged.trial_count(), 1);
+        assert!(salvaged.trial("app", "exp", "good").is_ok());
+        assert_eq!(dropped.len(), 1);
+        assert!(dropped[0].starts_with("app/exp/bad"), "{dropped:?}");
+    }
+
+    #[test]
+    fn salvage_of_non_json_is_error() {
+        assert!(Repository::salvage_json("\0\0 garbage").is_err());
+    }
+
+    #[test]
+    fn load_or_salvage_prefers_clean_then_salvage_then_backup() {
+        let path = temp_path("recover.json");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(super::sibling(&path, ".bak")).ok();
+
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t1", 1)).unwrap();
+        repo.save(&path).unwrap();
+        let clean = Repository::load_or_salvage(&path).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.repo, repo);
+
+        // Second generation, then corrupt the primary in place beyond
+        // JSON repair: salvage fails, the .bak generation is used.
+        repo.add_trial("app", "exp", trial("t2", 2)).unwrap();
+        repo.save(&path).unwrap();
+        std::fs::write(&path, "{ totally broken").unwrap();
+        let recovered = Repository::load_or_salvage(&path).unwrap();
+        assert!(recovered.used_backup);
+        assert_eq!(recovered.repo.trial_count(), 1);
+
+        // Truncate primary mid-document *and* remove the backup: error.
+        std::fs::remove_file(super::sibling(&path, ".bak")).unwrap();
+        assert!(Repository::load_or_salvage(&path).is_err());
+
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
