@@ -1,0 +1,104 @@
+//! Repository open-path benchmarks: JSON parse-open vs PDB1 strict
+//! decode vs PDB1 mmap-open, at 100 / 1 000 / 10 000 trials.
+//!
+//! The mmap numbers are the PDB1 design's headline: an open should cost
+//! a header read and a manifest parse, not a full parse + re-intern +
+//! re-layout pass over every measurement. Each trial here is a small
+//! but realistic shape (6 events × 2 metrics × 8 threads), so the JSON
+//! cost scales with total cell count while the mmap cost scales with
+//! the manifest alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perfdmf::{MappedRepository, Measurement, Repository, TrialBuilder};
+use std::hint::black_box;
+
+const EVENTS: usize = 6;
+const METRICS: usize = 2;
+const THREADS: usize = 8;
+
+fn repo_with_trials(n: usize) -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..n {
+        let mut b = TrialBuilder::with_flat_threads(format!("t{i}"), THREADS);
+        let metrics: Vec<_> = (0..METRICS).map(|m| b.metric(&format!("M{m}"))).collect();
+        let events: Vec<_> = (0..EVENTS)
+            .map(|e| {
+                if e == 0 {
+                    b.event("main")
+                } else {
+                    b.event(&format!("main => e{e}"))
+                }
+            })
+            .collect();
+        for (mi, &m) in metrics.iter().enumerate() {
+            for (ei, &e) in events.iter().enumerate() {
+                for t in 0..THREADS {
+                    let v = (i * 31 + mi * 17 + ei * 7 + t) as f64 + 1.0;
+                    b.set(
+                        e,
+                        m,
+                        t,
+                        Measurement {
+                            inclusive: v,
+                            exclusive: v * 0.5,
+                            calls: 1.0,
+                            subcalls: 0.0,
+                        },
+                    );
+                }
+            }
+        }
+        // Spread trials over a few experiments like a real sweep.
+        repo.add_trial("bench", &format!("exp{}", i % 8), b.build())
+            .unwrap();
+    }
+    repo
+}
+
+fn bench_repo_open(c: &mut Criterion) {
+    for &trials in &[100usize, 1_000, 10_000] {
+        let repo = repo_with_trials(trials);
+        let json = repo.to_json().unwrap();
+        let pdb1 = repo.to_pdb1();
+
+        let dir = std::env::temp_dir().join("perfknow_repo_open_bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pdb_path = dir.join(format!("open_{trials}.pdb"));
+        std::fs::write(&pdb_path, &pdb1).unwrap();
+
+        let mut g = c.benchmark_group("repo_open");
+        g.throughput(Throughput::Elements(trials as u64));
+        g.bench_with_input(BenchmarkId::new("json_parse", trials), &json, |b, json| {
+            b.iter(|| Repository::from_json(black_box(json)).unwrap())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("pdb1_strict", trials),
+            &pdb1,
+            |b, bytes| b.iter(|| Repository::from_pdb1(black_box(bytes)).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("pdb1_mmap", trials),
+            &pdb_path,
+            |b, path| b.iter(|| MappedRepository::open(black_box(path)).unwrap()),
+        );
+        // Open + one zero-copy analysis touch, the realistic "query one
+        // trial out of a big store" pattern.
+        g.bench_with_input(
+            BenchmarkId::new("pdb1_mmap_first_view", trials),
+            &pdb_path,
+            |b, path| {
+                b.iter(|| {
+                    let mapped = MappedRepository::open(black_box(path)).unwrap();
+                    let view = mapped.view("bench", "exp0", "t0").unwrap();
+                    black_box(view.max_inclusive_of_main(0).unwrap())
+                })
+            },
+        );
+        g.finish();
+
+        std::fs::remove_file(&pdb_path).ok();
+    }
+}
+
+criterion_group!(benches, bench_repo_open);
+criterion_main!(benches);

@@ -59,9 +59,11 @@ pub mod scripting;
 pub mod supervise;
 pub mod workflow;
 
-pub use derive::{derive_metric, DeriveOp};
+pub use cluster::{cluster_threads, cluster_view, ThreadClustering};
+pub use derive::{derive_metric, derive_view, DeriveOp, DerivedPlanes};
 pub use error::AnalysisError;
 pub use facts::MeanEventFact;
+pub use loadbalance::LoadBalanceAnalysis;
 pub use result::{TrialMeanResult, TrialResult};
 pub use supervise::{DegradeCause, DegradedStage, Supervisor, SupervisorConfig};
 

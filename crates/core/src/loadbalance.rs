@@ -13,11 +13,11 @@
 
 use crate::result::TrialResult;
 use crate::{AnalysisError, Result};
-use perfdmf::{EventId, Trial, MAIN_EVENT};
+use perfdmf::{EventId, Field, Trial, TrialView, MAIN_EVENT};
 use rayon::prelude::*;
 use rules::Fact;
 use serde::{Deserialize, Serialize};
-use statistics::{pearson, DenseMatrix, Summary};
+use statistics::{pearson, DenseMatrix, MatrixView, Summary};
 
 /// Per-event balance observation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,15 +101,47 @@ pub fn analyze(trial: &Trial, metric: &str) -> Result<LoadBalanceAnalysis> {
             *dst = c.exclusive;
         }
     }
-    let excl = &excl;
+
+    analyze_matrix(profile.events(), excl.view(), total)
+}
+
+/// Runs the load-balance analysis on a memory-mapped trial view.
+///
+/// The exclusive-time `events × threads` matrix is a constant-time
+/// subslice of the mapped column page — the gather pass [`analyze`]
+/// performs on owned trials disappears entirely.
+pub fn analyze_view(view: &TrialView<'_>, metric: &str) -> Result<LoadBalanceAnalysis> {
+    let m = view
+        .metric_index(metric)
+        .ok_or_else(|| AnalysisError::MissingMetric(metric.to_string()))?;
+    let total = view.max_inclusive_of_main(m)?;
+    let excl = view.matrix(m, Field::Exclusive)?;
+    analyze_matrix(view.events(), excl, total)
+}
+
+/// The shared analysis core: per-event balance summaries plus the
+/// nested-pair correlation sweep, over any row-major
+/// `events × threads` exclusive-time matrix (owned gather or mapped
+/// page — the kernels cannot tell the difference).
+pub fn analyze_matrix(
+    events: &[perfdmf::Event],
+    excl: MatrixView<'_>,
+    total: f64,
+) -> Result<LoadBalanceAnalysis> {
+    if excl.rows() != events.len() {
+        return Err(AnalysisError::Invalid(format!(
+            "exclusive-time matrix has {} rows for {} events",
+            excl.rows(),
+            events.len()
+        )));
+    }
 
     // Per-event summaries are independent: one rayon task per event,
     // each reading its contiguous row.
-    let observations: Vec<BalanceObservation> = (0..profile.event_count())
+    let observations: Vec<BalanceObservation> = (0..events.len())
         .into_par_iter()
         .map(|ei| -> Result<Option<BalanceObservation>> {
-            let e = EventId(ei as u32);
-            let event = profile.event(e);
+            let event = &events[ei];
             if event.name == MAIN_EVENT {
                 return Ok(None);
             }
@@ -143,17 +175,15 @@ pub fn analyze(trial: &Trial, metric: &str) -> Result<LoadBalanceAnalysis> {
 
     // Nested pairs: outer is a callpath ancestor of inner. The O(E²)
     // ancestor sweep parallelises over the outer event.
-    let nested: Vec<NestedCorrelation> = (0..profile.event_count())
+    let nested: Vec<NestedCorrelation> = (0..events.len())
         .into_par_iter()
         .map(|oi| {
-            let oe = EventId(oi as u32);
-            let outer = profile.event(oe);
+            let outer = &events[oi];
             if outer.name == MAIN_EVENT {
                 return Vec::new();
             }
             let vo = excl.row(oi);
-            profile
-                .events()
+            events
                 .iter()
                 .enumerate()
                 .filter(|(_, inner)| outer.is_ancestor_of(inner))
@@ -312,6 +342,21 @@ mod tests {
     #[test]
     fn missing_metric_is_error() {
         assert!(analyze(&imbalanced_trial(), "NOPE").is_err());
+    }
+
+    #[test]
+    fn mapped_view_analysis_matches_owned() {
+        let trial = imbalanced_trial();
+        let owned = analyze(&trial, "TIME").unwrap();
+
+        let mut repo = perfdmf::Repository::new();
+        repo.add_trial("app", "exp", trial).unwrap();
+        let mapped = perfdmf::MappedRepository::from_bytes(&repo.to_pdb1()).unwrap();
+        let view = mapped.view("app", "exp", "t").unwrap();
+        let zero_copy = analyze_view(&view, "TIME").unwrap();
+
+        assert_eq!(owned, zero_copy);
+        assert!(analyze_view(&view, "NOPE").is_err());
     }
 
     #[test]

@@ -144,6 +144,24 @@ pub fn analyze_load_balance(trial: &Trial, metric: &str) -> Result<CaseStudyRepo
     Ok(finish(report))
 }
 
+/// §III-A over a memory-mapped trial view.
+///
+/// Same workflow as [`analyze_load_balance`], but the balance facts are
+/// computed zero-copy from the mapped column page — nothing is
+/// materialized into an owned [`Trial`] first.
+pub fn analyze_load_balance_view(
+    view: &perfdmf::TrialView<'_>,
+    metric: &str,
+) -> Result<CaseStudyReport> {
+    let analysis = loadbalance::analyze_view(view, metric)?;
+    let mut engine = engine_with(LOAD_BALANCE_RULES)?;
+    for fact in analysis.facts() {
+        engine.assert_fact(fact);
+    }
+    let report = engine.run()?;
+    Ok(finish(report))
+}
+
 /// §III-B: the locality workflow over a scaling series.
 ///
 /// The last (largest) trial is analysed in depth — inefficiency metric,

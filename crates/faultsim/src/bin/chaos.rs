@@ -195,6 +195,37 @@ fn run_seed(seed: u64, verbose: bool) -> SeedOutcome {
         o.diagnostics += parsed.diagnostics.len();
     });
 
+    // --- binary-domain: corrupt PDB1 bytes, strict + salvage + mmap ---
+    guarded(&mut outcome, "pdb1 salvage", |o| {
+        let mut repo = Repository::new();
+        for (i, t) in clean_trials().into_iter().enumerate() {
+            repo.add_trial("chaos", if i == 0 { "msa" } else { "power" }, t)
+                .expect("clean trials insert");
+        }
+        let bytes = repo.to_pdb1();
+        let binary_plan = FaultPlan::new(seed ^ 0xb1a5).with_all(&Fault::BINARY_FAULTS);
+        let (corrupt, applied) = binary_plan.apply_to_bytes(&bytes);
+        o.faults_applied += applied.len();
+        if verbose {
+            for a in &applied {
+                eprintln!("seed {seed}: [{}] {}", a.fault, a.detail);
+            }
+        }
+        // The strict reader must reject or load — never panic.
+        let _ = Repository::from_pdb1(&corrupt);
+        // Salvage must degrade to a partial report with diagnostics.
+        if let Ok((_, dropped)) = perfdmf::pdb1::salvage(&corrupt) {
+            o.salvage_dropped += dropped.len();
+        }
+        // The mmap path shares the strict parser plus lazy page
+        // checks; every surviving view must materialize cleanly.
+        if let Ok(mapped) = perfdmf::MappedRepository::from_bytes(&corrupt) {
+            for view in mapped.views().flatten() {
+                let _ = view.to_trial();
+            }
+        }
+    });
+
     // --- repository salvage ---
     guarded(&mut outcome, "repository salvage", |o| {
         let mut repo = Repository::new();

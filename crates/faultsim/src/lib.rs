@@ -55,6 +55,14 @@ pub enum Fault {
     DuplicateLine,
     /// Replace a random line with binary garbage.
     GarbageLine,
+    /// Overwrite a PDB1 file's magic bytes with garbage.
+    BadMagic,
+    /// Cut the PDB1 bytes partway through a random section.
+    TruncatedSection,
+    /// Flip one bit of a random PDB1 section's stored checksum.
+    FlippedChecksum,
+    /// Knock the column-pages section offset off 8-byte alignment.
+    MisalignedPage,
 }
 
 impl Fault {
@@ -79,9 +87,29 @@ impl Fault {
         Fault::GarbageLine,
     ];
 
-    /// Whether this fault applies to an in-memory profile (vs text).
+    /// Faults that act on PDB1 binary bytes — the crash/bit-rot shapes
+    /// a binary container exhibits, matched to `perfdmf::pdb1`'s
+    /// corruption helpers.
+    pub const BINARY_FAULTS: [Fault; 4] = [
+        Fault::BadMagic,
+        Fault::TruncatedSection,
+        Fault::FlippedChecksum,
+        Fault::MisalignedPage,
+    ];
+
+    /// Whether this fault applies to an in-memory profile.
     pub fn is_profile_fault(self) -> bool {
         Fault::PROFILE_FAULTS.contains(&self)
+    }
+
+    /// Whether this fault applies to serialized text.
+    pub fn is_text_fault(self) -> bool {
+        Fault::TEXT_FAULTS.contains(&self)
+    }
+
+    /// Whether this fault applies to PDB1 binary bytes.
+    pub fn is_binary_fault(self) -> bool {
+        Fault::BINARY_FAULTS.contains(&self)
     }
 }
 
@@ -169,10 +197,31 @@ impl FaultPlan {
         let mut out = text.to_string();
         let mut applied = Vec::new();
         for &fault in &self.faults {
-            if fault.is_profile_fault() {
+            if !fault.is_text_fault() {
                 continue;
             }
             if let Some(detail) = apply_text_fault(fault, &mut out, &mut rng) {
+                applied.push(AppliedFault { fault, detail });
+            }
+        }
+        (out, applied)
+    }
+
+    /// Applies every binary-domain fault to PDB1 bytes in order.
+    ///
+    /// Faults of other domains are skipped, and the PDB1 helpers refuse
+    /// non-PDB1 input themselves, so feeding JSON bytes through a
+    /// binary plan returns them unchanged (except [`Fault::BadMagic`],
+    /// which by definition needs no valid container to scribble on).
+    pub fn apply_to_bytes(&self, bytes: &[u8]) -> (Vec<u8>, Vec<AppliedFault>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = bytes.to_vec();
+        let mut applied = Vec::new();
+        for &fault in &self.faults {
+            if !fault.is_binary_fault() {
+                continue;
+            }
+            if let Some(detail) = apply_binary_fault(fault, &mut out, &mut rng) {
                 applied.push(AppliedFault { fault, detail });
             }
         }
@@ -363,6 +412,35 @@ fn rebuild_without(src: &Profile, drop: Axis) -> Profile {
     out
 }
 
+fn apply_binary_fault(fault: Fault, bytes: &mut Vec<u8>, rng: &mut StdRng) -> Option<String> {
+    use perfdmf::pdb1;
+    match fault {
+        Fault::BadMagic => {
+            // Two fixed garbage bytes keep the result from ever being a
+            // valid magic; two random ones vary the corruption by seed.
+            let garbage = [
+                0xDE,
+                0xAD,
+                rng.random_range(0..256u32) as u8,
+                rng.random_range(0..256u32) as u8,
+            ];
+            pdb1::corrupt_magic(bytes, garbage)
+        }
+        Fault::TruncatedSection => {
+            let section = rng.random_range(0..3usize);
+            let frac = rng.random::<f64>();
+            pdb1::truncate_in_section(bytes, section, frac)
+        }
+        Fault::FlippedChecksum => {
+            let section = rng.random_range(0..3usize);
+            let bit = rng.random_range(0..32u32);
+            pdb1::flip_section_checksum(bytes, section, bit)
+        }
+        Fault::MisalignedPage => pdb1::misalign_pages_offset(bytes, 1 + rng.random_range(0..7u64)),
+        _ => None,
+    }
+}
+
 fn apply_text_fault(fault: Fault, text: &mut String, rng: &mut StdRng) -> Option<String> {
     match fault {
         Fault::TruncateText => {
@@ -539,6 +617,65 @@ mod tests {
             .with(Fault::TruncateText)
             .apply_to_trial(&mut t);
         assert!(applied.is_empty());
+    }
+
+    #[test]
+    fn binary_faults_corrupt_pdb1_deterministically() {
+        let mut repo = perfdmf::Repository::new();
+        repo.add_trial("app", "exp", trial()).unwrap();
+        let bytes = repo.to_pdb1();
+
+        let plan = FaultPlan::new(17).with_all(&Fault::BINARY_FAULTS);
+        let (a, ra) = plan.apply_to_bytes(&bytes);
+        let (b, rb) = plan.apply_to_bytes(&bytes);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert_ne!(a, bytes);
+        assert!(!ra.is_empty());
+        // Every applied corruption defeats the strict reader.
+        assert!(perfdmf::Repository::from_pdb1(&a).is_err());
+    }
+
+    #[test]
+    fn binary_faults_skip_other_domains_and_non_pdb1_input() {
+        // A binary plan leaves text and trials alone.
+        let plan = FaultPlan::new(1).with_all(&Fault::BINARY_FAULTS);
+        let (txt, applied) = plan.apply_to_text("abc\n");
+        assert_eq!(txt, "abc\n");
+        assert!(applied.is_empty());
+        let mut t = trial();
+        assert!(plan.apply_to_trial(&mut t).is_empty());
+
+        // Structural binary faults refuse JSON bytes; only BadMagic —
+        // a blind scribble over the first four bytes — still lands.
+        let json = b"{\"applications\": {}}".to_vec();
+        let (out, applied) = FaultPlan::new(1)
+            .with(Fault::TruncatedSection)
+            .with(Fault::FlippedChecksum)
+            .with(Fault::MisalignedPage)
+            .apply_to_bytes(&json);
+        assert_eq!(out, json);
+        assert!(applied.is_empty());
+
+        // And text plans skip binary bytes-domain faults.
+        let (txt2, applied2) = FaultPlan::new(2)
+            .with(Fault::BadMagic)
+            .apply_to_text("abcdef\n");
+        assert_eq!(txt2, "abcdef\n");
+        assert!(applied2.is_empty());
+    }
+
+    #[test]
+    fn every_binary_fault_kind_applies_to_a_real_file() {
+        let mut repo = perfdmf::Repository::new();
+        repo.add_trial("app", "exp", trial()).unwrap();
+        let bytes = repo.to_pdb1();
+        for fault in Fault::BINARY_FAULTS {
+            let (out, applied) = FaultPlan::new(23).with(fault).apply_to_bytes(&bytes);
+            assert_eq!(applied.len(), 1, "{fault} did not apply");
+            assert_eq!(applied[0].fault, fault);
+            assert_ne!(out, bytes, "{fault} left the bytes unchanged");
+        }
     }
 
     #[test]

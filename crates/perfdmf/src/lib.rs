@@ -31,21 +31,25 @@
 pub mod algebra;
 pub mod error;
 pub mod formats;
+pub mod mapped;
 pub mod metadata;
 pub mod model;
+pub mod pdb1;
 pub mod quality;
 pub mod repo;
 pub mod shared;
 pub mod validate;
 
 pub use error::DmfError;
+pub use mapped::{MappedRepository, TrialView};
 pub use metadata::{MetaValue, Metadata};
 pub use model::{
     Event, EventId, Measurement, Metric, MetricId, Profile, ThreadId, Trial, TrialBuilder,
     MAIN_EVENT,
 };
+pub use pdb1::Field;
 pub use quality::{sanitize_profile, sanitize_trial, DataQuality, QualityConfig};
-pub use repo::Repository;
+pub use repo::{Format, RecoveredRepository, Repository};
 pub use shared::SharedRepository;
 
 /// Convenience result alias.

@@ -1,0 +1,581 @@
+//! Memory-mapped, zero-copy access to PDB1 repositories.
+//!
+//! [`MappedRepository::open`] maps a PDB1 file and parses only its
+//! skeleton — header, section table, string table, manifest — eagerly
+//! (with their checksums; they are a few kilobytes). The column pages,
+//! which dominate the file, stay untouched mapped memory: a
+//! [`TrialView`] hands out `&[f64]` planes and
+//! [`statistics::MatrixView`]s **directly over the mapping**, and each
+//! trial's page checksum is validated lazily, once, on first access.
+//! Opening a million-trial store therefore costs a manifest parse, and
+//! an analysis that touches three trials faults in and checksums three
+//! pages.
+//!
+//! When mmap is unavailable — non-unix hosts, or the
+//! `PERFDMF_NO_MMAP` environment variable is set (CI runs the whole
+//! suite this way once) — the same API is served by an owned read into
+//! an 8-byte-aligned arena, so every caller works identically on both
+//! paths.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::model::{Event, Metric, ThreadId, Trial};
+use crate::pdb1::{self, Field, TrialRec};
+use crate::repo::Repository;
+use crate::{DmfError, Metadata, Result};
+use statistics::MatrixView;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Whether the zero-copy mmap open path is available on this host:
+/// unix, and not force-disabled via the `PERFDMF_NO_MMAP` environment
+/// variable (CI sets it to exercise the owned-read fallback).
+pub fn mmap_available() -> bool {
+    cfg!(unix) && std::env::var_os("PERFDMF_NO_MMAP").is_none()
+}
+
+#[cfg(unix)]
+mod sys {
+    //! Minimal read-only mmap over the raw syscalls; no libc crate.
+
+    use std::os::fd::AsRawFd;
+
+    // std already links libc on unix; binding the two symbols we need
+    // avoids a dependency the container does not have.
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// A read-only private file mapping, unmapped on drop.
+    #[derive(Debug)]
+    pub struct Map {
+        ptr: std::ptr::NonNull<u8>,
+        len: usize,
+    }
+
+    impl Map {
+        pub fn new(file: &std::fs::File, len: usize) -> std::io::Result<Map> {
+            // SAFETY: null hint, read-only private mapping over a file
+            // descriptor we hold open across the call; length checked
+            // non-zero by the caller.
+            let p = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if p.is_null() || p as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            // SAFETY: just checked non-null.
+            let ptr = unsafe { std::ptr::NonNull::new_unchecked(p as *mut u8) };
+            Ok(Map { ptr, len })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: the mapping is valid for `len` bytes until drop,
+            // and MAP_PRIVATE means no other process can mutate our
+            // view of it.
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            // SAFETY: unmapping exactly what `new` mapped.
+            unsafe {
+                munmap(self.ptr.as_ptr() as *mut core::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+/// The backing storage of a [`MappedRepository`]: a file mapping on the
+/// zero-copy path, or an owned 8-byte-aligned arena on the fallback.
+#[derive(Debug)]
+enum Buffer {
+    #[cfg(unix)]
+    Mapped(sys::Map),
+    /// `u64` storage guarantees 8-byte alignment for the f64 casts; the
+    /// second field is the logical byte length.
+    Owned(Vec<u64>, usize),
+}
+
+// SAFETY: the mapped variant is a read-only MAP_PRIVATE mapping (no
+// writer can change our view), the owned variant is plain memory;
+// sharing &Buffer across threads only ever reads.
+unsafe impl Send for Buffer {}
+unsafe impl Sync for Buffer {}
+
+impl Buffer {
+    fn from_bytes(bytes: &[u8]) -> Buffer {
+        let words = bytes.len().div_ceil(8);
+        let mut arena = vec![0u64; words];
+        // SAFETY: the u64 arena is 8-aligned and at least bytes.len()
+        // bytes long.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(arena.as_mut_ptr() as *mut u8, bytes.len()) };
+        dst.copy_from_slice(bytes);
+        Buffer::Owned(arena, bytes.len())
+    }
+
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Buffer::Mapped(m) => m.bytes(),
+            Buffer::Owned(arena, len) => {
+                // SAFETY: the arena holds at least `len` initialised
+                // bytes (see from_bytes).
+                unsafe { std::slice::from_raw_parts(arena.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+
+    fn is_mapped(&self) -> bool {
+        #[cfg(unix)]
+        if let Buffer::Mapped(_) = self {
+            return true;
+        }
+        false
+    }
+}
+
+const PAGE_UNCHECKED: u8 = 0;
+const PAGE_OK: u8 = 1;
+const PAGE_BAD: u8 = 2;
+
+/// A PDB1 repository opened for zero-copy reads.
+///
+/// The skeleton (names, axes, metadata) is owned; the measurement
+/// pages stay in the mapping and are validated lazily, per trial, on
+/// first access. Construct with [`MappedRepository::open`].
+#[derive(Debug)]
+pub struct MappedRepository {
+    buf: Buffer,
+    doc: pdb1::Doc,
+    /// `(app, exp, trial)` → index into `doc.trials`.
+    index: HashMap<(String, String, String), usize>,
+    /// Lazy per-trial page validation: unchecked / ok / bad.
+    page_state: Vec<AtomicU8>,
+}
+
+impl MappedRepository {
+    /// Opens a PDB1 file for zero-copy access.
+    ///
+    /// Uses mmap when available (see [`mmap_available`]); otherwise
+    /// falls back to an owned aligned read with identical semantics.
+    /// Header, section table, string table and manifest are parsed and
+    /// checksum-validated eagerly; column pages are validated lazily
+    /// per trial.
+    pub fn open(path: &Path) -> Result<Self> {
+        let buf = if mmap_available() {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len() as usize;
+            if len == 0 {
+                Buffer::from_bytes(&[])
+            } else {
+                match sys::Map::new(&file, len) {
+                    Ok(m) => Buffer::Mapped(m),
+                    // Some filesystems refuse mmap; fall back silently.
+                    Err(_) => Buffer::from_bytes(&std::fs::read(path)?),
+                }
+            }
+        } else {
+            Buffer::from_bytes(&std::fs::read(path)?)
+        };
+        Self::from_buffer(buf)
+    }
+
+    /// Opens from in-memory PDB1 bytes (always the owned path); used by
+    /// tests and callers that already hold the document.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Self::from_buffer(Buffer::from_bytes(bytes))
+    }
+
+    fn from_buffer(buf: Buffer) -> Result<Self> {
+        let (doc, _diags) = pdb1::parse_doc(buf.bytes(), false)?;
+        let mut index = HashMap::with_capacity(doc.trials.len());
+        for (i, rec) in doc.trials.iter().enumerate() {
+            index.insert((rec.app.clone(), rec.exp.clone(), rec.name.clone()), i);
+        }
+        let page_state = (0..doc.trials.len())
+            .map(|_| AtomicU8::new(PAGE_UNCHECKED))
+            .collect();
+        Ok(MappedRepository {
+            buf,
+            doc,
+            index,
+            page_state,
+        })
+    }
+
+    /// Whether the backing storage is an actual file mapping (false on
+    /// the owned fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.buf.is_mapped()
+    }
+
+    /// Number of trials in the manifest.
+    pub fn trial_count(&self) -> usize {
+        self.doc.trials.len()
+    }
+
+    /// `(application, experiment, trial)` identity of every trial, in
+    /// manifest order.
+    pub fn trial_paths(&self) -> impl Iterator<Item = (&str, &str, &str)> {
+        self.doc
+            .trials
+            .iter()
+            .map(|r| (r.app.as_str(), r.exp.as_str(), r.name.as_str()))
+    }
+
+    /// Zero-copy view of one trial — the `Utilities.getTrial`
+    /// equivalent on the mapped path. The trial's page checksum is
+    /// validated on first access (cached thereafter).
+    pub fn view(&self, app: &str, exp: &str, trial: &str) -> Result<TrialView<'_>> {
+        let key = (app.to_string(), exp.to_string(), trial.to_string());
+        let idx = *self.index.get(&key).ok_or_else(|| DmfError::NotFound {
+            kind: "trial",
+            name: format!("{app}/{exp}/{trial}"),
+        })?;
+        self.view_at(idx)
+    }
+
+    /// Zero-copy views of every trial, in manifest order. Corrupt
+    /// pages surface as per-trial errors, not a failed open.
+    pub fn views(&self) -> impl Iterator<Item = Result<TrialView<'_>>> {
+        (0..self.doc.trials.len()).map(move |i| self.view_at(i))
+    }
+
+    fn view_at(&self, idx: usize) -> Result<TrialView<'_>> {
+        let rec = &self.doc.trials[idx];
+        let page = self.doc.page_bytes(self.buf.bytes(), rec)?;
+        match self.page_state[idx].load(Ordering::Acquire) {
+            PAGE_OK => {}
+            PAGE_BAD => return Err(bad_page(rec)),
+            _ => {
+                let ok = pdb1::crc32(page) == rec.page_crc;
+                self.page_state[idx].store(if ok { PAGE_OK } else { PAGE_BAD }, Ordering::Release);
+                if !ok {
+                    return Err(bad_page(rec));
+                }
+            }
+        }
+        let cells = statistics::f64s_from_bytes(page)
+            .map_err(|e| DmfError::Incompatible(format!("trial {}: {e}", rec.path())))?;
+        Ok(TrialView { rec, page, cells })
+    }
+
+    /// Materialises the whole store into an owned [`Repository`]
+    /// (strictly — any bad page is an error). The bridge back to the
+    /// mutation APIs.
+    pub fn to_repository(&self) -> Result<Repository> {
+        let mut repo = Repository::new();
+        for view in self.views() {
+            let view = view?;
+            repo.upsert_trial(&view.rec.app, &view.rec.exp, view.to_trial()?);
+        }
+        Ok(repo)
+    }
+}
+
+fn bad_page(rec: &TrialRec) -> DmfError {
+    DmfError::Parse {
+        format: "pdb1",
+        line: None,
+        message: format!("trial {}: column page checksum mismatch", rec.path()),
+    }
+}
+
+/// One trial, viewed zero-copy over a [`MappedRepository`]'s column
+/// pages.
+///
+/// The page holds four field planes (inclusive, exclusive, calls,
+/// subcalls), each a metric-major `metrics × events × threads` array,
+/// so [`TrialView::matrix`] is a constant-time subslice — no gather, no
+/// conversion — feeding the SIMD kernels in `statistics` directly from
+/// the file mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialView<'a> {
+    rec: &'a TrialRec,
+    page: &'a [u8],
+    cells: &'a [f64],
+}
+
+impl<'a> TrialView<'a> {
+    /// Application name.
+    pub fn app(&self) -> &'a str {
+        &self.rec.app
+    }
+
+    /// Experiment name.
+    pub fn experiment(&self) -> &'a str {
+        &self.rec.exp
+    }
+
+    /// Trial name.
+    pub fn name(&self) -> &'a str {
+        &self.rec.name
+    }
+
+    /// The trial's metrics, in column order.
+    pub fn metrics(&self) -> &'a [Metric] {
+        &self.rec.metrics
+    }
+
+    /// The trial's events, in row order.
+    pub fn events(&self) -> &'a [Event] {
+        &self.rec.events
+    }
+
+    /// The trial's threads, in column order of each matrix row.
+    pub fn threads(&self) -> &'a [ThreadId] {
+        &self.rec.threads
+    }
+
+    /// The trial's metadata.
+    pub fn metadata(&self) -> &'a Metadata {
+        &self.rec.metadata
+    }
+
+    /// Index of a metric by name.
+    pub fn metric_index(&self, name: &str) -> Option<usize> {
+        self.rec.metrics.iter().position(|m| m.name == name)
+    }
+
+    /// Index of an event by full name.
+    pub fn event_index(&self, name: &str) -> Option<usize> {
+        self.rec.events.iter().position(|e| e.name == name)
+    }
+
+    /// One whole field plane: `metrics × events × threads`,
+    /// metric-major, straight out of the mapping.
+    pub fn plane(&self, field: Field) -> &'a [f64] {
+        let n = self.rec.cells();
+        &self.cells[field.index() * n..(field.index() + 1) * n]
+    }
+
+    /// The `events × threads` matrix of one metric's field — a
+    /// constant-time subslice of the mapped page, wrapped as the
+    /// row-major [`MatrixView`] the SIMD kernels consume.
+    pub fn matrix(&self, metric: usize, field: Field) -> Result<MatrixView<'a>> {
+        let ne = self.rec.events.len();
+        let nt = self.rec.threads.len();
+        if metric >= self.rec.metrics.len() {
+            return Err(DmfError::NotFound {
+                kind: "metric",
+                name: format!("{} (index {metric})", self.rec.path()),
+            });
+        }
+        let plane = self.plane(field);
+        let slab = &plane[metric * ne * nt..(metric + 1) * ne * nt];
+        MatrixView::new(slab, ne, nt)
+            .map_err(|e| DmfError::Incompatible(format!("trial {}: {e}", self.rec.path())))
+    }
+
+    /// One event's per-thread values for a metric's field: `n_threads`
+    /// contiguous cells out of the mapping.
+    pub fn column(&self, metric: usize, field: Field, event: usize) -> Result<&'a [f64]> {
+        let ne = self.rec.events.len();
+        let nt = self.rec.threads.len();
+        if metric >= self.rec.metrics.len() || event >= ne {
+            return Err(DmfError::NotFound {
+                kind: "profile cell",
+                name: format!("{} metric {metric} event {event}", self.rec.path()),
+            });
+        }
+        let plane = self.plane(field);
+        let start = (metric * ne + event) * nt;
+        Ok(&plane[start..start + nt])
+    }
+
+    /// Maximum inclusive value of the `main` event — the elapsed-time
+    /// reading analyses use — without materialising the trial.
+    pub fn max_inclusive_of_main(&self, metric: usize) -> Result<f64> {
+        let main = self
+            .event_index(crate::MAIN_EVENT)
+            .ok_or_else(|| DmfError::NotFound {
+                kind: "event",
+                name: format!("{}/{}", self.rec.path(), crate::MAIN_EVENT),
+            })?;
+        let col = self.column(metric, Field::Inclusive, main)?;
+        Ok(col.iter().copied().fold(0.0, f64::max))
+    }
+
+    /// Address range of the trial's column page in the backing buffer,
+    /// for zero-copy assertions and diagnostics.
+    pub fn page_ptr_range(&self) -> std::ops::Range<usize> {
+        let start = self.page.as_ptr() as usize;
+        start..start + self.page.len()
+    }
+
+    /// Materialises this trial into the owned model (the only copying
+    /// operation on a view).
+    pub fn to_trial(&self) -> Result<Trial> {
+        pdb1::materialize_trial(self.rec, self.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Measurement, TrialBuilder};
+    use crate::repo::Format;
+
+    fn sample_repo() -> Repository {
+        let mut repo = Repository::new();
+        for (name, threads) in [("1_2", 2usize), ("1_4", 4)] {
+            let mut b = TrialBuilder::with_flat_threads(name, threads);
+            let time = b.metric("TIME");
+            let cyc = b.metric("CPU_CYCLES");
+            for (i, ename) in ["main", "main => compute"].iter().enumerate() {
+                let e = b.event(ename);
+                for t in 0..threads {
+                    b.set(e, time, t, Measurement::leaf((10 * (i + 1) + t) as f64));
+                    b.set(e, cyc, t, Measurement::leaf(1000.0 + t as f64));
+                }
+            }
+            b.meta("threads", threads);
+            repo.add_trial("app", "scaling", b.build()).unwrap();
+        }
+        repo
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("perfdmf_mapped_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn open_is_zero_copy_and_matches_owned_model() {
+        let repo = sample_repo();
+        let path = temp_path("zc.pdb");
+        repo.save_as(&path, Format::Pdb1).unwrap();
+
+        let mapped = MappedRepository::open(&path).unwrap();
+        assert_eq!(mapped.trial_count(), 2);
+        assert_eq!(mapped.is_mapped(), mmap_available());
+
+        let view = mapped.view("app", "scaling", "1_4").unwrap();
+        assert_eq!(view.metrics().len(), 2);
+        assert_eq!(view.events().len(), 2);
+        assert_eq!(view.threads().len(), 4);
+        assert_eq!(view.metadata().get_num("threads"), Some(4.0));
+
+        // The matrix is a subslice of the page, which is a subslice of
+        // the backing buffer: pointer containment proves zero-copy.
+        let time = view.metric_index("TIME").unwrap();
+        let m = view.matrix(time, Field::Exclusive).unwrap();
+        let buf = mapped.buf.bytes();
+        let buf_range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        assert!(buf_range.contains(&(m.as_slice().as_ptr() as usize)));
+
+        // Values agree with the owned model.
+        let owned = repo.trial("app", "scaling", "1_4").unwrap();
+        let e = owned.profile.event_id("main => compute").unwrap();
+        let t = owned.profile.metric_id("TIME").unwrap();
+        let expect: Vec<f64> = owned
+            .profile
+            .column(e, t)
+            .iter()
+            .map(|c| c.exclusive)
+            .collect();
+        let got = view
+            .column(
+                time,
+                Field::Exclusive,
+                view.event_index("main => compute").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(got, expect.as_slice());
+
+        // Full materialisation round-trips.
+        assert_eq!(mapped.to_repository().unwrap(), repo);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn owned_fallback_serves_identical_views() {
+        let repo = sample_repo();
+        let bytes = repo.to_pdb1();
+        let mapped = MappedRepository::from_bytes(&bytes).unwrap();
+        assert!(!mapped.is_mapped());
+        let view = mapped.view("app", "scaling", "1_2").unwrap();
+        let time = view.metric_index("TIME").unwrap();
+        let m = view.matrix(time, Field::Inclusive).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(view.max_inclusive_of_main(time).unwrap(), 11.0);
+        assert_eq!(mapped.to_repository().unwrap(), repo);
+    }
+
+    #[test]
+    fn lazy_page_validation_flags_only_corrupt_trial() {
+        let repo = sample_repo();
+        let mut bytes = repo.to_pdb1();
+        let (doc, _) = pdb1::parse_doc(&bytes, false).unwrap();
+        // Corrupt the second trial's page.
+        let rec = &doc.trials[1];
+        let at = doc.pages_off + rec.page_off as usize + 3;
+        bytes[at] ^= 0x10;
+
+        let mapped = MappedRepository::from_bytes(&bytes).unwrap();
+        // Clean trial loads; corrupt one errors on first touch and the
+        // verdict is cached.
+        assert!(mapped.view("app", "scaling", "1_2").is_ok());
+        let err = mapped.view("app", "scaling", "1_4").unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        let err2 = mapped.view("app", "scaling", "1_4").unwrap_err();
+        assert!(err2.to_string().contains("checksum"));
+        // views() surfaces per-trial results.
+        let outcomes: Vec<bool> = mapped.views().map(|v| v.is_ok()).collect();
+        assert_eq!(outcomes, vec![true, false]);
+        assert!(mapped.to_repository().is_err());
+    }
+
+    #[test]
+    fn missing_trial_is_typed_not_found() {
+        let bytes = sample_repo().to_pdb1();
+        let mapped = MappedRepository::from_bytes(&bytes).unwrap();
+        assert!(matches!(
+            mapped.view("app", "scaling", "nope"),
+            Err(DmfError::NotFound { kind: "trial", .. })
+        ));
+    }
+
+    #[test]
+    fn kernels_run_directly_on_mapped_matrix() {
+        // The acceptance-criteria shape: a statistics kernel consuming
+        // the mapped view with no conversion pass.
+        let bytes = sample_repo().to_pdb1();
+        let mapped = MappedRepository::from_bytes(&bytes).unwrap();
+        let view = mapped.view("app", "scaling", "1_4").unwrap();
+        let time = view.metric_index("TIME").unwrap();
+        let m = view.matrix(time, Field::Exclusive).unwrap();
+        let config = statistics::KMeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let result = statistics::kmeans_flat(m, &config).expect("kmeans over mapped view");
+        assert_eq!(result.assignments.len(), m.rows());
+        assert_eq!(result.centroids.rows(), 2);
+    }
+}

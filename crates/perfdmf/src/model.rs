@@ -233,6 +233,60 @@ impl Profile {
         p
     }
 
+    /// Assembles a profile from complete parts: the three axis vectors
+    /// plus a flat arena in the canonical
+    /// `(event * n_metrics + metric) * n_threads + thread` order.
+    ///
+    /// Validates the arena length against the axes and rejects
+    /// duplicate metric/event names, then builds the interned lookup
+    /// tables. This is the single entry point for bulk loaders (the
+    /// JSON deserializer and the PDB1 binary reader) — validation
+    /// lives here so every format enforces the same invariants.
+    pub fn from_parts(
+        metrics: Vec<Metric>,
+        events: Vec<Event>,
+        threads: Vec<ThreadId>,
+        data: Vec<Measurement>,
+    ) -> Result<Self> {
+        let expected = events.len() * metrics.len() * threads.len();
+        if data.len() != expected {
+            return Err(DmfError::Incompatible(format!(
+                "profile arena has {} cells, dimensions require {expected} \
+                 ({} events x {} metrics x {} threads)",
+                data.len(),
+                events.len(),
+                metrics.len(),
+                threads.len()
+            )));
+        }
+        let mut metric_index = HashMap::with_capacity(metrics.len());
+        for (i, m) in metrics.iter().enumerate() {
+            if metric_index.insert(m.name.clone(), i as u32).is_some() {
+                return Err(DmfError::Duplicate {
+                    kind: "metric",
+                    name: m.name.clone(),
+                });
+            }
+        }
+        let mut event_index = HashMap::with_capacity(events.len());
+        for (i, e) in events.iter().enumerate() {
+            if event_index.insert(e.name.clone(), i as u32).is_some() {
+                return Err(DmfError::Duplicate {
+                    kind: "event",
+                    name: e.name.clone(),
+                });
+            }
+        }
+        Ok(Profile {
+            metrics,
+            events,
+            threads,
+            data,
+            metric_index,
+            event_index,
+        })
+    }
+
     /// All metrics.
     pub fn metrics(&self) -> &[Metric] {
         &self.metrics
@@ -628,33 +682,8 @@ impl Deserialize for Profile {
             }
         }
 
-        let mut metric_index = HashMap::with_capacity(nm);
-        for (i, m) in metrics.iter().enumerate() {
-            if metric_index.insert(m.name.clone(), i as u32).is_some() {
-                return Err(serde::Error::custom(format!(
-                    "Profile: duplicate metric {:?}",
-                    m.name
-                )));
-            }
-        }
-        let mut event_index = HashMap::with_capacity(ne);
-        for (i, e) in events.iter().enumerate() {
-            if event_index.insert(e.name.clone(), i as u32).is_some() {
-                return Err(serde::Error::custom(format!(
-                    "Profile: duplicate event {:?}",
-                    e.name
-                )));
-            }
-        }
-
-        Ok(Profile {
-            metrics,
-            events,
-            threads,
-            data,
-            metric_index,
-            event_index,
-        })
+        Profile::from_parts(metrics, events, threads, data)
+            .map_err(|e| serde::Error::custom(format!("Profile: {e}")))
     }
 }
 

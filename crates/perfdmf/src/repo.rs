@@ -4,13 +4,82 @@
 //! by `(application, experiment, trial)` name — exactly the
 //! `Utilities.getTrial("Fluid Dynamic", "rib 45", "1_8")` call in the
 //! paper's Figure 1 — and analysis results (derived metrics, new trials)
-//! can be saved back. Persistence is a JSON document per repository.
+//! can be saved back. Persistence is either a JSON document (the
+//! interchange format) or a PDB1 binary file (the storage format, see
+//! [`crate::pdb1`]); readers autodetect the encoding by magic bytes.
 
+use crate::formats::Diagnostic;
 use crate::model::Trial;
 use crate::{DmfError, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
+
+/// On-disk repository encodings.
+///
+/// JSON stays the interchange format — diffable, editable, readable by
+/// older builds. PDB1 is the binary columnar storage format analyses
+/// can open at memory bandwidth. Readers never need to be told which
+/// one they are looking at: the first four bytes decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Nested v1 JSON document.
+    Json,
+    /// Binary columnar PDB1 file.
+    Pdb1,
+}
+
+impl Format {
+    /// Detects the encoding of an in-memory document by magic bytes.
+    /// Anything that does not start with the PDB1 magic is treated as
+    /// JSON (the pre-binary format had no magic of its own).
+    pub fn detect_bytes(bytes: &[u8]) -> Format {
+        if bytes.len() >= 4 && bytes[..4] == crate::pdb1::MAGIC {
+            Format::Pdb1
+        } else {
+            Format::Json
+        }
+    }
+
+    /// Detects the encoding of a file by reading its first bytes.
+    pub fn detect(path: &Path) -> Result<Format> {
+        use std::io::Read;
+        let mut f = std::fs::File::open(path)?;
+        let mut magic = [0u8; 4];
+        let mut filled = 0;
+        while filled < 4 {
+            let n = f.read(&mut magic[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        Ok(Format::detect_bytes(&magic[..filled]))
+    }
+
+    /// Parses a format name as the CLI spells it.
+    pub fn from_name(name: &str) -> Option<Format> {
+        match name {
+            "json" => Some(Format::Json),
+            "pdb1" => Some(Format::Pdb1),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Json => "json",
+            Format::Pdb1 => "pdb1",
+        }
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// One experiment: a named group of trials (e.g. a scaling series).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -184,38 +253,55 @@ impl Repository {
         Ok(serde_json::from_str(json)?)
     }
 
-    /// Saves to a file, crash-safely.
+    /// Encodes the whole repository to PDB1 bytes (see [`crate::pdb1`]).
+    pub fn to_pdb1(&self) -> Vec<u8> {
+        crate::pdb1::write_repository(self)
+    }
+
+    /// Restores a repository from PDB1 bytes, strictly: any checksum
+    /// mismatch or structural problem is an error.
+    pub fn from_pdb1(bytes: &[u8]) -> Result<Self> {
+        crate::pdb1::read_repository(bytes)
+    }
+
+    /// Decodes raw document bytes, autodetecting the format by magic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        match Format::detect_bytes(bytes) {
+            Format::Pdb1 => Repository::from_pdb1(bytes),
+            Format::Json => Repository::from_json(utf8(bytes)?),
+        }
+    }
+
+    /// Saves to a file as JSON, crash-safely (see
+    /// [`Repository::save_as`] for the mechanism and for choosing the
+    /// binary format instead).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        self.save_as(path, Format::Json)
+    }
+
+    /// Saves to a file in the given format, crash-safely.
     ///
     /// The document is written to `<path>.tmp`, fsynced, and atomically
     /// renamed over `path`; a crash mid-write leaves the previous file
     /// intact. The previous version (if any) is first preserved as
     /// `<path>.bak`, so [`Repository::load_or_salvage`] always has one
     /// generation to fall back to even if the primary is later
-    /// corrupted in place.
-    pub fn save(&self, path: &Path) -> Result<()> {
-        use std::io::Write;
-
-        let json = self.to_json()?;
-        let tmp = sibling(path, ".tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(json.as_bytes())?;
-            f.sync_all()?;
-        }
-        if path.exists() {
-            // Versioned backup: the .bak always holds the generation
-            // being replaced. A rename would be atomic too, but a copy
-            // keeps the primary present at every instant.
-            std::fs::copy(path, sibling(path, ".bak"))?;
-        }
-        std::fs::rename(&tmp, path)?;
-        Ok(())
+    /// corrupted in place. After the rename the parent directory is
+    /// fsynced too — the rename itself is only durable once the
+    /// directory entry is on disk.
+    pub fn save_as(&self, path: &Path, format: Format) -> Result<()> {
+        let bytes = match format {
+            Format::Json => self.to_json()?.into_bytes(),
+            Format::Pdb1 => self.to_pdb1(),
+        };
+        write_atomic(path, &bytes)
     }
 
-    /// Loads from a file, strictly: any corruption is an error.
+    /// Loads from a file, strictly: any corruption is an error. The
+    /// format (JSON or PDB1) is autodetected by magic bytes.
     pub fn load(path: &Path) -> Result<Self> {
-        let text = std::fs::read_to_string(path)?;
-        Repository::from_json(&text)
+        let bytes = std::fs::read(path)?;
+        Repository::from_bytes(&bytes)
     }
 
     /// Recovers whatever is readable from a possibly corrupt repository
@@ -223,33 +309,41 @@ impl Repository {
     ///
     /// The document is walked application by application, experiment by
     /// experiment, trial by trial; every subtree that deserialises is
-    /// kept and every one that does not is recorded as a dropped-path
-    /// diagnostic. Fails only if the text is not JSON at all.
-    pub fn salvage_json(json: &str) -> Result<(Self, Vec<String>)> {
+    /// kept and every one that does not is recorded as a typed
+    /// [`Diagnostic`] — the same shape the lossy text parsers report.
+    /// Fails only if the text is not JSON at all.
+    pub fn salvage_json(json: &str) -> Result<(Self, Vec<Diagnostic>)> {
         use serde::Deserialize;
 
+        let jdiag = |message: String| Diagnostic {
+            format: "json",
+            line: None,
+            message,
+        };
         let root = serde_json::from_str_value(json)?;
         let mut repo = Repository::new();
         let mut dropped = Vec::new();
         let Some(apps) = root.get("applications").and_then(|v| v.as_object()) else {
-            dropped.push("no readable applications table".to_string());
+            dropped.push(jdiag("no readable applications table".to_string()));
             return Ok((repo, dropped));
         };
         for (app_name, app_val) in apps {
             let Some(exps) = app_val.get("experiments").and_then(|v| v.as_object()) else {
-                dropped.push(format!("{app_name}: unreadable experiments table"));
+                dropped.push(jdiag(format!("{app_name}: unreadable experiments table")));
                 continue;
             };
             for (exp_name, exp_val) in exps {
                 let Some(trials) = exp_val.get("trials").and_then(|v| v.as_object()) else {
-                    dropped.push(format!("{app_name}/{exp_name}: unreadable trials table"));
+                    dropped.push(jdiag(format!(
+                        "{app_name}/{exp_name}: unreadable trials table"
+                    )));
                     continue;
                 };
                 for (trial_name, trial_val) in trials {
                     match Trial::from_value(trial_val) {
                         Ok(trial) => repo.upsert_trial(app_name, exp_name, trial),
                         Err(e) => {
-                            dropped.push(format!("{app_name}/{exp_name}/{trial_name}: {e}"));
+                            dropped.push(jdiag(format!("{app_name}/{exp_name}/{trial_name}: {e}")));
                         }
                     }
                 }
@@ -258,11 +352,20 @@ impl Repository {
         Ok((repo, dropped))
     }
 
+    /// Recovers whatever is readable from possibly corrupt document
+    /// bytes, in either format (autodetected by magic).
+    pub fn salvage_bytes(bytes: &[u8]) -> Result<(Self, Vec<Diagnostic>)> {
+        match Format::detect_bytes(bytes) {
+            Format::Pdb1 => crate::pdb1::salvage(bytes),
+            Format::Json => Repository::salvage_json(utf8(bytes)?),
+        }
+    }
+
     /// Loads a repository, degrading gracefully: a clean file loads
-    /// normally, a corrupt one is salvaged subtree-by-subtree, and if
-    /// the primary is beyond salvage the `.bak` generation written by
-    /// [`Repository::save`] is tried. The [`RecoveredRepository`]
-    /// records which path was taken.
+    /// normally, a corrupt one is salvaged subtree-by-subtree (JSON) or
+    /// section-by-section (PDB1), and if the primary is beyond salvage
+    /// the `.bak` generation written by [`Repository::save_as`] is
+    /// tried. The [`RecoveredRepository`] records which path was taken.
     pub fn load_or_salvage(path: &Path) -> Result<RecoveredRepository> {
         match Repository::load(path) {
             Ok(repo) => Ok(RecoveredRepository {
@@ -271,8 +374,8 @@ impl Repository {
                 used_backup: false,
             }),
             Err(primary_err) => {
-                if let Ok(text) = std::fs::read_to_string(path) {
-                    if let Ok((repo, dropped)) = Repository::salvage_json(&text) {
+                if let Ok(bytes) = std::fs::read(path) {
+                    if let Ok((repo, dropped)) = Repository::salvage_bytes(&bytes) {
                         if repo.trial_count() > 0 {
                             return Ok(RecoveredRepository {
                                 repo,
@@ -285,7 +388,11 @@ impl Repository {
                 match Repository::load(&sibling(path, ".bak")) {
                     Ok(repo) => Ok(RecoveredRepository {
                         repo,
-                        dropped: vec![format!("primary unreadable: {primary_err}")],
+                        dropped: vec![Diagnostic {
+                            format: "repo",
+                            line: None,
+                            message: format!("primary unreadable: {primary_err}"),
+                        }],
                         used_backup: true,
                     }),
                     Err(_) => Err(primary_err),
@@ -300,8 +407,9 @@ impl Repository {
 pub struct RecoveredRepository {
     /// The repository that was recovered (possibly partial).
     pub repo: Repository,
-    /// Diagnostics for every subtree that could not be recovered.
-    pub dropped: Vec<String>,
+    /// Typed diagnostics for every subtree or section that could not
+    /// be recovered.
+    pub dropped: Vec<Diagnostic>,
     /// Whether the `.bak` generation had to be used.
     pub used_backup: bool,
 }
@@ -318,6 +426,56 @@ fn sibling(path: &Path, suffix: &str) -> std::path::PathBuf {
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(suffix);
     path.with_file_name(name)
+}
+
+fn utf8(bytes: &[u8]) -> Result<&str> {
+    std::str::from_utf8(bytes).map_err(|_| DmfError::Parse {
+        format: "json",
+        line: None,
+        message: "document is not valid UTF-8".to_string(),
+    })
+}
+
+/// Crash-safe file replacement: write `<path>.tmp`, fsync, keep the old
+/// generation as `<path>.bak`, rename over `path`, then fsync the
+/// parent directory so the rename itself is durable.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    use std::io::Write;
+
+    let tmp = sibling(path, ".tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if path.exists() {
+        // Versioned backup: the .bak always holds the generation
+        // being replaced. A rename would be atomic too, but a copy
+        // keeps the primary present at every instant.
+        std::fs::copy(path, sibling(path, ".bak"))?;
+    }
+    std::fs::rename(&tmp, path)?;
+    fsync_parent_dir(path)?;
+    Ok(())
+}
+
+/// The rename in [`write_atomic`] only becomes durable once the parent
+/// directory's entry table is on disk; an fsync on the file alone does
+/// not cover it.
+#[cfg(unix)]
+fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn fsync_parent_dir(_path: &Path) -> std::io::Result<()> {
+    // Directory handles cannot be fsynced portably off unix; the
+    // file-level fsync in `write_atomic` is the best available.
+    Ok(())
 }
 
 #[cfg(test)]
@@ -467,7 +625,9 @@ mod tests {
         assert_eq!(salvaged.trial_count(), 1);
         assert!(salvaged.trial("app", "exp", "good").is_ok());
         assert_eq!(dropped.len(), 1);
-        assert!(dropped[0].starts_with("app/exp/bad"), "{dropped:?}");
+        // Typed diagnostics, same shape as the lossy text parsers.
+        assert_eq!(dropped[0].format, "json");
+        assert!(dropped[0].message.starts_with("app/exp/bad"), "{dropped:?}");
     }
 
     #[test]
@@ -502,6 +662,64 @@ mod tests {
         assert!(Repository::load_or_salvage(&path).is_err());
 
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn format_detection_by_magic() {
+        let mut repo = Repository::new();
+        repo.add_trial("a", "e", trial("t", 2)).unwrap();
+        let json = repo.to_json().unwrap();
+        let bin = repo.to_pdb1();
+        assert_eq!(Format::detect_bytes(json.as_bytes()), Format::Json);
+        assert_eq!(Format::detect_bytes(&bin), Format::Pdb1);
+        assert_eq!(Format::detect_bytes(b""), Format::Json);
+        assert_eq!(Format::from_name("pdb1"), Some(Format::Pdb1));
+        assert_eq!(Format::from_name("xml"), None);
+        assert_eq!(Format::Pdb1.to_string(), "pdb1");
+    }
+
+    #[test]
+    fn save_as_pdb1_and_autodetecting_load() {
+        let path = temp_path("binary.pdb");
+        std::fs::remove_file(&path).ok();
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t1", 4)).unwrap();
+        repo.save_as(&path, Format::Pdb1).unwrap();
+        assert_eq!(Format::detect(&path).unwrap(), Format::Pdb1);
+        // `load` needs no format hint.
+        let back = Repository::load(&path).unwrap();
+        assert_eq!(back, repo);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(super::sibling(&path, ".bak")).ok();
+    }
+
+    #[test]
+    fn load_or_salvage_handles_corrupt_pdb1() {
+        let path = temp_path("salvage.pdb");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(super::sibling(&path, ".bak")).ok();
+
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t1", 2)).unwrap();
+        repo.add_trial("app", "exp", trial("t2", 2)).unwrap();
+        repo.save_as(&path, Format::Pdb1).unwrap();
+
+        // Flip the string-table checksum in place: strict load fails,
+        // salvage recovers everything with a section diagnostic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        crate::pdb1::flip_section_checksum(&mut bytes, 0, 1).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+
+        let recovered = Repository::load_or_salvage(&path).unwrap();
+        assert!(!recovered.used_backup);
+        assert_eq!(recovered.repo.trial_count(), 2);
+        assert!(recovered
+            .dropped
+            .iter()
+            .any(|d| d.format == "pdb1" && d.message.contains("string table")));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(super::sibling(&path, ".bak")).ok();
     }
 
     #[test]

@@ -16,7 +16,7 @@ use apps::genidlest::{CodeVersion, GenIdlestConfig, Paradigm, Problem};
 use apps::msa::MsaConfig;
 use apps::power_study::PowerStudyConfig;
 use perfdmf::formats::csv;
-use perfdmf::Repository;
+use perfdmf::{Format, Repository};
 use perfexplorer::scripting::PerfExplorerScript;
 use perfexplorer::workflow;
 use simulator::machine::MachineConfig;
@@ -134,8 +134,15 @@ fn load_or_new(path: &Path) -> Result<Repository, CliError> {
     }
 }
 
+/// Saves preserving the on-disk format: a repository loaded from a
+/// PDB1 file stays PDB1; new files default to JSON.
 fn save(repo: &Repository, path: &Path) -> Result<(), CliError> {
-    repo.save(path)
+    let format = if path.exists() {
+        Format::detect(path).unwrap_or(Format::Json)
+    } else {
+        Format::Json
+    };
+    repo.save_as(path, format)
         .map_err(|e| err(format!("cannot save {path:?}: {e}")))
 }
 
@@ -155,6 +162,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "analyze" => analyze(&opts),
         "script" => script(&opts),
         "export" => export(&opts),
+        "repo" => repo_cmd(&opts),
         other => Err(err(format!("unknown command {other:?}\n\n{}", usage()))),
     }
 }
@@ -177,7 +185,9 @@ pub fn usage() -> String {
      \x20 perfknow analyze compare    --repo FILE --app A --experiment E\n\
      \x20                             --baseline T1 --candidate T2\n\
      \x20 perfknow script FILE        --repo FILE\n\
-     \x20 perfknow export             --repo FILE --app A --experiment E --trial T\n"
+     \x20 perfknow export             --repo FILE --app A --experiment E --trial T\n\
+     \x20 perfknow repo convert       --in FILE --out FILE [--to json|pdb1]\n\
+     \x20 perfknow repo inspect FILE\n"
         .to_string()
 }
 
@@ -438,6 +448,90 @@ fn script(opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn repo_cmd(opts: &Options) -> Result<String, CliError> {
+    let action = opts
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| err("repo needs an action: convert | inspect"))?;
+    match action {
+        "convert" => {
+            let input = PathBuf::from(opts.need("in")?);
+            let output = PathBuf::from(opts.need("out")?);
+            let from =
+                Format::detect(&input).map_err(|e| err(format!("cannot read {input:?}: {e}")))?;
+            let to = match opts.flags.get("to") {
+                Some(name) => Format::from_name(name)
+                    .ok_or_else(|| err(format!("unknown format {name:?} (json | pdb1)")))?,
+                // Default: the other one — converting a file to its own
+                // format would just be a copy.
+                None => match from {
+                    Format::Json => Format::Pdb1,
+                    Format::Pdb1 => Format::Json,
+                },
+            };
+            let repo =
+                Repository::load(&input).map_err(|e| err(format!("cannot load {input:?}: {e}")))?;
+            repo.save_as(&output, to)
+                .map_err(|e| err(format!("cannot save {output:?}: {e}")))?;
+            Ok(format!(
+                "converted {} ({from}) -> {} ({to}), {} trial(s)\n",
+                input.display(),
+                output.display(),
+                repo.trial_count()
+            ))
+        }
+        "inspect" => {
+            let path = opts
+                .positional
+                .get(2)
+                .map(PathBuf::from)
+                .ok_or_else(|| err("repo inspect needs a file path"))?;
+            let bytes =
+                std::fs::read(&path).map_err(|e| err(format!("cannot read {path:?}: {e}")))?;
+            match Format::detect_bytes(&bytes) {
+                Format::Pdb1 => {
+                    let r = perfdmf::pdb1::inspect(&bytes)
+                        .map_err(|e| err(format!("cannot inspect {path:?}: {e}")))?;
+                    let mut out = format!(
+                        "PDB1 v{}, {} bytes ({} declared)\nstrings: {}\nsections:\n",
+                        r.version, r.actual_len, r.declared_len, r.strings
+                    );
+                    for s in &r.sections {
+                        out.push_str(&format!(
+                            "  {:<14} off {:<10} len {:<10} crc {:#010x} {}\n",
+                            s.name,
+                            s.offset,
+                            s.len,
+                            s.crc_stored,
+                            match s.crc_ok {
+                                Some(true) => "ok",
+                                Some(false) => "MISMATCH",
+                                None => "OUT OF BOUNDS",
+                            }
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "trials: {} (pages ok {}, bad {})\n",
+                        r.trials, r.pages_ok, r.pages_bad
+                    ));
+                    Ok(out)
+                }
+                Format::Json => {
+                    let repo = Repository::from_bytes(&bytes)
+                        .map_err(|e| err(format!("cannot parse {path:?}: {e}")))?;
+                    Ok(format!(
+                        "JSON repository, {} bytes\ntrials: {}\n",
+                        bytes.len(),
+                        repo.trial_count()
+                    ))
+                }
+            }
+        }
+        other => Err(err(format!("unknown repo action {other:?}"))),
+    }
+}
+
 fn export(opts: &Options) -> Result<String, CliError> {
     let repo = load_or_new(&PathBuf::from(opts.need("repo")?))?;
     let trial = repo
@@ -608,6 +702,100 @@ mod tests {
         assert!(out.contains("=> 5"));
         std::fs::remove_file(&repo_path).ok();
         std::fs::remove_file(&script_path).ok();
+    }
+
+    #[test]
+    fn repo_convert_and_inspect() {
+        let json_path = tmp("convert.json");
+        let pdb_path = tmp("convert.pdb");
+        let back_path = tmp("convert_back.json");
+        for p in [&json_path, &pdb_path, &back_path] {
+            std::fs::remove_file(p).ok();
+        }
+        run(&args(&[
+            "simulate",
+            "msa",
+            "--threads",
+            "4",
+            "--sequences",
+            "32",
+            "--repo",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // JSON -> PDB1 (default target is the other format).
+        let out = run(&args(&[
+            "repo",
+            "convert",
+            "--in",
+            json_path.to_str().unwrap(),
+            "--out",
+            pdb_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("(json) ->"), "{out}");
+        assert!(out.contains("(pdb1)"), "{out}");
+
+        // Inspect the binary file.
+        let report = run(&args(&["repo", "inspect", pdb_path.to_str().unwrap()])).unwrap();
+        assert!(report.contains("PDB1 v1"), "{report}");
+        assert!(report.contains("column pages"), "{report}");
+        assert!(report.contains("trials: 1 (pages ok 1, bad 0)"), "{report}");
+
+        // PDB1 -> JSON round trip preserves the repository.
+        run(&args(&[
+            "repo",
+            "convert",
+            "--in",
+            pdb_path.to_str().unwrap(),
+            "--out",
+            back_path.to_str().unwrap(),
+            "--to",
+            "json",
+        ]))
+        .unwrap();
+        let a = Repository::load(&json_path).unwrap();
+        let b = Repository::load(&back_path).unwrap();
+        assert_eq!(a, b);
+
+        // The analysis commands work straight off the binary file.
+        let analysis = run(&args(&[
+            "analyze",
+            "balance",
+            "--repo",
+            pdb_path.to_str().unwrap(),
+            "--app",
+            "msap",
+            "--experiment",
+            "scheduling",
+            "--trial",
+            "4_static",
+        ]))
+        .unwrap();
+        assert!(analysis.contains("load-imbalance"), "{analysis}");
+
+        // simulate into an existing PDB1 repo keeps it binary.
+        run(&args(&[
+            "simulate",
+            "msa",
+            "--threads",
+            "2",
+            "--sequences",
+            "32",
+            "--repo",
+            pdb_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(Format::detect(&pdb_path).unwrap(), Format::Pdb1);
+        assert_eq!(Repository::load(&pdb_path).unwrap().trial_count(), 2);
+
+        for p in [&json_path, &pdb_path, &back_path] {
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_file(tmp("convert.pdb.bak")).ok();
+        std::fs::remove_file(tmp("convert.json.bak")).ok();
+        std::fs::remove_file(tmp("convert_back.json.bak")).ok();
     }
 
     #[test]

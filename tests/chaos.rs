@@ -111,6 +111,27 @@ fn chaos_seed_matrix_text_faults_never_panic_parsers_or_salvage() {
 }
 
 #[test]
+fn chaos_seed_matrix_binary_faults_never_panic_readers() {
+    for &seed in &CI_SEED_MATRIX {
+        let plan = FaultPlan::new(seed).with_all(&Fault::BINARY_FAULTS);
+        let mut repo = Repository::new();
+        repo.add_trial("chaos", "msa", small_msa()).unwrap();
+        let (corrupt, applied) = plan.apply_to_bytes(&repo.to_pdb1());
+        assert!(!applied.is_empty(), "seed {seed} applied nothing");
+
+        // Strict read, salvage and the mmap path: reject or degrade,
+        // never panic.
+        let _ = Repository::from_pdb1(&corrupt);
+        let _ = perfdmf::pdb1::salvage(&corrupt);
+        if let Ok(mapped) = perfdmf::MappedRepository::from_bytes(&corrupt) {
+            for view in mapped.views().flatten() {
+                let _ = view.to_trial();
+            }
+        }
+    }
+}
+
+#[test]
 fn clean_inputs_produce_byte_identical_reports_through_supervision() {
     // The differential guarantee, end to end: sanitization touches
     // nothing, and the supervised workflow renders the exact bytes the
@@ -175,5 +196,31 @@ proptest! {
         repo.add_trial("p", "e", trial).unwrap();
         let (corrupt_json, _) = plan.apply_to_text(&repo.to_json().unwrap());
         let _ = Repository::salvage_json(&corrupt_json);
+    }
+
+    /// Any subset of binary faults under any seed: the strict PDB1
+    /// reader, the salvage path and the mmap path never panic.
+    #[test]
+    fn corrupted_pdb1_never_panics_readers(
+        seed in 0u64..10_000,
+        mask in 1u32..(1 << 4),
+    ) {
+        let faults: Vec<Fault> = Fault::BINARY_FAULTS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &f)| f)
+            .collect();
+        let plan = FaultPlan::new(seed).with_all(&faults);
+        let mut repo = Repository::new();
+        repo.add_trial("p", "e", small_msa()).unwrap();
+        let (corrupt, _) = plan.apply_to_bytes(&repo.to_pdb1());
+        let _ = Repository::from_pdb1(&corrupt);
+        let _ = Repository::salvage_bytes(&corrupt);
+        if let Ok(mapped) = perfdmf::MappedRepository::from_bytes(&corrupt) {
+            for view in mapped.views().flatten() {
+                let _ = view.to_trial();
+            }
+        }
     }
 }
