@@ -161,7 +161,7 @@ impl PerfExplorerScript {
     }
 
     /// Runs a workflow script under panic isolation: a script error or
-    /// a panic inside a host function becomes a [`DegradedStage`]
+    /// a panic inside a host function becomes a [`crate::supervise::DegradedStage`]
     /// record instead of unwinding the caller. The outcome carries
     /// whatever the session produced before the failure — the last
     /// `process_rules()` report and the printed output — so an

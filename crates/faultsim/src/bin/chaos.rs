@@ -226,6 +226,63 @@ fn run_seed(seed: u64, verbose: bool) -> SeedOutcome {
         }
     });
 
+    // --- service-domain: corrupt uploads through the worker pool ---
+    guarded(&mut outcome, "analysis service", |o| {
+        use service::{AnalysisService, Outcome, Request, ServiceConfig};
+        let svc = AnalysisService::start(ServiceConfig {
+            workers: 2,
+            shards: 4,
+            ..ServiceConfig::default()
+        });
+        let client = svc.client();
+        let clean = &clean_trials()[0];
+        let document = serde_json::to_string(clean).expect("clean trial serializes");
+
+        // A corrupted upload into the same tenant as a clean sibling
+        // must degrade alone. Corrupt goes first: if the fault left the
+        // JSON parseable under the same trial name, the clean upload
+        // below wins the upsert and the analyzed trial is pristine.
+        let (corrupt_doc, applied) = text_plan.apply_to_text(&document);
+        o.faults_applied += applied.len();
+        let corrupt_resp = client
+            .call(Request::Ingest {
+                app: "chaos".into(),
+                experiment: "svc".into(),
+                document: corrupt_doc,
+            })
+            .expect("service alive");
+        // A text fault may leave the JSON parseable; only count real
+        // degradations.
+        o.stages_degraded += corrupt_resp.degraded.len();
+        let clean_resp = client
+            .call(Request::Ingest {
+                app: "chaos".into(),
+                experiment: "svc".into(),
+                document,
+            })
+            .expect("service alive");
+        assert!(clean_resp.is_clean(), "clean upload must stay clean");
+
+        // The clean sibling analyzes clean after the corrupt upload.
+        let analysis = client
+            .call(Request::AnalyzeBalance {
+                app: "chaos".into(),
+                experiment: "svc".into(),
+                trial: clean.name.clone(),
+                metric: "TIME".into(),
+            })
+            .expect("service alive");
+        assert!(
+            analysis.is_clean(),
+            "sibling analysis degraded by a corrupt upload: {:?}",
+            analysis.degraded
+        );
+        assert!(matches!(analysis.outcome, Outcome::Report { .. }));
+        let stats = svc.stats();
+        assert_eq!(stats.panics_isolated, 0, "panic escaped a service handler");
+        svc.shutdown();
+    });
+
     // --- repository salvage ---
     guarded(&mut outcome, "repository salvage", |o| {
         let mut repo = Repository::new();

@@ -436,27 +436,56 @@ fn utf8(bytes: &[u8]) -> Result<&str> {
     })
 }
 
-/// Crash-safe file replacement: write `<path>.tmp`, fsync, keep the old
-/// generation as `<path>.bak`, rename over `path`, then fsync the
-/// parent directory so the rename itself is durable.
+/// Crash-safe file replacement: write a uniquely named scratch file,
+/// fsync, keep the old generation as `<path>.bak`, rename over `path`,
+/// then fsync the parent directory so the rename itself is durable.
+///
+/// The scratch name embeds the process id and a global counter
+/// (`<path>.tmp.<pid>.<n>`): two concurrent saves to the same path —
+/// the sharded service snapshots from many threads — each write their
+/// own scratch file, so neither can truncate or interleave the other's
+/// partially written bytes. Whichever rename lands last wins, and at
+/// every instant the primary is one complete document.
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
     use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
-    let tmp = sibling(path, ".tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
+    static SCRATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let tmp = sibling(
+        path,
+        &format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ),
+    );
+    let write = || -> Result<()> {
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        if path.exists() {
+            // Versioned backup: the .bak always holds a recently
+            // replaced generation. Copying the primary keeps it present
+            // at every instant; staging the copy under a unique name
+            // and renaming it into place keeps the .bak itself one
+            // complete document even when saves race.
+            let bak_tmp = sibling(&tmp, ".bak");
+            std::fs::copy(path, &bak_tmp)?;
+            std::fs::rename(&bak_tmp, sibling(path, ".bak"))?;
+        }
+        std::fs::rename(&tmp, path)?;
+        fsync_parent_dir(path)?;
+        Ok(())
+    };
+    let result = write();
+    if result.is_err() {
+        // Unique scratch names would otherwise accumulate on failure.
+        std::fs::remove_file(&tmp).ok();
+        std::fs::remove_file(sibling(&tmp, ".bak")).ok();
     }
-    if path.exists() {
-        // Versioned backup: the .bak always holds the generation
-        // being replaced. A rename would be atomic too, but a copy
-        // keeps the primary present at every instant.
-        std::fs::copy(path, sibling(path, ".bak"))?;
-    }
-    std::fs::rename(&tmp, path)?;
-    fsync_parent_dir(path)?;
-    Ok(())
+    result
 }
 
 /// The rename in [`write_atomic`] only becomes durable once the parent
@@ -609,6 +638,70 @@ mod tests {
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(super::sibling(&path, ".bak")).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_never_interleave() {
+        // Regression: `write_atomic` used a fixed `<path>.tmp` scratch
+        // name, so two concurrent saves interleaved writes into the
+        // same scratch file and could rename a half-written mix over
+        // the primary. With unique scratch names every generation on
+        // disk is exactly one writer's complete document.
+        let dir =
+            std::env::temp_dir().join(format!("perfdmf_concurrent_save_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contended.json");
+
+        // Each writer repeatedly saves its own distinctive repository:
+        // `writers` different documents, all racing on one path.
+        let writers = 8;
+        let rounds = 12;
+        let repos: Vec<Repository> = (0..writers)
+            .map(|w| {
+                let mut repo = Repository::new();
+                // Different trial counts make the documents differ in
+                // length, the shape most likely to expose interleaving.
+                for i in 0..=w {
+                    repo.add_trial("app", &format!("exp{w}"), trial(&format!("t{i}"), i + 1))
+                        .unwrap();
+                }
+                repo
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for repo in &repos {
+                let path = &path;
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        repo.save(path).unwrap();
+                    }
+                });
+            }
+        });
+
+        // The surviving primary is byte-exactly one writer's document.
+        let survivor = Repository::load(&path).unwrap();
+        assert!(
+            repos.contains(&survivor),
+            "primary is a mix of concurrent writers"
+        );
+        // The backup, when readable, must also be a complete document
+        // (it can lose the race between copy and a concurrent rename,
+        // but never hold interleaved bytes of two writers).
+        if let Ok(bak) = Repository::load(&sibling(&path, ".bak")) {
+            assert!(repos.contains(&bak));
+        }
+        // No scratch files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "leftover scratch files: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -55,6 +55,26 @@ impl SharedRepository {
         f(&self.inner.read())
     }
 
+    /// Runs a closure with read access, also reporting how long the
+    /// read lock took to acquire. The sharded service aggregates this
+    /// into its `lock_wait` metric: under contention the wait, not the
+    /// critical section, is what grows.
+    pub fn read_timed<T>(&self, f: impl FnOnce(&Repository) -> T) -> (T, std::time::Duration) {
+        let start = std::time::Instant::now();
+        let guard = self.inner.read();
+        let waited = start.elapsed();
+        (f(&guard), waited)
+    }
+
+    /// Runs a closure with write access, also reporting how long the
+    /// write lock took to acquire.
+    pub fn write_timed<T>(&self, f: impl FnOnce(&mut Repository) -> T) -> (T, std::time::Duration) {
+        let start = std::time::Instant::now();
+        let mut guard = self.inner.write();
+        let waited = start.elapsed();
+        (f(&mut guard), waited)
+    }
+
     /// Total trial count (read lock).
     pub fn trial_count(&self) -> usize {
         self.inner.read().trial_count()
@@ -127,6 +147,19 @@ mod tests {
         assert_eq!(cloned.trial_count(), 1);
         let owned = extra_handle.into_repository(); // last handle: unwraps
         assert_eq!(owned.trial_count(), 1);
+    }
+
+    #[test]
+    fn timed_accessors_report_waits_and_run_closures() {
+        let repo = SharedRepository::new();
+        let ((), w1) = repo.write_timed(|r| {
+            r.upsert_trial("a", "e", trial("t"));
+        });
+        let (count, w2) = repo.read_timed(|r| r.trial_count());
+        assert_eq!(count, 1);
+        // Uncontended waits are small but always measured.
+        assert!(w1 < std::time::Duration::from_secs(5));
+        assert!(w2 < std::time::Duration::from_secs(5));
     }
 
     #[test]

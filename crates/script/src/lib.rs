@@ -8,7 +8,7 @@
 //! typed language compiled to bytecode and executed by a stack VM, with
 //! a host-function registry through which the analysis layer exposes
 //! its operations. The original tree-walking interpreter survives as
-//! [`reference`], the executable specification the VM is differentially
+//! [`mod@reference`], the executable specification the VM is differentially
 //! tested against.
 //!
 //! The language has `let` bindings, assignment, arithmetic and logic,

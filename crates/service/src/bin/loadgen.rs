@@ -1,0 +1,297 @@
+//! Load generator for the multi-tenant analysis service.
+//!
+//! Boots an [`AnalysisService`], then drives it with N concurrent
+//! clients. Each client uploads its own MSA trial into a tenant
+//! `(app, experiment)` and runs the load-balance workflow on it; a
+//! configurable number of clients upload deliberately corrupted
+//! documents instead. Reports p50/p99/max latency and throughput, then
+//! the service stats table.
+//!
+//! `--smoke` runs a small burst and exits non-zero unless every
+//! correctness invariant holds: zero escaped panics, every corrupt
+//! upload degraded (and only it), every clean response clean, and the
+//! service's report byte-identical to the strict single-threaded
+//! workflow.
+
+use perfdmf::Trial;
+use service::{AnalysisService, Outcome, Request, Response, ServiceConfig};
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: usize,
+    corrupt: usize,
+    shards: usize,
+    workers: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 1000,
+        corrupt: 0,
+        shards: 8,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} needs a number")))
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = num("--clients"),
+            "--corrupt" => args.corrupt = num("--corrupt"),
+            "--shards" => args.shards = num("--shards"),
+            "--workers" => args.workers = num("--workers"),
+            "--smoke" => {
+                args.smoke = true;
+                args.clients = 64;
+                args.corrupt = 4;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    eprintln!("usage: loadgen [--clients N] [--corrupt N] [--shards N] [--workers N] [--smoke]");
+    std::process::exit(2);
+}
+
+/// A small but realistic MSA trial (imbalanced static schedule), shared
+/// as the upload template.
+fn template_trial() -> Trial {
+    let config = apps::msa::MsaConfig {
+        sequences: 24,
+        min_len: 30,
+        max_len: 60,
+        seed: 0x6d7361,
+        threads: 4,
+        schedule: simulator::openmp::Schedule::Static,
+        machine: simulator::machine::MachineConfig::altix300(),
+    };
+    apps::msa::run(&config)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct ClientResult {
+    latencies: Vec<Duration>,
+    /// Responses that should have been clean but were not.
+    dirty_clean: usize,
+    /// Corrupt uploads that were NOT flagged (degradation escaped).
+    unflagged_corrupt: usize,
+}
+
+fn run_client(
+    client: &service::ServiceClient,
+    id: usize,
+    corrupt: bool,
+    template: &Trial,
+) -> ClientResult {
+    // 16 tenant apps × 4 experiments spreads clients across shards
+    // while still forcing same-shard neighbours.
+    let app = format!("tenant{}", id % 16);
+    let experiment = format!("exp{}", id % 4);
+    let mut upload = template.clone();
+    upload.name = format!("msa-{id}");
+    let document = serde_json::to_string(&upload).expect("serialize upload");
+    let mut result = ClientResult {
+        latencies: Vec::new(),
+        dirty_clean: 0,
+        unflagged_corrupt: 0,
+    };
+    let mut push = |r: Result<Response, String>, expect_clean: bool| match r {
+        Ok(resp) => {
+            result.latencies.push(resp.latency);
+            if expect_clean && !resp.is_clean() {
+                result.dirty_clean += 1;
+            } else if !expect_clean && resp.is_clean() {
+                result.unflagged_corrupt += 1;
+            }
+        }
+        Err(_) => result.dirty_clean += 1,
+    };
+    if corrupt {
+        // Truncated JSON: undecodable document.
+        push(
+            client.call(Request::Ingest {
+                app,
+                experiment,
+                document: document[..document.len() / 2].to_string(),
+            }),
+            false,
+        );
+        return result;
+    }
+    push(
+        client.call(Request::Ingest {
+            app: app.clone(),
+            experiment: experiment.clone(),
+            document,
+        }),
+        true,
+    );
+    push(
+        client.call(Request::AnalyzeBalance {
+            app,
+            experiment,
+            trial: format!("msa-{id}"),
+            metric: "TIME".into(),
+        }),
+        true,
+    );
+    result
+}
+
+fn main() {
+    let args = parse_args();
+    let template = template_trial();
+    if args.clients <= args.corrupt {
+        die("need at least one clean client");
+    }
+    // Strict reference for the byte-identical check: the same workflow,
+    // single-threaded and unsupervised, on the first clean client's
+    // exact upload.
+    let ref_id = args.corrupt;
+    let mut reference = template.clone();
+    reference.name = format!("msa-{ref_id}");
+    let strict_rendered = perfexplorer::workflow::analyze_load_balance(&reference, "TIME")
+        .expect("strict workflow on the template trial")
+        .rendered;
+
+    let svc = AnalysisService::start(ServiceConfig {
+        shards: args.shards,
+        workers: args.workers,
+        ..ServiceConfig::default()
+    });
+
+    println!(
+        "loadgen: {} clients ({} corrupt), {} shards, {} workers",
+        args.clients, args.corrupt, args.shards, args.workers
+    );
+    let start = Instant::now();
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|id| {
+                let client = svc.client();
+                let template = &template;
+                // Clients 0..corrupt upload broken documents; clean
+                // clients 16..16+corrupt reuse the same tenants, so a
+                // corrupt upload always has clean same-shard siblings.
+                let corrupt = id < args.corrupt;
+                scope.spawn(move || run_client(&client, id, corrupt, template))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed();
+
+    let mut latencies: Vec<Duration> = results.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort();
+    let total_requests = latencies.len();
+    let dirty_clean: usize = results.iter().map(|r| r.dirty_clean).sum();
+    let unflagged_corrupt: usize = results.iter().map(|r| r.unflagged_corrupt).sum();
+
+    println!(
+        "requests {}  wall {:?}  throughput {:.0} req/s",
+        total_requests,
+        wall,
+        total_requests as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "latency p50 {:?}  p99 {:?}  max {:?}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        percentile(&latencies, 1.0)
+    );
+    let stats = svc.stats();
+    print!("{}", stats.render());
+
+    // Degradation-isolation check: after the burst, a fresh analysis of
+    // a clean trial must be byte-identical to the strict workflow.
+    let service_rendered = match svc
+        .client()
+        .call(Request::AnalyzeBalance {
+            app: format!("tenant{}", ref_id % 16),
+            experiment: format!("exp{}", ref_id % 4),
+            trial: format!("msa-{ref_id}"),
+            metric: "TIME".into(),
+        })
+        .expect("post-burst analysis")
+    {
+        Response {
+            outcome: Outcome::Report { rendered, .. },
+            degraded,
+            ..
+        } if degraded.is_empty() => rendered,
+        other => {
+            eprintln!("loadgen: post-burst analysis was not clean: {other:?}");
+            std::process::exit(1);
+        }
+    };
+    let byte_identical = service_rendered == strict_rendered;
+    println!(
+        "strict-equivalence: {}",
+        if byte_identical {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    svc.shutdown();
+
+    let mut failures = Vec::new();
+    if stats.panics_isolated != 0 {
+        failures.push(format!(
+            "{} panics escaped to the worker boundary",
+            stats.panics_isolated
+        ));
+    }
+    if dirty_clean != 0 {
+        failures.push(format!(
+            "{dirty_clean} clean requests came back degraded/rejected"
+        ));
+    }
+    if unflagged_corrupt != 0 {
+        failures.push(format!(
+            "{unflagged_corrupt} corrupt uploads were not flagged"
+        ));
+    }
+    if stats.rejected as usize != args.corrupt {
+        failures.push(format!(
+            "expected exactly {} rejections, saw {}",
+            args.corrupt, stats.rejected
+        ));
+    }
+    if !byte_identical {
+        failures.push("service report differs from strict workflow".into());
+    }
+    if args.smoke {
+        if failures.is_empty() {
+            println!("smoke: all invariants hold");
+        } else {
+            for f in &failures {
+                eprintln!("smoke FAILURE: {f}");
+            }
+            std::process::exit(1);
+        }
+    } else if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("loadgen warning: {f}");
+        }
+    }
+}

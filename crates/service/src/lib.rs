@@ -1,0 +1,568 @@
+//! Multi-tenant analysis service.
+//!
+//! The paper's workflows run as batch jobs; this crate packages them as
+//! a long-lived service many clients share. Requests (profile uploads,
+//! workflow analyses, scripted studies) flow through an MPMC channel
+//! into a fixed worker pool. Trials live in a [`ShardedRepository`]
+//! partitioned by tenant path, so ingests for different tenants
+//! contend on different locks; cold trials come from the zero-copy
+//! PDB1 store through a per-shard LRU.
+//!
+//! Isolation boundary: every request runs under the PR 5 supervision
+//! discipline. Workflow and script stages run supervised (panics and
+//! errors become [`DegradedStage`] records on that response only), and
+//! the worker loop itself wraps handlers in `catch_unwind` as a last
+//! line of defense — a poisoned request can never take down a worker
+//! or leak into a sibling request's response.
+
+pub mod metrics;
+pub mod shard;
+
+pub use metrics::{ServiceMetrics, StatsSnapshot};
+pub use shard::{shard_of, ShardedRepository};
+
+use perfdmf::{Repository, Trial};
+use perfexplorer::scripting::PerfExplorerScript;
+use perfexplorer::supervise::{DegradeCause, DegradedStage};
+use perfexplorer::workflow::analyze_load_balance_supervised;
+use perfexplorer::SupervisorConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Repository shard count.
+    pub shards: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Cold-trial LRU capacity per shard.
+    pub cache_capacity: usize,
+    /// Budgets for supervised workflow/script stages.
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 8,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cache_capacity: 64,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// What a client asks the service to do.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Upload one trial, serialized as JSON, into `(app, experiment)`.
+    Ingest {
+        /// Tenant application.
+        app: String,
+        /// Tenant experiment.
+        experiment: String,
+        /// JSON document of a [`Trial`].
+        document: String,
+    },
+    /// Run the §III-A load-balance workflow on one stored trial.
+    AnalyzeBalance {
+        /// Tenant application.
+        app: String,
+        /// Tenant experiment.
+        experiment: String,
+        /// Trial name.
+        trial: String,
+        /// Metric to analyze, e.g. `"TIME"`.
+        metric: String,
+    },
+    /// Run a PerfExplorer script against a snapshot of one experiment.
+    RunScript {
+        /// Tenant application.
+        app: String,
+        /// Tenant experiment.
+        experiment: String,
+        /// Script source.
+        source: String,
+    },
+}
+
+/// What came back.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Upload accepted; the stored trial's name.
+    Ingested {
+        /// Name of the trial as parsed from the document.
+        trial: String,
+    },
+    /// Workflow finished; the rendered report.
+    Report {
+        /// Human-readable case-study report.
+        rendered: String,
+        /// Structured diagnosis count.
+        diagnoses: usize,
+    },
+    /// Script finished (possibly partially).
+    ScriptDone {
+        /// The script's final value, rendered, when it completed.
+        value: Option<String>,
+        /// Script print output.
+        printed: Vec<String>,
+    },
+    /// The request could not be served at all.
+    Rejected {
+        /// Why.
+        error: String,
+    },
+}
+
+/// One served request: outcome, degradation record, and latency.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The result payload.
+    pub outcome: Outcome,
+    /// Supervised stages that degraded while serving this request —
+    /// empty on a clean response.
+    pub degraded: Vec<DegradedStage>,
+    /// Queue wait plus handling time, as the client experiences it.
+    pub latency: Duration,
+}
+
+impl Response {
+    /// Clean means: not rejected and no degraded stages.
+    pub fn is_clean(&self) -> bool {
+        self.degraded.is_empty() && !matches!(self.outcome, Outcome::Rejected { .. })
+    }
+}
+
+struct Job {
+    request: Request,
+    submitted: Instant,
+    reply: std::sync::mpsc::Sender<Response>,
+}
+
+/// What flows through the worker queue: work, or an order to exit.
+/// Explicit shutdown sentinels let [`AnalysisService::shutdown`] stop
+/// the pool even while clients still hold queue handles.
+enum WorkerMsg {
+    Job(Job),
+    Shutdown,
+}
+
+/// A clonable handle for submitting requests.
+#[derive(Clone)]
+pub struct ServiceClient {
+    queue: crossbeam::channel::Sender<WorkerMsg>,
+}
+
+impl ServiceClient {
+    /// Submits a request; the returned receiver yields the response.
+    /// Errors only if the service has shut down.
+    pub fn submit(&self, request: Request) -> Result<std::sync::mpsc::Receiver<Response>, String> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let job = Job {
+            request,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        self.queue
+            .send(WorkerMsg::Job(job))
+            .map_err(|_| "service is shut down".to_string())?;
+        Ok(rx)
+    }
+
+    /// Submits and blocks for the response.
+    pub fn call(&self, request: Request) -> Result<Response, String> {
+        self.submit(request)?
+            .recv()
+            .map_err(|_| "service dropped the request".to_string())
+    }
+}
+
+/// The running service: worker pool, sharded store, metrics.
+pub struct AnalysisService {
+    queue: Option<crossbeam::channel::Sender<WorkerMsg>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    store: Arc<ShardedRepository>,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl AnalysisService {
+    /// Starts a service over an empty store.
+    pub fn start(config: ServiceConfig) -> Self {
+        let metrics = Arc::new(ServiceMetrics::default());
+        let store = Arc::new(ShardedRepository::new(
+            config.shards,
+            config.cache_capacity,
+            metrics.clone(),
+        ));
+        Self::with_store(config, store, metrics)
+    }
+
+    /// Starts a service pre-seeded from an in-memory repository.
+    pub fn start_with_repository(config: ServiceConfig, repo: Repository) -> Self {
+        let metrics = Arc::new(ServiceMetrics::default());
+        let store = Arc::new(ShardedRepository::from_repository(
+            repo,
+            config.shards,
+            config.cache_capacity,
+            metrics.clone(),
+        ));
+        Self::with_store(config, store, metrics)
+    }
+
+    /// Starts a service over a repository file (PDB1 becomes the cold
+    /// mapped store; JSON loads into the shard overlays).
+    pub fn open(config: ServiceConfig, path: &Path) -> perfdmf::Result<Self> {
+        let metrics = Arc::new(ServiceMetrics::default());
+        let store = Arc::new(ShardedRepository::open(
+            path,
+            config.shards,
+            config.cache_capacity,
+            metrics.clone(),
+        )?);
+        Ok(Self::with_store(config, store, metrics))
+    }
+
+    fn with_store(
+        config: ServiceConfig,
+        store: Arc<ShardedRepository>,
+        metrics: Arc<ServiceMetrics>,
+    ) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded::<WorkerMsg>();
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let store = store.clone();
+                let metrics = metrics.clone();
+                let supervisor = config.supervisor.clone();
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || worker_loop(rx, store, metrics, supervisor))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        AnalysisService {
+            queue: Some(tx),
+            workers,
+            store,
+            metrics,
+        }
+    }
+
+    /// A new client handle.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            queue: self.queue.as_ref().expect("service is running").clone(),
+        }
+    }
+
+    /// The stats endpoint: a snapshot of every counter.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Direct access to the sharded store (tests, CLI persistence).
+    pub fn store(&self) -> &ShardedRepository {
+        &self.store
+    }
+
+    /// Drains queued work, stops the workers, and joins them. One
+    /// shutdown sentinel per worker rides behind any queued jobs, so
+    /// in-flight requests finish first; outstanding [`ServiceClient`]
+    /// handles error on their next submit.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        if let Some(queue) = self.queue.take() {
+            for _ in &self.workers {
+                let _ = queue.send(WorkerMsg::Shutdown);
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for AnalysisService {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn worker_loop(
+    rx: crossbeam::channel::Receiver<WorkerMsg>,
+    store: Arc<ShardedRepository>,
+    metrics: Arc<ServiceMetrics>,
+    supervisor: SupervisorConfig,
+) {
+    loop {
+        let job = match rx.recv() {
+            Ok(WorkerMsg::Job(job)) => job,
+            Ok(WorkerMsg::Shutdown) | Err(_) => break,
+        };
+        let handle_start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            handle(&store, &metrics, &supervisor, &job.request)
+        }));
+        let (outcome, degraded) = match result {
+            Ok(served) => served,
+            Err(payload) => {
+                // Supervised stages already catch panics; reaching here
+                // means the handler itself blew up. Isolate it to this
+                // request and keep the worker alive.
+                ServiceMetrics::bump(&metrics.panics_isolated);
+                let msg = perfexplorer::supervise::panic_message(payload);
+                (
+                    Outcome::Rejected {
+                        error: format!("internal panic (isolated): {msg}"),
+                    },
+                    vec![DegradedStage {
+                        stage: "request handler".to_string(),
+                        cause: DegradeCause::Panicked(msg),
+                    }],
+                )
+            }
+        };
+        ServiceMetrics::add_nanos(&metrics.busy_nanos, handle_start.elapsed());
+        ServiceMetrics::bump(&metrics.requests);
+        if !degraded.is_empty() {
+            ServiceMetrics::bump(&metrics.degraded_responses);
+        }
+        if matches!(outcome, Outcome::Rejected { .. }) {
+            ServiceMetrics::bump(&metrics.rejected);
+        }
+        let response = Response {
+            outcome,
+            degraded,
+            latency: job.submitted.elapsed(),
+        };
+        // A client that gave up on the reply is not an error.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn handle(
+    store: &ShardedRepository,
+    metrics: &ServiceMetrics,
+    supervisor: &SupervisorConfig,
+    request: &Request,
+) -> (Outcome, Vec<DegradedStage>) {
+    match request {
+        Request::Ingest {
+            app,
+            experiment,
+            document,
+        } => {
+            ServiceMetrics::bump(&metrics.ingests);
+            match serde_json::from_str::<Trial>(document) {
+                Ok(trial) => {
+                    let name = trial.name.clone();
+                    store.ingest(app, experiment, trial);
+                    (Outcome::Ingested { trial: name }, Vec::new())
+                }
+                Err(e) => (
+                    Outcome::Rejected {
+                        error: format!("unparseable upload: {e}"),
+                    },
+                    vec![DegradedStage {
+                        stage: "parse upload".to_string(),
+                        cause: DegradeCause::Failed(e.to_string()),
+                    }],
+                ),
+            }
+        }
+        Request::AnalyzeBalance {
+            app,
+            experiment,
+            trial,
+            metric,
+        } => {
+            ServiceMetrics::bump(&metrics.analyses);
+            match store.get_trial(app, experiment, trial) {
+                Ok(t) => {
+                    let report = analyze_load_balance_supervised(&t, metric, supervisor);
+                    (
+                        Outcome::Report {
+                            rendered: report.rendered,
+                            diagnoses: report.report.diagnoses.len(),
+                        },
+                        report.degraded,
+                    )
+                }
+                Err(e) => (
+                    Outcome::Rejected {
+                        error: e.to_string(),
+                    },
+                    vec![DegradedStage {
+                        stage: "trial lookup".to_string(),
+                        cause: DegradeCause::Failed(e.to_string()),
+                    }],
+                ),
+            }
+        }
+        Request::RunScript {
+            app,
+            experiment,
+            source,
+        } => {
+            ServiceMetrics::bump(&metrics.scripts);
+            match store.snapshot_experiment(app, experiment) {
+                Ok(snapshot) => {
+                    let mut session = PerfExplorerScript::new(snapshot);
+                    let run = session.run_supervised(source);
+                    (
+                        Outcome::ScriptDone {
+                            value: run.value.map(|v| v.to_string()),
+                            printed: run.printed,
+                        },
+                        run.degraded,
+                    )
+                }
+                Err(e) => (
+                    Outcome::Rejected {
+                        error: e.to_string(),
+                    },
+                    vec![DegradedStage {
+                        stage: "experiment snapshot".to_string(),
+                        cause: DegradeCause::Failed(e.to_string()),
+                    }],
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdmf::{Measurement, TrialBuilder};
+
+    fn trial(name: &str) -> Trial {
+        let mut b = TrialBuilder::with_flat_threads(name, 4);
+        let t = b.metric("TIME");
+        let e = b.event("main");
+        for th in 0..4 {
+            b.set(e, t, th, Measurement::leaf(1.0 + th as f64));
+        }
+        b.build()
+    }
+
+    fn trial_json(name: &str) -> String {
+        serde_json::to_string(&trial(name)).unwrap()
+    }
+
+    #[test]
+    fn ingest_then_analyze_round_trips() {
+        let svc = AnalysisService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let client = svc.client();
+        let r = client
+            .call(Request::Ingest {
+                app: "lu".into(),
+                experiment: "strong".into(),
+                document: trial_json("t1"),
+            })
+            .unwrap();
+        assert!(r.is_clean(), "{:?}", r);
+        let r = client
+            .call(Request::AnalyzeBalance {
+                app: "lu".into(),
+                experiment: "strong".into(),
+                trial: "t1".into(),
+                metric: "TIME".into(),
+            })
+            .unwrap();
+        assert!(r.is_clean(), "{:?}", r);
+        match &r.outcome {
+            Outcome::Report { rendered, .. } => assert!(!rendered.is_empty()),
+            other => panic!("expected report, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.ingests, 1);
+        assert_eq!(stats.analyses, 1);
+        assert_eq!(stats.degraded_responses, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn corrupt_upload_is_rejected_and_counted() {
+        let svc = AnalysisService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = svc.client();
+        let r = client
+            .call(Request::Ingest {
+                app: "lu".into(),
+                experiment: "strong".into(),
+                document: "{not json".into(),
+            })
+            .unwrap();
+        assert!(!r.is_clean());
+        assert!(matches!(r.outcome, Outcome::Rejected { .. }));
+        let stats = svc.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.degraded_responses, 1);
+        assert_eq!(stats.panics_isolated, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unknown_trial_rejects_cleanly() {
+        let svc = AnalysisService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let r = svc
+            .client()
+            .call(Request::AnalyzeBalance {
+                app: "nope".into(),
+                experiment: "nope".into(),
+                trial: "nope".into(),
+                metric: "TIME".into(),
+            })
+            .unwrap();
+        assert!(matches!(r.outcome, Outcome::Rejected { .. }));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn script_runs_against_experiment_snapshot() {
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t1")).unwrap();
+        let svc = AnalysisService::start_with_repository(
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            repo,
+        );
+        let r = svc
+            .client()
+            .call(Request::RunScript {
+                app: "app".into(),
+                experiment: "exp".into(),
+                source: "print(\"hello from script\");".into(),
+            })
+            .unwrap();
+        assert!(r.is_clean(), "{:?}", r);
+        match &r.outcome {
+            Outcome::ScriptDone { printed, .. } => {
+                assert_eq!(printed, &vec!["hello from script".to_string()])
+            }
+            other => panic!("expected script outcome, got {other:?}"),
+        }
+        svc.shutdown();
+    }
+}

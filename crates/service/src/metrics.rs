@@ -1,0 +1,165 @@
+//! Lightweight service metrics: lock-free counters every worker and
+//! shard updates in place, snapshotted on demand by the `stats`
+//! endpoint. Counters only — no histograms, no background thread — so
+//! the hot path pays a handful of relaxed atomic adds per request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Monotonic counters for one service instance.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests completed (every kind, clean or not).
+    pub requests: AtomicU64,
+    /// Profile uploads accepted into a shard.
+    pub ingests: AtomicU64,
+    /// Analysis workflow requests served.
+    pub analyses: AtomicU64,
+    /// Scripting requests served.
+    pub scripts: AtomicU64,
+    /// Responses carrying at least one degraded stage.
+    pub degraded_responses: AtomicU64,
+    /// Requests rejected outright (unparseable upload, unknown trial).
+    pub rejected: AtomicU64,
+    /// Panics caught at the worker boundary — outside any supervised
+    /// stage. Always zero unless a handler itself is buggy; the CI
+    /// smoke job asserts on it.
+    pub panics_isolated: AtomicU64,
+    /// Cold-trial cache hits (trial served from the shard LRU).
+    pub cache_hits: AtomicU64,
+    /// Cold-trial cache misses (trial materialized from the mapped
+    /// store).
+    pub cache_misses: AtomicU64,
+    /// Total time spent waiting to acquire shard locks, in nanoseconds.
+    pub lock_wait_nanos: AtomicU64,
+    /// Total worker time spent inside request handlers, in nanoseconds.
+    pub busy_nanos: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulates a duration into a nanosecond counter.
+    pub fn add_nanos(counter: &AtomicU64, d: Duration) {
+        counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            ingests: self.ingests.load(Ordering::Relaxed),
+            analyses: self.analyses.load(Ordering::Relaxed),
+            scripts: self.scripts.load(Ordering::Relaxed),
+            degraded_responses: self.degraded_responses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            panics_isolated: self.panics_isolated.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            lock_wait: Duration::from_nanos(self.lock_wait_nanos.load(Ordering::Relaxed)),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time reading of the service counters — what the `stats`
+/// endpoint returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests completed.
+    pub requests: u64,
+    /// Uploads accepted.
+    pub ingests: u64,
+    /// Analyses served.
+    pub analyses: u64,
+    /// Scripts served.
+    pub scripts: u64,
+    /// Responses with degraded stages.
+    pub degraded_responses: u64,
+    /// Requests rejected outright.
+    pub rejected: u64,
+    /// Panics caught at the worker boundary.
+    pub panics_isolated: u64,
+    /// Cold-cache hits.
+    pub cache_hits: u64,
+    /// Cold-cache misses.
+    pub cache_misses: u64,
+    /// Cumulative shard lock wait.
+    pub lock_wait: Duration,
+    /// Cumulative handler time.
+    pub busy: Duration,
+}
+
+impl StatsSnapshot {
+    /// Cache hit rate over cold loads, in [0, 1]; 1.0 when there were
+    /// no cold loads at all.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The stats table as the `stats` subcommand prints it.
+    pub fn render(&self) -> String {
+        format!(
+            "requests            {}\n\
+             \x20 ingests           {}\n\
+             \x20 analyses          {}\n\
+             \x20 scripts           {}\n\
+             degraded responses  {}\n\
+             rejected            {}\n\
+             panics isolated     {}\n\
+             cache hits/misses   {}/{} ({:.1}% hit)\n\
+             lock wait           {:?}\n\
+             handler time        {:?}\n",
+            self.requests,
+            self.ingests,
+            self.analyses,
+            self.scripts,
+            self.degraded_responses,
+            self.rejected,
+            self.panics_isolated,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.lock_wait,
+            self.busy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let m = ServiceMetrics::default();
+        ServiceMetrics::bump(&m.requests);
+        ServiceMetrics::bump(&m.requests);
+        ServiceMetrics::bump(&m.cache_hits);
+        ServiceMetrics::add_nanos(&m.lock_wait_nanos, Duration::from_micros(5));
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.lock_wait, Duration::from_micros(5));
+        assert_eq!(s.cache_hit_rate(), 1.0);
+        assert!(s.render().contains("requests            2"));
+    }
+
+    #[test]
+    fn hit_rate_handles_all_cases() {
+        let m = ServiceMetrics::default();
+        assert_eq!(m.snapshot().cache_hit_rate(), 1.0);
+        ServiceMetrics::bump(&m.cache_misses);
+        assert_eq!(m.snapshot().cache_hit_rate(), 0.0);
+        ServiceMetrics::bump(&m.cache_hits);
+        assert_eq!(m.snapshot().cache_hit_rate(), 0.5);
+    }
+}

@@ -1,0 +1,402 @@
+//! Sharded trial storage.
+//!
+//! Trials are partitioned across N shards by an FNV-1a hash of their
+//! `(application, experiment)` path, so concurrent ingests for
+//! different tenants land on different locks. Each shard is a
+//! [`SharedRepository`] overlay (mutable, RwLock-guarded) plus an LRU
+//! cache of materialized cold trials. Cold trials live in an optional
+//! shared [`MappedRepository`] — the zero-copy PDB1 store — and are
+//! materialized on first access, then cached per shard.
+//!
+//! The cache holds *only* cold trials. Overlay trials are served
+//! straight from the overlay, so an upsert can never be shadowed by a
+//! stale cached copy: the overlay is always consulted first.
+
+use crate::metrics::ServiceMetrics;
+use parking_lot::Mutex;
+use perfdmf::{MappedRepository, Repository, SharedRepository, Trial};
+use std::path::Path;
+use std::sync::Arc;
+
+/// FNV-1a over the tenant path. Stable across runs (no RandomState), so
+/// shard assignment is reproducible in tests and logs.
+pub fn shard_of(app: &str, experiment: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in app.bytes().chain([0u8]).chain(experiment.bytes()) {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    (hash % shards as u64) as usize
+}
+
+/// Every `(app, experiment, trial)` path in a plain repository.
+fn paths_of(repo: &Repository) -> Vec<(String, String, String)> {
+    let mut paths = Vec::new();
+    for app in repo.application_names() {
+        let application = repo.application(app).expect("listed application exists");
+        for exp_name in application.experiment_names() {
+            let exp = repo
+                .experiment(app, exp_name)
+                .expect("listed experiment exists");
+            for trial_name in exp.trial_names() {
+                paths.push((
+                    app.to_string(),
+                    exp_name.to_string(),
+                    trial_name.to_string(),
+                ));
+            }
+        }
+    }
+    paths
+}
+
+/// A bounded LRU of materialized cold trials, keyed by full trial path.
+struct LruCache {
+    capacity: usize,
+    /// Most recently used last. Linear scan is fine: capacities are
+    /// small (tens of entries per shard) and entries are fat.
+    entries: Vec<((String, String, String), Arc<Trial>)>,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: &(String, String, String)) -> Option<Arc<Trial>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let value = entry.1.clone();
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    fn insert(&mut self, key: (String, String, String), value: Arc<Trial>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, value));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One shard: a mutable overlay plus a cache of cold materializations.
+struct Shard {
+    overlay: SharedRepository,
+    cache: Mutex<LruCache>,
+}
+
+/// Trials partitioned by `(app, experiment)` hash across N shards,
+/// optionally backed by a read-only mapped PDB1 store for cold data.
+pub struct ShardedRepository {
+    shards: Vec<Shard>,
+    cold: Option<Arc<MappedRepository>>,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl ShardedRepository {
+    /// An empty sharded store with no cold backing.
+    pub fn new(shards: usize, cache_capacity: usize, metrics: Arc<ServiceMetrics>) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        ShardedRepository {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    overlay: SharedRepository::new(),
+                    cache: Mutex::new(LruCache::new(cache_capacity)),
+                })
+                .collect(),
+            cold: None,
+            metrics,
+        }
+    }
+
+    /// Opens a repository file as the service store. PDB1 files become
+    /// the shared cold mapped store (zero-copy, materialized per trial
+    /// on demand); JSON files are loaded eagerly and distributed into
+    /// the shard overlays.
+    pub fn open(
+        path: &Path,
+        shards: usize,
+        cache_capacity: usize,
+        metrics: Arc<ServiceMetrics>,
+    ) -> perfdmf::Result<Self> {
+        let mut sharded = ShardedRepository::new(shards, cache_capacity, metrics);
+        match perfdmf::Format::detect(path)? {
+            perfdmf::Format::Pdb1 => {
+                sharded.cold = Some(Arc::new(MappedRepository::open(path)?));
+            }
+            perfdmf::Format::Json => {
+                sharded.absorb(Repository::load(path)?);
+            }
+        }
+        Ok(sharded)
+    }
+
+    /// Distributes an in-memory repository into the shard overlays.
+    pub fn from_repository(
+        repo: Repository,
+        shards: usize,
+        cache_capacity: usize,
+        metrics: Arc<ServiceMetrics>,
+    ) -> Self {
+        let mut sharded = ShardedRepository::new(shards, cache_capacity, metrics);
+        sharded.absorb(repo);
+        sharded
+    }
+
+    fn absorb(&mut self, repo: Repository) {
+        for (app, exp_name, trial_name) in paths_of(&repo) {
+            let shard = &self.shards[shard_of(&app, &exp_name, self.shards.len())];
+            let trial = repo
+                .trial(&app, &exp_name, &trial_name)
+                .expect("listed trial exists")
+                .clone();
+            shard.overlay.upsert_trial(&app, &exp_name, trial);
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Inserts or replaces a trial in its home shard's overlay.
+    /// Lock-wait time feeds the service `lock_wait` metric.
+    pub fn ingest(&self, app: &str, experiment: &str, trial: Trial) {
+        let shard = &self.shards[shard_of(app, experiment, self.shards.len())];
+        let ((), waited) = shard
+            .overlay
+            .write_timed(|r| r.upsert_trial(app, experiment, trial));
+        ServiceMetrics::add_nanos(&self.metrics.lock_wait_nanos, waited);
+    }
+
+    /// Fetches a trial: overlay first (freshest), then the shard's LRU
+    /// cache of cold materializations, then the mapped store.
+    pub fn get_trial(
+        &self,
+        app: &str,
+        experiment: &str,
+        trial: &str,
+    ) -> perfdmf::Result<Arc<Trial>> {
+        let shard = &self.shards[shard_of(app, experiment, self.shards.len())];
+        let (found, waited) = shard
+            .overlay
+            .read_timed(|r| r.trial(app, experiment, trial).ok().cloned());
+        ServiceMetrics::add_nanos(&self.metrics.lock_wait_nanos, waited);
+        if let Some(t) = found {
+            return Ok(Arc::new(t));
+        }
+
+        let key = (app.to_string(), experiment.to_string(), trial.to_string());
+        if let Some(cached) = shard.cache.lock().get(&key) {
+            ServiceMetrics::bump(&self.metrics.cache_hits);
+            return Ok(cached);
+        }
+
+        let cold = self
+            .cold
+            .as_ref()
+            .ok_or_else(|| perfdmf::DmfError::NotFound {
+                kind: "trial",
+                name: format!("{app}/{experiment}/{trial}"),
+            })?;
+        let materialized = Arc::new(cold.view(app, experiment, trial)?.to_trial()?);
+        ServiceMetrics::bump(&self.metrics.cache_misses);
+        shard.cache.lock().insert(key, materialized.clone());
+        Ok(materialized)
+    }
+
+    /// Builds a standalone repository holding every trial of one
+    /// experiment — overlay trials shadow cold ones of the same name.
+    /// The scripting layer runs against this snapshot, so a long script
+    /// never holds a shard lock.
+    pub fn snapshot_experiment(&self, app: &str, experiment: &str) -> perfdmf::Result<Repository> {
+        let shard = &self.shards[shard_of(app, experiment, self.shards.len())];
+        let mut snapshot = Repository::new();
+        if let Some(cold) = &self.cold {
+            for (a, e, t) in cold.trial_paths() {
+                if a == app && e == experiment {
+                    let (a, e, t) = (a.to_string(), e.to_string(), t.to_string());
+                    let materialized = cold.view(&a, &e, &t)?.to_trial()?;
+                    snapshot.upsert_trial(&a, &e, materialized);
+                }
+            }
+        }
+        let (overlaid, waited) = shard.overlay.read_timed(|r| {
+            r.experiment(app, experiment)
+                .map(|exp| exp.trials().cloned().collect::<Vec<_>>())
+                .unwrap_or_default()
+        });
+        ServiceMetrics::add_nanos(&self.metrics.lock_wait_nanos, waited);
+        for trial in overlaid {
+            snapshot.upsert_trial(app, experiment, trial);
+        }
+        if snapshot.trial_count() == 0 {
+            return Err(perfdmf::DmfError::NotFound {
+                kind: "experiment",
+                name: format!("{app}/{experiment}"),
+            });
+        }
+        Ok(snapshot)
+    }
+
+    /// Total trials across overlays and the cold store. Cold trials
+    /// shadowed by an overlay upsert of the same path are counted once.
+    pub fn trial_count(&self) -> usize {
+        self.trial_paths().len()
+    }
+
+    /// Every `(app, experiment, trial)` path, sorted, overlay and cold
+    /// merged.
+    pub fn trial_paths(&self) -> Vec<(String, String, String)> {
+        let mut paths: std::collections::BTreeSet<(String, String, String)> =
+            std::collections::BTreeSet::new();
+        if let Some(cold) = &self.cold {
+            for (a, e, t) in cold.trial_paths() {
+                paths.insert((a.to_string(), e.to_string(), t.to_string()));
+            }
+        }
+        for shard in &self.shards {
+            shard.overlay.read(|r| paths.extend(paths_of(r)));
+        }
+        paths.into_iter().collect()
+    }
+
+    /// Cached cold-trial count across all shards (diagnostics).
+    pub fn cached_trials(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdmf::{Measurement, TrialBuilder};
+
+    fn trial(name: &str) -> Trial {
+        let mut b = TrialBuilder::with_flat_threads(name, 2);
+        let t = b.metric("TIME");
+        let e = b.event("main");
+        b.set(e, t, 0, Measurement::leaf(3.0));
+        b.set(e, t, 1, Measurement::leaf(1.0));
+        b.build()
+    }
+
+    fn metrics() -> Arc<ServiceMetrics> {
+        Arc::new(ServiceMetrics::default())
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1, 2, 8, 13] {
+            for i in 0..50 {
+                let s = shard_of(&format!("app{i}"), "exp", shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(&format!("app{i}"), "exp", shards));
+            }
+        }
+        // Different experiments spread across shards rather than piling
+        // onto one.
+        let hit: std::collections::BTreeSet<usize> = (0..64)
+            .map(|i| shard_of("app", &format!("exp{i}"), 8))
+            .collect();
+        assert!(hit.len() > 1, "hash must actually distribute");
+    }
+
+    #[test]
+    fn ingest_then_get_round_trips() {
+        let sharded = ShardedRepository::new(4, 8, metrics());
+        sharded.ingest("lu", "strong", trial("t1"));
+        sharded.ingest("lu", "weak", trial("t2"));
+        let t = sharded.get_trial("lu", "strong", "t1").unwrap();
+        assert_eq!(t.name, "t1");
+        assert_eq!(sharded.trial_count(), 2);
+        assert!(sharded.get_trial("lu", "strong", "missing").is_err());
+    }
+
+    #[test]
+    fn cold_store_serves_through_the_cache() {
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t0")).unwrap();
+        repo.add_trial("app", "exp", trial("t1")).unwrap();
+        let bytes = repo.to_pdb1();
+
+        let m = metrics();
+        let mut sharded = ShardedRepository::new(2, 8, m.clone());
+        sharded.cold = Some(Arc::new(MappedRepository::from_bytes(&bytes).unwrap()));
+
+        // First access materializes (miss), second hits the cache.
+        let a = sharded.get_trial("app", "exp", "t0").unwrap();
+        let b = sharded.get_trial("app", "exp", "t0").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = m.snapshot();
+        assert_eq!((s.cache_misses, s.cache_hits), (1, 1));
+        assert_eq!(sharded.trial_count(), 2);
+        assert_eq!(sharded.cached_trials(), 1);
+    }
+
+    #[test]
+    fn overlay_shadows_cold_and_cache() {
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t0")).unwrap();
+        let bytes = repo.to_pdb1();
+
+        let mut sharded = ShardedRepository::new(2, 8, metrics());
+        sharded.cold = Some(Arc::new(MappedRepository::from_bytes(&bytes).unwrap()));
+
+        // Warm the cache with the cold version, then upsert a fresher
+        // trial at the same path: reads must see the overlay version.
+        sharded.get_trial("app", "exp", "t0").unwrap();
+        let mut fresh = trial("t0");
+        fresh.metadata.set("fresh", "yes");
+        sharded.ingest("app", "exp", fresh);
+        let got = sharded.get_trial("app", "exp", "t0").unwrap();
+        assert_eq!(got.metadata.get_str("fresh"), Some("yes"));
+        assert_eq!(sharded.trial_count(), 1, "overlay shadows, not duplicates");
+    }
+
+    #[test]
+    fn snapshot_merges_cold_and_overlay() {
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("cold")).unwrap();
+        let bytes = repo.to_pdb1();
+        let mut sharded = ShardedRepository::new(2, 8, metrics());
+        sharded.cold = Some(Arc::new(MappedRepository::from_bytes(&bytes).unwrap()));
+        sharded.ingest("app", "exp", trial("hot"));
+
+        let snap = sharded.snapshot_experiment("app", "exp").unwrap();
+        let names: Vec<&str> = snap
+            .experiment("app", "exp")
+            .unwrap()
+            .trial_names()
+            .collect();
+        assert_eq!(names, vec!["cold", "hot"]);
+        assert!(sharded.snapshot_experiment("app", "nope").is_err());
+    }
+
+    #[test]
+    fn lru_cache_evicts_oldest() {
+        let mut cache = LruCache::new(2);
+        let key = |s: &str| ("a".to_string(), "e".to_string(), s.to_string());
+        cache.insert(key("1"), Arc::new(trial("1")));
+        cache.insert(key("2"), Arc::new(trial("2")));
+        cache.get(&key("1")); // refresh 1; 2 is now LRU
+        cache.insert(key("3"), Arc::new(trial("3")));
+        assert!(cache.get(&key("2")).is_none(), "2 was evicted");
+        assert!(cache.get(&key("1")).is_some());
+        assert!(cache.get(&key("3")).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! End-to-end service tests: isolation, equivalence with the strict
+//! workflows, and cold-store behaviour.
+
+use perfdmf::{Measurement, Repository, Trial, TrialBuilder};
+use service::{AnalysisService, Outcome, Request, ServiceConfig};
+
+fn trial(name: &str, threads: usize) -> Trial {
+    let mut b = TrialBuilder::with_flat_threads(name, threads);
+    let t = b.metric("TIME");
+    let e = b.event("main");
+    for th in 0..threads {
+        b.set(e, t, th, Measurement::leaf(1.0 + th as f64));
+    }
+    b.build()
+}
+
+fn trial_json(name: &str, threads: usize) -> String {
+    serde_json::to_string(&trial(name, threads)).unwrap()
+}
+
+fn small_service(workers: usize) -> AnalysisService {
+    AnalysisService::start(ServiceConfig {
+        workers,
+        shards: 4,
+        ..ServiceConfig::default()
+    })
+}
+
+#[test]
+fn service_report_is_byte_identical_to_strict_workflow() {
+    let svc = small_service(2);
+    let client = svc.client();
+    client
+        .call(Request::Ingest {
+            app: "app".into(),
+            experiment: "exp".into(),
+            document: trial_json("t", 8),
+        })
+        .unwrap();
+    let resp = client
+        .call(Request::AnalyzeBalance {
+            app: "app".into(),
+            experiment: "exp".into(),
+            trial: "t".into(),
+            metric: "TIME".into(),
+        })
+        .unwrap();
+    assert!(resp.is_clean());
+    let rendered = match resp.outcome {
+        Outcome::Report { rendered, .. } => rendered,
+        other => panic!("expected report, got {other:?}"),
+    };
+    let strict = perfexplorer::workflow::analyze_load_balance(&trial("t", 8), "TIME")
+        .unwrap()
+        .rendered;
+    assert_eq!(
+        rendered, strict,
+        "service must match the strict workflow byte for byte"
+    );
+    svc.shutdown();
+}
+
+/// The acceptance criterion: a corrupt upload degrades only its own
+/// request. Sibling requests on the SAME shard — same (app, experiment)
+/// — must come back clean and byte-identical to strict.
+#[test]
+fn corrupt_upload_degrades_only_its_own_request() {
+    let svc = small_service(2);
+    let client = svc.client();
+
+    // Clean sibling and corrupt upload share one tenant, hence one
+    // shard.
+    let clean = client
+        .call(Request::Ingest {
+            app: "shared".into(),
+            experiment: "exp".into(),
+            document: trial_json("clean", 4),
+        })
+        .unwrap();
+    assert!(clean.is_clean());
+
+    let json = trial_json("broken", 4);
+    let corrupt = client
+        .call(Request::Ingest {
+            app: "shared".into(),
+            experiment: "exp".into(),
+            document: json[..json.len() / 2].to_string(),
+        })
+        .unwrap();
+    assert!(!corrupt.is_clean(), "corrupt upload must be flagged");
+    assert!(matches!(corrupt.outcome, Outcome::Rejected { .. }));
+
+    // The sibling's analysis is untouched: clean response, identical to
+    // the strict single-tenant run.
+    let resp = client
+        .call(Request::AnalyzeBalance {
+            app: "shared".into(),
+            experiment: "exp".into(),
+            trial: "clean".into(),
+            metric: "TIME".into(),
+        })
+        .unwrap();
+    assert!(
+        resp.is_clean(),
+        "sibling must not inherit degradation: {resp:?}"
+    );
+    let rendered = match resp.outcome {
+        Outcome::Report { rendered, .. } => rendered,
+        other => panic!("expected report, got {other:?}"),
+    };
+    let strict = perfexplorer::workflow::analyze_load_balance(&trial("clean", 4), "TIME")
+        .unwrap()
+        .rendered;
+    assert_eq!(rendered, strict);
+
+    let stats = svc.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.degraded_responses, 1);
+    assert_eq!(stats.panics_isolated, 0);
+    svc.shutdown();
+}
+
+#[test]
+fn many_concurrent_clients_all_get_clean_responses() {
+    let svc = small_service(4);
+    let clients = 32;
+    let results: Vec<bool> = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|id| {
+                let client = svc.client();
+                scope.spawn(move || {
+                    let app = format!("tenant{}", id % 5);
+                    let ingest = client
+                        .call(Request::Ingest {
+                            app: app.clone(),
+                            experiment: "exp".into(),
+                            document: trial_json(&format!("t{id}"), 4),
+                        })
+                        .unwrap();
+                    let analyze = client
+                        .call(Request::AnalyzeBalance {
+                            app,
+                            experiment: "exp".into(),
+                            trial: format!("t{id}"),
+                            metric: "TIME".into(),
+                        })
+                        .unwrap();
+                    ingest.is_clean() && analyze.is_clean()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert!(results.iter().all(|&ok| ok));
+    let stats = svc.stats();
+    assert_eq!(stats.requests, clients * 2);
+    assert_eq!(stats.degraded_responses, 0);
+    assert_eq!(stats.panics_isolated, 0);
+    svc.shutdown();
+}
+
+#[test]
+fn cold_pdb1_store_serves_analyses_through_the_cache() {
+    let mut repo = Repository::new();
+    repo.add_trial("app", "exp", trial("cold0", 4)).unwrap();
+    repo.add_trial("app", "exp", trial("cold1", 4)).unwrap();
+    let dir = std::env::temp_dir().join(format!("svc-cold-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("repo.pdb1");
+    repo.save_as(&path, perfdmf::Format::Pdb1).unwrap();
+
+    let svc = AnalysisService::open(
+        ServiceConfig {
+            workers: 1,
+            shards: 2,
+            ..ServiceConfig::default()
+        },
+        &path,
+    )
+    .unwrap();
+    let client = svc.client();
+    for _ in 0..2 {
+        let resp = client
+            .call(Request::AnalyzeBalance {
+                app: "app".into(),
+                experiment: "exp".into(),
+                trial: "cold0".into(),
+                metric: "TIME".into(),
+            })
+            .unwrap();
+        assert!(resp.is_clean(), "{resp:?}");
+    }
+    let stats = svc.stats();
+    assert_eq!(
+        (stats.cache_misses, stats.cache_hits),
+        (1, 1),
+        "first analysis materializes, second hits the shard cache"
+    );
+    // Uploads overlay the cold store without touching the file.
+    client
+        .call(Request::Ingest {
+            app: "app".into(),
+            experiment: "exp".into(),
+            document: trial_json("hot", 4),
+        })
+        .unwrap();
+    assert_eq!(svc.store().trial_count(), 3);
+    svc.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scripts_see_a_consistent_experiment_snapshot() {
+    let mut repo = Repository::new();
+    for i in 0..3 {
+        repo.add_trial("app", "exp", trial(&format!("t{i}"), 4))
+            .unwrap();
+    }
+    let svc = AnalysisService::start_with_repository(
+        ServiceConfig {
+            workers: 2,
+            shards: 4,
+            ..ServiceConfig::default()
+        },
+        repo,
+    );
+    let resp = svc
+        .client()
+        .call(Request::RunScript {
+            app: "app".into(),
+            experiment: "exp".into(),
+            source: r#"
+                load_trial("app", "exp", "t0");
+                load_trial("app", "exp", "t1");
+                load_trial("app", "exp", "t2");
+                print("all three trials visible");
+            "#
+            .into(),
+        })
+        .unwrap();
+    assert!(resp.is_clean(), "{resp:?}");
+    match &resp.outcome {
+        Outcome::ScriptDone { printed, .. } => {
+            assert_eq!(printed, &vec!["all three trials visible".to_string()])
+        }
+        other => panic!("expected script outcome, got {other:?}"),
+    }
+    svc.shutdown();
+}

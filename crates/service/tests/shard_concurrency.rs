@@ -1,0 +1,206 @@
+//! Concurrency and equivalence tests for the sharded repository.
+//!
+//! Two obligations: (1) hammering a [`ShardedRepository`] with many
+//! concurrent writers and readers across shards never loses, corrupts,
+//! or cross-wires a trial; (2) for any workload, the sharded store's
+//! query results are identical to a plain single [`Repository`]
+//! reference executing the same operations.
+
+use perfdmf::{Measurement, Repository, Trial, TrialBuilder};
+use proptest::prelude::*;
+use service::{shard_of, ServiceMetrics, ShardedRepository};
+use std::sync::Arc;
+
+fn trial_with(name: &str, payload: f64) -> Trial {
+    let mut b = TrialBuilder::with_flat_threads(name, 2);
+    let t = b.metric("TIME");
+    let e = b.event("main");
+    b.set(e, t, 0, Measurement::leaf(payload));
+    b.set(e, t, 1, Measurement::leaf(payload / 2.0));
+    b.build()
+}
+
+fn sharded(shards: usize) -> ShardedRepository {
+    ShardedRepository::new(shards, 8, Arc::new(ServiceMetrics::default()))
+}
+
+/// Many writers across many tenants, racing concurrent readers. Every
+/// written trial must land, be retrievable, and carry its own payload
+/// (no cross-tenant bleed).
+#[test]
+fn concurrent_writers_and_readers_across_shards() {
+    let store = sharded(8);
+    let writers = 8;
+    let per_writer = 30;
+    std::thread::scope(|scope| {
+        let store = &store;
+        for w in 0..writers {
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    let name = format!("t{w}_{i}");
+                    let payload = (w * 1000 + i) as f64 + 1.0;
+                    store.ingest(
+                        &format!("app{}", w % 4),
+                        &format!("exp{}", i % 3),
+                        trial_with(&name, payload),
+                    );
+                }
+            });
+        }
+        // Readers sweep while writers run: anything they find must be
+        // internally consistent.
+        for _ in 0..4 {
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    for (app, exp, name) in store.trial_paths() {
+                        let t = store.get_trial(&app, &exp, &name).expect("listed trial");
+                        assert_eq!(t.name, name, "trial must not be cross-wired");
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(store.trial_count(), writers * per_writer);
+    for w in 0..writers {
+        for i in 0..per_writer {
+            let name = format!("t{w}_{i}");
+            let payload = (w * 1000 + i) as f64 + 1.0;
+            let t = store
+                .get_trial(&format!("app{}", w % 4), &format!("exp{}", i % 3), &name)
+                .expect("every written trial is retrievable");
+            // Payload equality catches cross-tenant bleed that a name
+            // check alone would miss.
+            assert_eq!(*t, trial_with(&name, payload));
+        }
+    }
+}
+
+/// Concurrent same-path upserts: last writer wins per path, and the
+/// store never ends up with duplicates or torn entries.
+#[test]
+fn racing_upserts_to_one_path_stay_singular() {
+    let store = sharded(4);
+    std::thread::scope(|scope| {
+        let store = &store;
+        for w in 0..8 {
+            scope.spawn(move || {
+                for round in 0..20 {
+                    store.ingest(
+                        "app",
+                        "exp",
+                        trial_with("contested", (w * 100 + round) as f64 + 1.0),
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(store.trial_count(), 1);
+    let t = store.get_trial("app", "exp", "contested").unwrap();
+    assert_eq!(t.name, "contested");
+}
+
+/// One workload operation for the differential property.
+#[derive(Debug, Clone)]
+enum Op {
+    Ingest {
+        app: usize,
+        exp: usize,
+        trial: usize,
+        payload: u32,
+    },
+    Query {
+        app: usize,
+        exp: usize,
+        trial: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..2, 0usize..4, 0usize..3, 0usize..6, 1u32..1000).prop_map(
+        |(kind, app, exp, trial, payload)| {
+            if kind == 0 {
+                Op::Ingest {
+                    app,
+                    exp,
+                    trial,
+                    payload,
+                }
+            } else {
+                Op::Query { app, exp, trial }
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential property: any interleaving of ingests and queries
+    /// gives byte-identical results on the sharded store and on one
+    /// plain repository, for every shard count.
+    #[test]
+    fn sharded_store_matches_single_repository_reference(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        shards in 1usize..6,
+    ) {
+        let store = sharded(shards);
+        let mut reference = Repository::new();
+        for op in &ops {
+            match *op {
+                Op::Ingest { app, exp, trial, payload } => {
+                    let (a, e, t) = (
+                        format!("app{app}"),
+                        format!("exp{exp}"),
+                        format!("t{trial}"),
+                    );
+                    store.ingest(&a, &e, trial_with(&t, payload as f64));
+                    reference.upsert_trial(&a, &e, trial_with(&t, payload as f64));
+                }
+                Op::Query { app, exp, trial } => {
+                    let (a, e, t) = (
+                        format!("app{app}"),
+                        format!("exp{exp}"),
+                        format!("t{trial}"),
+                    );
+                    match (store.get_trial(&a, &e, &t), reference.trial(&a, &e, &t)) {
+                        (Ok(got), Ok(want)) => prop_assert_eq!(&*got, want),
+                        (Err(_), Err(_)) => {}
+                        (got, want) => prop_assert!(
+                            false,
+                            "presence diverged for {}/{}/{}: sharded={:?} reference={:?}",
+                            a, e, t, got.is_ok(), want.is_ok()
+                        ),
+                    }
+                }
+            }
+        }
+        // Terminal state: identical path sets and identical trials.
+        let mut want_paths = Vec::new();
+        for a in reference.application_names() {
+            let app = reference.application(a).unwrap();
+            for e in app.experiment_names() {
+                for t in reference.experiment(a, e).unwrap().trial_names() {
+                    want_paths.push((a.to_string(), e.to_string(), t.to_string()));
+                }
+            }
+        }
+        prop_assert_eq!(store.trial_paths(), want_paths.clone());
+        for (a, e, t) in &want_paths {
+            let got = store.get_trial(a, e, t).unwrap();
+            prop_assert_eq!(&*got, reference.trial(a, e, t).unwrap());
+        }
+    }
+
+    /// Shard assignment is a pure function of the tenant path: every
+    /// trial is visible under exactly the shard its hash names.
+    #[test]
+    fn shard_assignment_is_total_and_stable(
+        app in "[a-z]{1,8}",
+        exp in "[a-z]{1,8}",
+        shards in 1usize..16,
+    ) {
+        let s = shard_of(&app, &exp, shards);
+        prop_assert!(s < shards);
+        prop_assert_eq!(s, shard_of(&app, &exp, shards));
+    }
+}

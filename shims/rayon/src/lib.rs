@@ -10,30 +10,101 @@
 //! chunking is within noise of a real scheduler.
 
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Number of worker threads to use for `n` items.
-fn workers_for(n: usize) -> usize {
-    // `available_parallelism` is a syscall; cache it so fine-grained
-    // hot loops (e.g. one dispatch per k-means iteration) don't pay
-    // for it repeatedly.
-    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    if n < 2 {
-        return 1;
-    }
-    let cores = *CORES.get_or_init(|| {
+/// The global concurrency budget: the maximum number of *spawned*
+/// worker threads the shim will run at any moment, across every
+/// concurrent `par_iter` call in the process. Real rayon gets this
+/// for free from its fixed pool; the scoped-thread shim enforces it
+/// with a token counter. Overridden by the `RAYON_NUM_THREADS`
+/// environment variable (read once), defaulting to the core count.
+pub fn concurrency_budget() -> usize {
+    static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        if let Some(v) = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return v.max(1);
+        }
         std::thread::available_parallelism()
             .map(|v| v.get())
             .unwrap_or(1)
-    });
-    cores.min(n)
+    })
+}
+
+/// Live spawned workers (global). Callers' own threads do not count:
+/// a caller that gets no tokens processes its items inline, so nested
+/// or massively concurrent calls degrade to sequential instead of
+/// oversubscribing.
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`LIVE_WORKERS`], for regression tests.
+static PEAK_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Test-facing observability for the concurrency budget.
+#[doc(hidden)]
+pub mod diagnostics {
+    use super::{Ordering, LIVE_WORKERS, PEAK_WORKERS};
+
+    /// Spawned workers currently running.
+    pub fn live_workers() -> usize {
+        LIVE_WORKERS.load(Ordering::SeqCst)
+    }
+
+    /// Highest number of concurrently live spawned workers observed
+    /// since the last [`reset_peak`].
+    pub fn peak_workers() -> usize {
+        PEAK_WORKERS.load(Ordering::SeqCst)
+    }
+
+    /// Resets the high-water mark.
+    pub fn reset_peak() {
+        PEAK_WORKERS.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Tries to reserve up to `want` worker tokens from the global budget,
+/// returning how many were actually granted (possibly zero). Never
+/// blocks: a caller that cannot get tokens runs inline, which keeps
+/// nested calls deadlock-free.
+fn acquire_workers(want: usize) -> usize {
+    let budget = concurrency_budget();
+    loop {
+        let live = LIVE_WORKERS.load(Ordering::SeqCst);
+        let granted = want.min(budget.saturating_sub(live));
+        if granted == 0 {
+            return 0;
+        }
+        if LIVE_WORKERS
+            .compare_exchange(live, live + granted, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            PEAK_WORKERS.fetch_max(live + granted, Ordering::SeqCst);
+            return granted;
+        }
+    }
+}
+
+fn release_workers(count: usize) {
+    LIVE_WORKERS.fetch_sub(count, Ordering::SeqCst);
 }
 
 /// Applies `f` to every item on a pool of scoped threads, preserving
-/// order.
+/// order. The calling thread always processes the first chunk itself;
+/// additional chunks run on spawned threads, bounded by the global
+/// [`concurrency_budget`]. A panic in any chunk is re-raised on the
+/// caller with its *original* payload (after all workers finish), so
+/// `catch_unwind`-based supervisors see the real cause, not a shim
+/// message.
 fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
     let n = items.len();
-    let workers = workers_for(n);
+    if n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let spawned = acquire_workers(concurrency_budget().min(n) - 1);
+    let workers = spawned + 1;
     if workers <= 1 {
+        release_workers(spawned);
         return items.into_iter().map(f).collect();
     }
     let chunk_len = n.div_ceil(workers);
@@ -44,17 +115,57 @@ fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> 
         chunks.push(std::mem::replace(&mut rest, tail));
     }
     chunks.push(rest);
-    let results: Vec<Vec<R>> = std::thread::scope(|scope| {
+    // Ceil-division chunking can produce fewer chunks than granted
+    // tokens (e.g. 5 items over 4 workers yields 3 chunks); hand the
+    // unused tokens back before spawning.
+    let unused = (spawned + 1).saturating_sub(chunks.len());
+    if unused > 0 {
+        release_workers(unused);
+    }
+    let mut chunks = chunks.into_iter();
+    let first = chunks.next().unwrap_or_default();
+    let results: Vec<std::thread::Result<Vec<R>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    // Token released even if `f` panics, so a panicking
+                    // kernel cannot leak budget.
+                    struct Token;
+                    impl Drop for Token {
+                        fn drop(&mut self) {
+                            crate::release_workers(1);
+                        }
+                    }
+                    let _token = Token;
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon shim worker panicked"))
+        // The caller's chunk runs while the workers do, under the same
+        // panic capture so every token is released before re-raising.
+        let mine = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            first.into_iter().map(f).collect::<Vec<R>>()
+        }));
+        std::iter::once(mine)
+            .chain(handles.into_iter().map(|h| h.join()))
             .collect()
     });
-    results.into_iter().flatten().collect()
+    let mut out = Vec::with_capacity(n);
+    let mut panic_payload = None;
+    for r in results {
+        match r {
+            Ok(v) => out.extend(v),
+            Err(payload) => {
+                if panic_payload.is_none() {
+                    panic_payload = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    out
 }
 
 /// A materialized parallel iterator over owned items.
@@ -248,5 +359,98 @@ mod tests {
         assert!(v.is_empty());
         let one: Vec<usize> = (0..1).into_par_iter().map(|i| i + 41).collect();
         assert_eq!(one, vec![41]);
+    }
+
+    /// The budget tests observe the global live/peak gauges, so they
+    /// must not overlap each other (the harness runs tests in
+    /// parallel); the gauges they assert on are process-wide.
+    static GAUGE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Waits for every worker token to drain. Sibling tests in this
+    /// binary may still have workers in flight when a gauge test
+    /// finishes its own calls; leaked tokens never drain, so a bounded
+    /// wait distinguishes a leak from an in-flight neighbour.
+    fn assert_tokens_drain() {
+        for _ in 0..2000 {
+            if crate::diagnostics::live_workers() == 0 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!(
+            "leaked worker tokens: {}",
+            crate::diagnostics::live_workers()
+        );
+    }
+
+    #[test]
+    fn concurrent_calls_never_exceed_the_global_budget() {
+        let _serial = GAUGE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Regression: every `par_map_vec` call used to spawn one
+        // thread per core with no global cap, so K concurrent callers
+        // oversubscribed to K×cores threads. The budget counter must
+        // hold the spawned-worker total at `concurrency_budget()` no
+        // matter how many callers (or nested calls) race.
+        let budget = crate::concurrency_budget();
+        crate::diagnostics::reset_peak();
+        let callers = budget * 4 + 2;
+        std::thread::scope(|scope| {
+            for _ in 0..callers {
+                scope.spawn(|| {
+                    // Nested parallel call inside a parallel call.
+                    let total: usize = (0..64)
+                        .into_par_iter()
+                        .map(|i| {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                            (0..4).into_par_iter().map(move |j| i + j).sum::<usize>()
+                        })
+                        .sum();
+                    assert_eq!(total, (0..64).map(|i| 4 * i + 6).sum::<usize>());
+                });
+            }
+        });
+        let peak = crate::diagnostics::peak_workers();
+        assert!(
+            peak <= budget,
+            "peak spawned workers {peak} exceeded budget {budget}"
+        );
+        assert_tokens_drain();
+    }
+
+    #[test]
+    fn worker_panic_preserves_the_original_payload() {
+        let _serial = GAUGE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Regression: a panicking worker died via
+        // `expect("rayon shim worker panicked")`, replacing the
+        // payload a Supervisor's catch_unwind later reports. The
+        // original payload — even a non-string one — must come back.
+        #[derive(Debug, PartialEq)]
+        struct Custom(u32);
+
+        let caught = std::panic::catch_unwind(|| {
+            (0..256).into_par_iter().for_each(|i| {
+                if i == 200 {
+                    std::panic::panic_any(Custom(42));
+                }
+            });
+        })
+        .expect_err("panic must propagate");
+        let payload = caught
+            .downcast_ref::<Custom>()
+            .expect("payload replaced by shim message");
+        assert_eq!(*payload, Custom(42));
+        assert_tokens_drain();
+
+        // String payloads (the common case) survive too.
+        let caught = std::panic::catch_unwind(|| {
+            (0..256)
+                .into_par_iter()
+                .for_each(|i| assert!(i < 100, "index out of range: {i}"));
+        })
+        .expect_err("panic must propagate");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("formatted panic payload is a String");
+        assert!(msg.contains("index out of range"), "{msg}");
     }
 }

@@ -163,6 +163,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "script" => script(&opts),
         "export" => export(&opts),
         "repo" => repo_cmd(&opts),
+        "serve" => serve(&opts),
         other => Err(err(format!("unknown command {other:?}\n\n{}", usage()))),
     }
 }
@@ -187,7 +188,8 @@ pub fn usage() -> String {
      \x20 perfknow script FILE        --repo FILE\n\
      \x20 perfknow export             --repo FILE --app A --experiment E --trial T\n\
      \x20 perfknow repo convert       --in FILE --out FILE [--to json|pdb1]\n\
-     \x20 perfknow repo inspect FILE\n"
+     \x20 perfknow repo inspect FILE\n\
+     \x20 perfknow serve              [--repo FILE] [--shards N] [--workers N] [--burst N]\n"
         .to_string()
 }
 
@@ -532,6 +534,104 @@ fn repo_cmd(opts: &Options) -> Result<String, CliError> {
     }
 }
 
+/// Boots the multi-tenant analysis service, drives it with a burst of
+/// concurrent ingest+analyze clients, and reports latency percentiles
+/// plus the service stats table.
+fn serve(opts: &Options) -> Result<String, CliError> {
+    use service::{AnalysisService, Request, ServiceConfig};
+    use std::time::{Duration, Instant};
+
+    let config = ServiceConfig {
+        shards: opts.num_or("shards", 8)?,
+        workers: opts.num_or(
+            "workers",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )?,
+        ..ServiceConfig::default()
+    };
+    let burst = opts.num_or("burst", 64)?;
+    let (svc, seeded) = match opts.flags.get("repo") {
+        Some(path) if Path::new(path).exists() => {
+            let svc = AnalysisService::open(config.clone(), Path::new(path))
+                .map_err(|e| err(format!("cannot open {path:?}: {e}")))?;
+            (svc, true)
+        }
+        _ => (AnalysisService::start(config.clone()), false),
+    };
+
+    // Burst clients upload a small MSA trial each and analyze it back.
+    let mut msa = MsaConfig::paper_400(4, Schedule::Static);
+    msa.sequences = 24;
+    let template = apps::msa::run(&msa);
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        (0..burst)
+            .map(|id| {
+                let client = svc.client();
+                let template = &template;
+                scope.spawn(move || {
+                    let mut upload = template.clone();
+                    upload.name = format!("burst-{id}");
+                    let document = serde_json::to_string(&upload).expect("serialize upload");
+                    let app = format!("tenant{}", id % 16);
+                    let ingest = client
+                        .call(Request::Ingest {
+                            app: app.clone(),
+                            experiment: "burst".into(),
+                            document,
+                        })
+                        .expect("service alive");
+                    let analyze = client
+                        .call(Request::AnalyzeBalance {
+                            app,
+                            experiment: "burst".into(),
+                            trial: format!("burst-{id}"),
+                            metric: "TIME".into(),
+                        })
+                        .expect("service alive");
+                    vec![ingest.latency, analyze.latency]
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|h| h.join().expect("burst client"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    latencies.sort();
+    let pct = |p: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        latencies[((latencies.len() as f64 - 1.0) * p).round() as usize]
+    };
+
+    let stats = svc.stats();
+    let trials = svc.store().trial_count();
+    svc.shutdown();
+    Ok(format!(
+        "service: {} shards, {} workers{}\n\
+         burst: {} clients, {} requests in {:?} ({:.0} req/s)\n\
+         latency: p50 {:?}  p99 {:?}  max {:?}\n\
+         store: {} trial(s)\n\
+         \n{}",
+        config.shards,
+        config.workers,
+        if seeded { ", seeded from --repo" } else { "" },
+        burst,
+        latencies.len(),
+        wall,
+        latencies.len() as f64 / wall.as_secs_f64(),
+        pct(0.50),
+        pct(0.99),
+        pct(1.0),
+        trials,
+        stats.render()
+    ))
+}
+
 fn export(opts: &Options) -> Result<String, CliError> {
     let repo = load_or_new(&PathBuf::from(opts.need("repo")?))?;
     let trial = repo
@@ -796,6 +896,57 @@ mod tests {
         std::fs::remove_file(tmp("convert.pdb.bak")).ok();
         std::fs::remove_file(tmp("convert.json.bak")).ok();
         std::fs::remove_file(tmp("convert_back.json.bak")).ok();
+    }
+
+    #[test]
+    fn serve_command_reports_latency_and_stats() {
+        let out = run(&args(&[
+            "serve",
+            "--burst",
+            "8",
+            "--workers",
+            "2",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("service: 4 shards, 2 workers"), "{out}");
+        assert!(out.contains("latency: p50"), "{out}");
+        assert!(out.contains("requests            16"), "{out}");
+        assert!(out.contains("panics isolated     0"), "{out}");
+        assert!(out.contains("store: 8 trial(s)"), "{out}");
+    }
+
+    #[test]
+    fn serve_command_seeds_from_a_repo_file() {
+        let repo_path = tmp("serve_seed.json");
+        std::fs::remove_file(&repo_path).ok();
+        let repo_str = repo_path.to_str().unwrap();
+        run(&args(&[
+            "simulate",
+            "msa",
+            "--threads",
+            "4",
+            "--sequences",
+            "32",
+            "--repo",
+            repo_str,
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "serve",
+            "--repo",
+            repo_str,
+            "--burst",
+            "4",
+            "--workers",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("seeded from --repo"), "{out}");
+        // 1 seeded trial + 4 burst uploads.
+        assert!(out.contains("store: 5 trial(s)"), "{out}");
+        std::fs::remove_file(&repo_path).ok();
     }
 
     #[test]
