@@ -48,6 +48,7 @@ pub mod compare;
 pub mod derive;
 pub mod error;
 pub mod facts;
+pub mod incremental;
 pub mod loadbalance;
 pub mod metrics;
 pub mod powerenergy;
@@ -59,10 +60,14 @@ pub mod scripting;
 pub mod supervise;
 pub mod workflow;
 
-pub use cluster::{cluster_threads, cluster_view, ThreadClustering};
-pub use derive::{derive_metric, derive_view, DeriveOp, DerivedPlanes};
+pub use cluster::{
+    cluster_threads, cluster_threads_warm, cluster_view, ThreadClustering, WarmClusterOutcome,
+    WarmClusterState,
+};
+pub use derive::{derive_metric, derive_update, derive_view, DeriveOp, DerivedPlanes};
 pub use error::AnalysisError;
 pub use facts::MeanEventFact;
+pub use incremental::{AnalysisState, UpdateStats};
 pub use loadbalance::LoadBalanceAnalysis;
 pub use result::{TrialMeanResult, TrialResult};
 pub use supervise::{DegradeCause, DegradedStage, Supervisor, SupervisorConfig};

@@ -11,9 +11,10 @@
 //! `RegionBalance` fact per event plus one `NestedCorrelation` fact per
 //! nested pair, ready for the load-imbalance rulebase.
 
+use crate::incremental::{AnalysisState, UpdateStats};
 use crate::result::TrialResult;
 use crate::{AnalysisError, Result};
-use perfdmf::{EventId, Field, Trial, TrialView, MAIN_EVENT};
+use perfdmf::{AppliedChunk, EventId, Field, Trial, TrialView, MAIN_EVENT};
 use rayon::prelude::*;
 use rules::Fact;
 use serde::{Deserialize, Serialize};
@@ -205,6 +206,19 @@ pub fn analyze_matrix(
         observations,
         nested,
     })
+}
+
+/// O(Δ) companion to [`analyze`]: refreshes a maintained
+/// [`AnalysisState`] from one applied chunk instead of rescanning the
+/// `events × threads` matrix. `state.analysis()` stays bitwise equal to
+/// what [`analyze`] would recompute — see [`crate::incremental`] for
+/// the contract.
+pub fn update(
+    state: &mut AnalysisState,
+    trial: &Trial,
+    chunk: &AppliedChunk,
+) -> Result<UpdateStats> {
+    state.update(trial, chunk)
 }
 
 #[cfg(test)]

@@ -103,7 +103,7 @@ fn derivation_scratch(target: &Trial) -> Result<Trial> {
     })
 }
 
-fn finish(report: rules::RunReport) -> CaseStudyReport {
+pub(crate) fn finish(report: rules::RunReport) -> CaseStudyReport {
     let mut cost_model = CostModel::default();
     let feedback = compiler_feedback(&report, &mut cost_model);
     CaseStudyReport {

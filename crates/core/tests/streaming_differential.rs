@@ -1,0 +1,390 @@
+//! Differential tests pinning the streaming pipeline to the batch
+//! reference: random chunk interleavings (duplicates, out-of-order
+//! sequence numbers, NaN cells, out-of-range threads included) must
+//! leave the incrementally maintained analysis bitwise equal to a full
+//! batch recompute after EVERY chunk, derived metrics bitwise equal to
+//! a fresh derivation, and warm-started clustering in agreement with
+//! the cold path.
+
+use perfexplorer::incremental::AnalysisState;
+use perfexplorer::workflow::analyze_load_balance;
+use perfexplorer::{cluster_threads, derive_metric, derive_update, loadbalance, DeriveOp};
+
+use perfdmf::{ChunkBatch, ColumnDelta, Measurement, StreamingTrial};
+
+/// Hand-rolled deterministic RNG — same idiom as the statistics crate's
+/// differential tests; no external proptest dependency.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True with probability `percent`/100.
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next_u64() % 100 < percent
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+const THREADS: u32 = 8;
+
+const EVENTS: &[&str] = &[
+    "main",
+    "main => init",
+    "main => solve",
+    "main => solve => halo",
+    "main => solve => compute",
+    "main => io",
+    "main => solve => halo => pack",
+];
+
+fn cell(v: f64) -> Measurement {
+    Measurement {
+        inclusive: v,
+        exclusive: v,
+        calls: 1.0,
+        subcalls: 0.0,
+    }
+}
+
+fn delta(metric: &str, event: &str, cells: Vec<(u32, Measurement)>) -> ColumnDelta {
+    ColumnDelta {
+        metric: metric.into(),
+        event: event.into(),
+        event_kind: None,
+        cells,
+    }
+}
+
+/// Seed chunk: `main` over TIME on every thread, so the analysis has a
+/// total runtime from the first byte.
+fn seed_chunk(metrics: &[&str]) -> ChunkBatch {
+    let mut deltas = Vec::new();
+    for m in metrics {
+        deltas.push(delta(
+            m,
+            "main",
+            (0..THREADS).map(|t| (t, cell(100.0 + t as f64))).collect(),
+        ));
+    }
+    ChunkBatch {
+        seq: 0,
+        threads: THREADS,
+        deltas,
+    }
+}
+
+fn random_chunk(rng: &mut XorShift64, seq: u64, metrics: &[&str]) -> ChunkBatch {
+    let n_deltas = 1 + rng.pick(3);
+    let mut deltas = Vec::new();
+    for _ in 0..n_deltas {
+        let event = EVENTS[rng.pick(EVENTS.len())];
+        let metric = if metrics.len() > 1 && rng.chance(20) {
+            metrics[1]
+        } else {
+            metrics[0]
+        };
+        let n_cells = 1 + rng.pick(4);
+        let mut cells = Vec::new();
+        for _ in 0..n_cells {
+            // 3%: an out-of-range thread the ingest path must drop.
+            let t = if rng.chance(3) {
+                THREADS + rng.pick(4) as u32
+            } else {
+                rng.pick(THREADS as usize) as u32
+            };
+            // 2%: a NaN cell — quarantine interaction.
+            let v = if rng.chance(2) {
+                f64::NAN
+            } else {
+                rng.next_f64() * 10.0 - 2.0
+            };
+            cells.push((t, cell(v)));
+        }
+        deltas.push(delta(metric, event, cells));
+    }
+    ChunkBatch {
+        seq,
+        threads: THREADS,
+        deltas,
+    }
+}
+
+fn feq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+fn assert_analysis_bitwise(
+    incremental: &loadbalance::LoadBalanceAnalysis,
+    batch: &loadbalance::LoadBalanceAnalysis,
+    step: usize,
+) {
+    assert_eq!(
+        incremental.observations.len(),
+        batch.observations.len(),
+        "observation count diverged at step {step}"
+    );
+    for (x, y) in incremental.observations.iter().zip(&batch.observations) {
+        assert_eq!(
+            x.event, y.event,
+            "observation order diverged at step {step}"
+        );
+        assert!(
+            feq(x.stddev_mean_ratio, y.stddev_mean_ratio)
+                && feq(x.runtime_fraction, y.runtime_fraction)
+                && feq(x.mean, y.mean),
+            "observation for {} diverged at step {step}: {x:?} vs {y:?}",
+            x.event
+        );
+    }
+    assert_eq!(
+        incremental.nested.len(),
+        batch.nested.len(),
+        "nested-pair count diverged at step {step}"
+    );
+    for (x, y) in incremental.nested.iter().zip(&batch.nested) {
+        assert_eq!(
+            (&x.outer, &x.inner),
+            (&y.outer, &y.inner),
+            "pair order diverged at step {step}"
+        );
+        assert!(
+            feq(x.correlation, y.correlation),
+            "correlation {}/{} diverged at step {step}: {} vs {}",
+            x.outer,
+            x.inner,
+            x.correlation,
+            y.correlation
+        );
+    }
+}
+
+#[test]
+fn random_interleavings_stay_bitwise_equal_to_batch() {
+    for seed in [0x5eed1u64, 0x5eed2, 0x5eed3, 0x5eed4] {
+        let mut rng = XorShift64::new(seed);
+        let first = seed_chunk(&["TIME"]);
+        let (mut st, _) = StreamingTrial::from_batch("stream", &first).expect("seed chunk");
+        let mut state = AnalysisState::new(st.trial(), "TIME").expect("initial state");
+        let mut history = vec![first];
+
+        for step in 0..60 {
+            // 10%: re-send an earlier chunk verbatim (duplicate seq —
+            // must dedup to a no-op). Otherwise: a fresh chunk, with
+            // out-of-order seq numbers 15% of the time.
+            let chunk = if rng.chance(10) {
+                history[rng.pick(history.len())].clone()
+            } else {
+                let seq = if rng.chance(15) {
+                    1_000_000 + rng.next_u64() % 1000
+                } else {
+                    history.len() as u64
+                };
+                let c = random_chunk(&mut rng, seq, &["TIME"]);
+                history.push(c.clone());
+                c
+            };
+            let applied = st.apply_chunk(&chunk).expect("apply");
+            state.update(st.trial(), &applied).expect("update");
+
+            let batch = loadbalance::analyze(st.trial(), "TIME").expect("batch analyze");
+            assert_analysis_bitwise(&state.analysis(), &batch, step);
+
+            if rng.chance(25) {
+                let strict = analyze_load_balance(st.trial(), "TIME").expect("strict workflow");
+                let inc = state.report().expect("incremental report");
+                assert_eq!(
+                    strict.rendered, inc.rendered,
+                    "rendered report diverged at step {step}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn derive_update_matches_batch_derive_bitwise() {
+    let mut rng = XorShift64::new(0xdeadbeef);
+    // Both metrics and every event present up front: the derive test
+    // mirrors touched cells into its own trial, so the universe must
+    // not grow mid-stream.
+    let mut first = seed_chunk(&["TIME", "FLOPS"]);
+    for ev in &EVENTS[1..] {
+        for m in ["TIME", "FLOPS"] {
+            first.deltas.push(delta(
+                m,
+                ev,
+                (0..THREADS)
+                    .map(|t| (t, cell(rng.next_f64() * 5.0)))
+                    .collect(),
+            ));
+        }
+    }
+    let (mut st, _) = StreamingTrial::from_batch("stream", &first).expect("seed chunk");
+
+    let mut working = st.trial().clone();
+    let name = derive_metric(&mut working, "TIME", DeriveOp::Divide, "FLOPS").expect("derive");
+
+    for step in 0..40 {
+        let chunk = random_chunk(&mut rng, 1 + step as u64, &["TIME", "FLOPS"]);
+        let applied = st.apply_chunk(&chunk).expect("apply");
+
+        // Mirror the touched base cells into the working trial, then
+        // refresh only the derived cells the chunk touched.
+        for tc in &applied.touched {
+            for &t in &tc.threads {
+                let v = *st
+                    .trial()
+                    .profile
+                    .get(tc.event, tc.metric, t as usize)
+                    .expect("source cell");
+                *working
+                    .profile
+                    .get_mut(tc.event, tc.metric, t as usize)
+                    .expect("mirror cell") = v;
+            }
+        }
+        let updated = derive_update(
+            &mut working,
+            "TIME",
+            DeriveOp::Divide,
+            "FLOPS",
+            &applied.touched,
+        )
+        .expect("derive_update");
+        assert_eq!(updated, name);
+
+        // Batch reference: derive from scratch on the current stream
+        // contents.
+        let mut fresh = st.trial().clone();
+        derive_metric(&mut fresh, "TIME", DeriveOp::Divide, "FLOPS").expect("fresh derive");
+        let out = fresh.profile.metric_id(&name).expect("derived metric");
+        let out_w = working.profile.metric_id(&name).expect("derived metric");
+        for e in 0..fresh.profile.event_count() {
+            let ev = perfdmf::EventId(e as u32);
+            for t in 0..fresh.profile.thread_count() {
+                let a = fresh.profile.get(ev, out, t).expect("fresh cell");
+                let b = working.profile.get(ev, out_w, t).expect("working cell");
+                assert!(
+                    feq(a.inclusive, b.inclusive) && feq(a.exclusive, b.exclusive),
+                    "derived cell ({e},{t}) diverged at step {step}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_clustering_agrees_with_cold_on_stable_structure() {
+    const CT: u32 = 12;
+    // Two clear thread populations over the solver events.
+    let mut deltas = vec![delta(
+        "TIME",
+        "main",
+        (0..CT).map(|t| (t, cell(100.0))).collect(),
+    )];
+    for ev in ["main => solve", "main => solve => halo"] {
+        deltas.push(delta(
+            "TIME",
+            ev,
+            (0..CT)
+                .map(|t| (t, cell(if t < CT / 2 { 10.0 } else { 60.0 })))
+                .collect(),
+        ));
+    }
+    let first = ChunkBatch {
+        seq: 0,
+        threads: CT,
+        deltas,
+    };
+    let (mut st, _) = StreamingTrial::from_batch("stream", &first).expect("seed chunk");
+    let mut state = AnalysisState::new(st.trial(), "TIME").expect("state");
+
+    // First call is cold and must match the plain batch clustering.
+    let c0 = state.cluster(st.trial(), 4).expect("cold cluster");
+    let cold = cluster_threads(st.trial(), "TIME", 4).expect("batch cluster");
+    assert_eq!(c0.k, cold.k);
+    assert_eq!(partition(&c0), partition(&cold));
+
+    // A re-cluster with no intervening updates warm-starts from the
+    // converged centroids and must keep the partition.
+    let c1 = state.cluster(st.trial(), 4).expect("warm recluster");
+    assert_eq!(partition(&c1), partition(&c0));
+
+    // Small perturbation: warm refinement must still agree with a cold
+    // run on the same data.
+    let nudge = ChunkBatch {
+        seq: 1,
+        threads: CT,
+        deltas: vec![delta(
+            "TIME",
+            "main => solve",
+            vec![(0, cell(11.0)), (7, cell(58.0))],
+        )],
+    };
+    let applied = st.apply_chunk(&nudge).expect("apply");
+    state.update(st.trial(), &applied).expect("update");
+    let c2 = state.cluster(st.trial(), 4).expect("warm cluster");
+    let cold2 = cluster_threads(st.trial(), "TIME", 4).expect("batch cluster");
+    assert_eq!(partition(&c2), partition(&cold2));
+    assert!(
+        (c2.silhouette - cold2.silhouette).abs() < 0.1,
+        "warm silhouette {} strayed from cold {}",
+        c2.silhouette,
+        cold2.silhouette
+    );
+
+    // Structural upheaval: every thread moves. The warm path must
+    // detect the drift, fall back, and still produce a sane partition.
+    let upheaval = ChunkBatch {
+        seq: 2,
+        threads: CT,
+        deltas: vec![delta(
+            "TIME",
+            "main => solve",
+            (0..CT)
+                .map(|t| (t, cell(if t % 3 == 0 { 90.0 } else { 5.0 })))
+                .collect(),
+        )],
+    };
+    let applied = st.apply_chunk(&upheaval).expect("apply");
+    state.update(st.trial(), &applied).expect("update");
+    let c3 = state.cluster(st.trial(), 4).expect("post-drift cluster");
+    let mut covered: Vec<usize> = c3.groups.iter().flat_map(|g| g.threads.clone()).collect();
+    covered.sort_unstable();
+    assert_eq!(covered, (0..CT as usize).collect::<Vec<_>>());
+    assert!(c3.silhouette.is_finite());
+}
+
+/// Canonical partition: sorted thread sets, sorted by first member.
+fn partition(c: &perfexplorer::ThreadClustering) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = c
+        .groups
+        .iter()
+        .map(|g| {
+            let mut t = g.threads.clone();
+            t.sort_unstable();
+            t
+        })
+        .collect();
+    groups.sort();
+    groups
+}

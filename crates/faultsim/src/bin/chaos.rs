@@ -283,6 +283,132 @@ fn run_seed(seed: u64, verbose: bool) -> SeedOutcome {
         svc.shutdown();
     });
 
+    // --- streaming-domain: torn, replayed, out-of-order chunk streams ---
+    guarded(&mut outcome, "streaming chunks", |o| {
+        use perfdmf::{ChunkBatch, ColumnDelta, EventId, MetricId};
+        use service::{AnalysisService, Outcome, Request, ServiceConfig};
+
+        let clean = &clean_trials()[0];
+        let profile = &clean.profile;
+        let threads = profile.thread_count();
+        // One chunk per event, every metric's column in full — the
+        // flush shape the simulator's profiling layer produces.
+        let chunks: Vec<ChunkBatch> = profile
+            .events()
+            .iter()
+            .enumerate()
+            .map(|(ei, event)| ChunkBatch {
+                seq: ei as u64,
+                threads: threads as u32,
+                deltas: profile
+                    .metrics()
+                    .iter()
+                    .enumerate()
+                    .map(|(mi, metric)| ColumnDelta {
+                        metric: metric.name.clone(),
+                        event: event.name.clone(),
+                        event_kind: event.kind.clone(),
+                        cells: (0..threads)
+                            .map(|t| {
+                                (
+                                    t as u32,
+                                    *profile
+                                        .get(EventId(ei as u32), MetricId(mi as u32), t)
+                                        .expect("in-range cell"),
+                                )
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let svc = AnalysisService::start(ServiceConfig {
+            workers: 2,
+            shards: 2,
+            ..ServiceConfig::default()
+        });
+        let client = svc.client();
+        let send = |chunk_doc: String| {
+            client
+                .call(Request::IngestChunk {
+                    app: "chaos".into(),
+                    experiment: "stream".into(),
+                    trial: clean.name.clone(),
+                    chunk: chunk_doc,
+                })
+                .expect("service alive")
+        };
+
+        // Bootstrap cleanly (the chunk carrying `main` first), then
+        // deliver the rest out of order, each preceded by a corrupted
+        // (often truncated) copy and followed by a verbatim replay,
+        // analyzing after every delivery. Every response must be a
+        // report or a clean rejection — never a panic.
+        let main_idx = profile
+            .events()
+            .iter()
+            .position(|e| e.name == perfdmf::MAIN_EVENT)
+            .expect("clean trial has main");
+        let mut order: Vec<usize> = (0..chunks.len()).filter(|&i| i != main_idx).collect();
+        // Seeded shuffle: deterministic out-of-order delivery.
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        for i in (1..order.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let first = serde_json::to_string(&chunks[main_idx]).expect("chunk serializes");
+        assert!(send(first.clone()).is_clean(), "clean bootstrap chunk");
+        for &i in &order {
+            let doc = serde_json::to_string(&chunks[i]).expect("chunk serializes");
+            let (corrupt_doc, applied) = text_plan.apply_to_text(&doc);
+            o.faults_applied += applied.len();
+            let r = send(corrupt_doc);
+            o.stages_degraded += r.degraded.len();
+            let r = send(doc.clone());
+            o.stages_degraded += r.degraded.len();
+            // Replay: must dedup by sequence number, not double-apply.
+            let r = send(doc);
+            o.stages_degraded += r.degraded.len();
+
+            let analysis = client
+                .call(Request::AnalyzeBalance {
+                    app: "chaos".into(),
+                    experiment: "stream".into(),
+                    trial: clean.name.clone(),
+                    metric: "TIME".into(),
+                })
+                .expect("service alive");
+            assert!(
+                matches!(
+                    analysis.outcome,
+                    Outcome::Report { .. } | Outcome::Rejected { .. }
+                ),
+                "mid-stream analysis must report or reject, got {:?}",
+                analysis.outcome
+            );
+        }
+        // With every clean chunk delivered the partial report is whole.
+        let final_analysis = client
+            .call(Request::AnalyzeBalance {
+                app: "chaos".into(),
+                experiment: "stream".into(),
+                trial: clean.name.clone(),
+                metric: "TIME".into(),
+            })
+            .expect("service alive");
+        assert!(
+            matches!(final_analysis.outcome, Outcome::Report { .. }),
+            "fully-streamed trial must analyze: {:?}",
+            final_analysis.outcome
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.panics_isolated, 0, "panic escaped a chunk handler");
+        svc.shutdown();
+    });
+
     // --- repository salvage ---
     guarded(&mut outcome, "repository salvage", |o| {
         let mut repo = Repository::new();

@@ -38,6 +38,7 @@ pub mod pdb1;
 pub mod quality;
 pub mod repo;
 pub mod shared;
+pub mod streaming;
 pub mod validate;
 
 pub use error::DmfError;
@@ -51,6 +52,7 @@ pub use pdb1::Field;
 pub use quality::{sanitize_profile, sanitize_trial, DataQuality, QualityConfig};
 pub use repo::{Format, RecoveredRepository, Repository};
 pub use shared::SharedRepository;
+pub use streaming::{AppliedChunk, ChunkBatch, ColumnDelta, StreamingTrial, TouchedColumn};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, DmfError>;

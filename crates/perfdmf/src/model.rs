@@ -803,6 +803,12 @@ impl TrialBuilder {
         self
     }
 
+    /// Read access to the profile under construction (name/id lookups
+    /// for incremental consumers, e.g. the simulator's flush journal).
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
     /// Finishes the trial.
     pub fn build(self) -> Trial {
         Trial {

@@ -12,8 +12,16 @@
 //! upload degraded (and only it), every clean response clean, and the
 //! service's report byte-identical to the strict single-threaded
 //! workflow.
+//!
+//! `--streaming` switches clients to the analyze-while-ingesting
+//! workload: each client streams its trial as chunks, analyzing after
+//! every chunk (the incremental path), while also uploading the same
+//! trial whole and analyzing it cold (the batch path). The two analyze
+//! latency distributions are reported side by side, and every client
+//! asserts its final incremental report is byte-identical to its batch
+//! report.
 
-use perfdmf::Trial;
+use perfdmf::{ChunkBatch, ColumnDelta, EventId, MetricId, Trial};
 use service::{AnalysisService, Outcome, Request, Response, ServiceConfig};
 use std::time::{Duration, Instant};
 
@@ -23,6 +31,7 @@ struct Args {
     shards: usize,
     workers: usize,
     smoke: bool,
+    streaming: bool,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +43,7 @@ fn parse_args() -> Args {
             .map(|n| n.get())
             .unwrap_or(4),
         smoke: false,
+        streaming: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -47,6 +57,7 @@ fn parse_args() -> Args {
             "--corrupt" => args.corrupt = num("--corrupt"),
             "--shards" => args.shards = num("--shards"),
             "--workers" => args.workers = num("--workers"),
+            "--streaming" => args.streaming = true,
             "--smoke" => {
                 args.smoke = true;
                 args.clients = 64;
@@ -60,8 +71,56 @@ fn parse_args() -> Args {
 
 fn die(msg: &str) -> ! {
     eprintln!("loadgen: {msg}");
-    eprintln!("usage: loadgen [--clients N] [--corrupt N] [--shards N] [--workers N] [--smoke]");
+    eprintln!(
+        "usage: loadgen [--clients N] [--corrupt N] [--shards N] [--workers N] [--smoke] [--streaming]"
+    );
     std::process::exit(2);
+}
+
+/// Chunks per streamed trial in `--streaming` mode.
+const STREAM_CHUNKS: usize = 4;
+
+/// Decomposes a finished trial into flush-style chunks: each event's
+/// full columns land in one chunk, events dealt round-robin, with
+/// `main` pinned to chunk 0 so the very first flush already carries the
+/// total-runtime row. Cells are copied exactly once, so the streamed
+/// reconstruction is bitwise identical to the source trial.
+fn trial_chunks(trial: &Trial, parts: usize) -> Vec<ChunkBatch> {
+    let profile = &trial.profile;
+    let threads = profile.thread_count() as u32;
+    let mut chunks: Vec<ChunkBatch> = (0..parts)
+        .map(|i| ChunkBatch {
+            seq: i as u64,
+            threads,
+            deltas: Vec::new(),
+        })
+        .collect();
+    for (ei, event) in profile.events().iter().enumerate() {
+        let part = if event.name == perfdmf::MAIN_EVENT {
+            0
+        } else {
+            ei % parts
+        };
+        for (mi, metric) in profile.metrics().iter().enumerate() {
+            let cells: Vec<_> = (0..threads as usize)
+                .map(|t| {
+                    (
+                        t as u32,
+                        *profile
+                            .get(EventId(ei as u32), MetricId(mi as u32), t)
+                            .expect("in-range cell"),
+                    )
+                })
+                .collect();
+            chunks[part].deltas.push(ColumnDelta {
+                metric: metric.name.clone(),
+                event: event.name.clone(),
+                event_kind: event.kind.clone(),
+                cells,
+            });
+        }
+    }
+    chunks
 }
 
 /// A small but realistic MSA trial (imbalanced static schedule), shared
@@ -89,10 +148,31 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 
 struct ClientResult {
     latencies: Vec<Duration>,
+    /// Analyze latencies served from cached incremental state
+    /// (`--streaming` only).
+    incremental: Vec<Duration>,
+    /// Analyze latencies served by the batch path (`--streaming` only).
+    batch: Vec<Duration>,
     /// Responses that should have been clean but were not.
     dirty_clean: usize,
     /// Corrupt uploads that were NOT flagged (degradation escaped).
     unflagged_corrupt: usize,
+    /// Streaming clients whose incremental report differed from their
+    /// batch report.
+    mismatches: usize,
+}
+
+impl ClientResult {
+    fn new() -> ClientResult {
+        ClientResult {
+            latencies: Vec::new(),
+            incremental: Vec::new(),
+            batch: Vec::new(),
+            dirty_clean: 0,
+            unflagged_corrupt: 0,
+            mismatches: 0,
+        }
+    }
 }
 
 fn run_client(
@@ -108,11 +188,7 @@ fn run_client(
     let mut upload = template.clone();
     upload.name = format!("msa-{id}");
     let document = serde_json::to_string(&upload).expect("serialize upload");
-    let mut result = ClientResult {
-        latencies: Vec::new(),
-        dirty_clean: 0,
-        unflagged_corrupt: 0,
-    };
+    let mut result = ClientResult::new();
     let mut push = |r: Result<Response, String>, expect_clean: bool| match r {
         Ok(resp) => {
             result.latencies.push(resp.latency);
@@ -156,9 +232,130 @@ fn run_client(
     result
 }
 
+/// The analyze-while-ingesting workload: chunk → analyze, interleaved,
+/// on one trial (incremental path), plus a whole-trial upload and one
+/// cold analysis of the same data (batch path) for comparison.
+fn run_streaming_client(
+    client: &service::ServiceClient,
+    id: usize,
+    corrupt: bool,
+    template: &Trial,
+    chunks: &[ChunkBatch],
+) -> ClientResult {
+    let app = format!("tenant{}", id % 16);
+    let experiment = format!("exp{}", id % 4);
+    let mut result = ClientResult::new();
+
+    if corrupt {
+        // A truncated chunk document: must reject, never panic.
+        let doc = serde_json::to_string(&chunks[0]).expect("serialize chunk");
+        match client.call(Request::IngestChunk {
+            app,
+            experiment,
+            trial: format!("msa-{id}"),
+            chunk: doc[..doc.len() / 2].to_string(),
+        }) {
+            Ok(resp) => {
+                result.latencies.push(resp.latency);
+                if resp.is_clean() {
+                    result.unflagged_corrupt += 1;
+                }
+            }
+            Err(_) => result.dirty_clean += 1,
+        }
+        return result;
+    }
+
+    // Batch reference: the same trial whole, under a sibling name.
+    let mut upload = template.clone();
+    upload.name = format!("msa-{id}-batch");
+    let document = serde_json::to_string(&upload).expect("serialize upload");
+    match client.call(Request::Ingest {
+        app: app.clone(),
+        experiment: experiment.clone(),
+        document,
+    }) {
+        Ok(resp) => {
+            result.latencies.push(resp.latency);
+            if !resp.is_clean() {
+                result.dirty_clean += 1;
+            }
+        }
+        Err(_) => result.dirty_clean += 1,
+    }
+    let batch_rendered = match client.call(Request::AnalyzeBalance {
+        app: app.clone(),
+        experiment: experiment.clone(),
+        trial: format!("msa-{id}-batch"),
+        metric: "TIME".into(),
+    }) {
+        Ok(resp) => {
+            result.latencies.push(resp.latency);
+            result.batch.push(resp.latency);
+            if !resp.is_clean() {
+                result.dirty_clean += 1;
+            }
+            match resp.outcome {
+                Outcome::Report { rendered, .. } => Some(rendered),
+                _ => None,
+            }
+        }
+        Err(_) => {
+            result.dirty_clean += 1;
+            None
+        }
+    };
+
+    // Interleaved ingest + analyze on the streamed twin.
+    let mut last_rendered = None;
+    for chunk in chunks {
+        let doc = serde_json::to_string(chunk).expect("serialize chunk");
+        match client.call(Request::IngestChunk {
+            app: app.clone(),
+            experiment: experiment.clone(),
+            trial: format!("msa-{id}"),
+            chunk: doc,
+        }) {
+            Ok(resp) => {
+                result.latencies.push(resp.latency);
+                if !resp.is_clean() {
+                    result.dirty_clean += 1;
+                }
+            }
+            Err(_) => result.dirty_clean += 1,
+        }
+        match client.call(Request::AnalyzeBalance {
+            app: app.clone(),
+            experiment: experiment.clone(),
+            trial: format!("msa-{id}"),
+            metric: "TIME".into(),
+        }) {
+            Ok(resp) => {
+                result.latencies.push(resp.latency);
+                result.incremental.push(resp.latency);
+                if !resp.is_clean() {
+                    result.dirty_clean += 1;
+                }
+                if let Outcome::Report { rendered, .. } = resp.outcome {
+                    last_rendered = Some(rendered);
+                }
+            }
+            Err(_) => result.dirty_clean += 1,
+        }
+    }
+
+    // Every chunk was applied exactly once, so the streamed trial's
+    // final report must be byte-identical to the batch twin's.
+    if batch_rendered.is_none() || last_rendered != batch_rendered {
+        result.mismatches += 1;
+    }
+    result
+}
+
 fn main() {
     let args = parse_args();
     let template = template_trial();
+    let chunks = trial_chunks(&template, STREAM_CHUNKS);
     if args.clients <= args.corrupt {
         die("need at least one clean client");
     }
@@ -179,8 +376,12 @@ fn main() {
     });
 
     println!(
-        "loadgen: {} clients ({} corrupt), {} shards, {} workers",
-        args.clients, args.corrupt, args.shards, args.workers
+        "loadgen: {} clients ({} corrupt), {} shards, {} workers{}",
+        args.clients,
+        args.corrupt,
+        args.shards,
+        args.workers,
+        if args.streaming { ", streaming" } else { "" }
     );
     let start = Instant::now();
     let results: Vec<ClientResult> = std::thread::scope(|scope| {
@@ -188,11 +389,19 @@ fn main() {
             .map(|id| {
                 let client = svc.client();
                 let template = &template;
+                let chunks = &chunks;
+                let streaming = args.streaming;
                 // Clients 0..corrupt upload broken documents; clean
                 // clients 16..16+corrupt reuse the same tenants, so a
                 // corrupt upload always has clean same-shard siblings.
                 let corrupt = id < args.corrupt;
-                scope.spawn(move || run_client(&client, id, corrupt, template))
+                scope.spawn(move || {
+                    if streaming {
+                        run_streaming_client(&client, id, corrupt, template, chunks)
+                    } else {
+                        run_client(&client, id, corrupt, template)
+                    }
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -217,6 +426,34 @@ fn main() {
         percentile(&latencies, 0.99),
         percentile(&latencies, 1.0)
     );
+    let mismatches: usize = results.iter().map(|r| r.mismatches).sum();
+    if args.streaming {
+        let mut incremental: Vec<Duration> =
+            results.iter().flat_map(|r| r.incremental.clone()).collect();
+        incremental.sort();
+        let mut batch: Vec<Duration> = results.iter().flat_map(|r| r.batch.clone()).collect();
+        batch.sort();
+        println!(
+            "analyze latency incremental p50 {:?}  p99 {:?}  ({} samples)",
+            percentile(&incremental, 0.50),
+            percentile(&incremental, 0.99),
+            incremental.len()
+        );
+        println!(
+            "analyze latency batch       p50 {:?}  p99 {:?}  ({} samples)",
+            percentile(&batch, 0.50),
+            percentile(&batch, 0.99),
+            batch.len()
+        );
+        println!(
+            "streamed-vs-batch reports: {}",
+            if mismatches == 0 {
+                "byte-identical".to_string()
+            } else {
+                format!("{mismatches} MISMATCHES")
+            }
+        );
+    }
     let stats = svc.stats();
     print!("{}", stats.render());
 
@@ -279,6 +516,11 @@ fn main() {
     }
     if !byte_identical {
         failures.push("service report differs from strict workflow".into());
+    }
+    if mismatches != 0 {
+        failures.push(format!(
+            "{mismatches} streamed trials reported differently from their batch twins"
+        ));
     }
     if args.smoke {
         if failures.is_empty() {

@@ -69,6 +69,18 @@ pub enum Request {
         /// JSON document of a [`Trial`].
         document: String,
     },
+    /// Append one streamed chunk ([`perfdmf::ChunkBatch`] as JSON) to a
+    /// trial under construction, creating the stream on first contact.
+    IngestChunk {
+        /// Tenant application.
+        app: String,
+        /// Tenant experiment.
+        experiment: String,
+        /// Trial name the stream builds.
+        trial: String,
+        /// JSON document of a [`perfdmf::ChunkBatch`].
+        chunk: String,
+    },
     /// Run the §III-A load-balance workflow on one stored trial.
     AnalyzeBalance {
         /// Tenant application.
@@ -98,6 +110,19 @@ pub enum Outcome {
     Ingested {
         /// Name of the trial as parsed from the document.
         trial: String,
+    },
+    /// Chunk applied to a streamed trial.
+    ChunkIngested {
+        /// Trial the chunk was applied to.
+        trial: String,
+        /// The chunk's sequence number.
+        seq: u64,
+        /// The chunk was a replay and was skipped.
+        duplicate: bool,
+        /// Cells applied into the columnar arena.
+        applied_cells: usize,
+        /// Cells addressing threads beyond the trial's axis, dropped.
+        dropped_cells: usize,
     },
     /// Workflow finished; the rendered report.
     Report {
@@ -379,6 +404,49 @@ fn handle(
                 ),
             }
         }
+        Request::IngestChunk {
+            app,
+            experiment,
+            trial,
+            chunk,
+        } => {
+            ServiceMetrics::bump(&metrics.chunk_ingests);
+            let batch = match serde_json::from_str::<perfdmf::ChunkBatch>(chunk) {
+                Ok(batch) => batch,
+                Err(e) => {
+                    return (
+                        Outcome::Rejected {
+                            error: format!("unparseable chunk: {e}"),
+                        },
+                        vec![DegradedStage {
+                            stage: "parse chunk".to_string(),
+                            cause: DegradeCause::Failed(e.to_string()),
+                        }],
+                    )
+                }
+            };
+            match store.ingest_chunk(app, experiment, trial, &batch) {
+                Ok(applied) => (
+                    Outcome::ChunkIngested {
+                        trial: trial.clone(),
+                        seq: applied.seq,
+                        duplicate: applied.duplicate,
+                        applied_cells: applied.applied_cells(),
+                        dropped_cells: applied.dropped_cells,
+                    },
+                    Vec::new(),
+                ),
+                Err(e) => (
+                    Outcome::Rejected {
+                        error: format!("chunk not applied: {e}"),
+                    },
+                    vec![DegradedStage {
+                        stage: "apply chunk".to_string(),
+                        cause: DegradeCause::Failed(e.to_string()),
+                    }],
+                ),
+            }
+        }
         Request::AnalyzeBalance {
             app,
             experiment,
@@ -386,6 +454,36 @@ fn handle(
             metric,
         } => {
             ServiceMetrics::bump(&metrics.analyses);
+            // A trial under streaming construction is served from its
+            // cached incremental state — the O(Δ) path. The report is
+            // byte-identical to the batch workflow on the same data
+            // (the incremental module's differential contract).
+            if let Some(result) = store.streaming_report(app, experiment, trial, metric) {
+                return match result {
+                    Ok((report, rebuilt)) => {
+                        ServiceMetrics::bump(&metrics.incremental_analyses);
+                        if rebuilt {
+                            ServiceMetrics::bump(&metrics.state_rebuilds);
+                        }
+                        (
+                            Outcome::Report {
+                                rendered: report.rendered,
+                                diagnoses: report.report.diagnoses.len(),
+                            },
+                            Vec::new(),
+                        )
+                    }
+                    Err(e) => (
+                        Outcome::Rejected {
+                            error: e.to_string(),
+                        },
+                        vec![DegradedStage {
+                            stage: "incremental analysis".to_string(),
+                            cause: DegradeCause::Failed(e.to_string()),
+                        }],
+                    ),
+                };
+            }
             match store.get_trial(app, experiment, trial) {
                 Ok(t) => {
                     let report = analyze_load_balance_supervised(&t, metric, supervisor);
@@ -534,6 +632,190 @@ mod tests {
             })
             .unwrap();
         assert!(matches!(r.outcome, Outcome::Rejected { .. }));
+        svc.shutdown();
+    }
+
+    fn chunk_json(seq: u64, cells: &[(&str, &[(u32, f64)])]) -> String {
+        let deltas: Vec<perfdmf::ColumnDelta> = cells
+            .iter()
+            .map(|(event, cells)| perfdmf::ColumnDelta {
+                metric: "TIME".into(),
+                event: event.to_string(),
+                event_kind: None,
+                cells: cells
+                    .iter()
+                    .map(|&(t, v)| {
+                        (
+                            t,
+                            Measurement {
+                                inclusive: v,
+                                exclusive: v,
+                                calls: 1.0,
+                                subcalls: 0.0,
+                            },
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        serde_json::to_string(&perfdmf::ChunkBatch {
+            seq,
+            threads: 4,
+            deltas,
+        })
+        .unwrap()
+    }
+
+    fn ingest_chunk(client: &ServiceClient, trial: &str, chunk: String) -> Response {
+        client
+            .call(Request::IngestChunk {
+                app: "lu".into(),
+                experiment: "strong".into(),
+                trial: trial.into(),
+                chunk,
+            })
+            .unwrap()
+    }
+
+    fn analyze(client: &ServiceClient, trial: &str) -> Response {
+        client
+            .call(Request::AnalyzeBalance {
+                app: "lu".into(),
+                experiment: "strong".into(),
+                trial: trial.into(),
+                metric: "TIME".into(),
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn chunk_stream_analyzes_incrementally_and_matches_batch() {
+        let svc = AnalysisService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let client = svc.client();
+
+        let c0 = chunk_json(
+            0,
+            &[
+                ("main", &[(0, 50.0), (1, 50.0), (2, 50.0), (3, 50.0)]),
+                ("main => work", &[(0, 40.0), (1, 30.0), (2, 20.0), (3, 2.0)]),
+            ],
+        );
+        let r = ingest_chunk(&client, "live", c0.clone());
+        assert!(r.is_clean(), "{r:?}");
+        match &r.outcome {
+            Outcome::ChunkIngested {
+                seq,
+                duplicate,
+                applied_cells,
+                ..
+            } => {
+                assert_eq!((*seq, *duplicate), (0, false));
+                assert_eq!(*applied_cells, 8);
+            }
+            other => panic!("expected chunk outcome, got {other:?}"),
+        }
+        let r = analyze(&client, "live");
+        assert!(r.is_clean(), "{r:?}");
+
+        // Second chunk, then analyze again: the state must be updated
+        // in place, not rebuilt.
+        let c1 = chunk_json(1, &[("main => work", &[(3, 35.0)])]);
+        assert!(ingest_chunk(&client, "live", c1).is_clean());
+        let r = analyze(&client, "live");
+        let rendered = match r.outcome {
+            Outcome::Report { rendered, .. } => rendered,
+            other => panic!("expected report, got {other:?}"),
+        };
+
+        // Byte-identical to the strict batch workflow over the same
+        // stream contents.
+        let b0: perfdmf::ChunkBatch = serde_json::from_str(&c0).unwrap();
+        let (mut st, _) = perfdmf::StreamingTrial::from_batch("live", &b0).unwrap();
+        let b1: perfdmf::ChunkBatch =
+            serde_json::from_str(&chunk_json(1, &[("main => work", &[(3, 35.0)])])).unwrap();
+        st.apply_chunk(&b1).unwrap();
+        let strict = perfexplorer::workflow::analyze_load_balance(st.trial(), "TIME").unwrap();
+        assert_eq!(rendered, strict.rendered);
+
+        let stats = svc.stats();
+        assert_eq!(stats.chunk_ingests, 2);
+        assert_eq!(stats.incremental_analyses, 2);
+        assert_eq!(stats.state_rebuilds, 1, "second analysis reused the state");
+        assert_eq!(stats.state_invalidations, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn full_upsert_invalidates_cached_streaming_state() {
+        // Regression: a full-trial ingest at a streamed path must
+        // invalidate the shard's cached AnalysisState — the next
+        // analysis reflects the uploaded trial, never the stale stream.
+        let svc = AnalysisService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = svc.client();
+
+        // Stream a heavily imbalanced trial and warm the cache.
+        let skewed = chunk_json(
+            0,
+            &[
+                ("main", &[(0, 90.0), (1, 90.0), (2, 90.0), (3, 90.0)]),
+                ("main => work", &[(0, 80.0), (1, 40.0), (2, 10.0), (3, 1.0)]),
+            ],
+        );
+        assert!(ingest_chunk(&client, "t1", skewed).is_clean());
+        let stale = match analyze(&client, "t1").outcome {
+            Outcome::Report { rendered, .. } => rendered,
+            other => panic!("expected report, got {other:?}"),
+        };
+
+        // Full upsert of a balanced trial at the same path.
+        let balanced = trial("t1");
+        let r = client
+            .call(Request::Ingest {
+                app: "lu".into(),
+                experiment: "strong".into(),
+                document: serde_json::to_string(&balanced).unwrap(),
+            })
+            .unwrap();
+        assert!(r.is_clean(), "{r:?}");
+
+        let fresh = match analyze(&client, "t1").outcome {
+            Outcome::Report { rendered, .. } => rendered,
+            other => panic!("expected report, got {other:?}"),
+        };
+        let strict = perfexplorer::workflow::analyze_load_balance(&balanced, "TIME").unwrap();
+        assert_eq!(
+            fresh, strict.rendered,
+            "post-upsert analysis must reflect the uploaded trial"
+        );
+        assert_ne!(fresh, stale, "stale streamed diagnosis was served");
+
+        let stats = svc.stats();
+        assert_eq!(stats.state_invalidations, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn corrupt_chunk_is_rejected_and_isolated() {
+        let svc = AnalysisService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = svc.client();
+        let good = chunk_json(0, &[("main", &[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)])]);
+        let r = ingest_chunk(&client, "live", good[..good.len() / 2].to_string());
+        assert!(matches!(r.outcome, Outcome::Rejected { .. }));
+        // The stream was never created; a good chunk still works.
+        let r = ingest_chunk(&client, "live", good);
+        assert!(r.is_clean(), "{r:?}");
+        let stats = svc.stats();
+        assert_eq!(stats.panics_isolated, 0);
+        assert_eq!(stats.rejected, 1);
         svc.shutdown();
     }
 

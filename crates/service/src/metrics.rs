@@ -17,6 +17,19 @@ pub struct ServiceMetrics {
     pub analyses: AtomicU64,
     /// Scripting requests served.
     pub scripts: AtomicU64,
+    /// Chunk-ingest requests applied to a streaming trial.
+    pub chunk_ingests: AtomicU64,
+    /// Analyses served from a cached incremental [`AnalysisState`]
+    /// (the O(Δ) path) instead of a batch rescan.
+    ///
+    /// [`AnalysisState`]: perfexplorer::AnalysisState
+    pub incremental_analyses: AtomicU64,
+    /// Incremental states built (first analysis of a stream, or after
+    /// an invalidation/metric change).
+    pub state_rebuilds: AtomicU64,
+    /// Cached incremental states invalidated by a full-trial upsert
+    /// shadowing the stream.
+    pub state_invalidations: AtomicU64,
     /// Responses carrying at least one degraded stage.
     pub degraded_responses: AtomicU64,
     /// Requests rejected outright (unparseable upload, unknown trial).
@@ -54,6 +67,10 @@ impl ServiceMetrics {
             ingests: self.ingests.load(Ordering::Relaxed),
             analyses: self.analyses.load(Ordering::Relaxed),
             scripts: self.scripts.load(Ordering::Relaxed),
+            chunk_ingests: self.chunk_ingests.load(Ordering::Relaxed),
+            incremental_analyses: self.incremental_analyses.load(Ordering::Relaxed),
+            state_rebuilds: self.state_rebuilds.load(Ordering::Relaxed),
+            state_invalidations: self.state_invalidations.load(Ordering::Relaxed),
             degraded_responses: self.degraded_responses.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             panics_isolated: self.panics_isolated.load(Ordering::Relaxed),
@@ -77,6 +94,14 @@ pub struct StatsSnapshot {
     pub analyses: u64,
     /// Scripts served.
     pub scripts: u64,
+    /// Chunk ingests applied.
+    pub chunk_ingests: u64,
+    /// Analyses served from cached incremental state.
+    pub incremental_analyses: u64,
+    /// Incremental states built from scratch.
+    pub state_rebuilds: u64,
+    /// Incremental states invalidated by full upserts.
+    pub state_invalidations: u64,
     /// Responses with degraded stages.
     pub degraded_responses: u64,
     /// Requests rejected outright.
@@ -112,6 +137,8 @@ impl StatsSnapshot {
              \x20 ingests           {}\n\
              \x20 analyses          {}\n\
              \x20 scripts           {}\n\
+             \x20 chunk ingests     {}\n\
+             incremental analyses {} (rebuilds {}, invalidations {})\n\
              degraded responses  {}\n\
              rejected            {}\n\
              panics isolated     {}\n\
@@ -122,6 +149,10 @@ impl StatsSnapshot {
             self.ingests,
             self.analyses,
             self.scripts,
+            self.chunk_ingests,
+            self.incremental_analyses,
+            self.state_rebuilds,
+            self.state_invalidations,
             self.degraded_responses,
             self.rejected,
             self.panics_isolated,

@@ -14,7 +14,12 @@
 
 use crate::metrics::ServiceMetrics;
 use parking_lot::Mutex;
-use perfdmf::{MappedRepository, Repository, SharedRepository, Trial};
+use perfdmf::{
+    AppliedChunk, ChunkBatch, MappedRepository, Repository, SharedRepository, StreamingTrial, Trial,
+};
+use perfexplorer::workflow::CaseStudyReport;
+use perfexplorer::AnalysisState;
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -92,10 +97,25 @@ impl LruCache {
     }
 }
 
-/// One shard: a mutable overlay plus a cache of cold materializations.
+/// One in-flight streamed trial: the growing [`StreamingTrial`] plus
+/// the incremental analysis state warmed over it. The state is lazy —
+/// built on the first analysis request (which names the metric) and
+/// kept current by [`ShardedRepository::ingest_chunk`] thereafter.
+struct StreamEntry {
+    stream: StreamingTrial,
+    state: Option<AnalysisState>,
+}
+
+/// One shard: a mutable overlay, a cache of cold materializations, and
+/// the streamed trials currently being built chunk by chunk.
 struct Shard {
     overlay: SharedRepository,
     cache: Mutex<LruCache>,
+    /// Streamed trials keyed by full trial path. Consulted before the
+    /// overlay, so analyses observe every applied chunk; a full-trial
+    /// upsert at the same path deletes the entry (the overlay shadow
+    /// rule), discarding any cached incremental state with it.
+    streams: Mutex<HashMap<(String, String, String), StreamEntry>>,
 }
 
 /// Trials partitioned by `(app, experiment)` hash across N shards,
@@ -115,6 +135,7 @@ impl ShardedRepository {
                 .map(|_| Shard {
                     overlay: SharedRepository::new(),
                     cache: Mutex::new(LruCache::new(cache_capacity)),
+                    streams: Mutex::new(HashMap::new()),
                 })
                 .collect(),
             cold: None,
@@ -174,16 +195,26 @@ impl ShardedRepository {
 
     /// Inserts or replaces a trial in its home shard's overlay.
     /// Lock-wait time feeds the service `lock_wait` metric.
+    ///
+    /// An upsert shadows any in-flight stream at the same path: the
+    /// stream entry — and the incremental analysis state cached on it —
+    /// is deleted, so no later analysis can be served from state built
+    /// over the replaced data.
     pub fn ingest(&self, app: &str, experiment: &str, trial: Trial) {
         let shard = &self.shards[shard_of(app, experiment, self.shards.len())];
+        let key = (app.to_string(), experiment.to_string(), trial.name.clone());
         let ((), waited) = shard
             .overlay
             .write_timed(|r| r.upsert_trial(app, experiment, trial));
         ServiceMetrics::add_nanos(&self.metrics.lock_wait_nanos, waited);
+        if shard.streams.lock().remove(&key).is_some() {
+            ServiceMetrics::bump(&self.metrics.state_invalidations);
+        }
     }
 
-    /// Fetches a trial: overlay first (freshest), then the shard's LRU
-    /// cache of cold materializations, then the mapped store.
+    /// Fetches a trial: in-flight streams first (freshest — every
+    /// applied chunk is visible), then the overlay, then the shard's
+    /// LRU cache of cold materializations, then the mapped store.
     pub fn get_trial(
         &self,
         app: &str,
@@ -191,6 +222,23 @@ impl ShardedRepository {
         trial: &str,
     ) -> perfdmf::Result<Arc<Trial>> {
         let shard = &self.shards[shard_of(app, experiment, self.shards.len())];
+        let key = (app.to_string(), experiment.to_string(), trial.to_string());
+        if let Some(entry) = shard.streams.lock().get(&key) {
+            return Ok(Arc::new(entry.stream.trial().clone()));
+        }
+        self.get_stored(shard, &key)
+    }
+
+    /// The non-streaming lookup path: overlay, cold cache, mapped
+    /// store. Factored out so chunk ingestion (which already holds the
+    /// shard's streams lock) can bootstrap from stored data without
+    /// re-entering [`ShardedRepository::get_trial`].
+    fn get_stored(
+        &self,
+        shard: &Shard,
+        key: &(String, String, String),
+    ) -> perfdmf::Result<Arc<Trial>> {
+        let (app, experiment, trial) = (key.0.as_str(), key.1.as_str(), key.2.as_str());
         let (found, waited) = shard
             .overlay
             .read_timed(|r| r.trial(app, experiment, trial).ok().cloned());
@@ -199,8 +247,7 @@ impl ShardedRepository {
             return Ok(Arc::new(t));
         }
 
-        let key = (app.to_string(), experiment.to_string(), trial.to_string());
-        if let Some(cached) = shard.cache.lock().get(&key) {
+        if let Some(cached) = shard.cache.lock().get(key) {
             ServiceMetrics::bump(&self.metrics.cache_hits);
             return Ok(cached);
         }
@@ -214,8 +261,82 @@ impl ShardedRepository {
             })?;
         let materialized = Arc::new(cold.view(app, experiment, trial)?.to_trial()?);
         ServiceMetrics::bump(&self.metrics.cache_misses);
-        shard.cache.lock().insert(key, materialized.clone());
+        shard.cache.lock().insert(key.clone(), materialized.clone());
         Ok(materialized)
+    }
+
+    /// Applies one chunk to the trial's stream, creating the stream on
+    /// first contact — seeded from the stored trial of the same path if
+    /// one exists, empty otherwise. If an incremental analysis state is
+    /// cached for the stream it is updated in place (the O(Δ) path); an
+    /// update failure drops the state so the next analysis rebuilds it
+    /// from scratch rather than serving from a half-updated cache.
+    pub fn ingest_chunk(
+        &self,
+        app: &str,
+        experiment: &str,
+        trial: &str,
+        batch: &ChunkBatch,
+    ) -> perfdmf::Result<AppliedChunk> {
+        let shard = &self.shards[shard_of(app, experiment, self.shards.len())];
+        let key = (app.to_string(), experiment.to_string(), trial.to_string());
+        let mut streams = shard.streams.lock();
+        let entry = match streams.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let stream = match self.get_stored(shard, &key) {
+                    Ok(stored) => StreamingTrial::from_trial((*stored).clone()),
+                    Err(_) => StreamingTrial::new(trial, batch.threads as usize),
+                };
+                v.insert(StreamEntry {
+                    stream,
+                    state: None,
+                })
+            }
+        };
+        let applied = entry.stream.apply_chunk(batch)?;
+        if let Some(state) = entry.state.as_mut() {
+            if state.update(entry.stream.trial(), &applied).is_err() {
+                entry.state = None;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Serves a load-balance report for a streamed trial from its
+    /// cached incremental state, building the state on first request
+    /// (or after an invalidation or metric change). Returns `None` when
+    /// no stream exists at the path — the caller falls back to the
+    /// batch path over stored trials. The boolean is true when the
+    /// state had to be (re)built.
+    pub fn streaming_report(
+        &self,
+        app: &str,
+        experiment: &str,
+        trial: &str,
+        metric: &str,
+    ) -> Option<perfexplorer::Result<(CaseStudyReport, bool)>> {
+        let shard = &self.shards[shard_of(app, experiment, self.shards.len())];
+        let key = (app.to_string(), experiment.to_string(), trial.to_string());
+        let mut streams = shard.streams.lock();
+        let entry = streams.get_mut(&key)?;
+        let rebuilt = match &entry.state {
+            Some(state) if state.metric() == metric => false,
+            _ => match AnalysisState::new(entry.stream.trial(), metric) {
+                Ok(state) => {
+                    entry.state = Some(state);
+                    true
+                }
+                Err(e) => return Some(Err(e)),
+            },
+        };
+        let state = entry.state.as_ref().expect("state just ensured");
+        Some(state.report().map(|r| (r, rebuilt)))
+    }
+
+    /// Number of in-flight streamed trials across all shards.
+    pub fn streaming_trials(&self) -> usize {
+        self.shards.iter().map(|s| s.streams.lock().len()).sum()
     }
 
     /// Builds a standalone repository holding every trial of one
@@ -242,6 +363,11 @@ impl ShardedRepository {
         ServiceMetrics::add_nanos(&self.metrics.lock_wait_nanos, waited);
         for trial in overlaid {
             snapshot.upsert_trial(app, experiment, trial);
+        }
+        for ((a, e, _), entry) in shard.streams.lock().iter() {
+            if a == app && e == experiment {
+                snapshot.upsert_trial(app, experiment, entry.stream.trial().clone());
+            }
         }
         if snapshot.trial_count() == 0 {
             return Err(perfdmf::DmfError::NotFound {
@@ -270,6 +396,7 @@ impl ShardedRepository {
         }
         for shard in &self.shards {
             shard.overlay.read(|r| paths.extend(paths_of(r)));
+            paths.extend(shard.streams.lock().keys().cloned());
         }
         paths.into_iter().collect()
     }

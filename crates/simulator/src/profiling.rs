@@ -8,7 +8,8 @@
 
 use crate::counters::CounterSet;
 use perfdmf::model::CALLPATH_SEPARATOR;
-use perfdmf::{Measurement, MetricId, Trial, TrialBuilder};
+use perfdmf::{ChunkBatch, ColumnDelta, EventId, Measurement, MetricId, Trial, TrialBuilder};
+use std::collections::BTreeMap;
 
 /// Per-thread recording state.
 #[derive(Debug, Default)]
@@ -25,6 +26,12 @@ pub struct Recorder {
     builder: TrialBuilder,
     time_metric: MetricId,
     threads: Vec<ThreadState>,
+    /// Flush journal: measurements accumulated since the last
+    /// [`Recorder::flush`], keyed by `(event, metric)` id so drain
+    /// order follows interning (first-touch) order, then by thread.
+    journal: BTreeMap<(u32, u32), BTreeMap<u32, Measurement>>,
+    /// Sequence number of the next flushed batch.
+    next_seq: u64,
 }
 
 impl Recorder {
@@ -36,6 +43,8 @@ impl Recorder {
             builder,
             time_metric,
             threads: (0..threads).map(|_| ThreadState::default()).collect(),
+            journal: BTreeMap::new(),
+            next_seq: 0,
         }
     }
 
@@ -47,6 +56,54 @@ impl Recorder {
             builder,
             time_metric,
             threads: (0..ranks).map(|_| ThreadState::default()).collect(),
+            journal: BTreeMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Accumulates a measurement into both the trial under construction
+    /// and the flush journal.
+    fn charge(&mut self, event: EventId, metric: MetricId, thread: usize, m: Measurement) {
+        self.builder.accumulate(event, metric, thread, m);
+        let cell = self
+            .journal
+            .entry((event.0, metric.0))
+            .or_default()
+            .entry(thread as u32)
+            .or_default();
+        cell.inclusive += m.inclusive;
+        cell.exclusive += m.exclusive;
+        cell.calls += m.calls;
+        cell.subcalls += m.subcalls;
+    }
+
+    /// Drains everything measured since the previous flush into a
+    /// [`ChunkBatch`] for a streaming consumer
+    /// ([`perfdmf::StreamingTrial::apply_chunk`]). Column order follows
+    /// interning order, so a consumer that applies batches in sequence
+    /// interns the same metric/event order the builder did. Flushing
+    /// with an empty journal yields an empty batch (still consuming a
+    /// sequence number).
+    pub fn flush(&mut self) -> ChunkBatch {
+        let profile = self.builder.profile();
+        let deltas = std::mem::take(&mut self.journal)
+            .into_iter()
+            .map(|((event, metric), cells)| {
+                let ev = profile.event(EventId(event));
+                ColumnDelta {
+                    metric: profile.metric(MetricId(metric)).name.clone(),
+                    event: ev.name.clone(),
+                    event_kind: ev.kind.clone(),
+                    cells: cells.into_iter().collect(),
+                }
+            })
+            .collect();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        ChunkBatch {
+            seq,
+            threads: self.threads.len() as u32,
+            deltas,
         }
     }
 
@@ -98,7 +155,7 @@ impl Recorder {
             *parent_child += inclusive;
         }
         let event = self.builder.event(&path);
-        self.builder.accumulate(
+        self.charge(
             event,
             self.time_metric,
             thread,
@@ -119,7 +176,7 @@ impl Recorder {
         let event = self.builder.event(event_path);
         for (counter, value) in counters.iter() {
             let metric = self.builder.metric(counter.metric_name());
-            self.builder.accumulate(
+            self.charge(
                 event,
                 metric,
                 thread,
@@ -139,7 +196,7 @@ impl Recorder {
         let event = self.builder.event(event_path);
         for (counter, value) in counters.iter() {
             let metric = self.builder.metric(counter.metric_name());
-            self.builder.accumulate(
+            self.charge(
                 event,
                 metric,
                 thread,
@@ -282,6 +339,93 @@ mod tests {
         let p = &trial.profile;
         assert!(p.event_id("main").is_some());
         assert!(p.event_id("main => leaked").is_some());
+    }
+
+    #[test]
+    fn flush_batches_rebuild_the_finished_profile() {
+        // Run the same workload through two recorders: one flushed
+        // mid-execution into a StreamingTrial, one finished whole.
+        let drive = |r: &mut Recorder, flushed: Option<&mut Vec<perfdmf::ChunkBatch>>| {
+            r.enter(0, "main");
+            r.enter(1, "main");
+            r.advance(0, 1.0);
+            r.advance(1, 2.0);
+            r.enter(0, "loop");
+            r.advance(0, 3.0);
+            r.exit(0);
+            let mut sink = flushed;
+            if let Some(out) = sink.as_mut() {
+                out.push(r.flush());
+            }
+            let mut c = CounterSet::new();
+            c.add(Counter::FpOps, 500.0);
+            r.record_counters(1, "main", &c);
+            r.advance(0, 0.25);
+            r.advance(1, 0.75);
+            r.exit(0);
+            r.exit(1);
+            if let Some(out) = sink.as_mut() {
+                out.push(r.flush());
+            }
+        };
+
+        let mut batched = Recorder::new("t", 2);
+        drive(&mut batched, None);
+        let reference = batched.finish();
+
+        let mut live = Recorder::new("t", 2);
+        let mut batches = Vec::new();
+        drive(&mut live, Some(&mut batches));
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].seq, 0);
+        assert_eq!(batches[1].seq, 1);
+
+        let (mut st, _) = perfdmf::StreamingTrial::from_batch("t", &batches[0]).unwrap();
+        st.apply_chunk(&batches[1]).unwrap();
+        let streamed = st.finish();
+
+        let rp = &reference.profile;
+        let sp = &streamed.profile;
+        assert_eq!(rp.metrics().len(), sp.metrics().len());
+        assert_eq!(rp.events().len(), sp.events().len());
+        for (i, m) in rp.metrics().iter().enumerate() {
+            assert_eq!(m.name, sp.metrics()[i].name);
+        }
+        for (i, e) in rp.events().iter().enumerate() {
+            assert_eq!(e.name, sp.events()[i].name);
+        }
+        for e in 0..rp.events().len() {
+            for m in 0..rp.metrics().len() {
+                for t in 0..2 {
+                    let a = rp
+                        .get(perfdmf::EventId(e as u32), perfdmf::MetricId(m as u32), t)
+                        .unwrap();
+                    let b = sp
+                        .get(perfdmf::EventId(e as u32), perfdmf::MetricId(m as u32), t)
+                        .unwrap();
+                    assert!(
+                        (a.inclusive - b.inclusive).abs() <= 1e-12 * a.inclusive.abs().max(1.0),
+                        "inclusive mismatch at event {e} metric {m} thread {t}"
+                    );
+                    assert!(
+                        (a.exclusive - b.exclusive).abs() <= 1e-12 * a.exclusive.abs().max(1.0)
+                    );
+                    assert_eq!(a.calls, b.calls);
+                }
+            }
+        }
+
+        // Only the last region flushed after finish-equivalent exits; the
+        // journal is drained, so a third flush is empty but sequenced.
+        let mut live2 = Recorder::new("t", 1);
+        live2.enter(0, "main");
+        live2.exit(0);
+        let b0 = live2.flush();
+        assert_eq!(b0.seq, 0);
+        assert!(!b0.deltas.is_empty());
+        let b1 = live2.flush();
+        assert_eq!(b1.seq, 1);
+        assert!(b1.deltas.is_empty());
     }
 
     #[test]

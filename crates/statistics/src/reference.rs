@@ -165,7 +165,21 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeansResult
             movement += sq_dist(&centroids[c], &new);
             centroids[c] = new;
         }
-        if movement <= config.tolerance {
+        // Scale-invariant convergence: same normalisation (and term
+        // order) as the flat implementation, so both take the same
+        // branch on the same data.
+        let mut scale = 0.0;
+        for c in 0..config.k {
+            for &v in &centroids[c] {
+                scale += v * v;
+            }
+        }
+        let threshold = if scale > 0.0 {
+            config.tolerance * scale
+        } else {
+            config.tolerance
+        };
+        if movement <= threshold {
             break;
         }
         if iterations >= config.max_iterations {

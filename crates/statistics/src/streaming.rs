@@ -1,0 +1,354 @@
+//! Incremental accumulators for streaming analysis.
+//!
+//! A batch analysis pass folds whole `events × threads` planes through
+//! [`crate::descriptive::Summary`] on every request. Under streaming
+//! ingestion only a handful of cells change per chunk, so this module
+//! keeps per-plane running state that absorbs a cell update in O(1)
+//! ([`RunningPlane`]) and tie-aware rank summaries that refresh only
+//! dirty planes ([`RankedPlane`]).
+//!
+//! Floating-point caveat, by design: a running sum updated as
+//! `sum − old + new` re-associates the addition order, so it can drift
+//! a few ulps from a fresh left-to-right fold. Consumers that need
+//! *bitwise* parity with the batch kernels (the differential-test
+//! contract in `core`) use these accumulators to find *which* planes
+//! changed and then recompute those planes with the batch kernels;
+//! consumers that only need numeric parity (monitor dashboards, bench
+//! harnesses) read the running state directly.
+//!
+//! Non-finite values (NaN, ±∞) poison a running sum irrecoverably
+//! (`∞ − ∞ = NaN`), so they are excluded from the accumulators and
+//! counted instead; while any are present the plane reports NaN moments
+//! — exactly the "fall back to the batch kernel" signal, matching how
+//! NaN propagates through [`crate::descriptive::Summary::of`].
+
+use crate::correlation::ranks;
+
+/// Running sum / sum-of-squares / extrema over one (metric, event)
+/// plane of per-thread values, with O(1) cell updates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningPlane {
+    values: Vec<f64>,
+    sum: f64,
+    sumsq: f64,
+    min: f64,
+    max: f64,
+    /// An extremum holder was overwritten; min/max need one rescan.
+    extrema_dirty: bool,
+    /// Count of non-finite cells currently in the plane.
+    non_finite: usize,
+}
+
+impl RunningPlane {
+    /// Builds running state from a plane's current values.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut plane = RunningPlane {
+            values: values.to_vec(),
+            sum: 0.0,
+            sumsq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            extrema_dirty: false,
+            non_finite: 0,
+        };
+        for &v in values {
+            plane.absorb(v);
+        }
+        plane
+    }
+
+    fn absorb(&mut self, v: f64) {
+        if v.is_finite() {
+            self.sum += v;
+            self.sumsq += v * v;
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        } else {
+            self.non_finite += 1;
+        }
+    }
+
+    /// Number of cells in the plane.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the plane has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current value of one cell.
+    pub fn value(&self, idx: usize) -> f64 {
+        self.values[idx]
+    }
+
+    /// All current values, in cell order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Replaces the value of one cell, updating the running moments in
+    /// O(1). Returns the value that was replaced. If the replaced value
+    /// held an extremum the next [`RunningPlane::min`]/[`RunningPlane::max`]
+    /// query performs one O(n) rescan.
+    pub fn update(&mut self, idx: usize, new: f64) -> f64 {
+        let old = std::mem::replace(&mut self.values[idx], new);
+        if old.is_finite() {
+            self.sum -= old;
+            self.sumsq -= old * old;
+            if old == self.min || old == self.max {
+                self.extrema_dirty = true;
+            }
+        } else {
+            self.non_finite -= 1;
+        }
+        if new.is_finite() {
+            self.sum += new;
+            self.sumsq += new * new;
+            if !self.extrema_dirty {
+                if new < self.min {
+                    self.min = new;
+                }
+                if new > self.max {
+                    self.max = new;
+                }
+            }
+        } else {
+            self.non_finite += 1;
+        }
+        old
+    }
+
+    /// True while any cell is non-finite; moments report NaN and the
+    /// caller should defer to the batch kernel for this plane.
+    pub fn poisoned(&self) -> bool {
+        self.non_finite > 0
+    }
+
+    /// Running sum (NaN while poisoned).
+    pub fn sum(&self) -> f64 {
+        if self.poisoned() {
+            f64::NAN
+        } else {
+            self.sum
+        }
+    }
+
+    /// Running sum of squares (NaN while poisoned).
+    pub fn sum_squares(&self) -> f64 {
+        if self.poisoned() {
+            f64::NAN
+        } else {
+            self.sumsq
+        }
+    }
+
+    /// Running mean (NaN while poisoned or empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            f64::NAN
+        } else {
+            self.sum() / self.values.len() as f64
+        }
+    }
+
+    /// Running population variance, clamped at zero against cancellation
+    /// (NaN while poisoned or empty).
+    pub fn variance(&self) -> f64 {
+        // Explicit poison check: `f64::max` would silently swallow the
+        // NaN the accessors propagate.
+        if self.values.is_empty() || self.poisoned() {
+            return f64::NAN;
+        }
+        let n = self.values.len() as f64;
+        let mean = self.sum() / n;
+        (self.sum_squares() / n - mean * mean).max(0.0)
+    }
+
+    /// Running population standard deviation (NaN while poisoned or
+    /// empty).
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    fn rescan_extrema(&mut self) {
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        for &v in &self.values {
+            if v.is_finite() {
+                if v < self.min {
+                    self.min = v;
+                }
+                if v > self.max {
+                    self.max = v;
+                }
+            }
+        }
+        self.extrema_dirty = false;
+    }
+
+    /// Minimum finite value (∞ when none). Rescans once after an
+    /// extremum holder was overwritten.
+    pub fn min(&mut self) -> f64 {
+        if self.extrema_dirty {
+            self.rescan_extrema();
+        }
+        self.min
+    }
+
+    /// Maximum finite value (−∞ when none). Rescans once after an
+    /// extremum holder was overwritten.
+    pub fn max(&mut self) -> f64 {
+        if self.extrema_dirty {
+            self.rescan_extrema();
+        }
+        self.max
+    }
+}
+
+/// Tie-aware rank summary of one plane, refreshed lazily: O(1) cell
+/// updates mark the plane dirty; the next rank query recomputes with
+/// the exact batch kernel ([`crate::correlation::ranks`]), so a
+/// streaming consumer pays the O(n log n) ranking cost only for planes
+/// a chunk actually touched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPlane {
+    values: Vec<f64>,
+    cache: Option<Vec<f64>>,
+}
+
+impl RankedPlane {
+    /// Builds the summary from a plane's current values.
+    pub fn from_values(values: &[f64]) -> Self {
+        RankedPlane {
+            values: values.to_vec(),
+            cache: None,
+        }
+    }
+
+    /// Number of cells in the plane.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the plane has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Replaces one cell's value, invalidating the cached ranks.
+    /// Returns the value that was replaced.
+    pub fn update(&mut self, idx: usize, new: f64) -> f64 {
+        self.cache = None;
+        std::mem::replace(&mut self.values[idx], new)
+    }
+
+    /// Current values, in cell order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Tie-averaged 1-based ranks of the current values, bitwise equal
+    /// to a batch [`crate::correlation::ranks`] call on the same data.
+    pub fn ranks(&mut self) -> &[f64] {
+        if self.cache.is_none() {
+            self.cache = Some(ranks(&self.values));
+        }
+        self.cache.as_deref().expect("cache just filled")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::XorShift64;
+
+    fn batch_sum(values: &[f64]) -> f64 {
+        values.iter().sum()
+    }
+
+    #[test]
+    fn random_updates_track_batch_recompute() {
+        let mut rng = XorShift64::new(0xfeed);
+        let mut values: Vec<f64> = (0..32).map(|_| rng.next_f64() * 100.0).collect();
+        let mut plane = RunningPlane::from_values(&values);
+        for _ in 0..500 {
+            let idx = (rng.next_u64() % values.len() as u64) as usize;
+            let new = rng.next_f64() * 100.0 - 50.0;
+            values[idx] = new;
+            plane.update(idx, new);
+            let fresh = batch_sum(&values);
+            assert!((plane.sum() - fresh).abs() <= 1e-9 * fresh.abs().max(1.0));
+            let mean = fresh / values.len() as f64;
+            assert!((plane.mean() - mean).abs() <= 1e-9 * mean.abs().max(1.0));
+        }
+        // Extrema are exact (rescans use the true values).
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(plane.min(), lo);
+        assert_eq!(plane.max(), hi);
+    }
+
+    #[test]
+    fn overwriting_an_extremum_triggers_a_correct_rescan() {
+        let mut plane = RunningPlane::from_values(&[1.0, 5.0, 3.0]);
+        assert_eq!(plane.max(), 5.0);
+        plane.update(1, 2.0);
+        assert_eq!(plane.max(), 3.0);
+        assert_eq!(plane.min(), 1.0);
+        plane.update(0, 10.0);
+        assert_eq!(plane.max(), 10.0);
+        assert_eq!(plane.min(), 2.0);
+    }
+
+    #[test]
+    fn non_finite_values_poison_and_recover() {
+        let mut plane = RunningPlane::from_values(&[1.0, 2.0, 3.0]);
+        assert!(!plane.poisoned());
+        plane.update(1, f64::NAN);
+        assert!(plane.poisoned());
+        assert!(plane.sum().is_nan());
+        assert!(plane.mean().is_nan());
+        assert!(plane.stddev().is_nan());
+        // Overwriting the NaN restores exact running state: the finite
+        // accumulators never saw the poison.
+        plane.update(1, 4.0);
+        assert!(!plane.poisoned());
+        assert_eq!(plane.sum(), 8.0);
+        plane.update(0, f64::INFINITY);
+        assert!(plane.poisoned());
+        assert!(plane.sum().is_nan());
+        plane.update(0, 1.0);
+        assert_eq!(plane.sum(), 8.0);
+    }
+
+    #[test]
+    fn variance_matches_two_pass_within_tolerance() {
+        let mut rng = XorShift64::new(7);
+        let values: Vec<f64> = (0..64).map(|_| rng.next_f64() * 10.0).collect();
+        let mut plane = RunningPlane::from_values(&[0.0; 64]);
+        for (i, &v) in values.iter().enumerate() {
+            plane.update(i, v);
+        }
+        let mean = values.iter().sum::<f64>() / 64.0;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 64.0;
+        assert!((plane.variance() - var).abs() <= 1e-9 * var.max(1.0));
+        assert!((plane.stddev() - var.sqrt()).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn ranked_plane_matches_batch_ranks_after_updates() {
+        let mut rp = RankedPlane::from_values(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(rp.ranks(), ranks(&[3.0, 1.0, 2.0, 2.0]).as_slice());
+        rp.update(0, 2.0);
+        // Three-way tie at 2.0: tie-averaged ranks from the batch kernel.
+        assert_eq!(rp.ranks(), ranks(&[2.0, 1.0, 2.0, 2.0]).as_slice());
+        rp.update(1, 9.0);
+        assert_eq!(rp.ranks(), ranks(&[2.0, 9.0, 2.0, 2.0]).as_slice());
+    }
+}
