@@ -26,6 +26,28 @@
 //!     .unwrap();
 //! # let _ = out;
 //! ```
+//!
+//! # Parallel trial sweeps
+//!
+//! `par_foreach_trial` fans a script block out over a list, one body
+//! per item, on the process's worker budget. Each body runs against a
+//! **fresh session** (its own trial handles, rule engine, and report)
+//! over the same shared repository, so bodies are order-independent
+//! and a failing or panicking body degrades alone — its outcome map
+//! records the error while its siblings complete:
+//!
+//! ```text
+//! let names = list_trials("msap", "scheduling");
+//! let results = par_foreach_trial t in names {
+//!     let trial = load_trial("msap", "scheduling", t);
+//!     elapsed(trial, "TIME")
+//! };
+//! ```
+//!
+//! Because the bodies cannot see each other, facts asserted inside a
+//! sweep body land in the body's private engine: aggregate inside the
+//! body (e.g. return the report's diagnosis count) rather than relying
+//! on session-level state.
 
 use crate::derive::{derive_metric, DeriveOp};
 use crate::facts::MeanEventFact;
@@ -36,22 +58,68 @@ use crate::result::TrialResult;
 use crate::rulebase;
 use crate::{loadbalance, Result};
 use perfdmf::{Repository, Trial};
+use rayon::prelude::*;
 use rules::{Engine, Fact, RunReport};
-use script::{Interpreter, Value};
+use script::Interpreter;
+pub use script::Value;
 use simulator::machine::MachineConfig;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// Every host function, in registration order. The order is part of
+/// the compiled-script contract: portable scripts replay onto
+/// interpreters whose name tables were built by registering these in
+/// exactly this order, so new hosts are appended at the end.
+const HOST_NAMES: &[&str] = &[
+    "load_trial",
+    "trial_events",
+    "trial_metrics",
+    "mean_exclusive",
+    "mean_inclusive",
+    "elapsed",
+    "derive_metric",
+    "derive_inefficiency",
+    "compare_event_to_main",
+    "compare_all_events",
+    "assert_balance_facts",
+    "assert_stall_facts",
+    "assert_memory_facts",
+    "assert_fact",
+    "assert_context_fact",
+    "assert_scaling_facts",
+    "cluster_threads",
+    "compare_trials",
+    "load_rules",
+    "load_rules_source",
+    "process_rules",
+    "list_trials",
+];
 
 /// Shared session state behind the host functions.
 struct SessionState {
-    repo: Repository,
+    /// The repository is shared (read-only from scripts) so sweep
+    /// bodies on other threads can open their own sessions over it.
+    repo: Arc<Repository>,
     /// Loaded trials; handles index into this list. Trials are private
     /// copies so scripted derivations do not mutate the repository.
     trials: Vec<Trial>,
     engine: Engine,
     machine: MachineConfig,
     last_report: Option<RunReport>,
+}
+
+impl SessionState {
+    fn fresh(repo: Arc<Repository>, machine: MachineConfig) -> Self {
+        SessionState {
+            repo,
+            trials: Vec::new(),
+            engine: Engine::new(),
+            machine,
+            last_report: None,
+        }
+    }
 }
 
 /// A scripting session bound to a repository.
@@ -117,15 +185,20 @@ impl PerfExplorerScript {
 
     /// Creates a session with an explicit machine model.
     pub fn with_machine(repo: Repository, machine: MachineConfig) -> Self {
-        let state = Rc::new(RefCell::new(SessionState {
-            repo,
-            trials: Vec::new(),
-            engine: Engine::new(),
-            machine,
-            last_report: None,
-        }));
+        Self::with_shared(Arc::new(repo), machine)
+    }
+
+    /// Creates a session over an already-shared repository — what a
+    /// multi-tenant service uses so its sessions (and their sweep
+    /// bodies) read one copy of the data.
+    pub fn with_shared(repo: Arc<Repository>, machine: MachineConfig) -> Self {
+        let state = Rc::new(RefCell::new(SessionState::fresh(
+            Arc::clone(&repo),
+            machine.clone(),
+        )));
         let mut interp = Interpreter::new();
         Self::register_all(&mut interp, &state);
+        interp.set_parallel_executor(sweep_executor(repo, machine));
         PerfExplorerScript { interp, state }
     }
 
@@ -150,6 +223,73 @@ impl PerfExplorerScript {
         Ok(self.interp.run_compiled(program)?)
     }
 
+    /// Compiles a script into a handle that runs on any session created
+    /// with the same registration (i.e. any [`PerfExplorerScript`]):
+    /// the service layer compiles once and executes on every worker.
+    pub fn compile_portable(&mut self, source: &str) -> Result<script::PortableScript> {
+        Ok(self.interp.compile_portable(source)?)
+    }
+
+    /// Runs a script compiled by [`PerfExplorerScript::compile_portable`]
+    /// on this (or any identically-registered) session.
+    pub fn run_portable(&mut self, program: &script::PortableScript) -> Result<Value> {
+        Ok(self.interp.run_portable(program)?)
+    }
+
+    /// [`PerfExplorerScript::run_portable`] under the same panic
+    /// isolation as [`PerfExplorerScript::run_supervised`].
+    pub fn run_portable_supervised(
+        &mut self,
+        program: &script::PortableScript,
+    ) -> SupervisedScript {
+        use crate::supervise::{panic_message, DegradeCause, DegradedStage};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let mut degraded = Vec::new();
+        let value = match catch_unwind(AssertUnwindSafe(|| self.interp.run_portable(program))) {
+            Ok(Ok(v)) => Some(v),
+            Ok(Err(e)) => {
+                degraded.push(DegradedStage {
+                    stage: "script".into(),
+                    cause: DegradeCause::Failed(e.to_string()),
+                });
+                None
+            }
+            Err(payload) => {
+                degraded.push(DegradedStage {
+                    stage: "script".into(),
+                    cause: DegradeCause::Panicked(panic_message(payload)),
+                });
+                None
+            }
+        };
+        SupervisedScript {
+            value,
+            report: self.last_report(),
+            printed: self.output(),
+            degraded,
+        }
+    }
+
+    /// Observes every completed `par_foreach_trial` sweep on this
+    /// session: the callback receives `(bodies, failed_bodies)` after
+    /// the sweep's outcomes are collected. The service layer hangs its
+    /// sweep counters here.
+    pub fn set_sweep_observer(&mut self, observer: Arc<dyn Fn(usize, usize) + Send + Sync>) {
+        let (repo, machine) = {
+            let st = self.state.borrow();
+            (Arc::clone(&st.repo), st.machine.clone())
+        };
+        let exec = sweep_executor(repo, machine);
+        self.interp
+            .set_parallel_executor(Arc::new(move |runner, items| {
+                let outcomes = exec(runner, items);
+                let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
+                observer(outcomes.len(), failed);
+                outcomes
+            }));
+    }
+
     /// Takes the script's printed output.
     pub fn output(&mut self) -> Vec<String> {
         self.interp.take_output()
@@ -158,6 +298,11 @@ impl PerfExplorerScript {
     /// The report of the most recent `process_rules()` call.
     pub fn last_report(&self) -> Option<RunReport> {
         self.state.borrow().last_report.clone()
+    }
+
+    /// Compilation-cache counters of the underlying interpreter.
+    pub fn cache_stats(&self) -> script::CacheStats {
+        self.interp.cache_stats()
     }
 
     /// Runs a workflow script under panic isolation: a script error or
@@ -201,13 +346,61 @@ impl PerfExplorerScript {
     }
 
     fn register_all(interp: &mut Interpreter, state: &Rc<RefCell<SessionState>>) {
+        for &name in HOST_NAMES {
+            let s = state.clone();
+            interp.register(name, move |args| call_host(&s, name, args));
+        }
+    }
+}
+
+/// Builds the executor that runs `par_foreach_trial` bodies on the
+/// process's worker budget. Each body gets a fresh session over the
+/// shared repository; a panicking body is caught and recorded as that
+/// body's error outcome, so one corrupt trial cannot take down its
+/// siblings or the pool.
+fn sweep_executor(repo: Arc<Repository>, machine: MachineConfig) -> Arc<script::ParallelExecutor> {
+    Arc::new(move |runner: &script::ParRunner, items: Vec<Value>| {
+        let repo = &repo;
+        let machine = &machine;
+        items
+            .into_par_iter()
+            .map(|item| {
+                use std::panic::{catch_unwind, AssertUnwindSafe};
+                let state = RefCell::new(SessionState::fresh(Arc::clone(repo), machine.clone()));
+                let mut host = |name: &str, args: &mut Vec<Value>| call_host(&state, name, args);
+                catch_unwind(AssertUnwindSafe(|| runner.run_one(item, &mut host))).unwrap_or_else(
+                    |payload| script::BodyOutcome {
+                        result: Err(script::ScriptError::runtime(
+                            0,
+                            format!(
+                                "panic in sweep body: {}",
+                                crate::supervise::panic_message(payload)
+                            ),
+                        )),
+                        output: Vec::new(),
+                        steps: 0,
+                    },
+                )
+            })
+            .collect()
+    })
+}
+
+/// Executes one host function against a session. This single dispatch
+/// backs both the interpreter's registered closures and the sweep
+/// executor's per-thread sessions, so the two paths cannot drift.
+fn call_host(
+    state: &RefCell<SessionState>,
+    name: &str,
+    args: &mut [Value],
+) -> std::result::Result<Value, String> {
+    match name {
         // --- data access ---
-        let s = state.clone();
-        interp.register("load_trial", move |args| {
+        "load_trial" => {
             let app = expect_str(args, 0)?;
             let exp = expect_str(args, 1)?;
             let trial = expect_str(args, 2)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let t = st
                 .repo
                 .trial(&app, &exp, &trial)
@@ -215,12 +408,25 @@ impl PerfExplorerScript {
                 .clone();
             st.trials.push(t);
             Ok(trial_handle(st.trials.len() - 1))
-        });
-
-        let s = state.clone();
-        interp.register("trial_events", move |args| {
+        }
+        "list_trials" => {
+            let app = expect_str(args, 0)?;
+            let exp = expect_str(args, 1)?;
+            let st = state.borrow();
+            let experiment = st
+                .repo
+                .experiment(&app, &exp)
+                .map_err(|e| host_err(e.to_string()))?;
+            Ok(Value::List(
+                experiment
+                    .trial_names()
+                    .map(|n| Value::Str(n.to_string()))
+                    .collect(),
+            ))
+        }
+        "trial_events" => {
             let id = expect_trial(args, 0)?;
-            let st = s.borrow();
+            let st = state.borrow();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             Ok(Value::List(
                 trial
@@ -230,12 +436,10 @@ impl PerfExplorerScript {
                     .map(|e| Value::Str(e.name.clone()))
                     .collect(),
             ))
-        });
-
-        let s = state.clone();
-        interp.register("trial_metrics", move |args| {
+        }
+        "trial_metrics" => {
             let id = expect_trial(args, 0)?;
-            let st = s.borrow();
+            let st = state.borrow();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             Ok(Value::List(
                 trial
@@ -245,14 +449,12 @@ impl PerfExplorerScript {
                     .map(|m| Value::Str(m.name.clone()))
                     .collect(),
             ))
-        });
-
-        let s = state.clone();
-        interp.register("mean_exclusive", move |args| {
+        }
+        "mean_exclusive" => {
             let id = expect_trial(args, 0)?;
             let event = expect_str(args, 1)?;
             let metric = expect_str(args, 2)?;
-            let st = s.borrow();
+            let st = state.borrow();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let r = TrialResult::new(trial);
             let values = r
@@ -261,14 +463,12 @@ impl PerfExplorerScript {
             Ok(Value::Num(
                 values.iter().sum::<f64>() / values.len().max(1) as f64,
             ))
-        });
-
-        let s = state.clone();
-        interp.register("mean_inclusive", move |args| {
+        }
+        "mean_inclusive" => {
             let id = expect_trial(args, 0)?;
             let event = expect_str(args, 1)?;
             let metric = expect_str(args, 2)?;
-            let st = s.borrow();
+            let st = state.borrow();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let r = TrialResult::new(trial);
             let values = r
@@ -277,23 +477,19 @@ impl PerfExplorerScript {
             Ok(Value::Num(
                 values.iter().sum::<f64>() / values.len().max(1) as f64,
             ))
-        });
-
-        let s = state.clone();
-        interp.register("elapsed", move |args| {
+        }
+        "elapsed" => {
             let id = expect_trial(args, 0)?;
             let metric = expect_str(args, 1)?;
-            let st = s.borrow();
+            let st = state.borrow();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             TrialResult::new(trial)
                 .elapsed(&metric)
                 .map(Value::Num)
                 .map_err(|e| host_err(e.to_string()))
-        });
-
+        }
         // --- derived metrics ---
-        let s = state.clone();
-        interp.register("derive_metric", move |args| {
+        "derive_metric" => {
             let id = expect_trial(args, 0)?;
             let lhs = expect_str(args, 1)?;
             let op = match expect_str(args, 2)?.as_str() {
@@ -304,7 +500,7 @@ impl PerfExplorerScript {
                 other => return Err(host_err(format!("unknown operation {other:?}"))),
             };
             let rhs = expect_str(args, 3)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let trial = st
                 .trials
                 .get_mut(id)
@@ -312,12 +508,10 @@ impl PerfExplorerScript {
             derive_metric(trial, &lhs, op, &rhs)
                 .map(Value::Str)
                 .map_err(|e| host_err(e.to_string()))
-        });
-
-        let s = state.clone();
-        interp.register("derive_inefficiency", move |args| {
+        }
+        "derive_inefficiency" => {
             let id = expect_trial(args, 0)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let trial = st
                 .trials
                 .get_mut(id)
@@ -325,29 +519,25 @@ impl PerfExplorerScript {
             derive_inefficiency(trial)
                 .map(Value::Str)
                 .map_err(|e| host_err(e.to_string()))
-        });
-
+        }
         // --- facts ---
-        let s = state.clone();
-        interp.register("compare_event_to_main", move |args| {
+        "compare_event_to_main" => {
             let id = expect_trial(args, 0)?;
             let metric = expect_str(args, 1)?;
             let severity = expect_str(args, 2)?;
             let event = expect_str(args, 3)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let fact = MeanEventFact::compare_event_to_main(trial, &metric, &severity, &event)
                 .map_err(|e| host_err(e.to_string()))?;
             st.engine.assert_fact(fact);
             Ok(Value::Null)
-        });
-
-        let s = state.clone();
-        interp.register("compare_all_events", move |args| {
+        }
+        "compare_all_events" => {
             let id = expect_trial(args, 0)?;
             let metric = expect_str(args, 1)?;
             let severity = expect_str(args, 2)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let facts = MeanEventFact::compare_all_events(trial, &metric, &severity)
                 .map_err(|e| host_err(e.to_string()))?;
@@ -356,13 +546,11 @@ impl PerfExplorerScript {
                 st.engine.assert_fact(f);
             }
             Ok(Value::Num(n as f64))
-        });
-
-        let s = state.clone();
-        interp.register("assert_balance_facts", move |args| {
+        }
+        "assert_balance_facts" => {
             let id = expect_trial(args, 0)?;
             let metric = expect_str(args, 1)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let analysis =
                 loadbalance::analyze(trial, &metric).map_err(|e| host_err(e.to_string()))?;
@@ -372,12 +560,10 @@ impl PerfExplorerScript {
                 st.engine.assert_fact(f);
             }
             Ok(Value::Num(n as f64))
-        });
-
-        let s = state.clone();
-        interp.register("assert_stall_facts", move |args| {
+        }
+        "assert_stall_facts" => {
             let id = expect_trial(args, 0)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let machine = st.machine.clone();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let facts = stall_facts(
@@ -388,12 +574,10 @@ impl PerfExplorerScript {
                 st.engine.assert_fact(f);
             }
             Ok(Value::Num(n as f64))
-        });
-
-        let s = state.clone();
-        interp.register("assert_memory_facts", move |args| {
+        }
+        "assert_memory_facts" => {
             let id = expect_trial(args, 0)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let machine = st.machine.clone();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let facts = memory_facts(
@@ -404,10 +588,8 @@ impl PerfExplorerScript {
                 st.engine.assert_fact(f);
             }
             Ok(Value::Num(n as f64))
-        });
-
-        let s = state.clone();
-        interp.register("assert_fact", move |args| {
+        }
+        "assert_fact" => {
             // assert_fact(type, { field: value, ... })
             let fact_type = expect_str(args, 0)?;
             let map = args
@@ -428,22 +610,18 @@ impl PerfExplorerScript {
                     }
                 }
             }
-            s.borrow_mut().engine.assert_fact(fact);
+            state.borrow_mut().engine.assert_fact(fact);
             Ok(Value::Null)
-        });
-
-        let s = state.clone();
-        interp.register("assert_context_fact", move |args| {
+        }
+        "assert_context_fact" => {
             let id = expect_trial(args, 0)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let fact = crate::facts::context_fact(trial);
             st.engine.assert_fact(fact);
             Ok(Value::Null)
-        });
-
-        let s = state.clone();
-        interp.register("assert_scaling_facts", move |args| {
+        }
+        "assert_scaling_facts" => {
             // assert_scaling_facts([[procs, trial], ...], metric)
             let series_arg = args
                 .first()
@@ -466,7 +644,7 @@ impl PerfExplorerScript {
                 };
                 pairs.push((procs, handle));
             }
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let trials: Vec<(usize, Trial)> = pairs
                 .iter()
                 .map(|(p, h)| {
@@ -493,13 +671,11 @@ impl PerfExplorerScript {
                 count += 1.0;
             }
             Ok(Value::Num(count))
-        });
-
-        let s = state.clone();
-        interp.register("cluster_threads", move |args| {
+        }
+        "cluster_threads" => {
             let id = expect_trial(args, 0)?;
             let metric = expect_str(args, 1)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let trial = st.trials.get(id).ok_or_else(|| host_err("stale handle"))?;
             let clustering = crate::cluster::cluster_threads(trial, &metric, 4)
                 .map_err(|e| host_err(e.to_string()))?;
@@ -523,14 +699,12 @@ impl PerfExplorerScript {
                 st.engine.assert_fact(f);
             }
             Ok(Value::Map(out))
-        });
-
-        let s = state.clone();
-        interp.register("compare_trials", move |args| {
+        }
+        "compare_trials" => {
             let base = expect_trial(args, 0)?;
             let cand = expect_trial(args, 1)?;
             let metric = expect_str(args, 2)?;
-            let mut st = s.borrow_mut();
+            let mut st = state.borrow_mut();
             let baseline = st
                 .trials
                 .get(base)
@@ -567,11 +741,9 @@ impl PerfExplorerScript {
                 st.engine.assert_fact(f);
             }
             Ok(Value::Map(out))
-        });
-
+        }
         // --- rules ---
-        let s = state.clone();
-        interp.register("load_rules", move |args| {
+        "load_rules" => {
             let which = expect_str(args, 0)?;
             let source = match which.as_str() {
                 "load_balance" => rulebase::LOAD_BALANCE_RULES,
@@ -582,28 +754,26 @@ impl PerfExplorerScript {
             };
             let parsed = rules::drl::parse(source).map_err(|e| host_err(e.to_string()))?;
             let n = parsed.len();
-            s.borrow_mut()
+            state
+                .borrow_mut()
                 .engine
                 .add_rules(parsed)
                 .map_err(|e| host_err(e.to_string()))?;
             Ok(Value::Num(n as f64))
-        });
-
-        let s = state.clone();
-        interp.register("load_rules_source", move |args| {
+        }
+        "load_rules_source" => {
             let source = expect_str(args, 0)?;
             let parsed = rules::drl::parse(&source).map_err(|e| host_err(e.to_string()))?;
             let n = parsed.len();
-            s.borrow_mut()
+            state
+                .borrow_mut()
                 .engine
                 .add_rules(parsed)
                 .map_err(|e| host_err(e.to_string()))?;
             Ok(Value::Num(n as f64))
-        });
-
-        let s = state.clone();
-        interp.register("process_rules", move |_args| {
-            let mut st = s.borrow_mut();
+        }
+        "process_rules" => {
+            let mut st = state.borrow_mut();
             let report = st.engine.run().map_err(|e| host_err(e.to_string()))?;
             let mut out = BTreeMap::new();
             out.insert(
@@ -637,7 +807,8 @@ impl PerfExplorerScript {
             );
             st.last_report = Some(report);
             Ok(Value::Map(out))
-        });
+        }
+        other => Err(host_err(format!("unregistered host function {other:?}"))),
     }
 }
 
@@ -824,5 +995,146 @@ mod tests {
                 Value::Bool(true)
             ])
         );
+    }
+
+    // --- parallel trial sweeps ---
+
+    const SWEEP_SOURCE: &str = r#"
+        let names = list_trials("msap", "scheduling");
+        let results = par_foreach_trial t in names {
+            let trial = load_trial("msap", "scheduling", t);
+            let n = assert_balance_facts(trial, "TIME");
+            process_rules();
+            [t, elapsed(trial, "TIME"), n]
+        };
+        results
+    "#;
+
+    #[test]
+    fn list_trials_enumerates_experiment() {
+        let mut session = PerfExplorerScript::new(repo_with_msa());
+        let out = session.run(r#"list_trials("msap", "scheduling")"#).unwrap();
+        let names: Vec<&str> = out
+            .as_list()
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_str)
+            .collect();
+        assert_eq!(names, vec!["8_dynamic,1", "8_static"]);
+        let err = session.run(r#"list_trials("nope", "x")"#).unwrap_err();
+        assert!(err.to_string().contains("not found"), "{err}");
+    }
+
+    #[test]
+    fn sweep_runs_every_trial_and_matches_sequential() {
+        // The parallel sweep must produce exactly what running the body
+        // by hand per trial produces, in trial order.
+        let mut session = PerfExplorerScript::new(repo_with_msa());
+        let out = session.run(SWEEP_SOURCE).unwrap();
+        let outcomes = out.as_list().unwrap().to_vec();
+        assert_eq!(outcomes.len(), 2);
+
+        let mut sequential = PerfExplorerScript::new(repo_with_msa());
+        for (i, name) in ["8_dynamic,1", "8_static"].iter().enumerate() {
+            let m = outcomes[i].as_map().unwrap();
+            assert_eq!(m.get("ok"), Some(&Value::Bool(true)), "outcome {i}: {m:?}");
+            let body = m.get("value").unwrap().as_list().unwrap();
+            assert_eq!(body[0].as_str(), Some(*name));
+            // A fresh sequential session computes the same elapsed time.
+            let expected = sequential
+                .run(&format!(
+                    r#"let t = load_trial("msap", "scheduling", "{name}"); elapsed(t, "TIME")"#
+                ))
+                .unwrap();
+            assert_eq!(body[1], expected);
+            assert!(body[2].as_num().unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn sweep_bodies_cannot_write_session_state() {
+        let mut session = PerfExplorerScript::new(repo_with_msa());
+        let err_outcome = session
+            .run(
+                r#"
+                let g = 0;
+                let r = par_foreach_trial t in list_trials("msap", "scheduling") { g = 1; };
+                r[0]
+                "#,
+            )
+            .unwrap();
+        let m = err_outcome.as_map().unwrap();
+        assert_eq!(m.get("ok"), Some(&Value::Bool(false)));
+        assert!(
+            m.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("cannot assign to global"),
+            "{m:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_failing_body_degrades_alone() {
+        // The first body targets a missing trial and fails; the other
+        // body completes with its value.
+        let mut session = PerfExplorerScript::new(repo_with_msa());
+        let out = session
+            .run(
+                r#"
+                let r = par_foreach_trial t in ["no_such_trial", "8_static"] {
+                    let trial = load_trial("msap", "scheduling", t);
+                    elapsed(trial, "TIME")
+                };
+                r
+                "#,
+            )
+            .unwrap();
+        let outcomes = out.as_list().unwrap();
+        let bad = outcomes[0].as_map().unwrap();
+        assert_eq!(bad.get("ok"), Some(&Value::Bool(false)));
+        assert!(
+            bad.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("not found"),
+            "{bad:?}"
+        );
+        let good = outcomes[1].as_map().unwrap();
+        assert_eq!(good.get("ok"), Some(&Value::Bool(true)));
+        assert!(good.get("value").unwrap().as_num().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sweep_output_is_stitched_in_trial_order() {
+        let mut session = PerfExplorerScript::new(repo_with_msa());
+        session
+            .run(
+                r#"
+                par_foreach_trial t in list_trials("msap", "scheduling") {
+                    print("saw " + t);
+                };
+                "#,
+            )
+            .unwrap();
+        assert_eq!(
+            session.output(),
+            vec!["saw 8_dynamic,1".to_string(), "saw 8_static".to_string()]
+        );
+    }
+
+    #[test]
+    fn portable_scripts_run_on_sibling_sessions() {
+        let repo = Arc::new(repo_with_msa());
+        let machine = MachineConfig::altix300();
+        let mut a = PerfExplorerScript::with_shared(Arc::clone(&repo), machine.clone());
+        let mut b = PerfExplorerScript::with_shared(repo, machine);
+        let compiled = a.compile_portable(SWEEP_SOURCE).unwrap();
+        let out_a = a.run_portable(&compiled).unwrap();
+        let out_b = b.run_portable(&compiled).unwrap();
+        assert_eq!(out_a, out_b);
+        assert_eq!(out_a.as_list().unwrap().len(), 2);
     }
 }

@@ -424,6 +424,72 @@ fn run_seed(seed: u64, verbose: bool) -> SeedOutcome {
         }
     });
 
+    // --- script-sweep: corrupt trials under par_foreach_trial ---
+    guarded(&mut outcome, "script sweep", |o| {
+        use perfexplorer::scripting::{PerfExplorerScript, Value};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        // Corrupted trials enter the repository *unsanitized*; the
+        // sweep must still visit every body, containing any failure
+        // (including a panic) to the body that hit it.
+        let mut corrupted = clean_trials();
+        let plan = FaultPlan::new(seed ^ 0x5c12).with_all(&Fault::PROFILE_FAULTS);
+        let mut repo = Repository::new();
+        for trial in &mut corrupted {
+            o.faults_applied += plan.apply_to_trial(trial).len();
+        }
+        for trial in corrupted {
+            // A fault may rename trials into collision; upserts and
+            // rejections at the door are both acceptable — the sweep
+            // covers whatever got in.
+            let _ = repo.add_trial("chaos", "sweep", trial);
+        }
+        let mut pristine = clean_trials().remove(0);
+        pristine.name = "pristine-sibling".to_string();
+        repo.add_trial("chaos", "sweep", pristine)
+            .expect("clean sibling inserts");
+
+        let mut session = PerfExplorerScript::new(repo);
+        let bodies = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicU64::new(0));
+        {
+            let bodies = Arc::clone(&bodies);
+            let failed = Arc::clone(&failed);
+            session.set_sweep_observer(Arc::new(move |n, nf| {
+                bodies.fetch_add(n as u64, Ordering::Relaxed);
+                failed.fetch_add(nf as u64, Ordering::Relaxed);
+            }));
+        }
+        let run = session.run_supervised(
+            r#"
+            let r = par_foreach_trial t in list_trials("chaos", "sweep") {
+                let trial = load_trial("chaos", "sweep", t);
+                elapsed(trial, "TIME")
+            };
+            let ok = 0;
+            let i = 0;
+            while i < len(r) {
+                if r[i]["ok"] { ok = ok + 1; }
+                i = i + 1;
+            }
+            ok
+            "#,
+        );
+        o.stages_degraded += run.degraded.len();
+        let total = bodies.load(Ordering::Relaxed);
+        let bad = failed.load(Ordering::Relaxed);
+        // The sweep itself must finish — corrupt bodies degrade alone,
+        // and the pristine sibling's body must have succeeded in the
+        // same pool.
+        let oks = match run.value {
+            Some(Value::Num(n)) => n,
+            other => panic!("sweep did not complete: {other:?} / {:?}", run.degraded),
+        };
+        assert!(oks >= 1.0, "pristine body failed alongside corrupt ones");
+        assert!(total >= 1 && bad < total, "bodies {total}, failed {bad}");
+    });
+
     outcome
 }
 

@@ -74,6 +74,13 @@ pub enum ExprKind {
     Call(String, Vec<Expr>),
     /// Indexing: `base[index]` (lists by number, maps by string).
     Index(Box<Expr>, Box<Expr>),
+    /// `par_foreach_trial var in expr { body }`: evaluate `expr` to a
+    /// list and run `body` once per item with `var` bound, each body in
+    /// an isolated scope (globals readable but not writable) with an
+    /// independent step budget. Evaluates to a list of per-body outcome
+    /// maps (`{ok: true, value: v}` or `{ok: false, error: m, line: n}`)
+    /// in item order; engines may run the bodies in parallel.
+    ParForEach(String, Box<Expr>, Vec<Stmt>),
 }
 
 /// A statement, annotated with its source line.

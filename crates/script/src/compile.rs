@@ -52,7 +52,7 @@ use crate::builtins::Builtin;
 use crate::value::{Interner, Symbol, Value};
 use crate::vm::{FnTable, Globals};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Comparison selector for the fused [`Op::CmpJumpFalse`].
 #[derive(Debug, Clone, Copy)]
@@ -101,7 +101,8 @@ pub(crate) fn operand_parts(packed: u32) -> (u32, u32) {
     (packed >> 30, packed & 0x3FFF_FFFF)
 }
 
-fn pack_operand(tag: u32, idx: u32) -> u32 {
+/// Packs an operand tag and index into one `u32`.
+pub(crate) fn pack_operand(tag: u32, idx: u32) -> u32 {
     debug_assert!(idx < (1 << 30));
     (tag << 30) | idx
 }
@@ -272,6 +273,15 @@ pub(crate) enum Op {
     FailLoopFlow,
     /// Index assignment whose base is not a plain variable.
     FailIndexBase,
+    /// Pop a trial list and run `defs[def]` once per item (the sweep
+    /// body, compiled like a one-parameter function) with an
+    /// independent step budget and captured output per body; push the
+    /// list of per-body outcome maps. The stack engine always runs the
+    /// bodies sequentially inline.
+    ParForEach {
+        /// Index into `Proto::defs` of the compiled body.
+        def: u32,
+    },
 }
 
 /// A compiled function (or the program's top level).
@@ -290,7 +300,7 @@ pub(crate) struct Proto {
     /// Constant pool (deduplicated).
     pub consts: Box<[Value]>,
     /// Nested function bodies, referenced by [`Op::DefineFn`].
-    pub defs: Box<[Rc<Proto>]>,
+    pub defs: Box<[Arc<Proto>]>,
 }
 
 /// Compiles a parsed program against an interpreter's persistent
@@ -303,7 +313,7 @@ pub(crate) fn compile(
     interner: &mut Interner,
     globals: &mut Globals,
     fns: &mut FnTable,
-) -> Rc<Proto> {
+) -> Arc<Proto> {
     let mut shared = Shared {
         interner,
         globals,
@@ -371,7 +381,7 @@ struct ProtoCompiler<'a, 'b> {
     pending: Vec<u32>,
     consts: Vec<Value>,
     const_map: HashMap<ConstKey, u32>,
-    defs: Vec<Rc<Proto>>,
+    defs: Vec<Arc<Proto>>,
     scopes: Vec<ScopeFrame>,
     next_slot: u32,
     max_slots: u32,
@@ -389,7 +399,7 @@ struct ProtoCompiler<'a, 'b> {
     defined: HashSet<u32>,
 }
 
-fn compile_proto(sh: &mut Shared, params: &[String], body: &[Stmt], is_main: bool) -> Rc<Proto> {
+fn compile_proto(sh: &mut Shared, params: &[String], body: &[Stmt], is_main: bool) -> Arc<Proto> {
     let mut c = ProtoCompiler {
         sh,
         code: Vec::new(),
@@ -419,7 +429,7 @@ fn compile_proto(sh: &mut Shared, params: &[String], body: &[Stmt], is_main: boo
     c.flush();
     c.code.push(Op::ReturnLast);
     c.lines.push(0);
-    Rc::new(Proto {
+    Arc::new(Proto {
         params: params.len() as u32,
         locals: c.max_slots,
         code: c.code.into_boxed_slice(),
@@ -434,7 +444,7 @@ fn compile_proto(sh: &mut Shared, params: &[String], body: &[Stmt], is_main: boo
 /// expression could have effects, errors, or non-constant inputs.
 /// Division/modulo fold only with a nonzero divisor so `1 / 0` still
 /// raises its runtime error at the right line and step count.
-fn fold(e: &Expr) -> Option<Value> {
+pub(crate) fn fold(e: &Expr) -> Option<Value> {
     match &e.kind {
         ExprKind::Null => Some(Value::Null),
         ExprKind::Bool(b) => Some(Value::Bool(*b)),
@@ -905,6 +915,19 @@ impl ProtoCompiler<'_, '_> {
                 self.expr(base);
                 self.expr(index);
                 self.emit(Op::Index, e.line);
+            }
+            ExprKind::ParForEach(var, iter, body) => {
+                self.expr(iter);
+                // The body compiles exactly like a one-parameter
+                // function: its own proto, the loop variable as local
+                // slot 0, `is_main` false so body-level `let`s stay
+                // local. Global writes are rejected at runtime by the
+                // VM's par-mode checks, which also cover functions
+                // *called* from the body.
+                let proto = compile_proto(self.sh, std::slice::from_ref(var), body, false);
+                let d = self.defs.len() as u32;
+                self.defs.push(proto);
+                self.emit(Op::ParForEach { def: d }, e.line);
             }
         }
     }

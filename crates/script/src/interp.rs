@@ -1,25 +1,34 @@
 //! The script interpreter: compile-and-execute pipeline over the
-//! bytecode VM, with a host-function registry and compilation caching.
+//! bytecode VMs, with a host-function registry and compilation caching.
 //!
 //! [`Interpreter::run`] lexes/parses/compiles on first sight of a
-//! source string and caches the compiled program, so driver loops that
-//! re-run the same script (as PerfExplorer workflows do per trial) pay
-//! for compilation once. [`Interpreter::compile`] exposes the cached
-//! unit as a [`Compiled`] handle for callers that want to manage reuse
-//! explicitly.
+//! source string and caches the compiled program (keyed by a content
+//! hash of the source, bounded by an LRU eviction policy), so driver
+//! loops that re-run the same script (as PerfExplorer workflows do per
+//! trial) pay for compilation once. [`Interpreter::compile`] exposes
+//! the cached unit as a [`Compiled`] handle for callers that want to
+//! manage reuse explicitly, and [`Interpreter::compile_portable`]
+//! produces a [`PortableScript`] that can be replayed on other
+//! identically-initialized interpreters (the service layer shares one
+//! compile cache across its worker pool this way).
 //!
-//! The original tree-walking implementation lives on in
-//! [`crate::reference`] as the executable specification; differential
-//! tests pin this engine against it.
+//! Two bytecode engines implement the language: the PR 4 stack VM
+//! (`vm.rs`) and the register VM (`rcompile.rs`/`rvm.rs`), selected by
+//! [`Engine`] with the register engine as the default. The original
+//! tree-walking implementation lives on in [`crate::reference`] as the
+//! executable specification; differential tests pin both engines
+//! against it.
 
 use crate::compile::{compile, Proto};
 use crate::parser::parse;
-use crate::value::{Interner, Value};
+use crate::rcompile::{rcompile, RProto};
+use crate::rvm::ParallelExecutor;
+use crate::value::{Interner, Symbol, Value};
 use crate::vm::{FnTable, Globals};
 use crate::{Result, ScriptError};
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Signature of a host function: positional arguments in (as a
 /// mutable, interpreter-owned buffer the host may consume or inspect in
@@ -31,9 +40,31 @@ pub type HostFn = Box<dyn FnMut(&mut Vec<Value>) -> std::result::Result<Value, S
 /// with the interpreter whose symbol/slot tables they bake in.
 static NEXT_INTERP_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Keep at most this many distinct sources in the per-interpreter
-/// compilation cache before discarding it wholesale.
+/// Keep at most this many compiled programs in the per-interpreter
+/// cache; beyond it, the least-recently-used entry is evicted.
 const CACHE_CAP: usize = 128;
+
+/// Which bytecode engine executes scripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The PR 4 stack VM: push/pop evaluation over an operand stack.
+    Stack,
+    /// The register VM: three-address instructions over per-frame
+    /// register windows. Roughly 2x faster on arithmetic-heavy loops
+    /// and the only engine that can hand sweep bodies to a parallel
+    /// executor.
+    #[default]
+    Register,
+}
+
+/// A compiled program for whichever engine produced it.
+#[derive(Clone)]
+pub(crate) enum Unit {
+    /// Stack-VM bytecode.
+    Stack(Arc<Proto>),
+    /// Register-VM bytecode.
+    Register(Arc<RProto>),
+}
 
 /// A compiled script, reusable across [`Interpreter::run_compiled`]
 /// calls on the interpreter that produced it.
@@ -41,10 +72,90 @@ const CACHE_CAP: usize = 128;
 /// The bytecode bakes in global-slot and function-table indices of its
 /// interpreter, so a `Compiled` is only executable there; running it on
 /// a different interpreter is caught and reported as a runtime error.
+/// For a handle that *can* travel between interpreters, see
+/// [`PortableScript`].
 #[derive(Clone)]
 pub struct Compiled {
-    main: Rc<Proto>,
+    unit: Unit,
     owner: u64,
+}
+
+/// A register-VM program plus a snapshot of the name/slot tables it was
+/// compiled against, replayable on any interpreter whose tables are a
+/// prefix-compatible match (in practice: interpreters initialized by
+/// the same registration sequence, as the service's per-worker sessions
+/// are).
+///
+/// Unlike [`Compiled`], a `PortableScript` is `Send + Sync` and carries
+/// no owner id: [`Interpreter::run_portable`] instead *replays* the
+/// snapshot constructively — interning each recorded name and asserting
+/// it lands on the recorded index — so a fresh identically-registered
+/// interpreter extends its tables to match, while a divergent one is
+/// rejected with the same error a foreign [`Compiled`] gets.
+#[derive(Clone)]
+pub struct PortableScript {
+    main: Arc<RProto>,
+    /// Every interned name, in symbol order, at compile time.
+    names: Arc<Vec<String>>,
+    /// Symbol index of each global slot, in slot order.
+    global_syms: Arc<Vec<usize>>,
+    /// Symbol index of each function-table entry, in id order.
+    fn_syms: Arc<Vec<usize>>,
+}
+
+/// Compilation-cache counters, exposed for cache-behavior tests and
+/// service metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Runs served from the cache without recompiling.
+    pub hits: u64,
+    /// Compilations caused by a source not (or no longer) cached.
+    pub misses: u64,
+    /// Entries discarded to stay within the cache bound.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// One cached compilation: the unit plus its last-use stamp.
+struct CacheEntry {
+    unit: Unit,
+    stamp: u64,
+}
+
+/// 128-bit FNV-1a over the source bytes: the compilation-cache key.
+/// Content-addressed keying means re-submitted identical sources hit
+/// the cache regardless of which `String` they arrived in, and the
+/// cache never retains the (potentially large) source text itself.
+fn content_hash(src: &str) -> u128 {
+    const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = FNV_OFFSET;
+    for &b in src.as_bytes() {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Wraps one sweep-body outcome as the map `par_foreach_trial` yields
+/// per item: `{ok: true, value}` on success, `{ok: false, error, line}`
+/// on failure. Shared by all three engines so a corrupt trial degrades
+/// to an identical record everywhere.
+pub(crate) fn sweep_outcome_value(result: Result<Value>) -> Value {
+    let mut m = std::collections::BTreeMap::new();
+    match result {
+        Ok(v) => {
+            m.insert("ok".to_string(), Value::Bool(true));
+            m.insert("value".to_string(), v);
+        }
+        Err(e) => {
+            m.insert("ok".to_string(), Value::Bool(false));
+            m.insert("error".to_string(), Value::Str(e.message));
+            m.insert("line".to_string(), Value::Num(e.line as f64));
+        }
+    }
+    Value::Map(m)
 }
 
 /// The script interpreter.
@@ -59,15 +170,31 @@ pub struct Interpreter {
     pub(crate) output: Vec<String>,
     pub(crate) steps: u64,
     pub(crate) step_limit: u64,
-    /// VM operand stack, reused across runs.
+    /// Maximum user-function call depth before "call depth limit
+    /// exceeded" (guards unbounded recursion, which the step budget
+    /// alone would let exhaust the native stack first).
+    pub(crate) call_depth_limit: usize,
+    /// VM operand stack, reused across runs (stack engine).
     pub(crate) stack: Vec<Value>,
-    /// VM local slots of all live frames, reused across runs.
+    /// VM local slots of all live frames, reused across runs (stack
+    /// engine).
     pub(crate) locals: Vec<Value>,
+    /// Register file of all live frames, reused across runs (register
+    /// engine).
+    pub(crate) regs: Vec<Value>,
     /// Open `for` iterators: (items, next index).
     pub(crate) iters: Vec<(Vec<Value>, usize)>,
     /// Reusable host-call argument buffer.
     pub(crate) argbuf: Vec<Value>,
-    cache: HashMap<String, Rc<Proto>>,
+    /// When set, register-VM `par_foreach_trial` sweeps hand their
+    /// bodies to this executor instead of running them inline.
+    pub(crate) par_exec: Option<Arc<ParallelExecutor>>,
+    engine: Engine,
+    cache: HashMap<u128, CacheEntry>,
+    cache_tick: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
     id: u64,
 }
 
@@ -78,7 +205,7 @@ impl Default for Interpreter {
 }
 
 impl Interpreter {
-    /// Creates an interpreter with the default step budget.
+    /// Creates an interpreter with the default step budget and engine.
     pub fn new() -> Self {
         Interpreter {
             interner: Interner::new(),
@@ -87,11 +214,19 @@ impl Interpreter {
             output: Vec::new(),
             steps: 0,
             step_limit: 50_000_000,
+            call_depth_limit: 1000,
             stack: Vec::new(),
             locals: Vec::new(),
+            regs: Vec::new(),
             iters: Vec::new(),
             argbuf: Vec::new(),
+            par_exec: None,
+            engine: Engine::default(),
             cache: HashMap::new(),
+            cache_tick: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
             id: NEXT_INTERP_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -101,6 +236,31 @@ impl Interpreter {
     pub fn with_step_limit(mut self, limit: u64) -> Self {
         self.step_limit = limit;
         self
+    }
+
+    /// Overrides the user-function call depth limit (default 1000).
+    pub fn with_call_depth_limit(mut self, limit: usize) -> Self {
+        self.call_depth_limit = limit;
+        self
+    }
+
+    /// Selects the bytecode engine (default [`Engine::Register`]).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine this interpreter executes scripts with.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Installs the executor that register-VM `par_foreach_trial`
+    /// sweeps dispatch their bodies through (e.g. a thread pool). Pass
+    /// bodies still observe sequential semantics: outcomes and output
+    /// come back in item order and bodies cannot write shared state.
+    pub fn set_parallel_executor(&mut self, exec: Arc<ParallelExecutor>) {
+        self.par_exec = Some(exec);
     }
 
     /// Registers a host function callable from scripts.
@@ -138,15 +298,25 @@ impl Interpreter {
         self.steps
     }
 
+    /// Compilation-cache counters (hits/misses/evictions/entries).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits,
+            misses: self.cache_misses,
+            evictions: self.cache_evictions,
+            entries: self.cache.len(),
+        }
+    }
+
     /// Compiles a script to reusable bytecode without executing it.
     ///
     /// Compilation interns names into this interpreter's persistent
     /// tables, so the handle stays valid across later `register` /
     /// `set_global` / `run` calls on the same interpreter.
     pub fn compile(&mut self, src: &str) -> Result<Compiled> {
-        let main = self.compile_cached(src)?;
+        let unit = self.compile_cached(src)?;
         Ok(Compiled {
-            main,
+            unit,
             owner: self.id,
         })
     }
@@ -160,35 +330,121 @@ impl Interpreter {
                 "compiled script belongs to a different interpreter",
             ));
         }
-        let main = Rc::clone(&program.main);
-        self.steps = 0;
-        self.execute(&main)
+        let unit = program.unit.clone();
+        self.run_unit(&unit)
     }
 
     /// Parses, compiles (with caching), and executes a script, returning
     /// the value of its final expression statement (or [`Value::Null`]).
     pub fn run(&mut self, src: &str) -> Result<Value> {
-        let main = self.compile_cached(src)?;
-        self.steps = 0;
-        self.execute(&main)
+        let unit = self.compile_cached(src)?;
+        self.run_unit(&unit)
     }
 
-    fn compile_cached(&mut self, src: &str) -> Result<Rc<Proto>> {
-        if let Some(main) = self.cache.get(src) {
-            return Ok(Rc::clone(main));
-        }
+    /// Compiles a script with the register pipeline (regardless of this
+    /// interpreter's engine) into a handle that can run on *other*
+    /// identically-initialized interpreters. Used by the service layer
+    /// to share one compilation across its worker pool. Bypasses the
+    /// run cache: callers that want reuse cache the handle themselves.
+    pub fn compile_portable(&mut self, src: &str) -> Result<PortableScript> {
         let program = parse(src)?;
-        let main = compile(
+        let main = rcompile(
             &program,
             &mut self.interner,
             &mut self.globals,
             &mut self.fns,
         );
-        if self.cache.len() >= CACHE_CAP {
-            self.cache.clear();
+        let names = (0..self.interner.len())
+            .map(|i| self.interner.resolve(Symbol::from_index(i)).to_string())
+            .collect();
+        let global_syms = self.globals.names.iter().map(|s| s.index()).collect();
+        let fn_syms = self.fns.entries.iter().map(|e| e.name.index()).collect();
+        Ok(PortableScript {
+            main,
+            names: Arc::new(names),
+            global_syms: Arc::new(global_syms),
+            fn_syms: Arc::new(fn_syms),
+        })
+    }
+
+    /// Executes a [`PortableScript`], first replaying its name-table
+    /// snapshot into this interpreter (see the type docs). Errors with
+    /// "compiled script belongs to a different interpreter" when the
+    /// tables cannot be made to match.
+    pub fn run_portable(&mut self, program: &PortableScript) -> Result<Value> {
+        let mismatch =
+            || ScriptError::runtime(0, "compiled script belongs to a different interpreter");
+        for (i, name) in program.names.iter().enumerate() {
+            if self.interner.intern(name).index() != i {
+                return Err(mismatch());
+            }
         }
-        self.cache.insert(src.to_string(), Rc::clone(&main));
-        Ok(main)
+        for (slot, &sym) in program.global_syms.iter().enumerate() {
+            if self.globals.ensure(Symbol::from_index(sym)) != slot as u32 {
+                return Err(mismatch());
+            }
+        }
+        for (id, &sym) in program.fn_syms.iter().enumerate() {
+            if self.fns.ensure(Symbol::from_index(sym)) != id as u32 {
+                return Err(mismatch());
+            }
+        }
+        self.steps = 0;
+        self.execute_register(&program.main)
+    }
+
+    fn run_unit(&mut self, unit: &Unit) -> Result<Value> {
+        self.steps = 0;
+        match unit {
+            Unit::Stack(main) => self.execute(main),
+            Unit::Register(main) => self.execute_register(main),
+        }
+    }
+
+    fn compile_cached(&mut self, src: &str) -> Result<Unit> {
+        let key = content_hash(src);
+        self.cache_tick += 1;
+        let tick = self.cache_tick;
+        if let Some(entry) = self.cache.get_mut(&key) {
+            entry.stamp = tick;
+            self.cache_hits += 1;
+            return Ok(entry.unit.clone());
+        }
+        self.cache_misses += 1;
+        let program = parse(src)?;
+        let unit = match self.engine {
+            Engine::Stack => Unit::Stack(compile(
+                &program,
+                &mut self.interner,
+                &mut self.globals,
+                &mut self.fns,
+            )),
+            Engine::Register => Unit::Register(rcompile(
+                &program,
+                &mut self.interner,
+                &mut self.globals,
+                &mut self.fns,
+            )),
+        };
+        if self.cache.len() >= CACHE_CAP {
+            if let Some(&oldest) = self
+                .cache
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k)
+            {
+                self.cache.remove(&oldest);
+                self.cache_evictions += 1;
+            }
+        }
+        self.cache.insert(
+            key,
+            CacheEntry {
+                unit: unit.clone(),
+                stamp: tick,
+            },
+        );
+        Ok(unit)
     }
 }
 
@@ -449,8 +705,32 @@ r";
             interp.run("acc = acc + 1;").unwrap();
         }
         assert_eq!(interp.get_global("acc"), Some(&Value::Num(3.0)));
-        // The cache holds one entry per distinct source.
-        assert_eq!(interp.cache.len(), 2);
+        // One miss per distinct source, hits for the repeats.
+        let stats = interp.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut interp = Interpreter::new();
+        // Fill the cache, then keep entry 0 warm while adding one more:
+        // the eviction must pick a cold entry, not the warm one.
+        let srcs: Vec<String> = (0..CACHE_CAP).map(|i| format!("{i} + 0")).collect();
+        for s in &srcs {
+            interp.run(s).unwrap();
+        }
+        interp.run(&srcs[0]).unwrap(); // refresh entry 0
+        interp.run("123456789").unwrap(); // forces one eviction
+        let stats = interp.cache_stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, CACHE_CAP);
+        // Entry 0 survived (hit), so re-running it is another hit.
+        let before = interp.cache_stats().hits;
+        interp.run(&srcs[0]).unwrap();
+        assert_eq!(interp.cache_stats().hits, before + 1);
     }
 
     #[test]
@@ -459,5 +739,57 @@ r";
         let err = interp.run("while true { }").unwrap_err();
         assert!(err.message.contains("step limit"));
         assert_eq!(interp.steps(), 101);
+    }
+
+    #[test]
+    fn both_engines_run_the_same_program() {
+        for engine in [Engine::Stack, Engine::Register] {
+            let mut interp = Interpreter::new().with_engine(engine);
+            let v = interp
+                .run("fn f(n) { return n * 2; } let t = 0; for x in [1, 2, 3] { t = t + f(x); } t")
+                .unwrap();
+            assert_eq!(v, Value::Num(12.0), "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn call_depth_limit_stops_runaway_recursion() {
+        for engine in [Engine::Stack, Engine::Register] {
+            let mut interp = Interpreter::new()
+                .with_engine(engine)
+                .with_call_depth_limit(64);
+            let err = interp.run("fn f(n) { return f(n); } f(1)").unwrap_err();
+            assert!(
+                err.message.contains("call depth limit exceeded"),
+                "engine {engine:?}: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn portable_scripts_replay_on_identical_interpreters() {
+        let mk = || {
+            let mut i = Interpreter::new();
+            i.register("twice", |args| {
+                Ok(Value::Num(
+                    args.first().and_then(Value::as_num).unwrap_or(0.0) * 2.0,
+                ))
+            });
+            i.set_global("base", Value::Num(10.0));
+            i
+        };
+        let mut a = mk();
+        let program = a.compile_portable("twice(base) + 1").unwrap();
+        assert_eq!(a.run_portable(&program).unwrap(), Value::Num(21.0));
+        // A fresh interpreter with the same registration sequence
+        // replays the snapshot and runs the same bytecode.
+        let mut b = mk();
+        assert_eq!(b.run_portable(&program).unwrap(), Value::Num(21.0));
+        // A divergent interpreter (different name order) is rejected.
+        let mut c = Interpreter::new();
+        c.set_global("unrelated", Value::Null);
+        let err = c.run_portable(&program).unwrap_err();
+        assert!(err.message.contains("different interpreter"));
     }
 }

@@ -5,11 +5,16 @@
 //! perform analysis, and automate the processing of performance data"
 //! (the paper's Figure 1 shows a Jython workflow). This crate provides
 //! the equivalent capability for the Rust stack: a small, dynamically
-//! typed language compiled to bytecode and executed by a stack VM, with
-//! a host-function registry through which the analysis layer exposes
-//! its operations. The original tree-walking interpreter survives as
-//! [`mod@reference`], the executable specification the VM is differentially
-//! tested against.
+//! typed language compiled to bytecode and executed by one of two VMs —
+//! a stack machine and a register machine (the default, roughly twice
+//! as fast on arithmetic-heavy loops) — with a host-function registry
+//! through which the analysis layer exposes its operations. The
+//! original tree-walking interpreter survives as [`mod@reference`],
+//! the executable specification both VMs are differentially tested
+//! against. `par_foreach_trial` runs a script block once per trial of
+//! a list, each body isolated (own step budget, captured output,
+//! per-body error outcomes) so a host can fan the bodies out across a
+//! thread pool via [`Interpreter::set_parallel_executor`].
 //!
 //! The language has `let` bindings, assignment, arithmetic and logic,
 //! strings/lists/maps, `if`/`else`, `while`, `for … in`, user functions
@@ -49,12 +54,15 @@ pub mod error;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+mod rcompile;
 pub mod reference;
+mod rvm;
 pub mod value;
 mod vm;
 
 pub use error::ScriptError;
-pub use interp::{Compiled, HostFn, Interpreter};
+pub use interp::{CacheStats, Compiled, Engine, HostFn, Interpreter, PortableScript};
+pub use rvm::{BodyOutcome, HostDispatch, ParRunner, ParallelExecutor};
 pub use value::Value;
 
 /// Convenience result alias.

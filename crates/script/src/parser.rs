@@ -396,6 +396,19 @@ impl Parser {
                     line,
                     kind: ExprKind::Bool(false),
                 }),
+                "par_foreach_trial" => {
+                    let var = self.ident()?;
+                    if !self.at_kw("in") {
+                        return Err(self.err("expected 'in' in par_foreach_trial"));
+                    }
+                    self.pos += 1;
+                    let iter = self.expr()?;
+                    let body = self.block()?;
+                    Ok(Expr {
+                        line,
+                        kind: ExprKind::ParForEach(var, Box::new(iter), body),
+                    })
+                }
                 _ => {
                     if self.at_sym("(") {
                         self.pos += 1;

@@ -39,6 +39,14 @@ pub struct Interpreter {
     output: Vec<String>,
     steps: u64,
     step_limit: u64,
+    call_depth_limit: usize,
+    /// Frame index at which call depth counts from zero; sweep bodies
+    /// reset it so each body gets a full, independent depth budget
+    /// (mirroring the fresh frame stack a parallel worker would use).
+    depth_base: usize,
+    /// Positive while executing inside a `par_foreach_trial` body, where
+    /// writes to globals (and function definitions) are rejected.
+    par_depth: usize,
 }
 
 impl Default for Interpreter {
@@ -57,6 +65,9 @@ impl Interpreter {
             output: Vec::new(),
             steps: 0,
             step_limit: 50_000_000,
+            call_depth_limit: 1000,
+            depth_base: 0,
+            par_depth: 0,
         }
     }
 
@@ -64,6 +75,12 @@ impl Interpreter {
     /// node costs one step). Guards runaway `while` loops.
     pub fn with_step_limit(mut self, limit: u64) -> Self {
         self.step_limit = limit;
+        self
+    }
+
+    /// Overrides the user-function call depth limit (default 1000).
+    pub fn with_call_depth_limit(mut self, limit: usize) -> Self {
+        self.call_depth_limit = limit;
         self
     }
 
@@ -106,6 +123,8 @@ impl Interpreter {
         self.frames.truncate(1);
         self.frames[0].truncate(1);
         self.steps = 0;
+        self.depth_base = 0;
+        self.par_depth = 0;
         let mut last = Value::Null;
         for stmt in &program.statements {
             match self.exec(stmt)? {
@@ -149,14 +168,27 @@ impl Interpreter {
                 return Ok(());
             }
         }
-        if let Some(slot) = self.frames[0][0].get_mut(name) {
-            *slot = value;
+        if self.frames[0][0].contains_key(name) {
+            if self.par_depth > 0 {
+                return Err(ScriptError::runtime(
+                    line,
+                    format!("cannot assign to global {name:?} inside par_foreach_trial"),
+                ));
+            }
+            *self.frames[0][0].get_mut(name).expect("checked") = value;
             return Ok(());
         }
         Err(ScriptError::runtime(
             line,
             format!("assignment to undefined variable {name:?}"),
         ))
+    }
+
+    /// True when `name` resolves within the current frame's block
+    /// scopes (i.e. without falling back to the global scope).
+    fn in_current_frame(&self, name: &str) -> bool {
+        let frame = self.frames.last().expect("at least global frame");
+        frame.iter().rev().any(|scope| scope.contains_key(name))
     }
 
     fn exec_block(&mut self, body: &[Stmt]) -> Result<Flow> {
@@ -207,6 +239,12 @@ impl Interpreter {
                 let mut container = self.lookup(name).cloned().ok_or_else(|| {
                     ScriptError::runtime(stmt.line, format!("undefined variable {name:?}"))
                 })?;
+                if self.par_depth > 0 && !self.in_current_frame(name) {
+                    return Err(ScriptError::runtime(
+                        stmt.line,
+                        format!("cannot mutate global {name:?} inside par_foreach_trial"),
+                    ));
+                }
                 match (&mut container, &idx) {
                     (Value::List(items), Value::Num(n)) => {
                         let i = *n as usize;
@@ -293,6 +331,15 @@ impl Interpreter {
                 Ok(Flow::Normal(Value::Null))
             }
             StmtKind::FnDef(def) => {
+                if self.par_depth > 0 {
+                    return Err(ScriptError::runtime(
+                        stmt.line,
+                        format!(
+                            "cannot define function {:?} inside par_foreach_trial",
+                            def.name
+                        ),
+                    ));
+                }
                 self.user_fns.insert(def.name.clone(), def.clone());
                 Ok(Flow::Normal(Value::Null))
             }
@@ -386,7 +433,94 @@ impl Interpreter {
                 }
                 self.call(name, values, e.line)
             }
+            ExprKind::ParForEach(var, iter, body) => {
+                let iterable = self.eval(iter)?;
+                let Value::List(items) = iterable else {
+                    return Err(ScriptError::runtime(
+                        e.line,
+                        format!(
+                            "par_foreach_trial expects a list, got a {}",
+                            iterable.type_name()
+                        ),
+                    ));
+                };
+                // Each body runs with an independent step counter
+                // bounded by what remains of the sweep's budget; the
+                // totals are folded back in afterwards so the sweep as
+                // a whole cannot exceed `limit + bodies` steps whether
+                // the bodies ran sequentially or in parallel.
+                let entry = self.steps;
+                let budget = self.step_limit - entry;
+                let mut results = Vec::with_capacity(items.len());
+                let mut total: u64 = 0;
+                for item in items {
+                    let (result, body_steps, mut body_out) =
+                        self.run_par_body(var, item, body, budget);
+                    total = total.saturating_add(body_steps);
+                    self.output.append(&mut body_out);
+                    results.push(crate::interp::sweep_outcome_value(result));
+                }
+                self.steps = entry.saturating_add(total);
+                Ok(Value::List(results))
+            }
         }
+    }
+
+    /// Runs one `par_foreach_trial` body in isolation: a fresh frame
+    /// with only the loop variable bound, steps counted from zero
+    /// against `budget`, output captured separately, and call depth
+    /// restarting at zero. Returns the body result (fall-off value of
+    /// the last statement, or an early `return`), the steps it
+    /// consumed, and the lines it printed.
+    fn run_par_body(
+        &mut self,
+        var: &str,
+        item: Value,
+        body: &[Stmt],
+        budget: u64,
+    ) -> (Result<Value>, u64, Vec<String>) {
+        let saved_steps = self.steps;
+        let saved_limit = self.step_limit;
+        let saved_output = std::mem::take(&mut self.output);
+        let saved_depth_base = self.depth_base;
+        let frames_mark = self.frames.len();
+        self.steps = 0;
+        self.step_limit = budget;
+        self.par_depth += 1;
+        let mut scope = Scope::new();
+        scope.insert(var.to_string(), item);
+        self.frames.push(vec![scope]);
+        self.depth_base = self.frames.len() - 1;
+        let mut result = Ok(Value::Null);
+        for stmt in body {
+            match self.exec(stmt) {
+                Ok(Flow::Normal(v)) => result = Ok(v),
+                Ok(Flow::Return(v)) => {
+                    result = Ok(v);
+                    break;
+                }
+                Ok(Flow::Break) | Ok(Flow::Continue) => {
+                    result = Err(ScriptError::runtime(
+                        stmt.line,
+                        "break/continue outside loop",
+                    ));
+                    break;
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.frames.truncate(frames_mark);
+        self.par_depth -= 1;
+        self.depth_base = saved_depth_base;
+        let body_steps = self.steps;
+        let body_out = std::mem::take(&mut self.output);
+        self.steps = saved_steps;
+        self.step_limit = saved_limit;
+        self.output = saved_output;
+        (result, body_steps, body_out)
     }
 
     fn eval_binary(&mut self, line: usize, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Value> {
@@ -486,6 +620,9 @@ impl Interpreter {
                         args.len()
                     ),
                 ));
+            }
+            if self.frames.len() - 1 - self.depth_base >= self.call_depth_limit {
+                return Err(ScriptError::runtime(line, "call depth limit exceeded"));
             }
             let mut scope = Scope::new();
             for (p, a) in def.params.iter().zip(args) {

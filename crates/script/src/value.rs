@@ -15,6 +15,12 @@ impl Symbol {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a symbol from its dense index (used when replaying a
+    /// compiled script's name tables into another interpreter).
+    pub(crate) fn from_index(index: usize) -> Symbol {
+        Symbol(index as u32)
+    }
 }
 
 /// A string interner mapping identifiers to dense [`Symbol`]s.
@@ -53,6 +59,11 @@ impl Interner {
     /// The name behind a symbol.
     pub fn resolve(&self, sym: Symbol) -> &str {
         &self.names[sym.index()]
+    }
+
+    /// How many names are interned (symbols are `0..len()`).
+    pub(crate) fn len(&self) -> usize {
+        self.names.len()
     }
 }
 
@@ -133,6 +144,30 @@ impl Value {
         match self {
             Value::Handle { tag, id } => Some((tag, *id)),
             _ => None,
+        }
+    }
+
+    /// Structural equality that compares numbers by bit pattern, so
+    /// `NaN == NaN` here (and `0.0 != -0.0`).
+    ///
+    /// Language-level `==` uses [`PartialEq`], where `NaN != NaN` per
+    /// IEEE 754. Differential tests use this method instead: two
+    /// engines that both produce `NaN` from the same script agree, and
+    /// `assert!(a.bitwise_eq(&b))` cannot spuriously fail the way
+    /// `assert_eq!(a, b)` does.
+    pub fn bitwise_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Num(a), Value::Num(b)) => a.to_bits() == b.to_bits(),
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.bitwise_eq(y))
+            }
+            (Value::Map(a), Value::Map(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.bitwise_eq(vb))
+            }
+            _ => self == other,
         }
     }
 

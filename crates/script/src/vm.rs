@@ -14,10 +14,10 @@
 
 use crate::compile::{Arith, Cmp, Op, Proto};
 use crate::interp::{HostFn, Interpreter};
-use crate::value::{Symbol, Value};
+use crate::value::{Interner, Symbol, Value};
 use crate::{Result, ScriptError};
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Persistent global variable slots.
 ///
@@ -58,8 +58,13 @@ impl Globals {
 pub(crate) struct FnEntry {
     /// The function's name (for error messages).
     pub name: Symbol,
-    /// Script-defined body, bound when its `fn` statement executes.
-    pub user: Option<Rc<Proto>>,
+    /// Script-defined body, bound when its `fn` statement executes
+    /// (stack encoding).
+    pub user: Option<Arc<Proto>>,
+    /// Script-defined body in the register encoding, bound by the
+    /// register VM's `DefineFn`. Each engine installs and calls only
+    /// its own field.
+    pub ruser: Option<Arc<crate::rcompile::RProto>>,
     /// Host closure, bound by [`Interpreter::register`].
     pub host: Option<HostFn>,
 }
@@ -83,6 +88,7 @@ impl FnTable {
         self.entries.push(FnEntry {
             name: sym,
             user: None,
+            ruser: None,
             host: None,
         });
         self.by_sym.insert(sym, id);
@@ -92,14 +98,14 @@ impl FnTable {
 
 /// A suspended caller, restored on `Return`/`ReturnLast`.
 struct Frame {
-    proto: Rc<Proto>,
+    proto: Arc<Proto>,
     ret_ip: usize,
     base: usize,
     iter_base: usize,
     saved_last: Value,
 }
 
-fn type_err(line: usize, op: &str, l: &Value, r: &Value) -> ScriptError {
+pub(crate) fn type_err(line: usize, op: &str, l: &Value, r: &Value) -> ScriptError {
     ScriptError::runtime(
         line,
         format!(
@@ -114,7 +120,7 @@ impl Interpreter {
     /// Runs a compiled program to completion. `self.steps` must be
     /// reset by the caller; transient stacks are cleared here so a
     /// previous run that ended in an error can't leak state.
-    pub(crate) fn execute(&mut self, entry: &Rc<Proto>) -> Result<Value> {
+    pub(crate) fn execute(&mut self, entry: &Arc<Proto>) -> Result<Value> {
         let Interpreter {
             interner,
             globals,
@@ -122,6 +128,7 @@ impl Interpreter {
             output,
             steps,
             step_limit,
+            call_depth_limit,
             stack,
             locals,
             iters,
@@ -132,18 +139,65 @@ impl Interpreter {
         stack.clear();
         locals.clear();
         iters.clear();
+        dispatch(
+            interner,
+            globals,
+            fns,
+            output,
+            stack,
+            locals,
+            iters,
+            argbuf,
+            steps,
+            limit,
+            *call_depth_limit,
+            false,
+            entry,
+            0,
+        )
+    }
+}
 
-        let mut proto = Rc::clone(entry);
+/// The stack-VM dispatch loop, factored out of [`Interpreter::execute`]
+/// so `par_foreach_trial` bodies can recurse with a swapped step
+/// counter, budget, and output buffer while sharing the transient
+/// stacks (each body runs above the caller's watermarks, which are
+/// truncated back after it finishes).
+///
+/// `base_start` is where this activation's local slots begin (the entry
+/// proto's parameters, if any, must already be in place there). `par`
+/// is true inside a sweep body, where writes to globals and function
+/// definitions — including from functions *called* by the body — are
+/// rejected so bodies stay order-independent.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    interner: &Interner,
+    globals: &mut Globals,
+    fns: &mut FnTable,
+    output: &mut Vec<String>,
+    stack: &mut Vec<Value>,
+    locals: &mut Vec<Value>,
+    iters: &mut Vec<(Vec<Value>, usize)>,
+    argbuf: &mut Vec<Value>,
+    steps: &mut u64,
+    limit: u64,
+    depth_limit: usize,
+    par: bool,
+    entry: &Arc<Proto>,
+    base_start: usize,
+) -> Result<Value> {
+    {
+        let mut proto = Arc::clone(entry);
         let mut frames: Vec<Frame> = Vec::new();
         let mut ip = 0usize;
         // Start of this frame's slots in `locals` / iterators in `iters`.
-        let mut base = 0usize;
-        let mut iter_base = 0usize;
+        let mut base = base_start;
+        let mut iter_base = iters.len();
         // The statement-value register: the value of the most recent
         // expression statement, i.e. what a frame returns when it falls
         // off the end.
         let mut last = Value::Null;
-        locals.resize(proto.locals as usize, Value::Null);
+        locals.resize(base + proto.locals as usize, Value::Null);
 
         loop {
             let op = proto.code[ip];
@@ -152,9 +206,13 @@ impl Interpreter {
                     let next = steps.saturating_add(n as u64);
                     if next > limit {
                         // Which of the merged bumps crossed the limit?
-                        let k = (limit - *steps) as usize;
+                        // A sweep can fold body totals back in past the
+                        // limit, in which case the very first bump
+                        // fails (saturating k to 0, charging one more,
+                        // exactly like the reference's bump()).
+                        let k = limit.saturating_sub(*steps) as usize;
                         let line = proto.step_lines[meta as usize + k] as usize;
-                        *steps = limit.saturating_add(1);
+                        *steps = steps.saturating_add(k as u64 + 1);
                         return Err(ScriptError::runtime(line, "step limit exceeded"));
                     }
                     *steps = next;
@@ -186,11 +244,28 @@ impl Interpreter {
                             format!("assignment to undefined variable {name:?}"),
                         ));
                     }
+                    if par {
+                        let name = interner.resolve(globals.names[g as usize]);
+                        return Err(ScriptError::runtime(
+                            proto.lines[ip] as usize,
+                            format!("cannot assign to global {name:?} inside par_foreach_trial"),
+                        ));
+                    }
                     *slot = Some(v);
                     last = Value::Null;
                 }
                 Op::DefineGlobal(g) => {
                     let v = stack.pop().expect("stack value");
+                    if par {
+                        // Unreachable from compiled sweep bodies (they
+                        // are never `is_main`), but a called function
+                        // must not smuggle a definition through either.
+                        let name = interner.resolve(globals.names[g as usize]);
+                        return Err(ScriptError::runtime(
+                            proto.lines[ip] as usize,
+                            format!("cannot assign to global {name:?} inside par_foreach_trial"),
+                        ));
+                    }
                     globals.slots[g as usize] = Some(v);
                     last = Value::Null;
                 }
@@ -330,6 +405,18 @@ impl Interpreter {
                     };
                     let (tag, idx) = crate::compile::operand_parts(dst);
                     if tag == crate::compile::OPERAND_GLOBAL {
+                        if par {
+                            // Fused global destinations only compile in
+                            // main protos, which never run in par mode;
+                            // defensive to keep the ban airtight.
+                            let name = interner.resolve(globals.names[idx as usize]);
+                            return Err(ScriptError::runtime(
+                                line,
+                                format!(
+                                    "cannot assign to global {name:?} inside par_foreach_trial"
+                                ),
+                            ));
+                        }
                         globals.slots[idx as usize] = Some(v);
                     } else {
                         locals[base + idx as usize] = v;
@@ -538,13 +625,21 @@ impl Interpreter {
                     let idx = stack.pop().expect("index");
                     let value = stack.pop().expect("value");
                     let line = proto.lines[ip] as usize;
-                    let Some(container) = globals.slots[g as usize].as_mut() else {
+                    if globals.slots[g as usize].is_none() {
                         let name = interner.resolve(globals.names[g as usize]);
                         return Err(ScriptError::runtime(
                             line,
                             format!("undefined variable {name:?}"),
                         ));
-                    };
+                    }
+                    if par {
+                        let name = interner.resolve(globals.names[g as usize]);
+                        return Err(ScriptError::runtime(
+                            line,
+                            format!("cannot mutate global {name:?} inside par_foreach_trial"),
+                        ));
+                    }
+                    let container = globals.slots[g as usize].as_mut().expect("checked");
                     index_set(container, idx, value, line)?;
                     last = Value::Null;
                 }
@@ -569,6 +664,9 @@ impl Interpreter {
                                     argc
                                 ),
                             ));
+                        }
+                        if frames.len() >= depth_limit {
+                            return Err(ScriptError::runtime(line, "call depth limit exceeded"));
                         }
                         // Arguments become the callee's first locals.
                         let at = stack.len() - argc as usize;
@@ -604,7 +702,14 @@ impl Interpreter {
                     }
                 }
                 Op::DefineFn { fn_id, def } => {
-                    fns.entries[fn_id as usize].user = Some(Rc::clone(&proto.defs[def as usize]));
+                    if par {
+                        let name = interner.resolve(fns.entries[fn_id as usize].name);
+                        return Err(ScriptError::runtime(
+                            proto.lines[ip] as usize,
+                            format!("cannot define function {name:?} inside par_foreach_trial"),
+                        ));
+                    }
+                    fns.entries[fn_id as usize].user = Some(Arc::clone(&proto.defs[def as usize]));
                     last = Value::Null;
                 }
                 Op::ForPrep => {
@@ -676,6 +781,63 @@ impl Interpreter {
                         "index assignment requires a variable base",
                     ));
                 }
+                Op::ParForEach { def } => {
+                    let iterable = stack.pop().expect("iterable");
+                    let line = proto.lines[ip] as usize;
+                    let Value::List(items) = iterable else {
+                        return Err(ScriptError::runtime(
+                            line,
+                            format!(
+                                "par_foreach_trial expects a list, got a {}",
+                                iterable.type_name()
+                            ),
+                        ));
+                    };
+                    let body_proto = Arc::clone(&proto.defs[def as usize]);
+                    // Each body runs with an independent step counter
+                    // bounded by what remains of the sweep's budget;
+                    // the per-body totals fold back in afterwards so
+                    // sequential and parallel execution account
+                    // identically.
+                    let entry_steps = *steps;
+                    let budget = limit - entry_steps;
+                    let stack_mark = stack.len();
+                    let locals_mark = locals.len();
+                    let iters_mark = iters.len();
+                    let mut results = Vec::with_capacity(items.len());
+                    let mut total: u64 = 0;
+                    for item in items {
+                        let mut body_steps = 0u64;
+                        let mut body_out = Vec::new();
+                        locals.push(item);
+                        let r = dispatch(
+                            interner,
+                            globals,
+                            fns,
+                            &mut body_out,
+                            stack,
+                            locals,
+                            iters,
+                            argbuf,
+                            &mut body_steps,
+                            budget,
+                            depth_limit,
+                            true,
+                            &body_proto,
+                            locals_mark,
+                        );
+                        // A body error (or success) must not leak
+                        // transient state into its siblings or caller.
+                        stack.truncate(stack_mark);
+                        locals.truncate(locals_mark);
+                        iters.truncate(iters_mark);
+                        total = total.saturating_add(body_steps);
+                        output.append(&mut body_out);
+                        results.push(crate::interp::sweep_outcome_value(r));
+                    }
+                    *steps = entry_steps.saturating_add(total);
+                    stack.push(Value::List(results));
+                }
             }
             ip += 1;
         }
@@ -715,7 +877,12 @@ fn read_operand<'v>(
 /// In-place `container[idx] = value`, replicating the tree-walker's
 /// checks exactly (including its lack of a negative-index check on list
 /// assignment: the cast saturates, so `a[-1] = v` writes `a[0]`).
-fn index_set(container: &mut Value, idx: Value, value: Value, line: usize) -> Result<()> {
+pub(crate) fn index_set(
+    container: &mut Value,
+    idx: Value,
+    value: Value,
+    line: usize,
+) -> Result<()> {
     match (container, idx) {
         (Value::List(items), Value::Num(n)) => {
             let i = n as usize;

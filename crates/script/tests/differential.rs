@@ -1,20 +1,23 @@
-//! Differential tests: the bytecode VM against the tree-walking
+//! Differential tests: both bytecode VMs against the tree-walking
 //! reference interpreter.
 //!
-//! The VM (`script::Interpreter`) must be observably identical to
-//! `script::reference::Interpreter` — same result values, same printed
-//! output, same error line/phase/message, and same step counts
-//! (including the exact step at which a budget is exhausted). These
-//! tests generate random programs over the whole statement surface
-//! (arithmetic, nested functions, recursion, loops with
-//! `break`/`continue`, host calls, runtime errors) and assert the two
-//! engines agree; fixed cases pin the known semantic corners.
+//! The stack VM and the register VM (`script::Interpreter` with either
+//! [`script::Engine`]) must be observably identical to
+//! `script::reference::Interpreter` — same result values (compared
+//! bitwise, so a `NaN` produced by every engine counts as agreement),
+//! same printed output, same error line/phase/message, and same step
+//! counts (including the exact step at which a budget is exhausted).
+//! These tests generate random programs over the whole statement
+//! surface (arithmetic, nested functions, recursion, loops with
+//! `break`/`continue`, host calls, `par_foreach_trial` sweeps, runtime
+//! errors) and assert the three engines agree; fixed cases pin the
+//! known semantic corners.
 
 use proptest::prelude::*;
 use proptest::test_runner::{Rng, SeedableRng, StdRng, TestCaseError};
-use script::{reference, Interpreter, Value};
+use script::{reference, Engine, Interpreter, Value};
 
-/// Registers the same host functions on either engine: an identity
+/// Registers the same host functions on every engine: an identity
 /// function, a summing function that rejects non-numbers, one that
 /// always fails, and a handle constructor.
 macro_rules! register_hosts {
@@ -42,34 +45,67 @@ macro_rules! register_hosts {
     }};
 }
 
-/// Runs `sources` in order on both engines (same interpreter instance
-/// per engine, so globals/functions persist across the runs) and
-/// asserts every observable agrees after each run.
-fn assert_engines_agree(sources: &[&str], limit: u64) -> Result<(), TestCaseError> {
-    let mut vm = Interpreter::new().with_step_limit(limit);
-    register_hosts!(vm);
-    let mut tree = reference::Interpreter::new().with_step_limit(limit);
+/// Result agreement: values bitwise (NaN == NaN, 0.0 != -0.0), errors
+/// structurally.
+fn results_match(a: &script::Result<Value>, b: &script::Result<Value>) -> bool {
+    match (a, b) {
+        (Ok(x), Ok(y)) => x.bitwise_eq(y),
+        (Err(x), Err(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Runs `sources` in order on all three engines (one persistent
+/// interpreter per engine, so globals/functions survive across the
+/// runs) and asserts every observable agrees after each run.
+fn assert_engines_agree_depth(
+    sources: &[&str],
+    limit: u64,
+    depth: usize,
+) -> Result<(), TestCaseError> {
+    let mut stack = Interpreter::new()
+        .with_engine(Engine::Stack)
+        .with_step_limit(limit)
+        .with_call_depth_limit(depth);
+    register_hosts!(stack);
+    let mut register = Interpreter::new()
+        .with_engine(Engine::Register)
+        .with_step_limit(limit)
+        .with_call_depth_limit(depth);
+    register_hosts!(register);
+    let mut tree = reference::Interpreter::new()
+        .with_step_limit(limit)
+        .with_call_depth_limit(depth);
     register_hosts!(tree);
     for (i, src) in sources.iter().enumerate() {
-        let vm_result = vm.run(src);
         let tree_result = tree.run(src);
-        prop_assert!(
-            vm_result == tree_result,
-            "result mismatch on run {i} (limit {limit}) of:\n{src}\n  vm:   {vm_result:?}\n  tree: {tree_result:?}"
-        );
-        let (vm_out, tree_out) = (vm.take_output(), tree.take_output());
-        prop_assert!(
-            vm_out == tree_out,
-            "output mismatch on run {i} (limit {limit}) of:\n{src}\n  vm:   {vm_out:?}\n  tree: {tree_out:?}"
-        );
-        prop_assert!(
-            vm.steps() == tree.steps(),
-            "step-count mismatch on run {i} (limit {limit}) of:\n{src}\n  vm:   {}\n  tree: {}",
-            vm.steps(),
-            tree.steps()
-        );
+        let tree_out = tree.take_output();
+        for (name, vm) in [("stack", &mut stack), ("register", &mut register)] {
+            let vm_result = vm.run(src);
+            prop_assert!(
+                results_match(&vm_result, &tree_result),
+                "result mismatch ({name} vm) on run {i} (limit {limit}) of:\n{src}\n  vm:   {vm_result:?}\n  tree: {tree_result:?}"
+            );
+            let vm_out = vm.take_output();
+            prop_assert!(
+                vm_out == tree_out,
+                "output mismatch ({name} vm) on run {i} (limit {limit}) of:\n{src}\n  vm:   {vm_out:?}\n  tree: {tree_out:?}"
+            );
+            prop_assert!(
+                vm.steps() == tree.steps(),
+                "step-count mismatch ({name} vm) on run {i} (limit {limit}) of:\n{src}\n  vm:   {}\n  tree: {}",
+                vm.steps(),
+                tree.steps()
+            );
+        }
     }
     Ok(())
+}
+
+fn assert_engines_agree(sources: &[&str], limit: u64) -> Result<(), TestCaseError> {
+    // The depth limit stays small enough that the reference engine
+    // (which recurses on the native stack) is safe under proptest.
+    assert_engines_agree_depth(sources, limit, 64)
 }
 
 fn check(src: &str) {
@@ -77,7 +113,7 @@ fn check(src: &str) {
 }
 
 // ---------------------------------------------------------------------
-// Random-program generation. The generator emits *source text* so both
+// Random-program generation. The generator emits *source text* so all
 // engines see the exact same program (and the same line numbers — each
 // statement is rendered on its own line). Programs may be statically
 // doomed (`break` outside a loop, undefined variables, bad operand
@@ -157,7 +193,7 @@ fn gen_block(rng: &mut StdRng, depth: u32) -> String {
 
 fn gen_stmt(rng: &mut StdRng, depth: u32) -> String {
     if depth > 0 && rng.random_range(0u32..100) < 40 {
-        return match rng.random_range(0u32..6) {
+        return match rng.random_range(0u32..7) {
             0 => format!(
                 "if {} {{\n{}\n}}",
                 gen_expr(rng, 2),
@@ -186,10 +222,19 @@ fn gen_stmt(rng: &mut StdRng, depth: u32) -> String {
                 gen_expr(rng, 2),
                 gen_block(rng, depth - 1)
             ),
-            _ => format!(
+            5 => format!(
                 "fn {}({}) {{\n{}\n}}",
                 pick(rng, &["f", "g"]),
                 pick(rng, VARS),
+                gen_block(rng, depth - 1)
+            ),
+            // Sweeps: the body sees its trial variable and may touch
+            // globals (reads are fine; writes must error identically).
+            _ => format!(
+                "let {} = par_foreach_trial {} in {} {{\n{}\n}};",
+                pick(rng, VARS),
+                pick(rng, VARS),
+                gen_expr(rng, 2),
                 gen_block(rng, depth - 1)
             ),
         };
@@ -220,30 +265,30 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     /// The core differential property: for arbitrary generated
-    /// programs, the VM and the reference agree on result, output, and
-    /// step count (including error cases).
+    /// programs, both VMs and the reference agree on result, output,
+    /// and step count (including error cases).
     #[test]
-    fn vm_matches_reference(seed in 0u64..u64::MAX) {
+    fn vms_match_reference(seed in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let src = gen_program(&mut rng);
         assert_engines_agree(&[src.as_str()], 3_000)?;
     }
 
     /// Persistent-state parity: programs run back-to-back on the same
-    /// interpreter pair, sharing globals and function definitions. The
-    /// third run repeats the first source, exercising the VM's
-    /// compilation cache against re-walking the tree.
+    /// interpreter set, sharing globals and function definitions. The
+    /// third run repeats the first source, exercising the VMs'
+    /// compilation caches against re-walking the tree.
     #[test]
-    fn vm_matches_reference_across_runs(seed in 0u64..u64::MAX) {
+    fn vms_match_reference_across_runs(seed in 0u64..u64::MAX) {
         let mut rng = StdRng::seed_from_u64(seed);
         let first = gen_program(&mut rng);
         let second = gen_program(&mut rng);
         assert_engines_agree(&[first.as_str(), second.as_str(), first.as_str()], 2_000)?;
     }
 
-    /// Step-limit parity: with tight budgets, both engines exhaust the
+    /// Step-limit parity: with tight budgets, all engines exhaust the
     /// budget after the same number of steps and report the same error
-    /// (line included). This covers the VM's merged step accounting.
+    /// (line included). This covers the VMs' merged step accounting.
     #[test]
     fn step_exhaustion_parity(seed in 0u64..u64::MAX, limit in 1u64..300) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -258,6 +303,25 @@ proptest! {
     fn loop_exhaustion_parity(limit in 1u64..200) {
         let src = "let t = 0;\nlet i = 0;\nwhile i < 50 {\n i = i + 1;\n if i % 3 == 0 { continue; }\n t = t + i;\n}\nt";
         assert_engines_agree(&[src], limit)?;
+    }
+
+    /// Sweep step budgets: each body draws on the remaining budget
+    /// independently, so where the budget lands (before the sweep, mid
+    /// body, after) must agree across engines, as must the outcome maps
+    /// recording per-body exhaustion.
+    #[test]
+    fn sweep_exhaustion_parity(limit in 1u64..300) {
+        let src = "let r = par_foreach_trial t in range(5) {\n let s = 0;\n for i in range(10) {\n  s = s + i * t;\n }\n s\n};\nlen(r)";
+        assert_engines_agree(&[src], limit)?;
+    }
+
+    /// Call-depth parity at a limit small enough for the reference
+    /// engine's native stack: all engines stop the same recursion at
+    /// the same depth with the same error.
+    #[test]
+    fn depth_exhaustion_parity(depth in 1usize..48) {
+        let src = "fn f(n) { if n < 1 { return 0; } return f(n - 1) + 1; } f(100)";
+        assert_engines_agree_depth(&[src], 100_000, depth)?;
     }
 }
 
@@ -288,6 +352,9 @@ fn differential_loop_flow() {
     check("fn f(x) { if x { break; } } f(1)");
     // Return from inside nested loops unwinds open iterators.
     check("fn f(x) { for i in [1, 2] { for j in [3, 4] { return i + j; } } } f(0)");
+    // continue in a while loop still charges the iteration and
+    // re-evaluates the condition (rotated-loop back edge).
+    check("let i = 0;\nlet n = 0;\nwhile i < 6 {\n i = i + 1;\n if i % 2 == 0 { continue; }\n n = n + 10;\n}\nn");
 }
 
 #[test]
@@ -330,6 +397,13 @@ fn differential_scope_rules() {
     check("fn f(y) { x = y; } f(5);");
     check("let x = x;");
     check("let g = 10;\nfn f(x) { return x + g; }\nf(5);\nx");
+    // Globals as deferred fused operands: the read must happen before
+    // the other operand's call assigns the global.
+    check("let g = 1;\nfn bump(x) { g = 99; return x; }\ng + bump(1)");
+    check("let g = 1;\nfn bump(x) { g = 99; return x; }\nlet r = bump(1) + g;\nr");
+    // Assignment whose right side reads the destination local.
+    check("let x = 2; x = (x > 1) && x; x");
+    check("let x = 0; x = x || \"v\"; x");
 }
 
 #[test]
@@ -352,5 +426,126 @@ fn differential_step_exhaustion_fixed() {
             limit,
         )
         .unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sweeps (par_foreach_trial) and call-depth limits.
+// ---------------------------------------------------------------------
+
+#[test]
+fn differential_sweep_semantics() {
+    // Outcome maps in trial order; bodies see globals and functions.
+    check("let k = 10;\nfn f(x) { return x * k; }\nlet r = par_foreach_trial t in [1, 2, 3] { f(t) };\nr");
+    // One failing body degrades alone; its siblings still complete.
+    check("let r = par_foreach_trial t in [1, 0, 2] { 10 / t };\nlen(r)");
+    check("let r = par_foreach_trial t in [1, 0, 2] { 10 / t };\nr[1]");
+    // Sweep over a non-list is an error at the sweep's line.
+    check("par_foreach_trial t in 42 { t }");
+    check("par_foreach_trial t in \"abc\" { t }");
+    // Bodies cannot write globals, define functions, or mutate global
+    // containers — but local shadowing and reads are fine.
+    check("let g = 1;\nlet r = par_foreach_trial t in [1] { g = t };\nr");
+    check("let g = 1;\nlet r = par_foreach_trial t in [1] { let g = t; g + 1 };\nr");
+    check("let g = [1, 2];\nlet r = par_foreach_trial t in [0] { g[0] = t };\nr");
+    check("let r = par_foreach_trial t in [1] { fn f(x) { return x; } f(t) };\nr");
+    // Writes from functions *called* by a body are banned too.
+    check(
+        "let g = 1;\nfn w(x) { g = x; return x; }\nlet r = par_foreach_trial t in [5] { w(t) };\nr",
+    );
+    // Undefined-variable errors beat the sweep-write ban.
+    check("let r = par_foreach_trial t in [1] { zz = t };\nr");
+    // print output from bodies is stitched in trial order.
+    check("let r = par_foreach_trial t in [3, 1, 2] { print(str(t)); t };\nr");
+    // Nested sweeps run inline.
+    check("let r = par_foreach_trial t in [[1, 2], [3]] {\n par_foreach_trial u in t { u * 10 }\n};\nlen(r)");
+    // A sweep body's host-call failure is contained in its outcome.
+    check("let r = par_foreach_trial t in [1, 2] { h_fail() };\nr[0]");
+    // The sweep's value is the statement value like any expression.
+    check("par_foreach_trial t in [7] { t };");
+}
+
+#[test]
+fn differential_sweep_budget_isolation() {
+    // A runaway body exhausts only its own outcome; siblings proceed
+    // with the same per-body budget. All engines agree on the counts.
+    let src =
+        "let r = par_foreach_trial t in range(3) {\n if t == 1 { while true { } }\n t\n};\nlen(r)";
+    for limit in [50, 100, 1000] {
+        assert_engines_agree(&[src], limit).unwrap();
+    }
+}
+
+#[test]
+fn differential_depth_limit_fixed() {
+    let rec = "fn f(n) { if n < 1 { return 0; } return f(n - 1) + 1; } f(60)";
+    for depth in [1, 2, 30, 59, 60, 61] {
+        assert_engines_agree_depth(&[rec], 100_000, depth).unwrap();
+    }
+    // Depth limits apply inside sweep bodies as well.
+    let sweep = "fn f(n) { if n < 1 { return 0; } return f(n - 1) + 1; }\nlet r = par_foreach_trial t in [3, 50] { f(t) };\nr";
+    for depth in [4, 10, 51] {
+        assert_engines_agree_depth(&[sweep], 100_000, depth).unwrap();
+    }
+}
+
+/// Deep recursion that would overflow the reference engine's native
+/// stack is fine on both VMs, whose frames live on the heap: pin the
+/// default limit's behaviour VM-vs-VM only.
+#[test]
+fn vms_handle_deep_recursion_at_default_limit() {
+    let src = "fn f(n) { if n < 1 { return 0; } return f(n - 1) + 1; } f(900)";
+    let mut stack = Interpreter::new()
+        .with_engine(Engine::Stack)
+        .with_step_limit(1_000_000);
+    let mut register = Interpreter::new().with_step_limit(1_000_000);
+    let a = stack.run(src).unwrap();
+    let b = register.run(src).unwrap();
+    assert!(a.bitwise_eq(&Value::Num(900.0)));
+    assert!(a.bitwise_eq(&b));
+    assert_eq!(stack.steps(), register.steps());
+
+    // One past the default limit of 1000 frames errs identically.
+    let over = "fn f(n) { if n < 1 { return 0; } return f(n - 1) + 1; } f(1001)";
+    let ea = stack.run(over).unwrap_err();
+    let eb = register.run(over).unwrap_err();
+    assert_eq!(ea, eb);
+    assert!(ea.to_string().contains("call depth limit exceeded"), "{ea}");
+}
+
+/// NaN never equals itself in the language (IEEE 754), while the
+/// differential harness compares NaN results bitwise — both engines
+/// producing NaN is agreement, not a mismatch.
+#[test]
+fn differential_nan_semantics() {
+    check("let inf = 1e308 * 10; let nan = inf - inf; nan == nan");
+    check("let inf = 1e308 * 10; let nan = inf - inf; nan != nan");
+    check("let inf = 1e308 * 10; let nan = inf - inf; nan");
+    check("let inf = 1e308 * 10; let nan = inf - inf; [nan, 1][0]");
+}
+
+// ---------------------------------------------------------------------
+// Step budgets across calls and sweep bodies (fixed regressions for
+// the budget-threading logic).
+// ---------------------------------------------------------------------
+
+#[test]
+fn differential_step_budget_across_calls() {
+    // Exhaustion inside a callee, at the call itself, and between
+    // calls must agree (the charge lands on the same line).
+    let src = "fn cost(n) {\n let s = 0;\n for i in range(n) {\n  s = s + i;\n }\n return s;\n}\ncost(5);\ncost(5);\ncost(5)";
+    for limit in 1..200 {
+        assert_engines_agree(&[src], limit).unwrap();
+    }
+}
+
+#[test]
+fn differential_step_budget_across_sweep_bodies() {
+    // Each body draws its own copy of the remaining budget, so a limit
+    // that stops one body mid-loop stops every body at the same point,
+    // and the sweep's recorded total folds each body's count back in.
+    let src = "let r = par_foreach_trial t in range(4) {\n let s = 0;\n for i in range(6) {\n  s = s + i;\n }\n s\n};\nr";
+    for limit in 1..160 {
+        assert_engines_agree(&[src], limit).unwrap();
     }
 }

@@ -1,0 +1,47 @@
+//! Noise-robust engine comparison for the ISSUE's ≥2x register-vs-stack
+//! acceptance point. Ignored by default (it is a measurement, not an
+//! assertion); run it on demand with:
+//!
+//! ```text
+//! cargo test -p script --release --test perf_probe -- --ignored --nocapture
+//! ```
+//!
+//! Samples alternate between engines in small batches and the minimum
+//! per engine is reported, so a load spike on a busy box penalizes both
+//! engines equally instead of whichever happened to be running.
+
+use script::{Engine, Interpreter};
+use std::time::Instant;
+
+const LOOP: &str = "let t = 0; let i = 0; while i < 10000 { t = t + i; i = i + 1; } t";
+
+fn min_ns(interp: &mut Interpreter, program: &script::Compiled, rounds: usize) -> f64 {
+    (0..rounds)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(interp.run_compiled(program).unwrap());
+            t.elapsed().as_nanos() as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+#[ignore = "measurement, not an assertion; run with --ignored"]
+fn loop_sum_10k_register_vs_stack() {
+    let mut stack = Interpreter::new().with_engine(Engine::Stack);
+    let mut register = Interpreter::new().with_engine(Engine::Register);
+    let sp = stack.compile(LOOP).unwrap();
+    let rp = register.compile(LOOP).unwrap();
+    // Warm both paths.
+    min_ns(&mut stack, &sp, 3);
+    min_ns(&mut register, &rp, 3);
+    let (mut s_min, mut r_min) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..40 {
+        s_min = s_min.min(min_ns(&mut stack, &sp, 5));
+        r_min = r_min.min(min_ns(&mut register, &rp, 5));
+    }
+    println!(
+        "loop_sum_10k: stack {s_min:.0} ns  register {r_min:.0} ns  ratio {:.2}x",
+        s_min / r_min
+    );
+}

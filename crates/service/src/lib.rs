@@ -26,9 +26,11 @@ use perfexplorer::scripting::PerfExplorerScript;
 use perfexplorer::supervise::{DegradeCause, DegradedStage};
 use perfexplorer::workflow::analyze_load_balance_supervised;
 use perfexplorer::SupervisorConfig;
+use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Service tuning knobs.
@@ -40,6 +42,8 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Cold-trial LRU capacity per shard.
     pub cache_capacity: usize,
+    /// Capacity of the shared compiled-sweep-script LRU (entries).
+    pub script_cache_capacity: usize,
     /// Budgets for supervised workflow/script stages.
     pub supervisor: SupervisorConfig,
 }
@@ -52,6 +56,7 @@ impl Default for ServiceConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             cache_capacity: 64,
+            script_cache_capacity: 32,
             supervisor: SupervisorConfig::default(),
         }
     }
@@ -101,6 +106,19 @@ pub enum Request {
         /// Script source.
         source: String,
     },
+    /// Run a parallel trial sweep: a script (typically built around
+    /// `par_foreach_trial`) against a snapshot of one experiment, its
+    /// bodies fanned out over the process's worker budget. Compilation
+    /// is served from a cache shared by every worker, keyed by the
+    /// script's content hash.
+    RunSweep {
+        /// Tenant application.
+        app: String,
+        /// Tenant experiment.
+        experiment: String,
+        /// Script source.
+        source: String,
+    },
 }
 
 /// What came back.
@@ -138,6 +156,21 @@ pub enum Outcome {
         /// Script print output.
         printed: Vec<String>,
     },
+    /// Sweep script finished (possibly partially). A failing sweep
+    /// body does not fail the request — it surfaces in the script's
+    /// outcome list and in `failed_bodies`.
+    SweepDone {
+        /// The script's final value, rendered, when it completed.
+        value: Option<String>,
+        /// Script print output (bodies' prints stitched in trial order).
+        printed: Vec<String>,
+        /// Sweep bodies executed across the request.
+        bodies: u64,
+        /// Bodies that finished with an error outcome.
+        failed_bodies: u64,
+        /// The compiled script came from the shared cache.
+        cached: bool,
+    },
     /// The request could not be served at all.
     Rejected {
         /// Why.
@@ -168,6 +201,50 @@ struct Job {
     request: Request,
     submitted: Instant,
     reply: std::sync::mpsc::Sender<Response>,
+}
+
+/// LRU of compiled sweep scripts shared by every worker, keyed by the
+/// source's content hash. The common fleet pattern — one study script
+/// swept over many experiments or re-run as data streams in — compiles
+/// once service-wide; each worker replays the portable program on its
+/// own per-request session.
+struct ScriptCache {
+    capacity: usize,
+    /// Most-recently-used last.
+    entries: Vec<(u64, Arc<script::PortableScript>)>,
+}
+
+impl ScriptCache {
+    fn new(capacity: usize) -> Self {
+        ScriptCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    fn key(source: &str) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        source.hash(&mut h);
+        h.finish()
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<script::PortableScript>> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(pos);
+        let program = Arc::clone(&entry.1);
+        self.entries.push(entry);
+        Some(program)
+    }
+
+    fn put(&mut self, key: u64, program: Arc<script::PortableScript>) {
+        if self.entries.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, program));
+    }
 }
 
 /// What flows through the worker queue: work, or an order to exit.
@@ -259,15 +336,17 @@ impl AnalysisService {
         metrics: Arc<ServiceMetrics>,
     ) -> Self {
         let (tx, rx) = crossbeam::channel::unbounded::<WorkerMsg>();
+        let scripts = Arc::new(Mutex::new(ScriptCache::new(config.script_cache_capacity)));
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let rx = rx.clone();
                 let store = store.clone();
                 let metrics = metrics.clone();
                 let supervisor = config.supervisor.clone();
+                let scripts = scripts.clone();
                 std::thread::Builder::new()
                     .name(format!("svc-worker-{i}"))
-                    .spawn(move || worker_loop(rx, store, metrics, supervisor))
+                    .spawn(move || worker_loop(rx, store, metrics, supervisor, scripts))
                     .expect("spawn service worker")
             })
             .collect();
@@ -327,6 +406,7 @@ fn worker_loop(
     store: Arc<ShardedRepository>,
     metrics: Arc<ServiceMetrics>,
     supervisor: SupervisorConfig,
+    scripts: Arc<Mutex<ScriptCache>>,
 ) {
     loop {
         let job = match rx.recv() {
@@ -335,7 +415,7 @@ fn worker_loop(
         };
         let handle_start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
-            handle(&store, &metrics, &supervisor, &job.request)
+            handle(&store, &metrics, &supervisor, &scripts, &job.request)
         }));
         let (outcome, degraded) = match result {
             Ok(served) => served,
@@ -376,8 +456,9 @@ fn worker_loop(
 
 fn handle(
     store: &ShardedRepository,
-    metrics: &ServiceMetrics,
+    metrics: &Arc<ServiceMetrics>,
     supervisor: &SupervisorConfig,
+    scripts: &Mutex<ScriptCache>,
     request: &Request,
 ) -> (Outcome, Vec<DegradedStage>) {
     match request {
@@ -534,6 +615,92 @@ fn handle(
                     }],
                 ),
             }
+        }
+        Request::RunSweep {
+            app,
+            experiment,
+            source,
+        } => {
+            ServiceMetrics::bump(&metrics.sweeps);
+            let snapshot = match store.snapshot_experiment(app, experiment) {
+                Ok(snapshot) => snapshot,
+                Err(e) => {
+                    return (
+                        Outcome::Rejected {
+                            error: e.to_string(),
+                        },
+                        vec![DegradedStage {
+                            stage: "experiment snapshot".to_string(),
+                            cause: DegradeCause::Failed(e.to_string()),
+                        }],
+                    )
+                }
+            };
+            let mut session = PerfExplorerScript::new(snapshot);
+
+            // Per-request body counters, folded into the service totals
+            // by the same observer.
+            let bodies = Arc::new(AtomicU64::new(0));
+            let failed = Arc::new(AtomicU64::new(0));
+            {
+                let metrics = Arc::clone(metrics);
+                let bodies = Arc::clone(&bodies);
+                let failed = Arc::clone(&failed);
+                session.set_sweep_observer(Arc::new(move |n, nf| {
+                    bodies.fetch_add(n as u64, Ordering::Relaxed);
+                    failed.fetch_add(nf as u64, Ordering::Relaxed);
+                    metrics.sweep_bodies.fetch_add(n as u64, Ordering::Relaxed);
+                    metrics
+                        .sweep_failures
+                        .fetch_add(nf as u64, Ordering::Relaxed);
+                }));
+            }
+
+            let key = ScriptCache::key(source);
+            let cached = scripts.lock().expect("script cache lock").get(key);
+            let hit = cached.is_some();
+            let program = match cached {
+                Some(program) => {
+                    ServiceMetrics::bump(&metrics.script_cache_hits);
+                    program
+                }
+                None => {
+                    ServiceMetrics::bump(&metrics.script_cache_misses);
+                    match session.compile_portable(source) {
+                        Ok(program) => {
+                            let program = Arc::new(program);
+                            scripts
+                                .lock()
+                                .expect("script cache lock")
+                                .put(key, Arc::clone(&program));
+                            program
+                        }
+                        Err(e) => {
+                            return (
+                                Outcome::Rejected {
+                                    error: e.to_string(),
+                                },
+                                vec![DegradedStage {
+                                    stage: "compile sweep script".to_string(),
+                                    cause: DegradeCause::Failed(e.to_string()),
+                                }],
+                            )
+                        }
+                    }
+                }
+            };
+
+            let run = session.run_portable_supervised(&program);
+            (
+                Outcome::SweepDone {
+                    value: run.value.map(|v| v.to_string()),
+                    printed: run.printed,
+                    bodies: bodies.load(Ordering::Relaxed),
+                    failed_bodies: failed.load(Ordering::Relaxed),
+                    cached: hit,
+                },
+                run.degraded,
+            )
         }
     }
 }
@@ -816,6 +983,139 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.panics_isolated, 0);
         assert_eq!(stats.rejected, 1);
+        svc.shutdown();
+    }
+
+    const SWEEP_SOURCE: &str = r#"
+        let r = par_foreach_trial t in list_trials("app", "exp") {
+            let trial = load_trial("app", "exp", t);
+            elapsed(trial, "TIME")
+        };
+        len(r)
+    "#;
+
+    #[test]
+    fn sweep_requests_share_the_compiled_script_cache() {
+        let mut repo = Repository::new();
+        for name in ["t1", "t2", "t3"] {
+            repo.add_trial("app", "exp", trial(name)).unwrap();
+        }
+        let svc = AnalysisService::start_with_repository(
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            repo,
+        );
+        let client = svc.client();
+        let sweep = || {
+            client
+                .call(Request::RunSweep {
+                    app: "app".into(),
+                    experiment: "exp".into(),
+                    source: SWEEP_SOURCE.into(),
+                })
+                .unwrap()
+        };
+        for expect_cached in [false, true] {
+            let r = sweep();
+            assert!(r.is_clean(), "{r:?}");
+            match &r.outcome {
+                Outcome::SweepDone {
+                    value,
+                    bodies,
+                    failed_bodies,
+                    cached,
+                    ..
+                } => {
+                    assert_eq!(value.as_deref(), Some("3"));
+                    assert_eq!((*bodies, *failed_bodies), (3, 0));
+                    assert_eq!(*cached, expect_cached, "{r:?}");
+                }
+                other => panic!("expected sweep outcome, got {other:?}"),
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.sweeps, 2);
+        assert_eq!(stats.sweep_bodies, 6);
+        assert_eq!(stats.sweep_failures, 0);
+        assert_eq!(stats.script_cache_misses, 1);
+        assert_eq!(stats.script_cache_hits, 1);
+        let rendered = stats.render();
+        assert!(rendered.contains("sweeps"), "{rendered}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn sweep_corrupt_body_fails_alone() {
+        let mut repo = Repository::new();
+        repo.add_trial("app", "exp", trial("t1")).unwrap();
+        let svc = AnalysisService::start_with_repository(
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            repo,
+        );
+        let r = svc
+            .client()
+            .call(Request::RunSweep {
+                app: "app".into(),
+                experiment: "exp".into(),
+                source: r#"
+                    let r = par_foreach_trial t in ["missing", "t1"] {
+                        let trial = load_trial("app", "exp", t);
+                        elapsed(trial, "TIME")
+                    };
+                    str(r[0]["ok"]) + "," + str(r[1]["ok"])
+                "#
+                .into(),
+            })
+            .unwrap();
+        // The sweep completes: the bad trial's failure is contained in
+        // its own body outcome.
+        assert!(r.is_clean(), "{r:?}");
+        match &r.outcome {
+            Outcome::SweepDone {
+                value,
+                bodies,
+                failed_bodies,
+                ..
+            } => {
+                assert_eq!(value.as_deref(), Some("false,true"));
+                assert_eq!((*bodies, *failed_bodies), (2, 1));
+            }
+            other => panic!("expected sweep outcome, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.sweep_failures, 1);
+        assert_eq!(stats.degraded_responses, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn sweep_with_bad_script_is_rejected() {
+        let svc = AnalysisService::start_with_repository(
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            {
+                let mut repo = Repository::new();
+                repo.add_trial("app", "exp", trial("t1")).unwrap();
+                repo
+            },
+        );
+        let r = svc
+            .client()
+            .call(Request::RunSweep {
+                app: "app".into(),
+                experiment: "exp".into(),
+                source: "let = nope(".into(),
+            })
+            .unwrap();
+        assert!(matches!(r.outcome, Outcome::Rejected { .. }), "{r:?}");
+        assert_eq!(svc.stats().script_cache_misses, 1);
         svc.shutdown();
     }
 

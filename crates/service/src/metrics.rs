@@ -17,6 +17,17 @@ pub struct ServiceMetrics {
     pub analyses: AtomicU64,
     /// Scripting requests served.
     pub scripts: AtomicU64,
+    /// Parallel trial-sweep requests served.
+    pub sweeps: AtomicU64,
+    /// Sweep bodies executed across all sweeps.
+    pub sweep_bodies: AtomicU64,
+    /// Sweep bodies that finished with an error outcome (the sweep
+    /// itself still completes; failures degrade per body).
+    pub sweep_failures: AtomicU64,
+    /// Sweep scripts served from the shared compiled-script cache.
+    pub script_cache_hits: AtomicU64,
+    /// Sweep scripts compiled because the cache had no entry.
+    pub script_cache_misses: AtomicU64,
     /// Chunk-ingest requests applied to a streaming trial.
     pub chunk_ingests: AtomicU64,
     /// Analyses served from a cached incremental [`AnalysisState`]
@@ -67,6 +78,11 @@ impl ServiceMetrics {
             ingests: self.ingests.load(Ordering::Relaxed),
             analyses: self.analyses.load(Ordering::Relaxed),
             scripts: self.scripts.load(Ordering::Relaxed),
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            sweep_bodies: self.sweep_bodies.load(Ordering::Relaxed),
+            sweep_failures: self.sweep_failures.load(Ordering::Relaxed),
+            script_cache_hits: self.script_cache_hits.load(Ordering::Relaxed),
+            script_cache_misses: self.script_cache_misses.load(Ordering::Relaxed),
             chunk_ingests: self.chunk_ingests.load(Ordering::Relaxed),
             incremental_analyses: self.incremental_analyses.load(Ordering::Relaxed),
             state_rebuilds: self.state_rebuilds.load(Ordering::Relaxed),
@@ -94,6 +110,16 @@ pub struct StatsSnapshot {
     pub analyses: u64,
     /// Scripts served.
     pub scripts: u64,
+    /// Sweep requests served.
+    pub sweeps: u64,
+    /// Sweep bodies executed.
+    pub sweep_bodies: u64,
+    /// Sweep bodies with error outcomes.
+    pub sweep_failures: u64,
+    /// Compiled-script cache hits.
+    pub script_cache_hits: u64,
+    /// Compiled-script cache misses.
+    pub script_cache_misses: u64,
     /// Chunk ingests applied.
     pub chunk_ingests: u64,
     /// Analyses served from cached incremental state.
@@ -138,6 +164,8 @@ impl StatsSnapshot {
              \x20 analyses          {}\n\
              \x20 scripts           {}\n\
              \x20 chunk ingests     {}\n\
+             \x20 sweeps            {} (bodies {}, failed bodies {})\n\
+             script cache        {}/{} hit/miss\n\
              incremental analyses {} (rebuilds {}, invalidations {})\n\
              degraded responses  {}\n\
              rejected            {}\n\
@@ -150,6 +178,11 @@ impl StatsSnapshot {
             self.analyses,
             self.scripts,
             self.chunk_ingests,
+            self.sweeps,
+            self.sweep_bodies,
+            self.sweep_failures,
+            self.script_cache_hits,
+            self.script_cache_misses,
             self.incremental_analyses,
             self.state_rebuilds,
             self.state_invalidations,
