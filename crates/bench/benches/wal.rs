@@ -1,0 +1,102 @@
+//! Write-ahead journal benchmarks: per-record append cost under each
+//! fsync policy, and replay throughput for crash recovery.
+//!
+//! Append cost is what every acknowledged streaming chunk pays before
+//! its ack (DESIGN.md §3.12) — the fsync policy is the knob that trades
+//! durability against that tax, so the three policies are measured side
+//! by side on an identical record. Replay throughput bounds restart
+//! time after a crash: a journal of N records is read, checksum-checked
+//! and decoded end to end, which is exactly the startup path
+//! `ShardedRepository::attach_wal` takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perfdmf::wal::{replay_path, Journal};
+use perfdmf::{ChunkBatch, ColumnDelta, FsyncPolicy, Measurement, WalRecord};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const THREADS: u32 = 8;
+const COLUMNS: usize = 4;
+
+/// One realistic journal record: a chunk refreshing `COLUMNS` columns
+/// of an 8-thread trial — the shape the loadgen streaming smoke sends.
+fn chunk_record(seq: u64) -> WalRecord {
+    WalRecord::Chunk {
+        app: "bench".into(),
+        experiment: "exp".into(),
+        trial: "stream".into(),
+        batch: ChunkBatch {
+            seq,
+            threads: THREADS,
+            deltas: (0..COLUMNS)
+                .map(|c| ColumnDelta {
+                    metric: "TIME".into(),
+                    event: format!("main => e{c}"),
+                    event_kind: None,
+                    cells: (0..THREADS)
+                        .map(|t| (t, Measurement::leaf(seq as f64 + c as f64 + t as f64)))
+                        .collect(),
+                })
+                .collect(),
+        },
+    }
+}
+
+fn bench_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pwal-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+fn bench_append(c: &mut Criterion) {
+    let dir = bench_dir();
+    let record = chunk_record(0);
+    let mut group = c.benchmark_group("wal_append");
+    group.throughput(Throughput::Elements(1));
+    for (name, policy) in [
+        ("never", FsyncPolicy::Never),
+        ("every64", FsyncPolicy::EveryN(64)),
+        ("always", FsyncPolicy::Always),
+    ] {
+        let path = dir.join(format!("append-{name}.wal"));
+        std::fs::remove_file(&path).ok();
+        let (mut journal, _) = Journal::open(&path, policy).expect("open journal");
+        group.bench_function(name, |b| {
+            b.iter(|| journal.append(black_box(&record)).expect("append"))
+        });
+        std::fs::remove_file(&path).ok();
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let dir = bench_dir();
+    let mut group = c.benchmark_group("wal_replay");
+    for &records in &[1_000u64, 10_000] {
+        let path = dir.join(format!("replay-{records}.wal"));
+        std::fs::remove_file(&path).ok();
+        let (mut journal, _) = Journal::open(&path, FsyncPolicy::Never).expect("open journal");
+        for seq in 0..records {
+            journal.append(&chunk_record(seq)).expect("append");
+        }
+        journal.sync().expect("sync");
+        drop(journal);
+
+        group.throughput(Throughput::Elements(records));
+        group.bench_with_input(BenchmarkId::from_parameter(records), &path, |b, path| {
+            b.iter(|| {
+                let replay = replay_path(black_box(path)).expect("replay");
+                assert_eq!(replay.records.len() as u64, records);
+                assert_eq!(replay.torn_bytes, 0);
+                replay
+            })
+        });
+        std::fs::remove_file(&path).ok();
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_append, bench_replay);
+criterion_main!(benches);

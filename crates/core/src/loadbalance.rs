@@ -55,9 +55,22 @@ pub struct LoadBalanceAnalysis {
 
 impl LoadBalanceAnalysis {
     /// Converts the analysis into facts for the rule engine.
+    ///
+    /// Facts are asserted in event-name order, not arena order. The
+    /// engine fires equal-salience activations in assertion order, so
+    /// asserting in arena order would make the rendered report depend
+    /// on the order chunks happened to intern events — a crash
+    /// recovery that replays its journal and then takes late
+    /// redeliveries interns events in a different order than the
+    /// uninterrupted run, and must still render byte-identically.
     pub fn facts(&self) -> Vec<Fact> {
+        let mut observations: Vec<&BalanceObservation> = self.observations.iter().collect();
+        observations.sort_by(|a, b| a.event.cmp(&b.event));
+        let mut nested: Vec<&NestedCorrelation> = self.nested.iter().collect();
+        nested.sort_by(|a, b| (&a.outer, &a.inner).cmp(&(&b.outer, &b.inner)));
+
         let mut out = Vec::new();
-        for o in &self.observations {
+        for o in observations {
             out.push(
                 Fact::new("RegionBalance")
                     .with("eventName", o.event.as_str())
@@ -66,7 +79,7 @@ impl LoadBalanceAnalysis {
                     .with("mean", o.mean),
             );
         }
-        for n in &self.nested {
+        for n in nested {
             out.push(
                 Fact::new("NestedCorrelation")
                     .with("outer", n.outer.as_str())

@@ -38,6 +38,13 @@ pub struct SupervisorConfig {
     /// cycle limit. Matches the engine's own default so clean runs
     /// behave identically.
     pub rule_firing_budget: usize,
+    /// Whole-run deadline, measured from [`Supervisor::new`]. Once it
+    /// passes, remaining stages are *skipped* (recorded as
+    /// [`DegradeCause::DeadlineExceeded`]) instead of started, so a
+    /// request past its deadline yields a typed partial report rather
+    /// than a worker stuck in further work nobody is waiting for.
+    /// `None` (the default) disables the deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SupervisorConfig {
@@ -45,6 +52,7 @@ impl Default for SupervisorConfig {
         SupervisorConfig {
             stage_wall_budget: Duration::from_secs(30),
             rule_firing_budget: 100_000,
+            deadline: None,
         }
     }
 }
@@ -75,6 +83,14 @@ pub enum DegradeCause {
         /// Name of the upstream stage that made this one unrunnable.
         dependency: String,
     },
+    /// The run's deadline passed before this stage could start; the
+    /// stage was skipped and the report holds whatever completed first.
+    DeadlineExceeded {
+        /// Time already spent in the run when the stage was reached.
+        elapsed: Duration,
+        /// The deadline that had passed.
+        deadline: Duration,
+    },
 }
 
 /// One degraded stage: which stage, and why.
@@ -104,6 +120,11 @@ impl std::fmt::Display for DegradedStage {
             DegradeCause::SkippedUpstream { dependency } => {
                 write!(f, "{}: skipped ({} degraded)", self.stage, dependency)
             }
+            DegradeCause::DeadlineExceeded { elapsed, deadline } => write!(
+                f,
+                "{}: skipped, deadline exceeded ({:?} elapsed > {:?} deadline; partial report)",
+                self.stage, elapsed, deadline
+            ),
         }
     }
 }
@@ -121,18 +142,28 @@ pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Runs workflow stages under panic isolation and budgets, collecting
 /// the degradation record.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Supervisor {
     config: SupervisorConfig,
     degraded: Vec<DegradedStage>,
+    /// When the run started; the deadline is measured from here.
+    started: Instant,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor::new(SupervisorConfig::default())
+    }
 }
 
 impl Supervisor {
-    /// A supervisor with the given budgets.
+    /// A supervisor with the given budgets. The deadline clock starts
+    /// now.
     pub fn new(config: SupervisorConfig) -> Self {
         Supervisor {
             config,
             degraded: Vec::new(),
+            started: Instant::now(),
         }
     }
 
@@ -141,10 +172,37 @@ impl Supervisor {
         &self.config
     }
 
+    /// Whether the run's deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.config
+            .deadline
+            .is_some_and(|d| self.started.elapsed() > d)
+    }
+
+    /// Whether any recorded degradation is a deadline skip.
+    pub fn deadline_hit(&self) -> bool {
+        self.degraded
+            .iter()
+            .any(|d| matches!(d.cause, DegradeCause::DeadlineExceeded { .. }))
+    }
+
     /// Runs one stage. Returns its value on success; on panic, error,
     /// or budget overrun the outcome is recorded in the degradation
-    /// list (an overrunning stage still returns its value).
+    /// list (an overrunning stage still returns its value). A stage
+    /// reached after the run deadline is skipped entirely — the typed
+    /// [`DegradeCause::DeadlineExceeded`] entry marks the report as a
+    /// deadline-partial.
     pub fn run_stage<T>(&mut self, stage: &str, f: impl FnOnce() -> crate::Result<T>) -> Option<T> {
+        if let Some(deadline) = self.config.deadline {
+            let elapsed = self.started.elapsed();
+            if elapsed > deadline {
+                self.degraded.push(DegradedStage {
+                    stage: stage.to_string(),
+                    cause: DegradeCause::DeadlineExceeded { elapsed, deadline },
+                });
+                return None;
+            }
+        }
         let start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(f));
         let elapsed = start.elapsed();
@@ -285,6 +343,49 @@ mod tests {
             DegradeCause::BudgetExceeded { .. }
         ));
         assert!(sup.degraded()[0].to_string().contains("result kept"));
+    }
+
+    #[test]
+    fn expired_deadline_skips_stage_with_typed_cause() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            deadline: Some(Duration::from_nanos(1)),
+            ..SupervisorConfig::default()
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sup.deadline_expired());
+        let ran = std::cell::Cell::new(false);
+        let v = sup.run_stage("late", || {
+            ran.set(true);
+            Ok(7)
+        });
+        assert_eq!(v, None, "stage past the deadline must not run");
+        assert!(!ran.get(), "closure never invoked");
+        assert!(sup.deadline_hit());
+        assert!(matches!(
+            sup.degraded()[0].cause,
+            DegradeCause::DeadlineExceeded { .. }
+        ));
+        assert!(sup.degraded()[0].to_string().contains("deadline exceeded"));
+    }
+
+    #[test]
+    fn unexpired_deadline_leaves_stages_untouched() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            deadline: Some(Duration::from_secs(3600)),
+            ..SupervisorConfig::default()
+        });
+        assert!(!sup.deadline_expired());
+        assert_eq!(sup.run_stage("fine", || Ok(1)), Some(1));
+        assert!(sup.degraded().is_empty());
+        assert!(!sup.deadline_hit());
+    }
+
+    #[test]
+    fn no_deadline_means_no_skipping() {
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        assert!(!sup.deadline_expired());
+        assert_eq!(sup.run_stage("fine", || Ok(2)), Some(2));
+        assert!(sup.degraded().is_empty());
     }
 
     #[test]

@@ -221,6 +221,73 @@ fn random_interleavings_stay_bitwise_equal_to_batch() {
 }
 
 #[test]
+fn rendered_report_is_arrival_order_independent() {
+    // A crash recovery replays journaled chunks and then takes late
+    // redeliveries, so it interns events in a different order than the
+    // uninterrupted run saw them. The rendered diagnosis must not
+    // depend on that order: facts are asserted in event-name order,
+    // not arena order.
+    let chunks = [
+        ChunkBatch {
+            seq: 0,
+            threads: 4,
+            deltas: vec![delta(
+                "TIME",
+                "main",
+                (0..4).map(|t| (t, cell(50.0))).collect(),
+            )],
+        },
+        ChunkBatch {
+            seq: 1,
+            threads: 4,
+            deltas: vec![delta(
+                "TIME",
+                "main => a",
+                vec![
+                    (0, cell(1.0)),
+                    (1, cell(1.0)),
+                    (2, cell(1.0)),
+                    (3, cell(40.0)),
+                ],
+            )],
+        },
+        ChunkBatch {
+            seq: 2,
+            threads: 4,
+            deltas: vec![delta(
+                "TIME",
+                "main => b",
+                vec![
+                    (0, cell(40.0)),
+                    (1, cell(1.0)),
+                    (2, cell(1.0)),
+                    (3, cell(1.0)),
+                ],
+            )],
+        },
+    ];
+    let render = |order: &[usize]| {
+        let (mut st, _) = StreamingTrial::from_batch("t", &chunks[order[0]]).expect("bootstrap");
+        for &i in &order[1..] {
+            st.apply_chunk(&chunks[i]).expect("apply");
+        }
+        analyze_load_balance(st.trial(), "TIME")
+            .expect("workflow")
+            .rendered
+    };
+    let forward = render(&[0, 1, 2]);
+    let reversed = render(&[0, 2, 1]);
+    assert!(
+        forward.contains("main => a") && forward.contains("main => b"),
+        "expected both regions diagnosed:\n{forward}"
+    );
+    assert_eq!(
+        forward, reversed,
+        "rendered report depends on chunk arrival order"
+    );
+}
+
+#[test]
 fn derive_update_matches_batch_derive_bitwise() {
     let mut rng = XorShift64::new(0xdeadbeef);
     // Both metrics and every event present up front: the derive test

@@ -13,17 +13,31 @@
 //! point is a bug: it is reported per seed and turns into a non-zero
 //! exit code, which is what the CI `chaos` job gates on.
 //!
+//! The `crash-restart` stage is the service-lifecycle side of the same
+//! story: for every seed it streams chunks into a WAL-backed service
+//! under a seeded unreliable delivery plan (reordered, duplicated,
+//! dropped-then-retried, stalled), kills the service at a chosen
+//! [`KillPoint`] in a chunk's `append -> apply -> ack` lifecycle
+//! (simulating mid-append deaths by leaving a torn frame at the journal
+//! tail), restarts it over the same journal directory, redelivers
+//! everything, and gates on three invariants: the replayed chunk count
+//! is exactly the journaled set, no acknowledged chunk is lost, and the
+//! recovered report is byte-identical to an uninterrupted run.
+//!
 //! ```text
-//! chaos [--seeds N] [--base-seed B] [--verbose]
+//! chaos [--stage all|corruption|crash-restart] [--seeds N] [--base-seed B]
+//!       [--kill-point before-append|mid-append|after-append|after-apply]
+//!       [--fsync always|never] [--verbose]
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use apps::msa::{self, MsaConfig};
 use apps::power_study::{self, PowerStudyConfig};
-use faultsim::{Fault, FaultPlan};
+use faultsim::{DeliveryOp, DeliveryPlan, Fault, FaultPlan, KillPoint};
 use perfdmf::formats::{csv, gprof, tau};
-use perfdmf::{sanitize_trial, QualityConfig, Repository, Trial};
+use perfdmf::wal::{FsyncPolicy, Journal, WalRecord};
+use perfdmf::{sanitize_trial, ChunkBatch, QualityConfig, Repository, Trial};
 use perfexplorer::workflow::{
     analyze_load_balance_supervised, analyze_locality_supervised, analyze_power_supervised,
 };
@@ -31,21 +45,42 @@ use perfexplorer::SupervisorConfig;
 use simulator::machine::MachineConfig;
 use simulator::openmp::Schedule;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    All,
+    Corruption,
+    CrashRestart,
+}
+
 struct Args {
+    stage: Stage,
     seeds: u64,
     base_seed: u64,
+    kill_points: Vec<KillPoint>,
+    fsync: FsyncPolicy,
     verbose: bool,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
+        stage: Stage::All,
         seeds: 8,
         base_seed: 0,
+        kill_points: KillPoint::MATRIX.to_vec(),
+        fsync: FsyncPolicy::Always,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--stage" => {
+                args.stage = match it.next().as_deref() {
+                    Some("all") => Stage::All,
+                    Some("corruption") => Stage::Corruption,
+                    Some("crash-restart") => Stage::CrashRestart,
+                    _ => usage("--stage needs all|corruption|crash-restart"),
+                };
+            }
             "--seeds" => {
                 args.seeds = it
                     .next()
@@ -57,6 +92,24 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--base-seed needs a number"));
+            }
+            "--kill-point" => {
+                args.kill_points = match it.next().as_deref() {
+                    Some("all") => KillPoint::MATRIX.to_vec(),
+                    Some(s) => vec![KillPoint::parse(s).unwrap_or_else(|| {
+                        usage(
+                            "--kill-point needs before-append|mid-append|after-append|after-apply",
+                        )
+                    })],
+                    None => usage("--kill-point needs a value"),
+                };
+            }
+            "--fsync" => {
+                args.fsync = match it.next().as_deref() {
+                    Some("always") => FsyncPolicy::Always,
+                    Some("never") => FsyncPolicy::Never,
+                    _ => usage("--fsync needs always|never"),
+                };
             }
             "--verbose" => args.verbose = true,
             "--help" | "-h" => usage(""),
@@ -70,7 +123,10 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: chaos [--seeds N] [--base-seed B] [--verbose]");
+    eprintln!(
+        "usage: chaos [--stage all|corruption|crash-restart] [--seeds N] [--base-seed B]\n\
+         \x20            [--kill-point KP|all] [--fsync always|never] [--verbose]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -84,6 +140,45 @@ struct SeedOutcome {
     quarantined: usize,
     salvage_dropped: usize,
     panics: Vec<String>,
+}
+
+/// Splits a trial into one [`ChunkBatch`] per event, every metric's
+/// column in full — the flush shape the simulator's profiling layer
+/// produces. Chunk `i` carries event `i`; the chunk carrying
+/// [`perfdmf::MAIN_EVENT`] bootstraps the stream.
+fn chunk_trial(trial: &Trial) -> Vec<ChunkBatch> {
+    use perfdmf::{ColumnDelta, EventId, MetricId};
+    let profile = &trial.profile;
+    let threads = profile.thread_count();
+    profile
+        .events()
+        .iter()
+        .enumerate()
+        .map(|(ei, event)| ChunkBatch {
+            seq: ei as u64,
+            threads: threads as u32,
+            deltas: profile
+                .metrics()
+                .iter()
+                .enumerate()
+                .map(|(mi, metric)| ColumnDelta {
+                    metric: metric.name.clone(),
+                    event: event.name.clone(),
+                    event_kind: event.kind.clone(),
+                    cells: (0..threads)
+                        .map(|t| {
+                            (
+                                t as u32,
+                                *profile
+                                    .get(EventId(ei as u32), MetricId(mi as u32), t)
+                                    .expect("in-range cell"),
+                            )
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+        .collect()
 }
 
 fn clean_trials() -> Vec<Trial> {
@@ -285,43 +380,11 @@ fn run_seed(seed: u64, verbose: bool) -> SeedOutcome {
 
     // --- streaming-domain: torn, replayed, out-of-order chunk streams ---
     guarded(&mut outcome, "streaming chunks", |o| {
-        use perfdmf::{ChunkBatch, ColumnDelta, EventId, MetricId};
         use service::{AnalysisService, Outcome, Request, ServiceConfig};
 
         let clean = &clean_trials()[0];
         let profile = &clean.profile;
-        let threads = profile.thread_count();
-        // One chunk per event, every metric's column in full — the
-        // flush shape the simulator's profiling layer produces.
-        let chunks: Vec<ChunkBatch> = profile
-            .events()
-            .iter()
-            .enumerate()
-            .map(|(ei, event)| ChunkBatch {
-                seq: ei as u64,
-                threads: threads as u32,
-                deltas: profile
-                    .metrics()
-                    .iter()
-                    .enumerate()
-                    .map(|(mi, metric)| ColumnDelta {
-                        metric: metric.name.clone(),
-                        event: event.name.clone(),
-                        event_kind: event.kind.clone(),
-                        cells: (0..threads)
-                            .map(|t| {
-                                (
-                                    t as u32,
-                                    *profile
-                                        .get(EventId(ei as u32), MetricId(mi as u32), t)
-                                        .expect("in-range cell"),
-                                )
-                            })
-                            .collect(),
-                    })
-                    .collect(),
-            })
-            .collect();
+        let chunks = chunk_trial(clean);
 
         let svc = AnalysisService::start(ServiceConfig {
             workers: 2,
@@ -493,8 +556,309 @@ fn run_seed(seed: u64, verbose: bool) -> SeedOutcome {
     outcome
 }
 
-fn main() {
-    let args = parse_args();
+// ---------------------------------------------------------------------------
+// crash-restart stage: kill -> restart -> replay -> verify
+// ---------------------------------------------------------------------------
+
+/// Result of one seeded kill-restart cycle.
+struct CrashOutcome {
+    /// Chunks acknowledged before the kill.
+    acked: usize,
+    /// Chunks the restarted service replayed from the journal.
+    replayed: u64,
+    /// Durable chunks correctly deduplicated on redelivery.
+    duplicates: usize,
+    /// Acknowledged chunks the recovery lost — must be zero.
+    lost_acks: usize,
+    /// The recovered report matched the uninterrupted run byte for
+    /// byte.
+    identical: bool,
+    /// Everything that went wrong, human-readable.
+    failures: Vec<String>,
+}
+
+/// Finds the journal file carrying the tenant's records (the service
+/// shards journals per shard; every chunk of one tenant lands in one).
+fn busiest_journal(dir: &std::path::Path) -> Option<std::path::PathBuf> {
+    let mut best: Option<(usize, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "wal") {
+            let count = perfdmf::wal::replay_path(&path)
+                .map(|r| r.records.len())
+                .unwrap_or(0);
+            if best.as_ref().is_none_or(|(c, _)| count > *c) {
+                best = Some((count, path));
+            }
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// One kill-restart cycle: stream chunks under an unreliable delivery
+/// plan into a WAL-backed service, kill it at `kill`, restart over the
+/// same journal directory, redeliver everything, and verify the three
+/// recovery invariants (exact replay count, zero lost acks, report
+/// byte-identical to an uninterrupted run).
+fn run_crash_restart(
+    seed: u64,
+    kill: KillPoint,
+    fsync: FsyncPolicy,
+    verbose: bool,
+) -> CrashOutcome {
+    use rand::{Rng, SeedableRng, StdRng};
+    use service::{AnalysisService, Outcome, Request, ServiceClient, ServiceConfig};
+
+    let mut out = CrashOutcome {
+        acked: 0,
+        replayed: 0,
+        duplicates: 0,
+        lost_acks: 0,
+        identical: false,
+        failures: Vec::new(),
+    };
+
+    let clean = &clean_trials()[0];
+    let chunks = chunk_trial(clean);
+    let n = chunks.len();
+    let main_idx = clean
+        .profile
+        .events()
+        .iter()
+        .position(|e| e.name == perfdmf::MAIN_EVENT)
+        .expect("clean trial has main");
+    let trial_name = clean.name.clone();
+
+    let config = |wal_dir: Option<std::path::PathBuf>| ServiceConfig {
+        workers: 2,
+        shards: 2,
+        wal_dir,
+        wal_fsync: fsync,
+        ..ServiceConfig::default()
+    };
+    let send = |client: &ServiceClient, batch: &ChunkBatch| {
+        client
+            .call(Request::IngestChunk {
+                app: "chaos".into(),
+                experiment: "crash".into(),
+                trial: trial_name.clone(),
+                chunk: serde_json::to_string(batch).expect("chunk serializes"),
+            })
+            .expect("service alive")
+    };
+    let analyze = |client: &ServiceClient| {
+        client
+            .call(Request::AnalyzeBalance {
+                app: "chaos".into(),
+                experiment: "crash".into(),
+                trial: trial_name.clone(),
+                metric: "TIME".into(),
+            })
+            .expect("service alive")
+    };
+
+    // Reference: the same stream delivered in order, never interrupted,
+    // no journal. Recovery must reproduce this report byte for byte.
+    let reference = {
+        let svc = AnalysisService::start(config(None));
+        let client = svc.client();
+        for chunk in std::iter::once(main_idx).chain((0..n).filter(|&i| i != main_idx)) {
+            assert!(
+                send(&client, &chunks[chunk]).is_clean(),
+                "reference delivery of chunk {chunk} failed"
+            );
+        }
+        let resp = analyze(&client);
+        let rendered = match resp.outcome {
+            Outcome::Report { rendered, .. } => rendered,
+            other => panic!("reference analysis failed: {other:?}"),
+        };
+        svc.shutdown();
+        rendered
+    };
+
+    // Where the kill lands: after `kill_nth` acknowledged first
+    // deliveries — always at least the bootstrap chunk acked, always at
+    // least one chunk still pending.
+    let plan = DeliveryPlan::generate(seed, n, Some(main_idx));
+    let delivers = plan.deliveries().len();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b11);
+    let kill_nth = 1 + rng.random_range(0..delivers as u64 - 1) as usize;
+
+    let wal_dir = std::env::temp_dir().join(format!(
+        "chaos-crash-{}-{}-{}",
+        std::process::id(),
+        seed,
+        kill
+    ));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let mut acked = vec![false; n];
+    let mut victim = None;
+    {
+        let svc = AnalysisService::start(config(Some(wal_dir.clone())));
+        let client = svc.client();
+        let mut nth = 0usize;
+        'ops: for op in plan.ops() {
+            match *op {
+                DeliveryOp::Deliver { chunk } => {
+                    if nth == kill_nth {
+                        victim = Some(chunk);
+                        if kill == KillPoint::AfterApply {
+                            let r = send(&client, &chunks[chunk]);
+                            if !r.is_clean() {
+                                out.failures
+                                    .push(format!("victim delivery failed: {:?}", r.outcome));
+                            }
+                            acked[chunk] = true;
+                        }
+                        break 'ops;
+                    }
+                    let r = send(&client, &chunks[chunk]);
+                    match r.outcome {
+                        Outcome::ChunkIngested { duplicate, .. } => {
+                            if duplicate {
+                                out.failures
+                                    .push(format!("first delivery of {chunk} flagged duplicate"));
+                            }
+                            acked[chunk] = true;
+                        }
+                        other => out
+                            .failures
+                            .push(format!("delivery of chunk {chunk} failed: {other:?}")),
+                    }
+                    nth += 1;
+                }
+                DeliveryOp::Redeliver { chunk } => {
+                    if acked[chunk] {
+                        let r = send(&client, &chunks[chunk]);
+                        if !matches!(
+                            r.outcome,
+                            Outcome::ChunkIngested {
+                                duplicate: true,
+                                ..
+                            }
+                        ) {
+                            out.failures.push(format!(
+                                "pre-crash redelivery of {chunk} not deduped: {:?}",
+                                r.outcome
+                            ));
+                        }
+                    }
+                }
+                DeliveryOp::Stall { millis } => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis))
+                }
+            }
+        }
+        if svc.stats().panics_isolated != 0 {
+            out.failures.push("panic escaped pre-crash service".into());
+        }
+        // The kill: the pre-crash process goes away and only the
+        // journal directory survives; the restarted service below
+        // rebuilds from the WAL alone.
+        svc.shutdown();
+    }
+    out.acked = acked.iter().filter(|&&a| a).count();
+    let victim_chunk = victim.expect("kill lands before the plan is exhausted");
+
+    // Kill points that die inside the append leave their mark directly
+    // in the journal file, exactly as the dying process would have.
+    if matches!(kill, KillPoint::MidAppend | KillPoint::AfterAppend) {
+        let record = WalRecord::Chunk {
+            app: "chaos".into(),
+            experiment: "crash".into(),
+            trial: trial_name.clone(),
+            batch: chunks[victim_chunk].clone(),
+        };
+        match busiest_journal(&wal_dir) {
+            Some(path) => match Journal::open(&path, FsyncPolicy::Always) {
+                Ok((mut journal, _)) => {
+                    let result = match kill {
+                        KillPoint::MidAppend => {
+                            let keep = 1 + (seed as usize % 40);
+                            journal.append_torn(&record, keep).map(|torn| {
+                                if verbose {
+                                    eprintln!(
+                                        "seed {seed} {kill}: tore frame at {keep}/{torn} bytes"
+                                    );
+                                }
+                            })
+                        }
+                        _ => journal.append(&record),
+                    };
+                    if let Err(e) = result {
+                        out.failures.push(format!("post-mortem append failed: {e}"));
+                    }
+                }
+                Err(e) => out
+                    .failures
+                    .push(format!("post-mortem journal open failed: {e}")),
+            },
+            None => out.failures.push("no journal file written".into()),
+        }
+    }
+
+    // Restart over the same journal directory. Replay must resurrect
+    // exactly the durable set: every acked chunk, plus the victim when
+    // its append landed before the crash, and nothing from a torn tail.
+    let expected_replayed = out.acked as u64 + u64::from(kill == KillPoint::AfterAppend);
+    let svc = AnalysisService::start(config(Some(wal_dir.clone())));
+    out.replayed = svc.stats().wal_replayed_chunks;
+    if out.replayed != expected_replayed {
+        out.failures.push(format!(
+            "replayed {} chunks, expected {expected_replayed}",
+            out.replayed
+        ));
+    }
+    let client = svc.client();
+    // Redeliver the full stream (a recovering client replays its send
+    // window): durable chunks must dedup — an ack is a durability
+    // promise — and never-delivered ones must apply fresh.
+    for chunk in std::iter::once(main_idx).chain((0..n).filter(|&i| i != main_idx)) {
+        let durable = acked[chunk] || (kill == KillPoint::AfterAppend && chunk == victim_chunk);
+        let r = send(&client, &chunks[chunk]);
+        match r.outcome {
+            Outcome::ChunkIngested { duplicate, .. } => {
+                if durable && !duplicate {
+                    out.lost_acks += 1;
+                    out.failures
+                        .push(format!("acked chunk {chunk} was lost across the crash"));
+                } else if duplicate {
+                    out.duplicates += 1;
+                    if !durable {
+                        out.failures
+                            .push(format!("unacked chunk {chunk} claims duplicate"));
+                    }
+                }
+            }
+            other => out.failures.push(format!(
+                "recovery delivery of chunk {chunk} failed: {other:?}"
+            )),
+        }
+    }
+    let resp = analyze(&client);
+    match resp.outcome {
+        Outcome::Report { rendered, .. } => {
+            out.identical = rendered == reference;
+            if !out.identical {
+                out.failures
+                    .push("recovered report differs from uninterrupted run".into());
+            }
+        }
+        other => out
+            .failures
+            .push(format!("recovered analysis failed: {other:?}")),
+    }
+    if svc.stats().panics_isolated != 0 {
+        out.failures.push("panic escaped recovered service".into());
+    }
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    out
+}
+
+fn run_corruption_stage(args: &Args) -> bool {
     println!(
         "chaos: {} seed(s) starting at {}",
         args.seeds, args.base_seed
@@ -524,7 +888,75 @@ fn main() {
 
     if total_panics > 0 {
         eprintln!("chaos: {total_panics} panic(s) escaped supervised entry points");
-        std::process::exit(1);
+        return true;
     }
     println!("chaos: no panics escaped");
+    false
+}
+
+fn run_crash_restart_stage(args: &Args) -> bool {
+    println!(
+        "crash-restart: {} seed(s) x {} kill point(s), fsync {:?}",
+        args.seeds,
+        args.kill_points.len(),
+        args.fsync
+    );
+    println!("seed     kill-point     acked  replayed  dups  lost  identical  failures");
+
+    let mut failed = false;
+    for i in 0..args.seeds {
+        let seed = args.base_seed + i;
+        for &kp in &args.kill_points {
+            match catch_unwind(AssertUnwindSafe(|| {
+                run_crash_restart(seed, kp, args.fsync, args.verbose)
+            })) {
+                Ok(o) => {
+                    println!(
+                        "{:<8} {:<14} {:<6} {:<9} {:<5} {:<5} {:<10} {}",
+                        seed,
+                        kp.to_string(),
+                        o.acked,
+                        o.replayed,
+                        o.duplicates,
+                        o.lost_acks,
+                        o.identical,
+                        o.failures.len()
+                    );
+                    for f in &o.failures {
+                        eprintln!("seed {seed} {kp}: FAILED: {f}");
+                    }
+                    if !o.failures.is_empty() || !o.identical || o.lost_acks > 0 {
+                        failed = true;
+                    }
+                }
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic".into());
+                    eprintln!("seed {seed} {kp}: PANIC ESCAPED: {msg}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if !failed {
+        println!("crash-restart: every recovery byte-identical, no acked chunk lost");
+    }
+    failed
+}
+
+fn main() {
+    let args = parse_args();
+    let mut failed = false;
+    if matches!(args.stage, Stage::All | Stage::Corruption) {
+        failed |= run_corruption_stage(&args);
+    }
+    if matches!(args.stage, Stage::All | Stage::CrashRestart) {
+        failed |= run_crash_restart_stage(&args);
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

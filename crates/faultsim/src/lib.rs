@@ -229,6 +229,205 @@ impl FaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lifecycle faults: crashes, stalls, and unreliable chunk delivery.
+// ---------------------------------------------------------------------------
+
+/// Where in a chunk's ingest lifecycle a simulated crash lands.
+///
+/// The streaming ingest path is `journal append -> apply -> ack`; each
+/// kill point exercises one distinct durability obligation of that
+/// ordering:
+///
+/// * [`KillPoint::BeforeAppend`] — the chunk never reached the journal
+///   and was never acked; the client must redeliver it.
+/// * [`KillPoint::MidAppend`] — the process died inside the append,
+///   leaving a torn frame at the journal tail; replay must truncate it
+///   and the (unacked) chunk must be redelivered.
+/// * [`KillPoint::AfterAppend`] — the frame is durable but the apply
+///   (and ack) never happened; replay must resurrect the chunk and a
+///   client retry must dedup against it.
+/// * [`KillPoint::AfterApply`] — the chunk was applied and acked;
+///   recovery must preserve it (an acked chunk is never lost) and a
+///   replayed delivery must dedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Crash before the journal append of the victim chunk.
+    BeforeAppend,
+    /// Crash partway through writing the victim chunk's journal frame.
+    MidAppend,
+    /// Crash after the append is durable, before apply and ack.
+    AfterAppend,
+    /// Crash after the chunk was applied and acknowledged.
+    AfterApply,
+}
+
+impl KillPoint {
+    /// Every kill point, in lifecycle order — the CI chaos matrix.
+    pub const MATRIX: [KillPoint; 4] = [
+        KillPoint::BeforeAppend,
+        KillPoint::MidAppend,
+        KillPoint::AfterAppend,
+        KillPoint::AfterApply,
+    ];
+
+    /// Parses the CLI spelling (`before-append`, `mid-append`,
+    /// `after-append`, `after-apply`).
+    pub fn parse(s: &str) -> Option<KillPoint> {
+        match s {
+            "before-append" => Some(KillPoint::BeforeAppend),
+            "mid-append" => Some(KillPoint::MidAppend),
+            "after-append" => Some(KillPoint::AfterAppend),
+            "after-apply" => Some(KillPoint::AfterApply),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KillPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KillPoint::BeforeAppend => "before-append",
+            KillPoint::MidAppend => "mid-append",
+            KillPoint::AfterAppend => "after-append",
+            KillPoint::AfterApply => "after-apply",
+        })
+    }
+}
+
+/// One step of an unreliable delivery schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOp {
+    /// First delivery of a chunk. A `Deliver` whose position in the
+    /// plan is later than the chunk's natural order models a *dropped*
+    /// earlier delivery that the client retried.
+    Deliver {
+        /// Index of the chunk to send.
+        chunk: usize,
+    },
+    /// A duplicated delivery of an already-sent chunk (network replay
+    /// or an over-eager client retry); the ingest path must dedup it
+    /// by sequence number.
+    Redeliver {
+        /// Index of the chunk to send again.
+        chunk: usize,
+    },
+    /// A worker/client stall: the sender goes quiet for a few
+    /// milliseconds mid-stream, exercising timing gaps between
+    /// deliveries.
+    Stall {
+        /// How long to stall.
+        millis: u64,
+    },
+}
+
+/// A seeded, unreliable delivery schedule over `n` chunks: reordered,
+/// with duplicated deliveries, dropped-then-retried chunks, and stalls.
+///
+/// Invariant: every chunk index in `0..n` appears **exactly once** as
+/// [`DeliveryOp::Deliver`] — nothing is silently lost, because a real
+/// client retries dropped sends. Duplicates and stalls are extra.
+#[derive(Debug, Clone)]
+pub struct DeliveryPlan {
+    seed: u64,
+    ops: Vec<DeliveryOp>,
+    duplicated: usize,
+    deferred: usize,
+    stalls: usize,
+}
+
+impl DeliveryPlan {
+    /// Builds the schedule for `chunks` chunks. `bootstrap`, when
+    /// given, is delivered first (streaming trials bootstrap from the
+    /// chunk that carries the root event); the rest are shuffled.
+    pub fn generate(seed: u64, chunks: usize, bootstrap: Option<usize>) -> DeliveryPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11fe_c7c1e);
+        let mut order: Vec<usize> = (0..chunks).filter(|&i| Some(i) != bootstrap).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.random_range(0..i + 1));
+        }
+
+        // A slice of the stream gets "dropped" in flight and retried
+        // after everything else — the reordering an unreliable network
+        // plus client retry produces.
+        let mut deferred = Vec::new();
+        let mut first_pass = Vec::new();
+        for &c in &order {
+            if order.len() > 1 && rng.random::<f64>() < 0.2 {
+                deferred.push(c);
+            } else {
+                first_pass.push(c);
+            }
+        }
+
+        let mut plan = DeliveryPlan {
+            seed,
+            ops: Vec::new(),
+            duplicated: 0,
+            deferred: deferred.len(),
+            stalls: 0,
+        };
+        let push_deliver = |plan: &mut DeliveryPlan, rng: &mut StdRng, chunk: usize| {
+            plan.ops.push(DeliveryOp::Deliver { chunk });
+            if rng.random::<f64>() < 0.25 {
+                plan.ops.push(DeliveryOp::Redeliver { chunk });
+                plan.duplicated += 1;
+            }
+            if rng.random::<f64>() < 0.15 {
+                plan.ops.push(DeliveryOp::Stall {
+                    millis: 1 + rng.random_range(0..3u64),
+                });
+                plan.stalls += 1;
+            }
+        };
+        if let Some(b) = bootstrap {
+            push_deliver(&mut plan, &mut rng, b);
+        }
+        for c in first_pass {
+            push_deliver(&mut plan, &mut rng, c);
+        }
+        for c in deferred {
+            push_deliver(&mut plan, &mut rng, c);
+        }
+        plan
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The delivery steps in order.
+    pub fn ops(&self) -> &[DeliveryOp] {
+        &self.ops
+    }
+
+    /// How many duplicated deliveries the plan injects.
+    pub fn duplicated(&self) -> usize {
+        self.duplicated
+    }
+
+    /// How many chunks were dropped in flight and retried at the tail.
+    pub fn deferred(&self) -> usize {
+        self.deferred
+    }
+
+    /// How many stalls the plan injects.
+    pub fn stalls(&self) -> usize {
+        self.stalls
+    }
+
+    /// The positions (op indices) of first deliveries, in op order —
+    /// the schedule a crash harness counts acks against.
+    pub fn deliveries(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| matches!(op, DeliveryOp::Deliver { .. }).then_some(i))
+            .collect()
+    }
+}
+
 /// Picks a random `(event, metric, thread)` cell, or `None` on an empty
 /// profile.
 fn pick_cell(p: &Profile, rng: &mut StdRng) -> Option<(EventId, MetricId, usize)> {
@@ -676,6 +875,63 @@ mod tests {
             assert_eq!(applied[0].fault, fault);
             assert_ne!(out, bytes, "{fault} left the bytes unchanged");
         }
+    }
+
+    #[test]
+    fn delivery_plans_are_deterministic_and_complete() {
+        for seed in 0..32u64 {
+            let a = DeliveryPlan::generate(seed, 9, Some(4));
+            let b = DeliveryPlan::generate(seed, 9, Some(4));
+            assert_eq!(a.ops(), b.ops());
+            // Every chunk is first-delivered exactly once; nothing is
+            // silently lost no matter how hostile the plan.
+            let mut seen = vec![0usize; 9];
+            for op in a.ops() {
+                if let DeliveryOp::Deliver { chunk } = op {
+                    seen[*chunk] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "seed {seed}: {seen:?}");
+            // The bootstrap chunk leads the schedule.
+            assert_eq!(a.ops()[0], DeliveryOp::Deliver { chunk: 4 });
+            // Duplicated deliveries only follow their first delivery.
+            let mut delivered = std::collections::HashSet::new();
+            for op in a.ops() {
+                match op {
+                    DeliveryOp::Deliver { chunk } => {
+                        delivered.insert(*chunk);
+                    }
+                    DeliveryOp::Redeliver { chunk } => {
+                        assert!(delivered.contains(chunk), "seed {seed}: early redeliver")
+                    }
+                    DeliveryOp::Stall { .. } => {}
+                }
+            }
+            assert_eq!(a.deliveries().len(), 9);
+        }
+    }
+
+    #[test]
+    fn delivery_plans_vary_by_seed_and_inject_lifecycle_faults() {
+        let plans: Vec<DeliveryPlan> = (0..16)
+            .map(|s| DeliveryPlan::generate(s, 12, None))
+            .collect();
+        assert!(
+            plans.windows(2).any(|w| w[0].ops() != w[1].ops()),
+            "16 seeds produced identical schedules"
+        );
+        // Across a modest seed range every lifecycle fault kind shows up.
+        assert!(plans.iter().any(|p| p.duplicated() > 0));
+        assert!(plans.iter().any(|p| p.deferred() > 0));
+        assert!(plans.iter().any(|p| p.stalls() > 0));
+    }
+
+    #[test]
+    fn kill_point_parse_round_trips() {
+        for kp in KillPoint::MATRIX {
+            assert_eq!(KillPoint::parse(&kp.to_string()), Some(kp));
+        }
+        assert_eq!(KillPoint::parse("nope"), None);
     }
 
     #[test]

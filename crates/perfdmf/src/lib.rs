@@ -40,6 +40,7 @@ pub mod repo;
 pub mod shared;
 pub mod streaming;
 pub mod validate;
+pub mod wal;
 
 pub use error::DmfError;
 pub use mapped::{MappedRepository, TrialView};
@@ -53,6 +54,7 @@ pub use quality::{sanitize_profile, sanitize_trial, DataQuality, QualityConfig};
 pub use repo::{Format, RecoveredRepository, Repository};
 pub use shared::SharedRepository;
 pub use streaming::{AppliedChunk, ChunkBatch, ColumnDelta, StreamingTrial, TouchedColumn};
+pub use wal::{FsyncPolicy, Journal, WalRecord, WalReplay};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, DmfError>;

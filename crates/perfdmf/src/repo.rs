@@ -446,7 +446,7 @@ fn utf8(bytes: &[u8]) -> Result<&str> {
 /// own scratch file, so neither can truncate or interleave the other's
 /// partially written bytes. Whichever rename lands last wins, and at
 /// every instant the primary is one complete document.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
     use std::io::Write;
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -492,7 +492,7 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
 /// directory's entry table is on disk; an fsync on the file alone does
 /// not cover it.
 #[cfg(unix)]
-fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+pub(crate) fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
     let parent = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
         _ => std::path::PathBuf::from("."),
@@ -501,7 +501,7 @@ fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
 }
 
 #[cfg(not(unix))]
-fn fsync_parent_dir(_path: &Path) -> std::io::Result<()> {
+pub(crate) fn fsync_parent_dir(_path: &Path) -> std::io::Result<()> {
     // Directory handles cannot be fsynced portably off unix; the
     // file-level fsync in `write_atomic` is the best available.
     Ok(())

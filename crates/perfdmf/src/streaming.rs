@@ -155,6 +155,13 @@ impl StreamingTrial {
         self.seen.len()
     }
 
+    /// Whether a batch with this sequence number was already applied
+    /// (applying it again would be a suppressed duplicate). Lets a
+    /// journaling caller skip re-logging redelivered chunks.
+    pub fn contains_seq(&self, seq: u64) -> bool {
+        self.seen.contains(&seq)
+    }
+
     /// Sets a metadata field on the trial.
     pub fn meta(&mut self, key: &str, value: impl Into<crate::MetaValue>) {
         self.trial.metadata.set(key, value);

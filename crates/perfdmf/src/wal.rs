@@ -1,0 +1,711 @@
+//! Write-ahead journal for streaming chunk ingestion.
+//!
+//! A process crash used to lose every in-flight [`StreamingTrial`]: the
+//! growing trial lives only in memory, so chunks a client was told were
+//! applied simply vanished. This module is the durability half of the
+//! streaming story. Before a chunk is acknowledged it is appended to a
+//! per-shard journal; after a crash the journal is replayed and every
+//! acknowledged chunk is folded back into a rebuilt stream, so the
+//! recovered analysis state is byte-identical to an uninterrupted run.
+//!
+//! ## Record framing
+//!
+//! The file starts with an 8-byte header (`PWAL` magic + u32 LE
+//! version). Each record is a crc32-framed frame:
+//!
+//! ```text
+//! offset 0   u32 LE  payload length
+//! offset 4   u32 LE  crc32 of the payload (same polynomial as PDB1)
+//! offset 8   payload: one WalRecord as JSON
+//! ```
+//!
+//! A crash mid-append leaves a *torn tail*: a frame whose length field
+//! points past EOF, or whose checksum no longer matches. Replay treats
+//! the valid prefix as the truth and discards the tail — a torn record
+//! was by definition never acknowledged, so the client will retry it.
+//! [`Journal::open`] truncates the tail away before appending again, so
+//! one crash can never poison records written after the restart.
+//!
+//! ## Rotation
+//!
+//! Retired streams (a full-trial upsert shadowing the path, or an
+//! explicitly finished trial) append a [`WalRecord::Retire`] tombstone.
+//! [`Journal::compact`] rewrites the journal without retired streams'
+//! records using the same tmp+fsync+rename discipline as
+//! [`crate::Repository::save_as`], so the journal stays one complete
+//! document at every instant and never grows without bound.
+//!
+//! ## Fsync policy
+//!
+//! [`FsyncPolicy::Always`] makes every acknowledged chunk durable
+//! against power loss; [`FsyncPolicy::EveryN`] amortises the fsync over
+//! a window (a crash may lose up to N-1 *acknowledged* chunks to an OS
+//! crash, but never to a process crash); [`FsyncPolicy::Never`] leaves
+//! flushing to the OS — the fast path for tests and the CI smoke lane,
+//! still safe against process kills because the file write itself
+//! happens before the ack.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::pdb1::crc32;
+use crate::streaming::ChunkBatch;
+use crate::{DmfError, Result};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+#[cfg(doc)]
+use crate::streaming::StreamingTrial;
+
+/// Journal file magic.
+pub const WAL_MAGIC: [u8; 4] = *b"PWAL";
+/// Journal format version.
+pub const WAL_VERSION: u32 = 1;
+/// Header length in bytes (magic + version).
+pub const WAL_HEADER_LEN: usize = 8;
+/// Frame header length in bytes (payload length + crc32).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// One journaled event on a shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// A chunk acknowledged into a streamed trial.
+    Chunk {
+        /// Tenant application.
+        app: String,
+        /// Tenant experiment.
+        experiment: String,
+        /// Trial the stream builds.
+        trial: String,
+        /// The acknowledged batch, verbatim.
+        batch: ChunkBatch,
+    },
+    /// The stream at this path was retired (shadowed by a full-trial
+    /// upsert, or finished). Replay drops its accumulated chunks.
+    Retire {
+        /// Tenant application.
+        app: String,
+        /// Tenant experiment.
+        experiment: String,
+        /// Trial whose stream was retired.
+        trial: String,
+    },
+}
+
+impl WalRecord {
+    /// The `(app, experiment, trial)` path this record addresses.
+    pub fn path(&self) -> (&str, &str, &str) {
+        match self {
+            WalRecord::Chunk {
+                app,
+                experiment,
+                trial,
+                ..
+            }
+            | WalRecord::Retire {
+                app,
+                experiment,
+                trial,
+            } => (app, experiment, trial),
+        }
+    }
+}
+
+/// When the journal fsyncs appended records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every append: an acknowledged chunk survives power
+    /// loss.
+    Always,
+    /// Fsync after every N appends: amortised durability (a crash of
+    /// the whole OS may lose up to N-1 acknowledged chunks; a process
+    /// crash loses none).
+    EveryN(u32),
+    /// Never fsync explicitly — the OS flushes when it pleases. Safe
+    /// against process kills, fastest; the CI smoke lane uses it.
+    Never,
+}
+
+/// What a journal replay recovered.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WalReplay {
+    /// Every intact record in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes discarded at the tail (a torn append, or trailing rot).
+    pub torn_bytes: usize,
+    /// Why the tail was discarded, when it was.
+    pub torn_reason: Option<String>,
+}
+
+/// A stream's identity: `(app, experiment, trial)`.
+pub type StreamKey = (String, String, String);
+
+impl WalReplay {
+    /// Folds the record sequence into the set of live streams: chunks
+    /// grouped per path in arrival order, with retired paths removed.
+    /// This is exactly the state a shard rebuilds on recovery.
+    pub fn live_streams(&self) -> Vec<(StreamKey, Vec<&ChunkBatch>)> {
+        let mut order: Vec<StreamKey> = Vec::new();
+        let mut by_path: std::collections::HashMap<StreamKey, Vec<&ChunkBatch>> =
+            std::collections::HashMap::new();
+        for rec in &self.records {
+            let (a, e, t) = rec.path();
+            let key = (a.to_string(), e.to_string(), t.to_string());
+            match rec {
+                WalRecord::Chunk { batch, .. } => {
+                    if !by_path.contains_key(&key) {
+                        order.push(key.clone());
+                    }
+                    by_path.entry(key).or_default().push(batch);
+                }
+                WalRecord::Retire { .. } => {
+                    by_path.remove(&key);
+                    order.retain(|k| *k != key);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .filter_map(|key| {
+                let batches = by_path.remove(&key)?;
+                Some((key, batches))
+            })
+            .collect()
+    }
+}
+
+/// Outcome of a [`Journal::compact`] rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Records in the journal before the rewrite.
+    pub before: usize,
+    /// Records surviving the rewrite.
+    pub after: usize,
+}
+
+/// An append-only, crc32-framed, crash-recoverable journal file.
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+    policy: FsyncPolicy,
+    unsynced: u32,
+    appended: u64,
+    retired: u64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("policy", &self.policy)
+            .field("appended", &self.appended)
+            .finish()
+    }
+}
+
+fn encode_frame(record: &WalRecord) -> Result<Vec<u8>> {
+    let payload = serde_json::to_string(record)?.into_bytes();
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+fn wal_error(message: String) -> DmfError {
+    DmfError::Parse {
+        format: "wal",
+        line: None,
+        message,
+    }
+}
+
+/// Decodes every intact record of a journal byte image, stopping at the
+/// first torn or corrupt frame. Errors only when the header itself is
+/// not a journal's.
+pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay> {
+    if bytes.is_empty() {
+        return Ok(WalReplay::default());
+    }
+    if bytes.len() < WAL_HEADER_LEN || bytes[..4] != WAL_MAGIC {
+        return Err(wal_error("not a journal: bad magic".to_string()));
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != WAL_VERSION {
+        return Err(wal_error(format!("unsupported journal version {version}")));
+    }
+    let mut replay = WalReplay::default();
+    let mut at = WAL_HEADER_LEN;
+    while at < bytes.len() {
+        let remaining = bytes.len() - at;
+        if remaining < FRAME_HEADER_LEN {
+            replay.torn_bytes = remaining;
+            replay.torn_reason = Some(format!("torn frame header ({remaining} bytes)"));
+            break;
+        }
+        let len =
+            u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]) as usize;
+        let crc = u32::from_le_bytes([bytes[at + 4], bytes[at + 5], bytes[at + 6], bytes[at + 7]]);
+        let payload_at = at + FRAME_HEADER_LEN;
+        if payload_at + len > bytes.len() {
+            replay.torn_bytes = remaining;
+            replay.torn_reason = Some(format!(
+                "torn payload (frame wants {len} bytes, {} remain)",
+                bytes.len() - payload_at
+            ));
+            break;
+        }
+        let payload = &bytes[payload_at..payload_at + len];
+        if crc32(payload) != crc {
+            replay.torn_bytes = remaining;
+            replay.torn_reason = Some(format!("checksum mismatch at offset {at}"));
+            break;
+        }
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(_) => {
+                replay.torn_bytes = remaining;
+                replay.torn_reason = Some(format!("non-UTF-8 payload at offset {at}"));
+                break;
+            }
+        };
+        match serde_json::from_str::<WalRecord>(text) {
+            Ok(rec) => replay.records.push(rec),
+            Err(e) => {
+                replay.torn_bytes = remaining;
+                replay.torn_reason = Some(format!("undecodable record at offset {at}: {e}"));
+                break;
+            }
+        }
+        at = payload_at + len;
+    }
+    Ok(replay)
+}
+
+/// Replays a journal file. A missing file is an empty journal.
+pub fn replay_path(path: &Path) -> Result<WalReplay> {
+    match std::fs::read(path) {
+        Ok(bytes) => replay_bytes(&bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(WalReplay::default()),
+        Err(e) => Err(DmfError::Io(e)),
+    }
+}
+
+impl Journal {
+    /// Opens (or creates) a journal for appending, first replaying it.
+    ///
+    /// Recovery and reopen are one operation on purpose: the replay
+    /// finds the valid prefix, the file is truncated to exactly that
+    /// prefix (discarding any torn tail), and the returned journal
+    /// appends after it. The caller gets every intact record.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<(Journal, WalReplay)> {
+        let existing = match std::fs::read(path) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(DmfError::Io(e)),
+        };
+        let (replay, valid_len) = match existing {
+            Some(bytes) => {
+                let replay = replay_bytes(&bytes)?;
+                let valid = bytes.len() - replay.torn_bytes;
+                (replay, valid)
+            }
+            None => (WalReplay::default(), 0),
+        };
+
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        if valid_len == 0 {
+            // Fresh (or unreadably short) journal: write the header.
+            file.set_len(0)?;
+            let mut f = &file;
+            f.write_all(&WAL_MAGIC)?;
+            f.write_all(&WAL_VERSION.to_le_bytes())?;
+            if !matches!(policy, FsyncPolicy::Never) {
+                file.sync_all()?;
+                crate::repo::fsync_parent_dir(path)?;
+            }
+        } else {
+            // Truncate the torn tail so post-restart appends start on a
+            // frame boundary.
+            file.set_len(valid_len as u64)?;
+        }
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))?;
+        let appended = replay.records.len() as u64;
+        let retired = replay
+            .records
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Retire { .. }))
+            .count() as u64;
+        Ok((
+            Journal {
+                path: path.to_path_buf(),
+                file,
+                policy,
+                unsynced: 0,
+                appended,
+                retired,
+            },
+            replay,
+        ))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records in the journal (replayed plus appended, minus nothing —
+    /// compaction resets it).
+    pub fn records(&self) -> u64 {
+        self.appended
+    }
+
+    /// Retire tombstones currently in the journal.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Appends one record and applies the fsync policy. When this
+    /// returns, the record is in the file (and on disk, under
+    /// [`FsyncPolicy::Always`]) — only then may the caller acknowledge
+    /// the chunk.
+    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        let frame = encode_frame(record)?;
+        self.file.write_all(&frame)?;
+        self.appended += 1;
+        if matches!(record, WalRecord::Retire { .. }) {
+            self.retired += 1;
+        }
+        match self.policy {
+            FsyncPolicy::Always => self.file.sync_data()?,
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.file.sync_data()?;
+                    self.unsynced = 0;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to disk regardless of policy.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Chaos hook: appends only the first `keep` bytes of the record's
+    /// frame, simulating a crash mid-append (a torn write). The frame is
+    /// always left incomplete — `keep` is clamped below the frame
+    /// length — so replay must discard it. Returns the full frame
+    /// length the torn write was cut from.
+    pub fn append_torn(&mut self, record: &WalRecord, keep: usize) -> Result<usize> {
+        let frame = encode_frame(record)?;
+        let cut = keep.min(frame.len().saturating_sub(1));
+        self.file.write_all(&frame[..cut])?;
+        self.file.sync_data()?;
+        Ok(frame.len())
+    }
+
+    /// Rewrites the journal without retired streams' records, using the
+    /// tmp+fsync+rename discipline: the journal on disk is one complete
+    /// document at every instant, and a crash mid-compaction leaves the
+    /// previous generation readable.
+    pub fn compact(&mut self) -> Result<CompactStats> {
+        let replay = replay_path(&self.path)?;
+        let before = replay.records.len();
+        let live = replay.live_streams();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        let mut after = 0usize;
+        for ((app, experiment, trial), batches) in live {
+            for batch in batches {
+                let rec = WalRecord::Chunk {
+                    app: app.clone(),
+                    experiment: experiment.clone(),
+                    trial: trial.clone(),
+                    batch: batch.clone(),
+                };
+                bytes.extend_from_slice(&encode_frame(&rec)?);
+                after += 1;
+            }
+        }
+        crate::repo::write_atomic(&self.path, &bytes)?;
+        // The rename replaced the inode; reopen the append handle.
+        use std::io::Seek;
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        self.file = file;
+        self.unsynced = 0;
+        self.appended = after as u64;
+        self.retired = 0;
+        Ok(CompactStats { before, after })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streaming::ColumnDelta;
+    use crate::Measurement;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("perfdmf-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let unique = format!(
+            "{}-{}-{name}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        );
+        dir.join(unique)
+    }
+
+    fn chunk(seq: u64, v: f64) -> ChunkBatch {
+        ChunkBatch {
+            seq,
+            threads: 2,
+            deltas: vec![ColumnDelta {
+                metric: "TIME".into(),
+                event: "main".into(),
+                event_kind: None,
+                cells: vec![(0, Measurement::leaf(v)), (1, Measurement::leaf(v + 1.0))],
+            }],
+        }
+    }
+
+    fn rec(trial: &str, seq: u64, v: f64) -> WalRecord {
+        WalRecord::Chunk {
+            app: "app".into(),
+            experiment: "exp".into(),
+            trial: trial.into(),
+            batch: chunk(seq, v),
+        }
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let path = tmp("roundtrip.wal");
+        let records = vec![rec("t1", 0, 1.0), rec("t1", 1, 2.0), rec("t2", 0, 3.0)];
+        {
+            let (mut j, replay) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+            assert!(replay.records.is_empty());
+            for r in &records {
+                j.append(r).unwrap();
+            }
+            assert_eq!(j.records(), 3);
+        }
+        let replay = replay_path(&path).unwrap();
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.torn_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_truncated_on_reopen() {
+        let path = tmp("torn.wal");
+        {
+            let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+            j.append(&rec("t1", 0, 1.0)).unwrap();
+            j.append(&rec("t1", 1, 2.0)).unwrap();
+            // Crash mid-append of the third record.
+            let full = j.append_torn(&rec("t1", 2, 3.0), 11).unwrap();
+            assert!(full > 11);
+        }
+        let replay = replay_path(&path).unwrap();
+        assert_eq!(replay.records.len(), 2, "torn record discarded");
+        assert!(replay.torn_bytes > 0);
+        assert!(replay.torn_reason.is_some());
+
+        // Reopen truncates the tail; appending afterwards yields a
+        // clean three-record journal.
+        {
+            let (mut j, replay) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+            assert_eq!(replay.records.len(), 2);
+            j.append(&rec("t1", 2, 3.0)).unwrap();
+        }
+        let replay = replay_path(&path).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.torn_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_torn_cut_point_recovers_the_acknowledged_prefix() {
+        // Kill-point sweep: whatever byte the crash lands on, replay
+        // recovers exactly the two acknowledged records.
+        let probe = encode_frame(&rec("t1", 2, 3.0)).unwrap();
+        for cut in 0..probe.len() {
+            let path = tmp(&format!("cutpoint-{cut}.wal"));
+            {
+                let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+                j.append(&rec("t1", 0, 1.0)).unwrap();
+                j.append(&rec("t1", 1, 2.0)).unwrap();
+                j.append_torn(&rec("t1", 2, 3.0), cut).unwrap();
+            }
+            let replay = replay_path(&path).unwrap();
+            assert_eq!(replay.records.len(), 2, "cut at {cut}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn bitrot_mid_file_keeps_the_prefix() {
+        let path = tmp("bitrot.wal");
+        {
+            let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+            for i in 0..4 {
+                j.append(&rec("t1", i, i as f64)).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the second record's payload.
+        let second_at = {
+            let first_len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+            WAL_HEADER_LEN + FRAME_HEADER_LEN + first_len
+        };
+        bytes[second_at + FRAME_HEADER_LEN + 3] ^= 0x40;
+        let replay = replay_bytes(&bytes).unwrap();
+        assert_eq!(replay.records.len(), 1, "prefix before the rot survives");
+        assert!(replay
+            .torn_reason
+            .as_deref()
+            .unwrap()
+            .contains("checksum mismatch"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn live_streams_folds_retires() {
+        let path = tmp("retire.wal");
+        {
+            let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+            j.append(&rec("t1", 0, 1.0)).unwrap();
+            j.append(&rec("t2", 0, 2.0)).unwrap();
+            j.append(&rec("t1", 1, 3.0)).unwrap();
+            j.append(&WalRecord::Retire {
+                app: "app".into(),
+                experiment: "exp".into(),
+                trial: "t1".into(),
+            })
+            .unwrap();
+            assert_eq!(j.retired(), 1);
+        }
+        let replay = replay_path(&path).unwrap();
+        let live = replay.live_streams();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].0 .2, "t2");
+        assert_eq!(live[0].1.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_drops_retired_streams_and_stays_appendable() {
+        let path = tmp("compact.wal");
+        let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).unwrap();
+        for i in 0..8 {
+            j.append(&rec("retired", i, i as f64)).unwrap();
+        }
+        j.append(&rec("live", 0, 42.0)).unwrap();
+        j.append(&WalRecord::Retire {
+            app: "app".into(),
+            experiment: "exp".into(),
+            trial: "retired".into(),
+        })
+        .unwrap();
+        let stats = j.compact().unwrap();
+        assert_eq!(stats.before, 10);
+        assert_eq!(stats.after, 1);
+        assert_eq!(j.records(), 1);
+        assert_eq!(j.retired(), 0);
+
+        // The journal accepts appends after the rewrite, and replay
+        // sees both generations' records.
+        j.append(&rec("live", 1, 43.0)).unwrap();
+        drop(j);
+        let replay = replay_path(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        let live = replay.live_streams();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].1.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_non_journal_bytes() {
+        assert!(replay_bytes(b"not a journal at all").is_err());
+        assert!(replay_bytes(&[0x50]).is_err());
+        // Empty is an empty journal, not an error.
+        assert!(replay_bytes(b"").unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let replay = replay_path(Path::new("/nonexistent/never/journal.wal")).unwrap();
+        assert!(replay.records.is_empty());
+    }
+
+    #[test]
+    fn every_n_policy_syncs_periodically() {
+        // Behavioural smoke: the policy path executes; durability of
+        // the OS page cache is not observable from here.
+        let path = tmp("everyn.wal");
+        let (mut j, _) = Journal::open(&path, FsyncPolicy::EveryN(3)).unwrap();
+        for i in 0..7 {
+            j.append(&rec("t", i, 0.0)).unwrap();
+        }
+        j.sync().unwrap();
+        drop(j);
+        assert_eq!(replay_path(&path).unwrap().records.len(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_replay_rebuilds_identical_trial() {
+        use crate::streaming::StreamingTrial;
+        // The recovery contract end to end: apply chunks to a live
+        // stream while journaling, "crash", replay, rebuild — the
+        // rebuilt trial's profile is byte-identical.
+        let path = tmp("rebuild.wal");
+        let chunks: Vec<ChunkBatch> = (0..5).map(|i| chunk(i, i as f64 * 1.5)).collect();
+        let mut live = StreamingTrial::new("t", 2);
+        {
+            let (mut j, _) = Journal::open(&path, FsyncPolicy::Always).unwrap();
+            for c in &chunks {
+                j.append(&WalRecord::Chunk {
+                    app: "app".into(),
+                    experiment: "exp".into(),
+                    trial: "t".into(),
+                    batch: c.clone(),
+                })
+                .unwrap();
+                live.apply_chunk(c).unwrap();
+            }
+        }
+        let replay = replay_path(&path).unwrap();
+        let streams = replay.live_streams();
+        assert_eq!(streams.len(), 1);
+        let mut rebuilt = StreamingTrial::new("t", 2);
+        for batch in &streams[0].1 {
+            rebuilt.apply_chunk(batch).unwrap();
+        }
+        assert_eq!(rebuilt.trial().profile, live.trial().profile);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -11,7 +11,17 @@
 //! correctness invariant holds: zero escaped panics, every corrupt
 //! upload degraded (and only it), every clean response clean, and the
 //! service's report byte-identical to the strict single-threaded
-//! workflow.
+//! workflow. Smoke then runs three resilience exercises: a saturation
+//! burst against a tiny queue (shed load must be typed, counted, and
+//! recovered by client retry — never OOM, never silently dropped), a
+//! zero-deadline request (typed `DeadlineExceeded`), and a WAL
+//! kill-restart cycle (an acknowledged chunk must never be lost and
+//! the recovered report must be byte-identical to an uninterrupted
+//! run).
+//!
+//! Clients retry shed and breaker-rejected requests with jittered
+//! exponential backoff under a fixed retry budget, the pattern the
+//! service's admission control is designed against.
 //!
 //! `--streaming` switches clients to the analyze-while-ingesting
 //! workload: each client streams its trial as chunks, analyzing after
@@ -30,6 +40,8 @@ struct Args {
     corrupt: usize,
     shards: usize,
     workers: usize,
+    queue: Option<usize>,
+    deadline_ms: Option<u64>,
     smoke: bool,
     streaming: bool,
 }
@@ -42,6 +54,8 @@ fn parse_args() -> Args {
         workers: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4),
+        queue: None,
+        deadline_ms: None,
         smoke: false,
         streaming: false,
     };
@@ -57,6 +71,8 @@ fn parse_args() -> Args {
             "--corrupt" => args.corrupt = num("--corrupt"),
             "--shards" => args.shards = num("--shards"),
             "--workers" => args.workers = num("--workers"),
+            "--queue" => args.queue = Some(num("--queue")),
+            "--deadline-ms" => args.deadline_ms = Some(num("--deadline-ms") as u64),
             "--streaming" => args.streaming = true,
             "--smoke" => {
                 args.smoke = true;
@@ -72,9 +88,66 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("loadgen: {msg}");
     eprintln!(
-        "usage: loadgen [--clients N] [--corrupt N] [--shards N] [--workers N] [--smoke] [--streaming]"
+        "usage: loadgen [--clients N] [--corrupt N] [--shards N] [--workers N]\n\
+         \x20              [--queue N] [--deadline-ms N] [--smoke] [--streaming]"
     );
     std::process::exit(2);
+}
+
+/// Attempts per request before surrendering to backpressure.
+const RETRY_BUDGET: u32 = 5;
+
+/// Seeded xorshift64* — per-client backoff jitter without sharing a
+/// generator across client threads.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// Calls through shed/breaker-open responses with jittered exponential
+/// backoff, spending at most [`RETRY_BUDGET`] retries. Every consumed
+/// shed/open observation is recorded in `result` so the client-side
+/// view stays in exact agreement with the service counters.
+fn call_with_retry(
+    client: &service::ServiceClient,
+    request: Request,
+    deadline: Option<Duration>,
+    rng: &mut XorShift,
+    result: &mut ClientResult,
+) -> Result<Response, String> {
+    let mut attempt = 0u32;
+    loop {
+        let resp = client.call_with_deadline(request.clone(), deadline)?;
+        let retryable = matches!(
+            resp.outcome,
+            Outcome::Overloaded { .. } | Outcome::BreakerOpen { .. }
+        );
+        if !retryable || attempt >= RETRY_BUDGET {
+            return Ok(resp);
+        }
+        match resp.outcome {
+            Outcome::Overloaded { .. } => result.shed_seen += 1,
+            Outcome::BreakerOpen { .. } => result.breaker_seen += 1,
+            _ => unreachable!("only retryable outcomes reach here"),
+        }
+        result.latencies.push(resp.latency);
+        result.retried += 1;
+        // Exponential base (1,2,4,8,16 ms) with full jitter.
+        let base = 1u64 << attempt.min(6);
+        let jitter = rng.next() % (base + 1);
+        std::thread::sleep(Duration::from_millis(base / 2 + jitter / 2 + 1));
+        attempt += 1;
+    }
 }
 
 /// Chunks per streamed trial in `--streaming` mode.
@@ -160,6 +233,14 @@ struct ClientResult {
     /// Streaming clients whose incremental report differed from their
     /// batch report.
     mismatches: usize,
+    /// Backed-off retries spent on shed/breaker-open responses.
+    retried: usize,
+    /// `Overloaded` responses observed (including ones retries consumed).
+    shed_seen: usize,
+    /// `BreakerOpen` responses observed.
+    breaker_seen: usize,
+    /// `DeadlineExceeded` responses observed.
+    deadline_seen: usize,
 }
 
 impl ClientResult {
@@ -171,6 +252,33 @@ impl ClientResult {
             dirty_clean: 0,
             unflagged_corrupt: 0,
             mismatches: 0,
+            retried: 0,
+            shed_seen: 0,
+            breaker_seen: 0,
+            deadline_seen: 0,
+        }
+    }
+
+    /// Books one final response. Typed backpressure outcomes are
+    /// counted, not treated as corruption-flagging failures.
+    fn record(&mut self, r: Result<Response, String>, expect_clean: bool) {
+        match r {
+            Ok(resp) => {
+                self.latencies.push(resp.latency);
+                match resp.outcome {
+                    Outcome::Overloaded { .. } => self.shed_seen += 1,
+                    Outcome::BreakerOpen { .. } => self.breaker_seen += 1,
+                    Outcome::DeadlineExceeded { .. } => self.deadline_seen += 1,
+                    _ => {
+                        if expect_clean && !resp.is_clean() {
+                            self.dirty_clean += 1;
+                        } else if !expect_clean && resp.is_clean() {
+                            self.unflagged_corrupt += 1;
+                        }
+                    }
+                }
+            }
+            Err(_) => self.dirty_clean += 1,
         }
     }
 }
@@ -180,6 +288,7 @@ fn run_client(
     id: usize,
     corrupt: bool,
     template: &Trial,
+    deadline: Option<Duration>,
 ) -> ClientResult {
     // 16 tenant apps × 4 experiments spreads clients across shards
     // while still forcing same-shard neighbours.
@@ -189,46 +298,42 @@ fn run_client(
     upload.name = format!("msa-{id}");
     let document = serde_json::to_string(&upload).expect("serialize upload");
     let mut result = ClientResult::new();
-    let mut push = |r: Result<Response, String>, expect_clean: bool| match r {
-        Ok(resp) => {
-            result.latencies.push(resp.latency);
-            if expect_clean && !resp.is_clean() {
-                result.dirty_clean += 1;
-            } else if !expect_clean && resp.is_clean() {
-                result.unflagged_corrupt += 1;
-            }
-        }
-        Err(_) => result.dirty_clean += 1,
-    };
+    let mut rng = XorShift::new((id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x10ad_c11e);
     if corrupt {
         // Truncated JSON: undecodable document.
-        push(
-            client.call(Request::Ingest {
-                app,
-                experiment,
-                document: document[..document.len() / 2].to_string(),
-            }),
-            false,
-        );
+        let r = client.call(Request::Ingest {
+            app,
+            experiment,
+            document: document[..document.len() / 2].to_string(),
+        });
+        result.record(r, false);
         return result;
     }
-    push(
-        client.call(Request::Ingest {
+    let r = call_with_retry(
+        client,
+        Request::Ingest {
             app: app.clone(),
             experiment: experiment.clone(),
             document,
-        }),
-        true,
+        },
+        deadline,
+        &mut rng,
+        &mut result,
     );
-    push(
-        client.call(Request::AnalyzeBalance {
+    result.record(r, true);
+    let r = call_with_retry(
+        client,
+        Request::AnalyzeBalance {
             app,
             experiment,
             trial: format!("msa-{id}"),
             metric: "TIME".into(),
-        }),
-        true,
+        },
+        deadline,
+        &mut rng,
+        &mut result,
     );
+    result.record(r, true);
     result
 }
 
@@ -352,6 +457,284 @@ fn run_streaming_client(
     result
 }
 
+/// Smoke: a thundering herd against a deliberately tiny queue. Load
+/// must be shed with typed `Overloaded` outcomes — counted exactly,
+/// never queued without bound, never silently dropped — and the retry
+/// budget must land most of the herd anyway.
+fn saturation_exercise(template: &Trial) -> Vec<String> {
+    let mut failures = Vec::new();
+    let svc = AnalysisService::start(ServiceConfig {
+        shards: 2,
+        workers: 1,
+        queue_capacity: 2,
+        ..ServiceConfig::default()
+    });
+    let document = serde_json::to_string(template).expect("serialize template");
+    let clients = 32;
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|id| {
+                let client = svc.client();
+                let document = document.clone();
+                scope.spawn(move || {
+                    let mut result = ClientResult::new();
+                    let mut rng = XorShift::new(0x5a70_12a7 ^ ((id as u64) << 7));
+                    let r = call_with_retry(
+                        &client,
+                        Request::Ingest {
+                            app: format!("sat{}", id % 4),
+                            experiment: "sat".into(),
+                            document,
+                        },
+                        None,
+                        &mut rng,
+                        &mut result,
+                    );
+                    result.record(r, true);
+                    result
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let stats = svc.stats();
+    svc.shutdown();
+    let shed_seen: usize = results.iter().map(|r| r.shed_seen).sum();
+    let retried: usize = results.iter().map(|r| r.retried).sum();
+    let dirty: usize = results.iter().map(|r| r.dirty_clean).sum();
+    println!(
+        "saturation: {clients} clients vs queue of 2: {} sheds observed, {} retries, queue peak {}",
+        shed_seen, retried, stats.queue_peak
+    );
+    if stats.shed == 0 {
+        failures.push("saturation: tiny queue never shed — backpressure untested".into());
+    }
+    if stats.shed != shed_seen as u64 {
+        failures.push(format!(
+            "saturation: service shed {} but clients observed {shed_seen}",
+            stats.shed
+        ));
+    }
+    // No silent drops: every submission is either served by a worker
+    // or typed-shed at admission.
+    let submissions = clients + retried;
+    if stats.requests + stats.shed != submissions as u64 {
+        failures.push(format!(
+            "saturation: {submissions} submissions but requests {} + shed {} — work lost",
+            stats.requests, stats.shed
+        ));
+    }
+    if dirty != 0 {
+        failures.push(format!(
+            "saturation: {dirty} requests failed outside typed backpressure"
+        ));
+    }
+    if stats.panics_isolated != 0 {
+        failures.push("saturation: panic escaped under overload".into());
+    }
+    failures
+}
+
+/// Smoke: a zero deadline must come back as a typed partial outcome
+/// (the queue wait alone exceeds it); a generous one must be served.
+fn deadline_exercise(template: &Trial) -> Vec<String> {
+    let mut failures = Vec::new();
+    let svc = AnalysisService::start(ServiceConfig {
+        shards: 2,
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let client = svc.client();
+    let mut upload = template.clone();
+    upload.name = "msa-deadline".to_string();
+    let document = serde_json::to_string(&upload).expect("serialize upload");
+    let r = client
+        .call(Request::Ingest {
+            app: "dl".into(),
+            experiment: "dl".into(),
+            document,
+        })
+        .expect("service alive");
+    if !r.is_clean() {
+        failures.push("deadline: clean upload degraded".into());
+    }
+    let analyze = Request::AnalyzeBalance {
+        app: "dl".into(),
+        experiment: "dl".into(),
+        trial: "msa-deadline".into(),
+        metric: "TIME".into(),
+    };
+    let r = client
+        .call_with_deadline(analyze.clone(), Some(Duration::ZERO))
+        .expect("service alive");
+    if !matches!(r.outcome, Outcome::DeadlineExceeded { .. }) {
+        failures.push(format!(
+            "deadline: zero deadline was served anyway: {:?}",
+            r.outcome
+        ));
+    }
+    let r = client
+        .call_with_deadline(analyze, Some(Duration::from_secs(30)))
+        .expect("service alive");
+    if !matches!(r.outcome, Outcome::Report { .. }) {
+        failures.push(format!(
+            "deadline: generous deadline not served: {:?}",
+            r.outcome
+        ));
+    }
+    let stats = svc.stats();
+    svc.shutdown();
+    if stats.deadlines_exceeded != 1 {
+        failures.push(format!(
+            "deadline: counter says {} exceeded, expected 1",
+            stats.deadlines_exceeded
+        ));
+    }
+    if failures.is_empty() {
+        println!("deadline: zero deadline typed DeadlineExceeded, generous deadline served");
+    }
+    failures
+}
+
+/// Smoke: one kill→restart→replay→verify cycle through the WAL. Half
+/// the stream is acknowledged into a journaled service, the process
+/// state is discarded, and a restart over the same directory must
+/// replay every acknowledged chunk (redelivery dedups), apply the rest
+/// fresh, and render a report byte-identical to an uninterrupted run.
+fn kill_restart_cycle(template: &Trial) -> Vec<String> {
+    let mut failures = Vec::new();
+    let trial_name = "msa-crash".to_string();
+    let chunks = trial_chunks(template, 6);
+    let send = |client: &service::ServiceClient, chunk: &ChunkBatch| {
+        client
+            .call(Request::IngestChunk {
+                app: "crash".into(),
+                experiment: "kr".into(),
+                trial: trial_name.clone(),
+                chunk: serde_json::to_string(chunk).expect("serialize chunk"),
+            })
+            .expect("service alive")
+    };
+    let analyze = |client: &service::ServiceClient| {
+        client
+            .call(Request::AnalyzeBalance {
+                app: "crash".into(),
+                experiment: "kr".into(),
+                trial: trial_name.clone(),
+                metric: "TIME".into(),
+            })
+            .expect("service alive")
+    };
+
+    // Uninterrupted reference: same stream, no journal, no kill.
+    let reference = {
+        let svc = AnalysisService::start(ServiceConfig {
+            shards: 2,
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let client = svc.client();
+        for chunk in &chunks {
+            if !send(&client, chunk).is_clean() {
+                failures.push("kill-restart: reference delivery degraded".into());
+            }
+        }
+        let rendered = match analyze(&client).outcome {
+            Outcome::Report { rendered, .. } => Some(rendered),
+            other => {
+                failures.push(format!(
+                    "kill-restart: reference analysis failed: {other:?}"
+                ));
+                None
+            }
+        };
+        svc.shutdown();
+        rendered
+    };
+
+    let wal_dir = std::env::temp_dir().join(format!("loadgen-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let config = || ServiceConfig {
+        shards: 2,
+        workers: 2,
+        wal_dir: Some(wal_dir.clone()),
+        // The smoke fast path: still crash-safe against process kills
+        // (the append precedes the ack), just not against power loss.
+        wal_fsync: perfdmf::FsyncPolicy::Never,
+        ..ServiceConfig::default()
+    };
+    let kill_at = (chunks.len() / 2).max(1);
+
+    // Phase 1: acknowledge half the stream, then the "kill" — all
+    // in-memory state is discarded; only the journal directory
+    // survives into the restart.
+    let appends = {
+        let svc = AnalysisService::start(config());
+        let client = svc.client();
+        for (i, chunk) in chunks[..kill_at].iter().enumerate() {
+            match send(&client, chunk).outcome {
+                Outcome::ChunkIngested {
+                    duplicate: false, ..
+                } => {}
+                other => failures.push(format!("kill-restart: ack of chunk {i} failed: {other:?}")),
+            }
+        }
+        let stats = svc.stats();
+        svc.shutdown();
+        (stats.wal_appends, stats.wal_append)
+    };
+
+    // Phase 2: restart over the journal, redeliver the full stream.
+    let svc = AnalysisService::start(config());
+    let stats = svc.stats();
+    println!(
+        "kill-restart: {kill_at} chunks acked ({} wal appends, {:?}); replayed {} in {:?}",
+        appends.0, appends.1, stats.wal_replayed_chunks, stats.wal_replay
+    );
+    if stats.wal_replayed_chunks != kill_at as u64 {
+        failures.push(format!(
+            "kill-restart: replayed {} chunks, expected {kill_at}",
+            stats.wal_replayed_chunks
+        ));
+    }
+    let client = svc.client();
+    for (i, chunk) in chunks.iter().enumerate() {
+        match send(&client, chunk).outcome {
+            Outcome::ChunkIngested { duplicate, .. } => {
+                if i < kill_at && !duplicate {
+                    failures.push(format!(
+                        "kill-restart: acked chunk {i} was lost across the crash"
+                    ));
+                } else if i >= kill_at && duplicate {
+                    failures.push(format!("kill-restart: unacked chunk {i} claims duplicate"));
+                }
+            }
+            other => failures.push(format!(
+                "kill-restart: recovery delivery of chunk {i} failed: {other:?}"
+            )),
+        }
+    }
+    match analyze(&client).outcome {
+        Outcome::Report { rendered, .. } => {
+            if reference.as_deref() == Some(rendered.as_str()) {
+                println!("kill-restart: recovered report byte-identical, zero acked chunks lost");
+            } else {
+                failures
+                    .push("kill-restart: recovered report differs from uninterrupted run".into());
+            }
+        }
+        other => failures.push(format!(
+            "kill-restart: recovered analysis failed: {other:?}"
+        )),
+    }
+    if svc.stats().panics_isolated != 0 {
+        failures.push("kill-restart: panic escaped during recovery".into());
+    }
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    failures
+}
+
 fn main() {
     let args = parse_args();
     let template = template_trial();
@@ -369,11 +752,16 @@ fn main() {
         .expect("strict workflow on the template trial")
         .rendered;
 
-    let svc = AnalysisService::start(ServiceConfig {
+    let mut config = ServiceConfig {
         shards: args.shards,
         workers: args.workers,
         ..ServiceConfig::default()
-    });
+    };
+    if let Some(queue) = args.queue {
+        config.queue_capacity = queue;
+    }
+    let deadline = args.deadline_ms.map(Duration::from_millis);
+    let svc = AnalysisService::start(config);
 
     println!(
         "loadgen: {} clients ({} corrupt), {} shards, {} workers{}",
@@ -399,7 +787,7 @@ fn main() {
                     if streaming {
                         run_streaming_client(&client, id, corrupt, template, chunks)
                     } else {
-                        run_client(&client, id, corrupt, template)
+                        run_client(&client, id, corrupt, template, deadline)
                     }
                 })
             })
@@ -413,6 +801,10 @@ fn main() {
     let total_requests = latencies.len();
     let dirty_clean: usize = results.iter().map(|r| r.dirty_clean).sum();
     let unflagged_corrupt: usize = results.iter().map(|r| r.unflagged_corrupt).sum();
+    let retried: usize = results.iter().map(|r| r.retried).sum();
+    let shed_seen: usize = results.iter().map(|r| r.shed_seen).sum();
+    let breaker_seen: usize = results.iter().map(|r| r.breaker_seen).sum();
+    let deadline_seen: usize = results.iter().map(|r| r.deadline_seen).sum();
 
     println!(
         "requests {}  wall {:?}  throughput {:.0} req/s",
@@ -454,6 +846,10 @@ fn main() {
             }
         );
     }
+    println!(
+        "client-side: {retried} retried, {shed_seen} shed, {breaker_seen} breaker-open, \
+         {deadline_seen} deadline-exceeded"
+    );
     let stats = svc.stats();
     print!("{}", stats.render());
 
@@ -508,7 +904,7 @@ fn main() {
             "{unflagged_corrupt} corrupt uploads were not flagged"
         ));
     }
-    if stats.rejected as usize != args.corrupt {
+    if args.deadline_ms.is_none() && stats.rejected as usize != args.corrupt {
         failures.push(format!(
             "expected exactly {} rejections, saw {}",
             args.corrupt, stats.rejected
@@ -522,7 +918,30 @@ fn main() {
             "{mismatches} streamed trials reported differently from their batch twins"
         ));
     }
+    // Exact accounting: every non-clean outcome the clients saw is
+    // counted by exactly one service counter, and vice versa.
+    if stats.shed != shed_seen as u64 {
+        failures.push(format!(
+            "shed accounting: service {} vs clients {shed_seen}",
+            stats.shed
+        ));
+    }
+    if stats.breaker_fast_fails != breaker_seen as u64 {
+        failures.push(format!(
+            "breaker accounting: service {} fast-fails vs clients {breaker_seen}",
+            stats.breaker_fast_fails
+        ));
+    }
+    if stats.deadlines_exceeded != deadline_seen as u64 {
+        failures.push(format!(
+            "deadline accounting: service {} vs clients {deadline_seen}",
+            stats.deadlines_exceeded
+        ));
+    }
     if args.smoke {
+        failures.extend(saturation_exercise(&template));
+        failures.extend(deadline_exercise(&template));
+        failures.extend(kill_restart_cycle(&template));
         if failures.is_empty() {
             println!("smoke: all invariants hold");
         } else {

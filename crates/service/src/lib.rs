@@ -14,23 +14,40 @@
 //! the worker loop itself wraps handlers in `catch_unwind` as a last
 //! line of defense — a poisoned request can never take down a worker
 //! or leak into a sibling request's response.
+//!
+//! Lifecycle resilience (DESIGN.md §3.12): the worker queue is
+//! *bounded* — a full queue sheds the request with a typed
+//! [`Outcome::Overloaded`] instead of growing without limit; each
+//! request may carry a *deadline* that is checked at dequeue and
+//! propagated into the supervisor's wall budget
+//! ([`Outcome::DeadlineExceeded`]); each shard has a *circuit breaker*
+//! that opens after repeated storage-internal failures
+//! ([`Outcome::BreakerOpen`], recovering via half-open probes); and
+//! streamed chunk ingestion can be backed by per-shard *write-ahead
+//! journals* so a crash-restart cycle loses no acknowledged chunk.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod breaker;
 pub mod metrics;
 pub mod shard;
 
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use metrics::{ServiceMetrics, StatsSnapshot};
 pub use shard::{shard_of, ShardedRepository};
 
-use perfdmf::{Repository, Trial};
+use parking_lot::Mutex;
+use perfdmf::wal::FsyncPolicy;
+use perfdmf::{DmfError, Repository, Trial};
 use perfexplorer::scripting::PerfExplorerScript;
 use perfexplorer::supervise::{DegradeCause, DegradedStage};
 use perfexplorer::workflow::analyze_load_balance_supervised;
 use perfexplorer::SupervisorConfig;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Service tuning knobs.
@@ -46,6 +63,21 @@ pub struct ServiceConfig {
     pub script_cache_capacity: usize,
     /// Budgets for supervised workflow/script stages.
     pub supervisor: SupervisorConfig,
+    /// Worker-queue capacity. Submissions beyond it are shed with
+    /// [`Outcome::Overloaded`] rather than queued without bound. The
+    /// default (1024) comfortably covers the loadgen smoke burst of
+    /// 1000 one-in-flight clients.
+    pub queue_capacity: usize,
+    /// Per-shard circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Directory for per-shard write-ahead journals. `None` (default)
+    /// disables journaling; with a directory set, startup replays any
+    /// existing journals before serving.
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync policy for journal appends. [`FsyncPolicy::Never`] is the
+    /// fast path for tests and the CI smoke lane (still safe against
+    /// process kills — the write precedes the ack).
+    pub wal_fsync: FsyncPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +90,10 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             script_cache_capacity: 32,
             supervisor: SupervisorConfig::default(),
+            queue_capacity: 1024,
+            breaker: BreakerConfig::default(),
+            wal_dir: None,
+            wal_fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -121,6 +157,31 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// The `(app, experiment)` tenant path this request addresses —
+    /// every request kind names one, which is what routes it to a
+    /// shard (and that shard's circuit breaker).
+    pub fn tenant(&self) -> (&str, &str) {
+        match self {
+            Request::Ingest {
+                app, experiment, ..
+            }
+            | Request::IngestChunk {
+                app, experiment, ..
+            }
+            | Request::AnalyzeBalance {
+                app, experiment, ..
+            }
+            | Request::RunScript {
+                app, experiment, ..
+            }
+            | Request::RunSweep {
+                app, experiment, ..
+            } => (app, experiment),
+        }
+    }
+}
+
 /// What came back.
 #[derive(Debug, Clone)]
 pub enum Outcome {
@@ -176,6 +237,25 @@ pub enum Outcome {
         /// Why.
         error: String,
     },
+    /// The worker queue was full; the request was shed at admission
+    /// without reaching a worker. Retry with backoff.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The home shard's circuit breaker is open; the request failed
+    /// fast without touching the shard's storage. Retry after the
+    /// breaker's cooldown.
+    BreakerOpen {
+        /// Index of the shard whose breaker is open.
+        shard: usize,
+    },
+    /// The request's deadline passed before the work completed. Stages
+    /// that finished in time are in the partial report.
+    DeadlineExceeded {
+        /// Partial rendered report, when the report stage still ran.
+        partial: Option<String>,
+    },
 }
 
 /// One served request: outcome, degradation record, and latency.
@@ -191,15 +271,25 @@ pub struct Response {
 }
 
 impl Response {
-    /// Clean means: not rejected and no degraded stages.
+    /// Clean means: no degraded stages and none of the non-served
+    /// outcomes (rejected, shed, breaker-open, deadline-exceeded).
     pub fn is_clean(&self) -> bool {
-        self.degraded.is_empty() && !matches!(self.outcome, Outcome::Rejected { .. })
+        self.degraded.is_empty()
+            && !matches!(
+                self.outcome,
+                Outcome::Rejected { .. }
+                    | Outcome::Overloaded { .. }
+                    | Outcome::BreakerOpen { .. }
+                    | Outcome::DeadlineExceeded { .. }
+            )
     }
 }
 
 struct Job {
     request: Request,
     submitted: Instant,
+    /// Deadline relative to `submitted`; queue wait counts against it.
+    deadline: Option<Duration>,
     reply: std::sync::mpsc::Sender<Response>,
 }
 
@@ -259,27 +349,74 @@ enum WorkerMsg {
 #[derive(Clone)]
 pub struct ServiceClient {
     queue: crossbeam::channel::Sender<WorkerMsg>,
+    metrics: Arc<ServiceMetrics>,
+    capacity: usize,
 }
 
 impl ServiceClient {
     /// Submits a request; the returned receiver yields the response.
     /// Errors only if the service has shut down.
     pub fn submit(&self, request: Request) -> Result<std::sync::mpsc::Receiver<Response>, String> {
+        self.submit_with_deadline(request, None)
+    }
+
+    /// Submits a request with an optional deadline (measured from
+    /// now; queue wait counts against it). Admission control applies:
+    /// if the worker queue is full, the request is *shed* — the
+    /// receiver immediately yields [`Outcome::Overloaded`] instead of
+    /// the submission queuing without bound.
+    pub fn submit_with_deadline(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+    ) -> Result<std::sync::mpsc::Receiver<Response>, String> {
         let (tx, rx) = std::sync::mpsc::channel();
         let job = Job {
             request,
             submitted: Instant::now(),
+            deadline,
             reply: tx,
         };
-        self.queue
-            .send(WorkerMsg::Job(job))
-            .map_err(|_| "service is shut down".to_string())?;
+        // Gauge up BEFORE the send: the worker's decrement at dequeue
+        // must never land before this increment, or the gauge drifts
+        // (dec saturates at zero, the late inc sticks forever).
+        ServiceMetrics::gauge_inc(&self.metrics.queue_depth, &self.metrics.queue_peak);
+        match self.queue.try_send(WorkerMsg::Job(job)) {
+            Ok(()) => {}
+            Err(crossbeam::channel::TrySendError::Full(WorkerMsg::Job(job))) => {
+                ServiceMetrics::gauge_dec(&self.metrics.queue_depth);
+                ServiceMetrics::bump(&self.metrics.shed);
+                let _ = job.reply.send(Response {
+                    outcome: Outcome::Overloaded {
+                        capacity: self.capacity,
+                    },
+                    degraded: Vec::new(),
+                    latency: job.submitted.elapsed(),
+                });
+            }
+            Err(crossbeam::channel::TrySendError::Full(WorkerMsg::Shutdown)) => {
+                unreachable!("clients only submit jobs")
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                ServiceMetrics::gauge_dec(&self.metrics.queue_depth);
+                return Err("service is shut down".to_string());
+            }
+        }
         Ok(rx)
     }
 
     /// Submits and blocks for the response.
     pub fn call(&self, request: Request) -> Result<Response, String> {
-        self.submit(request)?
+        self.call_with_deadline(request, None)
+    }
+
+    /// Submits with a deadline and blocks for the response.
+    pub fn call_with_deadline(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+    ) -> Result<Response, String> {
+        self.submit_with_deadline(request, deadline)?
             .recv()
             .map_err(|_| "service dropped the request".to_string())
     }
@@ -291,43 +428,72 @@ pub struct AnalysisService {
     workers: Vec<std::thread::JoinHandle<()>>,
     store: Arc<ShardedRepository>,
     metrics: Arc<ServiceMetrics>,
+    queue_capacity: usize,
 }
 
 impl AnalysisService {
-    /// Starts a service over an empty store.
+    /// Starts a service over an empty store. With `wal_dir` set in the
+    /// config, any journals a previous (crashed) process left there are
+    /// replayed before serving — see [`ShardedRepository::attach_wal`].
+    ///
+    /// # Panics
+    /// When the configured WAL directory cannot be opened or replayed:
+    /// a service that cannot guarantee its configured durability must
+    /// not start.
     pub fn start(config: ServiceConfig) -> Self {
         let metrics = Arc::new(ServiceMetrics::default());
-        let store = Arc::new(ShardedRepository::new(
+        let store = ShardedRepository::with_breakers(
             config.shards,
             config.cache_capacity,
             metrics.clone(),
-        ));
-        Self::with_store(config, store, metrics)
+            config.breaker.clone(),
+        );
+        match Self::finish(config, store, metrics) {
+            Ok(svc) => svc,
+            Err(e) => panic!("service start: WAL attach failed: {e}"),
+        }
     }
 
     /// Starts a service pre-seeded from an in-memory repository.
+    ///
+    /// # Panics
+    /// As [`AnalysisService::start`], when WAL attach fails.
     pub fn start_with_repository(config: ServiceConfig, repo: Repository) -> Self {
         let metrics = Arc::new(ServiceMetrics::default());
-        let store = Arc::new(ShardedRepository::from_repository(
+        let mut store = ShardedRepository::from_repository(
             repo,
             config.shards,
             config.cache_capacity,
             metrics.clone(),
-        ));
-        Self::with_store(config, store, metrics)
+        );
+        store.set_breaker_config(config.breaker.clone());
+        match Self::finish(config, store, metrics) {
+            Ok(svc) => svc,
+            Err(e) => panic!("service start: WAL attach failed: {e}"),
+        }
     }
 
     /// Starts a service over a repository file (PDB1 becomes the cold
     /// mapped store; JSON loads into the shard overlays).
     pub fn open(config: ServiceConfig, path: &Path) -> perfdmf::Result<Self> {
         let metrics = Arc::new(ServiceMetrics::default());
-        let store = Arc::new(ShardedRepository::open(
-            path,
-            config.shards,
-            config.cache_capacity,
-            metrics.clone(),
-        )?);
-        Ok(Self::with_store(config, store, metrics))
+        let mut store =
+            ShardedRepository::open(path, config.shards, config.cache_capacity, metrics.clone())?;
+        store.set_breaker_config(config.breaker.clone());
+        Self::finish(config, store, metrics)
+    }
+
+    /// Attaches the WAL (replaying any crash leftovers) and spins up
+    /// the worker pool.
+    fn finish(
+        config: ServiceConfig,
+        mut store: ShardedRepository,
+        metrics: Arc<ServiceMetrics>,
+    ) -> perfdmf::Result<Self> {
+        if let Some(dir) = &config.wal_dir {
+            store.attach_wal(dir, config.wal_fsync)?;
+        }
+        Ok(Self::with_store(config, Arc::new(store), metrics))
     }
 
     fn with_store(
@@ -335,7 +501,8 @@ impl AnalysisService {
         store: Arc<ShardedRepository>,
         metrics: Arc<ServiceMetrics>,
     ) -> Self {
-        let (tx, rx) = crossbeam::channel::unbounded::<WorkerMsg>();
+        let queue_capacity = config.queue_capacity.max(1);
+        let (tx, rx) = crossbeam::channel::bounded::<WorkerMsg>(queue_capacity);
         let scripts = Arc::new(Mutex::new(ScriptCache::new(config.script_cache_capacity)));
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -347,7 +514,7 @@ impl AnalysisService {
                 std::thread::Builder::new()
                     .name(format!("svc-worker-{i}"))
                     .spawn(move || worker_loop(rx, store, metrics, supervisor, scripts))
-                    .expect("spawn service worker")
+                    .unwrap_or_else(|e| panic!("spawn service worker: {e}"))
             })
             .collect();
         AnalysisService {
@@ -355,13 +522,21 @@ impl AnalysisService {
             workers,
             store,
             metrics,
+            queue_capacity,
         }
     }
 
     /// A new client handle.
     pub fn client(&self) -> ServiceClient {
-        ServiceClient {
-            queue: self.queue.as_ref().expect("service is running").clone(),
+        match &self.queue {
+            Some(queue) => ServiceClient {
+                queue: queue.clone(),
+                metrics: self.metrics.clone(),
+                capacity: self.queue_capacity,
+            },
+            // The queue is taken only by shutdown (which consumes the
+            // service) or Drop; no `&self` caller can observe it.
+            None => unreachable!("service is running"),
         }
     }
 
@@ -413,36 +588,17 @@ fn worker_loop(
             Ok(WorkerMsg::Job(job)) => job,
             Ok(WorkerMsg::Shutdown) | Err(_) => break,
         };
-        let handle_start = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            handle(&store, &metrics, &supervisor, &scripts, &job.request)
-        }));
-        let (outcome, degraded) = match result {
-            Ok(served) => served,
-            Err(payload) => {
-                // Supervised stages already catch panics; reaching here
-                // means the handler itself blew up. Isolate it to this
-                // request and keep the worker alive.
-                ServiceMetrics::bump(&metrics.panics_isolated);
-                let msg = perfexplorer::supervise::panic_message(payload);
-                (
-                    Outcome::Rejected {
-                        error: format!("internal panic (isolated): {msg}"),
-                    },
-                    vec![DegradedStage {
-                        stage: "request handler".to_string(),
-                        cause: DegradeCause::Panicked(msg),
-                    }],
-                )
-            }
-        };
-        ServiceMetrics::add_nanos(&metrics.busy_nanos, handle_start.elapsed());
+        ServiceMetrics::gauge_dec(&metrics.queue_depth);
+        let (outcome, degraded) = serve_job(&store, &metrics, &supervisor, &scripts, &job);
         ServiceMetrics::bump(&metrics.requests);
         if !degraded.is_empty() {
             ServiceMetrics::bump(&metrics.degraded_responses);
         }
         if matches!(outcome, Outcome::Rejected { .. }) {
             ServiceMetrics::bump(&metrics.rejected);
+        }
+        if matches!(outcome, Outcome::DeadlineExceeded { .. }) {
+            ServiceMetrics::bump(&metrics.deadlines_exceeded);
         }
         let response = Response {
             outcome,
@@ -454,13 +610,143 @@ fn worker_loop(
     }
 }
 
+/// Serves one dequeued job: deadline pre-check, breaker gate, handler
+/// under `catch_unwind`, breaker bookkeeping, deadline conversion.
+fn serve_job(
+    store: &Arc<ShardedRepository>,
+    metrics: &Arc<ServiceMetrics>,
+    supervisor: &SupervisorConfig,
+    scripts: &Arc<Mutex<ScriptCache>>,
+    job: &Job,
+) -> (Outcome, Vec<DegradedStage>) {
+    // A job whose deadline passed while it sat in the queue is answered
+    // without doing (or charging the shard for) any work.
+    let waited = job.submitted.elapsed();
+    if let Some(deadline) = job.deadline {
+        if waited > deadline {
+            return (
+                Outcome::DeadlineExceeded { partial: None },
+                vec![DegradedStage {
+                    stage: "queue wait".to_string(),
+                    cause: DegradeCause::DeadlineExceeded {
+                        elapsed: waited,
+                        deadline,
+                    },
+                }],
+            );
+        }
+    }
+
+    // Breaker gate: an open breaker answers without touching the shard.
+    let (app, experiment) = job.request.tenant();
+    let shard_idx = store.shard_index(app, experiment);
+    let breaker = store.breaker(shard_idx);
+    match breaker.admit() {
+        Admission::Allowed => {}
+        Admission::Probe => ServiceMetrics::bump(&metrics.breaker_probes),
+        Admission::FastFail => {
+            ServiceMetrics::bump(&metrics.breaker_fast_fails);
+            return (
+                Outcome::BreakerOpen { shard: shard_idx },
+                vec![DegradedStage {
+                    stage: "shard admission".to_string(),
+                    cause: DegradeCause::Failed(format!(
+                        "shard {shard_idx} circuit breaker is open"
+                    )),
+                }],
+            );
+        }
+    }
+
+    // Propagate what remains of the deadline into the supervisor's
+    // wall budget, so supervised stages stop starting once it passes.
+    let supervisor = match job.deadline {
+        Some(deadline) => {
+            let mut cfg = supervisor.clone();
+            cfg.deadline = Some(deadline.saturating_sub(waited));
+            cfg
+        }
+        None => supervisor.clone(),
+    };
+
+    let handle_start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        handle(store, metrics, &supervisor, scripts, &job.request)
+    }));
+    ServiceMetrics::add_nanos(&metrics.busy_nanos, handle_start.elapsed());
+    let (outcome, degraded, storage_fault) = match result {
+        Ok(served) => served,
+        Err(payload) => {
+            // Supervised stages already catch panics; reaching here
+            // means the handler itself blew up. Isolate it to this
+            // request and keep the worker alive.
+            ServiceMetrics::bump(&metrics.panics_isolated);
+            let msg = perfexplorer::supervise::panic_message(payload);
+            (
+                Outcome::Rejected {
+                    error: format!("internal panic (isolated): {msg}"),
+                },
+                vec![DegradedStage {
+                    stage: "request handler".to_string(),
+                    cause: DegradeCause::Panicked(msg),
+                }],
+                true,
+            )
+        }
+    };
+
+    // Feed the breaker. Only storage-internal faults count as failures;
+    // client mistakes (unknown trials, bad uploads) must never open a
+    // healthy shard's breaker.
+    if storage_fault {
+        match breaker.record_failure() {
+            breaker::Trip::Opened => {
+                ServiceMetrics::bump(&metrics.breaker_trips);
+                ServiceMetrics::bump(&metrics.breakers_open);
+            }
+            // A re-opened breaker never closed; the gauge already
+            // counts it.
+            breaker::Trip::Reopened => ServiceMetrics::bump(&metrics.breaker_trips),
+            breaker::Trip::None => {}
+        }
+    } else if breaker.record_success() {
+        ServiceMetrics::gauge_dec(&metrics.breakers_open);
+    }
+
+    // A supervised stage skipped for the deadline converts the whole
+    // response into the typed deadline outcome, keeping whatever
+    // partial report completed in time.
+    let deadline_hit = degraded
+        .iter()
+        .any(|d| matches!(d.cause, DegradeCause::DeadlineExceeded { .. }));
+    if deadline_hit {
+        let partial = match outcome {
+            Outcome::Report { rendered, .. } => Some(rendered),
+            _ => None,
+        };
+        return (Outcome::DeadlineExceeded { partial }, degraded);
+    }
+    (outcome, degraded)
+}
+
+/// Whether a repository error points at the store itself (corrupt
+/// pages, I/O failures, undecodable stored documents) rather than the
+/// client's request (unknown paths, incompatible uploads). Only
+/// storage faults feed the shard's circuit breaker.
+fn is_storage_fault(e: &DmfError) -> bool {
+    matches!(
+        e,
+        DmfError::Parse { .. } | DmfError::Io(_) | DmfError::Json(_)
+    )
+}
+
 fn handle(
     store: &ShardedRepository,
     metrics: &Arc<ServiceMetrics>,
     supervisor: &SupervisorConfig,
     scripts: &Mutex<ScriptCache>,
     request: &Request,
-) -> (Outcome, Vec<DegradedStage>) {
+) -> (Outcome, Vec<DegradedStage>, bool) {
     match request {
         Request::Ingest {
             app,
@@ -472,7 +758,7 @@ fn handle(
                 Ok(trial) => {
                     let name = trial.name.clone();
                     store.ingest(app, experiment, trial);
-                    (Outcome::Ingested { trial: name }, Vec::new())
+                    (Outcome::Ingested { trial: name }, Vec::new(), false)
                 }
                 Err(e) => (
                     Outcome::Rejected {
@@ -482,6 +768,7 @@ fn handle(
                         stage: "parse upload".to_string(),
                         cause: DegradeCause::Failed(e.to_string()),
                     }],
+                    false,
                 ),
             }
         }
@@ -503,6 +790,7 @@ fn handle(
                             stage: "parse chunk".to_string(),
                             cause: DegradeCause::Failed(e.to_string()),
                         }],
+                        false,
                     )
                 }
             };
@@ -516,16 +804,23 @@ fn handle(
                         dropped_cells: applied.dropped_cells,
                     },
                     Vec::new(),
+                    false,
                 ),
-                Err(e) => (
-                    Outcome::Rejected {
-                        error: format!("chunk not applied: {e}"),
-                    },
-                    vec![DegradedStage {
-                        stage: "apply chunk".to_string(),
-                        cause: DegradeCause::Failed(e.to_string()),
-                    }],
-                ),
+                // A failed journal append (I/O) is a storage fault; an
+                // incompatible batch is the client's.
+                Err(e) => {
+                    let fault = is_storage_fault(&e);
+                    (
+                        Outcome::Rejected {
+                            error: format!("chunk not applied: {e}"),
+                        },
+                        vec![DegradedStage {
+                            stage: "apply chunk".to_string(),
+                            cause: DegradeCause::Failed(e.to_string()),
+                        }],
+                        fault,
+                    )
+                }
             }
         }
         Request::AnalyzeBalance {
@@ -552,6 +847,7 @@ fn handle(
                                 diagnoses: report.report.diagnoses.len(),
                             },
                             Vec::new(),
+                            false,
                         )
                     }
                     Err(e) => (
@@ -562,6 +858,7 @@ fn handle(
                             stage: "incremental analysis".to_string(),
                             cause: DegradeCause::Failed(e.to_string()),
                         }],
+                        false,
                     ),
                 };
             }
@@ -574,17 +871,25 @@ fn handle(
                             diagnoses: report.report.diagnoses.len(),
                         },
                         report.degraded,
+                        false,
                     )
                 }
-                Err(e) => (
-                    Outcome::Rejected {
-                        error: e.to_string(),
-                    },
-                    vec![DegradedStage {
-                        stage: "trial lookup".to_string(),
-                        cause: DegradeCause::Failed(e.to_string()),
-                    }],
-                ),
+                // A corrupt cold page failing lazy checksum
+                // verification surfaces here as a Parse error — the
+                // canonical breaker-feeding storage fault.
+                Err(e) => {
+                    let fault = is_storage_fault(&e);
+                    (
+                        Outcome::Rejected {
+                            error: e.to_string(),
+                        },
+                        vec![DegradedStage {
+                            stage: "trial lookup".to_string(),
+                            cause: DegradeCause::Failed(e.to_string()),
+                        }],
+                        fault,
+                    )
+                }
             }
         }
         Request::RunScript {
@@ -603,17 +908,22 @@ fn handle(
                             printed: run.printed,
                         },
                         run.degraded,
+                        false,
                     )
                 }
-                Err(e) => (
-                    Outcome::Rejected {
-                        error: e.to_string(),
-                    },
-                    vec![DegradedStage {
-                        stage: "experiment snapshot".to_string(),
-                        cause: DegradeCause::Failed(e.to_string()),
-                    }],
-                ),
+                Err(e) => {
+                    let fault = is_storage_fault(&e);
+                    (
+                        Outcome::Rejected {
+                            error: e.to_string(),
+                        },
+                        vec![DegradedStage {
+                            stage: "experiment snapshot".to_string(),
+                            cause: DegradeCause::Failed(e.to_string()),
+                        }],
+                        fault,
+                    )
+                }
             }
         }
         Request::RunSweep {
@@ -625,6 +935,7 @@ fn handle(
             let snapshot = match store.snapshot_experiment(app, experiment) {
                 Ok(snapshot) => snapshot,
                 Err(e) => {
+                    let fault = is_storage_fault(&e);
                     return (
                         Outcome::Rejected {
                             error: e.to_string(),
@@ -633,7 +944,8 @@ fn handle(
                             stage: "experiment snapshot".to_string(),
                             cause: DegradeCause::Failed(e.to_string()),
                         }],
-                    )
+                        fault,
+                    );
                 }
             };
             let mut session = PerfExplorerScript::new(snapshot);
@@ -657,7 +969,7 @@ fn handle(
             }
 
             let key = ScriptCache::key(source);
-            let cached = scripts.lock().expect("script cache lock").get(key);
+            let cached = scripts.lock().get(key);
             let hit = cached.is_some();
             let program = match cached {
                 Some(program) => {
@@ -669,10 +981,7 @@ fn handle(
                     match session.compile_portable(source) {
                         Ok(program) => {
                             let program = Arc::new(program);
-                            scripts
-                                .lock()
-                                .expect("script cache lock")
-                                .put(key, Arc::clone(&program));
+                            scripts.lock().put(key, Arc::clone(&program));
                             program
                         }
                         Err(e) => {
@@ -684,6 +993,7 @@ fn handle(
                                     stage: "compile sweep script".to_string(),
                                     cause: DegradeCause::Failed(e.to_string()),
                                 }],
+                                false,
                             )
                         }
                     }
@@ -700,6 +1010,7 @@ fn handle(
                     cached: hit,
                 },
                 run.degraded,
+                false,
             )
         }
     }

@@ -3,6 +3,8 @@
 //! endpoint. Counters only — no histograms, no background thread — so
 //! the hot path pays a handful of relaxed atomic adds per request.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -58,6 +60,34 @@ pub struct ServiceMetrics {
     pub lock_wait_nanos: AtomicU64,
     /// Total worker time spent inside request handlers, in nanoseconds.
     pub busy_nanos: AtomicU64,
+    /// Jobs currently sitting in the worker queue (gauge: incremented
+    /// on enqueue, decremented on dequeue).
+    pub queue_depth: AtomicU64,
+    /// Deepest the queue has been (high-water mark of the gauge).
+    pub queue_peak: AtomicU64,
+    /// Requests shed at admission because the queue was full
+    /// ([`crate::Outcome::Overloaded`]).
+    pub shed: AtomicU64,
+    /// Requests that hit their deadline — skipped stages or answered
+    /// without work ([`crate::Outcome::DeadlineExceeded`]).
+    pub deadlines_exceeded: AtomicU64,
+    /// Circuit breakers tripped open (per transition, not per shard).
+    pub breaker_trips: AtomicU64,
+    /// Requests failed fast by an open breaker without touching the
+    /// shard ([`crate::Outcome::BreakerOpen`]).
+    pub breaker_fast_fails: AtomicU64,
+    /// Requests admitted as half-open probes.
+    pub breaker_probes: AtomicU64,
+    /// Breakers currently open or half-open (gauge).
+    pub breakers_open: AtomicU64,
+    /// Chunk records appended to a shard write-ahead journal.
+    pub wal_appends: AtomicU64,
+    /// Total time spent appending (and fsyncing) journal records.
+    pub wal_append_nanos: AtomicU64,
+    /// Chunk records replayed out of journals at startup.
+    pub wal_replayed_chunks: AtomicU64,
+    /// Total time spent replaying journals at startup.
+    pub wal_replay_nanos: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -69,6 +99,21 @@ impl ServiceMetrics {
     /// Accumulates a duration into a nanosecond counter.
     pub fn add_nanos(counter: &AtomicU64, d: Duration) {
         counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Increments a gauge, folding the new value into its high-water
+    /// mark.
+    pub fn gauge_inc(gauge: &AtomicU64, peak: &AtomicU64) {
+        let now = gauge.fetch_add(1, Ordering::Relaxed) + 1;
+        peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge, saturating at zero (a shed job was never
+    /// enqueued, so the pairing is the caller's responsibility).
+    pub fn gauge_dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
     }
 
     /// A point-in-time copy of every counter.
@@ -94,6 +139,18 @@ impl ServiceMetrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             lock_wait: Duration::from_nanos(self.lock_wait_nanos.load(Ordering::Relaxed)),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
+            breakers_open: self.breakers_open.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_append: Duration::from_nanos(self.wal_append_nanos.load(Ordering::Relaxed)),
+            wal_replayed_chunks: self.wal_replayed_chunks.load(Ordering::Relaxed),
+            wal_replay: Duration::from_nanos(self.wal_replay_nanos.load(Ordering::Relaxed)),
         }
     }
 }
@@ -142,6 +199,30 @@ pub struct StatsSnapshot {
     pub lock_wait: Duration,
     /// Cumulative handler time.
     pub busy: Duration,
+    /// Jobs in the worker queue right now.
+    pub queue_depth: u64,
+    /// Deepest the queue has been.
+    pub queue_peak: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Requests that hit their deadline.
+    pub deadlines_exceeded: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Requests failed fast by an open breaker.
+    pub breaker_fast_fails: u64,
+    /// Half-open probe requests admitted.
+    pub breaker_probes: u64,
+    /// Breakers open or half-open right now.
+    pub breakers_open: u64,
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// Cumulative WAL append (incl. fsync) time.
+    pub wal_append: Duration,
+    /// WAL chunk records replayed at startup.
+    pub wal_replayed_chunks: u64,
+    /// Cumulative WAL replay time.
+    pub wal_replay: Duration,
 }
 
 impl StatsSnapshot {
@@ -170,6 +251,10 @@ impl StatsSnapshot {
              degraded responses  {}\n\
              rejected            {}\n\
              panics isolated     {}\n\
+             shed (overloaded)   {} (queue depth {}, peak {})\n\
+             deadlines exceeded  {}\n\
+             breaker             {} trips, {} fast-fails, {} probes, {} open\n\
+             wal                 {} appends ({:?}), {} replayed ({:?})\n\
              cache hits/misses   {}/{} ({:.1}% hit)\n\
              lock wait           {:?}\n\
              handler time        {:?}\n",
@@ -189,6 +274,18 @@ impl StatsSnapshot {
             self.degraded_responses,
             self.rejected,
             self.panics_isolated,
+            self.shed,
+            self.queue_depth,
+            self.queue_peak,
+            self.deadlines_exceeded,
+            self.breaker_trips,
+            self.breaker_fast_fails,
+            self.breaker_probes,
+            self.breakers_open,
+            self.wal_appends,
+            self.wal_append,
+            self.wal_replayed_chunks,
+            self.wal_replay,
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate() * 100.0,
@@ -215,6 +312,21 @@ mod tests {
         assert_eq!(s.lock_wait, Duration::from_micros(5));
         assert_eq!(s.cache_hit_rate(), 1.0);
         assert!(s.render().contains("requests            2"));
+    }
+
+    #[test]
+    fn gauges_track_depth_and_peak() {
+        let m = ServiceMetrics::default();
+        ServiceMetrics::gauge_inc(&m.queue_depth, &m.queue_peak);
+        ServiceMetrics::gauge_inc(&m.queue_depth, &m.queue_peak);
+        ServiceMetrics::gauge_dec(&m.queue_depth);
+        let s = m.snapshot();
+        assert_eq!((s.queue_depth, s.queue_peak), (1, 2));
+        // Saturates rather than underflowing.
+        ServiceMetrics::gauge_dec(&m.queue_depth);
+        ServiceMetrics::gauge_dec(&m.queue_depth);
+        assert_eq!(m.snapshot().queue_depth, 0);
+        assert!(m.snapshot().render().contains("shed (overloaded)"));
     }
 
     #[test]

@@ -11,9 +11,27 @@
 //! The cache holds *only* cold trials. Overlay trials are served
 //! straight from the overlay, so an upsert can never be shadowed by a
 //! stale cached copy: the overlay is always consulted first.
+//!
+//! ## Resilience
+//!
+//! Each shard can additionally carry a write-ahead [`Journal`] for its
+//! streamed trials (attached by [`ShardedRepository::attach_wal`]): a
+//! chunk is journaled *before* it is applied, so an acknowledged chunk
+//! is always recoverable, and [`attach_wal`] on a fresh store replays
+//! the journals to rebuild every in-flight stream a crash lost. Each
+//! shard also owns a [`CircuitBreaker`]; the worker loop consults it
+//! before touching the shard and reports storage-internal failures
+//! into it, so a persistently corrupt shard fails fast instead of
+//! absorbing work forever.
+//!
+//! [`attach_wal`]: ShardedRepository::attach_wal
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::metrics::ServiceMetrics;
 use parking_lot::Mutex;
+use perfdmf::wal::{FsyncPolicy, Journal, WalRecord};
 use perfdmf::{
     AppliedChunk, ChunkBatch, MappedRepository, Repository, SharedRepository, StreamingTrial, Trial,
 };
@@ -22,6 +40,7 @@ use perfexplorer::AnalysisState;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// FNV-1a over the tenant path. Stable across runs (no RandomState), so
 /// shard assignment is reproducible in tests and logs.
@@ -39,11 +58,13 @@ pub fn shard_of(app: &str, experiment: &str, shards: usize) -> usize {
 fn paths_of(repo: &Repository) -> Vec<(String, String, String)> {
     let mut paths = Vec::new();
     for app in repo.application_names() {
-        let application = repo.application(app).expect("listed application exists");
+        let Ok(application) = repo.application(app) else {
+            continue;
+        };
         for exp_name in application.experiment_names() {
-            let exp = repo
-                .experiment(app, exp_name)
-                .expect("listed experiment exists");
+            let Ok(exp) = repo.experiment(app, exp_name) else {
+                continue;
+            };
             for trial_name in exp.trial_names() {
                 paths.push((
                     app.to_string(),
@@ -116,6 +137,12 @@ struct Shard {
     /// upsert at the same path deletes the entry (the overlay shadow
     /// rule), discarding any cached incremental state with it.
     streams: Mutex<HashMap<(String, String, String), StreamEntry>>,
+    /// Write-ahead journal for this shard's streams; `None` until
+    /// [`ShardedRepository::attach_wal`].
+    journal: Option<Mutex<Journal>>,
+    /// This shard's circuit breaker. Always present; the worker loop
+    /// consults it before any shard access.
+    breaker: CircuitBreaker,
 }
 
 /// Trials partitioned by `(app, experiment)` hash across N shards,
@@ -127,8 +154,19 @@ pub struct ShardedRepository {
 }
 
 impl ShardedRepository {
-    /// An empty sharded store with no cold backing.
+    /// An empty sharded store with no cold backing and default breaker
+    /// tuning.
     pub fn new(shards: usize, cache_capacity: usize, metrics: Arc<ServiceMetrics>) -> Self {
+        Self::with_breakers(shards, cache_capacity, metrics, BreakerConfig::default())
+    }
+
+    /// An empty sharded store with explicit breaker tuning.
+    pub fn with_breakers(
+        shards: usize,
+        cache_capacity: usize,
+        metrics: Arc<ServiceMetrics>,
+        breaker: BreakerConfig,
+    ) -> Self {
         assert!(shards > 0, "shard count must be positive");
         ShardedRepository {
             shards: (0..shards)
@@ -136,6 +174,8 @@ impl ShardedRepository {
                     overlay: SharedRepository::new(),
                     cache: Mutex::new(LruCache::new(cache_capacity)),
                     streams: Mutex::new(HashMap::new()),
+                    journal: None,
+                    breaker: CircuitBreaker::new(breaker.clone()),
                 })
                 .collect(),
             cold: None,
@@ -180,17 +220,82 @@ impl ShardedRepository {
     fn absorb(&mut self, repo: Repository) {
         for (app, exp_name, trial_name) in paths_of(&repo) {
             let shard = &self.shards[shard_of(&app, &exp_name, self.shards.len())];
-            let trial = repo
-                .trial(&app, &exp_name, &trial_name)
-                .expect("listed trial exists")
-                .clone();
-            shard.overlay.upsert_trial(&app, &exp_name, trial);
+            let Ok(trial) = repo.trial(&app, &exp_name, &trial_name) else {
+                continue;
+            };
+            shard.overlay.upsert_trial(&app, &exp_name, trial.clone());
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The shard index serving this tenant path.
+    pub fn shard_index(&self, app: &str, experiment: &str) -> usize {
+        shard_of(app, experiment, self.shards.len())
+    }
+
+    /// The circuit breaker guarding one shard.
+    pub fn breaker(&self, shard: usize) -> &CircuitBreaker {
+        &self.shards[shard].breaker
+    }
+
+    /// Replaces every shard's breaker with a fresh one under `config`.
+    /// Intended for service startup, before any requests flow.
+    pub fn set_breaker_config(&mut self, config: BreakerConfig) {
+        for shard in &mut self.shards {
+            shard.breaker = CircuitBreaker::new(config.clone());
+        }
+    }
+
+    /// Whether any shard has a write-ahead journal attached.
+    pub fn wal_enabled(&self) -> bool {
+        self.shards.iter().any(|s| s.journal.is_some())
+    }
+
+    /// Attaches per-shard write-ahead journals under `dir`
+    /// (`shard-<i>.wal`), replaying any existing journals first: every
+    /// live stream a previous process acknowledged chunks into is
+    /// rebuilt — bootstrapped from stored data exactly as
+    /// [`ShardedRepository::ingest_chunk`] would, then fed its journaled
+    /// chunks in order — so the first analysis after a crash sees the
+    /// same bytes an uninterrupted run would have produced. Torn tails
+    /// (a crash mid-append) are truncated; the discarded chunk was
+    /// never acknowledged.
+    pub fn attach_wal(&mut self, dir: &Path, policy: FsyncPolicy) -> perfdmf::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let start = Instant::now();
+        let mut recovered = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let (journal, replay) = Journal::open(&dir.join(format!("shard-{i}.wal")), policy)?;
+            shard.journal = Some(Mutex::new(journal));
+            for (key, batches) in replay.live_streams() {
+                let owned: Vec<ChunkBatch> = batches.into_iter().cloned().collect();
+                recovered.push((key, owned));
+            }
+        }
+        let mut replayed = 0u64;
+        for ((app, experiment, trial), batches) in recovered {
+            let shard = &self.shards[shard_of(&app, &experiment, self.shards.len())];
+            for batch in batches {
+                // A journaled chunk that no longer applies (e.g. the
+                // bootstrap trial changed shape under it) degrades that
+                // chunk alone, exactly as live ingestion would have.
+                if self
+                    .apply_to_stream(shard, &app, &experiment, &trial, &batch)
+                    .is_ok()
+                {
+                    replayed += 1;
+                }
+            }
+        }
+        self.metrics
+            .wal_replayed_chunks
+            .fetch_add(replayed, std::sync::atomic::Ordering::Relaxed);
+        ServiceMetrics::add_nanos(&self.metrics.wal_replay_nanos, start.elapsed());
+        Ok(())
     }
 
     /// Inserts or replaces a trial in its home shard's overlay.
@@ -209,6 +314,18 @@ impl ShardedRepository {
         ServiceMetrics::add_nanos(&self.metrics.lock_wait_nanos, waited);
         if shard.streams.lock().remove(&key).is_some() {
             ServiceMetrics::bump(&self.metrics.state_invalidations);
+            // Tombstone the retired stream so a replay after restart
+            // does not resurrect chunks the upsert just shadowed.
+            // Best-effort: if the tombstone cannot be written the
+            // upserted trial itself is in the (unjournaled) overlay, so
+            // restart behavior is unchanged either way.
+            if let Some(journal) = &shard.journal {
+                let _ = journal.lock().append(&WalRecord::Retire {
+                    app: key.0,
+                    experiment: key.1,
+                    trial: key.2,
+                });
+            }
         }
     }
 
@@ -271,6 +388,11 @@ impl ShardedRepository {
     /// cached for the stream it is updated in place (the O(Δ) path); an
     /// update failure drops the state so the next analysis rebuilds it
     /// from scratch rather than serving from a half-updated cache.
+    /// When a journal is attached, the chunk is appended to it *before*
+    /// it is applied (and before the caller can acknowledge it), so a
+    /// crash at any instant leaves every acknowledged chunk
+    /// recoverable; redelivered duplicates are detected up front and
+    /// not re-journaled.
     pub fn ingest_chunk(
         &self,
         app: &str,
@@ -279,6 +401,19 @@ impl ShardedRepository {
         batch: &ChunkBatch,
     ) -> perfdmf::Result<AppliedChunk> {
         let shard = &self.shards[shard_of(app, experiment, self.shards.len())];
+        self.apply_to_stream(shard, app, experiment, trial, batch)
+    }
+
+    /// The shared chunk path: bootstrap the stream if needed, journal
+    /// novel chunks, apply, keep any warmed incremental state current.
+    fn apply_to_stream(
+        &self,
+        shard: &Shard,
+        app: &str,
+        experiment: &str,
+        trial: &str,
+        batch: &ChunkBatch,
+    ) -> perfdmf::Result<AppliedChunk> {
         let key = (app.to_string(), experiment.to_string(), trial.to_string());
         let mut streams = shard.streams.lock();
         let entry = match streams.entry(key.clone()) {
@@ -294,6 +429,19 @@ impl ShardedRepository {
                 })
             }
         };
+        if let Some(journal) = &shard.journal {
+            if !entry.stream.contains_seq(batch.seq) {
+                let start = Instant::now();
+                journal.lock().append(&WalRecord::Chunk {
+                    app: app.to_string(),
+                    experiment: experiment.to_string(),
+                    trial: trial.to_string(),
+                    batch: batch.clone(),
+                })?;
+                ServiceMetrics::bump(&self.metrics.wal_appends);
+                ServiceMetrics::add_nanos(&self.metrics.wal_append_nanos, start.elapsed());
+            }
+        }
         let applied = entry.stream.apply_chunk(batch)?;
         if let Some(state) = entry.state.as_mut() {
             if state.update(entry.stream.trial(), &applied).is_err() {
@@ -330,8 +478,13 @@ impl ShardedRepository {
                 Err(e) => return Some(Err(e)),
             },
         };
-        let state = entry.state.as_ref().expect("state just ensured");
-        Some(state.report().map(|r| (r, rebuilt)))
+        // The state was ensured just above; the None arm exists only to
+        // satisfy the no-unwrap discipline and falls back to the batch
+        // path.
+        entry
+            .state
+            .as_ref()
+            .map(|state| state.report().map(|r| (r, rebuilt)))
     }
 
     /// Number of in-flight streamed trials across all shards.

@@ -1,0 +1,444 @@
+//! Resilience tests: load shedding under saturation, request
+//! deadlines, WAL crash recovery, LRU churn under cache pressure, and
+//! per-shard circuit breakers.
+
+use perfdmf::{ChunkBatch, ColumnDelta, Measurement, Repository, Trial, TrialBuilder};
+use service::{shard_of, AnalysisService, BreakerConfig, Outcome, Request, ServiceConfig};
+use std::time::Duration;
+
+fn trial(name: &str, threads: usize) -> Trial {
+    let mut b = TrialBuilder::with_flat_threads(name, threads);
+    let t = b.metric("TIME");
+    let e = b.event("main");
+    for th in 0..threads {
+        b.set(e, t, th, Measurement::leaf(1.0 + th as f64));
+    }
+    b.build()
+}
+
+fn trial_json(name: &str, threads: usize) -> String {
+    serde_json::to_string(&trial(name, threads)).unwrap()
+}
+
+/// A deterministic stream of `n` chunks over one "main" column; the
+/// applied sum differs per chunk so replay or loss would change the
+/// report.
+fn stream_chunks(n: u64, threads: u32) -> Vec<ChunkBatch> {
+    (0..n)
+        .map(|seq| ChunkBatch {
+            seq,
+            threads,
+            deltas: vec![ColumnDelta {
+                metric: "TIME".into(),
+                event: "main".into(),
+                event_kind: None,
+                cells: (0..threads)
+                    .map(|th| (th, Measurement::leaf(0.25 + seq as f64 + th as f64)))
+                    .collect(),
+            }],
+        })
+        .collect()
+}
+
+fn ingest_chunk(client: &service::ServiceClient, trial: &str, batch: &ChunkBatch) -> Outcome {
+    client
+        .call(Request::IngestChunk {
+            app: "app".into(),
+            experiment: "exp".into(),
+            trial: trial.into(),
+            chunk: serde_json::to_string(batch).unwrap(),
+        })
+        .unwrap()
+        .outcome
+}
+
+fn analyze(client: &service::ServiceClient, app: &str, trial: &str) -> service::Response {
+    client
+        .call(Request::AnalyzeBalance {
+            app: app.into(),
+            experiment: "exp".into(),
+            trial: trial.into(),
+            metric: "TIME".into(),
+        })
+        .unwrap()
+}
+
+/// Saturating a one-worker, one-slot service sheds with the typed
+/// `Overloaded` outcome — submissions neither block nor queue without
+/// bound — and nothing admitted is lost.
+#[test]
+fn saturation_sheds_with_typed_overloaded() {
+    let svc = AnalysisService::start(ServiceConfig {
+        workers: 1,
+        shards: 2,
+        queue_capacity: 1,
+        ..ServiceConfig::default()
+    });
+    let client = svc.client();
+    client
+        .call(Request::Ingest {
+            app: "app".into(),
+            experiment: "exp".into(),
+            document: trial_json("t", 4),
+        })
+        .unwrap();
+
+    // Occupy the single worker with a long-running script (well under
+    // the engine's 50M step limit, but hundreds of milliseconds of
+    // work), then fill the one queue slot behind it.
+    let slow = client
+        .submit(Request::RunScript {
+            app: "app".into(),
+            experiment: "exp".into(),
+            source: "let i = 0; while i < 4000000 { i = i + 1; } i".into(),
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = client
+        .submit(Request::AnalyzeBalance {
+            app: "app".into(),
+            experiment: "exp".into(),
+            trial: "t".into(),
+            metric: "TIME".into(),
+        })
+        .unwrap();
+
+    // The worker is busy and the queue is full: further submissions
+    // come back shed, immediately and typed.
+    let mut shed = 0;
+    for _ in 0..4 {
+        let resp = analyze(&client, "app", "t");
+        match resp.outcome {
+            Outcome::Overloaded { capacity } => {
+                assert_eq!(capacity, 1);
+                shed += 1;
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+    assert_eq!(shed, 4);
+
+    // Nothing admitted was lost: the slow script and the queued
+    // analysis both complete cleanly once the worker frees up.
+    let slow = slow.recv().unwrap();
+    assert!(slow.is_clean(), "{slow:?}");
+    let queued = queued.recv().unwrap();
+    assert!(queued.is_clean(), "{queued:?}");
+
+    let stats = svc.stats();
+    assert_eq!(stats.shed, 4, "every Overloaded response is counted");
+    assert_eq!(stats.requests, 3, "ingest + script + queued analysis");
+    assert_eq!(stats.queue_depth, 0, "gauge returns to zero after drain");
+    assert!(stats.queue_peak >= 1);
+    assert_eq!(stats.panics_isolated, 0);
+    svc.shutdown();
+}
+
+/// A deadline that has already passed is answered with the typed
+/// outcome without doing work; a generous one serves normally.
+#[test]
+fn expired_deadline_yields_typed_outcome() {
+    let svc = AnalysisService::start(ServiceConfig {
+        workers: 1,
+        shards: 2,
+        ..ServiceConfig::default()
+    });
+    let client = svc.client();
+    client
+        .call(Request::Ingest {
+            app: "app".into(),
+            experiment: "exp".into(),
+            document: trial_json("t", 8),
+        })
+        .unwrap();
+
+    let request = Request::AnalyzeBalance {
+        app: "app".into(),
+        experiment: "exp".into(),
+        trial: "t".into(),
+        metric: "TIME".into(),
+    };
+    let resp = client
+        .call_with_deadline(request.clone(), Some(Duration::ZERO))
+        .unwrap();
+    assert!(
+        matches!(resp.outcome, Outcome::DeadlineExceeded { partial: None }),
+        "zero deadline expires in the queue: {resp:?}"
+    );
+    assert!(!resp.is_clean());
+
+    // The same request with room to run is served clean and
+    // byte-identical to the strict workflow.
+    let resp = client
+        .call_with_deadline(request, Some(Duration::from_secs(30)))
+        .unwrap();
+    assert!(resp.is_clean(), "{resp:?}");
+    let rendered = match resp.outcome {
+        Outcome::Report { rendered, .. } => rendered,
+        other => panic!("expected report, got {other:?}"),
+    };
+    let strict = perfexplorer::workflow::analyze_load_balance(&trial("t", 8), "TIME")
+        .unwrap()
+        .rendered;
+    assert_eq!(rendered, strict);
+
+    let stats = svc.stats();
+    assert_eq!(stats.deadlines_exceeded, 1);
+    assert_eq!(stats.rejected, 0, "a missed deadline is not a rejection");
+    svc.shutdown();
+}
+
+/// Kill the service mid-stream, restart over the same WAL directory:
+/// every acked chunk is replayed, redelivery dedups, the stream stays
+/// live, and the recovered report is byte-identical.
+#[test]
+fn wal_restart_replays_acked_chunks_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("svc-resilience-wal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = ServiceConfig {
+        workers: 2,
+        shards: 2,
+        wal_dir: Some(dir.clone()),
+        wal_fsync: perfdmf::FsyncPolicy::Never,
+        ..ServiceConfig::default()
+    };
+    let chunks = stream_chunks(6, 4);
+
+    // First life: stream and ack six chunks, keep the report.
+    let svc = AnalysisService::start(config.clone());
+    let client = svc.client();
+    for batch in &chunks {
+        match ingest_chunk(&client, "stream", batch) {
+            Outcome::ChunkIngested { duplicate, .. } => assert!(!duplicate),
+            other => panic!("expected chunk ack, got {other:?}"),
+        }
+    }
+    let reference = match analyze(&client, "app", "stream").outcome {
+        Outcome::Report { rendered, .. } => rendered,
+        other => panic!("expected report, got {other:?}"),
+    };
+    assert_eq!(svc.stats().wal_appends, 6, "one journal record per ack");
+    svc.shutdown();
+
+    // Second life: a fresh process over the same WAL directory rebuilds
+    // the stream from the journal alone.
+    let svc = AnalysisService::start(config);
+    let client = svc.client();
+    let stats = svc.stats();
+    assert_eq!(stats.wal_replayed_chunks, 6, "every acked chunk replayed");
+
+    // Redelivery of every acked chunk is suppressed as a duplicate.
+    for batch in &chunks {
+        match ingest_chunk(&client, "stream", batch) {
+            Outcome::ChunkIngested { duplicate, seq, .. } => {
+                assert!(duplicate, "replayed seq {seq} must dedup");
+            }
+            other => panic!("expected chunk ack, got {other:?}"),
+        }
+    }
+    let recovered = match analyze(&client, "app", "stream").outcome {
+        Outcome::Report { rendered, .. } => rendered,
+        other => panic!("expected report, got {other:?}"),
+    };
+    assert_eq!(
+        recovered, reference,
+        "recovered stream must render byte-identically"
+    );
+
+    // The recovered stream is live, not sealed: a fresh chunk applies.
+    let fresh = &stream_chunks(7, 4)[6];
+    match ingest_chunk(&client, "stream", fresh) {
+        Outcome::ChunkIngested {
+            duplicate,
+            applied_cells,
+            ..
+        } => {
+            assert!(!duplicate);
+            assert_eq!(applied_cells, 4);
+        }
+        other => panic!("expected chunk ack, got {other:?}"),
+    }
+    assert_eq!(svc.stats().panics_isolated, 0);
+    svc.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Concurrent analyses over a cold store much larger than the LRU:
+/// every eviction victim is reloaded byte-identically, under churn.
+#[test]
+fn cache_churn_reloads_evicted_trials_byte_identical() {
+    let trials = 6usize;
+    let mut repo = Repository::new();
+    for i in 0..trials {
+        repo.add_trial("app", "exp", trial(&format!("t{i}"), 3 + i))
+            .unwrap();
+    }
+    let dir = std::env::temp_dir().join(format!("svc-resilience-churn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("repo.pdb1");
+    repo.save_as(&path, perfdmf::Format::Pdb1).unwrap();
+
+    let svc = AnalysisService::open(
+        ServiceConfig {
+            workers: 3,
+            shards: 1,
+            cache_capacity: 2,
+            ..ServiceConfig::default()
+        },
+        &path,
+    )
+    .unwrap();
+
+    let strict: Vec<String> = (0..trials)
+        .map(|i| {
+            perfexplorer::workflow::analyze_load_balance(&trial(&format!("t{i}"), 3 + i), "TIME")
+                .unwrap()
+                .rendered
+        })
+        .collect();
+
+    // Three concurrent passes over all six trials against a two-entry
+    // cache: every trial is evicted and reloaded at least once.
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let client = svc.client();
+            let strict = &strict;
+            scope.spawn(move || {
+                for (i, expect) in strict.iter().enumerate() {
+                    let resp = analyze(&client, "app", &format!("t{i}"));
+                    assert!(resp.is_clean(), "churned analysis degraded: {resp:?}");
+                    match resp.outcome {
+                        Outcome::Report { rendered, .. } => assert_eq!(
+                            &rendered, expect,
+                            "t{i} must reload byte-identically after eviction"
+                        ),
+                        other => panic!("expected report, got {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = svc.stats();
+    assert!(
+        stats.cache_misses > trials as u64,
+        "misses ({}) must exceed the trial count: at least one trial \
+         was evicted and rematerialized",
+        stats.cache_misses
+    );
+    assert!(svc.store().cached_trials() <= 2, "LRU capacity is a cap");
+    assert_eq!(stats.degraded_responses, 0);
+    assert_eq!(stats.panics_isolated, 0);
+    svc.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// End-to-end breaker lifecycle against real storage corruption: a
+/// shard whose cold store fails its page checksum trips open after
+/// repeated failures, fails fast without touching the mapped file,
+/// leaves the sibling shard serving, and re-closes via a half-open
+/// probe.
+#[test]
+fn breaker_opens_on_corrupt_shard_and_recovers_via_probe() {
+    // "zz-bad" sorts last among applications, so its single trial owns
+    // the final column page in the PDB1 file — the byte we flip below.
+    // The healthy tenant must land on the other of the two shards.
+    let bad_app = "zz-bad";
+    let shards = 2;
+    let good_app = (0..26)
+        .map(|c| format!("aa-good-{}", (b'a' + c) as char))
+        .find(|app| shard_of(app, "exp", shards) != shard_of(bad_app, "exp", shards))
+        .expect("some candidate lands on the other shard");
+
+    let mut repo = Repository::new();
+    repo.add_trial(&good_app, "exp", trial("ok", 4)).unwrap();
+    repo.add_trial(bad_app, "exp", trial("doomed", 4)).unwrap();
+    let dir = std::env::temp_dir().join(format!("svc-resilience-breaker-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("repo.pdb1");
+    repo.save_as(&path, perfdmf::Format::Pdb1).unwrap();
+
+    // Rot the last byte: the file still opens (page checksums are
+    // lazy), but materializing "doomed" fails its page CRC.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let svc = AnalysisService::open(
+        ServiceConfig {
+            workers: 1,
+            shards,
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                open_cooldown: Duration::from_millis(100),
+                half_open_probes: 1,
+            },
+            ..ServiceConfig::default()
+        },
+        &path,
+    )
+    .unwrap();
+    let client = svc.client();
+    let bad_shard = svc.store().shard_index(bad_app, "exp");
+
+    // The healthy shard serves normally.
+    let resp = analyze(&client, &good_app, "ok");
+    assert!(resp.is_clean(), "{resp:?}");
+
+    // Three consecutive storage failures open the bad shard's breaker.
+    for _ in 0..3 {
+        let resp = analyze(&client, bad_app, "doomed");
+        assert!(
+            matches!(resp.outcome, Outcome::Rejected { .. }),
+            "corrupt page surfaces as a rejection: {resp:?}"
+        );
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.breaker_trips, 1);
+    assert_eq!(stats.breakers_open, 1);
+
+    // While open, requests fail fast with the typed outcome and never
+    // touch the shard: the cache counters do not move.
+    let before = (stats.cache_hits, stats.cache_misses);
+    let resp = analyze(&client, bad_app, "doomed");
+    match resp.outcome {
+        Outcome::BreakerOpen { shard } => assert_eq!(shard, bad_shard),
+        other => panic!("expected BreakerOpen, got {other:?}"),
+    }
+    let stats = svc.stats();
+    assert_eq!(
+        (stats.cache_hits, stats.cache_misses),
+        before,
+        "an open breaker must not touch the mapped store"
+    );
+    assert_eq!(stats.breaker_fast_fails, 1);
+
+    // The sibling shard is unaffected throughout.
+    let resp = analyze(&client, &good_app, "ok");
+    assert!(resp.is_clean(), "{resp:?}");
+
+    // After the cooldown one probe is admitted; a clean upload to the
+    // shard's overlay succeeds and closes the breaker again.
+    std::thread::sleep(Duration::from_millis(120));
+    let resp = client
+        .call(Request::Ingest {
+            app: bad_app.into(),
+            experiment: "exp".into(),
+            document: trial_json("fresh", 4),
+        })
+        .unwrap();
+    assert!(resp.is_clean(), "probe ingest must succeed: {resp:?}");
+    let stats = svc.stats();
+    assert_eq!(stats.breaker_probes, 1);
+    assert_eq!(stats.breakers_open, 0, "successful probe re-closes");
+
+    // The recovered shard serves again (from the overlay, which is
+    // intact — only the cold page was rotten).
+    let resp = analyze(&client, bad_app, "fresh");
+    assert!(resp.is_clean(), "{resp:?}");
+    assert_eq!(svc.stats().breaker_trips, 1, "no re-trip after recovery");
+    svc.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,11 +1,12 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Supplies the two pieces the workspace uses: multi-producer
-//! multi-consumer unbounded [`channel`]s (std's mpsc receivers cannot be
-//! cloned, so work-stealing sweeps need a real MPMC queue) and
+//! Supplies the pieces the workspace uses: multi-producer
+//! multi-consumer unbounded and [`channel::bounded`] channels (std's
+//! mpsc receivers cannot be cloned, so work-stealing sweeps need a real
+//! MPMC queue; admission control needs a capacity and `try_send`) and
 //! [`scope`]d threads with crossbeam's `Result`-returning signature.
 
-/// MPMC unbounded channels.
+/// MPMC unbounded and bounded channels.
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -14,6 +15,10 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue frees a slot.
+        space: Condvar,
+        /// `None` for unbounded channels.
+        capacity: Option<usize>,
         senders: AtomicUsize,
     }
 
@@ -43,11 +48,30 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
         });
         (
@@ -58,14 +82,60 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages
+    /// (minimum 1). [`Sender::send`] blocks while full;
+    /// [`Sender::try_send`] fails fast with [`TrySendError::Full`].
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues a message. Never blocks.
+        /// Enqueues a message. Blocks while a bounded channel is at
+        /// capacity; never blocks on an unbounded one.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.inner.capacity {
+                while q.len() >= cap {
+                    q = self.inner.space.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            }
             q.push_back(value);
             drop(q);
             self.inner.ready.notify_one();
             Ok(())
+        }
+
+        /// Enqueues a message only if the channel has room right now.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.inner.capacity {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued (diagnostics; racy by nature).
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -102,6 +172,8 @@ pub mod channel {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.inner.space.notify_one();
                     return Ok(v);
                 }
                 if self.inner.senders.load(Ordering::SeqCst) == 0 {
@@ -114,7 +186,10 @@ pub mod channel {
         /// Dequeues a message if one is immediately available.
         pub fn try_recv(&self) -> Result<T, RecvError> {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
-            q.pop_front().ok_or(RecvError)
+            let v = q.pop_front().ok_or(RecvError)?;
+            drop(q);
+            self.inner.space.notify_one();
+            Ok(v)
         }
     }
 }
@@ -184,6 +259,36 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Ok(1));
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_fails_fast_when_full() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        match tx.try_send(3) {
+            Err(channel::TrySendError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        // A slot freed: try_send succeeds again.
+        assert!(tx.try_send(3).is_ok());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_slot_frees() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let t = {
+            let tx = tx.clone();
+            std::thread::spawn(move || tx.send(2))
+        };
+        // The blocked sender completes once the receiver drains a slot.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
     }
 
     #[test]
